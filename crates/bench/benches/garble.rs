@@ -1,0 +1,70 @@
+//! Garbled-circuit costs (§5.5.5): garbling (user side, per query) and
+//! evaluation (server side, per metadata × query). The thesis's claim that
+//! "even the cheapest instances of these protocols have high costs" is
+//! quantifiable here against the ~2 PRF calls of a Bloom-keyword miss.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use roar_crypto::circuit::predicates;
+use roar_crypto::garble::Garbler;
+use roar_pps::generic::{GenericLayout, GenericPredicate, GenericScheme};
+use roar_pps::metadata::FileMeta;
+use roar_util::det_rng;
+
+fn bench_garble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("garble");
+    group.sample_size(20);
+
+    let garbler = Garbler::new(b"bench-key");
+    let range32 = predicates::range(32, 1_000, 1_000_000);
+
+    group.throughput(Throughput::Elements(range32.n_gates() as u64));
+    group.bench_function("garble_range32", |b| {
+        let mut qid = 0u64;
+        b.iter(|| {
+            qid += 1;
+            garbler.garble(&range32, qid)
+        })
+    });
+
+    let gq = garbler.garble(&range32, 1);
+    let labels = garbler.encode_inputs(&predicates::encode_uint(5_000, 32));
+    group.bench_function("eval_range32", |b| b.iter(|| gq.evaluate(&labels).unwrap()));
+
+    // the full PPS generic path on the default 50-slot layout
+    let scheme = GenericScheme::new(b"bench-key");
+    let meta = FileMeta {
+        path: "/bench".into(),
+        keywords: (0..50).map(|i| format!("kw{i}")).collect(),
+        size: 123_456,
+        mtime: 1_240_000_000,
+    };
+    group.bench_function("generic_encrypt_metadata", |b| b.iter(|| scheme.encrypt_metadata(&meta)));
+
+    let em = scheme.encrypt_metadata(&meta);
+    let mut rng = det_rng(9);
+    let pred = GenericPredicate::And(vec![
+        GenericPredicate::Keyword("kw7".into()),
+        GenericPredicate::SizeRange(1_000, 1 << 30),
+    ]);
+    let q = scheme.encrypt_query(&mut rng, &pred);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("generic_match_50kw", |b| {
+        b.iter(|| GenericScheme::matches(&em, &q))
+    });
+
+    // small layout: the per-gate eval cost without the 50-slot fan-out
+    let small = GenericScheme::with_layout(
+        b"bench-key",
+        GenericLayout { size_bits: 16, mtime_bits: 16, kw_slots: 6, kw_bits: 12 },
+    );
+    let em_s = small.encrypt_metadata(&meta);
+    let q_s = small.encrypt_query(&mut rng, &GenericPredicate::Keyword("kw7".into()));
+    group.bench_function("generic_match_small", |b| {
+        b.iter(|| GenericScheme::matches(&em_s, &q_s))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_garble);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Store-path costs across algorithms: computing an object's replica set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roar_core::placement::RoarRing;
+use roar_core::ringmap::RingMap;
+use roar_dr::{DrConfig, Ptn, RandDr, SlidingWindow};
+use roar_util::det_rng;
+use rand::Rng;
+
+fn bench_placement(c: &mut Criterion) {
+    let n = 120usize;
+    let p = 12usize;
+    let nodes: Vec<usize> = (0..n).collect();
+    let ring = RoarRing::new(RingMap::uniform(&nodes), p);
+    let ptn = Ptn::new(DrConfig::new(n, p));
+    let sw = SlidingWindow::new(n, n / p);
+    let rd = RandDr::new(n, n / p, 2);
+    let mut rng = det_rng(4);
+    let keys: Vec<u64> = (0..256).map(|_| rng.gen()).collect();
+
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(30);
+    let mut i = 0usize;
+    group.bench_function("roar_replicas", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            ring.replicas(keys[i])
+        })
+    });
+    group.bench_function("ptn_replicas", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            ptn.replicas(keys[i])
+        })
+    });
+    group.bench_function("sw_replicas", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            sw.replicas(keys[i])
+        })
+    });
+    group.bench_function("rand_replicas", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            rd.replicas(keys[i])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! PPS matching throughput (records/s) — the single-server number the
+//! thesis calibrates everything against (§5.7: ~0.9M records/s/thread).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use roar_pps::bloom_kw::PrfCounter;
+use roar_pps::metadata::MetaEncryptor;
+use roar_pps::query::Matcher;
+use roar_util::det_rng;
+use roar_workload::{fast_random_metadata, QueryGenerator};
+
+fn bench_match(c: &mut Criterion) {
+    let mut rng = det_rng(2);
+    let records = fast_random_metadata(&mut rng, 20_000);
+    let enc = MetaEncryptor::with_points(b"bench", vec![1_000_000], vec![1_300_000_000]);
+    let q = &QueryGenerator::new().compile_zero_match(&mut rng, &enc, 1)[0];
+    let counter = PrfCounter::new();
+
+    let mut group = c.benchmark_group("pps_match");
+    group.sample_size(12);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("scan_20k_records", |b| {
+        b.iter(|| {
+            let mut m = Matcher::new(q.trapdoors.len(), true);
+            let mut hits = 0usize;
+            for r in &records {
+                if m.matches(q, r, &counter) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_match);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ring geometry hot paths: ownership lookup, replica-set computation and
+//! query planning — the per-query front-end costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roar_core::placement::RoarRing;
+use roar_core::ringmap::RingMap;
+use roar_util::det_rng;
+use rand::Rng;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_ops");
+    group.sample_size(30);
+    for &n in &[100usize, 1000] {
+        let nodes: Vec<usize> = (0..n).collect();
+        let map = RingMap::uniform(&nodes);
+        let ring = RoarRing::new(map.clone(), n / 10);
+        let mut rng = det_rng(3);
+        let probes: Vec<u64> = (0..256).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("in_charge", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                map.in_charge(probes[i])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("replicas", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                ring.replicas(probes[i])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plan", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                ring.plan(probes[i], n / 10)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Scheduling micro-benchmarks: Algorithm 1 (heap sweep) vs the O(np)
+//! straw-man vs PTN's linear scan (Fig 7.12's criterion companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roar_core::placement::RoarRing;
+use roar_core::ringmap::RingMap;
+use roar_core::sched::{schedule_exhaustive, schedule_sweep};
+use roar_dr::sched::{QueryScheduler, StaticEstimator};
+use roar_dr::{DrConfig, Ptn};
+use roar_util::det_rng;
+use rand::Rng;
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(20);
+    for &n in &[100usize, 1000] {
+        let p = n / 10;
+        let mut rng = det_rng(1);
+        let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let est = StaticEstimator::with_speeds(speeds);
+        let nodes: Vec<usize> = (0..n).collect();
+        let ring = RoarRing::new(RingMap::uniform(&nodes), p);
+        let ptn = Ptn::new(DrConfig::new(n, p));
+        group.bench_with_input(BenchmarkId::new("roar_sweep", n), &n, |b, _| {
+            let mut s = 0u64;
+            b.iter(|| {
+                s = s.wrapping_add(0x9E3779B9);
+                schedule_sweep(&ring, p, &est, s)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("straw_man", n), &n, |b, _| {
+            let mut s = 0u64;
+            b.iter(|| {
+                s = s.wrapping_add(0x9E3779B9);
+                schedule_exhaustive(&ring, p, &est, s)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ptn", n), &n, |b, _| {
+            let sched = ptn.scheduler();
+            let mut s = 0u64;
+            b.iter(|| {
+                s = s.wrapping_add(0x9E3779B9);
+                sched.schedule(&est, s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `repro` — regenerate any table or figure of the ROAR evaluation.
+//!
+//! Usage:
+//!   repro list              list experiment ids
+//!   repro `<id>` ...          run specific experiments (e.g. fig6_1 tab6_2)
+//!   repro all               run everything
+//!   repro --quick <...>     reduced workloads (smoke/CI)
+//!
+//! Rendered reports are printed and saved under `results/<id>.txt`.
+
+use roar_bench::{registry, Scale};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let wanted: Vec<&String> =
+        args.iter().filter(|a| a.as_str() != "--quick").collect();
+
+    if wanted.is_empty() || wanted[0] == "list" {
+        println!("{:<10} {:<10} {}", "id", "paper", "title");
+        println!("{}", "-".repeat(70));
+        for e in registry() {
+            println!("{:<10} {:<10} {}", e.id, e.paper_ref, e.title);
+        }
+        println!("\nrun: repro <id> | repro all [--quick]");
+        return;
+    }
+
+    let run_all = wanted.iter().any(|w| w.as_str() == "all");
+    let results_dir = Path::new("results");
+    let mut ran = 0usize;
+    for e in registry() {
+        if run_all || wanted.iter().any(|w| w.as_str() == e.id) {
+            eprintln!(">>> {} ({}) — {}", e.id, e.paper_ref, e.title);
+            let t0 = std::time::Instant::now();
+            let report = (e.run)(scale);
+            report.save_and_print(results_dir, e.id).expect("write result");
+            eprintln!("<<< {} done in {:.1}s\n", e.id, t0.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {wanted:?}; try `repro list`");
+        std::process::exit(2);
+    }
+    eprintln!("{ran} experiment(s) written to {}", results_dir.display());
+}

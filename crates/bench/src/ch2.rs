@@ -1,0 +1,173 @@
+//! Chapter 2 reproductions: the problem-space analytic models.
+//!
+//! These back the thesis's motivation rather than a numbered figure: the
+//! §2.3.2 bandwidth optimum `r_opt = √(n·B_query/B_data)` with its O(√n)
+//! penalty for extreme operating points, and the §2.3.3 `minP` function the
+//! delay-target controller (fig7_5) conceptually evaluates.
+
+use crate::Scale;
+use roar_dr::cost::BandwidthModel;
+use roar_dr::tradeoff::DelayModel;
+use roar_dr::DrConfig;
+use roar_util::report::fnum;
+use roar_util::{Report, Table};
+
+/// §2.3.2 — total bandwidth vs replication level, with the closed-form
+/// optimum and the extreme-r penalty.
+pub fn sec2_3_2(scale: Scale) -> Report {
+    let mut rep = Report::new("§2.3.2 — Bandwidth vs replication level");
+    rep.note(
+        "B(r) = r·B_data + (n/r)·B_query + B_results; optimum at \
+         r_opt = √(n·B_query/B_data). Paper: extreme r (1 or n) costs \
+         O(√n) more than optimal.",
+    );
+    let n = scale.pick(1024, 100);
+    let m = BandwidthModel {
+        n,
+        b_data: 100.0,   // update stream
+        b_query: 400.0,  // query stream (query-heavier, like web search)
+        b_results: 50.0,
+    };
+    let ropt = m.optimal_r();
+
+    let mut t = Table::new(["r", "p=n/r", "B_total", "vs_optimal"]);
+    let mut r = 1.0f64;
+    while r <= n as f64 {
+        t.row([
+            fnum(r),
+            fnum(n as f64 / r),
+            fnum(m.total(r)),
+            format!("{:.2}x", m.overhead_factor(r)),
+        ]);
+        r *= 2.0;
+    }
+    t.row([
+        format!("{:.1} (opt)", ropt),
+        fnum(n as f64 / ropt),
+        fnum(m.total(ropt)),
+        "1.00x".to_string(),
+    ]);
+    rep.table("total bandwidth by replication level", t);
+
+    let mut pen = Table::new(["n", "sqrt_n", "penalty_at_r=1", "penalty_at_r=n"]);
+    for n in [64usize, 256, 1024, 4096] {
+        let m = BandwidthModel { n, b_data: 100.0, b_query: 100.0, b_results: 0.0 };
+        pen.row([
+            n.to_string(),
+            fnum((n as f64).sqrt()),
+            format!("{:.1}x", m.overhead_factor(1.0)),
+            format!("{:.1}x", m.overhead_factor(n as f64)),
+        ]);
+    }
+    rep.table("the O(sqrt n) penalty for extreme operating points", pen);
+    rep
+}
+
+/// §2.3.3 — the `minP` function: minimal p meeting a delay target as load
+/// grows, under the M/D/1 waiting-time approximation.
+pub fn sec2_3_3(scale: Scale) -> Report {
+    let mut rep = Report::new("§2.3.3 — minP(load): delay-feasible partitioning");
+    rep.note(
+        "M/D/1 approximation: mean delay = service·(1 + rho/(2(1-rho))). \
+         minP returns the smallest p meeting the target; load pushes it up \
+         until no p suffices. Paper: 'For different values of load, minP \
+         will be different.'",
+    );
+    let n = scale.pick(100, 40);
+    // 1M objects at the PPS disk-bound 250k objects/s, 2 ms fixed costs
+    let m = DelayModel { objects: 1e6, cpu: 250_000.0, fixed_s: 0.002 };
+
+    let mut t = Table::new(["qps", "minP(1s)", "minP(250ms)", "minP(100ms)", "delay@minP(250ms)_ms"]);
+    for qps in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0] {
+        let cell = |target: f64| {
+            m.min_p(n, qps, target).map_or("-".to_string(), |p| p.to_string())
+        };
+        let d250 = m
+            .min_p(n, qps, 0.25)
+            .map_or("-".to_string(), |p| fnum(m.mean_delay_s(DrConfig::new(n, p), qps) * 1e3));
+        t.row([fnum(qps), cell(1.0), cell(0.25), cell(0.1), d250]);
+    }
+    rep.table(format!("minP at n = {n} servers"), t);
+    rep
+}
+
+/// §2.1 — harvest & yield: "when systems are overloaded it may be desirable
+/// to drop some queries altogether to ensure the rest of the queries are
+/// executed."
+pub fn sec2_1(scale: Scale) -> Report {
+    use roar_dr::sched::OptScheduler;
+    use roar_sim::{run_sim_yield, SimConfig, SimServers};
+
+    let mut rep = Report::new("§2.1 — Yield under overload (admission control)");
+    rep.note(
+        "n = 2 servers of speed 1, p = 2: every query costs 1 unit of work, \
+         so capacity is exactly 2 q/s. Offered load sweeps through \
+         saturation. Without admission every query is served ever later; \
+         with a 2 s admission bound the front-end sheds excess load and the \
+         served queries keep bounded delay at near-capacity throughput. \
+         Harvest stays 100% for every admitted query.",
+    );
+    let n = 2usize;
+    let speed = 1.0;
+    let queries = scale.pick(4000, 1200);
+    let mut t = Table::new([
+        "offered_qps",
+        "yield_no_adm",
+        "delay_no_adm_s",
+        "yield_adm",
+        "delay_adm_s",
+        "served_qps_adm",
+    ]);
+    for offered in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0] {
+        let cfg = SimConfig {
+            arrival_rate: offered,
+            n_queries: queries,
+            warmup: 100,
+            seed: 21,
+            ..Default::default()
+        };
+        let sched = OptScheduler::new(2);
+        let free = run_sim_yield(&cfg, SimServers::new(&vec![speed; n], 0.0), &sched, None);
+        let adm =
+            run_sim_yield(&cfg, SimServers::new(&vec![speed; n], 0.0), &sched, Some(2.0));
+        t.row([
+            fnum(offered),
+            format!("{:.0}%", free.yield_frac * 100.0),
+            fnum(free.mean_delay),
+            format!("{:.0}%", adm.yield_frac * 100.0),
+            fnum(adm.mean_delay),
+            fnum(adm.served as f64 / adm.duration),
+        ]);
+    }
+    rep.table("yield/delay trade-off at a 2 s admission bound", t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sec2_1_smoke() {
+        let r = sec2_1(Scale::Quick);
+        let out = r.render();
+        assert!(out.contains("yield_adm"));
+    }
+
+    #[test]
+    fn sec2_3_2_smoke() {
+        let r = sec2_3_2(Scale::Quick);
+        let out = r.render();
+        assert!(out.contains("(opt)"));
+        assert!(out.contains("1.00x"));
+    }
+
+    #[test]
+    fn sec2_3_3_smoke() {
+        let r = sec2_3_3(Scale::Quick);
+        let out = r.render();
+        assert!(out.contains("minP"));
+        // heavy load must show infeasibility for the tight target
+        assert!(out.contains('-'), "some target must become infeasible");
+    }
+}

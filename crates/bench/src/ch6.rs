@@ -1,0 +1,425 @@
+//! Chapter 6 reproductions: the analytical (simulation) evaluation.
+
+use crate::Scale;
+use roar_core::multiring::{MultiRing, MultiRingScheduler};
+use roar_core::placement::RoarRing;
+use roar_core::ringmap::RingMap;
+use roar_core::sched::{RoarScheduler, Strategy};
+use roar_dr::cost::{self, Algo, BandwidthModel};
+use roar_dr::sched::{OptScheduler, QueryScheduler};
+use roar_dr::{DrConfig, Ptn, SlidingWindow};
+use roar_sim::availability::{
+    monte_carlo_unavailability, multiring_strict_ok, ptn_strict_ok, rand_strict_unavailability,
+    roar_strict_ok, sw_strict_ok,
+};
+use roar_sim::{run_sim, SimConfig, SimServers};
+use roar_util::report::fnum;
+use roar_util::{det_rng, Report, Table};
+use roar_workload::Fleet;
+
+/// Default simulation parameters (our Table 6.1 — the thesis's table is not
+/// in the provided text, so these are recorded as the reproduction's
+/// baseline and used by every ch6 figure unless stated).
+pub struct SimParams {
+    pub n: usize,
+    pub p: usize,
+    pub dataset: u64,
+    pub base_speed: f64,
+    pub spread: f64,
+    pub arrival_rate: f64,
+    pub n_queries: usize,
+    pub overhead_s: f64,
+}
+
+impl SimParams {
+    pub fn default_full() -> Self {
+        SimParams {
+            n: 90,
+            p: 9,
+            dataset: 1_000_000,
+            base_speed: 900_000.0,
+            spread: 2.0,
+            arrival_rate: 30.0,
+            n_queries: 3000,
+            overhead_s: 0.002,
+        }
+    }
+
+    pub fn of(scale: Scale) -> Self {
+        let mut p = Self::default_full();
+        if scale == Scale::Quick {
+            p.n = 30;
+            p.p = 5;
+            p.n_queries = 800;
+            p.arrival_rate = 12.0;
+        }
+        p
+    }
+
+    /// Heterogeneous fleet speeds in work/second.
+    pub fn speeds(&self, seed: u64) -> Vec<f64> {
+        let mut rng = det_rng(seed);
+        Fleet::with_spread(&mut rng, self.n, self.base_speed, self.spread)
+            .work_speeds(self.dataset)
+    }
+}
+
+pub fn tab6_1(scale: Scale) -> Report {
+    let p = SimParams::of(scale);
+    let mut rep = Report::new("Table 6.1 — Simulation parameters");
+    let mut t = Table::new(["parameter", "value"]);
+    t.row(["servers n", &p.n.to_string()]);
+    t.row(["partitioning p", &p.p.to_string()]);
+    t.row(["dataset (records)", &p.dataset.to_string()]);
+    t.row(["base speed (records/s)", &fnum(p.base_speed)]);
+    t.row(["speed spread (log-uniform)", &format!("{}x", p.spread * p.spread)]);
+    t.row(["arrival rate (q/s)", &fnum(p.arrival_rate)]);
+    t.row(["queries per run", &p.n_queries.to_string()]);
+    t.row(["per-sub-query overhead (s)", &fnum(p.overhead_s)]);
+    t.row(["queue-explosion slope", "0.1"]);
+    rep.table("parameters", t);
+    rep
+}
+
+/// Build the four comparison schedulers for a configuration, each in its
+/// *deployed* layout: ROAR with §4.6 speed-proportional ranges, PTN with
+/// capacity-balanced clusters ("computationally equivalent", §3.1). SW
+/// cannot adapt its discrete positions to heterogeneity — that is exactly
+/// its §3.3 weakness — so it keeps the uniform layout.
+fn schedulers(n: usize, p: usize, speeds: &[f64]) -> Vec<(&'static str, Box<dyn QueryScheduler>)> {
+    let nodes: Vec<usize> = (0..n).collect();
+    vec![
+        ("SW", Box::new(SlidingWindow::new(n, (n / p).max(1)).scheduler())),
+        (
+            "ROAR",
+            Box::new(RoarScheduler::new(
+                RoarRing::new(RingMap::proportional(&nodes, speeds), p),
+                p,
+                Strategy::Sweep,
+            )),
+        ),
+        ("PTN", Box::new(Ptn::balanced(DrConfig::new(n, p), speeds).scheduler())),
+        ("OPT", Box::new(OptScheduler::new(p))),
+    ]
+}
+
+fn delay_row(
+    params: &SimParams,
+    sched: &dyn QueryScheduler,
+    speeds: &[f64],
+    rate: f64,
+    noise: f64,
+    seed: u64,
+) -> f64 {
+    let cfg = SimConfig {
+        arrival_rate: rate,
+        n_queries: params.n_queries,
+        warmup: params.n_queries / 10,
+        seed,
+        explosion_slope: 0.1,
+    };
+    let mut rng = det_rng(seed ^ 0xabcdef);
+    let servers =
+        SimServers::new(speeds, params.overhead_s).with_estimation_noise(&mut rng, noise);
+    run_sim(&cfg, servers, sched).mean_delay
+}
+
+/// Fig 6.1: mean delay of SW / ROAR / PTN / OPT as p sweeps.
+pub fn fig6_1(scale: Scale) -> Report {
+    let params = SimParams::of(scale);
+    let mut rep = Report::new("Fig 6.1 — Basic delay comparison");
+    rep.note(format!(
+        "n = {}, heterogeneous speeds (~{}x spread), sweep of p.\n\
+         Paper shape: OPT ≤ PTN ≤ ROAR < SW; ROAR close to PTN at realistic r.",
+        params.n,
+        params.spread * params.spread
+    ));
+    let speeds = params.speeds(61);
+    let mut t = Table::new(["p", "SW_ms", "ROAR_ms", "PTN_ms", "OPT_ms"]);
+    let ps: Vec<usize> =
+        [3usize, 5, 9, 15, 30].iter().copied().filter(|&p| p <= params.n / 2).collect();
+    for p in ps {
+        let mut row = vec![p.to_string()];
+        for (_, sched) in schedulers(params.n, p, &speeds) {
+            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, 0.0, 610 + p as u64);
+            row.push(fnum(d * 1e3));
+        }
+        t.row(row);
+    }
+    rep.table("mean delay (ms) by p", t);
+    rep
+}
+
+/// Fig 6.2: delay vs fleet size at fixed r.
+pub fn fig6_2(scale: Scale) -> Report {
+    let base = SimParams::of(scale);
+    let r = 10usize.min(base.n / 3);
+    let mut rep = Report::new("Fig 6.2 — Delay vs N (fixed r)");
+    rep.note(format!("r = {r}; load scales with n so utilisation stays constant."));
+    let mut t = Table::new(["n", "SW_ms", "ROAR_ms", "PTN_ms", "OPT_ms"]);
+    let ns: Vec<usize> = match scale {
+        Scale::Full => vec![30, 60, 120, 240, 480],
+        Scale::Quick => vec![20, 40, 80],
+    };
+    for n in ns {
+        let mut params = SimParams::of(scale);
+        params.n = n;
+        params.p = (n / r).max(1);
+        params.arrival_rate = base.arrival_rate * n as f64 / base.n as f64;
+        let speeds = params.speeds(62);
+        let mut row = vec![n.to_string()];
+        for (_, sched) in schedulers(n, params.p, &speeds) {
+            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, 0.0, 620 + n as u64);
+            row.push(fnum(d * 1e3));
+        }
+        t.row(row);
+    }
+    rep.table("mean delay (ms) by n", t);
+    rep
+}
+
+/// Fig 6.3: delay vs offered load.
+pub fn fig6_3(scale: Scale) -> Report {
+    let params = SimParams::of(scale);
+    let mut rep = Report::new("Fig 6.3 — Delay vs load");
+    // capacity in queries/s: total work-speed of the fleet
+    let speeds = params.speeds(63);
+    let capacity: f64 = speeds.iter().sum();
+    rep.note(format!(
+        "Fleet capacity ≈ {:.1} q/s. Paper shape: M/D/1-like growth, \
+         algorithms separate as load rises; 'inf' = queue explosion.",
+        capacity
+    ));
+    let mut t = Table::new(["load_frac", "SW_ms", "ROAR_ms", "PTN_ms", "OPT_ms"]);
+    for load in [0.2, 0.4, 0.6, 0.75, 0.9] {
+        let rate = capacity * load;
+        let mut row = vec![fnum(load)];
+        for (_, sched) in schedulers(params.n, params.p, &speeds) {
+            let d = delay_row(&params, sched.as_ref(), &speeds, rate, 0.0, 630);
+            row.push(if d.is_finite() { fnum(d * 1e3) } else { "inf".into() });
+        }
+        t.row(row);
+    }
+    rep.table("mean delay (ms) by utilisation", t);
+    rep
+}
+
+/// Fig 6.4: delay vs server heterogeneity.
+pub fn fig6_4(scale: Scale) -> Report {
+    let mut rep = Report::new("Fig 6.4 — Delay vs heterogeneity");
+    rep.note(
+        "Speed spread sweep at constant total capacity. Paper shape: SW \
+         degrades fastest (only r choices); PTN and ROAR track OPT.",
+    );
+    let mut t = Table::new(["spread", "SW_ms", "ROAR_ms", "PTN_ms", "OPT_ms"]);
+    for spread in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
+        let mut params = SimParams::of(scale);
+        params.spread = spread;
+        let speeds = params.speeds(64);
+        // normalise to constant total capacity
+        let total: f64 = speeds.iter().sum();
+        let target = params.n as f64 * params.base_speed / params.dataset as f64;
+        let speeds: Vec<f64> = speeds.iter().map(|s| s * target / total).collect();
+        let mut row = vec![format!("{:.1}x", spread * spread)];
+        for (_, sched) in schedulers(params.n, params.p, &speeds) {
+            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, 0.0, 640);
+            row.push(fnum(d * 1e3));
+        }
+        t.row(row);
+    }
+    rep.table("mean delay (ms) by speed spread", t);
+    rep
+}
+
+/// Fig 6.5: sensitivity to speed-estimation error.
+pub fn fig6_5(scale: Scale) -> Report {
+    let params = SimParams::of(scale);
+    let mut rep = Report::new("Fig 6.5 — Speed-estimation error");
+    rep.note(
+        "Gaussian multiplicative error on the scheduler's speed view; \
+         execution uses true speeds. Paper shape: graceful degradation; \
+         algorithms with more choices lose more of their edge.",
+    );
+    let speeds = params.speeds(65);
+    let mut t = Table::new(["rel_error", "ROAR_ms", "PTN_ms", "OPT_ms"]);
+    for noise in [0.0, 0.1, 0.25, 0.5] {
+        let mut row = vec![fnum(noise)];
+        for (name, sched) in schedulers(params.n, params.p, &speeds) {
+            if name == "SW" {
+                continue;
+            }
+            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, noise, 650);
+            row.push(fnum(d * 1e3));
+        }
+        t.row(row);
+    }
+    rep.table("mean delay (ms) by estimation error", t);
+    rep
+}
+
+/// Fig 6.6: effect of running queries at pq > p.
+pub fn fig6_6(scale: Scale) -> Report {
+    let params = SimParams::of(scale);
+    let mut rep = Report::new("Fig 6.6 — Increasing pQ");
+    rep.note(
+        "ROAR at fixed replication, pq multiples of p. Paper: at low \
+         utilisation larger pq cuts delay (smaller sub-queries, more \
+         choices) until fixed overheads dominate.",
+    );
+    let speeds = params.speeds(66);
+    let nodes: Vec<usize> = (0..params.n).collect();
+    let mut t = Table::new(["pq/p", "pq", "ROAR_ms"]);
+    for mult in [1usize, 2, 3, 4] {
+        let pq = params.p * mult;
+        let ring = RoarRing::new(RingMap::uniform(&nodes), params.p);
+        let sched = RoarScheduler::new(ring, pq, Strategy::Sweep);
+        let d = delay_row(&params, &sched, &speeds, params.arrival_rate, 0.0, 660);
+        t.row([mult.to_string(), pq.to_string(), fnum(d * 1e3)]);
+    }
+    rep.table("mean delay (ms) by pq", t);
+    rep
+}
+
+/// Fig 6.7: ablation of ROAR's scheduling mechanisms.
+pub fn fig6_7(scale: Scale) -> Report {
+    let params = SimParams::of(scale);
+    let mut rep = Report::new("Fig 6.7 — ROAR mechanism ablation");
+    rep.note(
+        "Same workload, different scheduling machinery. Paper: random \
+         starts < full sweep < sweep + 2 rings; each mechanism buys delay.",
+    );
+    let speeds = params.speeds(67);
+    let nodes: Vec<usize> = (0..params.n).collect();
+    let variants: Vec<(&str, Box<dyn QueryScheduler>)> = vec![
+        (
+            "random-starts(3)",
+            Box::new(RoarScheduler::new(
+                RoarRing::new(RingMap::uniform(&nodes), params.p),
+                params.p,
+                Strategy::RandomStarts(3),
+            )),
+        ),
+        (
+            "sweep (Algorithm 1)",
+            Box::new(RoarScheduler::new(
+                RoarRing::new(RingMap::uniform(&nodes), params.p),
+                params.p,
+                Strategy::Sweep,
+            )),
+        ),
+        (
+            "sweep + pq=2p",
+            Box::new(RoarScheduler::new(
+                RoarRing::new(RingMap::uniform(&nodes), params.p),
+                2 * params.p,
+                Strategy::Sweep,
+            )),
+        ),
+        (
+            "2 rings",
+            Box::new(MultiRingScheduler::new(
+                MultiRing::split_uniform(&nodes, 2, params.p),
+                params.p,
+            )),
+        ),
+    ];
+    let mut t = Table::new(["variant", "mean_ms", "p99_ms"]);
+    for (name, sched) in variants {
+        let cfg = SimConfig {
+            arrival_rate: params.arrival_rate,
+            n_queries: params.n_queries,
+            warmup: params.n_queries / 10,
+            seed: 670,
+            explosion_slope: 0.1,
+        };
+        let res = run_sim(&cfg, SimServers::new(&speeds, params.overhead_s), sched.as_ref());
+        t.row([name.to_string(), fnum(res.mean_delay * 1e3), fnum(res.summary.p99 * 1e3)]);
+    }
+    rep.table("delay by mechanism", t);
+    rep
+}
+
+/// Fig 6.8: strict-operation unavailability vs per-server failure prob.
+pub fn fig6_8(scale: Scale) -> Report {
+    let n = 40usize;
+    let p = 8usize;
+    let trials = match scale {
+        Scale::Full => 20_000,
+        Scale::Quick => 4_000,
+    };
+    let mut rep = Report::new("Fig 6.8 — Strict-operation unavailability");
+    rep.note(format!(
+        "n = {n}, p = {p} (r = {}); Monte Carlo over independent server \
+         failures. Paper: multi-ring ROAR is the most available for strict \
+         ops; PTN close; SW worst of the window family at equal r.",
+        n / p
+    ));
+    let nodes: Vec<usize> = (0..n).collect();
+    let single = RingMap::uniform(&nodes);
+    let ring_a = RingMap::uniform(&nodes[..n / 2].to_vec());
+    let ring_b = RingMap::uniform(&nodes[n / 2..].to_vec());
+    let ptn = Ptn::new(DrConfig::new(n, p));
+    let sw = SlidingWindow::new(n, n / p);
+    let mut t = Table::new(["fail_prob", "SW", "PTN", "ROAR", "ROAR_2ring", "RAND_analytic"]);
+    let mut rng = det_rng(68);
+    for f in [0.05, 0.1, 0.2, 0.3] {
+        let u_sw =
+            monte_carlo_unavailability(&mut rng, n, f, trials, &|d| sw_strict_ok(&sw, d));
+        let u_ptn =
+            monte_carlo_unavailability(&mut rng, n, f, trials, &|d| ptn_strict_ok(&ptn, d));
+        let u_roar = monte_carlo_unavailability(&mut rng, n, f, trials, &|d| {
+            roar_strict_ok(&single, p, d)
+        });
+        let u_2ring = monte_carlo_unavailability(&mut rng, n, f, trials, &|d| {
+            multiring_strict_ok(&[(ring_a.clone(), p), (ring_b.clone(), p)], d)
+        });
+        let u_rand = rand_strict_unavailability(2 * (n / p), f, 1_000_000);
+        t.row([fnum(f), fnum(u_sw), fnum(u_ptn), fnum(u_roar), fnum(u_2ring), fnum(u_rand)]);
+    }
+    rep.table("P(strict query cannot reach 100% harvest)", t);
+    rep
+}
+
+/// Table 6.2: messages / object-copies per operation.
+pub fn tab6_2(_scale: Scale) -> Report {
+    let mut rep = Report::new("Table 6.2 — Bandwidth per operation");
+    let n = 100usize;
+    let d = 1_000_000u64;
+    let from = DrConfig::new(n, 10); // r = 10
+    let to = DrConfig::new(n, 5); // r = 20
+    rep.note(format!(
+        "n = {n}, D = {d} objects; repartition from p=10 to p=5 (r 10 → 20).\n\
+         Paper: ROAR/SW move the minimum D·Δr copies; PTN pays roughly \
+         double and concentrates it on a few servers; RAND doubles \
+         everything (c = 2)."
+    ));
+    let mut t = Table::new([
+        "algorithm",
+        "store_msgs",
+        "query_msgs",
+        "repartition_copies",
+        "join_copies",
+        "leave_copies",
+    ]);
+    for algo in [Algo::Ptn, Algo::Sw, Algo::Roar, Algo::Rand(2)] {
+        t.row([
+            algo.name().to_string(),
+            fnum(cost::store_messages(algo, from)),
+            fnum(cost::query_messages(algo, from)),
+            fnum(cost::repartition_copies(algo, from, to, d)),
+            fnum(cost::join_copies(algo, from, d)),
+            fnum(cost::leave_copies(algo, from, d)),
+        ]);
+    }
+    rep.table("cost per operation", t);
+
+    // §2.3.2 optimal replication level
+    let m = BandwidthModel { n, b_data: 100.0, b_query: 400.0, b_results: 0.0 };
+    let mut t2 = Table::new(["metric", "value"]);
+    t2.row(["optimal r (sqrt(n·Bq/Bd))", &fnum(m.optimal_r())]);
+    t2.row(["bandwidth at r_opt", &fnum(m.total(m.optimal_r()))]);
+    t2.row(["bandwidth at r=1", &fnum(m.total(1.0))]);
+    t2.row(["bandwidth at r=n", &fnum(m.total(n as f64))]);
+    rep.table("§2.3.2 bandwidth-optimal replication", t2);
+    rep
+}

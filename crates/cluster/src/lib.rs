@@ -1,0 +1,40 @@
+//! Networked ROAR deployment (§7.1's testbed, rebuilt on tokio).
+//!
+//! Three roles, exactly as the thesis deploys them:
+//!
+//! * **data nodes** ([`node`]) own a ring range, store object replicas and
+//!   execute sub-queries against their local store;
+//! * the **front-end** ([`frontend`]) receives client queries, runs the
+//!   Algorithm 1 scheduler over live server statistics, dispatches
+//!   sub-queries with failure timers, applies the §4.4 fall-back and
+//!   aggregates results;
+//! * the **membership server** logic (range assignment, join/leave, p
+//!   changes) drives both through [`frontend::Cluster`] control calls.
+//!
+//! Transport is length-prefixed JSON frames over TCP ([`proto`]) — the
+//! tokio tutorial's framing idiom. The paper's reliability discussion
+//! (§4.8.4, TCP min-RTO / incast) is covered twice: the TCP path keeps
+//! per-sub-query application timers (the part that matters for failover),
+//! and [`transport`] implements the thesis's named alternative — UDP with
+//! application-level acknowledgements, millisecond retransmission timers
+//! and at-most-once request execution — with loss injection for tests.
+//!
+//! Two query execution modes keep experiments honest *and* fast:
+//! * **PPS** — real encrypted matching against the node's
+//!   [`roar_pps::MetadataStore`];
+//! * **synthetic** — the node sleeps for `records_in_window / speed`,
+//!   reproducing Definition 8's computation model with configurable
+//!   heterogeneous speeds (how we stand in for the 45-node Hen testbed and
+//!   the EC2 fleet on one machine).
+
+pub mod frontend;
+pub mod harness;
+pub mod node;
+pub mod proto;
+pub mod transport;
+
+pub use frontend::{Cluster, QueryOutput};
+pub use transport::{LossPolicy, RequestError, UdpConfig, UdpEndpoint};
+pub use harness::{spawn_cluster, ClusterConfig, ClusterHandle};
+pub use node::{DataNode, NodeConfig};
+pub use proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireTrapdoor};

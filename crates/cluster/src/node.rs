@@ -1,0 +1,487 @@
+//! A ROAR data node (§4.1, §5.6): owns a coverage window of the ring,
+//! stores replicas, executes sub-queries against its local store.
+//!
+//! Sub-query execution honours the deduplication window carried in the
+//! request — the node only matches records with ids in `(start, end]` —
+//! so `pq > p` over-partitioning and failure-split sub-queries work without
+//! any node-side coordination (§4.2).
+
+use crate::proto::{read_frame, write_frame, Frame, Msg, QueryBody};
+use parking_lot::Mutex;
+use roar_core::ring::Window;
+use roar_pps::bloom_kw::PrfCounter;
+use roar_pps::query::{Combiner, CompiledQuery, Matcher};
+use roar_pps::MetadataStore;
+use std::sync::Arc;
+use std::time::Instant;
+use tokio::net::{TcpListener, TcpStream};
+
+/// Static node configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    pub id: usize,
+    /// Synthetic scan speed, records/second (Definition 8). Also used to
+    /// scale the simulated processing sleep.
+    pub speed: f64,
+    /// Extra fixed per-sub-query overhead in seconds (thread start, parse …
+    /// — the overhead that makes large p expensive, §2).
+    pub overhead_s: f64,
+}
+
+/// Shared mutable node state.
+struct NodeState {
+    store: MetadataStore,
+    /// Synthetic-mode records: bare ids.
+    synthetic_ids: Vec<u64>,
+    coverage: Option<Window>,
+    /// Ring successor for §4.1 peer-to-peer store forwarding.
+    successor: Option<std::net::SocketAddr>,
+}
+
+impl NodeState {
+    fn count(&self) -> u64 {
+        (self.store.len() + self.synthetic_ids.len()) as u64
+    }
+}
+
+/// A running data node.
+pub struct DataNode {
+    pub cfg: NodeConfig,
+    state: Arc<Mutex<NodeState>>,
+}
+
+impl DataNode {
+    pub fn new(cfg: NodeConfig) -> Self {
+        DataNode {
+            cfg,
+            state: Arc::new(Mutex::new(NodeState {
+                store: MetadataStore::new(),
+                synthetic_ids: Vec::new(),
+                coverage: None,
+                successor: None,
+            })),
+        }
+    }
+
+    /// Bind a listener and serve until `Shutdown` is received or the
+    /// listener errors. Returns the bound address immediately via the
+    /// `addr_tx` channel, then serves.
+    pub async fn serve(
+        self: Arc<Self>,
+        addr_tx: tokio::sync::oneshot::Sender<std::net::SocketAddr>,
+    ) -> std::io::Result<()> {
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let addr = listener.local_addr()?;
+        let _ = addr_tx.send(addr);
+        let (shutdown_tx, mut shutdown_rx) = tokio::sync::watch::channel(false);
+        let shutdown_tx = Arc::new(shutdown_tx);
+        loop {
+            tokio::select! {
+                accepted = listener.accept() => {
+                    let (stream, _) = accepted?;
+                    let node = Arc::clone(&self);
+                    let shutdown = Arc::clone(&shutdown_tx);
+                    tokio::spawn(async move {
+                        let _ = node.handle_conn(stream, shutdown).await;
+                    });
+                }
+                _ = shutdown_rx.changed() => {
+                    if *shutdown_rx.borrow() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    async fn handle_conn(
+        self: Arc<Self>,
+        stream: TcpStream,
+        shutdown: Arc<tokio::sync::watch::Sender<bool>>,
+    ) -> std::io::Result<()> {
+        let (mut rd, wr) = stream.into_split();
+        let wr = Arc::new(tokio::sync::Mutex::new(wr));
+        while let Some(frame) = read_frame(&mut rd).await? {
+            let node = Arc::clone(&self);
+            let wr = Arc::clone(&wr);
+            let shutdown = Arc::clone(&shutdown);
+            // each request is served concurrently; responses are correlated
+            // by frame id, so ordering does not matter
+            tokio::spawn(async move {
+                let reply = node.handle_msg(frame.body, &shutdown).await;
+                let mut w = wr.lock().await;
+                let _ = write_frame(&mut *w, &Frame { id: frame.id, body: reply }).await;
+            });
+        }
+        Ok(())
+    }
+
+    async fn handle_msg(
+        &self,
+        msg: Msg,
+        shutdown: &tokio::sync::watch::Sender<bool>,
+    ) -> Msg {
+        match msg {
+            Msg::Ping => Msg::Pong,
+            Msg::Shutdown => {
+                let _ = shutdown.send(true);
+                Msg::Ok
+            }
+            Msg::CountRequest => Msg::Count { records: self.state.lock().count() },
+            Msg::CoverageRequest => {
+                let st = self.state.lock();
+                match st.coverage {
+                    Some(w) => Msg::Coverage { start: w.start, end: w.end, has: true },
+                    None => Msg::Coverage { start: 0, end: 0, has: false },
+                }
+            }
+            Msg::Store { records, synthetic_ids } => self.store_local(&records, synthetic_ids),
+            Msg::SetSuccessor { addr } => match addr.parse() {
+                Ok(a) => {
+                    self.state.lock().successor = Some(a);
+                    Msg::Ok
+                }
+                Err(_) => Msg::Error { what: format!("bad successor address {addr}") },
+            },
+            Msg::StoreForward { records, synthetic_ids, hops } => {
+                if let err @ Msg::Error { .. } = self.store_local(&records, synthetic_ids.clone())
+                {
+                    return err;
+                }
+                if hops == 0 {
+                    return Msg::Ok;
+                }
+                // forward the batch to the ring successor — with rack-
+                // contiguous ring order this hop is intra-rack (§4.9.2)
+                let Some(succ) = self.state.lock().successor else {
+                    return Msg::Error { what: "no successor configured".into() };
+                };
+                let fwd = Msg::StoreForward { records, synthetic_ids, hops: hops - 1 };
+                match Self::forward_once(succ, fwd).await {
+                    Ok(Msg::Ok) => Msg::Ok,
+                    Ok(other) => Msg::Error { what: format!("chain broke: {other:?}") },
+                    Err(e) => Msg::Error { what: format!("chain i/o: {e}") },
+                }
+            }
+            Msg::SetCoverage { start, end } => {
+                let keep = Window::new(start, end);
+                let mut st = self.state.lock();
+                st.coverage = Some(keep);
+                st.store.retain_window(&keep);
+                st.synthetic_ids.retain(|&id| keep.contains(id));
+                Msg::Ok
+            }
+            Msg::SubQuery { query_id, window_start, window_end, body } => {
+                self.execute_subquery(query_id, window_start, window_end, body).await
+            }
+            other => Msg::Error { what: format!("unexpected message: {other:?}") },
+        }
+    }
+
+    async fn execute_subquery(
+        &self,
+        query_id: u64,
+        window_start: u64,
+        window_end: u64,
+        body: QueryBody,
+    ) -> Msg {
+        let window = Window::new(window_start, window_end);
+        // §4.8.3: "If the servers do not have enough replicas they will
+        // reply saying they haven't matched the whole query." A window wider
+        // than our coverage would silently return partial results; refuse it
+        // so the front-end can lower its guess of p and retry.
+        {
+            let st = self.state.lock();
+            if let Some(cov) = st.coverage {
+                if !window.subset_of(&cov) {
+                    return Msg::Error { what: "insufficient coverage".into() };
+                }
+            }
+        }
+        let started = Instant::now();
+        if self.cfg.overhead_s > 0.0 {
+            tokio::time::sleep(std::time::Duration::from_secs_f64(self.cfg.overhead_s)).await;
+        }
+        match body {
+            QueryBody::Synthetic => {
+                // Definition 8: proc time = records / speed, served as a
+                // sleep so one machine can emulate a heterogeneous fleet
+                let scanned = {
+                    let st = self.state.lock();
+                    st.synthetic_ids.iter().filter(|&&id| window.contains(id)).count() as u64
+                };
+                let proc = scanned as f64 / self.cfg.speed;
+                tokio::time::sleep(std::time::Duration::from_secs_f64(proc)).await;
+                Msg::SubQueryResult {
+                    query_id,
+                    matches: Vec::new(),
+                    scanned,
+                    proc_s: started.elapsed().as_secs_f64(),
+                }
+            }
+            QueryBody::Pps { trapdoors, conjunctive } => {
+                let tds: Option<Vec<_>> = trapdoors.iter().map(|t| t.to_trapdoor()).collect();
+                let Some(tds) = tds else {
+                    return Msg::Error { what: "corrupt trapdoor".into() };
+                };
+                let query = CompiledQuery {
+                    trapdoors: tds,
+                    combiner: if conjunctive { Combiner::And } else { Combiner::Or },
+                };
+                // clone the window's records out of the lock, then match on
+                // a blocking thread (CPU-bound work must not stall the
+                // reactor — the async-book rule)
+                let records: Vec<roar_pps::EncryptedMetadata> = {
+                    let st = self.state.lock();
+                    st.store.select_window(&window).into_iter().cloned().collect()
+                };
+                let scanned = records.len() as u64;
+                let result = tokio::task::spawn_blocking(move || {
+                    let counter = PrfCounter::new();
+                    let mut matcher = Matcher::new(query.trapdoors.len(), true);
+                    let mut matches = Vec::new();
+                    for rec in &records {
+                        if matcher.matches(&query, rec, &counter) {
+                            matches.push(rec.id);
+                        }
+                    }
+                    matches
+                })
+                .await;
+                match result {
+                    Ok(matches) => Msg::SubQueryResult {
+                        query_id,
+                        matches,
+                        scanned,
+                        proc_s: started.elapsed().as_secs_f64(),
+                    },
+                    Err(e) => Msg::Error { what: format!("matcher panicked: {e}") },
+                }
+            }
+        }
+    }
+
+    fn store_local(&self, records: &[crate::proto::WireRecord], synthetic_ids: Vec<u64>) -> Msg {
+        let mut st = self.state.lock();
+        for r in records {
+            match r.to_record() {
+                Some(rec) => st.store.insert(rec),
+                None => return Msg::Error { what: "corrupt record".into() },
+            }
+        }
+        st.synthetic_ids.extend(synthetic_ids);
+        st.synthetic_ids.sort_unstable();
+        st.synthetic_ids.dedup(); // replica pushes are idempotent
+        Msg::Ok
+    }
+
+    /// One store-forward exchange with the successor over a fresh
+    /// connection (a production node would keep its neighbour connection
+    /// persistent; one-shot keeps the demo simple and failure-visible).
+    async fn forward_once(succ: std::net::SocketAddr, msg: Msg) -> std::io::Result<Msg> {
+        let fut = async {
+            let mut stream = TcpStream::connect(succ).await?;
+            write_frame(&mut stream, &Frame { id: 1, body: msg }).await?;
+            match read_frame(&mut stream).await? {
+                Some(f) => Ok(f.body),
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "successor closed mid-chain",
+                )),
+            }
+        };
+        tokio::time::timeout(std::time::Duration::from_secs(5), fut)
+            .await
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::TimedOut, "chain timeout"))?
+    }
+
+    /// Direct (in-process) record count — used by the harness.
+    pub fn record_count(&self) -> u64 {
+        self.state.lock().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::WireRecord;
+
+    async fn start_node(speed: f64) -> (std::net::SocketAddr, Arc<DataNode>) {
+        let node =
+            Arc::new(DataNode::new(NodeConfig { id: 0, speed, overhead_s: 0.0 }));
+        let (tx, rx) = tokio::sync::oneshot::channel();
+        let n2 = Arc::clone(&node);
+        tokio::spawn(async move {
+            let _ = n2.serve(tx).await;
+        });
+        (rx.await.unwrap(), node)
+    }
+
+    async fn rpc(stream: &mut TcpStream, id: u64, body: Msg) -> Msg {
+        write_frame(stream, &Frame { id, body }).await.unwrap();
+        loop {
+            let f = read_frame(stream).await.unwrap().unwrap();
+            if f.id == id {
+                return f.body;
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn ping_pong() {
+        let (addr, _node) = start_node(1e6).await;
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        assert_eq!(rpc(&mut s, 1, Msg::Ping).await, Msg::Pong);
+    }
+
+    #[tokio::test]
+    async fn store_and_count() {
+        let (addr, node) = start_node(1e6).await;
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        let reply = rpc(
+            &mut s,
+            1,
+            Msg::Store { records: vec![], synthetic_ids: vec![10, 20, 30] },
+        )
+        .await;
+        assert_eq!(reply, Msg::Ok);
+        assert_eq!(rpc(&mut s, 2, Msg::CountRequest).await, Msg::Count { records: 3 });
+        assert_eq!(node.record_count(), 3);
+    }
+
+    #[tokio::test]
+    async fn synthetic_subquery_scans_window_only() {
+        let (addr, _node) = start_node(1e6).await;
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: vec![5, 15, 25, 35] })
+            .await;
+        let reply = rpc(
+            &mut s,
+            2,
+            Msg::SubQuery {
+                query_id: 9,
+                window_start: 10,
+                window_end: 30,
+                body: QueryBody::Synthetic,
+            },
+        )
+        .await;
+        match reply {
+            Msg::SubQueryResult { query_id, scanned, proc_s, .. } => {
+                assert_eq!(query_id, 9);
+                assert_eq!(scanned, 2); // ids 15, 25
+                assert!(proc_s >= 0.0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn synthetic_speed_determines_latency() {
+        let (addr, _node) = start_node(100.0).await; // 100 records/s
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: (0..20).collect() }).await;
+        let t0 = Instant::now();
+        let _ = rpc(
+            &mut s,
+            2,
+            Msg::SubQuery {
+                query_id: 1,
+                window_start: 0,
+                window_end: 0, // full ring
+                body: QueryBody::Synthetic,
+            },
+        )
+        .await;
+        // 19 records in (0,0] full window minus the id==0 exclusion… ≈ 20
+        // records at 100/s ≈ 0.2 s
+        let took = t0.elapsed().as_secs_f64();
+        assert!(took > 0.15, "took {took}s");
+    }
+
+    #[tokio::test]
+    async fn pps_subquery_matches() {
+        use roar_pps::metadata::{FileMeta, MetaEncryptor};
+        use roar_pps::query::{Combiner, Predicate, QueryCompiler};
+        let (addr, _node) = start_node(1e6).await;
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        let enc = MetaEncryptor::new(b"u");
+        let mut rng = roar_util::det_rng(201);
+        let rec = enc.encrypt(
+            &mut rng,
+            &FileMeta {
+                path: "/x/hit.txt".into(),
+                keywords: vec!["target".into()],
+                size: 10,
+                mtime: 1_500_000_000,
+            },
+        );
+        let rec_id = rec.id;
+        rpc(
+            &mut s,
+            1,
+            Msg::Store { records: vec![WireRecord::from_record(&rec)], synthetic_ids: vec![] },
+        )
+        .await;
+        let q = QueryCompiler::new(&enc)
+            .compile(&[Predicate::Keyword("target".into())], Combiner::And);
+        let reply = rpc(
+            &mut s,
+            2,
+            Msg::SubQuery {
+                query_id: 3,
+                window_start: 0,
+                window_end: 0,
+                body: QueryBody::Pps {
+                    trapdoors: q
+                        .trapdoors
+                        .iter()
+                        .map(crate::proto::WireTrapdoor::from_trapdoor)
+                        .collect(),
+                    conjunctive: true,
+                },
+            },
+        )
+        .await;
+        match reply {
+            Msg::SubQueryResult { matches, .. } => assert_eq!(matches, vec![rec_id]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn set_coverage_drops_outside() {
+        let (addr, _node) = start_node(1e6).await;
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: vec![10, 20, 30, 40] })
+            .await;
+        rpc(&mut s, 2, Msg::SetCoverage { start: 15, end: 35 }).await;
+        assert_eq!(rpc(&mut s, 3, Msg::CountRequest).await, Msg::Count { records: 2 });
+    }
+
+    #[tokio::test]
+    async fn concurrent_requests_multiplex() {
+        let (addr, _node) = start_node(50.0).await; // slow: 50 records/s
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: (0..10).collect() }).await;
+        // issue a slow sub-query then a ping on the same connection; the
+        // ping must come back first
+        write_frame(
+            &mut s,
+            &Frame {
+                id: 100,
+                body: Msg::SubQuery {
+                    query_id: 1,
+                    window_start: 0,
+                    window_end: 0,
+                    body: QueryBody::Synthetic,
+                },
+            },
+        )
+        .await
+        .unwrap();
+        write_frame(&mut s, &Frame { id: 101, body: Msg::Ping }).await.unwrap();
+        let first = read_frame(&mut s).await.unwrap().unwrap();
+        assert_eq!(first.id, 101, "ping should overtake the slow sub-query");
+    }
+}

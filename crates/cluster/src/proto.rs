@@ -1,0 +1,240 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message travels as `[u32 BE length][JSON bytes]` — the framing
+//! pattern from the tokio tutorial, with serde doing the codec work. The
+//! envelope carries a correlation id so requests and responses multiplex
+//! freely over one persistent connection per node (the front-end keeps a
+//! pending-response map, §4.8's outstanding-query table).
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+/// Maximum accepted frame size (64 MiB) — guards against corrupt length
+/// prefixes taking the process down.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// One keyword trapdoor on the wire (the r PRF images).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTrapdoor {
+    pub parts: Vec<Vec<u8>>,
+}
+
+impl WireTrapdoor {
+    pub fn from_trapdoor(td: &roar_pps::bloom_kw::Trapdoor) -> Self {
+        WireTrapdoor { parts: td.parts.iter().map(|p| p.to_vec()).collect() }
+    }
+
+    pub fn to_trapdoor(&self) -> Option<roar_pps::bloom_kw::Trapdoor> {
+        let parts: Option<Vec<[u8; 20]>> =
+            self.parts.iter().map(|p| p.as_slice().try_into().ok()).collect();
+        Some(roar_pps::bloom_kw::Trapdoor { parts: parts? })
+    }
+}
+
+/// What a sub-query asks the node to execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryBody {
+    /// Real PPS matching: AND/OR over trapdoors.
+    Pps { trapdoors: Vec<WireTrapdoor>, conjunctive: bool },
+    /// Synthetic work: scan the window at the node's configured speed
+    /// (Definition 8's computation model).
+    Synthetic,
+}
+
+/// One encrypted record on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireRecord {
+    pub id: u64,
+    pub nonce: u64,
+    pub filter: Vec<u8>,
+    pub filter_bits: u32,
+}
+
+impl WireRecord {
+    pub fn from_record(r: &roar_pps::EncryptedMetadata) -> Self {
+        WireRecord {
+            id: r.id,
+            nonce: r.body.nonce,
+            filter: r.body.filter.to_bytes(),
+            filter_bits: r.body.filter.n_bits() as u32,
+        }
+    }
+
+    pub fn to_record(&self) -> Option<roar_pps::EncryptedMetadata> {
+        Some(roar_pps::EncryptedMetadata {
+            id: self.id,
+            body: roar_pps::bloom_kw::BloomMetadata {
+                nonce: self.nonce,
+                filter: roar_crypto::bloom::BloomFilter::from_bytes(
+                    &self.filter,
+                    self.filter_bits as usize,
+                )?,
+            },
+        })
+    }
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Front-end → node: execute a sub-query over `(window_start,
+    /// window_end]` (equal values = full ring).
+    SubQuery { query_id: u64, window_start: u64, window_end: u64, body: QueryBody },
+    /// Node → front-end: results. `proc_s` is node-local processing time —
+    /// the speed observation the EWMA estimator feeds on.
+    SubQueryResult { query_id: u64, matches: Vec<u64>, scanned: u64, proc_s: f64 },
+    /// Store replicas (update stream / join download).
+    Store { records: Vec<WireRecord>, synthetic_ids: Vec<u64> },
+    /// §4.1 option 1: store at the first replica and forward along the ring
+    /// ("push the data item to the first server, and then forward it from
+    /// server to server"). `hops` counts remaining forwards; the §4.9.2
+    /// point is that with rack-contiguous ring order these hops stay
+    /// intra-rack.
+    StoreForward { records: Vec<WireRecord>, synthetic_ids: Vec<u64>, hops: u32 },
+    /// Control: the node's ring successor, enabling peer-to-peer forwarding.
+    SetSuccessor { addr: String },
+    /// Control: node's assigned coverage window `(start − L, end − 1]`;
+    /// the node drops records outside it (§4.3/§4.5).
+    SetCoverage { start: u64, end: u64 },
+    /// Control: how many records the node currently holds.
+    CountRequest,
+    Count { records: u64 },
+    /// Control: what coverage window does the node hold? (§4.8.3 — a backup
+    /// front-end that does not know p learns it from these.)
+    CoverageRequest,
+    /// `has = false` means no coverage was ever assigned (the node keeps
+    /// everything pushed to it and can serve any window).
+    Coverage { start: u64, end: u64, has: bool },
+    /// Liveness probe.
+    Ping,
+    Pong,
+    /// Graceful shutdown.
+    Shutdown,
+    /// Generic acknowledgement.
+    Ok,
+    /// The node could not serve the request.
+    Error { what: String },
+}
+
+/// Envelope with correlation id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    pub id: u64,
+    pub body: Msg,
+}
+
+/// Write one frame.
+pub async fn write_frame<W: AsyncWriteExt + Unpin>(
+    w: &mut W,
+    frame: &Frame,
+) -> std::io::Result<()> {
+    let payload = serde_json::to_vec(frame).expect("frame serialises");
+    assert!(payload.len() <= MAX_FRAME, "frame too large: {} bytes", payload.len());
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(&payload);
+    w.write_all(&buf).await?;
+    w.flush().await
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub async fn read_frame<R: AsyncReadExt + Unpin>(r: &mut R) -> std::io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf).await {
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = (&len_buf[..]).get_u32() as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).await?;
+    let frame = serde_json::from_slice(&payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn frame_roundtrip_over_duplex() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        let frame = Frame {
+            id: 7,
+            body: Msg::SubQuery {
+                query_id: 42,
+                window_start: 100,
+                window_end: 200,
+                body: QueryBody::Synthetic,
+            },
+        };
+        write_frame(&mut a, &frame).await.unwrap();
+        let got = read_frame(&mut b).await.unwrap().unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[tokio::test]
+    async fn multiple_frames_in_order() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        for i in 0..5u64 {
+            write_frame(&mut a, &Frame { id: i, body: Msg::Ping }).await.unwrap();
+        }
+        for i in 0..5u64 {
+            let f = read_frame(&mut b).await.unwrap().unwrap();
+            assert_eq!(f.id, i);
+        }
+    }
+
+    #[tokio::test]
+    async fn clean_eof_returns_none() {
+        let (a, mut b) = tokio::io::duplex(64);
+        drop(a);
+        assert!(read_frame(&mut b).await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        tokio::spawn(async move {
+            use tokio::io::AsyncWriteExt;
+            let _ = a.write_all(&u32::MAX.to_be_bytes()).await;
+        });
+        let err = read_frame(&mut b).await;
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn trapdoor_wire_roundtrip() {
+        let td = roar_pps::bloom_kw::Trapdoor { parts: vec![[7u8; 20], [9u8; 20]] };
+        let wire = WireTrapdoor::from_trapdoor(&td);
+        assert_eq!(wire.to_trapdoor().unwrap(), td);
+    }
+
+    #[test]
+    fn record_wire_roundtrip() {
+        use roar_crypto::bloom::BloomFilter;
+        let mut f = BloomFilter::new(128);
+        f.set(3);
+        f.set(77);
+        let rec = roar_pps::EncryptedMetadata {
+            id: 555,
+            body: roar_pps::bloom_kw::BloomMetadata { nonce: 9, filter: f },
+        };
+        let wire = WireRecord::from_record(&rec);
+        assert_eq!(wire.to_record().unwrap(), rec);
+    }
+
+    #[test]
+    fn corrupt_trapdoor_rejected() {
+        let wire = WireTrapdoor { parts: vec![vec![1, 2, 3]] };
+        assert!(wire.to_trapdoor().is_none());
+    }
+}

@@ -1,0 +1,503 @@
+//! Sending queries reliably (§4.8.4) — the UDP alternative to TCP.
+//!
+//! The thesis's diagnosis: application-limited TCP suffers head-of-line
+//! blocking on loss because "the queries are small, so at any time there is
+//! little data in flight … If a packet gets lost, fast-retransmit is not
+//! triggered; instead, a long retransmit timeout must expire", and with
+//! large p the synchronized replies overflow the front-end's switch buffer
+//! (TCP incast). Its prescription: "drastically reduce or even eliminate
+//! TCP's min RTO" — or "use UDP enhanced with application-level
+//! acknowledgements".
+//!
+//! This module is that second option: a symmetric request/response endpoint
+//! over UDP with
+//!
+//! * **application-level acknowledgements** — every request is answered; the
+//!   response is the acknowledgement;
+//! * **a short app-level RTO** (milliseconds, not TCP's 200 ms–1 s minimum)
+//!   with bounded retransmissions;
+//! * **at-most-once execution** — responders keep a bounded cache of
+//!   `(peer, request id) → response` so a retransmitted request re-sends the
+//!   cached reply instead of re-running the handler (re-executing a
+//!   sub-query would double-count work and skew speed estimates);
+//! * **no head-of-line blocking** — each request stands alone; a lost
+//!   datagram delays only its own query.
+//!
+//! Congestion control is deliberately out of scope, as in the thesis ("the
+//! difficulty is to avoid congestion collapse in pathological cases" — DCCP
+//! is named as the better long-term answer); sub-queries are tiny and
+//! per-request bounded retries cap the send rate.
+//!
+//! [`LossPolicy`] injects deterministic or seeded-random datagram loss so
+//! the recovery paths are actually exercised in tests — on loopback, real
+//! loss never happens.
+
+use crate::proto::Msg;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::sync::oneshot;
+
+/// Largest datagram payload we will send. Sub-queries and their results are
+/// small by design; bulk transfer (store/join downloads) stays on TCP.
+pub const MAX_DATAGRAM: usize = 60_000;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+
+/// Retransmission parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpConfig {
+    /// Application-level retransmission timeout. The §4.8.4 point: this can
+    /// be a few milliseconds because query delays are tens of milliseconds —
+    /// far below TCP's conservative minimum RTO.
+    pub rto: Duration,
+    /// Total send attempts per request (first send + retransmissions).
+    pub max_attempts: u32,
+    /// How many `(peer, id) → response` entries the dedup cache keeps.
+    pub dedup_entries: usize,
+}
+
+impl Default for UdpConfig {
+    fn default() -> Self {
+        UdpConfig { rto: Duration::from_millis(5), max_attempts: 8, dedup_entries: 4096 }
+    }
+}
+
+/// Datagram-loss injection for tests. Applied to *outgoing* datagrams.
+pub enum LossPolicy {
+    /// Deliver everything.
+    None,
+    /// Drop the first `n` datagrams sent, deliver the rest — deterministic
+    /// recovery tests.
+    DropFirst(Mutex<u32>),
+    /// Drop each datagram independently with probability `p` — seeded, so
+    /// failures reproduce.
+    Random { p: f64, rng: Mutex<StdRng> },
+}
+
+impl LossPolicy {
+    pub fn drop_first(n: u32) -> Self {
+        LossPolicy::DropFirst(Mutex::new(n))
+    }
+
+    pub fn random(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability {p} outside [0,1)");
+        LossPolicy::Random { p, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    fn should_drop(&self) -> bool {
+        match self {
+            LossPolicy::None => false,
+            LossPolicy::DropFirst(left) => {
+                let mut l = left.lock();
+                if *l > 0 {
+                    *l -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            LossPolicy::Random { p, rng } => rng.lock().gen_bool(*p),
+        }
+    }
+}
+
+/// Error from [`UdpEndpoint::request`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// All attempts timed out — the peer is dead or the path is black-holed.
+    /// The front-end treats this exactly like a sub-query timer firing: mark
+    /// the node failed and fall back (§4.4).
+    TimedOut,
+    /// Local I/O error.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TimedOut => write!(f, "request timed out after all retransmissions"),
+            RequestError::Io(k) => write!(f, "i/o error: {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+struct Pending {
+    waiters: HashMap<u64, oneshot::Sender<Msg>>,
+}
+
+struct DedupCache {
+    map: HashMap<(SocketAddr, u64), Vec<u8>>,
+    order: VecDeque<(SocketAddr, u64)>,
+    cap: usize,
+}
+
+impl DedupCache {
+    fn new(cap: usize) -> Self {
+        DedupCache { map: HashMap::new(), order: VecDeque::new(), cap }
+    }
+
+    fn get(&self, key: &(SocketAddr, u64)) -> Option<&Vec<u8>> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: (SocketAddr, u64), wire: Vec<u8>) {
+        if self.map.insert(key, wire).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// A symmetric reliable-request UDP endpoint.
+///
+/// One endpoint both issues requests ([`Self::request`]) and serves them
+/// (via the handler given to [`serve`](Self::serve)). A single receive loop
+/// demultiplexes: responses wake the matching waiter, requests run the
+/// handler (deduplicated).
+pub struct UdpEndpoint {
+    sock: Arc<UdpSocket>,
+    cfg: UdpConfig,
+    next_id: AtomicU64,
+    pending: Mutex<Pending>,
+    loss: LossPolicy,
+}
+
+impl UdpEndpoint {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub async fn bind(addr: &str) -> std::io::Result<Arc<Self>> {
+        Self::bind_with(addr, UdpConfig::default(), LossPolicy::None).await
+    }
+
+    /// Bind with explicit retransmission parameters and loss injection.
+    pub async fn bind_with(
+        addr: &str,
+        cfg: UdpConfig,
+        loss: LossPolicy,
+    ) -> std::io::Result<Arc<Self>> {
+        assert!(cfg.max_attempts >= 1, "need at least one send attempt");
+        let sock = UdpSocket::bind(addr).await?;
+        Ok(Arc::new(UdpEndpoint {
+            sock: Arc::new(sock),
+            cfg,
+            next_id: AtomicU64::new(1),
+            pending: Mutex::new(Pending { waiters: HashMap::new() }),
+            loss,
+        }))
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    async fn send_datagram(&self, wire: &[u8], peer: SocketAddr) -> std::io::Result<()> {
+        if self.loss.should_drop() {
+            return Ok(()); // injected loss: silently vanish
+        }
+        self.sock.send_to(wire, peer).await.map(|_| ())
+    }
+
+    fn encode(kind: u8, id: u64, msg: &Msg) -> Vec<u8> {
+        let payload = serde_json::to_vec(msg).expect("message serialises");
+        assert!(
+            payload.len() + 9 <= MAX_DATAGRAM,
+            "payload {} bytes exceeds datagram budget — bulk data belongs on TCP",
+            payload.len()
+        );
+        let mut wire = Vec::with_capacity(9 + payload.len());
+        wire.push(kind);
+        wire.extend_from_slice(&id.to_be_bytes());
+        wire.extend_from_slice(&payload);
+        wire
+    }
+
+    fn decode(wire: &[u8]) -> Option<(u8, u64, Msg)> {
+        if wire.len() < 9 {
+            return None;
+        }
+        let kind = wire[0];
+        let id = u64::from_be_bytes(wire[1..9].try_into().expect("8 bytes"));
+        let msg = serde_json::from_slice(&wire[9..]).ok()?;
+        Some((kind, id, msg))
+    }
+
+    /// Spawn the receive loop with `handler` serving inbound requests.
+    /// Returns the join handle; the loop exits when the socket errors or the
+    /// task is aborted.
+    pub fn serve<F>(self: &Arc<Self>, handler: F) -> tokio::task::JoinHandle<()>
+    where
+        F: Fn(Msg) -> Msg + Send + Sync + 'static,
+    {
+        let ep = Arc::clone(self);
+        tokio::spawn(async move {
+            let mut dedup = DedupCache::new(ep.cfg.dedup_entries);
+            let mut buf = vec![0u8; MAX_DATAGRAM + 9];
+            loop {
+                let (len, peer) = match ep.sock.recv_from(&mut buf).await {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                let Some((kind, id, msg)) = Self::decode(&buf[..len]) else {
+                    continue; // malformed datagram: drop, sender will retry
+                };
+                match kind {
+                    KIND_REQUEST => {
+                        // at-most-once: a retransmitted request gets the
+                        // cached response, not a second execution
+                        let wire = if let Some(cached) = dedup.get(&(peer, id)) {
+                            cached.clone()
+                        } else {
+                            let resp = handler(msg);
+                            let wire = Self::encode(KIND_RESPONSE, id, &resp);
+                            dedup.insert((peer, id), wire.clone());
+                            wire
+                        };
+                        let _ = ep.send_datagram(&wire, peer).await;
+                    }
+                    KIND_RESPONSE => {
+                        let waiter = ep.pending.lock().waiters.remove(&id);
+                        if let Some(tx) = waiter {
+                            let _ = tx.send(msg);
+                        }
+                        // duplicate/late responses fall through harmlessly
+                    }
+                    _ => {}
+                }
+            }
+        })
+    }
+
+    /// Issue a request and wait for its response, retransmitting every
+    /// [`UdpConfig::rto`] up to [`UdpConfig::max_attempts`] sends.
+    pub async fn request(&self, peer: SocketAddr, msg: Msg) -> Result<Msg, RequestError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, mut rx) = oneshot::channel();
+        self.pending.lock().waiters.insert(id, tx);
+        let wire = Self::encode(KIND_REQUEST, id, &msg);
+
+        let result = async {
+            for attempt in 0..self.cfg.max_attempts {
+                if let Err(e) = self.send_datagram(&wire, peer).await {
+                    return Err(RequestError::Io(e.kind()));
+                }
+                let deadline = tokio::time::sleep(self.cfg.rto);
+                tokio::pin!(deadline);
+                tokio::select! {
+                    r = &mut rx => {
+                        return r.map_err(|_| RequestError::TimedOut);
+                    }
+                    _ = &mut deadline => {
+                        // retransmit (next loop iteration); §4.8.4: "in this
+                        // way, retransmissions will happen after a few ms"
+                        let _ = attempt;
+                    }
+                }
+            }
+            Err(RequestError::TimedOut)
+        }
+        .await;
+
+        // never leak the waiter slot
+        self.pending.lock().waiters.remove(&id);
+        result
+    }
+
+    /// Number of requests currently awaiting responses (observability and
+    /// leak tests).
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn echo(msg: Msg) -> Msg {
+        match msg {
+            Msg::Ping => Msg::Pong,
+            other => other,
+        }
+    }
+
+    async fn pair(
+        client_cfg: UdpConfig,
+        client_loss: LossPolicy,
+        server_loss: LossPolicy,
+    ) -> (Arc<UdpEndpoint>, Arc<UdpEndpoint>, SocketAddr) {
+        let server = UdpEndpoint::bind_with("127.0.0.1:0", UdpConfig::default(), server_loss)
+            .await
+            .expect("bind server");
+        let client =
+            UdpEndpoint::bind_with("127.0.0.1:0", client_cfg, client_loss).await.expect("bind");
+        let addr = server.local_addr().expect("addr");
+        (client, server, addr)
+    }
+
+    #[tokio::test]
+    async fn request_response_roundtrip() {
+        let (client, server, addr) =
+            pair(UdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        server.serve(echo);
+        client.serve(echo);
+        let resp = client.request(addr, Msg::Ping).await.expect("response");
+        assert_eq!(resp, Msg::Pong);
+        assert_eq!(client.outstanding(), 0, "waiter slot reclaimed");
+    }
+
+    #[tokio::test]
+    async fn retransmission_recovers_from_request_loss() {
+        // drop the first two request datagrams; the third attempt lands
+        let cfg = UdpConfig { rto: Duration::from_millis(3), ..UdpConfig::default() };
+        let (client, server, addr) = pair(cfg, LossPolicy::drop_first(2), LossPolicy::None).await;
+        server.serve(echo);
+        client.serve(echo);
+        let t0 = std::time::Instant::now();
+        let resp = client.request(addr, Msg::Ping).await.expect("recovered");
+        assert_eq!(resp, Msg::Pong);
+        // two RTOs of waiting, well under TCP's 200 ms minimum — the §4.8.4
+        // argument in one assertion
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(6), "had to wait out 2 RTOs: {waited:?}");
+        assert!(waited < Duration::from_millis(150), "recovery stays in app-RTO land: {waited:?}");
+    }
+
+    #[tokio::test]
+    async fn response_loss_triggers_dedup_not_reexecution() {
+        // server's first response vanishes; client retransmits; handler must
+        // run once (at-most-once execution)
+        let cfg = UdpConfig { rto: Duration::from_millis(3), ..UdpConfig::default() };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::drop_first(1)).await;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&runs);
+        server.serve(move |m| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            echo(m)
+        });
+        client.serve(echo);
+        let resp = client.request(addr, Msg::Ping).await.expect("recovered via dedup cache");
+        assert_eq!(resp, Msg::Pong);
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "duplicate request must not re-execute");
+    }
+
+    #[tokio::test]
+    async fn heavy_random_loss_still_delivers() {
+        // 30% loss in both directions: bounded retries still push every
+        // request through at these sizes
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(2),
+            max_attempts: 20,
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) =
+            pair(cfg, LossPolicy::random(0.3, 42), LossPolicy::random(0.3, 43)).await;
+        server.serve(echo);
+        client.serve(echo);
+        for i in 0..40 {
+            let resp = client.request(addr, Msg::Ping).await;
+            assert_eq!(resp, Ok(Msg::Pong), "request {i}");
+        }
+    }
+
+    #[tokio::test]
+    async fn dead_peer_times_out_quickly_and_cleans_up() {
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(2),
+            max_attempts: 3,
+            ..UdpConfig::default()
+        };
+        let client = UdpEndpoint::bind_with("127.0.0.1:0", cfg, LossPolicy::None).await.unwrap();
+        client.serve(echo);
+        // a bound-then-dropped socket's port: nothing listens there
+        let dead = {
+            let s = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            s.local_addr().unwrap()
+        };
+        let t0 = std::time::Instant::now();
+        let err = client.request(dead, Msg::Ping).await.expect_err("no one home");
+        assert_eq!(err, RequestError::TimedOut);
+        assert!(t0.elapsed() < Duration::from_millis(200), "3 × 2 ms ≪ 200 ms");
+        assert_eq!(client.outstanding(), 0, "timeout must reclaim the waiter");
+    }
+
+    #[tokio::test]
+    async fn concurrent_requests_multiplex() {
+        let (client, server, addr) =
+            pair(UdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        server.serve(|m| m); // identity: echo the distinct payloads back
+        client.serve(echo);
+        let mut handles = Vec::new();
+        for i in 0..20u64 {
+            let c = Arc::clone(&client);
+            handles.push(tokio::spawn(async move {
+                let msg = Msg::SubQuery {
+                    query_id: i,
+                    window_start: i,
+                    window_end: i + 1,
+                    body: crate::proto::QueryBody::Synthetic,
+                };
+                let resp = c.request(addr, msg.clone()).await.expect("resp");
+                assert_eq!(resp, msg, "response correlated to the right request");
+            }));
+        }
+        for h in handles {
+            h.await.expect("task");
+        }
+    }
+
+    #[tokio::test]
+    async fn malformed_datagrams_are_ignored() {
+        let (client, server, addr) =
+            pair(UdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        server.serve(echo);
+        client.serve(echo);
+        // blast garbage at the server from a raw socket
+        let raw = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        raw.send_to(b"not a frame", addr).await.unwrap();
+        raw.send_to(&[KIND_REQUEST], addr).await.unwrap();
+        raw.send_to(&[KIND_REQUEST, 0, 0, 0, 0, 0, 0, 0, 1, b'{'], addr).await.unwrap();
+        // the endpoint still works
+        let resp = client.request(addr, Msg::Ping).await.expect("survives garbage");
+        assert_eq!(resp, Msg::Pong);
+    }
+
+    #[tokio::test]
+    async fn dedup_cache_is_bounded() {
+        let mut cache = DedupCache::new(2);
+        let a: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        cache.insert((a, 1), vec![1]);
+        cache.insert((a, 2), vec![2]);
+        cache.insert((a, 3), vec![3]);
+        assert!(cache.get(&(a, 1)).is_none(), "oldest evicted");
+        assert!(cache.get(&(a, 2)).is_some());
+        assert!(cache.get(&(a, 3)).is_some());
+        assert_eq!(cache.map.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "datagram budget")]
+    fn oversized_payload_rejected() {
+        let big = Msg::Error { what: "x".repeat(MAX_DATAGRAM) };
+        let _ = UdpEndpoint::encode(KIND_REQUEST, 1, &big);
+    }
+
+    #[test]
+    fn decode_rejects_short_datagrams() {
+        assert!(UdpEndpoint::decode(&[]).is_none());
+        assert!(UdpEndpoint::decode(&[KIND_REQUEST, 1, 2]).is_none());
+    }
+}

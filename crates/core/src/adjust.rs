@@ -1,0 +1,271 @@
+//! Range adjustment for query scheduling (§4.8.2, Fig 4.6).
+//!
+//! ROAR over-replicates slightly wherever an object's replication arc
+//! partially overlaps a node range, which means the boundary between two
+//! consecutive sub-queries can move in either direction without violating
+//! correctness. The optimiser exploits this to "take work away from the node
+//! that finishes last and push it to its neighbours", equalising finish
+//! times.
+//!
+//! The boundary `b` between sub-queries `i−1 = (…, b]` and `i = (b, …]` may
+//! move anywhere that keeps both windows inside their executors' coverage
+//! (`coverage = (range_start − L, range_end − 1]`):
+//!
+//! * moving `b` clockwise grows window `i−1`: bounded by node `i−1`'s
+//!   coverage end (the paper's constraint `A < id_a`);
+//! * moving `b` counter-clockwise grows window `i`: bounded by node `i`'s
+//!   coverage start (the paper's `A + 1/pq > id_c`).
+//!
+//! "The algorithm is very simple, taking near constant time. We
+//! experimentally show it is most effective when the replication level is
+//! low, making node ranges and sub-query sizes comparable in size" — the
+//! fig6_7 ablation reproduces that observation.
+
+use crate::placement::{QueryPlan, RoarRing, SubQuery};
+use crate::ring::{dist_cw, RingPos, Window, FULL};
+use roar_dr::sched::FinishEstimator;
+
+/// Infer a node's marginal processing speed (work/second) from the
+/// estimator by probing two hypothetical workloads.
+fn probe_speed(est: &dyn FinishEstimator, node: usize) -> f64 {
+    let f0 = est.estimate(node, 0.0);
+    let f1 = est.estimate(node, 0.25);
+    let slope = (f1 - f0) / 0.25;
+    if slope <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / slope
+    }
+}
+
+/// One equalisation pass over all adjacent sub-query pairs. Returns the new
+/// predicted makespan. `sweeps` controls how many passes to run (the paper's
+/// near-constant-time loop; 2–3 passes converge in practice).
+pub fn adjust_plan(
+    ring: &RoarRing,
+    plan: &mut QueryPlan,
+    est: &dyn FinishEstimator,
+    sweeps: usize,
+) -> f64 {
+    let pq = plan.subs.len();
+    if pq < 2 {
+        return plan_makespan(plan, est);
+    }
+    for _ in 0..sweeps {
+        for i in 0..pq {
+            let prev = (i + pq - 1) % pq;
+            adjust_boundary(ring, plan, est, prev, i);
+        }
+    }
+    plan_makespan(plan, est)
+}
+
+/// Predicted makespan of a plan under the estimator.
+pub fn plan_makespan(plan: &QueryPlan, est: &dyn FinishEstimator) -> f64 {
+    plan.subs
+        .iter()
+        .map(|s| est.estimate(s.node, s.work()))
+        .fold(f64::MIN, f64::max)
+}
+
+/// Move the boundary between `subs[a]` (earlier) and `subs[b]` (later, i.e.
+/// `subs[a].window.end == subs[b].window.start`) to equalise their predicted
+/// finish times, subject to both coverage constraints.
+fn adjust_boundary(
+    ring: &RoarRing,
+    plan: &mut QueryPlan,
+    est: &dyn FinishEstimator,
+    a: usize,
+    b: usize,
+) {
+    let (sa, sb) = (plan.subs[a], plan.subs[b]);
+    if sa.window.end != sb.window.start || sa.window.is_full() || sb.window.is_full() {
+        return; // non-adjacent (already restructured) or degenerate
+    }
+    let fa = est.estimate(sa.node, sa.work());
+    let fb = est.estimate(sb.node, sb.work());
+    let speed_a = probe_speed(est, sa.node);
+    let speed_b = probe_speed(est, sb.node);
+    if !speed_a.is_finite() || !speed_b.is_finite() {
+        return;
+    }
+
+    // work to move from the slower onto the faster side (positive = move
+    // boundary clockwise, growing a / shrinking b)
+    let delta_work = (fb - fa) / (1.0 / speed_a + 1.0 / speed_b);
+    if delta_work.abs() < 1e-12 {
+        return;
+    }
+    let delta_units = (delta_work.abs() * FULL as f64) as u64;
+    let old_b = sb.window.start;
+    let proposed = if delta_work > 0.0 {
+        old_b.wrapping_add(delta_units)
+    } else {
+        old_b.wrapping_sub(delta_units)
+    };
+    let mut new_b = clamp_boundary(ring, &sa, &sb, proposed);
+    // The coarse clamp can still be out of coverage in wrap-around corner
+    // cases (coverages spanning most of the ring); verify and back off
+    // toward the known-valid old boundary until both windows are executable.
+    for _ in 0..20 {
+        if new_b == old_b {
+            return;
+        }
+        let wa = Window::new(sa.window.start, new_b);
+        let wb = Window::new(new_b, sb.window.end);
+        if !wa.is_full()
+            && !wb.is_full()
+            && ring.window_executable_by(&wa, sa.node)
+            && ring.window_executable_by(&wb, sb.node)
+        {
+            plan.subs[a].window.end = new_b;
+            plan.subs[b].window.start = new_b;
+            return;
+        }
+        // halve the move
+        let diff = new_b.wrapping_sub(old_b);
+        let halved = if diff > u64::MAX / 2 {
+            // negative direction
+            old_b.wrapping_sub(old_b.wrapping_sub(new_b) / 2)
+        } else {
+            old_b.wrapping_add(diff / 2)
+        };
+        if halved == new_b {
+            return;
+        }
+        new_b = halved;
+    }
+}
+
+/// Clamp a proposed boundary into the feasible interval:
+/// `(max(cov_b.start, a.start), min(cov_a.end, b.end − 1)]`, never emptying
+/// either window.
+fn clamp_boundary(ring: &RoarRing, sa: &SubQuery, sb: &SubQuery, proposed: RingPos) -> RingPos {
+    let map = ring.map();
+    let l = ring.l();
+    let cov_a = {
+        let (s, e) = map.range_of(sa.node).expect("node on ring");
+        Window::new(s.wrapping_sub(l), e.wrapping_sub(1))
+    };
+    let cov_b = {
+        let (s, e) = map.range_of(sb.node).expect("node on ring");
+        Window::new(s.wrapping_sub(l), e.wrapping_sub(1))
+    };
+    // feasible interval measured clockwise from sa.window.start
+    let origin = sa.window.start;
+    // combined window length; 0 means the two windows tile the entire ring
+    // (pq = 2), which we treat as the largest representable span
+    let total = match dist_cw(origin, sb.window.end) {
+        0 => u64::MAX,
+        t => t,
+    };
+    let lo_bound = {
+        // boundary must stay ≥ cov_b.start (so b's window ⊆ cov_b) and
+        // > origin (a's window nonempty)
+        let cb = dist_cw(origin, cov_b.start);
+        if cov_b.contains(origin) || cb == 0 {
+            1 // cov_b extends before origin: only the nonempty constraint binds
+        } else {
+            cb.max(1)
+        }
+    };
+    let hi_bound = {
+        // boundary must stay ≤ cov_a.end and < sb.window.end
+        let ca = dist_cw(origin, cov_a.end);
+        let within = if ca >= total { total - 1 } else { ca };
+        within.min(total - 1).max(1)
+    };
+    if lo_bound > hi_bound {
+        return sa.window.end; // no freedom: keep current boundary
+    }
+    let d = dist_cw(origin, proposed).clamp(lo_bound, hi_bound);
+    origin.wrapping_add(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ringmap::RingMap;
+    use rand::Rng;
+    use roar_dr::sched::StaticEstimator;
+    use roar_util::det_rng;
+
+    fn ring(n: usize, p: usize) -> RoarRing {
+        RoarRing::new(RingMap::uniform(&(0..n).collect::<Vec<_>>()), p)
+    }
+
+    #[test]
+    fn adjustment_reduces_makespan_on_skewed_speeds() {
+        let r = ring(8, 4); // r=2: low replication, adjustment most effective
+        let mut speeds = vec![1.0; 8];
+        speeds[0] = 0.25; // one very slow node
+        let est = StaticEstimator::with_speeds(speeds);
+        let mut plan = r.plan(1, 4);
+        let before = plan_makespan(&plan, &est);
+        let after = adjust_plan(&r, &mut plan, &est, 3);
+        assert!(after <= before + 1e-12, "makespan grew: {before} -> {after}");
+        // total work unchanged
+        assert!((plan.total_work() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exactness_preserved_after_adjustment() {
+        let mut rng = det_rng(51);
+        for trial in 0..10 {
+            let n = rng.gen_range(6..20);
+            let p = rng.gen_range(2..=n / 2);
+            let r = ring(n, p);
+            let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..4.0)).collect();
+            let est = StaticEstimator::with_speeds(speeds);
+            let mut plan = r.plan(rng.gen(), p);
+            adjust_plan(&r, &mut plan, &est, 3);
+            // windows still partition the ring
+            let total: u128 = plan.subs.iter().map(|s| s.window.len()).sum();
+            assert_eq!(total, FULL, "trial {trial}");
+            // every object matched exactly once by a node storing it
+            for _ in 0..500 {
+                let obj: u64 = rng.gen();
+                let hits: Vec<&SubQuery> =
+                    plan.subs.iter().filter(|s| s.window.contains(obj)).collect();
+                assert_eq!(hits.len(), 1, "trial {trial}");
+                assert!(r.stores(hits[0].node, obj), "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_speeds_stay_balanced() {
+        let r = ring(12, 4);
+        let est = StaticEstimator::uniform(12, 2.0);
+        let mut plan = r.plan(99, 4);
+        let before = plan_makespan(&plan, &est);
+        let after = adjust_plan(&r, &mut plan, &est, 2);
+        // nothing to equalise: makespan unchanged (within float noise)
+        assert!((after - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_subquery_noop() {
+        let r = ring(3, 1);
+        let est = StaticEstimator::uniform(3, 1.0);
+        let mut plan = r.plan(0, 1);
+        let m = adjust_plan(&r, &mut plan, &est, 2);
+        assert!((m - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_clamped_to_coverage() {
+        // extreme speed skew wants to move the boundary far, but coverage
+        // limits it; verify executability never breaks (debug_asserts inside)
+        let r = ring(6, 3); // r = 2
+        let mut speeds = vec![1.0; 6];
+        speeds[0] = 1e-3;
+        speeds[1] = 1e3;
+        let est = StaticEstimator::with_speeds(speeds);
+        let mut plan = r.plan(12345, 3);
+        adjust_plan(&r, &mut plan, &est, 4);
+        for s in &plan.subs {
+            assert!(r.window_executable_by(&s.window, s.node));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The membership server (§4.9).
+//!
+//! A centralised (replicable) coordinator that tracks node ranges across one
+//! or more rings and drives the fleet-level policies: inserting new servers
+//! at hot spots, giving returning servers their historical ranges so they
+//! only download deltas, moving nodes from cool to hot regions, and turning
+//! whole rings on or off to track diurnal load (§4.9.1).
+
+use crate::multiring::MultiRing;
+use crate::placement::RoarRing;
+use crate::ringmap::{NodeId, RingMap};
+use crate::ring::RingPos;
+use std::collections::HashMap;
+
+/// Node state from the membership server's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Downloading objects for its assigned range; not yet queryable.
+    Loading,
+    /// Serving queries.
+    Up,
+    /// Removed or failed; range merged away, history retained.
+    Down,
+}
+
+/// Assignment record kept per node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRecord {
+    pub ring: usize,
+    pub start: RingPos,
+    pub state: NodeState,
+    /// Speed estimate used for placement decisions (from front-end stats).
+    pub speed: f64,
+    /// Local balancing enabled? (the membership server can push a range
+    /// update with a "Fixed" flag, §4.9)
+    pub fixed: bool,
+}
+
+/// The membership server.
+#[derive(Debug)]
+pub struct Membership {
+    rings: Vec<RingMap>,
+    active: Vec<bool>,
+    records: HashMap<NodeId, NodeRecord>,
+    /// Historical ranges of departed nodes: "If a server is taken out for
+    /// maintenance and brought back up it will get the same range it had
+    /// before" (§4.9).
+    history: HashMap<NodeId, (usize, RingPos)>,
+    p: usize,
+}
+
+impl Membership {
+    /// Bootstrap with `k` rings over the given nodes (round-robin split) at
+    /// partitioning level `p`.
+    pub fn bootstrap(nodes: &[(NodeId, f64)], k: usize, p: usize) -> Self {
+        assert!(k >= 1 && nodes.len() >= k);
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (i, &(nd, _)) in nodes.iter().enumerate() {
+            groups[i % k].push(nd);
+        }
+        let rings: Vec<RingMap> = groups.iter().map(|g| RingMap::uniform(g)).collect();
+        let mut records = HashMap::new();
+        for (ri, ring) in rings.iter().enumerate() {
+            for e in ring.entries() {
+                let speed = nodes.iter().find(|&&(nd, _)| nd == e.node).expect("known").1;
+                records.insert(
+                    e.node,
+                    NodeRecord { ring: ri, start: e.start, state: NodeState::Up, speed, fixed: false },
+                );
+            }
+        }
+        Membership { active: vec![true; rings.len()], rings, records, history: HashMap::new(), p }
+    }
+
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    pub fn set_p(&mut self, p: usize) {
+        assert!(p >= 1);
+        self.p = p;
+    }
+
+    pub fn ring_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    pub fn ring(&self, i: usize) -> &RingMap {
+        &self.rings[i]
+    }
+
+    pub fn ring_mut(&mut self, i: usize) -> &mut RingMap {
+        &mut self.rings[i]
+    }
+
+    pub fn record(&self, node: NodeId) -> Option<&NodeRecord> {
+        self.records.get(&node)
+    }
+
+    /// Total processing capacity of a ring (sum of member speeds).
+    pub fn ring_capacity(&self, i: usize) -> f64 {
+        self.rings[i].nodes().map(|n| self.records[&n].speed).sum()
+    }
+
+    /// The hottest entry of a ring: the node with the highest
+    /// range-to-speed ratio — the membership server's load proxy ("it uses
+    /// the ratio of range to processing power as a proxy for the load",
+    /// §4.9).
+    pub fn hottest_entry(&self, ring: usize) -> usize {
+        let map = &self.rings[ring];
+        (0..map.len())
+            .max_by(|&a, &b| {
+                let la = map.fraction_at(a) / self.records[&map.entries()[a].node].speed;
+                let lb = map.fraction_at(b) / self.records[&map.entries()[b].node].speed;
+                la.partial_cmp(&lb).expect("NaN load")
+            })
+            .expect("non-empty ring")
+    }
+
+    /// Add a node: returning nodes get their historical range; new nodes go
+    /// to the least-capacity ring's hottest spot (§4.9 "the default
+    /// behaviour is to pick the ring with least processing capacity and to
+    /// add the server into the hottest spot of that ring"). The node starts
+    /// in `Loading` state. Returns `(ring, start)`.
+    pub fn add_node(&mut self, node: NodeId, speed: f64) -> (usize, RingPos) {
+        assert!(!self.records.contains_key(&node) || self.records[&node].state == NodeState::Down);
+        if let Some(&(ring, start)) = self.history.get(&node) {
+            // returning node: same range if the position is free
+            let map = &mut self.rings[ring];
+            if map.entries().iter().all(|e| e.start != start) {
+                map.insert(node, start);
+                self.records.insert(
+                    node,
+                    NodeRecord { ring, start, state: NodeState::Loading, speed, fixed: false },
+                );
+                return (ring, start);
+            }
+        }
+        let ring = (0..self.rings.len())
+            .filter(|&i| self.active[i])
+            .min_by(|&a, &b| {
+                self.ring_capacity(a).partial_cmp(&self.ring_capacity(b)).expect("NaN cap")
+            })
+            .expect("at least one active ring");
+        let hot = self.hottest_entry(ring);
+        let map = &mut self.rings[ring];
+        let before = map.len();
+        map.insert_half(node, hot);
+        debug_assert_eq!(map.len(), before + 1);
+        let start = map.range_of(node).expect("just inserted").0;
+        self.records
+            .insert(node, NodeRecord { ring, start, state: NodeState::Loading, speed, fixed: false });
+        (ring, start)
+    }
+
+    /// A node finished downloading its range: mark queryable ("as it
+    /// completes all objects for the range … the membership server marks the
+    /// server as up", §4.9).
+    pub fn mark_up(&mut self, node: NodeId) {
+        if let Some(r) = self.records.get_mut(&node) {
+            r.state = NodeState::Up;
+        }
+    }
+
+    /// Remove a node (graceful shutdown or confirmed long-term failure);
+    /// its range merges into the predecessor and its assignment is
+    /// remembered for a possible return.
+    pub fn remove_node(&mut self, node: NodeId) {
+        let Some(rec) = self.records.get(&node).copied() else { return };
+        self.history.insert(node, (rec.ring, rec.start));
+        self.rings[rec.ring].remove(node);
+        if let Some(r) = self.records.get_mut(&node) {
+            r.state = NodeState::Down;
+        }
+    }
+
+    /// Set/clear the `Fixed` flag that disables a node's local balancing.
+    pub fn set_fixed(&mut self, node: NodeId, fixed: bool) {
+        if let Some(r) = self.records.get_mut(&node) {
+            r.fixed = fixed;
+        }
+    }
+
+    /// Activate only the first `k` rings (diurnal adaptation, §4.9.1: "the
+    /// system can easily bring some of the rings online or shut them down to
+    /// track the average load").
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or exceeds the ring count.
+    pub fn set_active_rings(&mut self, k: usize) {
+        assert!(k >= 1 && k <= self.rings.len());
+        for i in 0..self.rings.len() {
+            self.active[i] = i < k;
+        }
+    }
+
+    pub fn active_rings(&self) -> Vec<usize> {
+        (0..self.rings.len()).filter(|&i| self.active[i]).collect()
+    }
+
+    /// Build the queryable multi-ring view of the currently active rings.
+    pub fn active_multiring(&self) -> MultiRing {
+        MultiRing::new(
+            self.active_rings()
+                .into_iter()
+                .map(|i| RoarRing::new(self.rings[i].clone(), self.p))
+                .collect(),
+        )
+    }
+
+    /// Global rebalancing move (§4.9): relocate the coolest node into the
+    /// hottest region of the same ring — "the membership server has a global
+    /// view of the ring and will simply move nodes from 'cool' places of the
+    /// ring to the hot ones". Returns the moved node, if any move helps.
+    pub fn move_cool_to_hot(&mut self, ring: usize) -> Option<NodeId> {
+        let map = &self.rings[ring];
+        if map.len() < 3 {
+            return None;
+        }
+        let hot = self.hottest_entry(ring);
+        let cool = (0..map.len())
+            .min_by(|&a, &b| {
+                let la = map.fraction_at(a) / self.records[&map.entries()[a].node].speed;
+                let lb = map.fraction_at(b) / self.records[&map.entries()[b].node].speed;
+                la.partial_cmp(&lb).expect("NaN load")
+            })
+            .expect("non-empty");
+        if hot == cool {
+            return None;
+        }
+        let hot_load = map.fraction_at(hot) / self.records[&map.entries()[hot].node].speed;
+        let cool_load = map.fraction_at(cool) / self.records[&map.entries()[cool].node].speed;
+        if hot_load < 2.0 * cool_load {
+            return None; // not worth the object churn
+        }
+        let node = map.entries()[cool].node;
+        let speed = self.records[&node].speed;
+        self.rings[ring].remove(node);
+        let hot_after = self.hottest_entry(ring);
+        self.rings[ring].insert_half(node, hot_after);
+        let start = self.rings[ring].range_of(node).expect("inserted").0;
+        self.records
+            .insert(node, NodeRecord { ring, start, state: NodeState::Loading, speed, fixed: false });
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<(NodeId, f64)> {
+        (0..n).map(|i| (i, 1.0 + (i % 3) as f64)).collect()
+    }
+
+    #[test]
+    fn bootstrap_splits_rings() {
+        let m = Membership::bootstrap(&fleet(12), 2, 3);
+        assert_eq!(m.ring_count(), 2);
+        assert_eq!(m.ring(0).len(), 6);
+        assert_eq!(m.ring(1).len(), 6);
+        m.ring(0).check_invariants();
+        m.ring(1).check_invariants();
+    }
+
+    #[test]
+    fn new_node_joins_least_capacity_ring_hottest_spot() {
+        let mut m = Membership::bootstrap(&fleet(8), 2, 2);
+        let cap0 = m.ring_capacity(0);
+        let cap1 = m.ring_capacity(1);
+        let target = if cap0 <= cap1 { 0 } else { 1 };
+        let (ring, _) = m.add_node(100, 1.0);
+        assert_eq!(ring, target);
+        assert_eq!(m.ring(ring).len(), 5);
+        assert_eq!(m.record(100).unwrap().state, NodeState::Loading);
+        m.mark_up(100);
+        assert_eq!(m.record(100).unwrap().state, NodeState::Up);
+    }
+
+    #[test]
+    fn returning_node_gets_old_range() {
+        let mut m = Membership::bootstrap(&fleet(6), 1, 2);
+        let before = m.record(3).unwrap().start;
+        m.remove_node(3);
+        assert_eq!(m.ring(0).len(), 5);
+        let (ring, start) = m.add_node(3, 2.0);
+        assert_eq!(ring, 0);
+        assert_eq!(start, before);
+        assert_eq!(m.ring(0).len(), 6);
+    }
+
+    #[test]
+    fn diurnal_ring_shutdown() {
+        let mut m = Membership::bootstrap(&fleet(12), 3, 2);
+        m.set_active_rings(1);
+        assert_eq!(m.active_rings(), vec![0]);
+        let mr = m.active_multiring();
+        assert_eq!(mr.rings().len(), 1);
+        m.set_active_rings(3);
+        assert_eq!(m.active_multiring().rings().len(), 3);
+    }
+
+    #[test]
+    fn move_cool_to_hot_reduces_hotspot() {
+        let mut m = Membership::bootstrap(&fleet(6), 1, 2);
+        // manufacture a hotspot: give node at entry 0 a huge range by
+        // removing its successor
+        let victim = m.ring(0).entries()[1].node;
+        m.remove_node(victim);
+        let hot_before = {
+            let i = m.hottest_entry(0);
+            m.ring(0).fraction_at(i) / m.record(m.ring(0).entries()[i].node).unwrap().speed
+        };
+        let moved = m.move_cool_to_hot(0);
+        assert!(moved.is_some());
+        let hot_after = {
+            let i = m.hottest_entry(0);
+            m.ring(0).fraction_at(i) / m.record(m.ring(0).entries()[i].node).unwrap().speed
+        };
+        assert!(hot_after < hot_before, "{hot_before} -> {hot_after}");
+        m.ring(0).check_invariants();
+    }
+
+    #[test]
+    fn fixed_flag_recorded() {
+        let mut m = Membership::bootstrap(&fleet(4), 1, 2);
+        m.set_fixed(2, true);
+        assert!(m.record(2).unwrap().fixed);
+        m.set_fixed(2, false);
+        assert!(!m.record(2).unwrap().fixed);
+    }
+
+    #[test]
+    fn active_multiring_is_queryable() {
+        let m = Membership::bootstrap(&fleet(12), 2, 3);
+        let mr = m.active_multiring();
+        assert_eq!(mr.n(), 12);
+        assert_eq!(mr.p(), 3);
+    }
+}

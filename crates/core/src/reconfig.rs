@@ -1,0 +1,241 @@
+//! Changing the replication level on the fly (§4.5).
+//!
+//! The direction of the change dictates the safety protocol:
+//!
+//! * **Increasing p** (decreasing r): immediately safe. Running queries with
+//!   a larger `pq` is always correct, so "the front-end servers can just
+//!   switch to the new pq immediately, and let the ROAR nodes catch up in
+//!   their own time" by dropping the tail of their replication arcs.
+//! * **Decreasing p** (increasing r): nodes must first download the extra
+//!   objects that their extended arcs now cover. "For correctness, when
+//!   decreasing p to p′, the front-end servers continue to partition queries
+//!   p ways until they receive positive confirmation that every one of the
+//!   ROAR nodes has obtained all the extra data needed."
+//!
+//! [`Reconfig`] is that confirmation-tracking state machine; `safe_pq()` is
+//! what the front-end must use while a transition is in flight.
+
+use crate::ringmap::NodeId;
+use std::collections::BTreeSet;
+
+/// State of an in-flight partitioning-level change.
+#[derive(Debug, Clone)]
+pub struct Reconfig {
+    /// The level all nodes are known to support (data fully present).
+    committed_p: usize,
+    /// The level being transitioned to, if any.
+    target_p: Option<usize>,
+    /// Nodes that have not yet confirmed the data movement for `target_p`.
+    pending: BTreeSet<NodeId>,
+}
+
+/// Outcome of a confirmation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfirmOutcome {
+    /// Still waiting on other nodes.
+    Waiting,
+    /// All nodes confirmed; the target level is now committed.
+    Committed(usize),
+}
+
+impl Reconfig {
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1);
+        Reconfig { committed_p: p, target_p: None, pending: BTreeSet::new() }
+    }
+
+    /// The committed partitioning level.
+    pub fn committed_p(&self) -> usize {
+        self.committed_p
+    }
+
+    /// The target level of an in-flight transition.
+    pub fn target_p(&self) -> Option<usize> {
+        self.target_p
+    }
+
+    /// Is a transition in flight?
+    pub fn in_flight(&self) -> bool {
+        self.target_p.is_some()
+    }
+
+    /// The partitioning level the front-end may safely use for queries right
+    /// now: the **maximum** of committed and target. Increasing p is safe
+    /// immediately; decreasing p must wait for commit.
+    pub fn safe_pq(&self) -> usize {
+        match self.target_p {
+            Some(t) => t.max(self.committed_p),
+            None => self.committed_p,
+        }
+    }
+
+    /// Begin a transition to `new_p` over the given nodes.
+    ///
+    /// Returns the set of nodes that must confirm (empty when increasing p —
+    /// that direction needs no confirmation and commits immediately).
+    ///
+    /// # Panics
+    /// Panics if a transition is already in flight.
+    pub fn begin(&mut self, new_p: usize, nodes: impl IntoIterator<Item = NodeId>) -> usize {
+        assert!(new_p >= 1);
+        assert!(!self.in_flight(), "a reconfiguration is already in flight");
+        if new_p == self.committed_p {
+            return 0;
+        }
+        if new_p > self.committed_p {
+            // increasing p: nodes only *drop* data; commit instantly
+            self.committed_p = new_p;
+            return 0;
+        }
+        // decreasing p: every node must download its arc extension
+        self.target_p = Some(new_p);
+        self.pending = nodes.into_iter().collect();
+        if self.pending.is_empty() {
+            // no nodes → trivially committed
+            self.committed_p = new_p;
+            self.target_p = None;
+        }
+        self.pending.len()
+    }
+
+    /// A node confirms it holds all data for the target level.
+    pub fn confirm(&mut self, node: NodeId) -> ConfirmOutcome {
+        if self.target_p.is_none() {
+            return ConfirmOutcome::Committed(self.committed_p);
+        }
+        self.pending.remove(&node);
+        if self.pending.is_empty() {
+            let t = self.target_p.take().expect("in flight");
+            self.committed_p = t;
+            ConfirmOutcome::Committed(t)
+        } else {
+            ConfirmOutcome::Waiting
+        }
+    }
+
+    /// A node joined mid-transition: it must also confirm.
+    pub fn add_pending(&mut self, node: NodeId) {
+        if self.target_p.is_some() {
+            self.pending.insert(node);
+        }
+    }
+
+    /// A node left/failed mid-transition: stop waiting for it.
+    pub fn remove_pending(&mut self, node: NodeId) -> ConfirmOutcome {
+        self.confirm(node)
+    }
+
+    /// Abort an in-flight decrease (e.g. load spiked again before commit).
+    /// Safe because queries were still using the old, larger pq.
+    pub fn abort(&mut self) {
+        self.target_p = None;
+        self.pending.clear();
+    }
+
+    /// Nodes still pending confirmation.
+    pub fn pending(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.pending.iter().copied()
+    }
+}
+
+/// Work each node must perform for a transition from `p` to `new_p` over a
+/// store of `d` objects: the fraction of the dataset to download (negative
+/// means data is dropped, which is free).
+pub fn per_node_transfer_fraction(p: usize, new_p: usize) -> f64 {
+    1.0 / new_p as f64 - 1.0 / p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increase_p_commits_immediately() {
+        let mut rc = Reconfig::new(5);
+        let pending = rc.begin(10, 0..4);
+        assert_eq!(pending, 0);
+        assert!(!rc.in_flight());
+        assert_eq!(rc.committed_p(), 10);
+        assert_eq!(rc.safe_pq(), 10);
+    }
+
+    #[test]
+    fn decrease_p_waits_for_all_confirmations() {
+        let mut rc = Reconfig::new(10);
+        let pending = rc.begin(5, 0..3);
+        assert_eq!(pending, 3);
+        assert!(rc.in_flight());
+        // queries must keep using the larger pq during the transition
+        assert_eq!(rc.safe_pq(), 10);
+        assert_eq!(rc.confirm(0), ConfirmOutcome::Waiting);
+        assert_eq!(rc.confirm(1), ConfirmOutcome::Waiting);
+        assert_eq!(rc.safe_pq(), 10);
+        assert_eq!(rc.confirm(2), ConfirmOutcome::Committed(5));
+        assert_eq!(rc.committed_p(), 5);
+        assert_eq!(rc.safe_pq(), 5);
+    }
+
+    #[test]
+    fn duplicate_confirms_harmless() {
+        let mut rc = Reconfig::new(8);
+        rc.begin(4, 0..2);
+        assert_eq!(rc.confirm(0), ConfirmOutcome::Waiting);
+        assert_eq!(rc.confirm(0), ConfirmOutcome::Waiting);
+        assert_eq!(rc.confirm(1), ConfirmOutcome::Committed(4));
+        // confirming after commit is a no-op
+        assert_eq!(rc.confirm(1), ConfirmOutcome::Committed(4));
+    }
+
+    #[test]
+    fn join_mid_transition_must_confirm() {
+        let mut rc = Reconfig::new(6);
+        rc.begin(3, 0..2);
+        rc.add_pending(7);
+        rc.confirm(0);
+        rc.confirm(1);
+        assert!(rc.in_flight(), "late joiner still pending");
+        assert_eq!(rc.confirm(7), ConfirmOutcome::Committed(3));
+    }
+
+    #[test]
+    fn failed_node_does_not_block_commit() {
+        let mut rc = Reconfig::new(6);
+        rc.begin(3, 0..2);
+        rc.confirm(0);
+        assert_eq!(rc.remove_pending(1), ConfirmOutcome::Committed(3));
+    }
+
+    #[test]
+    fn abort_restores_committed_level() {
+        let mut rc = Reconfig::new(10);
+        rc.begin(5, 0..3);
+        rc.abort();
+        assert!(!rc.in_flight());
+        assert_eq!(rc.safe_pq(), 10);
+        // a new transition can start
+        assert_eq!(rc.begin(5, 0..1), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn concurrent_transitions_rejected() {
+        let mut rc = Reconfig::new(10);
+        rc.begin(5, 0..3);
+        rc.begin(2, 0..3);
+    }
+
+    #[test]
+    fn transfer_fraction_signs() {
+        // p 10 → 5 doubles each node's share: +0.1 of the dataset
+        assert!((per_node_transfer_fraction(10, 5) - 0.1).abs() < 1e-12);
+        // p 5 → 10 halves it: negative → free
+        assert!(per_node_transfer_fraction(5, 10) < 0.0);
+    }
+
+    #[test]
+    fn noop_begin() {
+        let mut rc = Reconfig::new(4);
+        assert_eq!(rc.begin(4, 0..9), 0);
+        assert!(!rc.in_flight());
+    }
+}

@@ -1,0 +1,351 @@
+//! The continuous ring ID space (§4).
+//!
+//! ROAR's insight is that "the discreteness of replica placement is the main
+//! source of problems" in the sliding-window algorithm, so it replaces node
+//! slots with a continuous circular ID space. We realise the unit ring
+//! `[0, 1)` as 64-bit fixed point: a position is a `u64`, wrap-around is
+//! native wrapping arithmetic, and clockwise distance is a wrapping
+//! subtraction. Object keys (uniform `u64`s) double as ring positions.
+//!
+//! Three geometric notions from the paper live here:
+//!
+//! * **query points** — `pq` maximally-equidistant positions derived from a
+//!   start id (§4.2); rounding is spread so consecutive gaps differ by at
+//!   most one unit and every gap is ≤ `ceil(2^64/pq)`;
+//! * **replication arcs** — each object is stored on the servers whose range
+//!   intersects `[obj, obj + L(p))` (§4.1); we set `L(p) = ceil(2^64/p) + 1`
+//!   so a query point is always *strictly* inside the arc of every object it
+//!   is responsible for, eliminating boundary double-coverage;
+//! * **match windows** — the deduplication of §4.2 (Eq. 4.1/4.2) assigns to
+//!   the sub-query at point `id_q` the objects in the half-open interval
+//!   `(previous point, id_q]`. We carry that window explicitly in each
+//!   sub-query, which uniformly expresses normal operation, `pq > p`
+//!   over-partitioning, the failure fall-back splits of §4.4 and the range
+//!   adjustments of §4.8.2.
+
+/// A position on the unit ring, in 1/2⁶⁴ units.
+pub type RingPos = u64;
+
+/// The full circle as a `u128` (2⁶⁴ units).
+pub const FULL: u128 = 1u128 << 64;
+
+/// Convert a fraction in `[0, 1)` to a ring position.
+pub fn pos_from_f64(x: f64) -> RingPos {
+    let x = x.rem_euclid(1.0);
+    (x * FULL as f64) as u64
+}
+
+/// Convert a ring position to a fraction in `[0, 1)`.
+pub fn pos_to_f64(x: RingPos) -> f64 {
+    x as f64 / FULL as f64
+}
+
+/// Clockwise distance from `a` to `b` (how far to travel from `a`,
+/// increasing, to reach `b`). Zero when equal.
+pub fn dist_cw(a: RingPos, b: RingPos) -> u64 {
+    b.wrapping_sub(a)
+}
+
+/// Replication arc length `L(p)`: the object stored at `o` lives on the
+/// servers whose range intersects `[o, o + L(p))`.
+///
+/// `L(p) = ceil(2^64/p) + 1` (saturating). The `+1` guarantees that the
+/// query point immediately clockwise of an object — at most `ceil(2^64/pq) ≤
+/// ceil(2^64/p)` away for any `pq ≥ p` — is *strictly* inside the arc, so
+/// the server owning that point always holds the object. This is the
+/// fixed-point analogue of the paper's `δ` slack (§4.4).
+pub fn arc_len(p: usize) -> u64 {
+    assert!(p >= 1, "partitioning level must be ≥ 1");
+    if p == 1 {
+        return u64::MAX;
+    }
+    let ceil = FULL.div_ceil(p as u128) as u64;
+    ceil.saturating_add(1)
+}
+
+/// The `pq` maximally-equidistant query points for start id `seed`:
+/// `seed + floor(i · 2^64 / pq)` (§4.2). Gaps between consecutive points are
+/// `floor` or `ceil` of `2^64/pq`, so max gap ≤ `ceil(2^64/pq)`.
+pub fn query_points(seed: RingPos, pq: usize) -> Vec<RingPos> {
+    assert!(pq >= 1, "need at least one sub-query");
+    (0..pq)
+        .map(|i| seed.wrapping_add(((i as u128 * FULL) / pq as u128) as u64))
+        .collect()
+}
+
+/// Does the replication arc `[obj, obj + len)` contain position `x`?
+pub fn arc_contains(obj: RingPos, len: u64, x: RingPos) -> bool {
+    dist_cw(obj, x) < len
+}
+
+/// A half-open match window `(start, end]` on the ring.
+///
+/// Convention: `start == end` denotes the **full ring** (used for `pq = 1`);
+/// there is no empty window — the planner never constructs one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    pub start: RingPos,
+    pub end: RingPos,
+}
+
+impl Window {
+    pub fn new(start: RingPos, end: RingPos) -> Self {
+        Window { start, end }
+    }
+
+    /// Full-ring window anchored at `at`.
+    pub fn full(at: RingPos) -> Self {
+        Window { start: at, end: at }
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Window length in ring units (`2^64` for the full ring).
+    pub fn len(&self) -> u128 {
+        if self.is_full() {
+            FULL
+        } else {
+            dist_cw(self.start, self.end) as u128
+        }
+    }
+
+    /// Fraction of the ring covered — under uniformly distributed object
+    /// ids, also the fraction of the dataset this window scans.
+    pub fn fraction(&self) -> f64 {
+        self.len() as f64 / FULL as f64
+    }
+
+    /// Membership test: `x ∈ (start, end]`. This is the deduplication rule
+    /// of Eq. 4.1/4.2 — each object is matched by exactly one of the windows
+    /// partitioning the ring.
+    pub fn contains(&self, x: RingPos) -> bool {
+        if self.is_full() {
+            return true;
+        }
+        // x ∈ (start, end] ⟺ 0 < x−start ≤ end−start
+        let dx = dist_cw(self.start, x);
+        dx != 0 && dx <= dist_cw(self.start, self.end)
+    }
+
+    /// Is `self` contained in `other` (both as subsets of the ring)?
+    pub fn subset_of(&self, other: &Window) -> bool {
+        if other.is_full() {
+            return true;
+        }
+        if self.is_full() {
+            return false;
+        }
+        let shift = dist_cw(other.start, self.start) as u128;
+        shift + self.len() <= other.len()
+    }
+
+    /// Split at `mid ∈ (start, end)`, returning `((start, mid], (mid, end])`.
+    ///
+    /// # Panics
+    /// Panics if `mid` is not strictly inside the window.
+    pub fn split_at(&self, mid: RingPos) -> (Window, Window) {
+        assert!(
+            self.contains(mid) && mid != self.end,
+            "split point must be strictly inside the window"
+        );
+        (Window::new(self.start, mid), Window::new(mid, self.end))
+    }
+
+    /// The midpoint of the window (for even splits).
+    pub fn midpoint(&self) -> RingPos {
+        self.start.wrapping_add((self.len() / 2) as u64)
+    }
+}
+
+/// The windows induced by a set of query points: window `i` is
+/// `(point_{i−1}, point_i]` (cyclically), so the windows partition the ring
+/// and every object is matched exactly once.
+pub fn windows_of_points(points: &[RingPos]) -> Vec<Window> {
+    let pq = points.len();
+    assert!(pq >= 1);
+    if pq == 1 {
+        return vec![Window::full(points[0])];
+    }
+    (0..pq)
+        .map(|i| {
+            let prev = points[(i + pq - 1) % pq];
+            Window::new(prev, points[i])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        for x in [0.0, 0.25, 0.5, 0.999999] {
+            let p = pos_from_f64(x);
+            assert!((pos_to_f64(p) - x).abs() < 1e-9);
+        }
+        assert_eq!(pos_from_f64(1.25), pos_from_f64(0.25));
+    }
+
+    #[test]
+    fn dist_cw_wraps() {
+        assert_eq!(dist_cw(10, 14), 4);
+        assert_eq!(dist_cw(14, 10), u64::MAX - 3);
+        assert_eq!(dist_cw(7, 7), 0);
+    }
+
+    #[test]
+    fn arc_len_exceeds_max_gap() {
+        for p in [2usize, 3, 5, 7, 47, 1000] {
+            for pq_mult in 1..4 {
+                let pq = p * pq_mult;
+                let pts = query_points(12345, pq);
+                let max_gap = (0..pq)
+                    .map(|i| dist_cw(pts[i], pts[(i + 1) % pq]))
+                    .max()
+                    .unwrap();
+                assert!(
+                    (max_gap as u128) < arc_len(p) as u128,
+                    "p={p} pq={pq}: gap {max_gap} vs L {}",
+                    arc_len(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_points_equidistant_within_one_unit() {
+        let pts = query_points(0, 7);
+        let gaps: Vec<u64> = (0..7).map(|i| dist_cw(pts[i], pts[(i + 1) % 7])).collect();
+        let min = *gaps.iter().min().unwrap();
+        let max = *gaps.iter().max().unwrap();
+        assert!(max - min <= 1, "gaps {gaps:?}");
+        let total: u128 = gaps.iter().map(|&g| g as u128).sum();
+        assert_eq!(total, FULL);
+    }
+
+    #[test]
+    fn windows_partition_ring() {
+        let pts = query_points(999, 5);
+        let ws = windows_of_points(&pts);
+        let total: u128 = ws.iter().map(|w| w.len()).sum();
+        assert_eq!(total, FULL);
+    }
+
+    #[test]
+    fn window_contains_basics() {
+        let w = Window::new(10, 20);
+        assert!(!w.contains(10)); // open at start
+        assert!(w.contains(11));
+        assert!(w.contains(20)); // closed at end
+        assert!(!w.contains(21));
+        assert!(!w.contains(5));
+    }
+
+    #[test]
+    fn window_wrap_contains() {
+        let w = Window::new(u64::MAX - 5, 10);
+        assert!(w.contains(u64::MAX));
+        assert!(w.contains(0));
+        assert!(w.contains(10));
+        assert!(!w.contains(11));
+        assert!(!w.contains(u64::MAX - 5));
+    }
+
+    #[test]
+    fn full_window_contains_everything() {
+        let w = Window::full(42);
+        assert!(w.contains(0));
+        assert!(w.contains(42));
+        assert!(w.contains(u64::MAX));
+        assert_eq!(w.len(), FULL);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let big = Window::new(10, 100);
+        let small = Window::new(20, 50);
+        assert!(small.subset_of(&big));
+        assert!(!big.subset_of(&small));
+        assert!(big.subset_of(&big));
+        assert!(big.subset_of(&Window::full(7)));
+        assert!(!Window::full(7).subset_of(&big));
+        // wrap cases
+        let wbig = Window::new(u64::MAX - 10, 50);
+        let wsmall = Window::new(u64::MAX - 2, 3);
+        assert!(wsmall.subset_of(&wbig));
+        assert!(!wbig.subset_of(&wsmall));
+    }
+
+    #[test]
+    fn split_partitions_window() {
+        let w = Window::new(100, 200);
+        let (a, b) = w.split_at(150);
+        assert_eq!(a, Window::new(100, 150));
+        assert_eq!(b, Window::new(150, 200));
+        assert_eq!(a.len() + b.len(), w.len());
+        for x in [101u64, 150, 151, 200] {
+            assert_eq!(w.contains(x), a.contains(x) || b.contains(x));
+            assert!(!(a.contains(x) && b.contains(x)));
+        }
+    }
+
+    #[test]
+    fn midpoint_inside() {
+        let w = Window::new(u64::MAX - 100, 100);
+        let m = w.midpoint();
+        assert!(w.contains(m));
+        assert!(m != w.end);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_windows_exactly_once(seed: u64, obj: u64, pq in 1usize..64) {
+            let pts = query_points(seed, pq);
+            let ws = windows_of_points(&pts);
+            let hits = ws.iter().filter(|w| w.contains(obj)).count();
+            prop_assert_eq!(hits, 1);
+        }
+
+        #[test]
+        fn prop_split_exactly_once(start: u64, len in 2u64..u64::MAX, x: u64) {
+            let w = Window::new(start, start.wrapping_add(len));
+            let mid = w.midpoint();
+            prop_assume!(mid != w.end && mid != w.start);
+            let (a, b) = w.split_at(mid);
+            let in_w = w.contains(x);
+            let hits = usize::from(a.contains(x)) + usize::from(b.contains(x));
+            prop_assert_eq!(hits, usize::from(in_w));
+        }
+
+        #[test]
+        fn prop_subset_consistent_with_contains(s1: u64, l1 in 1u64..1000, s2: u64, l2 in 1u64..u64::MAX) {
+            let sub = Window::new(s1, s1.wrapping_add(l1));
+            let sup = Window::new(s2, s2.wrapping_add(l2));
+            if sub.subset_of(&sup) {
+                // sample some points of sub; all must be in sup
+                for k in 0..l1.min(16) {
+                    let x = s1.wrapping_add(1 + k * (l1 / l1.min(16).max(1)).max(1));
+                    if sub.contains(x) {
+                        prop_assert!(sup.contains(x));
+                    }
+                }
+                prop_assert!(sup.contains(sub.end));
+            }
+        }
+
+        #[test]
+        fn prop_point_gap_bounded(seed: u64, pq in 1usize..200) {
+            let pts = query_points(seed, pq);
+            let limit = FULL.div_ceil(pq as u128);
+            for i in 0..pq {
+                let gap = dist_cw(pts[i], pts[(i + 1) % pq]) as u128;
+                let gap = if gap == 0 && pq == 1 { FULL } else { gap };
+                prop_assert!(gap <= limit);
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! ROAR front-end scheduling (§4.8.1, Algorithm 1).
+//!
+//! ROAR must pick the query's start id so the slowest sub-query finishes as
+//! early as possible. Sliding the start id around one point-spacing
+//! `[0, 1/pq)` sweeps every distinct server configuration (all `≈ r` of
+//! them). Three implementations are provided:
+//!
+//! * [`schedule_sweep`] — **Algorithm 1**: a heap of per-slot distances to
+//!   the next node boundary advances the id directly from event to event,
+//!   re-estimating only the slot whose server changed. `O(n log pq)`.
+//! * [`schedule_exhaustive`] — the paper's straw-man: evaluate the full
+//!   configuration at every candidate id. `O(n · pq)`. Used to verify the
+//!   sweep's optimality (they must agree) and in the fig7_12 comparison.
+//! * [`schedule_random_starts`] — "choose one or a few random starting
+//!   points and use the one that gives the smallest delay"; cheap but
+//!   suboptimal, quantified in fig6_7.
+//!
+//! Dead servers get infinite finish estimates, so the sweep steers around
+//! failures when any fully-live configuration exists; otherwise the dispatch
+//! layer applies the §4.4 fall-back to the returned plan.
+
+use crate::placement::{QueryPlan, RoarRing};
+use crate::ring::{dist_cw, query_points, RingPos, FULL};
+use roar_dr::sched::{Assignment, FinishEstimator, QueryScheduler, Task};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a scheduling pass: the chosen start id and its predicted delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedDecision {
+    pub start_id: RingPos,
+    pub predicted: f64,
+}
+
+fn finish_of(est: &dyn FinishEstimator, node: usize, work: f64) -> f64 {
+    if est.alive(node) {
+        est.estimate(node, work)
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Algorithm 1: heap-swept optimal start id.
+pub fn schedule_sweep(
+    ring: &RoarRing,
+    pq: usize,
+    est: &dyn FinishEstimator,
+    seed: RingPos,
+) -> SchedDecision {
+    assert!(pq >= ring.p(), "pq must be ≥ p");
+    let map = ring.map();
+    let n = map.len();
+    let work = 1.0 / pq as f64;
+    let limit = FULL.div_ceil(pq as u128) as u64; // sweep id ∈ [0, limit)
+
+    // base points at id = 0 (offset by the caller's seed)
+    let pts0 = query_points(seed, pq);
+    let mut cur: Vec<usize> = pts0.iter().map(|&p| map.idx_in_charge(p)).collect();
+    let mut finish: Vec<f64> =
+        cur.iter().map(|&c| finish_of(est, map.entries()[c].node, work)).collect();
+    let mut delay_q = finish.iter().cloned().fold(f64::MIN, f64::max);
+
+    let mut best = SchedDecision { start_id: seed, predicted: delay_q };
+
+    if n == 1 {
+        return best; // single node: one configuration
+    }
+
+    // heap of (distance from pts0[slot] at which slot's server changes, slot)
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (slot, &c) in cur.iter().enumerate() {
+        let next_start = map.entries()[map.next_idx(c)].start;
+        heap.push(Reverse((dist_cw(pts0[slot], next_start), slot)));
+    }
+
+    while let Some(&Reverse((d, _))) = heap.peek() {
+        if d as u128 >= limit as u128 {
+            break; // all remaining events are outside the sweep range
+        }
+        // several points can cross boundaries at the same id (uniform maps
+        // align them); the configuration only exists after ALL coincident
+        // advances are applied, so batch them before evaluating.
+        while let Some(&Reverse((d2, slot))) = heap.peek() {
+            if d2 != d {
+                break;
+            }
+            heap.pop();
+            cur[slot] = map.next_idx(cur[slot]);
+            let node = map.entries()[cur[slot]].node;
+            let was_max = finish[slot] == delay_q;
+            let newf = finish_of(est, node, work);
+            finish[slot] = newf;
+            if was_max && newf < delay_q {
+                // the slowest slot got faster: recompute the max (rare O(pq))
+                delay_q = finish.iter().cloned().fold(f64::MIN, f64::max);
+            } else if newf > delay_q {
+                delay_q = newf;
+            }
+            // next event for this slot
+            let next_start = map.entries()[map.next_idx(cur[slot])].start;
+            let nd = dist_cw(pts0[slot], next_start);
+            if (nd as u128) < limit as u128 && nd > d {
+                heap.push(Reverse((nd, slot)));
+            }
+        }
+        if delay_q < best.predicted {
+            best = SchedDecision { start_id: seed.wrapping_add(d), predicted: delay_q };
+        }
+    }
+    best
+}
+
+/// The straw-man: evaluate every candidate configuration in full.
+pub fn schedule_exhaustive(
+    ring: &RoarRing,
+    pq: usize,
+    est: &dyn FinishEstimator,
+    seed: RingPos,
+) -> SchedDecision {
+    assert!(pq >= ring.p(), "pq must be ≥ p");
+    let map = ring.map();
+    let work = 1.0 / pq as f64;
+    let limit = FULL.div_ceil(pq as u128) as u64;
+    let pts0 = query_points(seed, pq);
+
+    // candidate offsets: 0 plus every offset at which some point crosses a
+    // node boundary
+    let mut candidates: Vec<u64> = vec![0];
+    for e in map.entries() {
+        for &pt in &pts0 {
+            let d = dist_cw(pt, e.start);
+            if (d as u128) < limit as u128 {
+                candidates.push(d);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut best = SchedDecision { start_id: seed, predicted: f64::INFINITY };
+    for off in candidates {
+        let mut worst = f64::MIN;
+        for &pt in &pts0 {
+            let node = map.in_charge(pt.wrapping_add(off));
+            worst = worst.max(finish_of(est, node, work));
+        }
+        if worst < best.predicted {
+            best = SchedDecision { start_id: seed.wrapping_add(off), predicted: worst };
+        }
+    }
+    best
+}
+
+/// Evaluate `k` random start ids and keep the best.
+pub fn schedule_random_starts(
+    ring: &RoarRing,
+    pq: usize,
+    est: &dyn FinishEstimator,
+    seed: u64,
+    k: usize,
+) -> SchedDecision {
+    assert!(k >= 1);
+    let map = ring.map();
+    let work = 1.0 / pq as f64;
+    let mut best = SchedDecision { start_id: 0, predicted: f64::INFINITY };
+    let mut state = seed | 1;
+    for _ in 0..k {
+        // splitmix-style id generation (no RNG object needed)
+        state = state.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+        let id = state ^ (state >> 29);
+        let mut worst = f64::MIN;
+        for &pt in &query_points(id, pq) {
+            let node = map.in_charge(pt);
+            worst = worst.max(finish_of(est, node, work));
+        }
+        if worst < best.predicted {
+            best = SchedDecision { start_id: id, predicted: worst };
+        }
+    }
+    best
+}
+
+/// Which sweep strategy a [`RoarScheduler`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 1 (optimal, O(n log pq)).
+    Sweep,
+    /// Straw-man exhaustive (optimal, O(n·pq)).
+    Exhaustive,
+    /// `k` random starting points (suboptimal).
+    RandomStarts(usize),
+}
+
+/// ROAR's implementation of the common [`QueryScheduler`] interface used by
+/// the simulator, parameterised by strategy and query partitioning level.
+pub struct RoarScheduler {
+    ring: RoarRing,
+    pq: usize,
+    strategy: Strategy,
+}
+
+impl RoarScheduler {
+    pub fn new(ring: RoarRing, pq: usize, strategy: Strategy) -> Self {
+        assert!(pq >= ring.p());
+        RoarScheduler { ring, pq, strategy }
+    }
+
+    /// Schedule and also return the full query plan (windows included) for
+    /// dispatch by the cluster layer.
+    pub fn schedule_with_plan(
+        &self,
+        est: &dyn FinishEstimator,
+        seed: u64,
+    ) -> (QueryPlan, SchedDecision) {
+        let dec = match self.strategy {
+            Strategy::Sweep => schedule_sweep(&self.ring, self.pq, est, seed),
+            Strategy::Exhaustive => schedule_exhaustive(&self.ring, self.pq, est, seed),
+            Strategy::RandomStarts(k) => {
+                schedule_random_starts(&self.ring, self.pq, est, seed, k)
+            }
+        };
+        (self.ring.plan(dec.start_id, self.pq), dec)
+    }
+
+    pub fn ring(&self) -> &RoarRing {
+        &self.ring
+    }
+
+    pub fn pq(&self) -> usize {
+        self.pq
+    }
+}
+
+impl QueryScheduler for RoarScheduler {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            Strategy::Sweep => "ROAR",
+            Strategy::Exhaustive => "ROAR-exhaustive",
+            Strategy::RandomStarts(_) => "ROAR-random",
+        }
+    }
+
+    fn choices(&self) -> u64 {
+        // r distinct configurations (§4.6: "it must choose between r
+        // configurations")
+        (self.ring.n() as f64 / self.ring.p() as f64).ceil() as u64
+    }
+
+    fn schedule(&self, est: &dyn FinishEstimator, seed: u64) -> Assignment {
+        let (plan, dec) = self.schedule_with_plan(est, seed);
+        let tasks =
+            plan.subs.iter().map(|s| Task { server: s.node, work: s.work() }).collect();
+        Assignment { tasks, predicted_finish: dec.predicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ringmap::RingMap;
+    use proptest::prelude::*;
+    use roar_dr::sched::StaticEstimator;
+    use roar_util::det_rng;
+    use rand::Rng;
+
+    fn ring(n: usize, p: usize) -> RoarRing {
+        RoarRing::new(RingMap::uniform(&(0..n).collect::<Vec<_>>()), p)
+    }
+
+    #[test]
+    fn sweep_matches_exhaustive_uniform() {
+        let mut rng = det_rng(41);
+        for (n, p) in [(8usize, 2usize), (12, 4), (20, 5), (7, 3)] {
+            let r = ring(n, p);
+            let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..5.0)).collect();
+            let est = StaticEstimator::with_speeds(speeds);
+            for _ in 0..5 {
+                let seed: u64 = rng.gen();
+                let a = schedule_sweep(&r, p, &est, seed);
+                let b = schedule_exhaustive(&r, p, &est, seed);
+                assert_eq!(a.predicted, b.predicted, "n={n} p={p} seed={seed:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_exhaustive_heterogeneous_ranges() {
+        let mut rng = det_rng(42);
+        for trial in 0..20 {
+            let n = rng.gen_range(3..16);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..4.0)).collect();
+            let map = RingMap::proportional(&(0..n).collect::<Vec<_>>(), &weights);
+            let p = rng.gen_range(1..=n);
+            let r = RoarRing::new(map, p);
+            let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..5.0)).collect();
+            let est = StaticEstimator::with_speeds(speeds);
+            let seed: u64 = rng.gen();
+            let pq = p + rng.gen_range(0..3);
+            let a = schedule_sweep(&r, pq, &est, seed);
+            let b = schedule_exhaustive(&r, pq, &est, seed);
+            assert_eq!(a.predicted, b.predicted, "trial {trial}: n={n} p={p} pq={pq}");
+        }
+    }
+
+    #[test]
+    fn sweep_picks_fast_servers() {
+        // 4 nodes, p=2: configs {0,2} or {1,3}; make {1,3} fast
+        let r = ring(4, 2);
+        let est = StaticEstimator::with_speeds(vec![1.0, 100.0, 1.0, 100.0]);
+        let sched = RoarScheduler::new(r, 2, crate::sched::Strategy::Sweep);
+        let a = sched.schedule(&est, 7);
+        let mut servers: Vec<usize> = a.tasks.iter().map(|t| t.server).collect();
+        servers.sort_unstable();
+        assert_eq!(servers, vec![1, 3]);
+    }
+
+    #[test]
+    fn sweep_avoids_dead_when_possible() {
+        let r = ring(4, 2);
+        let mut est = StaticEstimator::with_speeds(vec![1.0, 100.0, 1.0, 100.0]);
+        est.dead[1] = true; // fast config now broken
+        let sched = RoarScheduler::new(r, 2, crate::sched::Strategy::Sweep);
+        let a = sched.schedule(&est, 7);
+        let mut servers: Vec<usize> = a.tasks.iter().map(|t| t.server).collect();
+        servers.sort_unstable();
+        assert_eq!(servers, vec![0, 2]);
+        assert!(a.predicted_finish.is_finite());
+    }
+
+    #[test]
+    fn random_starts_never_beats_optimal() {
+        let mut rng = det_rng(43);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..20);
+            let p = rng.gen_range(2..=n / 2).max(1);
+            let r = ring(n, p);
+            let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..5.0)).collect();
+            let est = StaticEstimator::with_speeds(speeds);
+            let opt = schedule_sweep(&r, p, &est, 0);
+            let rnd = schedule_random_starts(&r, p, &est, rng.gen(), 3);
+            assert!(rnd.predicted >= opt.predicted - 1e-12);
+        }
+    }
+
+    #[test]
+    fn queued_servers_avoided() {
+        let r = ring(6, 2);
+        let mut est = StaticEstimator::uniform(6, 1.0);
+        // configs: {0,3},{1,4},{2,5}; overload 0, 1, 4
+        est.busy_until = vec![10.0, 10.0, 0.0, 0.0, 10.0, 0.0];
+        let dec = schedule_sweep(&r, 2, &est, 0);
+        let plan = r.plan(dec.start_id, 2);
+        let mut servers: Vec<usize> = plan.subs.iter().map(|s| s.node).collect();
+        servers.sort_unstable();
+        assert_eq!(servers, vec![2, 5]);
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let r = ring(1, 1);
+        let est = StaticEstimator::uniform(1, 2.0);
+        let dec = schedule_sweep(&r, 1, &est, 9);
+        assert!((dec.predicted - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pq_above_p_schedules_more_servers() {
+        let r = ring(12, 3);
+        let est = StaticEstimator::uniform(12, 1.0);
+        let sched = RoarScheduler::new(r, 6, crate::sched::Strategy::Sweep);
+        let a = sched.schedule(&est, 5);
+        assert_eq!(a.tasks.len(), 6);
+        // each sub-query smaller → smaller predicted delay than pq = 3
+        let r2 = ring(12, 3);
+        let sched2 = RoarScheduler::new(r2, 3, crate::sched::Strategy::Sweep);
+        let a2 = sched2.schedule(&est, 5);
+        assert!(a.predicted_finish < a2.predicted_finish);
+    }
+
+    #[test]
+    fn plan_and_assignment_agree() {
+        let r = ring(10, 5);
+        let est = StaticEstimator::uniform(10, 1.0);
+        let sched = RoarScheduler::new(r, 5, crate::sched::Strategy::Sweep);
+        let (plan, dec) = sched.schedule_with_plan(&est, 3);
+        let worst = plan
+            .subs
+            .iter()
+            .map(|s| est.estimate(s.node, s.work()))
+            .fold(f64::MIN, f64::max);
+        // predicted uses work=1/pq; plan windows differ by ≤1 ring unit
+        assert!((worst - dec.predicted).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn prop_sweep_equals_exhaustive(
+            n in 2usize..14,
+            p in 1usize..14,
+            pq_extra in 0usize..3,
+            seed: u64,
+            speed_seed: u64,
+        ) {
+            let p = p.min(n);
+            let r = ring(n, p);
+            let mut rng = det_rng(speed_seed);
+            let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.25..8.0)).collect();
+            let est = StaticEstimator::with_speeds(speeds);
+            let a = schedule_sweep(&r, p + pq_extra, &est, seed);
+            let b = schedule_exhaustive(&r, p + pq_extra, &est, seed);
+            prop_assert_eq!(a.predicted, b.predicted);
+        }
+    }
+}

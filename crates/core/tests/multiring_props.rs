@@ -1,0 +1,76 @@
+//! Property tests for multi-ring ROAR (§4.7): for any split of the fleet
+//! into rings, any heterogeneous speeds and any feasible pq, a scheduled
+//! multi-ring plan matches every object exactly once, on a node that
+//! actually stores it.
+
+use proptest::prelude::*;
+use roar_core::multiring::MultiRing;
+use roar_core::ring::FULL;
+use roar_dr::sched::StaticEstimator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn multiring_plans_are_exactly_once(
+        per_ring in 2usize..7,
+        k in 1usize..4,
+        p_extra in 0usize..3,
+        speed_seed in any::<u64>(),
+        start_seed in any::<u64>(),
+        objs in proptest::collection::vec(any::<u64>(), 40),
+    ) {
+        let n = per_ring * k * 2; // even split, ≥ 2 nodes per ring
+        let p = per_ring; // each ring has 2·p nodes → r = 2 per ring
+        let nodes: Vec<usize> = (0..n).collect();
+        let mr = MultiRing::split_uniform(&nodes, k, p);
+        prop_assert_eq!(mr.n(), n);
+        // heterogeneous speeds from the seed
+        let speeds: Vec<f64> = (0..n)
+            .map(|i| 0.25 + ((speed_seed.rotate_left(i as u32) % 16) as f64) / 4.0)
+            .collect();
+        let est = StaticEstimator::with_speeds(speeds);
+        let pq = p + p_extra;
+        let plan = mr.plan(start_seed, pq, &est);
+
+        // windows tile the ring exactly
+        let total: u128 = plan.subs.iter().map(|s| s.window.len()).sum();
+        prop_assert_eq!(total, FULL);
+
+        // every object matched exactly once, by a node storing it
+        for &obj in &objs {
+            let holders: Vec<_> =
+                plan.subs.iter().filter(|s| s.window.contains(obj)).collect();
+            prop_assert_eq!(holders.len(), 1, "object {:#x}", obj);
+            prop_assert!(
+                mr.stores(holders[0].node, obj),
+                "sub-query node {} must store {:#x}",
+                holders[0].node,
+                obj
+            );
+        }
+    }
+
+    #[test]
+    fn multiring_replication_splits_evenly(
+        per_ring in 2usize..6,
+        k in 2usize..4,
+        objs in proptest::collection::vec(any::<u64>(), 20),
+    ) {
+        let n = per_ring * k * 2;
+        let p = per_ring;
+        let nodes: Vec<usize> = (0..n).collect();
+        let mr = MultiRing::split_uniform(&nodes, k, p);
+        for &obj in &objs {
+            let replicas = mr.replicas(obj);
+            // every object is stored on every ring at least once (the §4.7
+            // "any object has at least two replicas" argument for k = 2)
+            prop_assert!(replicas.len() >= k, "{} replicas on {} rings", replicas.len(), k);
+            // replicas are distinct nodes
+            let mut sorted = replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), replicas.len());
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Boolean circuits — the query language of generic PPS (§5.5.5).
+//!
+//! "We have examined and implemented a protocol based on Yao's garbled
+//! circuit construction to support generic queries, expressed as boolean
+//! circuits." This module is the circuit half of that protocol: a small IR
+//! plus a builder with the predicate constructors the thesis needs
+//! (equality, inequality and range tests over fixed-width integers, keyword
+//! slot matching), and a plaintext evaluator that [`crate::garble`] is
+//! checked against.
+//!
+//! Representation: wires are dense indices. Wires `0..n_inputs` are the
+//! metadata bits; every gate consumes two existing wires and produces the
+//! next wire. Gates are *universal*: a 4-bit truth table indexed by the two
+//! input values, so AND/OR/XOR/NAND/NOT-like functions are all the same
+//! shape. This matters for garbling — each garbled gate is a uniform 4-row
+//! table, hiding the gate function from the server. The builder
+//! constant-folds, so a finished [`Circuit`] contains no constant wires.
+
+/// A wire index. Wires `0..n_inputs` are circuit inputs.
+pub type Wire = usize;
+
+/// A universal 2-input gate: output = bit `(a·2 + b)` of `tt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    pub a: Wire,
+    pub b: Wire,
+    /// Truth table, 4 bits: bit index `va*2 + vb` holds the output value.
+    pub tt: u8,
+}
+
+/// Truth tables for the common gate functions.
+pub mod tt {
+    /// a AND b → rows (0,0)=0 (0,1)=0 (1,0)=0 (1,1)=1.
+    pub const AND: u8 = 0b1000;
+    /// a OR b.
+    pub const OR: u8 = 0b1110;
+    /// a XOR b.
+    pub const XOR: u8 = 0b0110;
+    /// NOT a (b ignored; rows with a=0 give 1).
+    pub const NOT_A: u8 = 0b0011;
+    /// a AND NOT b.
+    pub const AND_NOT: u8 = 0b0010;
+}
+
+impl Gate {
+    /// Evaluate the gate on concrete input bits.
+    pub fn eval(&self, va: bool, vb: bool) -> bool {
+        let row = (va as u8) * 2 + (vb as u8);
+        self.tt >> row & 1 == 1
+    }
+}
+
+/// A single-output boolean circuit over `n_inputs` input bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    n_inputs: usize,
+    gates: Vec<Gate>,
+    output: Wire,
+}
+
+impl Circuit {
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of (garbleable) gates — the thesis's query-size unit: "query
+    /// size is directly proportional to the number of gates in the circuit".
+    pub fn n_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    pub fn output(&self) -> Wire {
+        self.output
+    }
+
+    /// Plaintext evaluation — the reference the garbled evaluation must
+    /// agree with.
+    ///
+    /// # Panics
+    /// If `inputs.len() != n_inputs`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.n_inputs, "input width mismatch");
+        let mut values = Vec::with_capacity(self.n_inputs + self.gates.len());
+        values.extend_from_slice(inputs);
+        for g in &self.gates {
+            let v = g.eval(values[g.a], values[g.b]);
+            values.push(v);
+        }
+        values[self.output]
+    }
+}
+
+/// Builder value: either a known constant (folded away) or a live wire.
+///
+/// Constants never reach the finished circuit — a garbled constant wire
+/// would hand the server a known plaintext/label pair for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    Const(bool),
+    Wire(Wire),
+}
+
+/// Incremental circuit builder with constant folding.
+pub struct CircuitBuilder {
+    n_inputs: usize,
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    pub fn new(n_inputs: usize) -> Self {
+        assert!(n_inputs > 0, "a predicate needs at least one input bit");
+        CircuitBuilder { n_inputs, gates: Vec::new() }
+    }
+
+    /// Input bit `i` as a node.
+    pub fn input(&self, i: usize) -> Node {
+        assert!(i < self.n_inputs, "input {i} out of range {}", self.n_inputs);
+        Node::Wire(i)
+    }
+
+    fn push(&mut self, a: Wire, b: Wire, table: u8) -> Node {
+        self.gates.push(Gate { a, b, tt: table });
+        Node::Wire(self.n_inputs + self.gates.len() - 1)
+    }
+
+    /// Generic binary gate with folding. `table` is a [`tt`] truth table.
+    pub fn gate(&mut self, a: Node, b: Node, table: u8) -> Node {
+        match (a, b) {
+            (Node::Const(va), Node::Const(vb)) => {
+                Node::Const(Gate { a: 0, b: 0, tt: table }.eval(va, vb))
+            }
+            (Node::Const(va), Node::Wire(wb)) => {
+                // restrict to a single-input function of b
+                let out0 = Gate { a: 0, b: 0, tt: table }.eval(va, false);
+                let out1 = Gate { a: 0, b: 0, tt: table }.eval(va, true);
+                self.unary(wb, out0, out1)
+            }
+            (Node::Wire(wa), Node::Const(vb)) => {
+                let out0 = Gate { a: 0, b: 0, tt: table }.eval(false, vb);
+                let out1 = Gate { a: 0, b: 0, tt: table }.eval(true, vb);
+                self.unary(wa, out0, out1)
+            }
+            (Node::Wire(wa), Node::Wire(wb)) => self.push(wa, wb, table),
+        }
+    }
+
+    /// Single-input function of wire `w` mapping 0→`out0`, 1→`out1`.
+    fn unary(&mut self, w: Wire, out0: bool, out1: bool) -> Node {
+        match (out0, out1) {
+            (false, false) => Node::Const(false),
+            (true, true) => Node::Const(true),
+            (false, true) => Node::Wire(w), // identity — no gate needed
+            (true, false) => {
+                // NOT as a universal gate with both inputs on w
+                self.push(w, w, tt::NOT_A)
+            }
+        }
+    }
+
+    pub fn and(&mut self, a: Node, b: Node) -> Node {
+        self.gate(a, b, tt::AND)
+    }
+
+    pub fn or(&mut self, a: Node, b: Node) -> Node {
+        self.gate(a, b, tt::OR)
+    }
+
+    pub fn xor(&mut self, a: Node, b: Node) -> Node {
+        self.gate(a, b, tt::XOR)
+    }
+
+    pub fn not(&mut self, a: Node) -> Node {
+        match a {
+            Node::Const(v) => Node::Const(!v),
+            Node::Wire(w) => self.unary(w, true, false),
+        }
+    }
+
+    /// AND over a slice (balanced tree to keep depth logarithmic).
+    pub fn and_all(&mut self, nodes: &[Node]) -> Node {
+        self.fold_balanced(nodes, tt::AND, true)
+    }
+
+    /// OR over a slice.
+    pub fn or_all(&mut self, nodes: &[Node]) -> Node {
+        self.fold_balanced(nodes, tt::OR, false)
+    }
+
+    fn fold_balanced(&mut self, nodes: &[Node], table: u8, empty: bool) -> Node {
+        match nodes.len() {
+            0 => Node::Const(empty),
+            1 => nodes[0],
+            _ => {
+                let (l, r) = nodes.split_at(nodes.len() / 2);
+                let a = self.fold_balanced(l, table, empty);
+                let b = self.fold_balanced(r, table, empty);
+                self.gate(a, b, table)
+            }
+        }
+    }
+
+    /// Finish the circuit with `out` as its output.
+    ///
+    /// A constant output is materialised as a gate over input 0 so that the
+    /// garbled protocol shape is identical for trivial predicates (the
+    /// alternative — special-casing constant circuits on the wire — would
+    /// leak that the query is trivial).
+    pub fn finish(mut self, out: Node) -> Circuit {
+        let output = match out {
+            Node::Wire(w) => w,
+            Node::Const(v) => {
+                // w XOR w = 0; NOT(w XOR w) = 1 — built from input 0
+                let z = self.push(0, 0, tt::XOR);
+                let node = if v { self.not(z) } else { z };
+                match node {
+                    Node::Wire(w) => w,
+                    Node::Const(_) => unreachable!("xor of a wire with itself is a wire"),
+                }
+            }
+        };
+        Circuit { n_inputs: self.n_inputs, gates: self.gates, output }
+    }
+}
+
+/// Predicate constructors over fixed-width big-endian unsigned integers.
+///
+/// These are the circuits the generic-PPS examples and tests use: the
+/// thesis's numeric predicates (§5.5.3) expressed exactly instead of via
+/// reference-point approximation — the trade being the §5.5.5 security
+/// caveat (per-bit metadata exposure).
+///
+/// Each predicate exists in two forms: a `*_bits` combinator taking input
+/// [`Node`]s (so a caller can place fields at arbitrary offsets and compose
+/// predicates in one circuit — what `roar-pps::generic` does) and a
+/// standalone constructor building a whole single-field [`Circuit`].
+pub mod predicates {
+    use super::{CircuitBuilder, Circuit, Node};
+
+    /// Bits of `value` MSB-first at width `bits`.
+    fn const_bits(value: u64, bits: usize) -> Vec<bool> {
+        (0..bits).rev().map(|i| value >> i & 1 == 1).collect()
+    }
+
+    /// `xs == c` over MSB-first input nodes.
+    pub fn eq_bits(b: &mut CircuitBuilder, xs: &[Node], c: u64) -> Node {
+        let terms: Vec<Node> = const_bits(c, xs.len())
+            .iter()
+            .zip(xs)
+            .map(|(&cb, &x)| if cb { x } else { b.not(x) })
+            .collect();
+        b.and_all(&terms)
+    }
+
+    /// `xs > c`: MSB-first scan keeping (still-equal, already-greater) state.
+    pub fn gt_bits(b: &mut CircuitBuilder, xs: &[Node], c: u64) -> Node {
+        let mut eq = Node::Const(true);
+        let mut gt = Node::Const(false);
+        for (&cb, &x) in const_bits(c, xs.len()).iter().zip(xs) {
+            if cb {
+                // c has 1 here: x must also be 1 to stay equal; cannot win here
+                eq = b.and(eq, x);
+            } else {
+                // c has 0: x=1 while still equal ⇒ greater
+                let win = b.and(eq, x);
+                gt = b.or(gt, win);
+                let nx = b.not(x);
+                eq = b.and(eq, nx);
+            }
+        }
+        gt
+    }
+
+    /// `xs < c` — the dual MSB-first scan.
+    pub fn lt_bits(b: &mut CircuitBuilder, xs: &[Node], c: u64) -> Node {
+        let mut eq = Node::Const(true);
+        let mut lt = Node::Const(false);
+        for (&cb, &x) in const_bits(c, xs.len()).iter().zip(xs) {
+            let nx = b.not(x);
+            if cb {
+                let win = b.and(eq, nx);
+                lt = b.or(lt, win);
+                eq = b.and(eq, x);
+            } else {
+                eq = b.and(eq, nx);
+            }
+        }
+        lt
+    }
+
+    /// `lb ≤ xs ≤ ub` (inclusive).
+    ///
+    /// # Panics
+    /// If `lb > ub`.
+    pub fn range_bits(b: &mut CircuitBuilder, xs: &[Node], lb: u64, ub: u64) -> Node {
+        assert!(lb <= ub, "empty range {lb}..={ub}");
+        let gt_l = gt_bits(b, xs, lb);
+        let eq_l = eq_bits(b, xs, lb);
+        let lt_u = lt_bits(b, xs, ub);
+        let eq_u = eq_bits(b, xs, ub);
+        let ge_l = b.or(gt_l, eq_l);
+        let le_u = b.or(lt_u, eq_u);
+        b.and(ge_l, le_u)
+    }
+
+    /// True iff any `slot_bits`-wide slot of `xs` equals `word`.
+    pub fn any_slot_eq_bits(
+        b: &mut CircuitBuilder,
+        xs: &[Node],
+        slot_bits: usize,
+        word: u64,
+    ) -> Node {
+        assert!(slot_bits > 0 && xs.len() % slot_bits == 0, "ragged slots");
+        let hits: Vec<Node> =
+            xs.chunks(slot_bits).map(|slot| eq_bits(b, slot, word)).collect();
+        b.or_all(&hits)
+    }
+
+    fn inputs(b: &CircuitBuilder, n: usize) -> Vec<Node> {
+        (0..n).map(|i| b.input(i)).collect()
+    }
+
+    /// `x == c` for a `bits`-wide input.
+    pub fn eq_const(bits: usize, c: u64) -> Circuit {
+        let mut b = CircuitBuilder::new(bits);
+        let xs = inputs(&b, bits);
+        let out = eq_bits(&mut b, &xs, c);
+        b.finish(out)
+    }
+
+    /// `x > c` for a `bits`-wide input.
+    pub fn gt_const(bits: usize, c: u64) -> Circuit {
+        let mut b = CircuitBuilder::new(bits);
+        let xs = inputs(&b, bits);
+        let out = gt_bits(&mut b, &xs, c);
+        b.finish(out)
+    }
+
+    /// `x < c` for a `bits`-wide input.
+    pub fn lt_const(bits: usize, c: u64) -> Circuit {
+        let mut b = CircuitBuilder::new(bits);
+        let xs = inputs(&b, bits);
+        let out = lt_bits(&mut b, &xs, c);
+        b.finish(out)
+    }
+
+    /// `lb ≤ x ≤ ub` (inclusive range — the §5.5.3 `lb < N < ub` test is
+    /// `range(bits, lb+1, ub-1)`).
+    pub fn range(bits: usize, lb: u64, ub: u64) -> Circuit {
+        let mut b = CircuitBuilder::new(bits);
+        let xs = inputs(&b, bits);
+        let out = range_bits(&mut b, &xs, lb, ub);
+        b.finish(out)
+    }
+
+    /// Keyword-slot matching: the input is `slots` fixed-width fields of
+    /// `slot_bits` each; the predicate is true iff any slot equals `word`.
+    /// This is how a generic-PPS metadata carries a keyword list.
+    pub fn any_slot_eq(slots: usize, slot_bits: usize, word: u64) -> Circuit {
+        assert!(slots > 0 && slot_bits > 0);
+        let mut b = CircuitBuilder::new(slots * slot_bits);
+        let xs = inputs(&b, slots * slot_bits);
+        let out = any_slot_eq_bits(&mut b, &xs, slot_bits, word);
+        b.finish(out)
+    }
+
+    /// Encode `value` as `bits` input booleans, MSB first — the metadata-side
+    /// encoding matching the constructors above.
+    pub fn encode_uint(value: u64, bits: usize) -> Vec<bool> {
+        const_bits(value, bits)
+    }
+
+    /// Encode keyword slots (unused slots must hold a reserved value, e.g. 0).
+    pub fn encode_slots(words: &[u64], slots: usize, slot_bits: usize) -> Vec<bool> {
+        assert!(words.len() <= slots, "{} words exceed {slots} slots", words.len());
+        let mut out = Vec::with_capacity(slots * slot_bits);
+        for s in 0..slots {
+            let v = words.get(s).copied().unwrap_or(0);
+            out.extend(const_bits(v, slot_bits));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::predicates::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        let and = Gate { a: 0, b: 1, tt: tt::AND };
+        assert!(!and.eval(false, false) && !and.eval(false, true));
+        assert!(!and.eval(true, false) && and.eval(true, true));
+        let xor = Gate { a: 0, b: 1, tt: tt::XOR };
+        assert!(xor.eval(true, false) && xor.eval(false, true));
+        assert!(!xor.eval(true, true) && !xor.eval(false, false));
+    }
+
+    #[test]
+    fn builder_folds_constants() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let t = Node::Const(true);
+        let folded = b.and(x, t);
+        assert_eq!(folded, x, "x AND true folds to x");
+        let f = Node::Const(false);
+        assert_eq!(b.and(x, f), Node::Const(false));
+        assert_eq!(b.or(x, t), Node::Const(true));
+        let c = b.finish(x);
+        assert_eq!(c.n_gates(), 0, "no gates for folded identities");
+    }
+
+    #[test]
+    fn xor_with_true_becomes_not() {
+        let mut b = CircuitBuilder::new(1);
+        let x = b.input(0);
+        let nx = b.xor(x, Node::Const(true));
+        let c = b.finish(nx);
+        assert_eq!(c.n_gates(), 1);
+        assert!(c.eval(&[false]));
+        assert!(!c.eval(&[true]));
+    }
+
+    #[test]
+    fn constant_output_is_materialised() {
+        let b = CircuitBuilder::new(3);
+        let out = Node::Const(true);
+        let c = b.finish(out);
+        assert!(c.n_gates() >= 1, "constant output still produces gates");
+        assert!(c.eval(&[false, true, false]));
+        let b2 = CircuitBuilder::new(3);
+        let out = Node::Const(false);
+        let c2 = b2.finish(out);
+        assert!(!c2.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn eq_const_exhaustive_8bit() {
+        let c = eq_const(8, 0x5a);
+        for v in 0..=255u64 {
+            assert_eq!(c.eval(&encode_uint(v, 8)), v == 0x5a, "v={v}");
+        }
+    }
+
+    #[test]
+    fn gt_lt_const_exhaustive_7bit() {
+        for threshold in [0u64, 1, 42, 63, 126, 127] {
+            let gt = gt_const(7, threshold);
+            let lt = lt_const(7, threshold);
+            for v in 0..128u64 {
+                let bits = encode_uint(v, 7);
+                assert_eq!(gt.eval(&bits), v > threshold, "gt v={v} c={threshold}");
+                assert_eq!(lt.eval(&bits), v < threshold, "lt v={v} c={threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_exhaustive_6bit() {
+        for (lo, hi) in [(0u64, 63u64), (5, 5), (10, 20), (0, 0), (63, 63), (31, 40)] {
+            let c = range(6, lo, hi);
+            for v in 0..64u64 {
+                assert_eq!(c.eval(&encode_uint(v, 6)), (lo..=hi).contains(&v), "v={v} in {lo}..={hi}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_rejects_inverted_bounds() {
+        let _ = range(6, 20, 10);
+    }
+
+    #[test]
+    fn slot_matching() {
+        let c = any_slot_eq(4, 10, 777);
+        let hit = encode_slots(&[5, 777, 3], 4, 10);
+        let miss = encode_slots(&[5, 776, 3], 4, 10);
+        assert!(c.eval(&hit));
+        assert!(!c.eval(&miss));
+        // reserved zero: searching for word 0 matches padding slots —
+        // callers must not use 0 as a real word
+        let c0 = any_slot_eq(4, 10, 0);
+        assert!(c0.eval(&encode_slots(&[5], 4, 10)));
+    }
+
+    #[test]
+    fn gate_count_scales_linearly_with_width() {
+        let g8 = eq_const(8, 77).n_gates();
+        let g32 = eq_const(32, 77).n_gates();
+        assert!(g32 > 3 * g8, "wider equality needs proportionally more gates");
+        // the thesis's size claim: query ∝ gates
+        assert!(g32 < 100, "32-bit equality stays small: {g32}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn eval_checks_width() {
+        let c = eq_const(8, 1);
+        let _ = c.eval(&[true; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_checks_input_index() {
+        let b = CircuitBuilder::new(2);
+        let _ = b.input(2);
+    }
+}

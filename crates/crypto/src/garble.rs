@@ -1,0 +1,393 @@
+//! Yao garbled circuits — the generic-query protocol of §5.5.5.
+//!
+//! "We have examined and implemented a protocol based on Yao's garbled
+//! circuit construction to support generic queries, expressed as boolean
+//! circuits. The size of the communication is small (query size is directly
+//! proportional to the number of gates in the circuit, while metadata size
+//! is the same as the plaintext version). However, this scheme allows the
+//! server to distinguish every bit of the metadata."
+//!
+//! The construction here is the classic point-and-permute garbling over the
+//! HMAC-SHA1 PRF:
+//!
+//! * every wire has two 16-byte labels with opposite *select bits*;
+//! * each gate becomes a 4-row table, row `(sa, sb)` holding the output
+//!   label encrypted under the two input labels — the evaluator decrypts
+//!   exactly one row, with no trial decryption;
+//! * gate *functions* are hidden (every [`crate::circuit::Gate`] is a
+//!   uniform universal gate), only the topology is public;
+//! * **input labels are derived deterministically from the user key and the
+//!   bit position** — this is what makes the scheme usable for PPS (a
+//!   metadata is encrypted once, long before any query circuit exists) and
+//!   is precisely the leak the thesis warns about: equal metadata bits get
+//!   equal labels across records, so "a single plaintext-ciphertext pair is
+//!   needed to completely break metadata".
+
+use crate::circuit::{Circuit, Wire};
+use crate::hmac::hmac_sha1;
+use crate::prf::{HmacPrf, Prf};
+use crate::sha1::Sha1;
+
+/// A 16-byte wire label. The lowest bit of the last byte is the select bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLabel(pub [u8; 16]);
+
+impl WireLabel {
+    /// The point-and-permute select bit.
+    pub fn select(&self) -> bool {
+        self.0[15] & 1 == 1
+    }
+
+    fn from_digest(d: [u8; 20], select: bool) -> Self {
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&d[..16]);
+        bytes[15] = (bytes[15] & !1) | select as u8;
+        WireLabel(bytes)
+    }
+
+    fn xor(&self, other: &[u8; 16]) -> [u8; 16] {
+        let mut out = self.0;
+        for (o, x) in out.iter_mut().zip(other) {
+            *o ^= x;
+        }
+        out
+    }
+}
+
+/// Evaluation failure: the final label decoded to neither output hash.
+///
+/// Happens only when labels or tables are corrupt (or an adversary forged a
+/// metadata — the unforgeability property of Definition 7: random labels
+/// will not evaluate to a decodable output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GarbleError;
+
+impl std::fmt::Display for GarbleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "garbled evaluation produced an undecodable output label")
+    }
+}
+
+impl std::error::Error for GarbleError {}
+
+/// The garbler — holds the user key material; lives client-side.
+pub struct Garbler {
+    /// Input-wire labels (position-keyed, query-independent).
+    input_prf: HmacPrf,
+    /// Internal-wire labels (query-keyed).
+    wire_prf: HmacPrf,
+}
+
+impl Garbler {
+    pub fn new(key: &[u8]) -> Self {
+        let root = HmacPrf::new(key);
+        Garbler { input_prf: root.derive(b"garble-input"), wire_prf: root.derive(b"garble-wire") }
+    }
+
+    /// The label encoding input bit `i` carrying value `bit`.
+    ///
+    /// Deterministic in (key, i, bit): the metadata side of the protocol.
+    /// The select bit is a keyed permutation bit XOR the value, so the
+    /// select bit alone does not reveal the value.
+    pub fn input_label(&self, i: usize, bit: bool) -> WireLabel {
+        let perm = self.input_prf.eval(&encode(&[b"perm", &i.to_be_bytes()]))[0] & 1 == 1;
+        let d = self.input_prf.eval(&encode(&[b"in", &i.to_be_bytes(), &[bit as u8]]));
+        WireLabel::from_digest(d, perm ^ bit)
+    }
+
+    /// Encode a full metadata bit-string as its input labels — this *is*
+    /// `EncryptMetadata` for the generic scheme.
+    pub fn encode_inputs(&self, bits: &[bool]) -> Vec<WireLabel> {
+        bits.iter().enumerate().map(|(i, &b)| self.input_label(i, b)).collect()
+    }
+
+    fn internal_label(&self, query_id: u64, w: Wire, bit: bool) -> WireLabel {
+        let qb = query_id.to_be_bytes();
+        let wb = w.to_be_bytes();
+        let perm = self.wire_prf.eval(&encode(&[b"perm", &qb, &wb]))[0] & 1 == 1;
+        let d = self.wire_prf.eval(&encode(&[b"lab", &qb, &wb, &[bit as u8]]));
+        WireLabel::from_digest(d, perm ^ bit)
+    }
+
+    fn label(&self, c: &Circuit, query_id: u64, w: Wire, bit: bool) -> WireLabel {
+        if w < c.n_inputs() {
+            self.input_label(w, bit)
+        } else {
+            self.internal_label(query_id, w, bit)
+        }
+    }
+
+    /// Garble `circuit` — this is `EncryptQuery` for the generic scheme.
+    ///
+    /// `query_id` must be fresh per query so internal labels never repeat
+    /// across queries; input labels deliberately do repeat (see module doc).
+    pub fn garble(&self, circuit: &Circuit, query_id: u64) -> GarbledQuery {
+        let n_in = circuit.n_inputs();
+        let mut tables = Vec::with_capacity(circuit.n_gates());
+        for (gi, g) in circuit.gates().iter().enumerate() {
+            let out_wire = n_in + gi;
+            let mut rows = [[0u8; 16]; 4];
+            for va in [false, true] {
+                for vb in [false, true] {
+                    let ka = self.label(circuit, query_id, g.a, va);
+                    let kb = self.label(circuit, query_id, g.b, vb);
+                    let out_bit = g.eval(va, vb);
+                    let kout = self.label(circuit, query_id, out_wire, out_bit);
+                    let row = (ka.select() as usize) * 2 + kb.select() as usize;
+                    rows[row] = kout.xor(&row_pad(&ka, &kb, query_id, gi, row));
+                }
+            }
+            tables.push(rows);
+        }
+        let out_w = circuit.output();
+        let decode = [
+            output_hash(&self.label(circuit, query_id, out_w, false)),
+            output_hash(&self.label(circuit, query_id, out_w, true)),
+        ];
+        GarbledQuery {
+            query_id,
+            n_inputs: n_in,
+            topology: circuit.gates().iter().map(|g| (g.a, g.b)).collect(),
+            output: out_w,
+            tables,
+            decode,
+        }
+    }
+}
+
+/// One-time pad for a table row, derived from both input labels.
+fn row_pad(ka: &WireLabel, kb: &WireLabel, query_id: u64, gate: usize, row: usize) -> [u8; 16] {
+    let mut key = [0u8; 32];
+    key[..16].copy_from_slice(&ka.0);
+    key[16..].copy_from_slice(&kb.0);
+    let msg = encode(&[b"row", &query_id.to_be_bytes(), &gate.to_be_bytes(), &[row as u8]]);
+    let d = hmac_sha1(&key, &msg);
+    let mut pad = [0u8; 16];
+    pad.copy_from_slice(&d[..16]);
+    pad
+}
+
+fn output_hash(label: &WireLabel) -> [u8; 20] {
+    let mut h = Sha1::new();
+    h.update(b"garble-out");
+    h.update(&label.0);
+    h.finalize()
+}
+
+fn encode(parts: &[&[u8]]) -> Vec<u8> {
+    // unambiguous: length-prefix every part
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u32).to_be_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// A garbled query as shipped to the (untrusted) server: public topology,
+/// 4-row tables, output decode hashes. Gate functions are inside the tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GarbledQuery {
+    query_id: u64,
+    n_inputs: usize,
+    topology: Vec<(Wire, Wire)>,
+    output: Wire,
+    tables: Vec<[[u8; 16]; 4]>,
+    decode: [[u8; 20]; 2],
+}
+
+impl GarbledQuery {
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    pub fn n_gates(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Wire size of the query: the thesis's "directly proportional to the
+    /// number of gates" claim — 64 table bytes per gate plus constants.
+    pub fn size_bytes(&self) -> usize {
+        // id + widths + per-gate (two wire refs + 4×16 table) + decode
+        8 + 16 + self.tables.len() * (16 + 64) + 40
+    }
+
+    /// Server-side evaluation on a metadata's input labels.
+    ///
+    /// Runs in one PRF call per gate; no trial decryption thanks to
+    /// point-and-permute.
+    pub fn evaluate(&self, inputs: &[WireLabel]) -> Result<bool, GarbleError> {
+        if inputs.len() != self.n_inputs {
+            return Err(GarbleError);
+        }
+        let mut labels = Vec::with_capacity(self.n_inputs + self.tables.len());
+        labels.extend_from_slice(inputs);
+        for (gi, ((a, b), table)) in self.topology.iter().zip(&self.tables).enumerate() {
+            if *a >= labels.len() || *b >= labels.len() {
+                return Err(GarbleError);
+            }
+            let ka = labels[*a];
+            let kb = labels[*b];
+            let row = (ka.select() as usize) * 2 + kb.select() as usize;
+            let pad = row_pad(&ka, &kb, self.query_id, gi, row);
+            labels.push(WireLabel(WireLabel(table[row]).xor(&pad)));
+        }
+        let out = labels.get(self.output).ok_or(GarbleError)?;
+        let h = output_hash(out);
+        if h == self.decode[0] {
+            Ok(false)
+        } else if h == self.decode[1] {
+            Ok(true)
+        } else {
+            Err(GarbleError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{predicates, CircuitBuilder};
+
+    fn check_agreement(circuit: &Circuit, garbler: &Garbler, inputs: &[bool], qid: u64) {
+        let gq = garbler.garble(circuit, qid);
+        let labels = garbler.encode_inputs(inputs);
+        let got = gq.evaluate(&labels).expect("decodable");
+        assert_eq!(got, circuit.eval(inputs), "inputs {inputs:?}");
+    }
+
+    #[test]
+    fn single_gate_all_inputs() {
+        let g = Garbler::new(b"k");
+        for table in [crate::circuit::tt::AND, crate::circuit::tt::OR, crate::circuit::tt::XOR] {
+            let mut b = CircuitBuilder::new(2);
+            let x = b.input(0);
+            let y = b.input(1);
+            let o = b.gate(x, y, table);
+            let c = b.finish(o);
+            for va in [false, true] {
+                for vb in [false, true] {
+                    check_agreement(&c, &g, &[va, vb], 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_gate_via_same_wire_twice() {
+        let g = Garbler::new(b"k");
+        let mut b = CircuitBuilder::new(1);
+        let x = b.input(0);
+        let nx = b.not(x);
+        let c = b.finish(nx);
+        check_agreement(&c, &g, &[false], 7);
+        check_agreement(&c, &g, &[true], 7);
+    }
+
+    #[test]
+    fn eq_predicate_exhaustive_6bit() {
+        let g = Garbler::new(b"user-key");
+        let c = predicates::eq_const(6, 33);
+        for v in 0..64u64 {
+            check_agreement(&c, &g, &predicates::encode_uint(v, 6), 2);
+        }
+    }
+
+    #[test]
+    fn range_predicate_exhaustive_6bit() {
+        let g = Garbler::new(b"user-key");
+        let c = predicates::range(6, 10, 50);
+        for v in 0..64u64 {
+            check_agreement(&c, &g, &predicates::encode_uint(v, 6), 3);
+        }
+    }
+
+    #[test]
+    fn metadata_labels_are_query_independent() {
+        // the PPS property: a stored metadata (labels) must satisfy circuits
+        // garbled later under fresh query ids
+        let g = Garbler::new(b"user-key");
+        let labels = g.encode_inputs(&predicates::encode_uint(42, 8));
+        for (qid, threshold) in [(10u64, 40u64), (11, 42), (12, 99)] {
+            let c = predicates::gt_const(8, threshold);
+            let gq = g.garble(&c, qid);
+            assert_eq!(gq.evaluate(&labels).unwrap(), 42 > threshold);
+        }
+    }
+
+    #[test]
+    fn select_bits_do_not_reveal_values() {
+        // across positions, the select bit of the "1" label should be ~50/50
+        let g = Garbler::new(b"another-key");
+        let ones = (0..256).filter(|&i| g.input_label(i, true).select()).count();
+        assert!((64..192).contains(&ones), "select-bit bias: {ones}/256");
+    }
+
+    #[test]
+    fn equal_bits_leak_equal_labels() {
+        // the documented §5.5.5 weakness: same (position, value) ⇒ same label
+        let g = Garbler::new(b"k");
+        let m1 = g.encode_inputs(&[true, false, true]);
+        let m2 = g.encode_inputs(&[true, true, true]);
+        assert_eq!(m1[0], m2[0], "equal bits share labels (the known leak)");
+        assert_ne!(m1[1], m2[1], "differing bits differ");
+    }
+
+    #[test]
+    fn wrong_key_labels_fail_closed() {
+        let g = Garbler::new(b"right");
+        let forger = Garbler::new(b"wrong");
+        let c = predicates::eq_const(8, 5);
+        let gq = g.garble(&c, 9);
+        let forged = forger.encode_inputs(&predicates::encode_uint(5, 8));
+        assert_eq!(gq.evaluate(&forged), Err(GarbleError), "metadata unforgeability");
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_width() {
+        let g = Garbler::new(b"k");
+        let c = predicates::eq_const(8, 5);
+        let gq = g.garble(&c, 1);
+        let labels = g.encode_inputs(&predicates::encode_uint(5, 8));
+        assert_eq!(gq.evaluate(&labels[..7]), Err(GarbleError));
+    }
+
+    #[test]
+    fn tampered_table_fails_closed() {
+        let g = Garbler::new(b"k");
+        let c = predicates::eq_const(4, 3);
+        let mut gq = g.garble(&c, 4);
+        gq.tables[0][0][0] ^= 0xff;
+        gq.tables[0][1][0] ^= 0xff;
+        gq.tables[0][2][0] ^= 0xff;
+        gq.tables[0][3][0] ^= 0xff;
+        let labels = g.encode_inputs(&predicates::encode_uint(3, 4));
+        assert_eq!(gq.evaluate(&labels), Err(GarbleError));
+    }
+
+    #[test]
+    fn size_proportional_to_gates() {
+        let g = Garbler::new(b"k");
+        let small = g.garble(&predicates::eq_const(8, 1), 1);
+        let large = g.garble(&predicates::eq_const(64, 1), 1);
+        let per_gate_small =
+            (small.size_bytes() - 64) as f64 / small.n_gates() as f64;
+        let per_gate_large =
+            (large.size_bytes() - 64) as f64 / large.n_gates() as f64;
+        assert_eq!(per_gate_small, per_gate_large, "constant bytes per gate");
+        assert_eq!(per_gate_small, 80.0);
+    }
+
+    #[test]
+    fn distinct_query_ids_give_distinct_tables() {
+        let g = Garbler::new(b"k");
+        let c = predicates::eq_const(8, 7);
+        let a = g.garble(&c, 100);
+        let b = g.garble(&c, 101);
+        assert_ne!(a.tables, b.tables, "fresh internal labels per query");
+        // but both decode correctly against the same stored metadata
+        let labels = g.encode_inputs(&predicates::encode_uint(7, 8));
+        assert!(a.evaluate(&labels).unwrap());
+        assert!(b.evaluate(&labels).unwrap());
+    }
+}

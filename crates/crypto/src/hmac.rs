@@ -1,0 +1,88 @@
+//! HMAC-SHA1 (RFC 2104), the keyed PRF used by every PPS scheme.
+//!
+//! The thesis writes `F_K(x)` for a pseudorandom function keyed by `K`
+//! (§5.4.1); HMAC over SHA-1 is the standard realisation and is verified
+//! here against the RFC 2202 test vectors.
+
+use crate::sha1::{sha1, Sha1};
+
+const BLOCK: usize = 64;
+
+/// Compute HMAC-SHA1 of `msg` under `key`. Returns the 20-byte MAC.
+pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; 20] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..20].copy_from_slice(&sha1(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha1::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha1::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 test cases
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(hex(&hmac_sha1(&key, b"Hi There")), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        assert_eq!(hex(&hmac_sha1(&key, &msg)), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_case6_long_key() {
+        let key = [0xaa; 80];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn keys_separate_outputs() {
+        assert_ne!(hmac_sha1(b"k1", b"m"), hmac_sha1(b"k2", b"m"));
+        assert_ne!(hmac_sha1(b"k", b"m1"), hmac_sha1(b"k", b"m2"));
+    }
+
+    #[test]
+    fn empty_message_ok() {
+        // deterministic, non-degenerate
+        let a = hmac_sha1(b"key", b"");
+        let b = hmac_sha1(b"key", b"");
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Counter-mode keystream from the PRF — the stand-in for AES-CTR.
+//!
+//! The thesis encrypts file bodies with 128-bit AES (§5.6) before attaching
+//! PPS metadata. Examples in this repo that store "file contents" use this
+//! PRF-counter construction instead; it has the same interface (key + nonce →
+//! keystream XOR) and, being built on a PRF, the same security argument as
+//! CTR mode. Dictionary-scheme metadata blinding (`G_{r_i}(rnd)` in §5.5.2)
+//! also uses it.
+
+use crate::prf::{HmacPrf, Prf};
+
+/// XOR `data` in place with the keystream generated from `key`/`nonce`.
+///
+/// Applying the function twice with the same parameters restores the input
+/// (XOR symmetry), so this is both `encrypt` and `decrypt`.
+pub fn xor_keystream(key: &[u8], nonce: u64, data: &mut [u8]) {
+    let prf = HmacPrf::new(key);
+    let mut counter: u64 = 0;
+    let mut block = [0u8; 20];
+    let mut block_used = 20usize; // force initial refill
+    for byte in data.iter_mut() {
+        if block_used == 20 {
+            let mut input = [0u8; 16];
+            input[..8].copy_from_slice(&nonce.to_be_bytes());
+            input[8..].copy_from_slice(&counter.to_be_bytes());
+            block = prf.eval(&input);
+            counter += 1;
+            block_used = 0;
+        }
+        *byte ^= block[block_used];
+        block_used += 1;
+    }
+}
+
+/// Convenience: return an encrypted copy.
+pub fn apply_keystream(key: &[u8], nonce: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    xor_keystream(key, nonce, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let msg = b"attack at dawn, bring the replication level down to 2".to_vec();
+        let ct = apply_keystream(b"key", 7, &msg);
+        assert_ne!(ct, msg);
+        let pt = apply_keystream(b"key", 7, &ct);
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn nonce_separation() {
+        let msg = vec![0u8; 64];
+        let a = apply_keystream(b"key", 1, &msg);
+        let b = apply_keystream(b"key", 2, &msg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_separation() {
+        let msg = vec![0u8; 64];
+        let a = apply_keystream(b"k1", 1, &msg);
+        let b = apply_keystream(b"k2", 1, &msg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crosses_block_boundary_consistently() {
+        // encrypting in one call equals encrypting the same bytes positionally
+        let msg: Vec<u8> = (0..100u8).collect();
+        let whole = apply_keystream(b"k", 3, &msg);
+        // first 20 bytes use block 0, next 20 block 1 etc.; re-encrypting the
+        // whole message must be deterministic
+        let again = apply_keystream(b"k", 3, &msg);
+        assert_eq!(whole, again);
+        assert_eq!(whole.len(), 100);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let mut empty: Vec<u8> = Vec::new();
+        xor_keystream(b"k", 0, &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn keystream_not_degenerate() {
+        let zeros = vec![0u8; 256];
+        let ks = apply_keystream(b"k", 9, &zeros);
+        // keystream of zeros-XOR is the keystream itself; check byte diversity
+        let distinct: std::collections::HashSet<u8> = ks.iter().cloned().collect();
+        assert!(distinct.len() > 64, "keystream looks non-random: {} distinct bytes", distinct.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the §5.5.5 garbled-circuit stack: for *any* circuit
+//! and *any* input, garbled evaluation must agree with plaintext
+//! evaluation, and the predicate constructors must agree with native
+//! integer semantics.
+
+use proptest::prelude::*;
+use roar_crypto::circuit::{predicates, Circuit, CircuitBuilder, Gate};
+use roar_crypto::garble::Garbler;
+
+/// A random well-formed circuit: every gate reads wires below it.
+fn arb_circuit(max_inputs: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (1..=max_inputs, 1..=max_gates).prop_flat_map(move |(n_in, n_gates)| {
+        // per-gate: two wire choices (resolved modulo the live wire count)
+        // and a truth table
+        proptest::collection::vec((any::<u32>(), any::<u32>(), 0u8..16), n_gates).prop_map(
+            move |specs| {
+                let mut b = CircuitBuilder::new(n_in);
+                let mut wires: Vec<_> = (0..n_in).map(|i| b.input(i)).collect();
+                for (wa, wb, table) in specs {
+                    let a = wires[wa as usize % wires.len()];
+                    let bb = wires[wb as usize % wires.len()];
+                    let out = b.gate(a, bb, table);
+                    wires.push(out);
+                }
+                let out = *wires.last().expect("at least the inputs");
+                b.finish(out)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn garbled_agrees_with_plaintext(
+        c in arb_circuit(8, 24),
+        input_bits in any::<u64>(),
+        key in any::<[u8; 16]>(),
+        qid in any::<u64>(),
+    ) {
+        let inputs: Vec<bool> =
+            (0..c.n_inputs()).map(|i| input_bits >> (i % 64) & 1 == 1).collect();
+        let g = Garbler::new(&key);
+        let gq = g.garble(&c, qid);
+        let labels = g.encode_inputs(&inputs);
+        prop_assert_eq!(gq.evaluate(&labels).expect("decodable"), c.eval(&inputs));
+    }
+
+    #[test]
+    fn plaintext_eval_matches_gate_by_gate_reference(c in arb_circuit(6, 16), bits in any::<u32>()) {
+        // independent reference evaluator (no builder involvement)
+        let inputs: Vec<bool> = (0..c.n_inputs()).map(|i| bits >> (i % 32) & 1 == 1).collect();
+        let mut vals = inputs.clone();
+        for Gate { a, b, tt } in c.gates() {
+            let row = (vals[*a] as u8) * 2 + vals[*b] as u8;
+            vals.push(tt >> row & 1 == 1);
+        }
+        prop_assert_eq!(c.eval(&inputs), vals[c.output()]);
+    }
+
+    #[test]
+    fn eq_gt_lt_agree_with_integers(x in any::<u64>(), c in any::<u64>()) {
+        let bits = 64usize;
+        let enc = predicates::encode_uint(x, bits);
+        prop_assert_eq!(predicates::eq_const(bits, c).eval(&enc), x == c);
+        prop_assert_eq!(predicates::gt_const(bits, c).eval(&enc), x > c);
+        prop_assert_eq!(predicates::lt_const(bits, c).eval(&enc), x < c);
+    }
+
+    #[test]
+    fn range_agrees_with_integers(x in any::<u32>(), a in any::<u32>(), b in any::<u32>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let c = predicates::range(32, lo as u64, hi as u64);
+        let enc = predicates::encode_uint(x as u64, 32);
+        prop_assert_eq!(c.eval(&enc), (lo..=hi).contains(&x));
+    }
+
+    #[test]
+    fn garbled_range_predicate_full_agreement(
+        x in any::<u16>(), a in any::<u16>(), b in any::<u16>(), key in any::<[u8; 8]>(),
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let c = predicates::range(16, lo as u64, hi as u64);
+        let g = Garbler::new(&key);
+        let gq = g.garble(&c, 1);
+        let labels = g.encode_inputs(&predicates::encode_uint(x as u64, 16));
+        prop_assert_eq!(gq.evaluate(&labels).expect("ok"), (lo..=hi).contains(&x));
+    }
+
+    #[test]
+    fn slot_encoding_roundtrip(words in proptest::collection::vec(1u64..1 << 12, 0..6)) {
+        let slots = 6;
+        let slot_bits = 12;
+        let enc = predicates::encode_slots(&words, slots, slot_bits);
+        prop_assert_eq!(enc.len(), slots * slot_bits);
+        for w in &words {
+            let c = predicates::any_slot_eq(slots, slot_bits, *w);
+            prop_assert!(c.eval(&enc), "stored word {} must match", w);
+        }
+        // a word differing from all stored ones must miss
+        let absent = (1u64 << slot_bits) - 1;
+        if !words.contains(&absent) {
+            let c = predicates::any_slot_eq(slots, slot_bits, absent);
+            prop_assert!(!c.eval(&enc));
+        }
+    }
+
+    #[test]
+    fn forged_labels_never_decode_quietly(
+        key_a in any::<[u8; 8]>(), key_b in any::<[u8; 8]>(), x in any::<u16>(),
+    ) {
+        prop_assume!(key_a != key_b);
+        let honest = Garbler::new(&key_a);
+        let forger = Garbler::new(&key_b);
+        let c = predicates::eq_const(16, x as u64);
+        let gq = honest.garble(&c, 5);
+        let forged = forger.encode_inputs(&predicates::encode_uint(x as u64, 16));
+        // wrong-key labels must not produce a *valid* (decodable) output
+        prop_assert!(gq.evaluate(&forged).is_err());
+    }
+}

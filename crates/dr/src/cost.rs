@@ -1,0 +1,281 @@
+//! Analytic bandwidth / data-movement cost models (§2.3.2 and Table 6.2).
+//!
+//! Costs are counted in *messages* for store/query and in *object copies
+//! transferred* for reconfiguration — the same units as the thesis. These
+//! models feed the `tab6_2` reproduction and back ROAR's headline claim:
+//! changing the p/r trade-off moves the minimum possible amount of data in
+//! ROAR/SW, while PTN pays roughly double and concentrates the work on a
+//! subset of servers.
+
+use crate::types::DrConfig;
+
+/// Which algorithm a cost query refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    Ptn,
+    Sw,
+    Roar,
+    /// RAND with the given over-provisioning constant c.
+    Rand(usize),
+}
+
+impl Algo {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Ptn => "PTN",
+            Algo::Sw => "SW",
+            Algo::Roar => "ROAR",
+            Algo::Rand(_) => "RAND",
+        }
+    }
+}
+
+/// Messages to store (or update) one object: one per replica created.
+pub fn store_messages(algo: Algo, cfg: DrConfig) -> f64 {
+    let r = cfg.r();
+    match algo {
+        Algo::Ptn | Algo::Sw | Algo::Roar => r,
+        Algo::Rand(c) => c as f64 * r,
+    }
+}
+
+/// Messages to run one query: one sub-query + one reply per visited server.
+pub fn query_messages(algo: Algo, cfg: DrConfig) -> f64 {
+    let p = cfg.p as f64;
+    match algo {
+        Algo::Ptn | Algo::Sw | Algo::Roar => 2.0 * p,
+        Algo::Rand(c) => {
+            let fanout = (c as f64) * cfg.n as f64 / cfg.r();
+            2.0 * fanout
+        }
+    }
+}
+
+/// Object copies transferred to change the partitioning level from `from.p`
+/// to `to.p` over `d` objects (same n). This is the heart of Table 6.2.
+///
+/// * **ROAR / SW** move the information-theoretic minimum: raising the
+///   replication level from r to r' creates exactly `d·(r'−r)` new copies;
+///   lowering it transfers nothing (replicas are dropped in place). §3.3:
+///   "When decreasing r, no additional data needs to be copied. When
+///   increasing r by one, each node needs to copy 1/n-th of the data."
+/// * **PTN** decreasing p must destroy a cluster: the destroyed cluster's
+///   `d/p` objects are re-stored at the new replication level `r'`
+///   (`d·r'/p` copies) *and* each of the `n/p` freed servers reloads a full
+///   partition of the new layout (`d/p'` objects each). §3.1.
+/// * **PTN** increasing p carves a new cluster out of existing ones; for
+///   load balance the new cluster receives `d/p'` objects at replication
+///   `r'` (`d·r'/p'` copies). (Correctness alone would allow zero transfer
+///   but leaves the new cluster empty and useless.)
+pub fn repartition_copies(algo: Algo, from: DrConfig, to: DrConfig, d: u64) -> f64 {
+    assert_eq!(from.n, to.n, "repartition keeps n fixed");
+    let d = d as f64;
+    let (r_from, r_to) = (from.r(), to.r());
+    match algo {
+        Algo::Sw | Algo::Roar => (d * (r_to - r_from)).max(0.0),
+        Algo::Ptn => {
+            if to.p == from.p {
+                0.0
+            } else if to.p < from.p {
+                // decrease p: destroy (from.p - to.p) clusters
+                let destroyed = (from.p - to.p) as f64;
+                let reload_dropped = destroyed * d / from.p as f64 * r_to;
+                let freed_servers = destroyed * from.n as f64 / from.p as f64;
+                let reload_freed = freed_servers * d / to.p as f64;
+                reload_dropped + reload_freed
+            } else {
+                // increase p: create (to.p - from.p) clusters, fill for balance
+                let created = (to.p - from.p) as f64;
+                created * d / to.p as f64 * r_to
+            }
+        }
+        Algo::Rand(c) => {
+            // like SW but every copy is made c times
+            (c as f64) * (d * (r_to - r_from)).max(0.0)
+        }
+    }
+}
+
+/// Object copies a newly joined server downloads before serving queries.
+pub fn join_copies(algo: Algo, cfg: DrConfig, d: u64) -> f64 {
+    let d = d as f64;
+    match algo {
+        // a PTN server holds its cluster's full partition
+        Algo::Ptn => d / cfg.p as f64,
+        // an SW/ROAR node holds the objects crossing its range start plus
+        // those starting inside: d/p + d·g ≈ (d/p)(1 + 1/r) (§4.6)
+        Algo::Sw | Algo::Roar => d / cfg.p as f64 * (1.0 + 1.0 / cfg.r()),
+        Algo::Rand(c) => c as f64 * d * cfg.r() / cfg.n as f64,
+    }
+}
+
+/// Object copies moved when a server leaves gracefully.
+///
+/// PTN: zero — the cluster's other replicas still cover the partition.
+/// SW/ROAR: the two neighbours absorb the leaver's range; each already holds
+/// all but `1/r` of it, so together they fetch `k/r` where `k = d/p` is the
+/// leaver's store (§4.4).
+pub fn leave_copies(algo: Algo, cfg: DrConfig, d: u64) -> f64 {
+    let d = d as f64;
+    match algo {
+        Algo::Ptn => 0.0,
+        Algo::Sw | Algo::Roar => d / cfg.p as f64 / cfg.r(),
+        Algo::Rand(c) => c as f64 * d * cfg.r() / cfg.n as f64, // re-create lost replicas
+    }
+}
+
+/// §2.3.2: total bandwidth `B = r·B_data + p·B_query + B_results` and the
+/// optimal replication level `r_opt = sqrt(n · B_query / B_data)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthModel {
+    pub n: usize,
+    /// Incoming object update/insert bandwidth (units/s).
+    pub b_data: f64,
+    /// Incoming query bandwidth (units/s).
+    pub b_query: f64,
+    /// Result bandwidth — independent of r/p/n.
+    pub b_results: f64,
+}
+
+impl BandwidthModel {
+    /// Total bandwidth at replication level `r` (Eq. in §2.3.2, using
+    /// p = n/r).
+    pub fn total(&self, r: f64) -> f64 {
+        assert!(r >= 1.0 && r <= self.n as f64);
+        r * self.b_data + (self.n as f64 / r) * self.b_query + self.b_results
+    }
+
+    /// The bandwidth-minimising replication level, clamped into `[1, n]`.
+    pub fn optimal_r(&self) -> f64 {
+        (self.n as f64 * self.b_query / self.b_data).sqrt().clamp(1.0, self.n as f64)
+    }
+
+    /// How many times more bandwidth configuration `r` burns than the
+    /// optimum — §2.3.2's "if we sub-optimally chose an extreme value of r
+    /// … this requires O(√n) more bandwidth than optimal".
+    pub fn overhead_factor(&self, r: f64) -> f64 {
+        self.total(r) / self.total(self.optimal_r())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, p: usize) -> DrConfig {
+        DrConfig::new(n, p)
+    }
+
+    #[test]
+    fn store_costs() {
+        let c = cfg(12, 4); // r = 3
+        assert_eq!(store_messages(Algo::Ptn, c), 3.0);
+        assert_eq!(store_messages(Algo::Roar, c), 3.0);
+        assert_eq!(store_messages(Algo::Rand(2), c), 6.0);
+    }
+
+    #[test]
+    fn query_costs() {
+        let c = cfg(12, 4);
+        assert_eq!(query_messages(Algo::Sw, c), 8.0);
+        // RAND visits c·n/r = 2·12/3 = 8 servers → 16 messages
+        assert_eq!(query_messages(Algo::Rand(2), c), 16.0);
+    }
+
+    #[test]
+    fn roar_repartition_is_minimal() {
+        // n=100: p 10→5 raises r from 10 to 20; minimum copies = d·10
+        let from = cfg(100, 10);
+        let to = cfg(100, 5);
+        let d = 1_000_000u64;
+        let roar = repartition_copies(Algo::Roar, from, to, d);
+        assert!((roar - 10_000_000.0).abs() < 1.0);
+        let ptn = repartition_copies(Algo::Ptn, from, to, d);
+        assert!(ptn > roar, "PTN ({ptn}) must move more than ROAR ({roar})");
+    }
+
+    #[test]
+    fn decrease_r_is_free_for_roar() {
+        let from = cfg(100, 5);
+        let to = cfg(100, 10);
+        assert_eq!(repartition_copies(Algo::Roar, from, to, 1_000_000), 0.0);
+        assert_eq!(repartition_copies(Algo::Sw, from, to, 1_000_000), 0.0);
+        // PTN still pays to populate the new clusters
+        assert!(repartition_copies(Algo::Ptn, from, to, 1_000_000) > 0.0);
+    }
+
+    #[test]
+    fn noop_repartition_costs_nothing() {
+        let c = cfg(60, 6);
+        for algo in [Algo::Ptn, Algo::Sw, Algo::Roar, Algo::Rand(2)] {
+            assert_eq!(repartition_copies(algo, c, c, 500_000), 0.0, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn join_and_leave_shapes() {
+        let c = cfg(50, 10); // r = 5
+        let d = 1_000_000u64;
+        // PTN join loads a full partition
+        assert!((join_copies(Algo::Ptn, c, d) - 100_000.0).abs() < 1.0);
+        // ROAR join loads slightly more than a partition share (1 + 1/r)
+        let roar_join = join_copies(Algo::Roar, c, d);
+        assert!(roar_join > 100_000.0 && roar_join < 130_000.0, "{roar_join}");
+        // leave: PTN free, ROAR pays k/r
+        assert_eq!(leave_copies(Algo::Ptn, c, d), 0.0);
+        let roar_leave = leave_copies(Algo::Roar, c, d);
+        assert!((roar_leave - 20_000.0).abs() < 1.0, "{roar_leave}");
+    }
+
+    #[test]
+    fn optimal_r_formula() {
+        let m = BandwidthModel { n: 100, b_data: 1.0, b_query: 4.0, b_results: 10.0 };
+        let r_opt = m.optimal_r();
+        assert!((r_opt - 20.0).abs() < 1e-9);
+        // optimum is a minimum: nearby values cost more
+        assert!(m.total(r_opt) < m.total(r_opt * 2.0));
+        assert!(m.total(r_opt) < m.total(r_opt / 2.0));
+    }
+
+    #[test]
+    fn extreme_r_pays_order_sqrt_n() {
+        // §2.3.2: "if we sub-optimally chose an extreme value of r … this
+        // requires O(√n) more bandwidth than optimal"
+        for n in [100usize, 400, 1600] {
+            let m = BandwidthModel { n, b_data: 100.0, b_query: 100.0, b_results: 0.0 };
+            // at r = 1 the query term is n·B_query; optimal is ~2√n·B_query
+            let f = m.overhead_factor(1.0);
+            let sqrt_n = (n as f64).sqrt();
+            assert!(
+                f > 0.3 * sqrt_n && f < 0.8 * sqrt_n,
+                "n={n}: overhead {f:.1} should be Θ(√n)≈{sqrt_n:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_shifts_with_workload_mix() {
+        // query-heavy workloads want more replication (smaller p), update-
+        // heavy ones less
+        let n = 144;
+        let query_heavy = BandwidthModel { n, b_data: 10.0, b_query: 1000.0, b_results: 0.0 };
+        let update_heavy = BandwidthModel { n, b_data: 1000.0, b_query: 10.0, b_results: 0.0 };
+        assert!(query_heavy.optimal_r() > update_heavy.optimal_r() * 10.0);
+    }
+
+    #[test]
+    fn extreme_r_wastes_sqrt_n_bandwidth() {
+        // §2.3.2: a very small or very large r costs O(sqrt(n)) more
+        let m = BandwidthModel { n: 10_000, b_data: 1.0, b_query: 1.0, b_results: 0.0 };
+        let ratio = m.total(1.0) / m.total(m.optimal_r());
+        assert!(ratio > 10.0, "ratio {ratio}"); // sqrt(10000)/2 = 50 vs measured
+    }
+
+    #[test]
+    fn optimal_r_clamped() {
+        let m = BandwidthModel { n: 4, b_data: 1e-9, b_query: 1e9, b_results: 0.0 };
+        assert_eq!(m.optimal_r(), 4.0);
+        let m2 = BandwidthModel { n: 4, b_data: 1e9, b_query: 1e-9, b_results: 0.0 };
+        assert_eq!(m2.optimal_r(), 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Distributed-rendezvous abstractions and the three baseline algorithms the
+//! thesis analyses (Chapter 3): **PTN** (Google-style cluster partitioning),
+//! **SW** (the discrete sliding window) and **RAND** (randomised placement à
+//! la BubbleStorm).
+//!
+//! A distributed rendezvous algorithm (Definition 1) stores each object on
+//! `r` servers and routes each query to enough servers that all objects are
+//! met. The fundamental trade-off (Eq. 2.1) is `r · p = n`: replicating more
+//! means each query visits fewer servers and vice versa.
+//!
+//! This crate deliberately contains only the *content-insensitive* layer:
+//! which servers store which object keys, and which servers a query must
+//! visit. Local matching (the PPS application) lives in `roar-pps`; the ROAR
+//! algorithm itself — the paper's contribution — lives in `roar-core` and
+//! implements the same traits so the simulator (`roar-sim`) can compare all
+//! four algorithms side by side.
+
+pub mod cost;
+pub mod ptn;
+pub mod rack;
+pub mod rand_dr;
+pub mod sched;
+pub mod sw;
+pub mod tradeoff;
+pub mod types;
+
+pub use ptn::Ptn;
+pub use rand_dr::RandDr;
+pub use sched::{Assignment, FinishEstimator, OptScheduler, QueryScheduler, Task};
+pub use sw::SlidingWindow;
+pub use tradeoff::DelayModel;
+pub use types::{DrConfig, ObjectKey, ServerId};

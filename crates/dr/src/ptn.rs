@@ -1,0 +1,342 @@
+//! PTN — the Partitioned (cluster-based) distributed rendezvous of §3.1.
+//!
+//! "The Partitioned (PTN) strategy is parameterised by p. It divides the n
+//! servers into p clusters each with approximately n/p servers; each object
+//! is then stored on all the servers in one randomly chosen cluster. For
+//! routing, queries are sent to one server in each cluster." This is the
+//! algorithm used by Google (\[BDH03\]).
+//!
+//! PTN's strength is its rich scheduling choice: `r^p` server combinations,
+//! one independent pick per cluster, which is why its query delays lower-
+//! bound the sliding-window family. Its weakness — the reason ROAR exists —
+//! is reconfiguration: changing `p` with fixed `n` forces whole clusters to
+//! drop and reload data (modelled in [`crate::cost`]).
+
+use crate::sched::{Assignment, FinishEstimator, QueryScheduler, Task};
+use crate::types::{bucket_of, DrConfig, ObjectKey, ServerId};
+
+/// A PTN deployment: `p` clusters over `n` servers.
+///
+/// Cluster `i` owns the slice `perm[bounds[i]..bounds[i+1]]`; clusters
+/// differ in size by at most one server when `p ∤ n`. [`Ptn::new`] uses the
+/// identity permutation (contiguous index slices); [`Ptn::balanced`]
+/// permutes servers so cluster capacities are as equal as possible.
+#[derive(Debug, Clone)]
+pub struct Ptn {
+    cfg: DrConfig,
+    /// `perm[bounds[i]..bounds[i+1]]` are the servers of cluster `i`.
+    bounds: Vec<usize>,
+    perm: Vec<ServerId>,
+    of_server: Vec<usize>,
+}
+
+impl Ptn {
+    fn bounds_for(cfg: DrConfig) -> Vec<usize> {
+        let DrConfig { n, p } = cfg;
+        let base = n / p;
+        let extra = n % p;
+        let mut bounds = Vec::with_capacity(p + 1);
+        let mut acc = 0usize;
+        bounds.push(0);
+        for i in 0..p {
+            acc += base + usize::from(i < extra);
+            bounds.push(acc);
+        }
+        debug_assert_eq!(acc, n);
+        bounds
+    }
+
+    fn from_perm(cfg: DrConfig, bounds: Vec<usize>, perm: Vec<ServerId>) -> Self {
+        let mut of_server = vec![0usize; cfg.n];
+        for c in 0..cfg.p {
+            for &s in &perm[bounds[c]..bounds[c + 1]] {
+                of_server[s] = c;
+            }
+        }
+        Ptn { cfg, bounds, perm, of_server }
+    }
+
+    pub fn new(cfg: DrConfig) -> Self {
+        let bounds = Self::bounds_for(cfg);
+        let perm: Vec<ServerId> = (0..cfg.n).collect();
+        Self::from_perm(cfg, bounds, perm)
+    }
+
+    /// Capacity-balanced clusters (§3.1): "PTN needs to make sure that
+    /// clusters are computationally equivalent … the sum of processing
+    /// speeds of servers in each cluster is roughly constant across all
+    /// clusters." Greedy LPT: place servers fastest-first onto the cluster
+    /// with the least capacity that still has a seat.
+    ///
+    /// # Panics
+    /// If `speeds.len() != cfg.n` or any speed is not positive.
+    pub fn balanced(cfg: DrConfig, speeds: &[f64]) -> Self {
+        assert_eq!(speeds.len(), cfg.n, "one speed per server");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        let bounds = Self::bounds_for(cfg);
+        let seats: Vec<usize> = (0..cfg.p).map(|c| bounds[c + 1] - bounds[c]).collect();
+        let mut order: Vec<ServerId> = (0..cfg.n).collect();
+        order.sort_by(|&a, &b| speeds[b].partial_cmp(&speeds[a]).expect("finite speeds"));
+        let mut members: Vec<Vec<ServerId>> = vec![Vec::new(); cfg.p];
+        let mut cap = vec![0.0f64; cfg.p];
+        for s in order {
+            let c = (0..cfg.p)
+                .filter(|&c| members[c].len() < seats[c])
+                .min_by(|&a, &b| cap[a].partial_cmp(&cap[b]).expect("finite capacity"))
+                .expect("total seats equal n");
+            members[c].push(s);
+            cap[c] += speeds[s];
+        }
+        let perm: Vec<ServerId> = members.into_iter().flatten().collect();
+        Self::from_perm(cfg, bounds, perm)
+    }
+
+    pub fn config(&self) -> DrConfig {
+        self.cfg
+    }
+
+    /// Cluster an object is stored in (chosen uniformly by key).
+    pub fn cluster_of(&self, obj: ObjectKey) -> usize {
+        bucket_of(obj, self.cfg.p)
+    }
+
+    /// Servers of cluster `c`.
+    pub fn cluster_servers(&self, c: usize) -> impl ExactSizeIterator<Item = ServerId> + '_ {
+        self.perm[self.bounds[c]..self.bounds[c + 1]].iter().copied()
+    }
+
+    /// Cluster a server belongs to.
+    pub fn cluster_of_server(&self, s: ServerId) -> usize {
+        debug_assert!(s < self.cfg.n);
+        self.of_server[s]
+    }
+
+    /// All replicas of an object: every server of its cluster (that is what
+    /// makes PTN administration simple — all servers of a cluster are
+    /// identical).
+    pub fn replicas(&self, obj: ObjectKey) -> Vec<ServerId> {
+        self.cluster_servers(self.cluster_of(obj)).collect()
+    }
+
+    /// Does a sub-query sent to `server` match `obj`? Exactly the servers of
+    /// the object's cluster do, and a query uses one server per cluster, so
+    /// matching is trivially exactly-once.
+    pub fn subquery_matches(&self, server: ServerId, obj: ObjectKey) -> bool {
+        self.cluster_of_server(server) == self.cluster_of(obj)
+    }
+
+    /// The scheduler for this deployment.
+    pub fn scheduler(&self) -> PtnScheduler {
+        PtnScheduler { ptn: self.clone() }
+    }
+}
+
+/// The PTN front-end scheduler: independently pick, in each cluster, the
+/// server with the earliest predicted finish. Complexity O(n) — it touches
+/// every server once (§4.8.1: "For each sub-query, the front-end will
+/// iterate through all the servers in a cluster. Together, the complexity is
+/// O(n)").
+pub struct PtnScheduler {
+    ptn: Ptn,
+}
+
+impl QueryScheduler for PtnScheduler {
+    fn name(&self) -> &'static str {
+        "PTN"
+    }
+
+    fn choices(&self) -> u64 {
+        // r^p, saturating
+        let r = (self.ptn.cfg.n / self.ptn.cfg.p).max(1) as u64;
+        let mut acc: u64 = 1;
+        for _ in 0..self.ptn.cfg.p {
+            acc = acc.saturating_mul(r);
+            if acc == u64::MAX {
+                break;
+            }
+        }
+        acc
+    }
+
+    fn schedule(&self, est: &dyn FinishEstimator, _seed: u64) -> Assignment {
+        let p = self.ptn.cfg.p;
+        let work = self.ptn.cfg.work_per_subquery();
+        let mut tasks = Vec::with_capacity(p);
+        let mut predicted = f64::MIN;
+        for c in 0..p {
+            let mut best: Option<(f64, ServerId)> = None;
+            for s in self.ptn.cluster_servers(c) {
+                if !est.alive(s) {
+                    continue;
+                }
+                let f = est.estimate(s, work);
+                if best.map_or(true, |(bf, _)| f < bf) {
+                    best = Some((f, s));
+                }
+            }
+            let (f, s) = best.unwrap_or_else(|| {
+                panic!("cluster {c} has no live servers — PTN cannot cover the dataset")
+            });
+            predicted = predicted.max(f);
+            tasks.push(Task { server: s, work });
+        }
+        Assignment { tasks, predicted_finish: predicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::StaticEstimator;
+    use rand::Rng;
+    use roar_util::det_rng;
+
+    #[test]
+    fn clusters_partition_servers() {
+        for (n, p) in [(12, 4), (13, 4), (50, 7), (5, 5), (9, 1)] {
+            let ptn = Ptn::new(DrConfig::new(n, p));
+            let mut seen = vec![false; n];
+            for c in 0..p {
+                for s in ptn.cluster_servers(c) {
+                    assert!(!seen[s], "server {s} in two clusters (n={n},p={p})");
+                    seen[s] = true;
+                    assert_eq!(ptn.cluster_of_server(s), c);
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "uncovered server (n={n},p={p})");
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_differ_by_at_most_one() {
+        let ptn = Ptn::new(DrConfig::new(47, 5));
+        let sizes: Vec<usize> = (0..5).map(|c| ptn.cluster_servers(c).len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 47);
+    }
+
+    #[test]
+    fn replicas_fill_one_cluster() {
+        let ptn = Ptn::new(DrConfig::new(12, 4));
+        let reps = ptn.replicas(0x1234_5678_9abc_def0);
+        assert_eq!(reps.len(), 3); // r = 12/4
+        let c = ptn.cluster_of(0x1234_5678_9abc_def0);
+        assert_eq!(reps, ptn.cluster_servers(c).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exactly_once_matching() {
+        let ptn = Ptn::new(DrConfig::new(13, 4));
+        let sched = ptn.scheduler();
+        let est = StaticEstimator::uniform(13, 1.0);
+        let a = sched.schedule(&est, 0);
+        let mut rng = det_rng(11);
+        for _ in 0..2000 {
+            let obj: ObjectKey = rng.gen();
+            let matched =
+                a.tasks.iter().filter(|t| ptn.subquery_matches(t.server, obj)).count();
+            assert_eq!(matched, 1, "object {obj:#x} matched {matched} times");
+        }
+    }
+
+    #[test]
+    fn scheduler_picks_fastest_per_cluster() {
+        // 2 clusters of 2; speeds make servers 1 and 2 fastest in each
+        let ptn = Ptn::new(DrConfig::new(4, 2));
+        let est = StaticEstimator::with_speeds(vec![1.0, 9.0, 9.0, 1.0]);
+        let a = ptn.scheduler().schedule(&est, 0);
+        let servers: Vec<ServerId> = a.tasks.iter().map(|t| t.server).collect();
+        assert_eq!(servers, vec![1, 2]);
+    }
+
+    #[test]
+    fn scheduler_avoids_dead_servers() {
+        let ptn = Ptn::new(DrConfig::new(4, 2));
+        let mut est = StaticEstimator::with_speeds(vec![1.0, 9.0, 9.0, 1.0]);
+        est.dead[1] = true;
+        let a = ptn.scheduler().schedule(&est, 0);
+        assert_eq!(a.tasks[0].server, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dead_cluster_is_fatal() {
+        // if a whole cluster dies PTN cannot answer with 100% harvest
+        let ptn = Ptn::new(DrConfig::new(4, 2));
+        let mut est = StaticEstimator::uniform(4, 1.0);
+        est.dead[0] = true;
+        est.dead[1] = true;
+        let _ = ptn.scheduler().schedule(&est, 0);
+    }
+
+    #[test]
+    fn choices_is_r_to_the_p() {
+        let ptn = Ptn::new(DrConfig::new(12, 4));
+        assert_eq!(ptn.scheduler().choices(), 81); // 3^4
+    }
+
+    #[test]
+    fn balanced_clusters_equalise_capacity() {
+        // 4x speed spread: contiguous layout leaves some clusters slow;
+        // LPT keeps per-cluster capacity within a few percent
+        let mut rng = det_rng(12);
+        let n = 40;
+        let p = 8;
+        let speeds: Vec<f64> = (0..n).map(|_| [1.0, 1.0, 2.0, 4.0][rng.gen_range(0..4)]).collect();
+        let bal = Ptn::balanced(DrConfig::new(n, p), &speeds);
+        let naive = Ptn::new(DrConfig::new(n, p));
+        let cap = |ptn: &Ptn| -> Vec<f64> {
+            (0..p).map(|c| ptn.cluster_servers(c).map(|s| speeds[s]).sum()).collect()
+        };
+        let spread = |caps: &[f64]| {
+            let max = caps.iter().cloned().fold(f64::MIN, f64::max);
+            let min = caps.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        assert!(spread(&cap(&bal)) < spread(&cap(&naive)), "LPT must beat contiguous");
+        assert!(spread(&cap(&bal)) < 1.35, "balanced spread {:?}", cap(&bal));
+    }
+
+    #[test]
+    fn balanced_clusters_still_partition() {
+        let mut rng = det_rng(13);
+        let n = 23;
+        let p = 5;
+        let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+        let ptn = Ptn::balanced(DrConfig::new(n, p), &speeds);
+        let mut seen = vec![false; n];
+        for c in 0..p {
+            for s in ptn.cluster_servers(c) {
+                assert!(!seen[s], "server {s} twice");
+                seen[s] = true;
+                assert_eq!(ptn.cluster_of_server(s), c);
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // sizes still differ by at most one
+        let sizes: Vec<usize> = (0..p).map(|c| ptn.cluster_servers(c).len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn balanced_rejects_zero_speed() {
+        let _ = Ptn::balanced(DrConfig::new(4, 2), &[1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn object_distribution_balanced_across_clusters() {
+        let ptn = Ptn::new(DrConfig::new(20, 5));
+        let mut rng = det_rng(7);
+        let mut counts = vec![0usize; 5];
+        for _ in 0..50_000 {
+            counts[ptn.cluster_of(rng.gen())] += 1;
+        }
+        let imb = roar_util::stats::load_imbalance(
+            &counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+        );
+        assert!(imb < 1.05, "cluster imbalance {imb}");
+    }
+}

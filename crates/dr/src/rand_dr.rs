@@ -1,0 +1,223 @@
+//! RAND — randomised distributed rendezvous (§3.2), after BubbleStorm
+//! \[TKLB07\].
+//!
+//! Replicas are placed on `c·r` servers found by a random walk, and queries
+//! visit `c·n/r` random servers. Rendezvous is *probabilistic*: a query
+//! misses an object when its visited set avoids all the object's replicas,
+//! with probability ≈ `e^{−c²}` — 1.8% for the typical `c = 2` ("the typical
+//! value for c is 2, which yields a harvest of 98%"). The price is `c²`
+//! (≈4×) the work of the deterministic algorithms, which is why the thesis
+//! drops RAND for data-center deployments after the comparison; we implement
+//! it for the harvest/cost figures.
+
+use crate::sched::{Assignment, FinishEstimator, QueryScheduler, Task};
+use crate::types::{ObjectKey, ServerId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A RAND deployment.
+#[derive(Debug, Clone)]
+pub struct RandDr {
+    n: usize,
+    r: usize,
+    c: usize,
+}
+
+impl RandDr {
+    /// # Panics
+    /// Panics unless `1 ≤ r ≤ n` and `c ≥ 1` and `c·r ≤ n`.
+    pub fn new(n: usize, r: usize, c: usize) -> Self {
+        assert!(n >= 1 && r >= 1 && r <= n, "invalid RAND config n={n} r={r}");
+        assert!(c >= 1, "c must be ≥ 1");
+        assert!(c * r <= n, "c·r must not exceed n (c={c}, r={r}, n={n})");
+        RandDr { n, r, c }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of servers a query visits: `c·n/r` (capped at n).
+    pub fn query_fanout(&self) -> usize {
+        (self.c * self.n).div_ceil(self.r).min(self.n)
+    }
+
+    /// Number of replicas per object: `c·r`.
+    pub fn replica_count(&self) -> usize {
+        self.c * self.r
+    }
+
+    /// Replica set of an object: `c·r` distinct servers chosen by a
+    /// key-seeded random walk (deterministic per key, uniform across keys).
+    pub fn replicas(&self, obj: ObjectKey) -> Vec<ServerId> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(obj ^ 0x5eed_0bad_cafe_f00d);
+        sample_distinct(&mut rng, self.n, self.replica_count())
+    }
+
+    /// Visited set for a query seed.
+    pub fn visited(&self, seed: u64) -> Vec<ServerId> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        sample_distinct(&mut rng, self.n, self.query_fanout())
+    }
+
+    /// Does this query seed meet this object at least once?
+    pub fn query_meets(&self, seed: u64, obj: ObjectKey) -> bool {
+        let visited = self.visited(seed);
+        let reps = self.replicas(obj);
+        reps.iter().any(|s| visited.contains(s))
+    }
+
+    /// Analytic harvest: `1 − (1 − cr/n)^(cn/r)` — the probability a given
+    /// object is met by a query.
+    pub fn analytic_harvest(&self) -> f64 {
+        let miss_one = 1.0 - (self.replica_count() as f64 / self.n as f64);
+        1.0 - miss_one.powi(self.query_fanout() as i32)
+    }
+
+    /// Empirical harvest over `trials` random (query, object) pairs.
+    pub fn measured_harvest<R: Rng>(&self, rng: &mut R, trials: usize) -> f64 {
+        let mut met = 0usize;
+        for _ in 0..trials {
+            let seed: u64 = rng.gen();
+            let obj: ObjectKey = rng.gen();
+            if self.query_meets(seed, obj) {
+                met += 1;
+            }
+        }
+        met as f64 / trials as f64
+    }
+
+    pub fn scheduler(&self) -> RandScheduler {
+        RandScheduler { rd: self.clone() }
+    }
+}
+
+/// Choose `k` distinct servers out of `n`, uniformly.
+fn sample_distinct<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<ServerId> {
+    debug_assert!(k <= n);
+    if k * 4 >= n {
+        // dense: shuffle a full index vector
+        let mut all: Vec<ServerId> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(k);
+        all
+    } else {
+        // sparse: rejection sample
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let s = rng.gen_range(0..n);
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// RAND's scheduler: the visited set is random (that *is* the algorithm);
+/// each visited server scans its whole local share `c·r/n` of the dataset,
+/// so total work is `c²` — the 4× overhead for c = 2 the thesis cites.
+pub struct RandScheduler {
+    rd: RandDr,
+}
+
+impl QueryScheduler for RandScheduler {
+    fn name(&self) -> &'static str {
+        "RAND"
+    }
+
+    fn choices(&self) -> u64 {
+        u64::MAX // any random subset; effectively unbounded
+    }
+
+    fn schedule(&self, est: &dyn FinishEstimator, seed: u64) -> Assignment {
+        let work = (self.rd.replica_count() as f64) / self.rd.n as f64;
+        let tasks: Vec<Task> = self
+            .rd
+            .visited(seed)
+            .into_iter()
+            .filter(|&s| est.alive(s))
+            .map(|server| Task { server, work })
+            .collect();
+        let predicted_finish = tasks
+            .iter()
+            .map(|t| est.estimate(t.server, t.work))
+            .fold(f64::MIN, f64::max);
+        Assignment { tasks, predicted_finish }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::StaticEstimator;
+    use roar_util::det_rng;
+
+    #[test]
+    fn replica_and_fanout_counts() {
+        let rd = RandDr::new(100, 10, 2);
+        assert_eq!(rd.replica_count(), 20);
+        assert_eq!(rd.query_fanout(), 20);
+        assert_eq!(rd.replicas(42).len(), 20);
+        assert_eq!(rd.visited(42).len(), 20);
+    }
+
+    #[test]
+    fn replicas_distinct_and_deterministic() {
+        let rd = RandDr::new(50, 5, 2);
+        let a = rd.replicas(7);
+        let b = rd.replicas(7);
+        assert_eq!(a, b);
+        let mut s = a.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), a.len());
+    }
+
+    #[test]
+    fn harvest_near_98_percent_for_c2() {
+        // paper: c=2 yields ~98% harvest
+        let rd = RandDr::new(100, 10, 2);
+        let analytic = rd.analytic_harvest();
+        assert!(analytic > 0.97 && analytic < 0.995, "analytic {analytic}");
+        let mut rng = det_rng(8);
+        let measured = rd.measured_harvest(&mut rng, 4000);
+        assert!((measured - analytic).abs() < 0.02, "measured {measured} vs {analytic}");
+    }
+
+    #[test]
+    fn harvest_increases_with_c() {
+        let h1 = RandDr::new(120, 10, 1).analytic_harvest();
+        let h2 = RandDr::new(120, 10, 2).analytic_harvest();
+        assert!(h2 > h1);
+        assert!(h1 < 0.72); // e^{-1} miss ≈ 0.37 → harvest ≈ 0.63
+    }
+
+    #[test]
+    fn work_is_c_squared() {
+        let rd = RandDr::new(100, 10, 2);
+        let est = StaticEstimator::uniform(100, 1.0);
+        let a = rd.scheduler().schedule(&est, 3);
+        assert!((a.total_work() - 4.0).abs() < 0.05, "work {}", a.total_work());
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct() {
+        let mut rng = det_rng(9);
+        for (n, k) in [(10, 10), (100, 3), (100, 60), (1, 1)] {
+            let v = sample_distinct(&mut rng, n, k);
+            assert_eq!(v.len(), k);
+            let mut s = v.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), k, "n={n} k={k}");
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cr_exceeding_n_rejected() {
+        let _ = RandDr::new(10, 6, 2);
+    }
+}

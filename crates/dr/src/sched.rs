@@ -1,0 +1,200 @@
+//! The scheduling interface every distributed-rendezvous algorithm provides
+//! to the front-end, plus the placement-oblivious `OPT` lower bound.
+//!
+//! §6.1's simulator drives all algorithms through the same loop: on each
+//! query arrival the front-end asks the algorithm's scheduler to pick the
+//! server set that minimises the predicted query completion time, given the
+//! current per-server queue estimates. The *number of choices* available is
+//! what separates the algorithms — r for SW, r^p for PTN, r (·2^(p-1) with
+//! two rings) for ROAR — and is the root cause of their delay differences.
+
+use crate::types::ServerId;
+
+/// Predicts absolute finish times for hypothetical task placements.
+///
+/// `estimate(s, work)` answers: *if a sub-query scanning `work` (fraction of
+/// the dataset) were enqueued on server `s` right now, at what absolute time
+/// would it complete?* Implemented by the simulator (queue + speed model,
+/// Def. 8) and by the live front-end (EWMA speed estimates, §4.8).
+pub trait FinishEstimator {
+    fn estimate(&self, server: ServerId, work: f64) -> f64;
+
+    /// Number of servers known to the estimator.
+    fn n(&self) -> usize;
+
+    /// Whether the server is believed alive. Schedulers must not assign work
+    /// to dead servers. Defaults to alive.
+    fn alive(&self, server: ServerId) -> bool {
+        let _ = server;
+        true
+    }
+}
+
+/// One sub-query: a server plus the fraction of the dataset it scans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    pub server: ServerId,
+    pub work: f64,
+}
+
+/// The scheduler's decision for one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Assignment {
+    pub tasks: Vec<Task>,
+    /// Predicted completion time (absolute) as computed by the scheduler.
+    pub predicted_finish: f64,
+}
+
+impl Assignment {
+    /// Total scanned fraction of the dataset; 1.0 for exact algorithms,
+    /// c² (≈4) for RAND's duplicated work.
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.work).sum()
+    }
+}
+
+/// A front-end scheduler for one DR algorithm.
+pub trait QueryScheduler {
+    fn name(&self) -> &'static str;
+
+    /// Number of distinct server-combinations this algorithm can pick from
+    /// (the paper's "choices": r for SW, r^p for PTN). Saturates at
+    /// `u64::MAX`.
+    fn choices(&self) -> u64;
+
+    /// Pick servers for one query so the predicted completion time is
+    /// minimised. `seed` decorrelates tie-breaking/random decisions.
+    fn schedule(&self, est: &dyn FinishEstimator, seed: u64) -> Assignment;
+}
+
+/// The theoretical-best scheduler (§6.1.1): ignores placement entirely and
+/// runs the p sub-queries on the p servers with the earliest predicted
+/// finish. No real DR algorithm can beat it because every algorithm's
+/// feasible assignments are a subset of OPT's.
+pub struct OptScheduler {
+    pub p: usize,
+}
+
+impl OptScheduler {
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1);
+        OptScheduler { p }
+    }
+}
+
+impl QueryScheduler for OptScheduler {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    fn choices(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn schedule(&self, est: &dyn FinishEstimator, _seed: u64) -> Assignment {
+        let work = 1.0 / self.p as f64;
+        let mut finish: Vec<(f64, ServerId)> = (0..est.n())
+            .filter(|&s| est.alive(s))
+            .map(|s| (est.estimate(s, work), s))
+            .collect();
+        assert!(finish.len() >= self.p, "not enough live servers for p={}", self.p);
+        finish.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN finish estimate"));
+        let tasks: Vec<Task> =
+            finish[..self.p].iter().map(|&(_, s)| Task { server: s, work }).collect();
+        let predicted_finish = finish[..self.p]
+            .iter()
+            .map(|&(f, _)| f)
+            .fold(f64::MIN, f64::max);
+        Assignment { tasks, predicted_finish }
+    }
+}
+
+/// Shared helper: compute the makespan (max finish) of an assignment under a
+/// given estimator. Schedulers use it to compare candidate configurations;
+/// tests use it to verify optimality claims.
+pub fn makespan(est: &dyn FinishEstimator, tasks: &[Task]) -> f64 {
+    tasks
+        .iter()
+        .map(|t| est.estimate(t.server, t.work))
+        .fold(f64::MIN, f64::max)
+}
+
+/// A trivial estimator for tests and micro-benchmarks: each server has a
+/// fixed speed (work units per second) and a current queue-drain time.
+#[derive(Debug, Clone)]
+pub struct StaticEstimator {
+    pub speed: Vec<f64>,
+    pub busy_until: Vec<f64>,
+    pub dead: Vec<bool>,
+}
+
+impl StaticEstimator {
+    pub fn uniform(n: usize, speed: f64) -> Self {
+        StaticEstimator { speed: vec![speed; n], busy_until: vec![0.0; n], dead: vec![false; n] }
+    }
+
+    pub fn with_speeds(speed: Vec<f64>) -> Self {
+        let n = speed.len();
+        StaticEstimator { speed, busy_until: vec![0.0; n], dead: vec![false; n] }
+    }
+}
+
+impl FinishEstimator for StaticEstimator {
+    fn estimate(&self, server: ServerId, work: f64) -> f64 {
+        self.busy_until[server] + work / self.speed[server]
+    }
+
+    fn n(&self) -> usize {
+        self.speed.len()
+    }
+
+    fn alive(&self, server: ServerId) -> bool {
+        !self.dead[server]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_picks_fastest_servers() {
+        let est = StaticEstimator::with_speeds(vec![1.0, 10.0, 2.0, 8.0]);
+        let a = OptScheduler::new(2).schedule(&est, 0);
+        let mut servers: Vec<ServerId> = a.tasks.iter().map(|t| t.server).collect();
+        servers.sort_unstable();
+        assert_eq!(servers, vec![1, 3]);
+        assert!((a.total_work() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opt_accounts_for_queues() {
+        let mut est = StaticEstimator::uniform(3, 1.0);
+        est.busy_until = vec![100.0, 0.0, 0.0];
+        let a = OptScheduler::new(2).schedule(&est, 0);
+        assert!(a.tasks.iter().all(|t| t.server != 0));
+    }
+
+    #[test]
+    fn opt_skips_dead_servers() {
+        let mut est = StaticEstimator::with_speeds(vec![100.0, 1.0, 1.0]);
+        est.dead[0] = true;
+        let a = OptScheduler::new(2).schedule(&est, 0);
+        assert!(a.tasks.iter().all(|t| t.server != 0));
+    }
+
+    #[test]
+    fn opt_predicted_matches_makespan() {
+        let est = StaticEstimator::with_speeds(vec![3.0, 1.0, 2.0, 5.0]);
+        let a = OptScheduler::new(3).schedule(&est, 0);
+        assert!((a.predicted_finish - makespan(&est, &a.tasks)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn opt_requires_enough_live_servers() {
+        let mut est = StaticEstimator::uniform(2, 1.0);
+        est.dead[1] = true;
+        let _ = OptScheduler::new(2).schedule(&est, 0);
+    }
+}

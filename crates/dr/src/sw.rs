@@ -1,0 +1,265 @@
+//! SW — the discrete sliding-window distributed rendezvous of §3.3.
+//!
+//! The n nodes sit on a circle; the object with start node `s` is stored on
+//! nodes `s, s+1, …, s+r−1 (mod n)`, and a query that visits every r-th node
+//! is guaranteed to meet every object. Changing r is beautifully cheap —
+//! "increasing r by one merely requires replicating each data item onto the
+//! successor node" — but the algorithm offers only `r` scheduling choices
+//! (the query's start offset), so its delays on heterogeneous fleets are the
+//! worst of the deterministic algorithms. ROAR keeps SW's reconfiguration
+//! economics and fixes its scheduling/fault problems.
+
+use crate::sched::{Assignment, FinishEstimator, QueryScheduler, Task};
+use crate::types::{bucket_of, DrConfig, ObjectKey, ServerId};
+
+/// A discrete sliding-window deployment with integer replication level `r`.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    n: usize,
+    r: usize,
+}
+
+impl SlidingWindow {
+    /// # Panics
+    /// Panics unless `1 ≤ r ≤ n`.
+    pub fn new(n: usize, r: usize) -> Self {
+        assert!(n >= 1 && r >= 1 && r <= n, "invalid SW config n={n} r={r}");
+        SlidingWindow { n, r }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Effective partitioning level: number of nodes a query visits,
+    /// `ceil(n / r)` (equals `n/r` when `r | n`, the paper's assumption).
+    pub fn p(&self) -> usize {
+        self.n.div_ceil(self.r)
+    }
+
+    pub fn config(&self) -> DrConfig {
+        DrConfig::new(self.n, self.p())
+    }
+
+    /// Start node of an object's replica window.
+    pub fn start_node(&self, obj: ObjectKey) -> ServerId {
+        bucket_of(obj, self.n)
+    }
+
+    /// The r replica holders of an object: `s, s+1, …, s+r−1 (mod n)`.
+    pub fn replicas(&self, obj: ObjectKey) -> Vec<ServerId> {
+        let s = self.start_node(obj);
+        (0..self.r).map(|i| (s + i) % self.n).collect()
+    }
+
+    /// Nodes visited by a query with start offset `b ∈ [0, r)`: `ceil(n/r)`
+    /// nodes at positions `(b + i·r) mod n`. Consecutive visited nodes are
+    /// at most `r` apart (the wrap-around pair may be closer), so every
+    /// r-node replica window contains at least one visited node — the
+    /// coverage guarantee. The possible extra proximity at the wrap is
+    /// resolved by deduplication ([`Self::subquery_matches`]).
+    pub fn visited(&self, offset: usize) -> Vec<ServerId> {
+        let b = offset % self.r;
+        (0..self.p()).map(|i| (b + i * self.r) % self.n).collect()
+    }
+
+    /// Deduplicated matching: the *unique* visited node that matches `obj`
+    /// is the first one reached when walking clockwise from the object's
+    /// start node within its replica window. Exactly one such node exists
+    /// because consecutive visited nodes are at most `r` apart.
+    pub fn subquery_matches(&self, offset: usize, node: ServerId, obj: ObjectKey) -> bool {
+        let visited = self.visited(offset);
+        let s = self.start_node(obj);
+        // distance clockwise from s to node
+        let d = (node + self.n - s) % self.n;
+        if d >= self.r {
+            return false; // node does not hold a replica
+        }
+        // the matching node is the first visited node clockwise from s
+        // within the window [s, s+r)
+        for step in 0..self.r {
+            let j = (s + step) % self.n;
+            if visited.contains(&j) {
+                return j == node;
+            }
+        }
+        false // unreachable: coverage guarantees a visited node in the window
+    }
+
+    pub fn scheduler(&self) -> SwScheduler {
+        SwScheduler { sw: self.clone() }
+    }
+}
+
+/// SW front-end scheduler: try all `r` start offsets, keep the one with the
+/// smallest predicted makespan. "SW can only choose the starting point for
+/// each query … we only have r choices" (§3.3).
+pub struct SwScheduler {
+    sw: SlidingWindow,
+}
+
+impl QueryScheduler for SwScheduler {
+    fn name(&self) -> &'static str {
+        "SW"
+    }
+
+    fn choices(&self) -> u64 {
+        self.sw.r as u64
+    }
+
+    fn schedule(&self, est: &dyn FinishEstimator, _seed: u64) -> Assignment {
+        let work_full = 1.0 / self.sw.p() as f64;
+        let mut best: Option<Assignment> = None;
+        for offset in 0..self.sw.r {
+            let nodes = self.sw.visited(offset);
+            if nodes.iter().any(|&s| !est.alive(s)) {
+                // basic SW has no failure fall-back (§3.3: "some fast
+                // recovery mechanism would be needed"); skip offsets that
+                // hit dead nodes.
+                continue;
+            }
+            let tasks: Vec<Task> =
+                nodes.iter().map(|&server| Task { server, work: work_full }).collect();
+            let makespan = tasks
+                .iter()
+                .map(|t| est.estimate(t.server, t.work))
+                .fold(f64::MIN, f64::max);
+            if best.as_ref().map_or(true, |b| makespan < b.predicted_finish) {
+                best = Some(Assignment { tasks, predicted_finish: makespan });
+            }
+        }
+        best.expect("every SW offset hits a dead node — no failure fall-back in basic SW")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::StaticEstimator;
+    use rand::Rng;
+    use roar_util::det_rng;
+
+    #[test]
+    fn replicas_are_consecutive() {
+        let sw = SlidingWindow::new(10, 3);
+        let obj = u64::MAX / 2; // key just below the midpoint → start node 4
+        assert_eq!(sw.replicas(obj), vec![4, 5, 6]);
+        let obj_hi = u64::MAX / 2 + 2; // just past the midpoint → start node 5
+        assert_eq!(sw.replicas(obj_hi), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn replicas_wrap() {
+        let sw = SlidingWindow::new(10, 3);
+        // start node 9 -> {9, 0, 1}
+        let obj = (u64::MAX / 10) * 9 + 10_000;
+        assert_eq!(sw.start_node(obj), 9);
+        assert_eq!(sw.replicas(obj), vec![9, 0, 1]);
+    }
+
+    #[test]
+    fn visited_spacing() {
+        let sw = SlidingWindow::new(12, 3);
+        assert_eq!(sw.visited(1), vec![1, 4, 7, 10]);
+        assert_eq!(sw.visited(0).len(), sw.p());
+    }
+
+    #[test]
+    fn exactly_once_when_r_divides_n() {
+        let sw = SlidingWindow::new(12, 3);
+        let mut rng = det_rng(3);
+        for offset in 0..3 {
+            let visited = sw.visited(offset);
+            for _ in 0..1000 {
+                let obj: ObjectKey = rng.gen();
+                let hits =
+                    visited.iter().filter(|&&v| sw.subquery_matches(offset, v, obj)).count();
+                assert_eq!(hits, 1, "offset {offset} obj {obj:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_once_when_r_does_not_divide_n() {
+        // n=13, r=3: wrap gap of 1, duplicates must be suppressed
+        let sw = SlidingWindow::new(13, 3);
+        let mut rng = det_rng(4);
+        for offset in 0..3 {
+            let visited = sw.visited(offset);
+            for _ in 0..1000 {
+                let obj: ObjectKey = rng.gen();
+                let hits =
+                    visited.iter().filter(|&&v| sw.subquery_matches(offset, v, obj)).count();
+                assert_eq!(hits, 1, "offset {offset} obj {obj:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_only_replica_holders() {
+        let sw = SlidingWindow::new(10, 2);
+        let mut rng = det_rng(5);
+        for _ in 0..500 {
+            let obj: ObjectKey = rng.gen();
+            let reps = sw.replicas(obj);
+            for node in 0..10 {
+                if sw.subquery_matches(node % 2, node, obj) {
+                    assert!(reps.contains(&node), "non-replica {node} matched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_prefers_fast_offset() {
+        // n=4, r=2: offsets {0,2} and {1,3}; make {1,3} much faster
+        let sw = SlidingWindow::new(4, 2);
+        let est = StaticEstimator::with_speeds(vec![1.0, 50.0, 1.0, 50.0]);
+        let a = sw.scheduler().schedule(&est, 0);
+        let servers: Vec<ServerId> = a.tasks.iter().map(|t| t.server).collect();
+        assert_eq!(servers, vec![1, 3]);
+    }
+
+    #[test]
+    fn scheduler_skips_offsets_with_dead_nodes() {
+        let sw = SlidingWindow::new(4, 2);
+        let mut est = StaticEstimator::with_speeds(vec![1.0, 50.0, 1.0, 50.0]);
+        est.dead[1] = true;
+        let a = sw.scheduler().schedule(&est, 0);
+        let servers: Vec<ServerId> = a.tasks.iter().map(|t| t.server).collect();
+        assert_eq!(servers, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_offsets_dead_is_fatal() {
+        let sw = SlidingWindow::new(4, 2);
+        let mut est = StaticEstimator::uniform(4, 1.0);
+        est.dead[0] = true;
+        est.dead[1] = true;
+        let _ = sw.scheduler().schedule(&est, 0);
+    }
+
+    #[test]
+    fn choices_equals_r() {
+        assert_eq!(SlidingWindow::new(12, 4).scheduler().choices(), 4);
+    }
+
+    #[test]
+    fn storage_balanced() {
+        let sw = SlidingWindow::new(16, 4);
+        let mut rng = det_rng(6);
+        let mut counts = vec![0f64; 16];
+        for _ in 0..40_000 {
+            for s in sw.replicas(rng.gen()) {
+                counts[s] += 1.0;
+            }
+        }
+        let imb = roar_util::stats::load_imbalance(&counts);
+        assert!(imb < 1.05, "imbalance {imb}");
+    }
+}

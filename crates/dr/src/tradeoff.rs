@@ -1,0 +1,170 @@
+//! The delay side of the p/r trade-off (§2.3.3).
+//!
+//! "Approximating the system with an M/D/1 queue, waiting time increases
+//! with load (ρ) as ρ/(1−ρ)"; the `minP` function "takes as input the
+//! servers' processing capacity and the load in the system, and outputs the
+//! minimal value of p that achieves the target delay".
+//!
+//! This is what an adaptive deployment evaluates when it turns the p knob
+//! (§4.5, fig7_5): [`DelayModel::min_p`] gives the delay floor, and the
+//! §2.3.2 bandwidth optimum ([`crate::cost::BandwidthModel`]) the cost of
+//! over-replicating.
+
+use crate::types::DrConfig;
+
+/// Per-server delay model: constant service rate (Definition 8's fixed
+/// `cpu`, objects matched per second) plus an M/D/1 queueing correction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Objects in the dataset `D`.
+    pub objects: f64,
+    /// Per-server processing speed, objects/second (homogeneous-model view;
+    /// heterogeneity is the scheduler's problem, §4.8).
+    pub cpu: f64,
+    /// Fixed per-sub-query overhead in seconds (query parsing, thread
+    /// start, reply — the costs that "do not depend on the amount of data
+    /// being searched").
+    pub fixed_s: f64,
+}
+
+impl DelayModel {
+    /// Service time of one sub-query at partitioning level p: the fixed
+    /// overhead plus `D/p` objects at `cpu` objects/s.
+    pub fn service_s(&self, p: usize) -> f64 {
+        assert!(p >= 1);
+        self.fixed_s + self.objects / (p as f64 * self.cpu)
+    }
+
+    /// Per-server utilisation at `qps` queries/second for `n` servers: each
+    /// query occupies p servers for `service_s`, so
+    /// `ρ = qps · p · service / n`.
+    pub fn utilisation(&self, cfg: DrConfig, qps: f64) -> f64 {
+        qps * cfg.p as f64 * self.service_s(cfg.p) / cfg.n as f64
+    }
+
+    /// Mean query delay at load: M/D/1 mean waiting time is
+    /// `ρ/(2(1−ρ))·service`, plus the service itself. Returns
+    /// `f64::INFINITY` when the system is saturated (ρ ≥ 1) — the
+    /// "exploding queue" regime the simulator detects by slope fitting.
+    pub fn mean_delay_s(&self, cfg: DrConfig, qps: f64) -> f64 {
+        let rho = self.utilisation(cfg, qps);
+        if rho >= 1.0 {
+            return f64::INFINITY;
+        }
+        let s = self.service_s(cfg.p);
+        s * (1.0 + rho / (2.0 * (1.0 - rho)))
+    }
+
+    /// The §2.3.3 `minP`: the smallest `p` whose mean delay meets
+    /// `target_s` at the given load, or `None` if even `p = n` misses it.
+    ///
+    /// Monotonicity caveat the thesis flags: delay is *not* monotone in p —
+    /// more partitions shrink the scan but add fixed overhead and raise
+    /// utilisation — so this scans rather than bisects. O(n), run rarely.
+    pub fn min_p(&self, n: usize, qps: f64, target_s: f64) -> Option<usize> {
+        (1..=n).find(|&p| self.mean_delay_s(DrConfig::new(n, p), qps) <= target_s)
+    }
+
+    /// The delay-optimal p at a load (ignoring bandwidth): argmin of
+    /// [`Self::mean_delay_s`]. Useful as the floor the adaptive controller
+    /// cannot beat by repartitioning alone.
+    pub fn best_p(&self, n: usize, qps: f64) -> usize {
+        (1..=n)
+            .min_by(|&a, &b| {
+                let da = self.mean_delay_s(DrConfig::new(n, a), qps);
+                let db = self.mean_delay_s(DrConfig::new(n, b), qps);
+                da.partial_cmp(&db).expect("delays are not NaN")
+            })
+            .expect("n ≥ 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DelayModel {
+        // 1M objects, 250k objects/s (the thesis's PPS disk-bound rate),
+        // 2 ms fixed per sub-query
+        DelayModel { objects: 1e6, cpu: 250_000.0, fixed_s: 0.002 }
+    }
+
+    #[test]
+    fn service_time_shrinks_with_p() {
+        let m = model();
+        assert!(m.service_s(1) > m.service_s(10));
+        assert!((m.service_s(1) - 4.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mdl_waiting_grows_with_load() {
+        let m = model();
+        let cfg = DrConfig::new(40, 8);
+        let d_low = m.mean_delay_s(cfg, 1.0);
+        let d_high = m.mean_delay_s(cfg, 10.0);
+        assert!(d_high > d_low, "{d_high} vs {d_low}");
+    }
+
+    #[test]
+    fn saturation_is_infinite_delay() {
+        let m = model();
+        let cfg = DrConfig::new(10, 10);
+        // each query costs ~0.4s on all 10 servers → > ~2.5 qps saturates
+        assert!(m.mean_delay_s(cfg, 50.0).is_infinite());
+        assert!(m.utilisation(cfg, 50.0) >= 1.0);
+    }
+
+    #[test]
+    fn min_p_meets_target_and_is_minimal() {
+        let m = model();
+        let n = 50;
+        let qps = 4.0;
+        let target = 0.25;
+        let p = m.min_p(n, qps, target).expect("feasible");
+        assert!(m.mean_delay_s(DrConfig::new(n, p), qps) <= target);
+        if p > 1 {
+            assert!(
+                m.mean_delay_s(DrConfig::new(n, p - 1), qps) > target,
+                "p−1 should miss the target"
+            );
+        }
+    }
+
+    #[test]
+    fn min_p_rises_with_load_until_infeasible() {
+        // the fig7_5 story: more load → need more partitions for the same
+        // target, until no p suffices
+        let m = model();
+        let n = 50;
+        let target = 0.1;
+        let mut last = 0usize;
+        let mut became_infeasible = false;
+        for qps in [1.0, 4.0, 8.0, 16.0, 32.0, 64.0, 256.0] {
+            match m.min_p(n, qps, target) {
+                Some(p) => {
+                    assert!(!became_infeasible, "feasibility is monotone in load");
+                    assert!(p >= last, "minP grew from {last} to {p} at {qps} qps");
+                    last = p;
+                }
+                None => became_infeasible = true,
+            }
+        }
+        assert!(became_infeasible, "heavy load must eventually be infeasible");
+    }
+
+    #[test]
+    fn fixed_overheads_penalise_large_p_under_load() {
+        // fixed per-sub-query costs burn capacity: at p=n the system spends
+        // `n·fixed` per query, driving utilisation (and thus delay) up — the
+        // "partitioning too much … will decrease total throughput" half of
+        // the trade-off. Visible only when the system carries real load.
+        let m = DelayModel { objects: 1e5, cpu: 250_000.0, fixed_s: 0.05 };
+        let best = m.best_p(100, 15.0);
+        assert!((2..50).contains(&best), "fixed costs should cap p, got {best}");
+        // with negligible fixed costs the same load prefers much more
+        // partitioning
+        let m2 = DelayModel { objects: 1e5, cpu: 250_000.0, fixed_s: 1e-6 };
+        assert!(m2.best_p(100, 15.0) > best);
+    }
+
+}

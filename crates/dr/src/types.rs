@@ -1,0 +1,113 @@
+//! Shared vocabulary types for all distributed-rendezvous algorithms.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a server in the fleet. Fleets are dense `0..n`.
+pub type ServerId = usize;
+
+/// An object's identifier, "uniformly distributed from an object identifier
+/// space" (Definition 4). We use the full `u64` space; ROAR additionally
+/// interprets keys as fixed-point positions on the unit ring.
+pub type ObjectKey = u64;
+
+/// The `(n, r, p)` configuration of a distributed-rendezvous deployment.
+///
+/// Only two of the three are free: the trade-off `r · p = n` (Eq. 2.1) ties
+/// them together under perfect load balancing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrConfig {
+    /// Number of servers.
+    pub n: usize,
+    /// Partitioning level: the minimum number of servers a query must visit.
+    pub p: usize,
+}
+
+impl DrConfig {
+    /// Build a configuration from `n` and `p`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ p ≤ n`.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(n >= 1, "need at least one server");
+        assert!(p >= 1 && p <= n, "p must be in [1, n]; got p={p}, n={n}");
+        DrConfig { n, p }
+    }
+
+    /// Build from `n` and a target replication level `r`, choosing the
+    /// largest `p` with `p · r ≤ n` (so the realised replication is ≥ r).
+    pub fn from_replication(n: usize, r: usize) -> Self {
+        assert!(r >= 1 && r <= n, "r must be in [1, n]; got r={r}, n={n}");
+        DrConfig::new(n, (n / r).max(1))
+    }
+
+    /// Average replication level `r = n / p` (Eq. 2.1). Fractional: ROAR
+    /// stores "on an arc of the ring in which, on average, there are r
+    /// servers" (§4), so r need not be an integer.
+    pub fn r(&self) -> f64 {
+        self.n as f64 / self.p as f64
+    }
+
+    /// Work fraction of the dataset each of the `p` sub-queries scans.
+    pub fn work_per_subquery(&self) -> f64 {
+        1.0 / self.p as f64
+    }
+}
+
+/// Map a uniform `u64` key to one of `m` buckets without modulo bias
+/// (Lemire's multiply-shift reduction).
+pub fn bucket_of(key: ObjectKey, m: usize) -> usize {
+    ((key as u128 * m as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_r_is_n_over_p() {
+        let c = DrConfig::new(12, 4);
+        assert!((c.r() - 3.0).abs() < 1e-12);
+        assert!((c.work_per_subquery() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_replication_realises_at_least_r() {
+        for n in [10usize, 12, 47, 100] {
+            for r in 1..=n.min(12) {
+                let c = DrConfig::from_replication(n, r);
+                assert!(c.r() >= r as f64 - 1e-9, "n={n} r={r} -> p={}", c.p);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn p_larger_than_n_rejected() {
+        let _ = DrConfig::new(4, 5);
+    }
+
+    #[test]
+    fn bucket_of_uniform_endpoints() {
+        assert_eq!(bucket_of(0, 10), 0);
+        assert_eq!(bucket_of(u64::MAX, 10), 9);
+        // midpoint lands in the middle bucket
+        assert_eq!(bucket_of(u64::MAX / 2, 2), 0);
+        assert_eq!(bucket_of(u64::MAX / 2 + 2, 2), 1);
+    }
+
+    #[test]
+    fn bucket_of_balanced() {
+        // keys evenly spaced over u64 fall evenly over buckets
+        let m = 7;
+        let mut counts = vec![0usize; m];
+        let step = u64::MAX / 10_000;
+        let mut k = 0u64;
+        for _ in 0..10_000 {
+            counts[bucket_of(k, m)] += 1;
+            k = k.wrapping_add(step);
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min < 60, "counts {counts:?}");
+    }
+}

@@ -1,0 +1,142 @@
+//! The index-based vs PPS bandwidth model (§5.3.1, Fig 5.1).
+//!
+//! The straw-man alternative to PPS keeps an encrypted index online: clients
+//! download deltas (200 B each) and periodically the whole re-built index
+//! (500 kB for 50,000 files). PPS instead uploads one 500 B metadata per
+//! update and one 500 B query (plus ~10 × 200 B results). This module is the
+//! paper's closed-form model, including the optimal delta-batch size and the
+//! three local-update scenarios plotted in Fig 5.1.
+
+/// Model constants from §5.3.1 (bytes).
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthParams {
+    pub index_bytes: f64,
+    pub delta_bytes: f64,
+    pub metadata_bytes: f64,
+    pub query_bytes: f64,
+    pub results_bytes: f64,
+}
+
+impl Default for BandwidthParams {
+    fn default() -> Self {
+        BandwidthParams {
+            index_bytes: 500_000.0,
+            delta_bytes: 200.0,
+            metadata_bytes: 500.0,
+            query_bytes: 500.0,
+            results_bytes: 10.0 * 200.0,
+        }
+    }
+}
+
+impl BandwidthParams {
+    /// PPS bandwidth per unit time at update frequency `fu` and query
+    /// frequency `fq`: `500·fu + 2500·fq` with default constants.
+    pub fn pps(&self, fu: f64, fq: f64) -> f64 {
+        fu * self.metadata_bytes + fq * (self.query_bytes + self.results_bytes)
+    }
+
+    /// Index-solution bandwidth for a given maximum delta count `δmax`,
+    /// with `local` ∈ \[0,1\] the fraction of updates generated on the
+    /// querying machine (local deltas need no download).
+    ///
+    /// Updates: over a cycle of `δmax` changes the index is uploaded once in
+    /// full and `δmax − 1` deltas are uploaded.
+    /// Queries: a query downloads, equally likely, the full index or
+    /// 1 … δmax−1 remote deltas (paper's uniform-phase assumption); the
+    /// effective rate of index-invalidating changes is `(1−local)·fu`
+    /// (capped at fq as in the paper when queries are rarer than updates).
+    pub fn index_based(&self, fu: f64, fq: f64, delta_max: f64, local: f64) -> f64 {
+        assert!(delta_max >= 1.0);
+        assert!((0.0..=1.0).contains(&local));
+        // §5.3.1 upload term: fu · (500000 + 200(δmax−1)) / δmax
+        let upload =
+            fu * (self.index_bytes + self.delta_bytes * (delta_max - 1.0)) / delta_max;
+        // download term: fq · (500000 + 100·δmax(δmax−1)) / δmax — a query
+        // downloads the index or 1…δmax−1 deltas with equal probability.
+        // Only *remote* updates force downloads, and when queries outnumber
+        // remote updates only the update rate matters (the paper's fq>fu
+        // modification).
+        let remote_rate = (1.0 - local) * fu;
+        let fq_eff = fq.min(remote_rate);
+        let download = fq_eff
+            * (self.index_bytes
+                + (self.delta_bytes / 2.0) * delta_max * (delta_max - 1.0))
+            / delta_max;
+        upload + download
+    }
+
+    /// Optimal `δmax` for the index solution (numeric scan, as the paper
+    /// "compute\[s\] the optimal value").
+    pub fn optimal_delta_max(&self, fu: f64, fq: f64, local: f64) -> f64 {
+        let mut best = (f64::INFINITY, 1.0);
+        for dm in 1..=20_000u32 {
+            let b = self.index_based(fu, fq, dm as f64, local);
+            if b < best.0 {
+                best = (b, dm as f64);
+            }
+        }
+        best.1
+    }
+
+    /// Fig 5.1's z-axis: bandwidth ratio index-based (at its optimum) to
+    /// PPS.
+    pub fn ratio(&self, fu: f64, fq: f64, local: f64) -> f64 {
+        let dm = self.optimal_delta_max(fu, fq, local);
+        self.index_based(fu, fq, dm, local) / self.pps(fu, fq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pps_formula_matches_paper() {
+        let p = BandwidthParams::default();
+        // paper: "The bandwidth used by PPS is 500fu + 2500fq"
+        assert!((p.pps(3.0, 7.0) - (500.0 * 3.0 + 2500.0 * 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_solution_costs_more_when_updates_remote() {
+        let p = BandwidthParams::default();
+        let ratio = p.ratio(500.0, 500.0, 0.0);
+        // paper: "it generates eight times more bandwidth when updates are
+        // non-local"
+        assert!(ratio > 4.0 && ratio < 12.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn local_updates_narrow_the_gap() {
+        let p = BandwidthParams::default();
+        let remote = p.ratio(500.0, 500.0, 0.0);
+        let mostly_local = p.ratio(500.0, 500.0, 0.9);
+        assert!(
+            mostly_local < remote,
+            "90% local {mostly_local} should beat 0% local {remote}"
+        );
+    }
+
+    #[test]
+    fn optimal_delta_balances_index_and_deltas() {
+        let p = BandwidthParams::default();
+        let dm = p.optimal_delta_max(100.0, 100.0, 0.0);
+        assert!(dm > 1.0, "re-uploading the index on every change can't be optimal");
+        // closed form: dm* = sqrt((fu+fq)·index / (fq·delta/2)) = 100
+        assert!((dm - 100.0).abs() < 5.0, "dm {dm}");
+    }
+
+    #[test]
+    fn bandwidth_positive_over_grid() {
+        let p = BandwidthParams::default();
+        for &fu in &[1.0, 100.0, 1000.0] {
+            for &fq in &[1.0, 100.0, 1000.0] {
+                for &local in &[0.0, 0.5, 0.9] {
+                    let r = p.ratio(fu, fq, local);
+                    assert!(r.is_finite() && r > 0.0, "fu={fu} fq={fq} local={local}: {r}");
+                }
+            }
+        }
+    }
+}

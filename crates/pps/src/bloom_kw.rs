@@ -1,0 +1,273 @@
+//! Bloom-filter keyword matching (§5.5.2), after Goh \[Goh03a\].
+//!
+//! The user derives `r` independent PRFs `F_{k_1} … F_{k_r}` (the paper's
+//! r = 17 for a 1-in-100,000 false-positive rate). A query (trapdoor) for
+//! word `w` is `(F_{k_1}(w), …, F_{k_r}(w))`. A document's metadata is a
+//! Bloom filter over *codewords*: each trapdoor component is re-keyed with
+//! the document's fresh nonce, `y_j = F_rnd(x_j)`, so identical words yield
+//! different filter bits in different documents — the server cannot
+//! correlate documents by their bits.
+//!
+//! CPU cost model (verified in tests): a non-matching probe computes ~2
+//! codeword hashes on average before a miss bit is found; a matching probe
+//! computes all `r`. This is the "2.5 SHA-1 applications per metadata"
+//! arithmetic of §5.7.
+
+use rand::Rng;
+use roar_crypto::bloom::{BloomFilter, BloomParams};
+use roar_crypto::prf::{HmacPrf, Prf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global-ish PRF call counter for cost accounting (the §5.7 experiments
+/// report SHA-1 applications per metadata). Counted at codeword evaluation.
+#[derive(Debug, Default)]
+pub struct PrfCounter(AtomicU64);
+
+impl PrfCounter {
+    pub fn new() -> Self {
+        PrfCounter(AtomicU64::new(0))
+    }
+
+    pub fn add(&self, k: u64) {
+        self.0.fetch_add(k, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A keyword trapdoor: the `r` PRF images of the word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trapdoor {
+    pub parts: Vec<[u8; 20]>,
+}
+
+/// Encrypted document keywords: nonce + Bloom filter of codewords.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomMetadata {
+    pub nonce: u64,
+    pub filter: BloomFilter,
+}
+
+impl BloomMetadata {
+    /// Serialised size in bytes (nonce + filter) — the paper's ~130 B for
+    /// 50 keywords at fp 1e-5.
+    pub fn size_bytes(&self) -> usize {
+        8 + self.filter.to_bytes().len()
+    }
+}
+
+/// The Bloom keyword scheme.
+pub struct BloomKeywordScheme {
+    keys: Vec<HmacPrf>,
+    params: BloomParams,
+    /// Pad every filter to this popcount so the server cannot count a
+    /// document's keywords (§5.5.2). `None` disables padding.
+    pad_to: Option<usize>,
+}
+
+impl BloomKeywordScheme {
+    /// Standard parameterisation: `max_words` keywords per document at
+    /// false-positive rate `fp`.
+    pub fn new(key: &[u8], max_words: usize, fp: f64) -> Self {
+        let params = BloomParams::for_fp_rate(max_words, fp);
+        let root = HmacPrf::new(key);
+        let keys =
+            (0..params.hashes).map(|i| root.derive(format!("goh:{i}").as_bytes())).collect();
+        // pad to the *expected* popcount of a full document: an optimally
+        // sized filter is half full at design capacity (1 − e^{−nr/m} = 1/2),
+        // so padding beyond bits/2 would inflate the false-positive rate
+        BloomKeywordScheme { keys, params, pad_to: Some(params.bits / 2) }
+    }
+
+    /// The paper's configuration: 50 keywords, fp = 1e-5 (r = 17 hashes).
+    pub fn paper_config(key: &[u8]) -> Self {
+        Self::new(key, 50, 1e-5)
+    }
+
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    pub fn set_padding(&mut self, pad_to: Option<usize>) {
+        self.pad_to = pad_to;
+    }
+
+    /// `EncryptQuery`: the trapdoor for one keyword.
+    pub fn trapdoor(&self, word: &str) -> Trapdoor {
+        Trapdoor {
+            parts: self.keys.iter().map(|k| k.eval(word.as_bytes())).collect(),
+        }
+    }
+
+    /// `EncryptMetadata`: Bloom filter of the document's codewords.
+    pub fn encrypt_metadata<R: Rng>(&self, rng: &mut R, words: &[&str]) -> BloomMetadata {
+        let nonce: u64 = rng.gen();
+        let doc_prf = HmacPrf::new(&nonce.to_be_bytes());
+        let mut filter = BloomFilter::new(self.params.bits);
+        for word in words {
+            let td = self.trapdoor(word);
+            for part in &td.parts {
+                filter.set(doc_prf.eval_u64(part));
+            }
+        }
+        if let Some(target) = self.pad_to {
+            // blind the population with random bits so all documents look
+            // equally "full"
+            while filter.popcount() < target.min(self.params.bits) {
+                filter.set(rng.gen());
+            }
+        }
+        BloomMetadata { nonce, filter }
+    }
+
+    /// `Match`: all codeword bits set? Counts PRF evaluations in `counter`
+    /// (short-circuits on the first clear bit, like the paper's server).
+    pub fn matches(meta: &BloomMetadata, td: &Trapdoor, counter: &PrfCounter) -> bool {
+        let doc_prf = HmacPrf::new(&meta.nonce.to_be_bytes());
+        for part in &td.parts {
+            counter.add(1);
+            if !meta.filter.get(doc_prf.eval_u64(part)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `Cover`: keyword queries cover only identical trapdoors.
+    pub fn covers(a: &Trapdoor, b: &Trapdoor) -> bool {
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_util::det_rng;
+
+    fn scheme() -> BloomKeywordScheme {
+        let mut s = BloomKeywordScheme::paper_config(b"user-key");
+        s.set_padding(None); // determinism for exact-count tests
+        s
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let s = scheme();
+        assert_eq!(s.params().hashes, 17);
+    }
+
+    #[test]
+    fn contained_keyword_matches() {
+        let s = scheme();
+        let mut rng = det_rng(111);
+        let m = s.encrypt_metadata(&mut rng, &["alpha", "beta", "gamma"]);
+        let c = PrfCounter::new();
+        assert!(BloomKeywordScheme::matches(&m, &s.trapdoor("beta"), &c));
+        assert_eq!(c.get(), 17, "matching probe computes all r hashes");
+    }
+
+    #[test]
+    fn absent_keyword_rejected_cheaply() {
+        let s = scheme();
+        let mut rng = det_rng(112);
+        let m = s.encrypt_metadata(&mut rng, &["alpha", "beta"]);
+        let c = PrfCounter::new();
+        assert!(!BloomKeywordScheme::matches(&m, &s.trapdoor("delta"), &c));
+        // short-circuit: far fewer than r hashes on a miss
+        assert!(c.get() < 17, "used {} hashes", c.get());
+    }
+
+    #[test]
+    fn average_miss_cost_near_two() {
+        // §5.7: ~2.5 SHA-1 applications per metadata on average for
+        // non-matching probes (half-full filter → geometric with p≈1/2)
+        let s = scheme();
+        let mut rng = det_rng(113);
+        let words: Vec<String> = (0..50).map(|i| format!("word{i}")).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let m = s.encrypt_metadata(&mut rng, &refs);
+        let c = PrfCounter::new();
+        let probes = 2000;
+        for i in 0..probes {
+            let td = s.trapdoor(&format!("absent{i}"));
+            let _ = BloomKeywordScheme::matches(&m, &td, &c);
+        }
+        let avg = c.get() as f64 / probes as f64;
+        assert!((1.2..3.5).contains(&avg), "avg miss cost {avg}");
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let s = scheme();
+        let mut rng = det_rng(114);
+        for trial in 0..50 {
+            let words: Vec<String> = (0..20).map(|i| format!("w{trial}-{i}")).collect();
+            let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+            let m = s.encrypt_metadata(&mut rng, &refs);
+            let c = PrfCounter::new();
+            for w in &refs {
+                assert!(BloomKeywordScheme::matches(&m, &s.trapdoor(w), &c));
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_bounded() {
+        let s = scheme();
+        let mut rng = det_rng(115);
+        let words: Vec<String> = (0..50).map(|i| format!("doc-word-{i}")).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let m = s.encrypt_metadata(&mut rng, &refs);
+        let c = PrfCounter::new();
+        let probes = 6_000;
+        let fps = (0..probes)
+            .filter(|i| BloomKeywordScheme::matches(&m, &s.trapdoor(&format!("zz{i}")), &c))
+            .count();
+        // configured 1e-5; allow an order of magnitude of slack at this
+        // sample size
+        assert!(fps <= 2, "false positives: {fps}/{probes}");
+    }
+
+    #[test]
+    fn same_word_different_documents_different_bits() {
+        // codewords are nonce-keyed: the same keyword must not produce the
+        // same bit pattern across documents
+        let s = scheme();
+        let mut rng = det_rng(116);
+        let m1 = s.encrypt_metadata(&mut rng, &["secret"]);
+        let m2 = s.encrypt_metadata(&mut rng, &["secret"]);
+        assert_ne!(m1.filter, m2.filter);
+    }
+
+    #[test]
+    fn padding_hides_word_count() {
+        let mut s = BloomKeywordScheme::new(b"k", 10, 1e-3);
+        let pad = s.params().bits / 2;
+        s.set_padding(Some(pad));
+        let mut rng = det_rng(117);
+        let sparse = s.encrypt_metadata(&mut rng, &["one"]);
+        let dense =
+            s.encrypt_metadata(&mut rng, &["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
+        let lo = sparse.filter.popcount() as f64;
+        let hi = dense.filter.popcount() as f64;
+        assert!((lo - hi).abs() / hi < 0.15, "popcounts leak: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn metadata_size_near_paper() {
+        let s = scheme();
+        let mut rng = det_rng(118);
+        let words: Vec<String> = (0..50).map(|i| format!("w{i}")).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let m = s.encrypt_metadata(&mut rng, &refs);
+        // paper: ~130 B of filter for 50 keywords (we round up to whole u64
+        // words)
+        assert!(m.size_bytes() >= 130 && m.size_bytes() <= 200, "{} bytes", m.size_bytes());
+    }
+}

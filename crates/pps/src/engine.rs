@@ -1,0 +1,392 @@
+//! The PPS matching engine (§5.6.3, Fig 5.3).
+//!
+//! "To decouple these two [loading and matching], we create two threads: one
+//! that reads the data from disk or memory and feeds it to another thread
+//! that matches the metadata against the query … the code simply creates one
+//! matching thread per physical core, and the buffer now has a single
+//! producer and multiple consumers."
+//!
+//! The engine reproduces the paper's measurement hooks: produced/consumed
+//! progress traces (Fig 5.4), PRF call counts (the SHA-1 cost model of
+//! §5.7), and the PPS_LM / PPS_LC fixed-cost profiles (forced-GC vs lazy
+//! memory reclamation, §5.7).
+
+use crate::bloom_kw::PrfCounter;
+use crate::metadata::EncryptedMetadata;
+use crate::query::{CompiledQuery, Matcher};
+use crate::simdisk::{DiskProfile, SimDisk};
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fixed per-query costs — the difference between the two PPS builds
+/// (§5.7): PPS_LM forces a garbage-collector run after every query (higher
+/// fixed cost, flat memory); PPS_LC skips it (lower fixed cost, more
+/// memory).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineProfile {
+    /// Setup cost before matching starts (connection, parse, thread start).
+    pub pre_query_s: f64,
+    /// Tear-down cost after results are ready (PPS_LM's forced GC).
+    pub post_query_s: f64,
+}
+
+impl EngineProfile {
+    /// PPS_LM — low memory: pay a GC pause per query.
+    pub fn lm() -> Self {
+        EngineProfile { pre_query_s: 0.005, post_query_s: 0.035 }
+    }
+
+    /// PPS_LC — low CPU: no forced GC.
+    pub fn lc() -> Self {
+        EngineProfile { pre_query_s: 0.005, post_query_s: 0.0 }
+    }
+
+    /// No fixed costs (for microbenchmarks).
+    pub fn none() -> Self {
+        EngineProfile { pre_query_s: 0.0, post_query_s: 0.0 }
+    }
+}
+
+/// Everything measured about one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Ids of matching records.
+    pub matches: Vec<u64>,
+    /// End-to-end wall time including fixed costs, seconds.
+    pub wall_s: f64,
+    /// Records scanned.
+    pub scanned: usize,
+    /// PRF (HMAC-SHA1) evaluations performed by matching.
+    pub prf_calls: u64,
+    /// `(elapsed_s, cumulative_records)` at the producer (I/O thread).
+    pub produce_trace: Vec<(f64, usize)>,
+    /// `(elapsed_s, cumulative_records)` at the consumers.
+    pub consume_trace: Vec<(f64, usize)>,
+}
+
+impl QueryOutcome {
+    /// Records matched per second of wall time — the paper's "processing
+    /// speed (metadata/s)" axis (Fig 5.6b).
+    pub fn processing_speed(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.scanned as f64 / self.wall_s
+    }
+}
+
+/// The matching engine.
+pub struct Engine {
+    /// Matching (consumer) threads; the paper uses one per core.
+    pub threads: usize,
+    pub profile: EngineProfile,
+    /// Producer batch size ("the I/O thread produces batches of metadata at
+    /// once" to limit synchronisation, §5.6.3).
+    pub batch: usize,
+    /// Trace sampling interval in records (paper instruments every 1000).
+    pub trace_every: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine { threads: 1, profile: EngineProfile::lm(), batch: 256, trace_every: 1000 }
+    }
+}
+
+impl Engine {
+    pub fn new(threads: usize, profile: EngineProfile) -> Self {
+        assert!(threads >= 1);
+        Engine { threads, profile, ..Default::default() }
+    }
+
+    /// Execute `query` against `records`, streaming them through the
+    /// producer/consumer pipeline. `disk` paces the producer; `None` means
+    /// in-memory data.
+    pub fn run_query(
+        &self,
+        records: &[EncryptedMetadata],
+        disk: Option<DiskProfile>,
+        query: &CompiledQuery,
+    ) -> QueryOutcome {
+        if self.profile.pre_query_s > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(self.profile.pre_query_s));
+        }
+        let start = Instant::now();
+        let counter = PrfCounter::new();
+        let (tx, rx) = bounded::<&[EncryptedMetadata]>(16);
+        let produce_trace = Mutex::new(Vec::new());
+        let consume_trace = Mutex::new(Vec::new());
+        let consumed_total = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut matches: Vec<u64> = Vec::new();
+
+        std::thread::scope(|scope| {
+            // producer: the I/O thread
+            let producer_trace = &produce_trace;
+            scope.spawn(move || {
+                let mut simdisk = disk.map(SimDisk::begin);
+                let mut produced = 0usize;
+                let mut next_mark = self.trace_every;
+                for chunk in records.chunks(self.batch) {
+                    if let Some(d) = simdisk.as_mut() {
+                        let bytes: u64 = chunk.iter().map(|r| r.size_bytes() as u64).sum();
+                        d.read(bytes);
+                    }
+                    produced += chunk.len();
+                    if produced >= next_mark {
+                        producer_trace
+                            .lock()
+                            .push((start.elapsed().as_secs_f64(), produced));
+                        next_mark += self.trace_every;
+                    }
+                    if tx.send(chunk).is_err() {
+                        break;
+                    }
+                }
+                drop(tx);
+                producer_trace.lock().push((start.elapsed().as_secs_f64(), produced));
+            });
+
+            // consumers: matching threads
+            let mut handles = Vec::new();
+            for _ in 0..self.threads {
+                let rx = rx.clone();
+                let counter = &counter;
+                let consume_trace = &consume_trace;
+                let consumed_total = Arc::clone(&consumed_total);
+                let trace_every = self.trace_every;
+                handles.push(scope.spawn(move || {
+                    let mut local_matches = Vec::new();
+                    let mut matcher = Matcher::new(query.trapdoors.len(), true);
+                    while let Ok(chunk) = rx.recv() {
+                        for rec in chunk {
+                            if matcher.matches(query, rec, counter) {
+                                local_matches.push(rec.id);
+                            }
+                        }
+                        let total = consumed_total.fetch_add(
+                            chunk.len(),
+                            std::sync::atomic::Ordering::Relaxed,
+                        ) + chunk.len();
+                        if total % trace_every < chunk.len() {
+                            consume_trace.lock().push((start.elapsed().as_secs_f64(), total));
+                        }
+                    }
+                    local_matches
+                }));
+            }
+            drop(rx);
+            for h in handles {
+                matches.extend(h.join().expect("matcher thread panicked"));
+            }
+        });
+
+        let mut wall = start.elapsed().as_secs_f64() + self.profile.pre_query_s;
+        if self.profile.post_query_s > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(self.profile.post_query_s));
+            wall += self.profile.post_query_s;
+        }
+        matches.sort_unstable();
+        QueryOutcome {
+            matches,
+            wall_s: wall,
+            scanned: records.len(),
+            prf_calls: counter.get(),
+            produce_trace: produce_trace.into_inner(),
+            consume_trace: consume_trace.into_inner(),
+        }
+    }
+}
+
+/// LRU cache of user metadata collections (§5.6.1): "a user's metadata is
+/// cached as long as memory is available … the cache policy is least
+/// recently used".
+pub struct UserCache {
+    capacity_records: usize,
+    /// Most recent at the back.
+    entries: VecDeque<(u64, Arc<Vec<EncryptedMetadata>>)>,
+}
+
+impl UserCache {
+    pub fn new(capacity_records: usize) -> Self {
+        assert!(capacity_records > 0);
+        UserCache { capacity_records, entries: VecDeque::new() }
+    }
+
+    fn used(&self) -> usize {
+        self.entries.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Look up a user's collection, marking it most-recently-used.
+    pub fn get(&mut self, user: u64) -> Option<Arc<Vec<EncryptedMetadata>>> {
+        let idx = self.entries.iter().position(|&(u, _)| u == user)?;
+        let entry = self.entries.remove(idx).expect("index valid");
+        self.entries.push_back(entry.clone());
+        Some(entry.1)
+    }
+
+    /// Insert (or replace) a user's collection, evicting LRU entries until
+    /// it fits. Collections larger than the whole cache are not cached.
+    pub fn put(&mut self, user: u64, data: Arc<Vec<EncryptedMetadata>>) {
+        if let Some(idx) = self.entries.iter().position(|&(u, _)| u == user) {
+            self.entries.remove(idx);
+        }
+        if data.len() > self.capacity_records {
+            return;
+        }
+        while self.used() + data.len() > self.capacity_records {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((user, data));
+    }
+
+    pub fn contains(&self, user: u64) -> bool {
+        self.entries.iter().any(|&(u, _)| u == user)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{FileMeta, MetaEncryptor};
+    use crate::query::{Combiner, Predicate, QueryCompiler};
+    use roar_util::det_rng;
+
+    /// Cheap encryptor for bulk test corpora (single-point numeric grids).
+    fn test_encryptor() -> MetaEncryptor {
+        MetaEncryptor::with_points(b"u", vec![1_000_000], vec![1_300_000_000])
+    }
+
+    fn corpus(enc: &MetaEncryptor, n: usize) -> Vec<EncryptedMetadata> {
+        let mut rng = det_rng(171);
+        (0..n)
+            .map(|i| {
+                enc.encrypt(
+                    &mut rng,
+                    &FileMeta {
+                        path: format!("/d/f{i}"),
+                        keywords: if i == 7 {
+                            vec!["needle".into()]
+                        } else {
+                            vec![format!("hay{i}")]
+                        },
+                        size: 1000,
+                        mtime: 1_600_000_000,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn needle_query(enc: &MetaEncryptor) -> CompiledQuery {
+        QueryCompiler::new(enc).compile(&[Predicate::Keyword("needle".into())], Combiner::And)
+    }
+
+    #[test]
+    fn finds_the_needle() {
+        let enc = test_encryptor();
+        let recs = corpus(&enc, 300);
+        let engine = Engine::new(2, EngineProfile::none());
+        let out = engine.run_query(&recs, None, &needle_query(&enc));
+        assert_eq!(out.matches, vec![recs[7].id]);
+        assert_eq!(out.scanned, 300);
+        assert!(out.prf_calls > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let enc = test_encryptor();
+        let recs = corpus(&enc, 500);
+        let q = needle_query(&enc);
+        let r1 = Engine::new(1, EngineProfile::none()).run_query(&recs, None, &q);
+        let r4 = Engine::new(4, EngineProfile::none()).run_query(&recs, None, &q);
+        assert_eq!(r1.matches, r4.matches);
+        assert_eq!(r1.scanned, r4.scanned);
+    }
+
+    #[test]
+    fn disk_pacing_slows_query() {
+        let enc = test_encryptor();
+        let recs = corpus(&enc, 400);
+        let q = needle_query(&enc);
+        let engine = Engine::new(2, EngineProfile::none());
+        let mem = engine.run_query(&recs, None, &q);
+        // ~400 records × ~900 B ≈ 360 kB at 2 MB/s ≈ 0.18 s
+        let disk = engine.run_query(&recs, Some(DiskProfile::with_rate(2.0, 0.0)), &q);
+        assert!(
+            disk.wall_s > mem.wall_s + 0.05,
+            "disk {} vs mem {}",
+            disk.wall_s,
+            mem.wall_s
+        );
+    }
+
+    #[test]
+    fn traces_are_monotone() {
+        let enc = test_encryptor();
+        let recs = corpus(&enc, 1500);
+        let engine =
+            Engine { threads: 2, profile: EngineProfile::none(), batch: 128, trace_every: 500 };
+        let out = engine.run_query(&recs, None, &needle_query(&enc));
+        assert!(!out.produce_trace.is_empty());
+        for w in out.produce_trace.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+        assert_eq!(out.produce_trace.last().unwrap().1, 1500);
+    }
+
+    #[test]
+    fn lm_profile_pays_fixed_cost() {
+        let enc = test_encryptor();
+        let recs = corpus(&enc, 50);
+        let q = needle_query(&enc);
+        let lm = Engine::new(1, EngineProfile::lm()).run_query(&recs, None, &q);
+        let lc = Engine::new(1, EngineProfile::lc()).run_query(&recs, None, &q);
+        assert!(
+            lm.wall_s > lc.wall_s + 0.02,
+            "LM {} should exceed LC {} by the GC pause",
+            lm.wall_s,
+            lc.wall_s
+        );
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest() {
+        let mk = |n: usize| Arc::new(vec![]) as Arc<Vec<EncryptedMetadata>>;
+        let _ = mk; // capacity accounting needs real lengths; build tiny recs
+        let enc = test_encryptor();
+        let recs = Arc::new(corpus(&enc, 10));
+        let mut cache = UserCache::new(25);
+        cache.put(1, recs.clone());
+        cache.put(2, recs.clone());
+        assert!(cache.contains(1) && cache.contains(2));
+        // inserting a third 10-record set must evict user 1 (LRU)
+        cache.put(3, recs.clone());
+        assert!(!cache.contains(1));
+        assert!(cache.contains(2) && cache.contains(3));
+        // touching 2 makes 3 the LRU
+        assert!(cache.get(2).is_some());
+        cache.put(4, recs.clone());
+        assert!(!cache.contains(3));
+        assert!(cache.contains(2));
+    }
+
+    #[test]
+    fn oversized_collection_not_cached() {
+        let enc = test_encryptor();
+        let recs = Arc::new(corpus(&enc, 10));
+        let mut cache = UserCache::new(5);
+        cache.put(1, recs);
+        assert!(!cache.contains(1));
+    }
+}

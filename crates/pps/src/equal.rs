@@ -1,0 +1,118 @@
+//! Equality matching (§5.5.1) — the simplest PPS scheme, after the first
+//! step of Song et al. \[SWP00\].
+//!
+//! * `EncryptQuery(K, Q) = F_K(Q)` — the "hidden value" of the plaintext.
+//! * `EncryptMetadata(K, M) = (rnd, F_h(rnd))` with `h = F_K(M)` and a fresh
+//!   random nonce.
+//! * `Match((rnd, tag), Qe) = [F_Qe(rnd) == tag]`.
+//!
+//! Not expressive enough for real queries, but the numeric and keyword
+//! schemes build on the same blinding pattern, so it anchors the tests.
+
+use rand::Rng;
+use roar_crypto::prf::{HmacPrf, Prf};
+
+/// An encrypted equality query: the PRF image of the plaintext value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqualQuery(pub [u8; 20]);
+
+/// An encrypted metadata value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqualMetadata {
+    pub nonce: u64,
+    pub tag: [u8; 20],
+}
+
+/// The Equal scheme keyed by the user's secret.
+pub struct EqualScheme {
+    prf: HmacPrf,
+}
+
+impl EqualScheme {
+    pub fn new(key: &[u8]) -> Self {
+        EqualScheme { prf: HmacPrf::new(key) }
+    }
+
+    /// `EncryptQuery(K, Q)`.
+    pub fn encrypt_query(&self, value: &[u8]) -> EqualQuery {
+        EqualQuery(self.prf.eval(value))
+    }
+
+    /// `EncryptMetadata(K, M)`.
+    pub fn encrypt_metadata<R: Rng>(&self, rng: &mut R, value: &[u8]) -> EqualMetadata {
+        let nonce: u64 = rng.gen();
+        let hidden = self.prf.eval(value);
+        let inner = HmacPrf::new(&hidden);
+        EqualMetadata { nonce, tag: inner.eval(&nonce.to_be_bytes()) }
+    }
+
+    /// `Match(Me, Qe)` — run by the *server*, no key required.
+    pub fn matches(meta: &EqualMetadata, query: &EqualQuery) -> bool {
+        let inner = HmacPrf::new(&query.0);
+        inner.eval(&meta.nonce.to_be_bytes()) == meta.tag
+    }
+
+    /// `Cover(Q1, Q2)` — equality queries cover only themselves.
+    pub fn covers(q1: &EqualQuery, q2: &EqualQuery) -> bool {
+        q1 == q2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_util::det_rng;
+
+    #[test]
+    fn matching_value_matches() {
+        let s = EqualScheme::new(b"user-key");
+        let mut rng = det_rng(101);
+        let m = s.encrypt_metadata(&mut rng, b"42");
+        let q = s.encrypt_query(b"42");
+        assert!(EqualScheme::matches(&m, &q));
+    }
+
+    #[test]
+    fn non_matching_value_rejected() {
+        let s = EqualScheme::new(b"user-key");
+        let mut rng = det_rng(102);
+        let m = s.encrypt_metadata(&mut rng, b"42");
+        let q = s.encrypt_query(b"43");
+        assert!(!EqualScheme::matches(&m, &q));
+    }
+
+    #[test]
+    fn different_keys_do_not_match() {
+        let s1 = EqualScheme::new(b"key-1");
+        let s2 = EqualScheme::new(b"key-2");
+        let mut rng = det_rng(103);
+        let m = s1.encrypt_metadata(&mut rng, b"same");
+        let q = s2.encrypt_query(b"same");
+        assert!(!EqualScheme::matches(&m, &q));
+    }
+
+    #[test]
+    fn metadata_encryptions_are_randomised() {
+        // semantic security needs fresh nonces: the same plaintext must
+        // encrypt differently each time
+        let s = EqualScheme::new(b"k");
+        let mut rng = det_rng(104);
+        let m1 = s.encrypt_metadata(&mut rng, b"v");
+        let m2 = s.encrypt_metadata(&mut rng, b"v");
+        assert_ne!(m1, m2);
+        // but both still match the query
+        let q = s.encrypt_query(b"v");
+        assert!(EqualScheme::matches(&m1, &q));
+        assert!(EqualScheme::matches(&m2, &q));
+    }
+
+    #[test]
+    fn cover_is_equality() {
+        let s = EqualScheme::new(b"k");
+        let a = s.encrypt_query(b"x");
+        let b = s.encrypt_query(b"x");
+        let c = s.encrypt_query(b"y");
+        assert!(EqualScheme::covers(&a, &b));
+        assert!(!EqualScheme::covers(&a, &c));
+    }
+}

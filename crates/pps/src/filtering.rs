@@ -1,0 +1,276 @@
+//! Online filtering: long-standing queries and push notifications.
+//!
+//! The thesis's second application class (§2.3): "users express their
+//! interests which are stored in the database. When new documents arrive,
+//! they are matched against existing interests and forwarded to interested
+//! users." PPS supports it directly — Definition 7 lets the user "submit or
+//! withdraw a long standing query", and new metadata is matched against the
+//! standing set on arrival ("notify me when somebody sends a message
+//! containing URGENT in the title", §5.3).
+//!
+//! The `Cover` relation (§5.4.3) lets the server skip redundant standing
+//! queries: if Q1 covers Q2 (Q1's matches ⊇ Q2's), a metadata rejected by
+//! Q1 cannot match Q2. For keyword trapdoors covering is equality; the
+//! filter store deduplicates via it, which is exactly what the paper's
+//! content-based pub/sub heritage (\[RR06\]) uses covering for.
+
+use crate::bloom_kw::{PrfCounter, Trapdoor};
+use crate::metadata::{EncryptedMetadata, MetaEncryptor};
+use std::collections::HashMap;
+
+/// A registered standing query.
+#[derive(Debug, Clone)]
+pub struct StandingQuery {
+    pub id: u64,
+    pub owner: u64,
+    pub trapdoor: Trapdoor,
+}
+
+/// A notification: metadata `meta_id` matched standing query `query_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    pub owner: u64,
+    pub query_id: u64,
+    pub meta_id: u64,
+}
+
+/// The server-side filter store.
+#[derive(Debug, Default)]
+pub struct FilterStore {
+    /// Distinct trapdoors, each with the subscriptions it serves. Covering
+    /// (= equality for keyword queries) collapses duplicates so each
+    /// distinct predicate is evaluated once per arriving metadata.
+    classes: Vec<(Trapdoor, Vec<(u64, u64)>)>, // (trapdoor, [(owner, query_id)])
+    by_id: HashMap<u64, usize>,
+}
+
+impl FilterStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Number of *distinct* predicates actually evaluated per metadata —
+    /// the saving the cover relation buys.
+    pub fn distinct_predicates(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Register a standing query (Definition 7's "submits … a long standing
+    /// query"). Covered duplicates share an equivalence class.
+    pub fn subscribe(&mut self, q: StandingQuery) {
+        if self.by_id.contains_key(&q.id) {
+            return; // idempotent
+        }
+        // Cover(Q1, Q2) for keyword trapdoors is equality (§5.5.2)
+        let class = self.classes.iter().position(|(td, _)| *td == q.trapdoor);
+        let idx = match class {
+            Some(i) => i,
+            None => {
+                self.classes.push((q.trapdoor.clone(), Vec::new()));
+                self.classes.len() - 1
+            }
+        };
+        self.classes[idx].1.push((q.owner, q.id));
+        self.by_id.insert(q.id, idx);
+    }
+
+    /// Withdraw a standing query. Returns whether it existed.
+    pub fn unsubscribe(&mut self, query_id: u64) -> bool {
+        let Some(idx) = self.by_id.remove(&query_id) else { return false };
+        self.classes[idx].1.retain(|&(_, qid)| qid != query_id);
+        // empty classes are kept (index stability) but cost nothing extra
+        // beyond one probe; compact when mostly empty
+        if self.by_id.len() * 2 < self.total_class_slots() {
+            self.compact();
+        }
+        true
+    }
+
+    fn total_class_slots(&self) -> usize {
+        self.classes.iter().map(|(_, subs)| subs.len().max(1)).sum()
+    }
+
+    fn compact(&mut self) {
+        let old = std::mem::take(&mut self.classes);
+        self.by_id.clear();
+        for (td, subs) in old {
+            if subs.is_empty() {
+                continue;
+            }
+            let idx = self.classes.len();
+            for &(_, qid) in &subs {
+                self.by_id.insert(qid, idx);
+            }
+            self.classes.push((td, subs));
+        }
+    }
+
+    /// Match one arriving metadata against every standing query; returns
+    /// the notifications to push. Each distinct predicate is evaluated once.
+    pub fn on_arrival(
+        &self,
+        meta: &EncryptedMetadata,
+        counter: &PrfCounter,
+    ) -> Vec<Notification> {
+        let mut out = Vec::new();
+        for (td, subs) in &self.classes {
+            if subs.is_empty() {
+                continue;
+            }
+            if MetaEncryptor::matches(meta, td, counter) {
+                for &(owner, query_id) in subs {
+                    out.push(Notification { owner, query_id, meta_id: meta.id });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{Attr, FileMeta};
+    use roar_util::det_rng;
+
+    fn enc() -> MetaEncryptor {
+        MetaEncryptor::with_points(b"filter-user", vec![1_000_000], vec![1_300_000_000])
+    }
+
+    fn doc(enc: &MetaEncryptor, seed: u64, kw: &str) -> EncryptedMetadata {
+        let mut rng = det_rng(seed);
+        enc.encrypt(
+            &mut rng,
+            &FileMeta {
+                path: "/inbox/msg".into(),
+                keywords: vec![kw.into()],
+                size: 1,
+                mtime: 1_400_000_000,
+            },
+        )
+    }
+
+    #[test]
+    fn matching_arrival_notifies_subscriber() {
+        let e = enc();
+        let mut store = FilterStore::new();
+        store.subscribe(StandingQuery {
+            id: 1,
+            owner: 42,
+            trapdoor: e.query_word(Attr::Keyword, "urgent"),
+        });
+        let c = PrfCounter::new();
+        let hit = doc(&e, 1, "urgent");
+        let miss = doc(&e, 2, "newsletter");
+        assert_eq!(
+            store.on_arrival(&hit, &c),
+            vec![Notification { owner: 42, query_id: 1, meta_id: hit.id }]
+        );
+        assert!(store.on_arrival(&miss, &c).is_empty());
+    }
+
+    #[test]
+    fn covered_duplicates_evaluated_once() {
+        let e = enc();
+        let mut store = FilterStore::new();
+        // 10 users subscribe to the same keyword
+        for u in 0..10 {
+            store.subscribe(StandingQuery {
+                id: u,
+                owner: u,
+                trapdoor: e.query_word(Attr::Keyword, "urgent"),
+            });
+        }
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.distinct_predicates(), 1, "cover relation dedupes");
+        let c = PrfCounter::new();
+        let hit = doc(&e, 3, "urgent");
+        let notes = store.on_arrival(&hit, &c);
+        assert_eq!(notes.len(), 10, "every subscriber notified");
+        // evaluated once: a matching probe costs exactly r = 17 PRF calls
+        assert_eq!(c.get(), 17);
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let e = enc();
+        let mut store = FilterStore::new();
+        store.subscribe(StandingQuery {
+            id: 7,
+            owner: 1,
+            trapdoor: e.query_word(Attr::Keyword, "urgent"),
+        });
+        assert!(store.unsubscribe(7));
+        assert!(!store.unsubscribe(7));
+        let c = PrfCounter::new();
+        assert!(store.on_arrival(&doc(&e, 4, "urgent"), &c).is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn distinct_predicates_coexist() {
+        let e = enc();
+        let mut store = FilterStore::new();
+        store.subscribe(StandingQuery {
+            id: 1,
+            owner: 1,
+            trapdoor: e.query_word(Attr::Keyword, "alpha"),
+        });
+        store.subscribe(StandingQuery {
+            id: 2,
+            owner: 2,
+            trapdoor: e.query_word(Attr::Keyword, "beta"),
+        });
+        assert_eq!(store.distinct_predicates(), 2);
+        let c = PrfCounter::new();
+        let notes = store.on_arrival(&doc(&e, 5, "beta"), &c);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].owner, 2);
+    }
+
+    #[test]
+    fn compaction_preserves_subscriptions() {
+        let e = enc();
+        let mut store = FilterStore::new();
+        for u in 0..20 {
+            store.subscribe(StandingQuery {
+                id: u,
+                owner: u,
+                trapdoor: e.query_word(Attr::Keyword, &format!("kw{u}")),
+            });
+        }
+        for u in 0..18 {
+            store.unsubscribe(u);
+        }
+        assert_eq!(store.len(), 2);
+        let c = PrfCounter::new();
+        let notes = store.on_arrival(&doc(&e, 6, "kw19"), &c);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].query_id, 19);
+    }
+
+    #[test]
+    fn subscribe_idempotent() {
+        let e = enc();
+        let mut store = FilterStore::new();
+        let q = StandingQuery {
+            id: 5,
+            owner: 9,
+            trapdoor: e.query_word(Attr::Keyword, "x"),
+        };
+        store.subscribe(q.clone());
+        store.subscribe(q);
+        assert_eq!(store.len(), 1);
+        let c = PrfCounter::new();
+        assert_eq!(store.on_arrival(&doc(&e, 7, "x"), &c).len(), 1);
+    }
+}

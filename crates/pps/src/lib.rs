@@ -1,0 +1,55 @@
+//! Privacy Preserving Search (thesis Chapter 5).
+//!
+//! PPS lets an *untrusted* server match encrypted queries against encrypted
+//! metadata without learning either. The user encrypts one metadata record
+//! per file (keywords, size, modification date) and later submits encrypted
+//! predicates; the server returns the matching records, which only the user
+//! can decrypt. PPS is CPU- and disk-intensive — exactly the workload ROAR
+//! parallelises in the thesis's Chapter 7 evaluation.
+//!
+//! Scheme implementations (§5.5):
+//! * [`equal`] — equality matching (Song et al.'s first step).
+//! * [`bloom_kw`] — Bloom-filter keyword matching (Goh).
+//! * [`dict_kw`] — dictionary keyword matching (Chang & Mitzenmacher).
+//! * [`numeric`] — the thesis's novel inequality/range constructions over
+//!   reference points and multi-granularity partitions.
+//! * [`ranked`] — ranked queries via rank-bucket keywords (§5.5.4).
+//! * [`pairs`] — two-keyword conjunctive queries via pair pre-combination
+//!   (§5.5.2 "Beyond Single Keyword Queries").
+//! * [`generic`] — arbitrary boolean-circuit queries via Yao garbled
+//!   circuits (§5.5.5), the expressive-but-leaky end of the
+//!   confidentiality-generality trade-off.
+//!
+//! System pieces (§5.6):
+//! * [`metadata`] — per-file metadata encoding: all attributes stacked into
+//!   a single keyword space (`kw=…`, `size=…`, `date=…`).
+//! * [`query`] — multi-predicate queries with dynamic predicate ordering
+//!   (selectivity sampled over 225 records, §5.6.5).
+//! * [`store`] — the pointer-segmented metadata store with partial loading
+//!   (used when ROAR splits a query across servers).
+//! * [`engine`] — the producer/consumer matching engine (I/O thread feeding
+//!   N matching threads through a bounded buffer) with the PPS_LM / PPS_LC
+//!   fixed-cost profiles of §5.7.
+//! * [`simdisk`] — a rate-limited byte source standing in for the 66 MB/s
+//!   sequential disk of the paper's Dell 1950 (DESIGN.md substitution).
+//! * [`bandwidth`] — the §5.3.1 analytic bandwidth model behind Fig 5.1.
+
+pub mod bandwidth;
+pub mod bloom_kw;
+pub mod dict_kw;
+pub mod engine;
+pub mod equal;
+pub mod filtering;
+pub mod generic;
+pub mod metadata;
+pub mod numeric;
+pub mod pairs;
+pub mod query;
+pub mod ranked;
+pub mod simdisk;
+pub mod store;
+
+pub use engine::{Engine, EngineProfile, QueryOutcome};
+pub use metadata::{EncryptedMetadata, FileMeta, MetaEncryptor};
+pub use query::{CompiledQuery, Predicate, QueryCompiler};
+pub use store::MetadataStore;

@@ -1,0 +1,128 @@
+//! Ranked queries (§5.5.4).
+//!
+//! "Assume each keyword is ranked based on its importance in the document;
+//! the ability to search for documents where a certain keyword is … in the
+//! first 10 most important features, allows us to indirectly obtain ranked
+//! results." The feature space is partitioned into rank buckets (first,
+//! first 5, first 10, first 25); a keyword at rank `k` contributes the
+//! bucket-prefixed words for every bucket containing `k`, adding ~41 words
+//! per 50-keyword document (raising metadata from ~130 B to ~250 B in the
+//! paper's arithmetic).
+
+use crate::bloom_kw::{BloomKeywordScheme, BloomMetadata, PrfCounter, Trapdoor};
+use rand::Rng;
+
+/// The rank buckets of §5.5.4: a keyword at 0-based rank `k` belongs to
+/// every bucket whose size exceeds `k`.
+pub const RANK_BUCKETS: [usize; 4] = [1, 5, 10, 25];
+
+/// Ranked keyword scheme over the Bloom keyword substrate.
+pub struct RankedScheme {
+    kw: BloomKeywordScheme,
+}
+
+impl RankedScheme {
+    /// `max_words` is the unranked keyword budget (paper: 50); rank-bucket
+    /// words add at most `Σ buckets` more.
+    pub fn new(key: &[u8], max_words: usize) -> Self {
+        let budget = max_words + RANK_BUCKETS.iter().sum::<usize>() * 2;
+        RankedScheme { kw: BloomKeywordScheme::new(key, budget, 1e-5) }
+    }
+
+    fn bucket_word(bucket: usize, word: &str) -> String {
+        format!("top{bucket}|{word}")
+    }
+
+    /// All searchable words for a ranked keyword list (most important
+    /// first): the plain keywords plus bucket-prefixed entries.
+    pub fn metadata_words(&self, ranked_keywords: &[&str]) -> Vec<String> {
+        let mut out: Vec<String> = ranked_keywords.iter().map(|w| w.to_string()).collect();
+        for (rank, w) in ranked_keywords.iter().enumerate() {
+            for &b in RANK_BUCKETS.iter().filter(|&&b| rank < b) {
+                out.push(Self::bucket_word(b, w));
+            }
+        }
+        out
+    }
+
+    pub fn encrypt_metadata<R: Rng>(&self, rng: &mut R, ranked_keywords: &[&str]) -> BloomMetadata {
+        let words = self.metadata_words(ranked_keywords);
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        self.kw.encrypt_metadata(rng, &refs)
+    }
+
+    /// Plain (unranked) keyword query.
+    pub fn query(&self, word: &str) -> Trapdoor {
+        self.kw.trapdoor(word)
+    }
+
+    /// Ranked query: match only documents where `word` is within the top
+    /// `bucket` features. `bucket` is rounded up to the nearest configured
+    /// bucket.
+    pub fn query_top(&self, word: &str, bucket: usize) -> Trapdoor {
+        let b = RANK_BUCKETS
+            .iter()
+            .copied()
+            .find(|&b| b >= bucket)
+            .unwrap_or(*RANK_BUCKETS.last().expect("non-empty buckets"));
+        self.kw.trapdoor(&Self::bucket_word(b, word))
+    }
+
+    pub fn matches(meta: &BloomMetadata, td: &Trapdoor, counter: &PrfCounter) -> bool {
+        BloomKeywordScheme::matches(meta, td, counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_util::det_rng;
+
+    #[test]
+    fn top_rank_matches_only_leading_keywords() {
+        let s = RankedScheme::new(b"key", 50);
+        let mut rng = det_rng(141);
+        let m = s.encrypt_metadata(&mut rng, &["rust", "ring", "search", "paper", "disk", "other"]);
+        let c = PrfCounter::new();
+        // "rust" is rank 0 → in the top-1 bucket
+        assert!(RankedScheme::matches(&m, &s.query_top("rust", 1), &c));
+        // "ring" is rank 1 → NOT in top-1, but in top-5
+        assert!(!RankedScheme::matches(&m, &s.query_top("ring", 1), &c));
+        assert!(RankedScheme::matches(&m, &s.query_top("ring", 5), &c));
+        // "other" is rank 5 → not in top-5, in top-10
+        assert!(!RankedScheme::matches(&m, &s.query_top("other", 5), &c));
+        assert!(RankedScheme::matches(&m, &s.query_top("other", 10), &c));
+    }
+
+    #[test]
+    fn plain_query_ignores_rank() {
+        let s = RankedScheme::new(b"key", 50);
+        let mut rng = det_rng(142);
+        let m = s.encrypt_metadata(&mut rng, &["a", "b", "c"]);
+        let c = PrfCounter::new();
+        for w in ["a", "b", "c"] {
+            assert!(RankedScheme::matches(&m, &s.query(w), &c));
+        }
+        assert!(!RankedScheme::matches(&m, &s.query("z"), &c));
+    }
+
+    #[test]
+    fn bucket_rounding() {
+        let s = RankedScheme::new(b"key", 50);
+        let mut rng = det_rng(143);
+        let m = s.encrypt_metadata(&mut rng, &["x", "y", "z", "w"]);
+        let c = PrfCounter::new();
+        // bucket 3 rounds to 5: "w" at rank 3 is in top-5
+        assert!(RankedScheme::matches(&m, &s.query_top("w", 3), &c));
+    }
+
+    #[test]
+    fn word_expansion_matches_paper_arithmetic() {
+        // §5.5.4: 41 bucket words for a fully ranked document (1+5+10+25)
+        let s = RankedScheme::new(b"key", 50);
+        let kws: Vec<String> = (0..50).map(|i| format!("k{i}")).collect();
+        let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+        let words = s.metadata_words(&refs);
+        assert_eq!(words.len(), 50 + 1 + 5 + 10 + 25);
+    }
+}

@@ -1,0 +1,228 @@
+//! The metadata store with pointer-segmented partial loading (§5.6.2).
+//!
+//! "The data structure is based on an array of user metadata sorted by id …
+//! we maintain an array of 'pointers' to these basic lists, to allow fast
+//! and partial access. Partial loading is used when a single query is split
+//! across many servers, and each server only matches a subset of their
+//! local data (i.e. when increasing pQ with ROAR)."
+//!
+//! Ids are `u64` ring positions, so a ROAR sub-query's match window
+//! `(start, end]` maps directly to a contiguous id range here (with at most
+//! one wrap-around split).
+
+use crate::metadata::EncryptedMetadata;
+use roar_core::ring::Window;
+
+/// Byte granularity of one pointer segment (the paper uses segment pointers
+/// into `sm.dat`); we segment by record count instead, which is equivalent
+/// for fixed-size records.
+pub const SEGMENT_RECORDS: usize = 1024;
+
+/// A user's metadata collection, sorted by id, with segment pointers.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataStore {
+    /// Records sorted by id (ties allowed but ids are 64-bit random —
+    /// collisions are negligible).
+    records: Vec<EncryptedMetadata>,
+    /// `pointers[k]` = index of the first record of segment `k`; the
+    /// on-disk analogue is the small pointer file loaded before the data.
+    pointers: Vec<usize>,
+}
+
+impl MetadataStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from unsorted records.
+    pub fn from_records(mut records: Vec<EncryptedMetadata>) -> Self {
+        records.sort_by_key(|r| r.id);
+        let mut store = MetadataStore { records, pointers: Vec::new() };
+        store.rebuild_pointers();
+        store
+    }
+
+    fn rebuild_pointers(&mut self) {
+        self.pointers = (0..self.records.len()).step_by(SEGMENT_RECORDS).collect();
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total stored bytes (what a disk scan must read).
+    pub fn total_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.size_bytes()).sum()
+    }
+
+    /// Insert one record (update stream). O(log n) locate + O(n) shift; the
+    /// paper batches updates, and so do callers.
+    pub fn insert(&mut self, rec: EncryptedMetadata) {
+        let pos = self.records.partition_point(|r| r.id < rec.id);
+        if self.records.get(pos).map(|r| r.id) == Some(rec.id) {
+            // replica pushes are idempotent: replace in place (an update
+            // stream overwrites the old version, §5.4's metadata updates)
+            self.records[pos] = rec;
+            return;
+        }
+        self.records.insert(pos, rec);
+        self.rebuild_pointers();
+    }
+
+    /// Remove a record by id; returns whether it existed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.records.binary_search_by_key(&id, |r| r.id) {
+            Ok(i) => {
+                self.records.remove(i);
+                self.rebuild_pointers();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &EncryptedMetadata> {
+        self.records.iter()
+    }
+
+    /// Records with `id ∈ [lo, hi]` (contiguous, non-wrapping).
+    fn slice_range(&self, lo: u64, hi: u64) -> &[EncryptedMetadata] {
+        debug_assert!(lo <= hi);
+        let a = self.records.partition_point(|r| r.id < lo);
+        let b = self.records.partition_point(|r| r.id <= hi);
+        &self.records[a..b]
+    }
+
+    /// Partial load: every record whose id falls in the ROAR match window
+    /// `(start, end]`. At most two contiguous slices (wrap-around).
+    pub fn select_window(&self, w: &Window) -> Vec<&EncryptedMetadata> {
+        if w.is_full() {
+            return self.records.iter().collect();
+        }
+        let lo = w.start.wrapping_add(1);
+        let hi = w.end;
+        if lo <= hi {
+            self.slice_range(lo, hi).iter().collect()
+        } else {
+            // wrapped: (start, MAX] ∪ [0, end]
+            let mut out: Vec<&EncryptedMetadata> =
+                self.slice_range(lo, u64::MAX).iter().collect();
+            out.extend(self.slice_range(0, hi).iter());
+            out
+        }
+    }
+
+    /// Number of pointer segments (the index the server loads first).
+    pub fn segments(&self) -> usize {
+        self.pointers.len()
+    }
+
+    /// Drop every record outside the coverage window — the "drop data items
+    /// in the overlapping range" step when a ROAR node's range shrinks or r
+    /// decreases (§4.3, §4.5). Returns how many records were dropped.
+    pub fn retain_window(&mut self, keep: &Window) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| keep.contains(r.id));
+        self.rebuild_pointers();
+        before - self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bloom_kw::BloomMetadata;
+    use roar_crypto::bloom::BloomFilter;
+
+    fn rec(id: u64) -> EncryptedMetadata {
+        EncryptedMetadata {
+            id,
+            body: BloomMetadata { nonce: id ^ 0xabcd, filter: BloomFilter::new(64) },
+        }
+    }
+
+    fn store(ids: &[u64]) -> MetadataStore {
+        MetadataStore::from_records(ids.iter().map(|&i| rec(i)).collect())
+    }
+
+    #[test]
+    fn records_sorted_by_id() {
+        let s = store(&[50, 10, 90, 30]);
+        let ids: Vec<u64> = s.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![10, 30, 50, 90]);
+    }
+
+    #[test]
+    fn window_selection_basic() {
+        let s = store(&[10, 20, 30, 40, 50]);
+        let w = Window::new(15, 40); // (15, 40]
+        let got: Vec<u64> = s.select_window(&w).iter().map(|r| r.id).collect();
+        assert_eq!(got, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn window_open_at_start_closed_at_end() {
+        let s = store(&[10, 20]);
+        let w = Window::new(10, 20);
+        let got: Vec<u64> = s.select_window(&w).iter().map(|r| r.id).collect();
+        assert_eq!(got, vec![20], "id 10 is excluded (open start), 20 included");
+    }
+
+    #[test]
+    fn wrapping_window() {
+        let s = store(&[5, 100, u64::MAX - 3]);
+        let w = Window::new(u64::MAX - 10, 50);
+        let got: Vec<u64> = s.select_window(&w).iter().map(|r| r.id).collect();
+        assert_eq!(got, vec![u64::MAX - 3, 5]);
+    }
+
+    #[test]
+    fn full_window_selects_everything() {
+        let s = store(&[1, 2, 3]);
+        assert_eq!(s.select_window(&Window::full(9)).len(), 3);
+    }
+
+    #[test]
+    fn windows_partition_store() {
+        // records split across a plan's windows land in exactly one window
+        let ids: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let s = store(&ids);
+        let pts = roar_core::ring::query_points(777, 7);
+        let windows = roar_core::ring::windows_of_points(&pts);
+        let total: usize = windows.iter().map(|w| s.select_window(w).len()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let mut s = store(&[10, 30]);
+        s.insert(rec(20));
+        let ids: Vec<u64> = s.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+        assert!(s.remove(20));
+        assert!(!s.remove(20));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn retain_window_drops_outside() {
+        let mut s = store(&[10, 20, 30, 40]);
+        let dropped = s.retain_window(&Window::new(15, 35));
+        assert_eq!(dropped, 2);
+        let ids: Vec<u64> = s.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![20, 30]);
+    }
+
+    #[test]
+    fn segments_scale_with_size() {
+        let ids: Vec<u64> = (0..3000u64).collect();
+        let s = store(&ids);
+        assert_eq!(s.segments(), 3);
+        assert_eq!(store(&[1]).segments(), 1);
+        assert_eq!(MetadataStore::new().segments(), 0);
+    }
+}

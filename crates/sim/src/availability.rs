@@ -1,0 +1,336 @@
+//! Strict-operation availability under node failures (Fig 6.8).
+//!
+//! A *strict* operation requires 100% harvest: every object must be visited.
+//! The algorithms differ sharply in when that remains possible:
+//!
+//! * **PTN** survives any failure pattern that leaves at least one live
+//!   server per cluster.
+//! * **SW** (with the neighbour fall-back sketched in §3.3) loses data only
+//!   when `r` *consecutive* nodes die — all replicas of some object.
+//! * **ROAR** loses data when a run of consecutive dead nodes spans at
+//!   least one replication arc `L(p)` of the ring.
+//! * **multi-ring ROAR** stores each object once per ring, so data is lost
+//!   only when *every* ring loses the same region — the availability win
+//!   §4.7 claims for strict operations.
+//! * **RAND** loses an object when all its `c·r` replicas die (analytic).
+
+use rand::Rng;
+use roar_core::ring::{dist_cw, FULL};
+use roar_core::ringmap::RingMap;
+use roar_dr::{Ptn, SlidingWindow};
+
+/// Dead-run analysis of a ring: the ranges of maximal runs of consecutive
+/// dead nodes, as `(start, length)` in ring units.
+fn dead_runs(map: &RingMap, dead: &[bool]) -> Vec<(u64, u128)> {
+    let n = map.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if (0..n).all(|i| dead[map.entries()[i].node]) {
+        return vec![(map.entries()[0].start, FULL)];
+    }
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let node = map.entries()[i].node;
+        if dead[node] {
+            // only start a run at its first dead entry (previous live)
+            let prev = map.prev_idx(i);
+            if !dead[map.entries()[prev].node] {
+                // walk forward to the end of the run
+                let (start, _) = map.range_at(i);
+                let mut j = i;
+                let mut end = map.range_at(i).1;
+                loop {
+                    let nxt = map.next_idx(j);
+                    if dead[map.entries()[nxt].node] {
+                        j = nxt;
+                        end = map.range_at(j).1;
+                        if j == i {
+                            break; // safety: full circle (handled above)
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                runs.push((start, dist_cw(start, end) as u128));
+            }
+        }
+        i += 1;
+    }
+    runs
+}
+
+/// Can a ROAR ring still reach 100% harvest with this dead set? Data
+/// survives iff no dead run spans a full replication arc.
+pub fn roar_strict_ok(map: &RingMap, p: usize, dead: &[bool]) -> bool {
+    let l = roar_core::ring::arc_len(p) as u128;
+    let live = (0..map.len()).any(|i| !dead[map.entries()[i].node]);
+    live && dead_runs(map, dead).iter().all(|&(_, len)| len < l)
+}
+
+/// The ring regions whose objects are fully lost: object x is lost iff the
+/// dead run containing it covers `[x, x + L)`.
+pub fn roar_lost_regions(map: &RingMap, p: usize, dead: &[bool]) -> Vec<(u64, u128)> {
+    let l = roar_core::ring::arc_len(p) as u128;
+    dead_runs(map, dead)
+        .into_iter()
+        .filter(|&(_, len)| len >= l)
+        .map(|(start, len)| (start, len - l + 1))
+        .collect()
+}
+
+/// Multi-ring strict availability: every ring may lose regions, but the
+/// operation only fails if some object is lost in *all* rings.
+pub fn multiring_strict_ok(rings: &[(RingMap, usize)], dead: &[bool]) -> bool {
+    let lost_per_ring: Vec<Vec<(u64, u128)>> =
+        rings.iter().map(|(map, p)| roar_lost_regions(map, *p, dead)).collect();
+    // an object is lost overall iff it lies in a lost region of every ring
+    // (a fully-wiped ring contributes a FULL-length region and defers to the
+    // others); check by intersecting region lists — runs are rare, so the
+    // lists are tiny
+    if lost_per_ring.iter().any(|l| l.is_empty()) {
+        return true;
+    }
+    // sample-free exact check: intersect first ring's regions with the rest
+    let mut candidates = lost_per_ring[0].clone();
+    for other in &lost_per_ring[1..] {
+        let mut next = Vec::new();
+        for &(s1, l1) in &candidates {
+            for &(s2, l2) in other {
+                // intersection of circular intervals [s, s+l)
+                if let Some(iv) = intersect(s1, l1, s2, l2) {
+                    next.push(iv);
+                }
+            }
+        }
+        if next.is_empty() {
+            return true;
+        }
+        candidates = next;
+    }
+    candidates.is_empty()
+}
+
+/// Intersect two circular intervals `[s, s+len)`; returns one overlapping
+/// interval if any (sufficient for loss detection).
+fn intersect(s1: u64, l1: u128, s2: u64, l2: u128) -> Option<(u64, u128)> {
+    if l1 >= FULL {
+        return Some((s2, l2));
+    }
+    if l2 >= FULL {
+        return Some((s1, l1));
+    }
+    // try both orderings
+    let d12 = dist_cw(s1, s2) as u128;
+    if d12 < l1 {
+        return Some((s2, l2.min(l1 - d12)));
+    }
+    let d21 = dist_cw(s2, s1) as u128;
+    if d21 < l2 {
+        return Some((s1, l1.min(l2 - d21)));
+    }
+    None
+}
+
+/// PTN strict availability: every cluster keeps ≥ 1 live server.
+pub fn ptn_strict_ok(ptn: &Ptn, dead: &[bool]) -> bool {
+    (0..ptn.config().p).all(|c| ptn.cluster_servers(c).any(|s| !dead[s]))
+}
+
+/// SW strict availability (with the §3.3 neighbour fall-back): no `r`
+/// consecutive nodes all dead.
+pub fn sw_strict_ok(sw: &SlidingWindow, dead: &[bool]) -> bool {
+    let n = sw.n();
+    if n == 0 {
+        return false;
+    }
+    (0..n).any(|i| !dead[i])
+        && (0..n).all(|start| (0..sw.r()).any(|k| !dead[(start + k) % n]))
+}
+
+/// RAND object-availability (analytic): probability at least one of `d`
+/// objects loses all `c·r` replicas when each server independently fails
+/// with probability `f`.
+pub fn rand_strict_unavailability(cr: usize, f: f64, d: u64) -> f64 {
+    let per_object_loss = f.powi(cr as i32);
+    1.0 - (1.0 - per_object_loss).powf(d as f64)
+}
+
+/// Monte-Carlo strict unavailability for a failure probability `f`:
+/// fraction of sampled failure patterns in which the predicate fails.
+pub fn monte_carlo_unavailability<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    f: f64,
+    trials: usize,
+    ok: &dyn Fn(&[bool]) -> bool,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&f));
+    let mut failures = 0usize;
+    let mut dead = vec![false; n];
+    for _ in 0..trials {
+        for d in dead.iter_mut() {
+            *d = rng.gen::<f64>() < f;
+        }
+        if !ok(&dead) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_dr::DrConfig;
+    use roar_util::det_rng;
+
+    fn uniform_map(n: usize) -> RingMap {
+        RingMap::uniform(&(0..n).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn no_failures_everything_ok() {
+        let map = uniform_map(10);
+        let dead = vec![false; 10];
+        assert!(roar_strict_ok(&map, 5, &dead));
+        assert!(ptn_strict_ok(&Ptn::new(DrConfig::new(10, 5)), &dead));
+        assert!(sw_strict_ok(&SlidingWindow::new(10, 2), &dead));
+    }
+
+    #[test]
+    fn roar_single_failure_survives() {
+        let map = uniform_map(10);
+        for victim in 0..10 {
+            let mut dead = vec![false; 10];
+            dead[victim] = true;
+            assert!(roar_strict_ok(&map, 5, &dead), "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn roar_adjacent_run_spanning_arc_fails() {
+        // n=10, p=5 → L ≈ 1/5 of the ring = 2 node ranges; 3 consecutive
+        // dead nodes span 3/10 > 1/5 → loss
+        let map = uniform_map(10);
+        let mut dead = vec![false; 10];
+        dead[2] = true;
+        dead[3] = true;
+        dead[4] = true;
+        assert!(!roar_strict_ok(&map, 5, &dead));
+        // two consecutive nodes span 2/10 of the ring, just below the arc
+        // length L(5) (which exceeds 1/5 by construction) → survives
+        let mut dead2 = vec![false; 10];
+        dead2[2] = true;
+        dead2[3] = true;
+        assert!(roar_strict_ok(&map, 5, &dead2));
+        assert!(roar_lost_regions(&map, 5, &dead2).is_empty());
+    }
+
+    #[test]
+    fn roar_scattered_failures_survive() {
+        let map = uniform_map(10);
+        let mut dead = vec![false; 10];
+        dead[0] = true;
+        dead[2] = true;
+        dead[4] = true;
+        dead[6] = true;
+        assert!(roar_strict_ok(&map, 5, &dead));
+    }
+
+    #[test]
+    fn all_dead_fails() {
+        let map = uniform_map(4);
+        let dead = vec![true; 4];
+        assert!(!roar_strict_ok(&map, 2, &dead));
+        assert!(!sw_strict_ok(&SlidingWindow::new(4, 2), &dead));
+    }
+
+    #[test]
+    fn ptn_cluster_wipe_fails() {
+        let ptn = Ptn::new(DrConfig::new(8, 4)); // clusters of 2
+        let mut dead = vec![false; 8];
+        dead[0] = true;
+        dead[1] = true; // first cluster gone
+        assert!(!ptn_strict_ok(&ptn, &dead));
+        let mut dead2 = vec![false; 8];
+        dead2[0] = true;
+        dead2[2] = true; // different clusters
+        assert!(ptn_strict_ok(&ptn, &dead2));
+    }
+
+    #[test]
+    fn sw_run_of_r_fails() {
+        let sw = SlidingWindow::new(10, 3);
+        let mut dead = vec![false; 10];
+        dead[4] = true;
+        dead[5] = true;
+        assert!(sw_strict_ok(&sw, &dead));
+        dead[6] = true; // 3 = r consecutive
+        assert!(!sw_strict_ok(&sw, &dead));
+    }
+
+    #[test]
+    fn multiring_tolerates_region_loss_in_one_ring() {
+        // ring A: nodes 0..5, ring B: nodes 5..10
+        let a = RingMap::uniform(&[0, 1, 2, 3, 4]);
+        let b = RingMap::uniform(&[5, 6, 7, 8, 9]);
+        let mut dead = vec![false; 10];
+        // kill 3 consecutive of ring A — region lost there
+        dead[1] = true;
+        dead[2] = true;
+        dead[3] = true;
+        // ring A alone has lost a region…
+        assert!(!roar_strict_ok(&a, 5, &dead));
+        // …but ring B still covers it, so the multi-ring system survives
+        assert!(multiring_strict_ok(&[(a.clone(), 5), (b.clone(), 5)], &dead));
+        // also kill the matching region of ring B
+        dead[6] = true;
+        dead[7] = true;
+        dead[8] = true;
+        assert!(!multiring_strict_ok(&[(a, 5), (b, 5)], &dead));
+    }
+
+    #[test]
+    fn multiring_beats_single_ring_in_monte_carlo() {
+        let n = 20;
+        let p = 5;
+        let single = uniform_map(n);
+        let a = RingMap::uniform(&(0..n / 2).collect::<Vec<_>>());
+        let b = RingMap::uniform(&(n / 2..n).collect::<Vec<_>>());
+        let mut rng = det_rng(91);
+        let f = 0.25;
+        let u_single = monte_carlo_unavailability(&mut rng, n, f, 3000, &|dead| {
+            roar_strict_ok(&single, p, dead)
+        });
+        let u_multi = monte_carlo_unavailability(&mut rng, n, f, 3000, &|dead| {
+            multiring_strict_ok(&[(a.clone(), p), (b.clone(), p)], dead)
+        });
+        assert!(
+            u_multi <= u_single + 0.01,
+            "multi-ring {u_multi} should not be less available than single {u_single}"
+        );
+    }
+
+    #[test]
+    fn rand_unavailability_analytic() {
+        // f=0.1, cr=4: per-object 1e-4; 1000 objects → ≈ 0.095
+        let u = rand_strict_unavailability(4, 0.1, 1000);
+        assert!(u > 0.08 && u < 0.11, "{u}");
+        assert_eq!(rand_strict_unavailability(4, 0.0, 1000), 0.0);
+    }
+
+    #[test]
+    fn unavailability_monotone_in_failure_prob() {
+        let map = uniform_map(12);
+        let mut rng = det_rng(92);
+        let u1 = monte_carlo_unavailability(&mut rng, 12, 0.1, 2000, &|d| {
+            roar_strict_ok(&map, 4, d)
+        });
+        let u2 = monte_carlo_unavailability(&mut rng, 12, 0.4, 2000, &|d| {
+            roar_strict_ok(&map, 4, d)
+        });
+        assert!(u2 > u1, "{u1} -> {u2}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Busy-time energy model (Table 7.2, Fig 7.3).
+//!
+//! The thesis measures real machine-room power ("the temperature … runs 4°C
+//! hotter when our 43 ROAR nodes are fully loaded than when they are
+//! idling") and reports the savings of running at p = 5 instead of p = 47
+//! (Table 7.2). We substitute a standard linear server power model:
+//! `P(β) = P_idle + β · (P_busy − P_idle)` for busy fraction `β`, which
+//! preserves the paper's relative-savings claim because the savings come
+//! entirely from the reduced per-query fixed overhead at lower p.
+
+/// A server power profile in watts.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    pub idle_w: f64,
+    pub busy_w: f64,
+}
+
+impl PowerModel {
+    /// A typical 2009-era 1U dual-socket server (Dell 1950 class): ~210 W
+    /// idle, ~330 W under full CPU load.
+    pub fn dell1950() -> Self {
+        PowerModel { idle_w: 210.0, busy_w: 330.0 }
+    }
+
+    /// Average power at busy fraction `beta ∈ [0, 1]`.
+    pub fn power(&self, beta: f64) -> f64 {
+        let beta = beta.clamp(0.0, 1.0);
+        self.idle_w + beta * (self.busy_w - self.idle_w)
+    }
+}
+
+/// Energy (joules) consumed by a fleet over `duration` seconds given each
+/// server's cumulative busy seconds.
+pub fn fleet_energy(model: &PowerModel, busy_time: &[f64], duration: f64) -> f64 {
+    assert!(duration > 0.0);
+    busy_time
+        .iter()
+        .map(|&b| model.power((b / duration).min(1.0)) * duration)
+        .sum()
+}
+
+/// Relative energy saving of run `a` versus run `b` over the same duration
+/// and fleet (Table 7.2's headline number): `1 − E_a/E_b`.
+pub fn energy_saving(
+    model: &PowerModel,
+    busy_a: &[f64],
+    busy_b: &[f64],
+    duration: f64,
+) -> f64 {
+    let ea = fleet_energy(model, busy_a, duration);
+    let eb = fleet_energy(model, busy_b, duration);
+    1.0 - ea / eb
+}
+
+/// Dynamic-only saving: comparing just the load-proportional component,
+/// which is what switching p changes (idle floor is paid either way unless
+/// servers are powered off, §4.9.1).
+pub fn dynamic_energy_saving(busy_a: &[f64], busy_b: &[f64]) -> f64 {
+    let a: f64 = busy_a.iter().sum();
+    let b: f64 = busy_b.iter().sum();
+    if b <= 0.0 {
+        return 0.0;
+    }
+    1.0 - a / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_fleet_pays_idle_power() {
+        let m = PowerModel::dell1950();
+        let e = fleet_energy(&m, &[0.0, 0.0], 100.0);
+        assert!((e - 2.0 * 210.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn busy_fleet_pays_busy_power() {
+        let m = PowerModel::dell1950();
+        let e = fleet_energy(&m, &[100.0], 100.0);
+        assert!((e - 330.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_clamps_beta() {
+        let m = PowerModel::dell1950();
+        assert_eq!(m.power(2.0), 330.0);
+        assert_eq!(m.power(-1.0), 210.0);
+    }
+
+    #[test]
+    fn saving_positive_when_less_busy() {
+        let m = PowerModel::dell1950();
+        let s = energy_saving(&m, &[10.0, 10.0], &[50.0, 50.0], 100.0);
+        assert!(s > 0.0 && s < 1.0, "{s}");
+    }
+
+    #[test]
+    fn dynamic_saving_is_work_ratio() {
+        let s = dynamic_energy_saving(&[10.0, 10.0], &[40.0, 40.0]);
+        assert!((s - 0.75).abs() < 1e-12);
+        assert_eq!(dynamic_energy_saving(&[1.0], &[0.0]), 0.0);
+    }
+}

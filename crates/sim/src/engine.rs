@@ -1,0 +1,268 @@
+//! The simulation loop (§6.1 "Simulator").
+//!
+//! "Queries arrive at discrete times according to a Poisson process with a
+//! configurable mean. The scheduler splits each query into exactly p parts
+//! and chooses the p servers that would finish first … For every query, we
+//! log its arrival time and its completion time. We run many queries (a few
+//! thousand) to ensure we capture long-term averages."
+
+use crate::servers::SimServers;
+use roar_dr::sched::{FinishEstimator, QueryScheduler};
+use roar_util::sample::Exponential;
+use roar_util::{LinearFit, Summary};
+use rand::Rng;
+use roar_util::det_rng;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Mean query arrival rate (queries/second). Ignored by
+    /// [`saturation_throughput`].
+    pub arrival_rate: f64,
+    /// Number of queries to simulate.
+    pub n_queries: usize,
+    /// Queries discarded from the front of the delay log (warm-up).
+    pub warmup: usize,
+    /// RNG seed (arrivals + scheduler tie-breaking).
+    pub seed: u64,
+    /// Queue-explosion slope threshold (paper: 0.1).
+    pub explosion_slope: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            arrival_rate: 10.0,
+            n_queries: 2000,
+            warmup: 100,
+            seed: 1,
+            explosion_slope: 0.1,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Mean query delay in seconds; `f64::INFINITY` when the system was
+    /// overloaded (queue explosion detected).
+    pub mean_delay: f64,
+    /// Delay distribution (finite runs only; empty when exploded).
+    pub delays: Vec<f64>,
+    pub summary: Summary,
+    /// Whether the explosion rule fired.
+    pub exploded: bool,
+    /// Per-server cumulative busy seconds.
+    pub busy_time: Vec<f64>,
+    /// Total simulated time (last arrival).
+    pub duration: f64,
+    /// Sub-query messages sent (one per task; replies double it).
+    pub messages: u64,
+    /// Total work dispatched (fractions of the dataset).
+    pub total_work: f64,
+}
+
+impl SimResult {
+    /// Per-server utilisation (busy fraction of the run duration).
+    pub fn utilisation(&self) -> Vec<f64> {
+        if self.duration <= 0.0 {
+            return vec![0.0; self.busy_time.len()];
+        }
+        self.busy_time.iter().map(|&b| (b / self.duration).min(1.0)).collect()
+    }
+}
+
+/// Run an open-loop Poisson simulation of `sched` over `servers`.
+///
+/// `servers` is consumed: the run mutates queue state. Dead servers in the
+/// fleet are the scheduler's problem (alive() exposure); tasks assigned to
+/// dead servers are dropped and make the query fail silently — schedulers
+/// under test are expected to avoid them.
+pub fn run_sim(cfg: &SimConfig, mut servers: SimServers, sched: &dyn QueryScheduler) -> SimResult {
+    assert!(cfg.arrival_rate > 0.0);
+    assert!(cfg.n_queries > 0);
+    let mut rng = det_rng(cfg.seed);
+    let arrivals = Exponential::new(cfg.arrival_rate);
+
+    let mut t = 0.0f64;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(cfg.n_queries);
+    let mut messages = 0u64;
+    let mut total_work = 0.0f64;
+
+    for _ in 0..cfg.n_queries {
+        t += arrivals.sample(&mut rng);
+        servers.set_now(t);
+        let assignment = sched.schedule(&servers, rng.gen());
+        let mut finish = t;
+        for task in &assignment.tasks {
+            if !servers.alive(task.server) {
+                continue;
+            }
+            let f = servers.execute(task.server, task.work);
+            finish = finish.max(f);
+            messages += 1;
+            total_work += task.work;
+        }
+        points.push((t, finish - t));
+    }
+
+    let measured = &points[cfg.warmup.min(points.len().saturating_sub(1))..];
+    let exploded = LinearFit::queue_exploding(measured, cfg.explosion_slope);
+    let delays: Vec<f64> = measured.iter().map(|&(_, d)| d).collect();
+    let summary = Summary::from(&delays);
+    SimResult {
+        mean_delay: if exploded { f64::INFINITY } else { summary.mean },
+        delays: if exploded { Vec::new() } else { delays },
+        summary,
+        exploded,
+        busy_time: servers.busy_times().to_vec(),
+        duration: t,
+        messages,
+        total_work,
+    }
+}
+
+/// Saturation throughput: dispatch `n_queries` back-to-back (all available
+/// at t=0) and measure completions per second of makespan. This is the
+/// capacity the fig7_1/fig7_2 throughput curves report; it falls as p rises
+/// because each extra sub-query pays the fixed overhead again.
+pub fn saturation_throughput(
+    mut servers: SimServers,
+    sched: &dyn QueryScheduler,
+    n_queries: usize,
+    seed: u64,
+) -> f64 {
+    assert!(n_queries > 0);
+    let mut rng = det_rng(seed);
+    for _ in 0..n_queries {
+        servers.set_now(0.0);
+        let assignment = sched.schedule(&servers, rng.gen());
+        for task in &assignment.tasks {
+            if servers.alive(task.server) {
+                servers.execute(task.server, task.work);
+            }
+        }
+    }
+    let makespan = servers.makespan();
+    if makespan <= 0.0 {
+        return 0.0;
+    }
+    n_queries as f64 / makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_dr::sched::OptScheduler;
+    use roar_dr::{DrConfig, Ptn};
+
+    fn uniform_servers(n: usize, speed: f64, overhead: f64) -> SimServers {
+        SimServers::new(&vec![speed; n], overhead)
+    }
+
+    #[test]
+    fn light_load_delay_matches_service_time() {
+        // 4 servers speed 1.0, p=4 → each sub-query 0.25 work → 0.25s; very
+        // light load so no queueing
+        let cfg = SimConfig { arrival_rate: 0.1, n_queries: 300, warmup: 10, ..Default::default() };
+        let sched = OptScheduler::new(4);
+        let res = run_sim(&cfg, uniform_servers(4, 1.0, 0.0), &sched);
+        assert!(!res.exploded);
+        assert!((res.mean_delay - 0.25).abs() < 0.01, "mean {}", res.mean_delay);
+    }
+
+    #[test]
+    fn overload_detected_as_explosion() {
+        // capacity: 2 servers × speed 1 = 2 work/s; each query needs 1 work
+        // → max 2 q/s; offer 5 q/s
+        let cfg = SimConfig { arrival_rate: 5.0, n_queries: 1500, warmup: 50, ..Default::default() };
+        let sched = OptScheduler::new(2);
+        let res = run_sim(&cfg, uniform_servers(2, 1.0, 0.0), &sched);
+        assert!(res.exploded);
+        assert!(res.mean_delay.is_infinite());
+    }
+
+    #[test]
+    fn below_capacity_is_stable() {
+        let cfg = SimConfig { arrival_rate: 1.0, n_queries: 1500, warmup: 50, ..Default::default() };
+        let sched = OptScheduler::new(2);
+        let res = run_sim(&cfg, uniform_servers(2, 1.0, 0.0), &sched);
+        assert!(!res.exploded, "1 q/s on 2 work/s capacity must be stable");
+        assert!(res.mean_delay.is_finite());
+    }
+
+    #[test]
+    fn delay_increases_with_load() {
+        let sched = OptScheduler::new(4);
+        let mut last = 0.0;
+        // capacity is 4 work/s (4 servers × speed 1, 1 work per query);
+        // stay below it and watch queueing delay grow
+        for rate in [0.5, 2.0, 3.2] {
+            let cfg =
+                SimConfig { arrival_rate: rate, n_queries: 2000, warmup: 100, ..Default::default() };
+            let res = run_sim(&cfg, uniform_servers(4, 1.0, 0.0), &sched);
+            assert!(!res.exploded, "rate {rate}");
+            assert!(res.mean_delay > last, "rate {rate}: {} vs {last}", res.mean_delay);
+            last = res.mean_delay;
+        }
+    }
+
+    #[test]
+    fn messages_counted_per_subquery() {
+        let cfg = SimConfig { arrival_rate: 1.0, n_queries: 100, warmup: 0, ..Default::default() };
+        let ptn = Ptn::new(DrConfig::new(8, 4));
+        let res = run_sim(&cfg, uniform_servers(8, 1.0, 0.0), &ptn.scheduler());
+        assert_eq!(res.messages, 400); // 100 queries × p=4
+        assert!((res.total_work - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_throughput_decreases_with_p() {
+        // fixed overhead makes higher p pay more total overhead → lower
+        // capacity (the fig7_2 shape)
+        let thr_low_p = saturation_throughput(
+            uniform_servers(12, 1.0, 0.05),
+            &Ptn::new(DrConfig::new(12, 2)).scheduler(),
+            400,
+            7,
+        );
+        let thr_high_p = saturation_throughput(
+            uniform_servers(12, 1.0, 0.05),
+            &Ptn::new(DrConfig::new(12, 12)).scheduler(),
+            400,
+            7,
+        );
+        assert!(
+            thr_low_p > thr_high_p * 1.2,
+            "p=2 thr {thr_low_p} should clearly beat p=12 thr {thr_high_p}"
+        );
+    }
+
+    #[test]
+    fn no_overhead_throughput_is_work_conserving() {
+        // without fixed overheads partitioning is work conserving (§2):
+        // capacity ≈ total speed regardless of p
+        let thr_p2 = saturation_throughput(
+            uniform_servers(12, 1.0, 0.0),
+            &Ptn::new(DrConfig::new(12, 2)).scheduler(),
+            600,
+            7,
+        );
+        let thr_p6 = saturation_throughput(
+            uniform_servers(12, 1.0, 0.0),
+            &Ptn::new(DrConfig::new(12, 6)).scheduler(),
+            600,
+            7,
+        );
+        assert!((thr_p2 - thr_p6).abs() / thr_p2 < 0.1, "{thr_p2} vs {thr_p6}");
+    }
+
+    #[test]
+    fn utilisation_bounded() {
+        let cfg = SimConfig { arrival_rate: 1.5, n_queries: 800, warmup: 50, ..Default::default() };
+        let res = run_sim(&cfg, uniform_servers(4, 1.0, 0.0), &OptScheduler::new(2));
+        for u in res.utilisation() {
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

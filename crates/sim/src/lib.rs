@@ -1,0 +1,34 @@
+//! Discrete-event simulator for distributed-rendezvous query delay,
+//! availability and resource usage — the instrument behind the thesis's
+//! analytical evaluation (Chapter 6) and the scale experiments of Chapter 7.
+//!
+//! The computation model is Definition 8: each server has a fixed processing
+//! speed (work per second), executes its task queue serially, and a
+//! sub-query of size `w` enqueued at time `t` finishes at
+//! `max(t, queue_drain) + overhead + w/speed`. Queries arrive open-loop as a
+//! Poisson process; "we test for exploding server task queues by fitting a
+//! straight line to the delay(time) function … if the slope … is greater
+//! than 0.1 … we set the measured delay to be infinite" (§6.1).
+//!
+//! Modules:
+//! * [`engine`] — the arrival/dispatch/completion loop over any
+//!   [`roar_dr::QueryScheduler`] (PTN, SW, RAND, OPT, ROAR, multi-ring).
+//! * [`servers`] — simulated fleet state; doubles as the scheduler-facing
+//!   [`roar_dr::sched::FinishEstimator`], optionally with speed-estimation
+//!   noise (Fig 6.5).
+//! * [`availability`] — strict-operation availability under node failures
+//!   (Fig 6.8).
+//! * [`energy`] — busy-time energy model (Table 7.2, Fig 7.3).
+//! * [`updates`] — object-update load and its effect on query capacity
+//!   (Fig 7.4).
+
+pub mod admission;
+pub mod availability;
+pub mod energy;
+pub mod engine;
+pub mod servers;
+pub mod updates;
+
+pub use admission::{run_sim_yield, YieldResult};
+pub use engine::{run_sim, saturation_throughput, SimConfig, SimResult};
+pub use servers::SimServers;

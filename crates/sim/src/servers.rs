@@ -1,0 +1,216 @@
+//! Simulated server fleet: true execution state plus the (possibly noisy)
+//! view the scheduler sees.
+//!
+//! The split matters for Fig 6.5 ("Algorithm Performance with Different
+//! Server Speed Estimation Errors"): the engine *executes* tasks at the true
+//! speed, but the scheduler *estimates* with a per-server multiplicative
+//! error, so bad estimates translate into bad placement — exactly the
+//! paper's experiment.
+
+use rand::Rng;
+use roar_dr::sched::FinishEstimator;
+use roar_dr::ServerId;
+use roar_util::sample::normal;
+
+/// Fleet state during a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimServers {
+    /// True processing speed (work fraction per second).
+    speed: Vec<f64>,
+    /// The speed the scheduler believes (true speed × error factor).
+    est_speed: Vec<f64>,
+    /// Absolute time each server's queue drains.
+    busy_until: Vec<f64>,
+    /// Cumulative busy seconds (for CPU-load / energy accounting).
+    busy_time: Vec<f64>,
+    dead: Vec<bool>,
+    /// Fixed per-sub-query overhead in seconds of server time (§2: "there
+    /// are overheads associated with starting a query on a server").
+    overhead: f64,
+    now: f64,
+}
+
+impl SimServers {
+    pub fn new(speeds: &[f64], overhead: f64) -> Self {
+        assert!(!speeds.is_empty());
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        assert!(overhead >= 0.0);
+        let n = speeds.len();
+        SimServers {
+            speed: speeds.to_vec(),
+            est_speed: speeds.to_vec(),
+            busy_until: vec![0.0; n],
+            busy_time: vec![0.0; n],
+            dead: vec![false; n],
+            overhead,
+            now: 0.0,
+        }
+    }
+
+    /// Apply multiplicative Gaussian estimation error with relative std
+    /// `rel_err` to the scheduler-visible speeds (Fig 6.5's knob).
+    pub fn with_estimation_noise<R: Rng>(mut self, rng: &mut R, rel_err: f64) -> Self {
+        assert!(rel_err >= 0.0);
+        for (est, &true_speed) in self.est_speed.iter_mut().zip(&self.speed) {
+            let factor = normal(rng, 1.0, rel_err).max(0.05);
+            *est = true_speed * factor;
+        }
+        self
+    }
+
+    pub fn n(&self) -> usize {
+        self.speed.len()
+    }
+
+    pub fn set_now(&mut self, now: f64) {
+        debug_assert!(now >= self.now, "time must not go backwards");
+        self.now = now;
+    }
+
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    pub fn kill(&mut self, s: ServerId) {
+        self.dead[s] = true;
+    }
+
+    pub fn revive(&mut self, s: ServerId) {
+        self.dead[s] = false;
+    }
+
+    pub fn true_speed(&self, s: ServerId) -> f64 {
+        self.speed[s]
+    }
+
+    pub fn estimated_speed(&self, s: ServerId) -> f64 {
+        self.est_speed[s]
+    }
+
+    pub fn overhead(&self) -> f64 {
+        self.overhead
+    }
+
+    /// Execute a sub-query of size `work` on `s` at the current time:
+    /// serial-queue semantics (Def. 8). Returns the absolute finish time.
+    pub fn execute(&mut self, s: ServerId, work: f64) -> f64 {
+        debug_assert!(!self.dead[s], "executing on a dead server");
+        let start = self.busy_until[s].max(self.now);
+        let service = self.overhead + work / self.speed[s];
+        let finish = start + service;
+        self.busy_until[s] = finish;
+        self.busy_time[s] += service;
+        finish
+    }
+
+    /// Cumulative busy seconds per server.
+    pub fn busy_times(&self) -> &[f64] {
+        &self.busy_time
+    }
+
+    /// Time the last queue drains — the makespan of everything executed.
+    pub fn makespan(&self) -> f64 {
+        self.busy_until.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Aggregate true capacity (work/second) of live servers.
+    pub fn total_capacity(&self) -> f64 {
+        self.speed
+            .iter()
+            .zip(&self.dead)
+            .filter(|&(_, &d)| !d)
+            .map(|(&s, _)| s)
+            .sum()
+    }
+}
+
+impl FinishEstimator for SimServers {
+    fn estimate(&self, server: ServerId, work: f64) -> f64 {
+        let start = self.busy_until[server].max(self.now);
+        start + self.overhead + work / self.est_speed[server]
+    }
+
+    fn n(&self) -> usize {
+        self.speed.len()
+    }
+
+    fn alive(&self, server: ServerId) -> bool {
+        !self.dead[server]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_util::det_rng;
+
+    #[test]
+    fn serial_queue_semantics() {
+        let mut s = SimServers::new(&[2.0], 0.0);
+        let f1 = s.execute(0, 1.0); // 0.5s
+        let f2 = s.execute(0, 1.0); // queued behind
+        assert!((f1 - 0.5).abs() < 1e-12);
+        assert!((f2 - 1.0).abs() < 1e-12);
+        s.set_now(5.0);
+        let f3 = s.execute(0, 2.0); // queue drained; starts at now
+        assert!((f3 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_added_per_subquery() {
+        let mut s = SimServers::new(&[1.0], 0.25);
+        let f = s.execute(0, 1.0);
+        assert!((f - 1.25).abs() < 1e-12);
+        assert!((s.busy_times()[0] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_matches_execution_without_noise() {
+        let mut s = SimServers::new(&[1.0, 4.0], 0.1);
+        s.execute(1, 2.0);
+        let est = s.estimate(1, 1.0);
+        let real = s.execute(1, 1.0);
+        assert!((est - real).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_perturbs_estimates_not_execution() {
+        let mut rng = det_rng(81);
+        let s = SimServers::new(&[1.0; 32], 0.0).with_estimation_noise(&mut rng, 0.3);
+        let mut diffs = 0;
+        for i in 0..32 {
+            assert_eq!(s.true_speed(i), 1.0);
+            if (s.estimated_speed(i) - 1.0).abs() > 1e-6 {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 24, "noise had little effect: {diffs}");
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = det_rng(82);
+        let s = SimServers::new(&[1.5, 2.5], 0.0).with_estimation_noise(&mut rng, 0.0);
+        assert_eq!(s.estimated_speed(0), 1.5);
+        assert_eq!(s.estimated_speed(1), 2.5);
+    }
+
+    #[test]
+    fn kill_and_revive() {
+        let mut s = SimServers::new(&[1.0, 1.0], 0.0);
+        s.kill(0);
+        assert!(!s.alive(0));
+        assert_eq!(s.total_capacity(), 1.0);
+        s.revive(0);
+        assert!(s.alive(0));
+        assert_eq!(s.total_capacity(), 2.0);
+    }
+
+    #[test]
+    fn makespan_tracks_latest_queue() {
+        let mut s = SimServers::new(&[1.0, 1.0], 0.0);
+        s.execute(0, 3.0);
+        s.execute(1, 1.0);
+        assert!((s.makespan() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Object-update load and its effect on query capacity (Fig 7.4, §7.3.4).
+//!
+//! Every object update must be applied at all `r` replicas, consuming server
+//! time that is then unavailable to queries: "the more replicas of the
+//! dataset, the bigger the update cost". This module models a fleet
+//! receiving `u` updates/second, each costing `t_u` seconds of processing on
+//! each of `r` replicas, and derives the remaining query capacity — which is
+//! what Fig 7.4 plots against the update rate for different replication
+//! levels.
+
+/// Parameters of the update-load model.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateModel {
+    /// Number of servers.
+    pub n: usize,
+    /// Replication level (replicas per object).
+    pub r: f64,
+    /// Per-replica processing cost of one update, in seconds.
+    pub t_update: f64,
+    /// Aggregate fleet query capacity with zero updates, queries/second.
+    pub base_throughput: f64,
+}
+
+impl UpdateModel {
+    /// Fraction of fleet time consumed by an update rate of `u` updates/s:
+    /// each update burns `r · t_u` seconds of server time, spread over `n`
+    /// servers.
+    pub fn update_utilisation(&self, u: f64) -> f64 {
+        assert!(u >= 0.0);
+        (u * self.r * self.t_update / self.n as f64).min(1.0)
+    }
+
+    /// Query throughput remaining at update rate `u`: the fleet's query
+    /// capacity shrinks by the fraction of time spent applying updates.
+    pub fn query_throughput(&self, u: f64) -> f64 {
+        self.base_throughput * (1.0 - self.update_utilisation(u))
+    }
+
+    /// The update rate that starves queries completely.
+    pub fn saturating_update_rate(&self) -> f64 {
+        self.n as f64 / (self.r * self.t_update)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(r: f64) -> UpdateModel {
+        UpdateModel { n: 40, r, t_update: 0.002, base_throughput: 100.0 }
+    }
+
+    #[test]
+    fn zero_updates_full_throughput() {
+        assert_eq!(model(4.0).query_throughput(0.0), 100.0);
+    }
+
+    #[test]
+    fn throughput_decreases_linearly_with_updates() {
+        let m = model(4.0);
+        let t1 = m.query_throughput(1000.0);
+        let t2 = m.query_throughput(2000.0);
+        assert!(t1 > t2);
+        // linear: equal decrements
+        let t3 = m.query_throughput(3000.0);
+        assert!(((t1 - t2) - (t2 - t3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_r_pays_more_per_update() {
+        // Fig 7.4's key contrast: at the same update rate, larger r loses
+        // more throughput
+        let lo = model(2.0).query_throughput(2000.0);
+        let hi = model(8.0).query_throughput(2000.0);
+        assert!(lo > hi, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn saturation_rate() {
+        let m = model(4.0);
+        let u_max = m.saturating_update_rate();
+        assert!((m.query_throughput(u_max) - 0.0).abs() < 1e-9);
+        // utilisation clamps at 1 beyond saturation
+        assert_eq!(m.update_utilisation(u_max * 2.0), 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Exponentially weighted moving average.
+//!
+//! The front-end server maintains "an exponentially weighted average
+//! processing speed" per node (§4.8): every completed sub-query yields a new
+//! speed observation which is folded into the estimate. The same primitive
+//! smooths load statistics at the membership server.
+
+/// An exponentially weighted moving average over `f64` observations.
+///
+/// `alpha` is the weight of a *new* observation: `est ← alpha·x + (1-alpha)·est`.
+/// Before the first observation the estimate is `None`, so callers can
+/// distinguish "never measured" from "measured zero" — the scheduler seeds
+/// unmeasured servers with a fleet-wide default instead of zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with weight `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        Ewma { alpha, value: None }
+    }
+
+    /// Fold one observation into the average and return the new estimate.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current estimate, or `None` before any observation.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current estimate or the supplied default.
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Reset to the unobserved state (used when a node is re-inserted after
+    /// maintenance — its old speed may no longer be representative).
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_is_exact() {
+        let mut e = Ewma::new(0.2);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.observe(10.0), 10.0);
+        assert_eq!(e.get(), Some(10.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..200 {
+            e.observe(42.0);
+        }
+        assert!((e.get().unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moves_toward_new_level() {
+        let mut e = Ewma::new(0.5);
+        e.observe(0.0);
+        e.observe(100.0);
+        assert!((e.get().unwrap() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_tracks_latest() {
+        let mut e = Ewma::new(1.0);
+        e.observe(1.0);
+        e.observe(7.0);
+        assert_eq!(e.get(), Some(7.0));
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut e = Ewma::new(0.5);
+        e.observe(3.0);
+        e.reset();
+        assert_eq!(e.get(), None);
+        assert_eq!(e.get_or(9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ordinary least-squares line fitting.
+//!
+//! The paper's simulator decides whether an open-loop query workload has
+//! overloaded the system by fitting a straight line to `delay(arrival_time)`:
+//! "If the slope of the fitted line is greater than 0.1 (i.e. query delays
+//! are constantly increasing with time), we consider the queue to be
+//! exploding and set the measured delay to be infinite" (§6.1). This module
+//! provides that fit.
+
+/// Result of an ordinary least-squares fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`; 0 when y is constant.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Fit a line through `(x, y)` pairs.
+    ///
+    /// Returns `None` when fewer than two points are supplied or when all x
+    /// values coincide (vertical line — undefined slope).
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let mx = sx / n;
+        let my = sy / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+        let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let syy: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+        let r2 = if syy == 0.0 { 0.0 } else { (sxy * sxy) / (sxx * syy) };
+        Some(LinearFit { slope, intercept, r2 })
+    }
+
+    /// Paper's queue-explosion rule (§6.1): the delay-vs-time slope exceeds
+    /// `threshold` (0.1 in the paper). `points` are `(arrival_time, delay)`.
+    pub fn queue_exploding(points: &[(f64, f64)], threshold: f64) -> bool {
+        match Self::fit(points) {
+            Some(f) => f.slope > threshold,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_line_zero_slope() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 2.0)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 0.0);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(LinearFit::fit(&[(1.0, 1.0)]).is_none());
+        assert!(LinearFit::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn vertical_points_rejected() {
+        assert!(LinearFit::fit(&[(1.0, 1.0), (1.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn explosion_detection_matches_paper_rule() {
+        // stable system: delays hover around a constant
+        let stable: Vec<(f64, f64)> =
+            (0..100).map(|i| (i as f64, 0.5 + 0.01 * ((i % 7) as f64))).collect();
+        assert!(!LinearFit::queue_exploding(&stable, 0.1));
+
+        // exploding system: delay grows by 0.5 per unit time
+        let exploding: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 0.5 * i as f64)).collect();
+        assert!(LinearFit::queue_exploding(&exploding, 0.1));
+    }
+
+    #[test]
+    fn noisy_line_reasonable_fit() {
+        // deterministic pseudo-noise around y = 2x + 5
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 0.2;
+                (x, 2.0 * x + 5.0 + noise)
+            })
+            .collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.05);
+        assert!(f.r2 > 0.99);
+    }
+}

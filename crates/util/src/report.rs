@@ -1,0 +1,229 @@
+//! Plain-text tables and experiment reports.
+//!
+//! Every figure/table reproduction prints an aligned table of series (the
+//! "rows the paper reports") and optionally persists it under `results/`.
+//! Keeping this in one place guarantees every experiment output looks the
+//! same and is machine-diffable run to run.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row. Rows shorter than the header are padded with blanks;
+    /// longer rows panic (that is always a bug in the experiment code).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            r.len() <= self.header.len(),
+            "row has {} cells but table has {} columns",
+            r.len(),
+            self.header.len()
+        );
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for i in 0..ncols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == ncols {
+                    let _ = write!(out, "{cell}");
+                } else {
+                    let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total.max(4)));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — experiment cells never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// An experiment report: a title, free-form notes and a sequence of tables.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub title: String,
+    sections: Vec<Section>,
+}
+
+#[derive(Debug)]
+enum Section {
+    Note(String),
+    Table(String, Table),
+}
+
+impl Report {
+    pub fn new<S: Into<String>>(title: S) -> Self {
+        Report { title: title.into(), sections: Vec::new() }
+    }
+
+    /// Add a free-form note (parameters, observations, paper expectations).
+    pub fn note<S: Into<String>>(&mut self, text: S) -> &mut Self {
+        self.sections.push(Section::Note(text.into()));
+        self
+    }
+
+    /// Add a named table.
+    pub fn table<S: Into<String>>(&mut self, caption: S, table: Table) -> &mut Self {
+        self.sections.push(Section::Table(caption.into(), table));
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for s in &self.sections {
+            match s {
+                Section::Note(t) => {
+                    let _ = writeln!(out, "\n{t}");
+                }
+                Section::Table(cap, t) => {
+                    let _ = writeln!(out, "\n-- {cap} --");
+                    out.push_str(&t.render());
+                }
+            }
+        }
+        out
+    }
+
+    /// Write the rendered report to `dir/<id>.txt` and echo it to stdout.
+    pub fn save_and_print(&self, dir: &Path, id: &str) -> io::Result<()> {
+        let rendered = self.render();
+        println!("{rendered}");
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{id}.txt")), rendered)
+    }
+}
+
+/// Format an f64 with engineering-friendly precision: 3 significant-ish
+/// decimals for small values, fewer for large ones.
+pub fn fnum(x: f64) -> String {
+    if x == f64::INFINITY {
+        return "inf".into();
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else if a >= 0.1 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["p", "delay_ms"]);
+        t.row(["4", "123.4"]);
+        t.row(["16", "31.9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("p "));
+        assert!(lines[2].starts_with("4 "));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.n_rows(), 1);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn long_rows_rejected() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn report_renders_sections_in_order() {
+        let mut r = Report::new("Fig X");
+        r.note("params: n=4");
+        let mut t = Table::new(["k"]);
+        t.row(["v"]);
+        r.table("series", t);
+        let s = r.render();
+        let ni = s.find("params").unwrap();
+        let ti = s.find("series").unwrap();
+        assert!(ni < ti);
+        assert!(s.starts_with("== Fig X =="));
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+        assert_eq!(fnum(1234.5), "1234"); // {:.0} rounds half-to-even
+        assert_eq!(fnum(1235.5), "1236");
+        assert_eq!(fnum(12.34), "12.3");
+        assert_eq!(fnum(0.5), "0.500");
+        assert_eq!(fnum(0.01234), "0.01234");
+    }
+}

@@ -1,0 +1,219 @@
+//! Random samplers used by the workload generators and the simulator.
+//!
+//! * [`Exponential`] — inter-arrival gaps of the Poisson query process (§6.1:
+//!   "Queries arrive at discrete times according to a Poisson process with a
+//!   configurable mean").
+//! * [`Poisson`] — counts per interval, used for update batching (§7.3.4).
+//! * [`Zipf`] — keyword popularity in the synthetic corpus; web-search terms
+//!   are famously Zipfian and the PPS evaluation's selectivity experiments
+//!   (§5.7.1) need both very common and very rare terms.
+//! * [`normal`] — Box–Muller Gaussian for server speed estimation noise
+//!   (Fig 6.5 injects controlled estimation error).
+
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// # Panics
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive, got {lambda}");
+        Exponential { lambda }
+    }
+
+    /// Draw one sample via inverse-CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 - u in (0, 1] avoids ln(0)
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's product-of-uniforms method for small lambda and a normal
+/// approximation (rounded, clamped at 0) for `lambda > 30`, which is ample
+/// for the batch sizes the workloads draw.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// # Panics
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive, got {lambda}");
+        Poisson { lambda }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda > 30.0 {
+            let g = normal(rng, self.lambda, self.lambda.sqrt());
+            return g.round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table: O(n) memory,
+/// O(log n) per draw — fine for dictionary-sized `n` (tens of thousands of
+/// keywords).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF")) {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "rank out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+/// One Gaussian sample via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::det_rng;
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = det_rng(1);
+        let d = Exponential::new(4.0);
+        let n = 40_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let mut rng = det_rng(2);
+        let d = Exponential::new(0.5);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = det_rng(3);
+        let d = Poisson::new(3.5);
+        let n = 40_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((m - 3.5).abs() < 0.06, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = det_rng(4);
+        let d = Poisson::new(200.0);
+        let n = 20_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((m - 200.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    fn zipf_rank_one_most_popular() {
+        let mut rng = det_rng(5);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > counts[50] * 5);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.8);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let mut rng = det_rng(6);
+        let z = Zipf::new(7, 1.2);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=7).contains(&k));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = det_rng(7);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let m = crate::stats::mean(&samples);
+        let s = crate::stats::stddev(&samples);
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+        assert!((s - 2.0).abs() < 0.05, "std {s}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Heterogeneous server fleets (Table 7.1).
+//!
+//! The thesis's testbed mixes four machine generations — Dell PowerEdge
+//! 1950, 2950, 1850 and Sun X4100 — and §7.8 observes per-model processing
+//! speeds. Absolute speeds are testbed-specific; what the experiments need
+//! is the *relative* heterogeneity, which we preserve: speeds are expressed
+//! in metadata records scanned per second, normalised so the 1950 matches
+//! the paper's ~0.9 M records/s in-memory single-thread figure (§5.7).
+
+use rand::Rng;
+use roar_util::sample::normal;
+use serde::{Deserialize, Serialize};
+
+/// A server model with its scan speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerModel {
+    Dell1950,
+    Dell2950,
+    Dell1850,
+    SunX4100,
+}
+
+impl ServerModel {
+    /// Single-thread in-memory scan speed, metadata records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        match self {
+            // calibrated against §5.7: ~1.1 s per 1M records CPU-bound
+            ServerModel::Dell1950 => 900_000.0,
+            // newer: ~1.4× faster
+            ServerModel::Dell2950 => 1_250_000.0,
+            // older generation: CPU-bound even when reading from disk (§5.7)
+            ServerModel::Dell1850 => 520_000.0,
+            ServerModel::SunX4100 => 450_000.0,
+        }
+    }
+
+    /// Physical cores (for multi-thread scaling, Fig 5.5 plateaus at 4).
+    pub fn cores(&self) -> usize {
+        match self {
+            ServerModel::Dell1950 | ServerModel::Dell2950 => 4,
+            ServerModel::Dell1850 | ServerModel::SunX4100 => 2,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerModel::Dell1950 => "Dell PowerEdge 1950",
+            ServerModel::Dell2950 => "Dell PowerEdge 2950",
+            ServerModel::Dell1850 => "Dell PowerEdge 1850",
+            ServerModel::SunX4100 => "Sun X4100",
+        }
+    }
+
+    pub fn all() -> [ServerModel; 4] {
+        [ServerModel::Dell1950, ServerModel::Dell2950, ServerModel::Dell1850, ServerModel::SunX4100]
+    }
+}
+
+/// A concrete fleet: one model per server plus a per-machine jitter factor
+/// (no two "identical" machines perform identically in practice).
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    pub models: Vec<ServerModel>,
+    pub speeds: Vec<f64>,
+}
+
+impl Fleet {
+    /// Homogeneous fleet of `n` servers of one model.
+    pub fn homogeneous(n: usize, model: ServerModel) -> Self {
+        Fleet { models: vec![model; n], speeds: vec![model.records_per_sec(); n] }
+    }
+
+    /// The thesis testbed mix (§7.1): mostly 1950s with the older models
+    /// mixed in, 5% per-machine speed jitter.
+    pub fn hen_testbed<R: Rng>(rng: &mut R, n: usize) -> Self {
+        let mix = [
+            (ServerModel::Dell1950, 0.45),
+            (ServerModel::Dell2950, 0.20),
+            (ServerModel::Dell1850, 0.20),
+            (ServerModel::SunX4100, 0.15),
+        ];
+        let mut models = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = ServerModel::Dell1950;
+            for &(m, w) in &mix {
+                acc += w;
+                if x < acc {
+                    chosen = m;
+                    break;
+                }
+            }
+            models.push(chosen);
+        }
+        let speeds = models
+            .iter()
+            .map(|m| m.records_per_sec() * normal(rng, 1.0, 0.05).clamp(0.8, 1.2))
+            .collect();
+        Fleet { models, speeds }
+    }
+
+    /// Synthetic fleet with controllable heterogeneity for Fig 6.4: speeds
+    /// drawn uniformly from `[base/spread, base·spread]` (log-uniform).
+    pub fn with_spread<R: Rng>(rng: &mut R, n: usize, base: f64, spread: f64) -> Self {
+        assert!(spread >= 1.0);
+        let speeds: Vec<f64> = (0..n)
+            .map(|_| {
+                let e: f64 = rng.gen_range(-1.0..1.0);
+                base * spread.powf(e)
+            })
+            .collect();
+        Fleet { models: vec![ServerModel::Dell1950; n], speeds }
+    }
+
+    pub fn n(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Speeds normalised to work-fractions/second for a dataset of
+    /// `d` records (the simulator's unit).
+    pub fn work_speeds(&self, d: u64) -> Vec<f64> {
+        assert!(d > 0);
+        self.speeds.iter().map(|s| s / d as f64).collect()
+    }
+
+    pub fn total_capacity(&self) -> f64 {
+        self.speeds.iter().sum()
+    }
+
+    /// Max/min speed ratio — the heterogeneity the scheduler must handle.
+    pub fn heterogeneity(&self) -> f64 {
+        let max = self.speeds.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.speeds.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_util::det_rng;
+
+    #[test]
+    fn model_speeds_ordered_by_generation() {
+        assert!(
+            ServerModel::Dell2950.records_per_sec() > ServerModel::Dell1950.records_per_sec()
+        );
+        assert!(
+            ServerModel::Dell1950.records_per_sec() > ServerModel::Dell1850.records_per_sec()
+        );
+    }
+
+    #[test]
+    fn homogeneous_fleet() {
+        let f = Fleet::homogeneous(5, ServerModel::Dell1950);
+        assert_eq!(f.n(), 5);
+        assert!((f.heterogeneity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn testbed_fleet_is_heterogeneous() {
+        let mut rng = det_rng(51);
+        let f = Fleet::hen_testbed(&mut rng, 45);
+        assert_eq!(f.n(), 45);
+        assert!(f.heterogeneity() > 1.5, "heterogeneity {}", f.heterogeneity());
+        // all four models appear in a 45-node draw
+        for m in ServerModel::all() {
+            assert!(f.models.contains(&m), "{} missing", m.name());
+        }
+    }
+
+    #[test]
+    fn spread_controls_heterogeneity() {
+        let mut rng = det_rng(52);
+        let tight = Fleet::with_spread(&mut rng, 50, 1.0, 1.1);
+        let wide = Fleet::with_spread(&mut rng, 50, 1.0, 8.0);
+        assert!(tight.heterogeneity() < 1.3);
+        assert!(wide.heterogeneity() > 4.0);
+    }
+
+    #[test]
+    fn work_speeds_scale_with_dataset() {
+        let f = Fleet::homogeneous(2, ServerModel::Dell1950);
+        let w = f.work_speeds(900_000);
+        assert!((w[0] - 1.0).abs() < 1e-9, "1950 scans 900k records in 1s");
+        let w2 = f.work_speeds(1_800_000);
+        assert!((w2[0] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,18 @@
+//! Workloads for the ROAR evaluation: synthetic file corpora, query
+//! streams, heterogeneous server fleets and diurnal load patterns.
+//!
+//! The thesis evaluates on the author's home directory (50k–2M files), four
+//! server models (Table 7.1) and data-center load traces with 2–4× diurnal
+//! swings (§4.9.1). None of those artifacts are available, so this crate
+//! generates the closest synthetic equivalents; every generator is seeded
+//! and deterministic so EXPERIMENTS.md numbers are reproducible.
+
+pub mod corpus;
+pub mod fleet;
+pub mod load;
+pub mod queries;
+
+pub use corpus::{fast_random_metadata, CorpusGenerator};
+pub use fleet::{Fleet, ServerModel};
+pub use load::DiurnalPattern;
+pub use queries::QueryGenerator;

@@ -1,0 +1,121 @@
+//! Query stream generation.
+//!
+//! The PPS evaluation queries "two random keywords, such that the number of
+//! matched metadata is always 0" (§5.7) for scaling runs, plus realistic
+//! mixed streams (keyword / numeric / multi-predicate) for the cluster
+//! experiments. Keyword popularity follows the corpus Zipf so selectivities
+//! span the full range — the input dynamic predicate ordering needs.
+
+use crate::corpus::{CorpusGenerator, VOCABULARY};
+use rand::Rng;
+use roar_pps::metadata::{Attr, MetaEncryptor};
+use roar_pps::numeric::Cmp;
+use roar_pps::query::{Combiner, CompiledQuery, Predicate, QueryCompiler};
+use roar_util::sample::Zipf;
+
+/// Generator of predicate streams.
+pub struct QueryGenerator {
+    zipf: Zipf,
+}
+
+impl Default for QueryGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryGenerator {
+    pub fn new() -> Self {
+        // queries skew even more popular than documents (s = 1.2)
+        QueryGenerator { zipf: Zipf::new(VOCABULARY, 1.2) }
+    }
+
+    /// A zero-match two-keyword query (§5.7's measurement workload): the
+    /// second keyword is outside the corpus vocabulary, so conjunctions
+    /// never match.
+    pub fn zero_match<R: Rng>(&self, rng: &mut R) -> Vec<Predicate> {
+        vec![
+            Predicate::Keyword(CorpusGenerator::keyword(self.zipf.sample(rng))),
+            Predicate::Keyword(format!("nosuchkw{}", rng.gen::<u32>())),
+        ]
+    }
+
+    /// A realistic mixed query: 1–2 keywords, sometimes a size or date
+    /// constraint.
+    pub fn realistic<R: Rng>(&self, rng: &mut R) -> (Vec<Predicate>, Combiner) {
+        let mut preds =
+            vec![Predicate::Keyword(CorpusGenerator::keyword(self.zipf.sample(rng)))];
+        // mean keywords per web query ≈ 2.3 (§5.5.2); add a second often
+        if rng.gen_bool(0.6) {
+            preds.push(Predicate::Keyword(CorpusGenerator::keyword(self.zipf.sample(rng))));
+        }
+        if rng.gen_bool(0.3) {
+            preds.push(Predicate::Numeric {
+                attr: if rng.gen_bool(0.5) { Attr::Size } else { Attr::Mtime },
+                cmp: if rng.gen_bool(0.5) { Cmp::Greater } else { Cmp::Less },
+                value: rng.gen_range(1_000..1_000_000_000),
+            });
+        }
+        let combiner = if rng.gen_bool(0.85) { Combiner::And } else { Combiner::Or };
+        (preds, combiner)
+    }
+
+    /// Compile a batch of zero-match queries.
+    pub fn compile_zero_match<R: Rng>(
+        &self,
+        rng: &mut R,
+        enc: &MetaEncryptor,
+        n: usize,
+    ) -> Vec<CompiledQuery> {
+        let qc = QueryCompiler::new(enc);
+        (0..n).map(|_| qc.compile(&self.zero_match(rng), Combiner::And)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roar_pps::bloom_kw::PrfCounter;
+    use roar_pps::query::Matcher;
+    use roar_util::det_rng;
+
+    #[test]
+    fn zero_match_queries_match_nothing() {
+        let gen = QueryGenerator::new();
+        let enc = MetaEncryptor::new(b"u");
+        let corpus_gen = CorpusGenerator::new();
+        let mut rng = det_rng(61);
+        let records = corpus_gen.encrypted(&mut rng, &enc, 100);
+        let queries = gen.compile_zero_match(&mut rng, &enc, 5);
+        let c = PrfCounter::new();
+        for q in &queries {
+            let mut m = Matcher::new(q.trapdoors.len(), true);
+            let hits = records.iter().filter(|r| m.matches(q, r, &c)).count();
+            assert_eq!(hits, 0);
+        }
+    }
+
+    #[test]
+    fn realistic_queries_have_sane_shape() {
+        let gen = QueryGenerator::new();
+        let mut rng = det_rng(62);
+        let mut kw_counts = Vec::new();
+        for _ in 0..200 {
+            let (preds, _) = gen.realistic(&mut rng);
+            assert!(!preds.is_empty() && preds.len() <= 3);
+            kw_counts.push(
+                preds.iter().filter(|p| matches!(p, Predicate::Keyword(_))).count() as f64,
+            );
+        }
+        let mean_kw = roar_util::mean(&kw_counts);
+        assert!((1.3..2.0).contains(&mean_kw), "mean keywords {mean_kw}");
+    }
+
+    #[test]
+    fn generator_deterministic() {
+        let gen = QueryGenerator::new();
+        let mut r1 = det_rng(63);
+        let mut r2 = det_rng(63);
+        assert_eq!(gen.zero_match(&mut r1), gen.zero_match(&mut r2));
+    }
+}

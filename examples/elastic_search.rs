@@ -1,0 +1,65 @@
+//! Elastic repartitioning under changing load (thesis §7.4, Fig 7.5).
+//!
+//! A controller watches query delay against a target and moves the
+//! partitioning level up when delay degrades (load spike) and back down
+//! when there is slack (reclaiming throughput/energy). The system keeps
+//! answering with 100% harvest throughout — the paper's core claim.
+//!
+//! Run with: `cargo run --release --example elastic_search`
+
+use rand::Rng;
+use roar::cluster::frontend::SchedOpts;
+use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
+use roar::util::det_rng;
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    let n = 12;
+    let h = spawn_cluster(ClusterConfig::uniform(n, 300_000.0, 2)).await?;
+    let mut rng = det_rng(3);
+    let ids: Vec<u64> = (0..30_000).map(|_| rng.gen()).collect();
+    h.cluster.store_synthetic(&ids).await.expect("store");
+
+    let target_ms = 40.0;
+    println!("target delay: {target_ms} ms; starting at p = {}", h.cluster.p());
+    println!("{:>6} {:>4} {:>10} {:>8}", "phase", "p", "delay(ms)", "action");
+
+    // three load phases: calm, spike (more concurrent queries), calm again
+    for (phase, concurrency) in [("calm", 1usize), ("spike", 6), ("calm", 1)] {
+        for _round in 0..4 {
+            // measure: run `concurrency` queries at once, take the mean
+            let mut delays = Vec::new();
+            let mut handles = Vec::new();
+            for _ in 0..concurrency {
+                let c = h.cluster.clone();
+                handles.push(tokio::spawn(async move {
+                    c.query(QueryBody::Synthetic, SchedOpts::default()).await.wall_s
+                }));
+            }
+            for t in handles {
+                delays.push(t.await.expect("query task") * 1e3);
+            }
+            let mean = roar::util::mean(&delays);
+
+            // adapt: the minP rule of §2.3.3 — smallest p meeting the target
+            let p = h.cluster.p();
+            let action = if mean > target_ms && p < n {
+                let new_p = (p * 2).min(n);
+                h.cluster.set_p(new_p).await.expect("repartition up");
+                format!("p -> {new_p}")
+            } else if mean < target_ms / 3.0 && p > 2 {
+                let new_p = (p / 2).max(2);
+                h.cluster.set_p(new_p).await.expect("repartition down");
+                format!("p -> {new_p} (reclaim)")
+            } else {
+                "hold".to_string()
+            };
+            println!("{phase:>6} {p:>4} {mean:>10.1} {action:>8}");
+        }
+    }
+    println!(
+        "final state: p = {} — the trade-off followed the load with no restart",
+        h.cluster.p()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Front-end failover (§4.8.3): a backup front-end takes over without
+//! knowing the current partitioning level.
+//!
+//! "If the backup does not know what value of p is safe to use it can
+//! either start using p = n (which will always work) and progressively
+//! decrease p. Another option is guess a value of p and use it to split
+//! queries. If the servers do not have enough replicas they will reply
+//! saying they haven't matched the whole query."
+//!
+//! Run with: `cargo run --release --example frontend_failover`
+
+use rand::Rng;
+use roar::cluster::frontend::{Cluster, SchedOpts};
+use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
+use roar::util::det_rng;
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    // master front-end runs the cluster at p = 4
+    let h = spawn_cluster(ClusterConfig::uniform(12, 1_000_000.0, 3)).await?;
+    let mut rng = det_rng(21);
+    let ids: Vec<u64> = (0..30_000).map(|_| rng.gen()).collect();
+    h.cluster.store_synthetic(&ids).await.expect("store");
+    h.cluster.set_p(4).await.expect("repartition"); // nodes now hold 1/4-arcs
+    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    println!(
+        "master:  p = {}, query scanned {} in {:.1} ms",
+        h.cluster.p(),
+        out.scanned,
+        out.wall_s * 1e3
+    );
+
+    // --- the master "dies"; a backup connects knowing only the topology ---
+    let backup = Cluster::connect_backup(&h.addrs, 1.0).await?;
+    println!("backup:  starts at the always-safe p = {}", backup.p());
+    let out = backup.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    println!(
+        "backup:  p = n query is correct (scanned {}) but pays {} sub-queries",
+        out.scanned, out.subqueries
+    );
+
+    // option 1: one control round over the nodes' coverage windows
+    let p = backup.discover_p().await.expect("coverage probe");
+    println!("backup:  coverage probe discovered p = {p}");
+
+    // option 2: guess-and-retry — nodes refuse under-covered windows
+    let backup2 = Cluster::connect_backup(&h.addrs, 1.0).await?;
+    let p2 = backup2.discover_p_by_probing().await;
+    println!("backup2: probing (refusal-driven bisection) discovered p = {p2}");
+
+    let out = backup.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    println!(
+        "backup:  now p = {}, scanned {} with {} sub-queries in {:.1} ms",
+        backup.p(),
+        out.scanned,
+        out.subqueries,
+        out.wall_s * 1e3
+    );
+    assert_eq!(out.scanned, 30_000, "full harvest after takeover");
+    assert_eq!(p, 4);
+    assert_eq!(p2, 4);
+    println!("takeover complete — no node ever served a window it could not cover");
+    Ok(())
+}

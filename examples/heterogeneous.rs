@@ -1,0 +1,73 @@
+//! Scheduling on a heterogeneous fleet: ROAR vs the baselines (thesis §6.1).
+//!
+//! Uses the discrete-event simulator with a Table 7.1-style mixed fleet to
+//! compare mean query delay across SW, ROAR (with and without the §4.8.2
+//! optimisations via pq), PTN and the OPT lower bound — the Fig 6.1 story
+//! in miniature.
+//!
+//! Run with: `cargo run --release --example heterogeneous`
+
+use roar::core::placement::RoarRing;
+use roar::core::ringmap::RingMap;
+use roar::core::sched::{RoarScheduler, Strategy};
+use roar::dr::sched::OptScheduler;
+use roar::dr::{DrConfig, Ptn, QueryScheduler, SlidingWindow};
+use roar::sim::{run_sim, SimConfig, SimServers};
+use roar::util::det_rng;
+use roar::workload::Fleet;
+
+fn main() {
+    let n = 40;
+    let p = 8;
+    let d = 1_000_000u64; // records in the dataset
+    let mut rng = det_rng(17);
+    let fleet = Fleet::hen_testbed(&mut rng, n);
+    println!(
+        "fleet: {} nodes, heterogeneity {:.1}x (Table 7.1 mix), p = {p}, 1M records",
+        n,
+        fleet.heterogeneity()
+    );
+
+    let speeds = fleet.work_speeds(d);
+    let cfg = SimConfig { arrival_rate: 8.0, n_queries: 3000, warmup: 200, ..Default::default() };
+    let servers = || SimServers::new(&speeds, 0.002);
+
+    let nodes: Vec<usize> = (0..n).collect();
+    let schedulers: Vec<(&str, Box<dyn QueryScheduler>)> = vec![
+        ("SW", Box::new(SlidingWindow::new(n, n / p).scheduler())),
+        (
+            "ROAR",
+            Box::new(RoarScheduler::new(
+                RoarRing::new(RingMap::uniform(&nodes), p),
+                p,
+                Strategy::Sweep,
+            )),
+        ),
+        (
+            "ROAR pq=2p",
+            Box::new(RoarScheduler::new(
+                RoarRing::new(RingMap::uniform(&nodes), p),
+                2 * p,
+                Strategy::Sweep,
+            )),
+        ),
+        ("PTN", Box::new(Ptn::new(DrConfig::new(n, p)).scheduler())),
+        ("OPT", Box::new(OptScheduler::new(p))),
+    ];
+
+    println!("{:<10} {:>12} {:>12} {:>12}", "algorithm", "mean (ms)", "p99 (ms)", "choices");
+    for (name, sched) in &schedulers {
+        let res = run_sim(&cfg, servers(), sched.as_ref());
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>12}",
+            name,
+            res.mean_delay * 1e3,
+            res.summary.p99 * 1e3,
+            sched.choices()
+        );
+    }
+    println!(
+        "\nexpected shape (§6.4): OPT ≤ PTN ≤ ROAR < SW, with pq > p closing\n\
+         most of ROAR's gap to PTN — more scheduling choices, lower delay."
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: bring up a ROAR cluster in-process, store objects, run a
+//! query, then re-tune the partitioning level while it serves.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::Rng;
+use roar::cluster::frontend::SchedOpts;
+use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
+use roar::util::det_rng;
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    // 12 data nodes scanning 1M records/s each, partitioning level p = 4:
+    // each query touches 4 nodes, each object is replicated on ~3 (r = n/p).
+    let h = spawn_cluster(ClusterConfig::uniform(12, 1_000_000.0, 4)).await?;
+    println!("cluster up: {} nodes, p = {}", h.cluster.n(), h.cluster.p());
+
+    // store 20,000 objects (ids double as ring positions)
+    let mut rng = det_rng(1);
+    let ids: Vec<u64> = (0..20_000).map(|_| rng.gen()).collect();
+    h.cluster.store_synthetic(&ids).await.expect("store");
+    println!("stored {} objects", ids.len());
+
+    // run a query: the front-end picks the fastest of the ~r ring rotations
+    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    println!(
+        "query: {} sub-queries, scanned {} (exactly once), delay {:.1} ms \
+         (schedule {:.2} ms + execute {:.1} ms)",
+        out.subqueries,
+        out.scanned,
+        out.wall_s * 1e3,
+        out.sched_s * 1e3,
+        out.exec_s * 1e3,
+    );
+    assert_eq!(out.scanned as usize, ids.len(), "rendezvous exactness");
+
+    // latency too high? raise the partitioning level on the fly (§4.5):
+    // more servers per query, smaller sub-queries — no restart
+    h.cluster.set_p(8).await.expect("repartition");
+    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    println!("after p → 8: {} sub-queries, delay {:.1} ms", out.subqueries, out.wall_s * 1e3);
+
+    // updates quiet and latency fine? drop back down and reclaim throughput
+    h.cluster.set_p(3).await.expect("repartition");
+    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    println!("after p → 3: {} sub-queries, delay {:.1} ms", out.subqueries, out.wall_s * 1e3);
+    assert_eq!(out.scanned as usize, ids.len(), "still exactly once");
+    Ok(())
+}

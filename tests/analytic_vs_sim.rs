@@ -1,0 +1,112 @@
+//! Cross-validation: the §2.3.3 analytic delay model (M/D/1 approximation)
+//! against the §6.1 discrete-event simulator.
+//!
+//! The analytic model assumes a random single queue; the simulator's
+//! scheduler picks the best of r ring rotations, so simulated delays should
+//! sit at or below the analytic curve while agreeing on the service-time
+//! floor, the direction of every trend, and the saturation point.
+
+use roar::core::placement::RoarRing;
+use roar::core::ringmap::RingMap;
+use roar::core::sched::{RoarScheduler, Strategy};
+use roar::dr::tradeoff::DelayModel;
+use roar::dr::DrConfig;
+use roar::sim::{run_sim, SimConfig, SimServers};
+
+const DATASET: f64 = 1e6;
+const SPEED: f64 = 900_000.0; // records/s per server
+const OVERHEAD: f64 = 0.002;
+
+fn simulate(n: usize, p: usize, qps: f64, seed: u64) -> f64 {
+    let nodes: Vec<usize> = (0..n).collect();
+    let ring = RoarRing::new(RingMap::uniform(&nodes), p);
+    let sched = RoarScheduler::new(ring, p, Strategy::Sweep);
+    // the sim works in dataset fractions: speed is expressed as fractions/s
+    let servers = SimServers::new(&vec![SPEED / DATASET; n], OVERHEAD);
+    let cfg = SimConfig { arrival_rate: qps, n_queries: 1500, warmup: 100, seed, ..Default::default() };
+    run_sim(&cfg, servers, &sched).mean_delay
+}
+
+fn model() -> DelayModel {
+    DelayModel { objects: DATASET, cpu: SPEED, fixed_s: OVERHEAD }
+}
+
+#[test]
+fn service_floor_agrees_at_light_load() {
+    // at ~zero load both reduce to fixed + D/(p·cpu)
+    let n = 24;
+    for p in [2usize, 4, 8] {
+        let sim = simulate(n, p, 0.5, 42);
+        let ana = model().mean_delay_s(DrConfig::new(n, p), 0.5);
+        let floor = model().service_s(p);
+        assert!(sim >= floor * 0.95, "sim {sim} below the physical floor {floor}");
+        let ratio = sim / ana;
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "light-load agreement p={p}: sim {sim:.4}s vs analytic {ana:.4}s"
+        );
+    }
+}
+
+#[test]
+fn both_predict_delay_growth_with_load() {
+    let n = 24;
+    let p = 6;
+    let mut last_sim = 0.0;
+    let mut last_ana = 0.0;
+    for qps in [1.0, 8.0, 20.0] {
+        let sim = simulate(n, p, qps, 7);
+        let ana = model().mean_delay_s(DrConfig::new(n, p), qps);
+        assert!(sim >= last_sim * 0.9, "sim roughly monotone in load");
+        assert!(ana >= last_ana, "analytic monotone in load");
+        last_sim = sim;
+        last_ana = ana;
+    }
+}
+
+#[test]
+fn scheduler_beats_the_random_queue_at_high_load() {
+    // the whole point of Algorithm 1: picking the best rotation beats the
+    // M/D/1 average, visibly so once queues form
+    let n = 24;
+    let p = 6;
+    let qps = 25.0; // ~77% analytic utilisation
+    let sim = simulate(n, p, qps, 11);
+    let ana = model().mean_delay_s(DrConfig::new(n, p), qps);
+    assert!(
+        sim <= ana * 1.1,
+        "scheduled delay {sim:.4}s should not exceed the queue-blind analytic {ana:.4}s"
+    );
+}
+
+#[test]
+fn saturation_points_agree() {
+    // the analytic model says ρ ≥ 1 at this rate; the simulator must
+    // detect the exploding queue
+    let n = 12;
+    let p = 6;
+    let m = model();
+    // find a rate past analytic saturation
+    let mut qps = 1.0;
+    while m.utilisation(DrConfig::new(n, p), qps) < 1.2 {
+        qps *= 2.0;
+    }
+    let sim = simulate(n, p, qps, 13);
+    assert!(sim.is_infinite(), "simulator must explode at {qps} qps");
+    assert!(m.mean_delay_s(DrConfig::new(n, p), qps).is_infinite());
+}
+
+#[test]
+fn min_p_choice_is_feasible_in_the_simulator() {
+    // the §2.3.3 controller picks minP from the analytic model; the
+    // simulator must confirm that choice actually meets the target
+    let n = 24;
+    let qps = 6.0;
+    let target = 0.25;
+    let p = model().min_p(n, qps, target).expect("feasible");
+    let sim = simulate(n, p, qps, 17);
+    assert!(
+        sim <= target * 1.15,
+        "minP={p} should meet the {target}s target in simulation, got {sim:.3}s"
+    );
+}

@@ -1,0 +1,108 @@
+//! The paper's quantitative claims as executable invariants, spanning the
+//! simulator, the DR algorithms and the cost models.
+
+use roar::core::placement::RoarRing;
+use roar::core::ringmap::RingMap;
+use roar::core::sched::{RoarScheduler, Strategy};
+use roar::dr::cost::{repartition_copies, Algo};
+use roar::dr::{DrConfig, Ptn};
+use roar::sim::{run_sim, saturation_throughput, SimConfig, SimServers};
+
+/// §7.3.1: "Query latencies decrease with p."
+#[test]
+fn latency_decreases_with_p() {
+    let n = 24usize;
+    let speeds = vec![1.0f64; n];
+    let nodes: Vec<usize> = (0..n).collect();
+    let cfg = SimConfig { arrival_rate: 0.5, n_queries: 600, warmup: 50, ..Default::default() };
+    let mut last = f64::INFINITY;
+    for p in [2usize, 4, 8] {
+        let sched =
+            RoarScheduler::new(RoarRing::new(RingMap::uniform(&nodes), p), p, Strategy::Sweep);
+        let res = run_sim(&cfg, SimServers::new(&speeds, 0.0), &sched);
+        assert!(
+            res.mean_delay < last,
+            "p={p}: delay {} should be below {last}",
+            res.mean_delay
+        );
+        last = res.mean_delay;
+    }
+}
+
+/// §7.3.2/§7.3.3: "Query overheads increase with p" — with fixed
+/// per-sub-query costs, saturation throughput falls as p rises.
+#[test]
+fn throughput_decreases_with_p_under_overheads() {
+    let n = 24usize;
+    let speeds = vec![1.0f64; n];
+    let thr = |p: usize| {
+        saturation_throughput(
+            SimServers::new(&speeds, 0.05),
+            &Ptn::new(DrConfig::new(n, p)).scheduler(),
+            400,
+            1,
+        )
+    };
+    let t2 = thr(2);
+    let t12 = thr(12);
+    let t24 = thr(24);
+    assert!(t2 > t12 && t12 > t24, "throughput must fall with p: {t2} {t12} {t24}");
+}
+
+/// §4.5/Table 6.2: ROAR's repartitioning moves the information-theoretic
+/// minimum; PTN always moves at least as much, in both directions.
+#[test]
+fn roar_repartition_cost_minimal() {
+    let n = 120usize;
+    let d = 1_000_000u64;
+    for (from_p, to_p) in [(12usize, 6usize), (6, 12), (12, 4), (4, 12)] {
+        let from = DrConfig::new(n, from_p);
+        let to = DrConfig::new(n, to_p);
+        let roar = repartition_copies(Algo::Roar, from, to, d);
+        let ptn = repartition_copies(Algo::Ptn, from, to, d);
+        let minimum = (d as f64 * (to.r() - from.r())).max(0.0);
+        assert!((roar - minimum).abs() < 1.0, "ROAR {from_p}->{to_p}: {roar} vs min {minimum}");
+        assert!(ptn >= roar - 1.0, "PTN must not beat the minimum: {ptn} vs {roar}");
+    }
+}
+
+/// Eq. 2.1: realised replication × partitioning ≈ n across the stack.
+#[test]
+fn replication_partitioning_tradeoff() {
+    for (n, p) in [(12usize, 3usize), (40, 8), (100, 10)] {
+        let ring = RoarRing::new(RingMap::uniform(&(0..n).collect::<Vec<_>>()), p);
+        assert!((ring.r() * p as f64 - n as f64).abs() < 1e-9);
+        let cfg = DrConfig::new(n, p);
+        assert!((cfg.r() * p as f64 - n as f64).abs() < 1e-9);
+    }
+}
+
+/// §4.4: after one failure the number of sub-queries grows by exactly one
+/// (the failed sub-query splits in two).
+#[test]
+fn failure_split_adds_one_subquery() {
+    let n = 20usize;
+    let p = 4usize;
+    let ring = RoarRing::new(RingMap::uniform(&(0..n).collect::<Vec<_>>()), p);
+    let plan = ring.plan(987654321, p);
+    let victim = plan.subs[2].node;
+    let alive = |nd: usize| nd != victim;
+    let rerouted = roar::core::failover::reroute_plan(&ring, &plan.subs, &alive).unwrap();
+    assert_eq!(rerouted.len(), p + 1);
+}
+
+/// The scheduler's speed estimates only matter when servers differ: on a
+/// homogeneous fleet ROAR ≈ OPT.
+#[test]
+fn homogeneous_fleet_roar_matches_opt() {
+    use roar::dr::sched::{OptScheduler, QueryScheduler, StaticEstimator};
+    let n = 30usize;
+    let p = 6usize;
+    let est = StaticEstimator::uniform(n, 1.0);
+    let ring = RoarRing::new(RingMap::uniform(&(0..n).collect::<Vec<_>>()), p);
+    let roar = RoarScheduler::new(ring, p, Strategy::Sweep);
+    let opt = OptScheduler::new(p);
+    let a = roar.schedule(&est, 42);
+    let b = opt.schedule(&est, 42);
+    assert!((a.predicted_finish - b.predicted_finish).abs() < 1e-9);
+}

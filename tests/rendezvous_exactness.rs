@@ -1,0 +1,118 @@
+//! Cross-crate integration: every distributed-rendezvous algorithm meets
+//! every object exactly once (Definition 1's correctness), and the
+//! algorithms' scheduling quality is ordered the way Chapter 6 concludes.
+
+use rand::Rng;
+use roar::core::placement::RoarRing;
+use roar::core::ringmap::RingMap;
+use roar::core::sched::{RoarScheduler, Strategy};
+use roar::dr::sched::{OptScheduler, QueryScheduler, StaticEstimator};
+use roar::dr::{DrConfig, Ptn, RandDr, SlidingWindow};
+use roar::util::det_rng;
+
+#[test]
+fn all_deterministic_algorithms_are_exact() {
+    let mut rng = det_rng(1001);
+    for (n, p) in [(12usize, 4usize), (20, 5), (13, 3)] {
+        let objects: Vec<u64> = (0..2000).map(|_| rng.gen()).collect();
+
+        // PTN
+        let ptn = Ptn::new(DrConfig::new(n, p));
+        let est = StaticEstimator::uniform(n, 1.0);
+        let a = ptn.scheduler().schedule(&est, 0);
+        for &obj in &objects {
+            let hits =
+                a.tasks.iter().filter(|t| ptn.subquery_matches(t.server, obj)).count();
+            assert_eq!(hits, 1, "PTN n={n} p={p}");
+        }
+
+        // SW
+        let sw = SlidingWindow::new(n, n / p);
+        for offset in 0..sw.r() {
+            let visited = sw.visited(offset);
+            for &obj in objects.iter().take(400) {
+                let hits = visited
+                    .iter()
+                    .filter(|&&v| sw.subquery_matches(offset, v, obj))
+                    .count();
+                assert_eq!(hits, 1, "SW n={n} r={} offset={offset}", sw.r());
+            }
+        }
+
+        // ROAR, including pq > p
+        let ring = RoarRing::new(RingMap::uniform(&(0..n).collect::<Vec<_>>()), p);
+        for pq in [p, p + 1, 2 * p] {
+            let plan = ring.plan(rng.gen(), pq);
+            for &obj in &objects {
+                let matcher = plan.matcher_of(obj).expect("exactly one window");
+                assert!(
+                    ring.replicas(obj).contains(&matcher.node),
+                    "ROAR n={n} p={p} pq={pq}: matcher lacks replica"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rand_harvest_is_probabilistic_not_exact() {
+    let rd = RandDr::new(100, 10, 2);
+    let mut rng = det_rng(1002);
+    let harvest = rd.measured_harvest(&mut rng, 3000);
+    // c = 2 → ~98% (§3.2); decisively less than the 100% of the others
+    assert!(harvest > 0.95 && harvest < 0.999, "harvest {harvest}");
+}
+
+#[test]
+fn scheduling_quality_ordering_matches_chapter_6() {
+    // on a heterogeneous fleet: OPT ≤ PTN ≤ ROAR ≤ SW in mean predicted
+    // delay (more choices → better schedules)
+    let n = 24;
+    let p = 6;
+    let mut rng = det_rng(1003);
+    let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let est = StaticEstimator::with_speeds(speeds);
+
+    let nodes: Vec<usize> = (0..n).collect();
+    let opt = OptScheduler::new(p);
+    let ptn = Ptn::new(DrConfig::new(n, p));
+    let roar = RoarScheduler::new(RoarRing::new(RingMap::uniform(&nodes), p), p, Strategy::Sweep);
+    let sw = SlidingWindow::new(n, n / p);
+
+    let mut sums = [0.0f64; 4];
+    for i in 0..50 {
+        let seed = i as u64 * 7919;
+        sums[0] += opt.schedule(&est, seed).predicted_finish;
+        sums[1] += ptn.scheduler().schedule(&est, seed).predicted_finish;
+        sums[2] += roar.schedule(&est, seed).predicted_finish;
+        sums[3] += sw.scheduler().schedule(&est, seed).predicted_finish;
+    }
+    let [opt_d, ptn_d, roar_d, sw_d] = sums;
+    assert!(opt_d <= ptn_d + 1e-9, "OPT {opt_d} vs PTN {ptn_d}");
+    assert!(ptn_d <= roar_d + 1e-9, "PTN {ptn_d} vs ROAR {roar_d}");
+    assert!(roar_d <= sw_d + 1e-9, "ROAR {roar_d} vs SW {sw_d}");
+    // and the gaps are real, not ties
+    assert!(sw_d > opt_d * 1.02, "heterogeneity should separate SW from OPT");
+}
+
+#[test]
+fn multiring_sits_between_single_ring_and_ptn() {
+    use roar::core::multiring::MultiRing;
+    let n = 24;
+    let p = 4;
+    let mut rng = det_rng(1004);
+    let speeds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let est = StaticEstimator::with_speeds(speeds);
+    let nodes: Vec<usize> = (0..n).collect();
+    let single = RoarRing::new(RingMap::uniform(&nodes), p);
+    let double = MultiRing::split_uniform(&nodes, 2, p);
+
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    for i in 0..60 {
+        let seed = i as u64 * 104729;
+        s1 += roar::core::sched::schedule_sweep(&single, p, &est, seed).predicted;
+        s2 += double.schedule_sweep(p, &est, seed).predicted;
+    }
+    assert!(s2 <= s1 + 1e-9, "two rings ({s2}) must not be slower than one ({s1})");
+}
