@@ -38,7 +38,9 @@ fn bench_garble(c: &mut Criterion) {
         size: 123_456,
         mtime: 1_240_000_000,
     };
-    group.bench_function("generic_encrypt_metadata", |b| b.iter(|| scheme.encrypt_metadata(&meta)));
+    group.bench_function("generic_encrypt_metadata", |b| {
+        b.iter(|| scheme.encrypt_metadata(&meta))
+    });
 
     let em = scheme.encrypt_metadata(&meta);
     let mut rng = det_rng(9);
@@ -55,7 +57,12 @@ fn bench_garble(c: &mut Criterion) {
     // small layout: the per-gate eval cost without the 50-slot fan-out
     let small = GenericScheme::with_layout(
         b"bench-key",
-        GenericLayout { size_bits: 16, mtime_bits: 16, kw_slots: 6, kw_bits: 12 },
+        GenericLayout {
+            size_bits: 16,
+            mtime_bits: 16,
+            kw_slots: 6,
+            kw_bits: 12,
+        },
     );
     let em_s = small.encrypt_metadata(&meta);
     let q_s = small.encrypt_query(&mut rng, &GenericPredicate::Keyword("kw7".into()));

@@ -1,11 +1,11 @@
 //! Store-path costs across algorithms: computing an object's replica set.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
 use roar_core::placement::RoarRing;
 use roar_core::ringmap::RingMap;
 use roar_dr::{DrConfig, Ptn, RandDr, SlidingWindow};
 use roar_util::det_rng;
-use rand::Rng;
 
 fn bench_placement(c: &mut Criterion) {
     let n = 120usize;

@@ -1,10 +1,23 @@
 //! PPS matching throughput (records/s) — the single-server number the
 //! thesis calibrates everything against (§5.7: ~0.9M records/s/thread).
+//!
+//! Three paths over the same corpus and the same zero-match query (the
+//! paper's measurement setup, §5.7):
+//!
+//! * `scalar_reference` — the seed's per-probe path: one-shot HMAC-SHA1,
+//!   key block rebuilt every probe (4 compressions + setup per codeword).
+//! * `prepared_scalar`  — midstate-cached trapdoor, record-at-a-time.
+//! * `batched_midstate` — the full hot path: prepared trapdoors + the
+//!   survivor-list batch pipeline (2 compressions per codeword, zero
+//!   allocation). This is what the engine and the cluster node run.
+//!
+//! `repro bench_pps` runs the same comparison standalone and writes the
+//! machine-readable `BENCH_pps.json` baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use roar_pps::bloom_kw::PrfCounter;
+use roar_pps::bloom_kw::{BloomKeywordScheme, PreparedTrapdoor, PrfCounter};
 use roar_pps::metadata::MetaEncryptor;
-use roar_pps::query::Matcher;
+use roar_pps::query::{MatchScratch, Matcher};
 use roar_util::det_rng;
 use roar_workload::{fast_random_metadata, QueryGenerator};
 
@@ -18,18 +31,50 @@ fn bench_match(c: &mut Criterion) {
     let mut group = c.benchmark_group("pps_match");
     group.sample_size(12);
     group.throughput(Throughput::Elements(records.len() as u64));
-    group.bench_function("scan_20k_records", |b| {
+
+    group.bench_function("scalar_reference_20k", |b| {
         b.iter(|| {
-            let mut m = Matcher::new(q.trapdoors.len(), true);
             let mut hits = 0usize;
             for r in &records {
-                if m.matches(q, r, &counter) {
+                let all = q
+                    .trapdoors
+                    .iter()
+                    .all(|td| BloomKeywordScheme::matches_reference(&r.body, td, &counter));
+                if all {
                     hits += 1;
                 }
             }
             hits
         })
     });
+
+    group.bench_function("prepared_scalar_20k", |b| {
+        b.iter(|| {
+            let mut prepared: Vec<PreparedTrapdoor> =
+                q.trapdoors.iter().map(PreparedTrapdoor::new).collect();
+            let mut calls = 0u64;
+            let mut hits = 0usize;
+            for r in &records {
+                if prepared.iter_mut().all(|p| p.probe(&r.body, &mut calls)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    group.bench_function("batched_midstate_20k", |b| {
+        b.iter(|| {
+            let mut m = Matcher::new(q.trapdoors.len(), true);
+            let mut scratch = MatchScratch::new();
+            let mut matches = Vec::new();
+            for chunk in records.chunks(512) {
+                m.match_batch(q, chunk, &mut scratch, &mut matches);
+            }
+            matches.len()
+        })
+    });
+
     group.finish();
 }
 

@@ -2,10 +2,10 @@
 //! query planning — the per-query front-end costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
 use roar_core::placement::RoarRing;
 use roar_core::ringmap::RingMap;
 use roar_util::det_rng;
-use rand::Rng;
 
 fn bench_ring(c: &mut Criterion) {
     let mut group = c.benchmark_group("ring_ops");

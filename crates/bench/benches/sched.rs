@@ -2,13 +2,13 @@
 //! straw-man vs PTN's linear scan (Fig 7.12's criterion companion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
 use roar_core::placement::RoarRing;
 use roar_core::ringmap::RingMap;
 use roar_core::sched::{schedule_exhaustive, schedule_sweep};
 use roar_dr::sched::{QueryScheduler, StaticEstimator};
 use roar_dr::{DrConfig, Ptn};
 use roar_util::det_rng;
-use rand::Rng;
 
 fn bench_sched(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched");

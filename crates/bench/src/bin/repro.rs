@@ -4,6 +4,7 @@
 //!   repro list              list experiment ids
 //!   repro `<id>` ...          run specific experiments (e.g. fig6_1 tab6_2)
 //!   repro all               run everything
+//!   repro bench_pps         scalar-vs-batched matching baseline → BENCH_pps.json
 //!   repro --quick <...>     reduced workloads (smoke/CI)
 //!
 //! Rendered reports are printed and saved under `results/<id>.txt`.
@@ -15,17 +16,31 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let wanted: Vec<&String> =
-        args.iter().filter(|a| a.as_str() != "--quick").collect();
+    let wanted: Vec<&String> = args.iter().filter(|a| a.as_str() != "--quick").collect();
 
     if wanted.is_empty() || wanted[0] == "list" {
-        println!("{:<10} {:<10} {}", "id", "paper", "title");
+        println!("{:<10} {:<10} title", "id", "paper");
         println!("{}", "-".repeat(70));
         for e in registry() {
             println!("{:<10} {:<10} {}", e.id, e.paper_ref, e.title);
         }
         println!("\nrun: repro <id> | repro all [--quick]");
         return;
+    }
+
+    if wanted.iter().any(|w| w.as_str() == "bench_pps") {
+        let b = roar_bench::pps_bench::run(scale);
+        let json = b.to_json();
+        print!("{json}");
+        std::fs::write("BENCH_pps.json", &json).expect("write BENCH_pps.json");
+        eprintln!(
+            "bench_pps: scalar {:.0} rec/s, batched {:.0} rec/s, speedup {:.2}x \
+             -> BENCH_pps.json",
+            b.scalar.records_per_s, b.batched.records_per_s, b.speedup
+        );
+        if wanted.len() == 1 {
+            return;
+        }
     }
 
     let run_all = wanted.iter().any(|w| w.as_str() == "all");
@@ -36,7 +51,9 @@ fn main() {
             eprintln!(">>> {} ({}) — {}", e.id, e.paper_ref, e.title);
             let t0 = std::time::Instant::now();
             let report = (e.run)(scale);
-            report.save_and_print(results_dir, e.id).expect("write result");
+            report
+                .save_and_print(results_dir, e.id)
+                .expect("write result");
             eprintln!("<<< {} done in {:.1}s\n", e.id, t0.elapsed().as_secs_f64());
             ran += 1;
         }

@@ -24,8 +24,8 @@ pub fn sec2_3_2(scale: Scale) -> Report {
     let n = scale.pick(1024, 100);
     let m = BandwidthModel {
         n,
-        b_data: 100.0,   // update stream
-        b_query: 400.0,  // query stream (query-heavier, like web search)
+        b_data: 100.0,  // update stream
+        b_query: 400.0, // query stream (query-heavier, like web search)
         b_results: 50.0,
     };
     let ropt = m.optimal_r();
@@ -51,7 +51,12 @@ pub fn sec2_3_2(scale: Scale) -> Report {
 
     let mut pen = Table::new(["n", "sqrt_n", "penalty_at_r=1", "penalty_at_r=n"]);
     for n in [64usize, 256, 1024, 4096] {
-        let m = BandwidthModel { n, b_data: 100.0, b_query: 100.0, b_results: 0.0 };
+        let m = BandwidthModel {
+            n,
+            b_data: 100.0,
+            b_query: 100.0,
+            b_results: 0.0,
+        };
         pen.row([
             n.to_string(),
             fnum((n as f64).sqrt()),
@@ -75,16 +80,27 @@ pub fn sec2_3_3(scale: Scale) -> Report {
     );
     let n = scale.pick(100, 40);
     // 1M objects at the PPS disk-bound 250k objects/s, 2 ms fixed costs
-    let m = DelayModel { objects: 1e6, cpu: 250_000.0, fixed_s: 0.002 };
+    let m = DelayModel {
+        objects: 1e6,
+        cpu: 250_000.0,
+        fixed_s: 0.002,
+    };
 
-    let mut t = Table::new(["qps", "minP(1s)", "minP(250ms)", "minP(100ms)", "delay@minP(250ms)_ms"]);
+    let mut t = Table::new([
+        "qps",
+        "minP(1s)",
+        "minP(250ms)",
+        "minP(100ms)",
+        "delay@minP(250ms)_ms",
+    ]);
     for qps in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0] {
         let cell = |target: f64| {
-            m.min_p(n, qps, target).map_or("-".to_string(), |p| p.to_string())
+            m.min_p(n, qps, target)
+                .map_or("-".to_string(), |p| p.to_string())
         };
-        let d250 = m
-            .min_p(n, qps, 0.25)
-            .map_or("-".to_string(), |p| fnum(m.mean_delay_s(DrConfig::new(n, p), qps) * 1e3));
+        let d250 = m.min_p(n, qps, 0.25).map_or("-".to_string(), |p| {
+            fnum(m.mean_delay_s(DrConfig::new(n, p), qps) * 1e3)
+        });
         t.row([fnum(qps), cell(1.0), cell(0.25), cell(0.1), d250]);
     }
     rep.table(format!("minP at n = {n} servers"), t);
@@ -128,8 +144,12 @@ pub fn sec2_1(scale: Scale) -> Report {
         };
         let sched = OptScheduler::new(2);
         let free = run_sim_yield(&cfg, SimServers::new(&vec![speed; n], 0.0), &sched, None);
-        let adm =
-            run_sim_yield(&cfg, SimServers::new(&vec![speed; n], 0.0), &sched, Some(2.0));
+        let adm = run_sim_yield(
+            &cfg,
+            SimServers::new(&vec![speed; n], 0.0),
+            &sched,
+            Some(2.0),
+        );
         t.row([
             fnum(offered),
             format!("{:.0}%", free.yield_frac * 100.0),

@@ -3,6 +3,7 @@
 //! bandwidth) — no numbered figures, but concrete, checkable claims.
 
 use crate::Scale;
+use rand::Rng;
 use roar_core::multiring::MultiRing;
 use roar_core::placement::RoarRing;
 use roar_core::ringmap::RingMap;
@@ -11,7 +12,6 @@ use roar_sim::energy::{dynamic_energy_saving, PowerModel};
 use roar_util::report::fnum;
 use roar_util::{det_rng, Report, Table};
 use roar_workload::DiurnalPattern;
-use rand::Rng;
 
 /// §4.9.1 — "The membership server will use load statistics … to decide how
 /// many rings it should have running at any given point in time. The system
@@ -34,8 +34,7 @@ pub fn sec4_9_1(scale: Scale) -> Report {
     // mean load sized to ~46% of fleet capacity so the 3x swing spans
     // roughly one to four rings of demand
     let mean_rate = 0.46 * k_rings as f64 * ring_capacity;
-    let pattern =
-        DiurnalPattern::new(mean_rate, 3.0, 86_400.0).with_surge(50_000.0, 56_000.0, 1.6);
+    let pattern = DiurnalPattern::new(mean_rate, 3.0, 86_400.0).with_surge(50_000.0, 56_000.0, 1.6);
 
     let steps = scale.pick(48, 24);
     let dt = 86_400.0 / steps as f64;
@@ -53,8 +52,8 @@ pub fn sec4_9_1(scale: Scale) -> Report {
         rings_seen.insert(online);
         let util_online = rate / (online as f64 * ring_capacity);
         // adaptive: only the online rings' servers accrue busy time
-        for srv in 0..online * per_ring {
-            busy_adaptive[srv] += util_online.min(1.0) * dt;
+        for busy in busy_adaptive.iter_mut().take(online * per_ring) {
+            *busy += util_online.min(1.0) * dt;
         }
         // static: all n servers share the same load
         let util_static = (rate / (k_rings as f64 * ring_capacity)).min(1.0);
@@ -82,19 +81,25 @@ pub fn sec4_9_1(scale: Scale) -> Report {
         let t = s as f64 * dt;
         let rate = pattern.rate_at(t);
         let online = (((rate * 1.25) / ring_capacity).ceil() as usize).clamp(1, k_rings);
-        for srv in 0..online * per_ring {
-            powered_adaptive[srv] += dt;
+        for powered in powered_adaptive.iter_mut().take(online * per_ring) {
+            *powered += dt;
         }
     }
-    let e_static: f64 =
-        busy_static.iter().map(|&b| pm.power(b / 86_400.0) * 86_400.0).sum();
+    let e_static: f64 = busy_static
+        .iter()
+        .map(|&b| pm.power(b / 86_400.0) * 86_400.0)
+        .sum();
     let e_adaptive: f64 = busy_adaptive
         .iter()
         .zip(&powered_adaptive)
         .map(|(&b, &on)| if on > 0.0 { pm.power(b / on) * on } else { 0.0 })
         .sum();
     let mut sum = Table::new(["policy", "energy_MJ", "saving"]);
-    sum.row(["all rings on".to_string(), fnum(e_static / 1e6), "-".to_string()]);
+    sum.row([
+        "all rings on".to_string(),
+        fnum(e_static / 1e6),
+        "-".to_string(),
+    ]);
     sum.row([
         "ring on/off".to_string(),
         fnum(e_adaptive / 1e6),
@@ -148,7 +153,11 @@ pub fn sec4_9_2(scale: Scale) -> Report {
     }
     let dd = d as f64;
     let mut t = Table::new(["layout", "cross_rack_msgs_per_update", "vs_PTN(l)"]);
-    t.row(["PTN (one msg per rack, analytic)".to_string(), fnum(l as f64), "1.00x".to_string()]);
+    t.row([
+        "PTN (one msg per rack, analytic)".to_string(),
+        fnum(l as f64),
+        "1.00x".to_string(),
+    ]);
     t.row([
         "ROAR ring, rack-contiguous".to_string(),
         fnum(hops_contig as f64 / dd),
@@ -186,14 +195,22 @@ pub fn sec4_7(scale: Scale) -> Report {
     let mut t = Table::new(["layout", "replicas/object", "choices/query"]);
     let single = RoarRing::new(RingMap::uniform(&nodes), p);
     let obj_replicas = single.replicas(0x1234_5678_9abc_def0).len();
-    t.row(["SW / 1-ring ROAR".to_string(), obj_replicas.to_string(), fnum(r as f64)]);
+    t.row([
+        "SW / 1-ring ROAR".to_string(),
+        obj_replicas.to_string(),
+        fnum(r as f64),
+    ]);
     let two_ring_replicas = mr2.replicas(0x1234_5678_9abc_def0).len();
     t.row([
         "2-ring ROAR".to_string(),
         two_ring_replicas.to_string(),
         fnum(r as f64 * 2f64.powi(p as i32 - 1)),
     ]);
-    t.row(["PTN".to_string(), r.to_string(), fnum((r as f64).powi(p as i32))]);
+    t.row([
+        "PTN".to_string(),
+        r.to_string(),
+        fnum((r as f64).powi(p as i32)),
+    ]);
     rep.table(format!("n = {n}, p = {p}"), t);
     rep
 }
@@ -212,7 +229,10 @@ mod tests {
             .lines()
             .find(|l| l.contains("ring on/off") && l.contains('%'))
             .expect("saving row rendered");
-        assert!(!saving_line.contains("-"), "saving must be positive: {saving_line}");
+        assert!(
+            !saving_line.contains("-"),
+            "saving must be positive: {saving_line}"
+        );
         // the controller must actually vary the ring count over the day
         assert!(out.contains("distinct ring counts"));
     }

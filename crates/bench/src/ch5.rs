@@ -62,13 +62,31 @@ pub fn fig5_4(scale: Scale) -> Report {
     let enc = cheap_encryptor();
     let gen = QueryGenerator::new();
     let q = &gen.compile_zero_match(&mut rng, &enc, 1)[0];
-    let engine = Engine { threads: 1, profile: EngineProfile::none(), batch: 512, trace_every: n / 8 };
+    let engine = Engine {
+        threads: 1,
+        profile: EngineProfile::none(),
+        batch: 512,
+        trace_every: n / 8,
+    };
 
-    let mut t = Table::new(["source", "wall_s", "io_finish_s", "match_rate_rec_per_s", "bottleneck"]);
-    for (name, disk) in [("disk66MB", Some(DiskProfile::dell1950_disk())), ("memory", None)] {
+    let mut t = Table::new([
+        "source",
+        "wall_s",
+        "io_finish_s",
+        "match_rate_rec_per_s",
+        "bottleneck",
+    ]);
+    for (name, disk) in [
+        ("disk66MB", Some(DiskProfile::dell1950_disk())),
+        ("memory", None),
+    ] {
         let out = engine.run_query(&records, disk, q);
         let io_finish = out.produce_trace.last().map(|&(t, _)| t).unwrap_or(0.0);
-        let bottleneck = if io_finish > out.wall_s * 0.9 { "I/O thread" } else { "matcher" };
+        let bottleneck = if io_finish > out.wall_s * 0.9 {
+            "I/O thread"
+        } else {
+            "matcher"
+        };
         t.row([
             name.to_string(),
             fnum(out.wall_s),
@@ -96,18 +114,32 @@ pub fn fig5_5(scale: Scale) -> Report {
     let mut t = Table::new(["threads", "delay_s", "speedup"]);
     let mut base = 0.0;
     for threads in [1usize, 2, 4, 8] {
-        let engine = Engine { threads, profile: EngineProfile::none(), batch: 1024, trace_every: n };
+        let engine = Engine {
+            threads,
+            profile: EngineProfile::none(),
+            batch: 1024,
+            trace_every: n,
+        };
         let out = engine.run_query(&records, None, q);
         if threads == 1 {
             base = out.wall_s;
         }
-        t.row([threads.to_string(), fnum(out.wall_s), fnum(base / out.wall_s)]);
+        t.row([
+            threads.to_string(),
+            fnum(out.wall_s),
+            fnum(base / out.wall_s),
+        ]);
     }
     rep.table("delay by threads", t);
     rep
 }
 
-fn scaling_report(title: &str, profile: EngineProfile, cpu_slow_factor: usize, scale: Scale) -> Report {
+fn scaling_report(
+    title: &str,
+    profile: EngineProfile,
+    cpu_slow_factor: usize,
+    scale: Scale,
+) -> Report {
     let mut rep = Report::new(title);
     rep.note(
         "Sweep of collection size: disk-bound (66 MB/s) vs in-memory (4 threads).\n\
@@ -130,11 +162,21 @@ fn scaling_report(title: &str, profile: EngineProfile, cpu_slow_factor: usize, s
     let max_n = *sizes_mem.iter().chain(&sizes_disk).max().unwrap();
     let all_records = fast_random_metadata(&mut rng, max_n);
     for (sizes, mode, disk, threads) in [
-        (&sizes_disk, "disk", Some(DiskProfile::dell1950_disk()), 1usize),
+        (
+            &sizes_disk,
+            "disk",
+            Some(DiskProfile::dell1950_disk()),
+            1usize,
+        ),
         (&sizes_mem, "memory", None, 4),
     ] {
         for &n in sizes.iter() {
-            let engine = Engine { threads, profile, batch: 1024, trace_every: usize::MAX };
+            let engine = Engine {
+                threads,
+                profile,
+                batch: 1024,
+                trace_every: usize::MAX,
+            };
             // a slower host (fig 5.7) is emulated by scanning the data
             // `cpu_slow_factor` times
             let mut wall = 0.0;
@@ -158,7 +200,12 @@ fn scaling_report(title: &str, profile: EngineProfile, cpu_slow_factor: usize, s
 
 /// Fig 5.6: scaling on the fast host (Dell 1950 class), PPS_LM profile.
 pub fn fig5_6(scale: Scale) -> Report {
-    scaling_report("Fig 5.6 — PPS scaling with collection size (Dell 1950)", EngineProfile::lm(), 1, scale)
+    scaling_report(
+        "Fig 5.6 — PPS scaling with collection size (Dell 1950)",
+        EngineProfile::lm(),
+        1,
+        scale,
+    )
 }
 
 /// Fig 5.7: scaling on the slow host (Sun X4100 class, ~2x slower CPU),
@@ -177,10 +224,22 @@ pub fn fig5_7(scale: Scale) -> Report {
     let enc = cheap_encryptor();
     let q = &QueryGenerator::new().compile_zero_match(&mut rng, &enc, 1)[0];
     let mut t = Table::new(["profile", "delay_s", "records_per_s"]);
-    for (name, profile) in [("PPS_LM", EngineProfile::lm()), ("PPS_LC", EngineProfile::lc())] {
-        let engine = Engine { threads: 2, profile, batch: 1024, trace_every: usize::MAX };
+    for (name, profile) in [
+        ("PPS_LM", EngineProfile::lm()),
+        ("PPS_LC", EngineProfile::lc()),
+    ] {
+        let engine = Engine {
+            threads: 2,
+            profile,
+            batch: 1024,
+            trace_every: usize::MAX,
+        };
         let out = engine.run_query(&records, None, q);
-        t.row([name.to_string(), fnum(out.wall_s), fnum(out.processing_speed())]);
+        t.row([
+            name.to_string(),
+            fnum(out.wall_s),
+            fnum(out.processing_speed()),
+        ]);
     }
     rep.note(
         "LM pays a forced-GC pause per query; at small collections its \
@@ -212,7 +271,10 @@ pub fn sec5_7_1(scale: Scale) -> Report {
     }
     let records: Vec<_> = files.iter().map(|f| enc.encrypt(&mut rng, f)).collect();
     let q = QueryCompiler::new(&enc).compile(
-        &[Predicate::Keyword("the".into()), Predicate::Keyword("xyz".into())],
+        &[
+            Predicate::Keyword("the".into()),
+            Predicate::Keyword("xyz".into()),
+        ],
         Combiner::And,
     );
     let counter = roar_pps::bloom_kw::PrfCounter::new();

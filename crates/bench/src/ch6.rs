@@ -59,8 +59,7 @@ impl SimParams {
     /// Heterogeneous fleet speeds in work/second.
     pub fn speeds(&self, seed: u64) -> Vec<f64> {
         let mut rng = det_rng(seed);
-        Fleet::with_spread(&mut rng, self.n, self.base_speed, self.spread)
-            .work_speeds(self.dataset)
+        Fleet::with_spread(&mut rng, self.n, self.base_speed, self.spread).work_speeds(self.dataset)
     }
 }
 
@@ -72,7 +71,10 @@ pub fn tab6_1(scale: Scale) -> Report {
     t.row(["partitioning p", &p.p.to_string()]);
     t.row(["dataset (records)", &p.dataset.to_string()]);
     t.row(["base speed (records/s)", &fnum(p.base_speed)]);
-    t.row(["speed spread (log-uniform)", &format!("{}x", p.spread * p.spread)]);
+    t.row([
+        "speed spread (log-uniform)",
+        &format!("{}x", p.spread * p.spread),
+    ]);
     t.row(["arrival rate (q/s)", &fnum(p.arrival_rate)]);
     t.row(["queries per run", &p.n_queries.to_string()]);
     t.row(["per-sub-query overhead (s)", &fnum(p.overhead_s)]);
@@ -89,7 +91,10 @@ pub fn tab6_1(scale: Scale) -> Report {
 fn schedulers(n: usize, p: usize, speeds: &[f64]) -> Vec<(&'static str, Box<dyn QueryScheduler>)> {
     let nodes: Vec<usize> = (0..n).collect();
     vec![
-        ("SW", Box::new(SlidingWindow::new(n, (n / p).max(1)).scheduler())),
+        (
+            "SW",
+            Box::new(SlidingWindow::new(n, (n / p).max(1)).scheduler()),
+        ),
         (
             "ROAR",
             Box::new(RoarScheduler::new(
@@ -98,7 +103,10 @@ fn schedulers(n: usize, p: usize, speeds: &[f64]) -> Vec<(&'static str, Box<dyn 
                 Strategy::Sweep,
             )),
         ),
-        ("PTN", Box::new(Ptn::balanced(DrConfig::new(n, p), speeds).scheduler())),
+        (
+            "PTN",
+            Box::new(Ptn::balanced(DrConfig::new(n, p), speeds).scheduler()),
+        ),
         ("OPT", Box::new(OptScheduler::new(p))),
     ]
 }
@@ -119,8 +127,7 @@ fn delay_row(
         explosion_slope: 0.1,
     };
     let mut rng = det_rng(seed ^ 0xabcdef);
-    let servers =
-        SimServers::new(speeds, params.overhead_s).with_estimation_noise(&mut rng, noise);
+    let servers = SimServers::new(speeds, params.overhead_s).with_estimation_noise(&mut rng, noise);
     run_sim(&cfg, servers, sched).mean_delay
 }
 
@@ -136,12 +143,22 @@ pub fn fig6_1(scale: Scale) -> Report {
     ));
     let speeds = params.speeds(61);
     let mut t = Table::new(["p", "SW_ms", "ROAR_ms", "PTN_ms", "OPT_ms"]);
-    let ps: Vec<usize> =
-        [3usize, 5, 9, 15, 30].iter().copied().filter(|&p| p <= params.n / 2).collect();
+    let ps: Vec<usize> = [3usize, 5, 9, 15, 30]
+        .iter()
+        .copied()
+        .filter(|&p| p <= params.n / 2)
+        .collect();
     for p in ps {
         let mut row = vec![p.to_string()];
         for (_, sched) in schedulers(params.n, p, &speeds) {
-            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, 0.0, 610 + p as u64);
+            let d = delay_row(
+                &params,
+                sched.as_ref(),
+                &speeds,
+                params.arrival_rate,
+                0.0,
+                610 + p as u64,
+            );
             row.push(fnum(d * 1e3));
         }
         t.row(row);
@@ -155,7 +172,9 @@ pub fn fig6_2(scale: Scale) -> Report {
     let base = SimParams::of(scale);
     let r = 10usize.min(base.n / 3);
     let mut rep = Report::new("Fig 6.2 — Delay vs N (fixed r)");
-    rep.note(format!("r = {r}; load scales with n so utilisation stays constant."));
+    rep.note(format!(
+        "r = {r}; load scales with n so utilisation stays constant."
+    ));
     let mut t = Table::new(["n", "SW_ms", "ROAR_ms", "PTN_ms", "OPT_ms"]);
     let ns: Vec<usize> = match scale {
         Scale::Full => vec![30, 60, 120, 240, 480],
@@ -169,7 +188,14 @@ pub fn fig6_2(scale: Scale) -> Report {
         let speeds = params.speeds(62);
         let mut row = vec![n.to_string()];
         for (_, sched) in schedulers(n, params.p, &speeds) {
-            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, 0.0, 620 + n as u64);
+            let d = delay_row(
+                &params,
+                sched.as_ref(),
+                &speeds,
+                params.arrival_rate,
+                0.0,
+                620 + n as u64,
+            );
             row.push(fnum(d * 1e3));
         }
         t.row(row);
@@ -196,7 +222,11 @@ pub fn fig6_3(scale: Scale) -> Report {
         let mut row = vec![fnum(load)];
         for (_, sched) in schedulers(params.n, params.p, &speeds) {
             let d = delay_row(&params, sched.as_ref(), &speeds, rate, 0.0, 630);
-            row.push(if d.is_finite() { fnum(d * 1e3) } else { "inf".into() });
+            row.push(if d.is_finite() {
+                fnum(d * 1e3)
+            } else {
+                "inf".into()
+            });
         }
         t.row(row);
     }
@@ -222,7 +252,14 @@ pub fn fig6_4(scale: Scale) -> Report {
         let speeds: Vec<f64> = speeds.iter().map(|s| s * target / total).collect();
         let mut row = vec![format!("{:.1}x", spread * spread)];
         for (_, sched) in schedulers(params.n, params.p, &speeds) {
-            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, 0.0, 640);
+            let d = delay_row(
+                &params,
+                sched.as_ref(),
+                &speeds,
+                params.arrival_rate,
+                0.0,
+                640,
+            );
             row.push(fnum(d * 1e3));
         }
         t.row(row);
@@ -248,7 +285,14 @@ pub fn fig6_5(scale: Scale) -> Report {
             if name == "SW" {
                 continue;
             }
-            let d = delay_row(&params, sched.as_ref(), &speeds, params.arrival_rate, noise, 650);
+            let d = delay_row(
+                &params,
+                sched.as_ref(),
+                &speeds,
+                params.arrival_rate,
+                noise,
+                650,
+            );
             row.push(fnum(d * 1e3));
         }
         t.row(row);
@@ -332,8 +376,16 @@ pub fn fig6_7(scale: Scale) -> Report {
             seed: 670,
             explosion_slope: 0.1,
         };
-        let res = run_sim(&cfg, SimServers::new(&speeds, params.overhead_s), sched.as_ref());
-        t.row([name.to_string(), fnum(res.mean_delay * 1e3), fnum(res.summary.p99 * 1e3)]);
+        let res = run_sim(
+            &cfg,
+            SimServers::new(&speeds, params.overhead_s),
+            sched.as_ref(),
+        );
+        t.row([
+            name.to_string(),
+            fnum(res.mean_delay * 1e3),
+            fnum(res.summary.p99 * 1e3),
+        ]);
     }
     rep.table("delay by mechanism", t);
     rep
@@ -356,25 +408,36 @@ pub fn fig6_8(scale: Scale) -> Report {
     ));
     let nodes: Vec<usize> = (0..n).collect();
     let single = RingMap::uniform(&nodes);
-    let ring_a = RingMap::uniform(&nodes[..n / 2].to_vec());
-    let ring_b = RingMap::uniform(&nodes[n / 2..].to_vec());
+    let ring_a = RingMap::uniform(&nodes[..n / 2]);
+    let ring_b = RingMap::uniform(&nodes[n / 2..]);
     let ptn = Ptn::new(DrConfig::new(n, p));
     let sw = SlidingWindow::new(n, n / p);
-    let mut t = Table::new(["fail_prob", "SW", "PTN", "ROAR", "ROAR_2ring", "RAND_analytic"]);
+    let mut t = Table::new([
+        "fail_prob",
+        "SW",
+        "PTN",
+        "ROAR",
+        "ROAR_2ring",
+        "RAND_analytic",
+    ]);
     let mut rng = det_rng(68);
     for f in [0.05, 0.1, 0.2, 0.3] {
-        let u_sw =
-            monte_carlo_unavailability(&mut rng, n, f, trials, &|d| sw_strict_ok(&sw, d));
-        let u_ptn =
-            monte_carlo_unavailability(&mut rng, n, f, trials, &|d| ptn_strict_ok(&ptn, d));
-        let u_roar = monte_carlo_unavailability(&mut rng, n, f, trials, &|d| {
-            roar_strict_ok(&single, p, d)
-        });
+        let u_sw = monte_carlo_unavailability(&mut rng, n, f, trials, &|d| sw_strict_ok(&sw, d));
+        let u_ptn = monte_carlo_unavailability(&mut rng, n, f, trials, &|d| ptn_strict_ok(&ptn, d));
+        let u_roar =
+            monte_carlo_unavailability(&mut rng, n, f, trials, &|d| roar_strict_ok(&single, p, d));
         let u_2ring = monte_carlo_unavailability(&mut rng, n, f, trials, &|d| {
             multiring_strict_ok(&[(ring_a.clone(), p), (ring_b.clone(), p)], d)
         });
         let u_rand = rand_strict_unavailability(2 * (n / p), f, 1_000_000);
-        t.row([fnum(f), fnum(u_sw), fnum(u_ptn), fnum(u_roar), fnum(u_2ring), fnum(u_rand)]);
+        t.row([
+            fnum(f),
+            fnum(u_sw),
+            fnum(u_ptn),
+            fnum(u_roar),
+            fnum(u_2ring),
+            fnum(u_rand),
+        ]);
     }
     rep.table("P(strict query cannot reach 100% harvest)", t);
     rep
@@ -414,7 +477,12 @@ pub fn tab6_2(_scale: Scale) -> Report {
     rep.table("cost per operation", t);
 
     // §2.3.2 optimal replication level
-    let m = BandwidthModel { n, b_data: 100.0, b_query: 400.0, b_results: 0.0 };
+    let m = BandwidthModel {
+        n,
+        b_data: 100.0,
+        b_query: 400.0,
+        b_results: 0.0,
+    };
     let mut t2 = Table::new(["metric", "value"]);
     t2.row(["optimal r (sqrt(n·Bq/Bd))", &fnum(m.optimal_r())]);
     t2.row(["bandwidth at r_opt", &fnum(m.total(m.optimal_r()))]);

@@ -3,6 +3,7 @@
 //! testbed substitution).
 
 use crate::Scale;
+use rand::Rng;
 use roar_cluster::frontend::SchedOpts;
 use roar_cluster::{spawn_cluster, ClusterConfig, QueryBody};
 use roar_core::placement::RoarRing;
@@ -16,7 +17,6 @@ use roar_sim::{run_sim, saturation_throughput, SimConfig, SimServers};
 use roar_util::report::fnum;
 use roar_util::{det_rng, Report, Summary, Table};
 use roar_workload::{Fleet, ServerModel};
-use rand::Rng;
 
 fn rt() -> tokio::runtime::Runtime {
     tokio::runtime::Builder::new_multi_thread()
@@ -34,7 +34,11 @@ pub fn tab7_1(_scale: Scale) -> Report {
     );
     let mut t = Table::new(["model", "records_per_s", "cores"]);
     for m in ServerModel::all() {
-        t.row([m.name().to_string(), fnum(m.records_per_sec()), m.cores().to_string()]);
+        t.row([
+            m.name().to_string(),
+            fnum(m.records_per_sec()),
+            m.cores().to_string(),
+        ]);
     }
     rep.table("fleet models", t);
     rep
@@ -66,7 +70,10 @@ fn effect_of_p(title: &str, overhead_s: f64, scale: Scale) -> Report {
             h.cluster.store_synthetic(&ids).await.expect("store");
             let mut delays = Vec::new();
             for _ in 0..scale.pick(8, 4) {
-                let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+                let out = h
+                    .cluster
+                    .query(QueryBody::Synthetic, SchedOpts::default())
+                    .await;
                 delays.push(out.wall_s * 1e3);
             }
             roar_util::mean(&delays)
@@ -147,7 +154,11 @@ pub fn tab7_2(scale: Scale) -> Report {
         explosion_slope: 0.1,
     };
     let run_at = |p: usize| {
-        run_sim(&cfg, SimServers::new(&speeds, 0.01), &Ptn::new(DrConfig::new(n, p)).scheduler())
+        run_sim(
+            &cfg,
+            SimServers::new(&speeds, 0.01),
+            &Ptn::new(DrConfig::new(n, p)).scheduler(),
+        )
     };
     let lo = run_at(5);
     let hi = run_at(47);
@@ -156,7 +167,11 @@ pub fn tab7_2(scale: Scale) -> Report {
     let e_lo = fleet_energy(&model, &lo.busy_time, duration);
     let e_hi = fleet_energy(&model, &hi.busy_time, duration);
     let mut t = Table::new(["metric", "p=5", "p=47"]);
-    t.row(["mean delay (ms)", &fnum(lo.mean_delay * 1e3), &fnum(hi.mean_delay * 1e3)]);
+    t.row([
+        "mean delay (ms)",
+        &fnum(lo.mean_delay * 1e3),
+        &fnum(hi.mean_delay * 1e3),
+    ]);
     t.row([
         "total busy (s)",
         &fnum(lo.busy_time.iter().sum::<f64>()),
@@ -182,10 +197,24 @@ pub fn fig7_4(_scale: Scale) -> Report {
          falls linearly with update rate, steeper for larger r.",
     );
     let mut t = Table::new(["updates_per_s", "thr_r2_qps", "thr_r8_qps"]);
-    let m2 = UpdateModel { n: 40, r: 2.0, t_update: 0.002, base_throughput: 100.0 };
-    let m8 = UpdateModel { n: 40, r: 8.0, t_update: 0.002, base_throughput: 100.0 };
+    let m2 = UpdateModel {
+        n: 40,
+        r: 2.0,
+        t_update: 0.002,
+        base_throughput: 100.0,
+    };
+    let m8 = UpdateModel {
+        n: 40,
+        r: 8.0,
+        t_update: 0.002,
+        base_throughput: 100.0,
+    };
     for u in [0.0, 500.0, 1000.0, 2000.0, 4000.0] {
-        t.row([fnum(u), fnum(m2.query_throughput(u)), fnum(m8.query_throughput(u))]);
+        t.row([
+            fnum(u),
+            fnum(m2.query_throughput(u)),
+            fnum(m8.query_throughput(u)),
+        ]);
     }
     rep.table("query throughput vs update rate", t);
     rep
@@ -202,7 +231,9 @@ pub fn fig7_5(scale: Scale) -> Report {
     let runtime = rt();
     let rows = runtime.block_on(async {
         let n = 12;
-        let h = spawn_cluster(ClusterConfig::uniform(n, 300_000.0, 2)).await.expect("cluster");
+        let h = spawn_cluster(ClusterConfig::uniform(n, 300_000.0, 2))
+            .await
+            .expect("cluster");
         let mut rng = det_rng(75);
         let ids: Vec<u64> = (0..scale.pick(30_000, 10_000)).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.expect("store");
@@ -261,7 +292,9 @@ pub fn fig7_6(scale: Scale) -> Report {
     let runtime = rt();
     let rows = runtime.block_on(async {
         let n = 45;
-        let h = spawn_cluster(ClusterConfig::uniform(n, 400_000.0, 5)).await.expect("cluster");
+        let h = spawn_cluster(ClusterConfig::uniform(n, 400_000.0, 5))
+            .await
+            .expect("cluster");
         let mut rng = det_rng(76);
         let ids: Vec<u64> = (0..scale.pick(20_000, 8_000)).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.expect("store");
@@ -301,26 +334,44 @@ fn pq_balancing(scale: Scale) -> (Vec<f64>, Vec<f64>) {
     runtime.block_on(async {
         let n = 12;
         // one third of the fleet 3x faster
-        let speeds: Vec<f64> =
-            (0..n).map(|i| if i % 3 == 0 { 900_000.0 } else { 300_000.0 }).collect();
-        let cfg = ClusterConfig { speeds, p: 3, overhead_s: 0.0 };
+        let speeds: Vec<f64> = (0..n)
+            .map(|i| if i % 3 == 0 { 900_000.0 } else { 300_000.0 })
+            .collect();
+        let cfg = ClusterConfig {
+            speeds,
+            p: 3,
+            overhead_s: 0.0,
+        };
         let h = spawn_cluster(cfg).await.expect("cluster");
         let mut rng = det_rng(77);
         let ids: Vec<u64> = (0..scale.pick(24_000, 9_000)).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.expect("store");
         // learn speeds first
         for _ in 0..6 {
-            let _ = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+            let _ = h
+                .cluster
+                .query(QueryBody::Synthetic, SchedOpts::default())
+                .await;
         }
         let mut base = Vec::new();
         let mut boosted = Vec::new();
         for _ in 0..scale.pick(12, 6) {
             base.push(
-                h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await.wall_s * 1e3,
+                h.cluster
+                    .query(QueryBody::Synthetic, SchedOpts::default())
+                    .await
+                    .wall_s
+                    * 1e3,
             );
             boosted.push(
                 h.cluster
-                    .query(QueryBody::Synthetic, SchedOpts { pq: Some(6), ..Default::default() })
+                    .query(
+                        QueryBody::Synthetic,
+                        SchedOpts {
+                            pq: Some(6),
+                            ..Default::default()
+                        },
+                    )
                     .await
                     .wall_s
                     * 1e3,
@@ -371,7 +422,10 @@ pub fn fig7_9(_scale: Scale) -> Report {
     let speeds = [3.0f64, 1.0, 2.0, 1.0, 3.0, 1.0, 2.0, 1.0];
     let nodes: Vec<usize> = (0..8).collect();
     let mut map = RingMap::uniform(&nodes);
-    let cfg = roar_core::balance::BalanceConfig { threshold: 0.03, step: 0.3 };
+    let cfg = roar_core::balance::BalanceConfig {
+        threshold: 0.03,
+        step: 0.3,
+    };
     let mut t = Table::new(["round", "imbalance", "fast_node_frac", "slow_node_frac"]);
     for round in 0..=40 {
         if round % 5 == 0 {
@@ -446,25 +500,43 @@ pub fn fig7_11(scale: Scale) -> Report {
     );
     let runtime = rt();
     let (sched_ms, exec_ms, proc_ms, wall_ms) = runtime.block_on(async {
-        let h = spawn_cluster(ClusterConfig::uniform(24, 200_000.0, 6)).await.expect("cluster");
+        let h = spawn_cluster(ClusterConfig::uniform(24, 200_000.0, 6))
+            .await
+            .expect("cluster");
         let mut rng = det_rng(711);
         let ids: Vec<u64> = (0..scale.pick(24_000, 8_000)).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.expect("store");
         let mut s = (0.0, 0.0, 0.0, 0.0);
         let k = scale.pick(10, 5);
         for _ in 0..k {
-            let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+            let out = h
+                .cluster
+                .query(QueryBody::Synthetic, SchedOpts::default())
+                .await;
             s.0 += out.sched_s * 1e3;
             s.1 += out.exec_s * 1e3;
             s.2 += out.proc_max_s * 1e3;
             s.3 += out.wall_s * 1e3;
         }
-        (s.0 / k as f64, s.1 / k as f64, s.2 / k as f64, s.3 / k as f64)
+        (
+            s.0 / k as f64,
+            s.1 / k as f64,
+            s.2 / k as f64,
+            s.3 / k as f64,
+        )
     });
     let mut t = Table::new(["component", "mean_ms", "share"]);
     t.row(["scheduling", &fnum(sched_ms), &fnum(sched_ms / wall_ms)]);
-    t.row(["network+queueing", &fnum(exec_ms - proc_ms), &fnum((exec_ms - proc_ms) / wall_ms)]);
-    t.row(["node processing (max)", &fnum(proc_ms), &fnum(proc_ms / wall_ms)]);
+    t.row([
+        "network+queueing",
+        &fnum(exec_ms - proc_ms),
+        &fnum((exec_ms - proc_ms) / wall_ms),
+    ]);
+    t.row([
+        "node processing (max)",
+        &fnum(proc_ms),
+        &fnum(proc_ms / wall_ms),
+    ]);
     t.row(["total", &fnum(wall_ms), "1.0"]);
     rep.table("breakdown", t);
     rep
@@ -506,7 +578,10 @@ pub fn tab7_3(scale: Scale) -> Report {
     t.row(["scheduling latency (ms/query)", &fnum(sched_ms)]);
     t.row(["mean query delay (ms)", &fnum(res.mean_delay * 1e3)]);
     t.row(["p99 query delay (ms)", &fnum(res.summary.p99 * 1e3)]);
-    t.row(["messages per query", &fnum(res.messages as f64 / cfg.n_queries as f64)]);
+    t.row([
+        "messages per query",
+        &fnum(res.messages as f64 / cfg.n_queries as f64),
+    ]);
     rep.note(
         "Paper (Table 7.3): 1000-server EC2 deployment kept sub-second \
          delays with front-end scheduling in the low tens of ms.",
@@ -568,9 +643,14 @@ pub fn fig7_13(scale: Scale) -> Report {
     let runtime = rt();
     let rows = runtime.block_on(async {
         let n = 8;
-        let true_speeds: Vec<f64> =
-            (0..n).map(|i| if i < 4 { 400_000.0 } else { 100_000.0 }).collect();
-        let cfg = ClusterConfig { speeds: true_speeds.clone(), p: 2, overhead_s: 0.0 };
+        let true_speeds: Vec<f64> = (0..n)
+            .map(|i| if i < 4 { 400_000.0 } else { 100_000.0 })
+            .collect();
+        let cfg = ClusterConfig {
+            speeds: true_speeds.clone(),
+            p: 2,
+            overhead_s: 0.0,
+        };
         let h = spawn_cluster(cfg).await.expect("cluster");
         let mut rng = det_rng(713);
         let d = scale.pick(20_000, 8_000);
@@ -579,12 +659,20 @@ pub fn fig7_13(scale: Scale) -> Report {
         for _ in 0..scale.pick(16, 8) {
             let _ = h
                 .cluster
-                .query(QueryBody::Synthetic, SchedOpts { pq: Some(8), ..Default::default() })
+                .query(
+                    QueryBody::Synthetic,
+                    SchedOpts {
+                        pq: Some(8),
+                        ..Default::default()
+                    },
+                )
                 .await;
         }
         let est = h.cluster.speed_estimates();
         // estimates are in work-fraction/s; scale by d to records/s
-        (0..n).map(|i| (i, true_speeds[i], est[i] * d as f64)).collect::<Vec<_>>()
+        (0..n)
+            .map(|i| (i, true_speeds[i], est[i] * d as f64))
+            .collect::<Vec<_>>()
     });
     let mut t = Table::new(["node", "true_records_per_s", "observed_records_per_s"]);
     for (i, tr, ob) in rows {

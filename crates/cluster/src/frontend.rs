@@ -99,7 +99,7 @@ pub enum RpcError {
 }
 
 /// Scheduling options (the §4.8.2 optimisations, toggleable for ablations).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SchedOpts {
     /// Range-adjustment passes (0 disables).
     pub adjust_sweeps: usize,
@@ -108,12 +108,6 @@ pub struct SchedOpts {
     /// Query partitioning level override (`pq ≥ p`); `None` uses the safe
     /// minimum from the reconfiguration state.
     pub pq: Option<usize>,
-}
-
-impl Default for SchedOpts {
-    fn default() -> Self {
-        SchedOpts { adjust_sweeps: 0, max_splits: 0, pq: None }
-    }
 }
 
 /// Result of one client query.
@@ -221,7 +215,13 @@ impl Cluster {
         }
         for (node, batch) in per_node {
             self.conn(node)
-                .rpc(Msg::Store { records: vec![], synthetic_ids: batch }, self.timeout)
+                .rpc(
+                    Msg::Store {
+                        records: vec![],
+                        synthetic_ids: batch,
+                    },
+                    self.timeout,
+                )
                 .await?;
         }
         Ok(())
@@ -237,12 +237,21 @@ impl Cluster {
         let mut per_node: HashMap<usize, Vec<WireRecord>> = HashMap::new();
         for r in records {
             for node in ring.replicas(r.id) {
-                per_node.entry(node).or_default().push(WireRecord::from_record(r));
+                per_node
+                    .entry(node)
+                    .or_default()
+                    .push(WireRecord::from_record(r));
             }
         }
         for (node, batch) in per_node {
             self.conn(node)
-                .rpc(Msg::Store { records: batch, synthetic_ids: vec![] }, self.timeout)
+                .rpc(
+                    Msg::Store {
+                        records: batch,
+                        synthetic_ids: vec![],
+                    },
+                    self.timeout,
+                )
                 .await?;
         }
         Ok(())
@@ -251,11 +260,17 @@ impl Cluster {
     /// Run one query end to end.
     pub async fn query(&self, body: QueryBody, opts: SchedOpts) -> QueryOutput {
         let t0 = Instant::now();
-        let seed = self.query_seq.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E3779B97F4A7C15);
+        let seed = self
+            .query_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E3779B97F4A7C15);
 
         // -- schedule (Algorithm 1 over live stats) --
         let ring = self.ring.read().clone();
-        let pq = opts.pq.unwrap_or_else(|| self.safe_pq()).max(self.safe_pq());
+        let pq = opts
+            .pq
+            .unwrap_or_else(|| self.safe_pq())
+            .max(self.safe_pq());
         let mut plan = {
             let mut st = self.stats.write();
             st.set_now(self.now());
@@ -304,7 +319,12 @@ impl Cluster {
         let mut subqueries = plan.subs.len();
         for r in results {
             match r {
-                SubOutcome::Done { matches: m, scanned: s, proc_s, extra_subs } => {
+                SubOutcome::Done {
+                    matches: m,
+                    scanned: s,
+                    proc_s,
+                    extra_subs,
+                } => {
                     matches.extend(m);
                     scanned += s;
                     proc_max = proc_max.max(proc_s);
@@ -348,11 +368,21 @@ impl Cluster {
             };
             let reply = self.conn(sub.node).rpc(msg, self.timeout).await;
             match reply {
-                Ok(Msg::SubQueryResult { matches, scanned, proc_s, .. }) => {
+                Ok(Msg::SubQueryResult {
+                    matches,
+                    scanned,
+                    proc_s,
+                    ..
+                }) => {
                     let mut st = self.stats.write();
                     st.set_now(self.now());
                     st.on_complete(sub.node, sub.work(), proc_s);
-                    SubOutcome::Done { matches, scanned, proc_s, extra_subs: 0 }
+                    SubOutcome::Done {
+                        matches,
+                        scanned,
+                        proc_s,
+                        extra_subs: 0,
+                    }
                 }
                 Ok(other) => {
                     // node answered but unusable — treat as loss
@@ -380,8 +410,7 @@ impl Cluster {
                             let mut proc = 0.0f64;
                             let mut extra = n_extra.saturating_sub(1);
                             for s in subs {
-                                match self.run_subquery(ring, s, body.clone(), depth + 1).await
-                                {
+                                match self.run_subquery(ring, s, body.clone(), depth + 1).await {
                                     SubOutcome::Done {
                                         matches: m,
                                         scanned: sc,
@@ -396,7 +425,12 @@ impl Cluster {
                                     SubOutcome::Lost => return SubOutcome::Lost,
                                 }
                             }
-                            SubOutcome::Done { matches, scanned, proc_s: proc, extra_subs: extra }
+                            SubOutcome::Done {
+                                matches,
+                                scanned,
+                                proc_s: proc,
+                                extra_subs: extra,
+                            }
                         }
                         Err(_) => SubOutcome::Lost,
                     }
@@ -444,7 +478,13 @@ impl Cluster {
                     .map(WireRecord::from_record)
                     .collect();
                 self.conn(node)
-                    .rpc(Msg::Store { records: recs, synthetic_ids: ids }, self.timeout)
+                    .rpc(
+                        Msg::Store {
+                            records: recs,
+                            synthetic_ids: ids,
+                        },
+                        self.timeout,
+                    )
                     .await?;
                 self.reconfig.lock().confirm(node);
             }
@@ -467,7 +507,13 @@ impl Cluster {
             let cov_start = s.wrapping_sub(ring.l());
             let cov_end = e.wrapping_sub(1);
             self.conn(entry.node)
-                .rpc(Msg::SetCoverage { start: cov_start, end: cov_end }, self.timeout)
+                .rpc(
+                    Msg::SetCoverage {
+                        start: cov_start,
+                        end: cov_end,
+                    },
+                    self.timeout,
+                )
                 .await?;
         }
         Ok(())
@@ -476,7 +522,10 @@ impl Cluster {
     /// Kill a node (experiment control): ask it to shut down and mark it
     /// dead. Queries keep succeeding through the fall-back.
     pub async fn kill_node(&self, node: usize) {
-        let _ = self.conn(node).rpc(Msg::Shutdown, Duration::from_millis(500)).await;
+        let _ = self
+            .conn(node)
+            .rpc(Msg::Shutdown, Duration::from_millis(500))
+            .await;
         self.stats.write().on_timeout(node);
     }
 
@@ -525,13 +574,22 @@ impl Cluster {
         let synthetic = self.backend_synthetic.lock().clone();
         for i in 0..ring.n() {
             let node = ring.map().entries()[i].node;
-            let ids: Vec<u64> =
-                synthetic.iter().copied().filter(|&id| ring.stores(node, id)).collect();
+            let ids: Vec<u64> = synthetic
+                .iter()
+                .copied()
+                .filter(|&id| ring.stores(node, id))
+                .collect();
             if !ids.is_empty() {
                 // SetCoverage first clears, then Store refills: emulate the
                 // "download the additional data" of §4.3
                 self.conn(node)
-                    .rpc(Msg::Store { records: vec![], synthetic_ids: ids }, self.timeout)
+                    .rpc(
+                        Msg::Store {
+                            records: vec![],
+                            synthetic_ids: ids,
+                        },
+                        self.timeout,
+                    )
                     .await?;
             }
         }
@@ -552,7 +610,9 @@ impl Cluster {
     /// range, so queries never see a window nobody covers. Returns the new
     /// node's id.
     pub async fn add_node(&self, addr: SocketAddr) -> Result<usize, RpcError> {
-        let conn = NodeConn::connect(addr).await.map_err(|_| RpcError::Disconnected)?;
+        let conn = NodeConn::connect(addr)
+            .await
+            .map_err(|_| RpcError::Disconnected)?;
         let new_id = {
             let mut conns = self.conns.write();
             conns.push(conn);
@@ -569,8 +629,10 @@ impl Cluster {
             let st = self.stats.read();
             let hot = (0..ring.n())
                 .max_by(|&a, &b| {
-                    let la = ring.map().fraction_at(a) / st.speed_estimate(ring.map().entries()[a].node);
-                    let lb = ring.map().fraction_at(b) / st.speed_estimate(ring.map().entries()[b].node);
+                    let la =
+                        ring.map().fraction_at(a) / st.speed_estimate(ring.map().entries()[a].node);
+                    let lb =
+                        ring.map().fraction_at(b) / st.speed_estimate(ring.map().entries()[b].node);
                     la.partial_cmp(&lb).expect("loads are not NaN")
                 })
                 .expect("non-empty ring");
@@ -581,7 +643,11 @@ impl Cluster {
         // download phase: push the new node everything its coverage needs
         let ids: Vec<u64> = {
             let backend = self.backend_synthetic.lock();
-            backend.iter().copied().filter(|&id| new_ring.stores(new_id, id)).collect()
+            backend
+                .iter()
+                .copied()
+                .filter(|&id| new_ring.stores(new_id, id))
+                .collect()
         };
         let recs: Vec<WireRecord> = {
             let backend = self.backend_records.lock();
@@ -592,7 +658,13 @@ impl Cluster {
                 .collect()
         };
         self.conn(new_id)
-            .rpc(Msg::Store { records: recs, synthetic_ids: ids }, self.timeout)
+            .rpc(
+                Msg::Store {
+                    records: recs,
+                    synthetic_ids: ids,
+                },
+                self.timeout,
+            )
             .await?;
         // take over: swap the ring, then trim everyone's coverage
         *self.ring.write() = new_ring;
@@ -609,8 +681,14 @@ impl Cluster {
     pub async fn remove_node(&self, node: usize) -> Result<(), RpcError> {
         let new_ring = {
             let ring = self.ring.read().clone();
-            assert!(ring.map().range_of(node).is_some(), "node {node} not on the ring");
-            assert!(ring.n() > self.p(), "removing would leave fewer nodes than p");
+            assert!(
+                ring.map().range_of(node).is_some(),
+                "node {node} not on the ring"
+            );
+            assert!(
+                ring.n() > self.p(),
+                "removing would leave fewer nodes than p"
+            );
             let mut new_ring = ring.clone();
             new_ring.map_mut().remove(node);
             new_ring
@@ -621,8 +699,11 @@ impl Cluster {
         let records = self.backend_records.lock().clone();
         for i in 0..new_ring.n() {
             let nid = new_ring.map().entries()[i].node;
-            let ids: Vec<u64> =
-                synthetic.iter().copied().filter(|&id| new_ring.stores(nid, id)).collect();
+            let ids: Vec<u64> = synthetic
+                .iter()
+                .copied()
+                .filter(|&id| new_ring.stores(nid, id))
+                .collect();
             let recs: Vec<WireRecord> = records
                 .iter()
                 .filter(|r| new_ring.stores(nid, r.id))
@@ -630,14 +711,23 @@ impl Cluster {
                 .collect();
             if !ids.is_empty() || !recs.is_empty() {
                 self.conn(nid)
-                    .rpc(Msg::Store { records: recs, synthetic_ids: ids }, self.timeout)
+                    .rpc(
+                        Msg::Store {
+                            records: recs,
+                            synthetic_ids: ids,
+                        },
+                        self.timeout,
+                    )
                     .await?;
             }
         }
         *self.ring.write() = new_ring;
         self.push_coverages().await?;
         // now the departing node may go
-        let _ = self.conn(node).rpc(Msg::Shutdown, Duration::from_millis(500)).await;
+        let _ = self
+            .conn(node)
+            .rpc(Msg::Shutdown, Duration::from_millis(500))
+            .await;
         self.stats.write().on_timeout(node);
         Ok(())
     }
@@ -652,7 +742,9 @@ impl Cluster {
         for i in 0..entries.len() {
             let succ = entries[(i + 1) % entries.len()].node;
             let addr = self.conn(succ).addr.to_string();
-            self.conn(entries[i].node).rpc(Msg::SetSuccessor { addr }, self.timeout).await?;
+            self.conn(entries[i].node)
+                .rpc(Msg::SetSuccessor { addr }, self.timeout)
+                .await?;
         }
         Ok(())
     }
@@ -684,9 +776,13 @@ impl Cluster {
                 // chain broke: push directly to every replica we can reach
                 for &id in &batch {
                     for node in ring.replicas(id) {
-                        let _ = self.conn(node)
+                        let _ = self
+                            .conn(node)
                             .rpc(
-                                Msg::Store { records: vec![], synthetic_ids: vec![id] },
+                                Msg::Store {
+                                    records: vec![],
+                                    synthetic_ids: vec![id],
+                                },
                                 self.timeout,
                             )
                             .await;
@@ -708,10 +804,7 @@ impl Cluster {
     /// the current p. It starts at `p = n`, "which will always work", and
     /// can then learn the real value via [`Self::discover_p`] (coverage
     /// probes) or [`Self::discover_p_by_probing`] (guess-and-retry).
-    pub async fn connect_backup(
-        addrs: &[SocketAddr],
-        default_speed: f64,
-    ) -> std::io::Result<Self> {
+    pub async fn connect_backup(addrs: &[SocketAddr], default_speed: f64) -> std::io::Result<Self> {
         Self::connect(addrs, addrs.len(), default_speed).await
     }
 
@@ -725,8 +818,16 @@ impl Cluster {
         for i in 0..ring.n() {
             let entry = ring.map().entries()[i];
             let (s, _e) = ring.map().range_at(i);
-            match self.conn(entry.node).rpc(Msg::CoverageRequest, self.timeout).await? {
-                Msg::Coverage { start, end: _, has: true } => {
+            match self
+                .conn(entry.node)
+                .rpc(Msg::CoverageRequest, self.timeout)
+                .await?
+            {
+                Msg::Coverage {
+                    start,
+                    end: _,
+                    has: true,
+                } => {
                     // coverage = (range_start − L, range_end − 1]
                     let l = s.wrapping_sub(start) as u128;
                     min_l = min_l.min(l.max(1));
@@ -779,7 +880,12 @@ impl Cluster {
 }
 
 enum SubOutcome {
-    Done { matches: Vec<u64>, scanned: u64, proc_s: f64, extra_subs: usize },
+    Done {
+        matches: Vec<u64>,
+        scanned: u64,
+        proc_s: f64,
+        extra_subs: usize,
+    },
     Lost,
 }
 
@@ -824,7 +930,12 @@ mod futures {
                 }
             }
             if all_done {
-                Poll::Ready(this.outs.iter_mut().map(|o| o.take().expect("output cached")).collect())
+                Poll::Ready(
+                    this.outs
+                        .iter_mut()
+                        .map(|o| o.take().expect("output cached"))
+                        .collect(),
+                )
             } else {
                 Poll::Pending
             }

@@ -21,7 +21,11 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     pub fn uniform(n: usize, speed: f64, p: usize) -> Self {
-        ClusterConfig { speeds: vec![speed; n], p, overhead_s: 0.0 }
+        ClusterConfig {
+            speeds: vec![speed; n],
+            p,
+            overhead_s: 0.0,
+        }
     }
 }
 
@@ -41,7 +45,11 @@ pub async fn spawn_extra_node(
     speed: f64,
     overhead_s: f64,
 ) -> std::io::Result<(std::net::SocketAddr, Arc<DataNode>)> {
-    let node = Arc::new(DataNode::new(NodeConfig { id, speed, overhead_s }));
+    let node = Arc::new(DataNode::new(NodeConfig {
+        id,
+        speed,
+        overhead_s,
+    }));
     let (tx, rx) = tokio::sync::oneshot::channel();
     let n2 = Arc::clone(&node);
     tokio::spawn(async move {
@@ -49,7 +57,7 @@ pub async fn spawn_extra_node(
     });
     let addr = rx
         .await
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::Other, "node failed to bind"))?;
+        .map_err(|_| std::io::Error::other("node failed to bind"))?;
     Ok((addr, node))
 }
 
@@ -70,15 +78,19 @@ pub async fn spawn_cluster(cfg: ClusterConfig) -> std::io::Result<ClusterHandle>
         tokio::spawn(async move {
             let _ = n2.serve(tx).await;
         });
-        let addr = rx.await.map_err(|_| {
-            std::io::Error::new(std::io::ErrorKind::Other, "node failed to bind")
-        })?;
+        let addr = rx
+            .await
+            .map_err(|_| std::io::Error::other("node failed to bind"))?;
         nodes.push(node);
         addrs.push(addr);
     }
     let default_speed_work = 1.0; // replaced by EWMA after first completions
     let cluster = Arc::new(Cluster::connect(&addrs, cfg.p, default_speed_work).await?);
-    Ok(ClusterHandle { cluster, nodes, addrs })
+    Ok(ClusterHandle {
+        cluster,
+        nodes,
+        addrs,
+    })
 }
 
 #[cfg(test)]
@@ -91,11 +103,16 @@ mod tests {
 
     #[tokio::test]
     async fn end_to_end_synthetic_query() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3))
+            .await
+            .unwrap();
         let mut rng = det_rng(211);
         let ids: Vec<u64> = (0..600).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.harvest, 1.0);
         // every object scanned exactly once across the sub-queries
         assert_eq!(out.scanned, 600, "exactly-once rendezvous over the wire");
@@ -107,7 +124,9 @@ mod tests {
         use crate::proto::WireTrapdoor;
         use roar_pps::metadata::{FileMeta, MetaEncryptor};
         use roar_pps::query::{Combiner, Predicate, QueryCompiler};
-        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2))
+            .await
+            .unwrap();
         let enc = MetaEncryptor::new(b"alice");
         let mut rng = det_rng(212);
         let mut records = Vec::new();
@@ -131,7 +150,11 @@ mod tests {
         let q = QueryCompiler::new(&enc)
             .compile(&[Predicate::Keyword("sigcomm".into())], Combiner::And);
         let body = QueryBody::Pps {
-            trapdoors: q.trapdoors.iter().map(WireTrapdoor::from_trapdoor).collect(),
+            trapdoors: q
+                .trapdoors
+                .iter()
+                .map(WireTrapdoor::from_trapdoor)
+                .collect(),
             conjunctive: true,
         };
         let out = h.cluster.query(body, SchedOpts::default()).await;
@@ -141,13 +164,21 @@ mod tests {
 
     #[tokio::test]
     async fn pq_above_p_still_exact() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2))
+            .await
+            .unwrap();
         let mut rng = det_rng(213);
         let ids: Vec<u64> = (0..500).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         let out = h
             .cluster
-            .query(QueryBody::Synthetic, SchedOpts { pq: Some(5), ..Default::default() })
+            .query(
+                QueryBody::Synthetic,
+                SchedOpts {
+                    pq: Some(5),
+                    ..Default::default()
+                },
+            )
             .await;
         assert_eq!(out.scanned, 500, "pq>p must not duplicate or miss");
         assert_eq!(out.subqueries, 5);
@@ -155,38 +186,53 @@ mod tests {
 
     #[tokio::test]
     async fn node_failure_preserves_exactness() {
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+            .await
+            .unwrap();
         let mut rng = det_rng(214);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         // kill one node; r = 4 so data survives
         h.cluster.kill_node(3).await;
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.harvest, 1.0, "fall-back must restore full harvest");
         assert_eq!(out.scanned, 400, "exactly-once under failure");
     }
 
     #[tokio::test]
     async fn increase_p_transition_safe() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2))
+            .await
+            .unwrap();
         let mut rng = det_rng(215);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(3).await.unwrap();
         assert_eq!(h.cluster.p(), 3);
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 300, "after increasing p");
     }
 
     #[tokio::test]
     async fn decrease_p_transition_safe() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3))
+            .await
+            .unwrap();
         let mut rng = det_rng(216);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(2).await.unwrap();
         assert_eq!(h.cluster.p(), 2);
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 300, "after decreasing p");
         assert_eq!(out.subqueries, 2);
     }
@@ -195,19 +241,27 @@ mod tests {
     async fn backup_frontend_discovers_p_from_coverage() {
         // §4.8.3 option 1: a backup that starts at p = n learns the real p
         // from one CoverageRequest round
-        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3))
+            .await
+            .unwrap();
         let mut rng = det_rng(218);
         let ids: Vec<u64> = (0..600).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(4).await.unwrap(); // pushes coverages
-        let backup = crate::frontend::Cluster::connect_backup(&h.addrs, 1.0).await.unwrap();
+        let backup = crate::frontend::Cluster::connect_backup(&h.addrs, 1.0)
+            .await
+            .unwrap();
         assert_eq!(backup.p(), 12, "backup starts at the always-safe p = n");
         // p = n queries work before discovery
-        let out = backup.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = backup
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 600, "p = n is correct, just inefficient");
         let p = backup.discover_p().await.unwrap();
         assert_eq!(p, 4, "discovered the committed p");
-        let out = backup.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = backup
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!((out.scanned, out.subqueries), (600, 4));
     }
 
@@ -215,15 +269,21 @@ mod tests {
     async fn backup_frontend_discovers_p_by_probing() {
         // §4.8.3 option 2: guess-and-retry — refused probes bound p from
         // below, successful ones from above
-        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3))
+            .await
+            .unwrap();
         let mut rng = det_rng(219);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(6).await.unwrap();
-        let backup = crate::frontend::Cluster::connect_backup(&h.addrs, 1.0).await.unwrap();
+        let backup = crate::frontend::Cluster::connect_backup(&h.addrs, 1.0)
+            .await
+            .unwrap();
         let p = backup.discover_p_by_probing().await;
         assert_eq!(p, 6, "probing converges on the committed p");
-        let out = backup.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = backup
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 400);
     }
 
@@ -231,14 +291,20 @@ mod tests {
     async fn under_covered_query_is_refused_not_wrong() {
         // a front-end using too small a p gets refusals (harvest < 1), never
         // silently partial results counted as complete
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+            .await
+            .unwrap();
         let mut rng = det_rng(220);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(4).await.unwrap(); // coverage now 1/4-arcs
-        // a stale front-end still believing p = 2
-        let stale = crate::frontend::Cluster::connect(&h.addrs, 2, 1.0).await.unwrap();
-        let out = stale.query(QueryBody::Synthetic, SchedOpts::default()).await;
+                                           // a stale front-end still believing p = 2
+        let stale = crate::frontend::Cluster::connect(&h.addrs, 2, 1.0)
+            .await
+            .unwrap();
+        let out = stale
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert!(out.harvest < 1.0, "nodes must refuse the too-wide windows");
     }
 
@@ -246,14 +312,19 @@ mod tests {
     async fn failover_windows_respect_coverage() {
         // §4.4 fall-back pieces must land inside the neighbours' coverage
         // even with node-side enforcement on
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+            .await
+            .unwrap();
         let mut rng = det_rng(221);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(4).await.unwrap(); // coverage set on every node
         h.cluster.kill_node(5).await;
         for _ in 0..4 {
-            let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+            let out = h
+                .cluster
+                .query(QueryBody::Synthetic, SchedOpts::default())
+                .await;
             assert_eq!(out.harvest, 1.0, "fall-back must not be refused");
             assert_eq!(out.scanned, 400, "exactly-once under failure + enforcement");
         }
@@ -262,7 +333,9 @@ mod tests {
     #[tokio::test]
     async fn live_join_keeps_queries_exact() {
         // §4.3: a node joins a serving ring; data downloads before takeover
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3))
+            .await
+            .unwrap();
         let mut rng = det_rng(225);
         let ids: Vec<u64> = (0..900).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
@@ -273,7 +346,10 @@ mod tests {
         assert!(new_node.record_count() > 0, "join must download its arc");
         // queries remain exactly-once over the reshaped ring
         for _ in 0..3 {
-            let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+            let out = h
+                .cluster
+                .query(QueryBody::Synthetic, SchedOpts::default())
+                .await;
             assert_eq!(out.scanned, 900, "exactly-once after join");
             assert_eq!(out.harvest, 1.0);
         }
@@ -291,14 +367,19 @@ mod tests {
     #[tokio::test]
     async fn controlled_removal_keeps_queries_exact() {
         // §4.4: neighbours absorb the leaver's range before it shuts down
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+            .await
+            .unwrap();
         let mut rng = det_rng(226);
         let ids: Vec<u64> = (0..700).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.remove_node(2).await.unwrap();
         assert!(h.cluster.range_fractions().iter().all(|(n, _)| *n != 2));
         for _ in 0..3 {
-            let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+            let out = h
+                .cluster
+                .query(QueryBody::Synthetic, SchedOpts::default())
+                .await;
             assert_eq!(out.scanned, 700, "exactly-once after removal");
             assert_eq!(out.harvest, 1.0);
         }
@@ -306,16 +387,24 @@ mod tests {
 
     #[tokio::test]
     async fn join_then_leave_roundtrip() {
-        let h = spawn_cluster(ClusterConfig::uniform(5, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(5, 1e6, 2))
+            .await
+            .unwrap();
         let mut rng = det_rng(227);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         let (addr, _node) = spawn_extra_node(5, 1e6, 0.0).await.unwrap();
         let id = h.cluster.add_node(addr).await.unwrap();
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 400);
         h.cluster.remove_node(id).await.unwrap();
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 400, "back to the original membership");
     }
 
@@ -323,7 +412,9 @@ mod tests {
     async fn p2p_store_places_same_replicas_as_direct_push() {
         // §4.1 option 1: frontend touches only the first replica; the ring
         // chain must reproduce exactly the direct-push placement
-        let h = spawn_cluster(ClusterConfig::uniform(9, 1e6, 3)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(9, 1e6, 3))
+            .await
+            .unwrap();
         h.cluster.push_successors().await.unwrap();
         let mut rng = det_rng(222);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
@@ -334,13 +425,18 @@ mod tests {
             assert_eq!(dn.record_count(), expected, "node {node} replica count");
         }
         // and queries see every object exactly once
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 300);
     }
 
     #[tokio::test]
     async fn p2p_store_falls_back_when_chain_breaks() {
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+            .await
+            .unwrap();
         h.cluster.push_successors().await.unwrap();
         // kill a node: every chain through it breaks, the frontend must
         // fall back to direct pushes and the data must stay queryable
@@ -348,7 +444,10 @@ mod tests {
         let mut rng = det_rng(223);
         let ids: Vec<u64> = (0..200).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic_p2p(&ids).await.unwrap();
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.harvest, 1.0);
         assert_eq!(out.scanned, 200, "fall-back must not lose objects");
     }
@@ -356,12 +455,17 @@ mod tests {
     #[tokio::test]
     async fn forwarding_without_successor_reports_error() {
         // nodes refuse to silently drop a chain
-        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2)).await.unwrap();
+        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2))
+            .await
+            .unwrap();
         // no push_successors: chains cannot run, fallback engages
         let mut rng = det_rng(224);
         let ids: Vec<u64> = (0..100).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic_p2p(&ids).await.unwrap();
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
         assert_eq!(out.scanned, 100, "fallback path stores everything");
     }
 
@@ -381,7 +485,13 @@ mod tests {
         for _ in 0..12 {
             let _ = h
                 .cluster
-                .query(QueryBody::Synthetic, SchedOpts { pq: Some(4), ..Default::default() })
+                .query(
+                    QueryBody::Synthetic,
+                    SchedOpts {
+                        pq: Some(4),
+                        ..Default::default()
+                    },
+                )
                 .await;
         }
         let est = h.cluster.speed_estimates();

@@ -11,8 +11,8 @@
 //! * the **membership server** logic (range assignment, join/leave, p
 //!   changes) drives both through [`frontend::Cluster`] control calls.
 //!
-//! Transport is length-prefixed JSON frames over TCP ([`proto`]) — the
-//! tokio tutorial's framing idiom. The paper's reliability discussion
+//! Transport is length-prefixed binary frames over TCP ([`proto`]) — the
+//! tokio tutorial's framing idiom with a hand-rolled tagged codec. The paper's reliability discussion
 //! (§4.8.4, TCP min-RTO / incast) is covered twice: the TCP path keeps
 //! per-sub-query application timers (the part that matters for failover),
 //! and [`transport`] implements the thesis's named alternative — UDP with
@@ -34,7 +34,7 @@ pub mod proto;
 pub mod transport;
 
 pub use frontend::{Cluster, QueryOutput};
-pub use transport::{LossPolicy, RequestError, UdpConfig, UdpEndpoint};
 pub use harness::{spawn_cluster, ClusterConfig, ClusterHandle};
 pub use node::{DataNode, NodeConfig};
 pub use proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireTrapdoor};
+pub use transport::{LossPolicy, RequestError, UdpConfig, UdpEndpoint};

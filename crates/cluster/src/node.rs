@@ -9,8 +9,7 @@
 use crate::proto::{read_frame, write_frame, Frame, Msg, QueryBody};
 use parking_lot::Mutex;
 use roar_core::ring::Window;
-use roar_pps::bloom_kw::PrfCounter;
-use roar_pps::query::{Combiner, CompiledQuery, Matcher};
+use roar_pps::query::{Combiner, CompiledQuery};
 use roar_pps::MetadataStore;
 use std::sync::Arc;
 use std::time::Instant;
@@ -110,42 +109,63 @@ impl DataNode {
             tokio::spawn(async move {
                 let reply = node.handle_msg(frame.body, &shutdown).await;
                 let mut w = wr.lock().await;
-                let _ = write_frame(&mut *w, &Frame { id: frame.id, body: reply }).await;
+                let _ = write_frame(
+                    &mut *w,
+                    &Frame {
+                        id: frame.id,
+                        body: reply,
+                    },
+                )
+                .await;
             });
         }
         Ok(())
     }
 
-    async fn handle_msg(
-        &self,
-        msg: Msg,
-        shutdown: &tokio::sync::watch::Sender<bool>,
-    ) -> Msg {
+    async fn handle_msg(&self, msg: Msg, shutdown: &tokio::sync::watch::Sender<bool>) -> Msg {
         match msg {
             Msg::Ping => Msg::Pong,
             Msg::Shutdown => {
                 let _ = shutdown.send(true);
                 Msg::Ok
             }
-            Msg::CountRequest => Msg::Count { records: self.state.lock().count() },
+            Msg::CountRequest => Msg::Count {
+                records: self.state.lock().count(),
+            },
             Msg::CoverageRequest => {
                 let st = self.state.lock();
                 match st.coverage {
-                    Some(w) => Msg::Coverage { start: w.start, end: w.end, has: true },
-                    None => Msg::Coverage { start: 0, end: 0, has: false },
+                    Some(w) => Msg::Coverage {
+                        start: w.start,
+                        end: w.end,
+                        has: true,
+                    },
+                    None => Msg::Coverage {
+                        start: 0,
+                        end: 0,
+                        has: false,
+                    },
                 }
             }
-            Msg::Store { records, synthetic_ids } => self.store_local(&records, synthetic_ids),
+            Msg::Store {
+                records,
+                synthetic_ids,
+            } => self.store_local(&records, synthetic_ids),
             Msg::SetSuccessor { addr } => match addr.parse() {
                 Ok(a) => {
                     self.state.lock().successor = Some(a);
                     Msg::Ok
                 }
-                Err(_) => Msg::Error { what: format!("bad successor address {addr}") },
+                Err(_) => Msg::Error {
+                    what: format!("bad successor address {addr}"),
+                },
             },
-            Msg::StoreForward { records, synthetic_ids, hops } => {
-                if let err @ Msg::Error { .. } = self.store_local(&records, synthetic_ids.clone())
-                {
+            Msg::StoreForward {
+                records,
+                synthetic_ids,
+                hops,
+            } => {
+                if let err @ Msg::Error { .. } = self.store_local(&records, synthetic_ids.clone()) {
                     return err;
                 }
                 if hops == 0 {
@@ -154,13 +174,23 @@ impl DataNode {
                 // forward the batch to the ring successor — with rack-
                 // contiguous ring order this hop is intra-rack (§4.9.2)
                 let Some(succ) = self.state.lock().successor else {
-                    return Msg::Error { what: "no successor configured".into() };
+                    return Msg::Error {
+                        what: "no successor configured".into(),
+                    };
                 };
-                let fwd = Msg::StoreForward { records, synthetic_ids, hops: hops - 1 };
+                let fwd = Msg::StoreForward {
+                    records,
+                    synthetic_ids,
+                    hops: hops - 1,
+                };
                 match Self::forward_once(succ, fwd).await {
                     Ok(Msg::Ok) => Msg::Ok,
-                    Ok(other) => Msg::Error { what: format!("chain broke: {other:?}") },
-                    Err(e) => Msg::Error { what: format!("chain i/o: {e}") },
+                    Ok(other) => Msg::Error {
+                        what: format!("chain broke: {other:?}"),
+                    },
+                    Err(e) => Msg::Error {
+                        what: format!("chain i/o: {e}"),
+                    },
                 }
             }
             Msg::SetCoverage { start, end } => {
@@ -171,10 +201,18 @@ impl DataNode {
                 st.synthetic_ids.retain(|&id| keep.contains(id));
                 Msg::Ok
             }
-            Msg::SubQuery { query_id, window_start, window_end, body } => {
-                self.execute_subquery(query_id, window_start, window_end, body).await
+            Msg::SubQuery {
+                query_id,
+                window_start,
+                window_end,
+                body,
+            } => {
+                self.execute_subquery(query_id, window_start, window_end, body)
+                    .await
             }
-            other => Msg::Error { what: format!("unexpected message: {other:?}") },
+            other => Msg::Error {
+                what: format!("unexpected message: {other:?}"),
+            },
         }
     }
 
@@ -194,7 +232,9 @@ impl DataNode {
             let st = self.state.lock();
             if let Some(cov) = st.coverage {
                 if !window.subset_of(&cov) {
-                    return Msg::Error { what: "insufficient coverage".into() };
+                    return Msg::Error {
+                        what: "insufficient coverage".into(),
+                    };
                 }
             }
         }
@@ -208,7 +248,10 @@ impl DataNode {
                 // sleep so one machine can emulate a heterogeneous fleet
                 let scanned = {
                     let st = self.state.lock();
-                    st.synthetic_ids.iter().filter(|&&id| window.contains(id)).count() as u64
+                    st.synthetic_ids
+                        .iter()
+                        .filter(|&&id| window.contains(id))
+                        .count() as u64
                 };
                 let proc = scanned as f64 / self.cfg.speed;
                 tokio::time::sleep(std::time::Duration::from_secs_f64(proc)).await;
@@ -219,32 +262,61 @@ impl DataNode {
                     proc_s: started.elapsed().as_secs_f64(),
                 }
             }
-            QueryBody::Pps { trapdoors, conjunctive } => {
+            QueryBody::Pps {
+                trapdoors,
+                conjunctive,
+            } => {
                 let tds: Option<Vec<_>> = trapdoors.iter().map(|t| t.to_trapdoor()).collect();
                 let Some(tds) = tds else {
-                    return Msg::Error { what: "corrupt trapdoor".into() };
+                    return Msg::Error {
+                        what: "corrupt trapdoor".into(),
+                    };
                 };
+                // validate wire-supplied bounds *before* matching: the
+                // batched matcher asserts r ≤ MAX_R per trapdoor and ≤ 64
+                // predicates; a malformed front-end must get a clean
+                // refusal, not a worker panic
+                if tds.is_empty() || tds.len() > 64 {
+                    return Msg::Error {
+                        what: format!("unsupported predicate count {}", tds.len()),
+                    };
+                }
+                if let Some(bad) = tds
+                    .iter()
+                    .find(|td| td.parts.is_empty() || td.parts.len() > roar_pps::bloom_kw::MAX_R)
+                {
+                    return Msg::Error {
+                        what: format!(
+                            "unsupported trapdoor arity {} (max {})",
+                            bad.parts.len(),
+                            roar_pps::bloom_kw::MAX_R
+                        ),
+                    };
+                }
                 let query = CompiledQuery {
                     trapdoors: tds,
-                    combiner: if conjunctive { Combiner::And } else { Combiner::Or },
+                    combiner: if conjunctive {
+                        Combiner::And
+                    } else {
+                        Combiner::Or
+                    },
                 };
                 // clone the window's records out of the lock, then match on
                 // a blocking thread (CPU-bound work must not stall the
-                // reactor — the async-book rule)
+                // reactor — the async-book rule); the worker runs the
+                // batched midstate-cached pipeline, same as the engine's
+                // consumer threads
                 let records: Vec<roar_pps::EncryptedMetadata> = {
                     let st = self.state.lock();
-                    st.store.select_window(&window).into_iter().cloned().collect()
+                    st.store
+                        .select_window(&window)
+                        .into_iter()
+                        .cloned()
+                        .collect()
                 };
                 let scanned = records.len() as u64;
                 let result = tokio::task::spawn_blocking(move || {
-                    let counter = PrfCounter::new();
-                    let mut matcher = Matcher::new(query.trapdoors.len(), true);
-                    let mut matches = Vec::new();
-                    for rec in &records {
-                        if matcher.matches(&query, rec, &counter) {
-                            matches.push(rec.id);
-                        }
-                    }
+                    let (matches, _prf_calls) = roar_pps::engine::match_corpus(&records, &query);
                     matches
                 })
                 .await;
@@ -255,7 +327,9 @@ impl DataNode {
                         scanned,
                         proc_s: started.elapsed().as_secs_f64(),
                     },
-                    Err(e) => Msg::Error { what: format!("matcher panicked: {e}") },
+                    Err(e) => Msg::Error {
+                        what: format!("matcher panicked: {e}"),
+                    },
                 }
             }
         }
@@ -266,7 +340,11 @@ impl DataNode {
         for r in records {
             match r.to_record() {
                 Some(rec) => st.store.insert(rec),
-                None => return Msg::Error { what: "corrupt record".into() },
+                None => {
+                    return Msg::Error {
+                        what: "corrupt record".into(),
+                    }
+                }
             }
         }
         st.synthetic_ids.extend(synthetic_ids);
@@ -307,8 +385,11 @@ mod tests {
     use crate::proto::WireRecord;
 
     async fn start_node(speed: f64) -> (std::net::SocketAddr, Arc<DataNode>) {
-        let node =
-            Arc::new(DataNode::new(NodeConfig { id: 0, speed, overhead_s: 0.0 }));
+        let node = Arc::new(DataNode::new(NodeConfig {
+            id: 0,
+            speed,
+            overhead_s: 0.0,
+        }));
         let (tx, rx) = tokio::sync::oneshot::channel();
         let n2 = Arc::clone(&node);
         tokio::spawn(async move {
@@ -341,11 +422,17 @@ mod tests {
         let reply = rpc(
             &mut s,
             1,
-            Msg::Store { records: vec![], synthetic_ids: vec![10, 20, 30] },
+            Msg::Store {
+                records: vec![],
+                synthetic_ids: vec![10, 20, 30],
+            },
         )
         .await;
         assert_eq!(reply, Msg::Ok);
-        assert_eq!(rpc(&mut s, 2, Msg::CountRequest).await, Msg::Count { records: 3 });
+        assert_eq!(
+            rpc(&mut s, 2, Msg::CountRequest).await,
+            Msg::Count { records: 3 }
+        );
         assert_eq!(node.record_count(), 3);
     }
 
@@ -353,8 +440,15 @@ mod tests {
     async fn synthetic_subquery_scans_window_only() {
         let (addr, _node) = start_node(1e6).await;
         let mut s = TcpStream::connect(addr).await.unwrap();
-        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: vec![5, 15, 25, 35] })
-            .await;
+        rpc(
+            &mut s,
+            1,
+            Msg::Store {
+                records: vec![],
+                synthetic_ids: vec![5, 15, 25, 35],
+            },
+        )
+        .await;
         let reply = rpc(
             &mut s,
             2,
@@ -367,7 +461,12 @@ mod tests {
         )
         .await;
         match reply {
-            Msg::SubQueryResult { query_id, scanned, proc_s, .. } => {
+            Msg::SubQueryResult {
+                query_id,
+                scanned,
+                proc_s,
+                ..
+            } => {
                 assert_eq!(query_id, 9);
                 assert_eq!(scanned, 2); // ids 15, 25
                 assert!(proc_s >= 0.0);
@@ -380,7 +479,15 @@ mod tests {
     async fn synthetic_speed_determines_latency() {
         let (addr, _node) = start_node(100.0).await; // 100 records/s
         let mut s = TcpStream::connect(addr).await.unwrap();
-        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: (0..20).collect() }).await;
+        rpc(
+            &mut s,
+            1,
+            Msg::Store {
+                records: vec![],
+                synthetic_ids: (0..20).collect(),
+            },
+        )
+        .await;
         let t0 = Instant::now();
         let _ = rpc(
             &mut s,
@@ -420,11 +527,14 @@ mod tests {
         rpc(
             &mut s,
             1,
-            Msg::Store { records: vec![WireRecord::from_record(&rec)], synthetic_ids: vec![] },
+            Msg::Store {
+                records: vec![WireRecord::from_record(&rec)],
+                synthetic_ids: vec![],
+            },
         )
         .await;
-        let q = QueryCompiler::new(&enc)
-            .compile(&[Predicate::Keyword("target".into())], Combiner::And);
+        let q =
+            QueryCompiler::new(&enc).compile(&[Predicate::Keyword("target".into())], Combiner::And);
         let reply = rpc(
             &mut s,
             2,
@@ -450,20 +560,68 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn oversized_wire_trapdoor_refused_cleanly() {
+        // r > MAX_R must produce a protocol error, not a matcher panic
+        let (addr, _node) = start_node(1e6).await;
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        let huge = crate::proto::WireTrapdoor {
+            parts: vec![vec![0u8; 20]; roar_pps::bloom_kw::MAX_R + 1],
+        };
+        let reply = rpc(
+            &mut s,
+            1,
+            Msg::SubQuery {
+                query_id: 1,
+                window_start: 0,
+                window_end: 0,
+                body: QueryBody::Pps {
+                    trapdoors: vec![huge],
+                    conjunctive: true,
+                },
+            },
+        )
+        .await;
+        match reply {
+            Msg::Error { what } => assert!(what.contains("unsupported trapdoor arity")),
+            other => panic!("expected clean refusal, got {other:?}"),
+        }
+        // the connection (and node) must still be healthy afterwards
+        assert_eq!(rpc(&mut s, 2, Msg::Ping).await, Msg::Pong);
+    }
+
+    #[tokio::test]
     async fn set_coverage_drops_outside() {
         let (addr, _node) = start_node(1e6).await;
         let mut s = TcpStream::connect(addr).await.unwrap();
-        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: vec![10, 20, 30, 40] })
-            .await;
+        rpc(
+            &mut s,
+            1,
+            Msg::Store {
+                records: vec![],
+                synthetic_ids: vec![10, 20, 30, 40],
+            },
+        )
+        .await;
         rpc(&mut s, 2, Msg::SetCoverage { start: 15, end: 35 }).await;
-        assert_eq!(rpc(&mut s, 3, Msg::CountRequest).await, Msg::Count { records: 2 });
+        assert_eq!(
+            rpc(&mut s, 3, Msg::CountRequest).await,
+            Msg::Count { records: 2 }
+        );
     }
 
     #[tokio::test]
     async fn concurrent_requests_multiplex() {
         let (addr, _node) = start_node(50.0).await; // slow: 50 records/s
         let mut s = TcpStream::connect(addr).await.unwrap();
-        rpc(&mut s, 1, Msg::Store { records: vec![], synthetic_ids: (0..10).collect() }).await;
+        rpc(
+            &mut s,
+            1,
+            Msg::Store {
+                records: vec![],
+                synthetic_ids: (0..10).collect(),
+            },
+        )
+        .await;
         // issue a slow sub-query then a ping on the same connection; the
         // ping must come back first
         write_frame(
@@ -480,7 +638,15 @@ mod tests {
         )
         .await
         .unwrap();
-        write_frame(&mut s, &Frame { id: 101, body: Msg::Ping }).await.unwrap();
+        write_frame(
+            &mut s,
+            &Frame {
+                id: 101,
+                body: Msg::Ping,
+            },
+        )
+        .await
+        .unwrap();
         let first = read_frame(&mut s).await.unwrap().unwrap();
         assert_eq!(first.id, 101, "ping should overtake the slow sub-query");
     }

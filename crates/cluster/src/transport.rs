@@ -66,7 +66,11 @@ pub struct UdpConfig {
 
 impl Default for UdpConfig {
     fn default() -> Self {
-        UdpConfig { rto: Duration::from_millis(5), max_attempts: 8, dedup_entries: 4096 }
+        UdpConfig {
+            rto: Duration::from_millis(5),
+            max_attempts: 8,
+            dedup_entries: 4096,
+        }
     }
 }
 
@@ -88,8 +92,14 @@ impl LossPolicy {
     }
 
     pub fn random(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability {p} outside [0,1)");
-        LossPolicy::Random { p, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability {p} outside [0,1)"
+        );
+        LossPolicy::Random {
+            p,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
     fn should_drop(&self) -> bool {
@@ -143,7 +153,11 @@ struct DedupCache {
 
 impl DedupCache {
     fn new(cap: usize) -> Self {
-        DedupCache { map: HashMap::new(), order: VecDeque::new(), cap }
+        DedupCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
     }
 
     fn get(&self, key: &(SocketAddr, u64)) -> Option<&Vec<u8>> {
@@ -194,7 +208,9 @@ impl UdpEndpoint {
             sock: Arc::new(sock),
             cfg,
             next_id: AtomicU64::new(1),
-            pending: Mutex::new(Pending { waiters: HashMap::new() }),
+            pending: Mutex::new(Pending {
+                waiters: HashMap::new(),
+            }),
             loss,
         }))
     }
@@ -211,7 +227,7 @@ impl UdpEndpoint {
     }
 
     fn encode(kind: u8, id: u64, msg: &Msg) -> Vec<u8> {
-        let payload = serde_json::to_vec(msg).expect("message serialises");
+        let payload = msg.encode();
         assert!(
             payload.len() + 9 <= MAX_DATAGRAM,
             "payload {} bytes exceeds datagram budget — bulk data belongs on TCP",
@@ -230,7 +246,7 @@ impl UdpEndpoint {
         }
         let kind = wire[0];
         let id = u64::from_be_bytes(wire[1..9].try_into().expect("8 bytes"));
-        let msg = serde_json::from_slice(&wire[9..]).ok()?;
+        let msg = Msg::decode(&wire[9..])?;
         Some((kind, id, msg))
     }
 
@@ -342,8 +358,9 @@ mod tests {
         let server = UdpEndpoint::bind_with("127.0.0.1:0", UdpConfig::default(), server_loss)
             .await
             .expect("bind server");
-        let client =
-            UdpEndpoint::bind_with("127.0.0.1:0", client_cfg, client_loss).await.expect("bind");
+        let client = UdpEndpoint::bind_with("127.0.0.1:0", client_cfg, client_loss)
+            .await
+            .expect("bind");
         let addr = server.local_addr().expect("addr");
         (client, server, addr)
     }
@@ -362,7 +379,10 @@ mod tests {
     #[tokio::test]
     async fn retransmission_recovers_from_request_loss() {
         // drop the first two request datagrams; the third attempt lands
-        let cfg = UdpConfig { rto: Duration::from_millis(3), ..UdpConfig::default() };
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(3),
+            ..UdpConfig::default()
+        };
         let (client, server, addr) = pair(cfg, LossPolicy::drop_first(2), LossPolicy::None).await;
         server.serve(echo);
         client.serve(echo);
@@ -372,15 +392,24 @@ mod tests {
         // two RTOs of waiting, well under TCP's 200 ms minimum — the §4.8.4
         // argument in one assertion
         let waited = t0.elapsed();
-        assert!(waited >= Duration::from_millis(6), "had to wait out 2 RTOs: {waited:?}");
-        assert!(waited < Duration::from_millis(150), "recovery stays in app-RTO land: {waited:?}");
+        assert!(
+            waited >= Duration::from_millis(6),
+            "had to wait out 2 RTOs: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(150),
+            "recovery stays in app-RTO land: {waited:?}"
+        );
     }
 
     #[tokio::test]
     async fn response_loss_triggers_dedup_not_reexecution() {
         // server's first response vanishes; client retransmits; handler must
         // run once (at-most-once execution)
-        let cfg = UdpConfig { rto: Duration::from_millis(3), ..UdpConfig::default() };
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(3),
+            ..UdpConfig::default()
+        };
         let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::drop_first(1)).await;
         let runs = Arc::new(AtomicUsize::new(0));
         let r2 = Arc::clone(&runs);
@@ -389,9 +418,16 @@ mod tests {
             echo(m)
         });
         client.serve(echo);
-        let resp = client.request(addr, Msg::Ping).await.expect("recovered via dedup cache");
+        let resp = client
+            .request(addr, Msg::Ping)
+            .await
+            .expect("recovered via dedup cache");
         assert_eq!(resp, Msg::Pong);
-        assert_eq!(runs.load(Ordering::SeqCst), 1, "duplicate request must not re-execute");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "duplicate request must not re-execute"
+        );
     }
 
     #[tokio::test]
@@ -403,8 +439,12 @@ mod tests {
             max_attempts: 20,
             ..UdpConfig::default()
         };
-        let (client, server, addr) =
-            pair(cfg, LossPolicy::random(0.3, 42), LossPolicy::random(0.3, 43)).await;
+        let (client, server, addr) = pair(
+            cfg,
+            LossPolicy::random(0.3, 42),
+            LossPolicy::random(0.3, 43),
+        )
+        .await;
         server.serve(echo);
         client.serve(echo);
         for i in 0..40 {
@@ -420,7 +460,9 @@ mod tests {
             max_attempts: 3,
             ..UdpConfig::default()
         };
-        let client = UdpEndpoint::bind_with("127.0.0.1:0", cfg, LossPolicy::None).await.unwrap();
+        let client = UdpEndpoint::bind_with("127.0.0.1:0", cfg, LossPolicy::None)
+            .await
+            .unwrap();
         client.serve(echo);
         // a bound-then-dropped socket's port: nothing listens there
         let dead = {
@@ -428,9 +470,15 @@ mod tests {
             s.local_addr().unwrap()
         };
         let t0 = std::time::Instant::now();
-        let err = client.request(dead, Msg::Ping).await.expect_err("no one home");
+        let err = client
+            .request(dead, Msg::Ping)
+            .await
+            .expect_err("no one home");
         assert_eq!(err, RequestError::TimedOut);
-        assert!(t0.elapsed() < Duration::from_millis(200), "3 × 2 ms ≪ 200 ms");
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "3 × 2 ms ≪ 200 ms"
+        );
         assert_eq!(client.outstanding(), 0, "timeout must reclaim the waiter");
     }
 
@@ -469,9 +517,14 @@ mod tests {
         let raw = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         raw.send_to(b"not a frame", addr).await.unwrap();
         raw.send_to(&[KIND_REQUEST], addr).await.unwrap();
-        raw.send_to(&[KIND_REQUEST, 0, 0, 0, 0, 0, 0, 0, 1, b'{'], addr).await.unwrap();
+        raw.send_to(&[KIND_REQUEST, 0, 0, 0, 0, 0, 0, 0, 1, b'{'], addr)
+            .await
+            .unwrap();
         // the endpoint still works
-        let resp = client.request(addr, Msg::Ping).await.expect("survives garbage");
+        let resp = client
+            .request(addr, Msg::Ping)
+            .await
+            .expect("survives garbage");
         assert_eq!(resp, Msg::Pong);
     }
 
@@ -491,7 +544,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "datagram budget")]
     fn oversized_payload_rejected() {
-        let big = Msg::Error { what: "x".repeat(MAX_DATAGRAM) };
+        let big = Msg::Error {
+            what: "x".repeat(MAX_DATAGRAM),
+        };
         let _ = UdpEndpoint::encode(KIND_REQUEST, 1, &big);
     }
 

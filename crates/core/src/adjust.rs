@@ -203,7 +203,10 @@ mod tests {
         let mut plan = r.plan(1, 4);
         let before = plan_makespan(&plan, &est);
         let after = adjust_plan(&r, &mut plan, &est, 3);
-        assert!(after <= before + 1e-12, "makespan grew: {before} -> {after}");
+        assert!(
+            after <= before + 1e-12,
+            "makespan grew: {before} -> {after}"
+        );
         // total work unchanged
         assert!((plan.total_work() - 1.0).abs() < 1e-9);
     }
@@ -225,8 +228,11 @@ mod tests {
             // every object matched exactly once by a node storing it
             for _ in 0..500 {
                 let obj: u64 = rng.gen();
-                let hits: Vec<&SubQuery> =
-                    plan.subs.iter().filter(|s| s.window.contains(obj)).collect();
+                let hits: Vec<&SubQuery> = plan
+                    .subs
+                    .iter()
+                    .filter(|s| s.window.contains(obj))
+                    .collect();
                 assert_eq!(hits.len(), 1, "trial {trial}");
                 assert!(r.stores(hits[0].node, obj), "trial {trial}");
             }

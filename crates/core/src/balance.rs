@@ -8,8 +8,8 @@
 //! close, and the membership server can disable local balancing entirely
 //! (the `Fixed` flag) or perform global moves from cool to hot ring regions.
 
-use crate::ringmap::{NodeId, RingMap};
 use crate::ring::{dist_cw, RingPos};
+use crate::ringmap::{NodeId, RingMap};
 
 /// Parameters of the background balancing process.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +25,10 @@ pub struct BalanceConfig {
 
 impl Default for BalanceConfig {
     fn default() -> Self {
-        BalanceConfig { threshold: 0.10, step: 0.25 }
+        BalanceConfig {
+            threshold: 0.10,
+            step: 0.25,
+        }
     }
 }
 
@@ -134,12 +137,20 @@ mod tests {
     #[test]
     fn equal_speeds_converge_to_equal_ranges() {
         // start with badly skewed ranges
-        let mut map = RingMap::new(vec![(0u64, 0usize), (1 << 60, 1), (2 << 60, 2), (3 << 60, 3)]);
+        let mut map = RingMap::new(vec![
+            (0u64, 0usize),
+            (1 << 60, 1),
+            (2 << 60, 2),
+            (3 << 60, 3),
+        ]);
         let speeds = [1.0, 1.0, 1.0, 1.0];
         // load proxy: range fraction / speed (as the membership server uses)
         // tight threshold for the convergence test; the 10% default is
         // exercised in `within_threshold_no_churn`
-        let cfg = BalanceConfig { threshold: 0.02, step: 0.2 };
+        let cfg = BalanceConfig {
+            threshold: 0.02,
+            step: 0.2,
+        };
         for _ in 0..2000 {
             let snapshot = map.clone();
             let load = move |n: NodeId| {
@@ -176,7 +187,10 @@ mod tests {
             let i = map.entries().iter().position(|e| e.node == n).unwrap();
             map.fraction_at(i)
         };
-        assert!(frac_of(1) > frac_of(0), "fast node should own a larger range");
+        assert!(
+            frac_of(1) > frac_of(0),
+            "fast node should own a larger range"
+        );
     }
 
     #[test]
@@ -211,6 +225,9 @@ mod tests {
     #[test]
     fn single_node_noop() {
         let mut map = RingMap::new(vec![(7, 0)]);
-        assert_eq!(balance_step(&mut map, &BalanceConfig::default(), &|_| 1.0, &|_| false), 0);
+        assert_eq!(
+            balance_step(&mut map, &BalanceConfig::default(), &|_| 1.0, &|_| false),
+            0
+        );
     }
 }

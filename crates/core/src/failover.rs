@@ -71,7 +71,11 @@ fn reroute_window(
         // the recursion — validity is preserved by the split choices below,
         // but check defensively.
         if ring.window_executable_by(&window, node) {
-            out.push(SubQuery { point: window.end, window, node });
+            out.push(SubQuery {
+                point: window.end,
+                window,
+                node,
+            });
             return Ok(());
         }
         // window too wide for this node (can happen when the window was not
@@ -84,7 +88,11 @@ fn reroute_window(
             return Err(FailoverError::HarvestLoss { window });
         }
         let (left, right) = window.split_at(mid);
-        out.push(SubQuery { point: right.end, window: right, node });
+        out.push(SubQuery {
+            point: right.end,
+            window: right,
+            node,
+        });
         return reroute_window(ring, left, alive, out, budget - 1);
     }
 
@@ -117,7 +125,11 @@ fn reroute_window(
             if dist_cw(earliest, e.start) >= ring.l() && !right.is_full() {
                 return Err(FailoverError::HarvestLoss { window: right });
             }
-            out.push(SubQuery { point: e.start, window: right, node: e.node });
+            out.push(SubQuery {
+                point: e.start,
+                window: right,
+                node: e.node,
+            });
             return Ok(());
         }
         j = map.next_idx(j);
@@ -160,11 +172,14 @@ mod tests {
     /// node that stores it.
     fn assert_exact(ring: &RoarRing, subs: &[SubQuery], dead: &[NodeId], objs: &[u64]) {
         for &obj in objs {
-            let hits: Vec<&SubQuery> =
-                subs.iter().filter(|s| s.window.contains(obj)).collect();
+            let hits: Vec<&SubQuery> = subs.iter().filter(|s| s.window.contains(obj)).collect();
             assert_eq!(hits.len(), 1, "obj {obj:#x} matched {} times", hits.len());
             let sub = hits[0];
-            assert!(!dead.contains(&sub.node), "matched on dead node {}", sub.node);
+            assert!(
+                !dead.contains(&sub.node),
+                "matched on dead node {}",
+                sub.node
+            );
             assert!(
                 ring.stores(sub.node, obj),
                 "node {} does not store {obj:#x}",
@@ -221,10 +236,13 @@ mod tests {
         ]);
         let r = RoarRing::new(map, 4);
         let plan = r.plan(0, 4);
-        let dead = vec![0usize];
+        let dead = [0usize];
         let alive = |n: NodeId| !dead.contains(&n);
         let res = reroute_plan(&r, &plan.subs, &alive);
-        assert!(matches!(res, Err(FailoverError::HarvestLoss { .. })), "{res:?}");
+        assert!(
+            matches!(res, Err(FailoverError::HarvestLoss { .. })),
+            "{res:?}"
+        );
     }
 
     #[test]
@@ -248,7 +266,10 @@ mod tests {
         let plan = r.plan(1, 2);
         let alive = |_: NodeId| false;
         let res = reroute_plan(&r, &plan.subs, &alive);
-        assert!(matches!(res, Err(FailoverError::AllNodesDead) | Err(FailoverError::HarvestLoss { .. })));
+        assert!(matches!(
+            res,
+            Err(FailoverError::AllNodesDead) | Err(FailoverError::HarvestLoss { .. })
+        ));
     }
 
     #[test]
@@ -264,7 +285,7 @@ mod tests {
     fn failed_node_not_in_rerouted_plan() {
         let r = ring(20, 4);
         let plan = r.plan(777, 4);
-        let dead = vec![plan.subs[0].node, plan.subs[3].node];
+        let dead = [plan.subs[0].node, plan.subs[3].node];
         let alive = |n: NodeId| !dead.contains(&n);
         let rerouted = reroute_plan(&r, &plan.subs, &alive).unwrap();
         for sub in &rerouted {
@@ -281,13 +302,11 @@ mod tests {
         // shared, not dumped on one neighbour
         let r = ring(24, 4); // r = 6
         let plan = r.plan(424242, 4);
-        let dead = vec![plan.subs[1].node];
+        let dead = [plan.subs[1].node];
         let alive = |n: NodeId| !dead.contains(&n);
         let rerouted = reroute_plan(&r, &plan.subs, &alive).unwrap();
-        let replacements: Vec<&SubQuery> = rerouted
-            .iter()
-            .filter(|s| !plan.subs.contains(s))
-            .collect();
+        let replacements: Vec<&SubQuery> =
+            rerouted.iter().filter(|s| !plan.subs.contains(s)).collect();
         assert_eq!(replacements.len(), 2);
         assert_ne!(replacements[0].node, replacements[1].node);
     }
@@ -326,7 +345,7 @@ mod tests {
                     // with ≤ n/4 dead and r ≥ 2 this means adjacent deaths —
                     // verify at least two dead nodes are ring-adjacent or
                     // replication is marginal
-                    prop_assert!(dead.len() >= 1);
+                    prop_assert!(!dead.is_empty());
                 }
                 Err(FailoverError::AllNodesDead) => prop_assert!(dead.len() == n),
             }

@@ -8,8 +8,8 @@
 
 use crate::multiring::MultiRing;
 use crate::placement::RoarRing;
-use crate::ringmap::{NodeId, RingMap};
 use crate::ring::RingPos;
+use crate::ringmap::{NodeId, RingMap};
 use std::collections::HashMap;
 
 /// Node state from the membership server's perspective.
@@ -62,14 +62,30 @@ impl Membership {
         let mut records = HashMap::new();
         for (ri, ring) in rings.iter().enumerate() {
             for e in ring.entries() {
-                let speed = nodes.iter().find(|&&(nd, _)| nd == e.node).expect("known").1;
+                let speed = nodes
+                    .iter()
+                    .find(|&&(nd, _)| nd == e.node)
+                    .expect("known")
+                    .1;
                 records.insert(
                     e.node,
-                    NodeRecord { ring: ri, start: e.start, state: NodeState::Up, speed, fixed: false },
+                    NodeRecord {
+                        ring: ri,
+                        start: e.start,
+                        state: NodeState::Up,
+                        speed,
+                        fixed: false,
+                    },
                 );
             }
         }
-        Membership { active: vec![true; rings.len()], rings, records, history: HashMap::new(), p }
+        Membership {
+            active: vec![true; rings.len()],
+            rings,
+            records,
+            history: HashMap::new(),
+            p,
+        }
     }
 
     pub fn p(&self) -> usize {
@@ -131,7 +147,13 @@ impl Membership {
                 map.insert(node, start);
                 self.records.insert(
                     node,
-                    NodeRecord { ring, start, state: NodeState::Loading, speed, fixed: false },
+                    NodeRecord {
+                        ring,
+                        start,
+                        state: NodeState::Loading,
+                        speed,
+                        fixed: false,
+                    },
                 );
                 return (ring, start);
             }
@@ -139,7 +161,9 @@ impl Membership {
         let ring = (0..self.rings.len())
             .filter(|&i| self.active[i])
             .min_by(|&a, &b| {
-                self.ring_capacity(a).partial_cmp(&self.ring_capacity(b)).expect("NaN cap")
+                self.ring_capacity(a)
+                    .partial_cmp(&self.ring_capacity(b))
+                    .expect("NaN cap")
             })
             .expect("at least one active ring");
         let hot = self.hottest_entry(ring);
@@ -148,8 +172,16 @@ impl Membership {
         map.insert_half(node, hot);
         debug_assert_eq!(map.len(), before + 1);
         let start = map.range_of(node).expect("just inserted").0;
-        self.records
-            .insert(node, NodeRecord { ring, start, state: NodeState::Loading, speed, fixed: false });
+        self.records.insert(
+            node,
+            NodeRecord {
+                ring,
+                start,
+                state: NodeState::Loading,
+                speed,
+                fixed: false,
+            },
+        );
         (ring, start)
     }
 
@@ -166,7 +198,9 @@ impl Membership {
     /// its range merges into the predecessor and its assignment is
     /// remembered for a possible return.
     pub fn remove_node(&mut self, node: NodeId) {
-        let Some(rec) = self.records.get(&node).copied() else { return };
+        let Some(rec) = self.records.get(&node).copied() else {
+            return;
+        };
         self.history.insert(node, (rec.ring, rec.start));
         self.rings[rec.ring].remove(node);
         if let Some(r) = self.records.get_mut(&node) {
@@ -239,8 +273,16 @@ impl Membership {
         let hot_after = self.hottest_entry(ring);
         self.rings[ring].insert_half(node, hot_after);
         let start = self.rings[ring].range_of(node).expect("inserted").0;
-        self.records
-            .insert(node, NodeRecord { ring, start, state: NodeState::Loading, speed, fixed: false });
+        self.records.insert(
+            node,
+            NodeRecord {
+                ring,
+                start,
+                state: NodeState::Loading,
+                speed,
+                fixed: false,
+            },
+        );
         Some(node)
     }
 }

@@ -40,13 +40,20 @@ impl MultiRing {
         let total = all.len();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), total, "a node may belong to only one ring (§4.7)");
+        assert_eq!(
+            all.len(),
+            total,
+            "a node may belong to only one ring (§4.7)"
+        );
         MultiRing { rings }
     }
 
     /// Split `nodes` round-robin into `k` rings with equal partitioning `p`.
     pub fn split_uniform(nodes: &[NodeId], k: usize, p: usize) -> Self {
-        assert!(k >= 1 && nodes.len() >= k, "need at least one node per ring");
+        assert!(
+            k >= 1 && nodes.len() >= k,
+            "need at least one node per ring"
+        );
         let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); k];
         for (i, &nd) in nodes.iter().enumerate() {
             groups[i % k].push(nd);
@@ -118,7 +125,12 @@ impl MultiRing {
         // cur[slot][ring] = entry index in that ring
         let mut cur: Vec<Vec<usize>> = pts0
             .iter()
-            .map(|&pt| self.rings.iter().map(|r| r.map().idx_in_charge(pt)).collect())
+            .map(|&pt| {
+                self.rings
+                    .iter()
+                    .map(|r| r.map().idx_in_charge(pt))
+                    .collect()
+            })
             .collect();
         // candidate finish per (slot, ring); slot finish = min over rings
         let mut cand: Vec<Vec<f64>> = cur
@@ -134,7 +146,10 @@ impl MultiRing {
             |cand: &Vec<Vec<f64>>, i: usize| cand[i].iter().cloned().fold(f64::MAX, f64::min);
         let mut finish: Vec<f64> = (0..pq).map(|i| slot_finish(&cand, i)).collect();
         let mut delay_q = finish.iter().cloned().fold(f64::MIN, f64::max);
-        let mut best = SchedDecision { start_id: seed, predicted: delay_q };
+        let mut best = SchedDecision {
+            start_id: seed,
+            predicted: delay_q,
+        };
 
         let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
         for i in 0..pq {
@@ -180,7 +195,10 @@ impl MultiRing {
                 }
             }
             if delay_q < best.predicted {
-                best = SchedDecision { start_id: seed.wrapping_add(d), predicted: delay_q };
+                best = SchedDecision {
+                    start_id: seed.wrapping_add(d),
+                    predicted: delay_q,
+                };
             }
         }
         best
@@ -202,12 +220,24 @@ impl MultiRing {
                     .iter()
                     .map(|r| r.map().in_charge(point))
                     .min_by(|&a, &b| {
-                        let fa = if est.alive(a) { est.estimate(a, work) } else { f64::INFINITY };
-                        let fb = if est.alive(b) { est.estimate(b, work) } else { f64::INFINITY };
+                        let fa = if est.alive(a) {
+                            est.estimate(a, work)
+                        } else {
+                            f64::INFINITY
+                        };
+                        let fb = if est.alive(b) {
+                            est.estimate(b, work)
+                        } else {
+                            f64::INFINITY
+                        };
                         fa.partial_cmp(&fb).expect("NaN estimate")
                     })
                     .expect("at least one ring");
-                SubQuery { point, window, node }
+                SubQuery {
+                    point,
+                    window,
+                    node,
+                }
             })
             .collect();
         QueryPlan { subs, pq }
@@ -239,15 +269,27 @@ impl QueryScheduler for MultiRingScheduler {
     fn choices(&self) -> u64 {
         // r · 2^(p−1) (§4.7), saturating
         let r = (self.mr.n() / self.mr.p()).max(1) as u64;
-        r.saturating_mul(1u64.checked_shl((self.mr.p() as u32 - 1).min(63)).unwrap_or(u64::MAX))
+        r.saturating_mul(
+            1u64.checked_shl((self.mr.p() as u32 - 1).min(63))
+                .unwrap_or(u64::MAX),
+        )
     }
 
     fn schedule(&self, est: &dyn FinishEstimator, seed: u64) -> Assignment {
         let dec = self.mr.schedule_sweep(self.pq, est, seed);
         let plan = self.mr.plan(dec.start_id, self.pq, est);
-        let tasks =
-            plan.subs.iter().map(|s| Task { server: s.node, work: s.work() }).collect();
-        Assignment { tasks, predicted_finish: dec.predicted }
+        let tasks = plan
+            .subs
+            .iter()
+            .map(|s| Task {
+                server: s.node,
+                work: s.work(),
+            })
+            .collect();
+        Assignment {
+            tasks,
+            predicted_finish: dec.predicted,
+        }
     }
 }
 
@@ -287,10 +329,17 @@ mod tests {
             let plan = m.plan(rng.gen(), 3, &est);
             for _ in 0..300 {
                 let obj: u64 = rng.gen();
-                let hits: Vec<&SubQuery> =
-                    plan.subs.iter().filter(|s| s.window.contains(obj)).collect();
+                let hits: Vec<&SubQuery> = plan
+                    .subs
+                    .iter()
+                    .filter(|s| s.window.contains(obj))
+                    .collect();
                 assert_eq!(hits.len(), 1);
-                assert!(m.stores(hits[0].node, obj), "node {} obj {obj:#x}", hits[0].node);
+                assert!(
+                    m.stores(hits[0].node, obj),
+                    "node {} obj {obj:#x}",
+                    hits[0].node
+                );
             }
         }
     }
@@ -301,8 +350,7 @@ mod tests {
         let n = 16;
         let p = 4;
         let mut rng = det_rng(73);
-        let speeds: Vec<f64> =
-            (0..n).map(|i| if i % 3 == 0 { 4.0 } else { 1.0 }).collect();
+        let speeds: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 4.0 } else { 1.0 }).collect();
         let est = StaticEstimator::with_speeds(speeds);
         let single = crate::placement::RoarRing::new(
             crate::ringmap::RingMap::uniform(&(0..n).collect::<Vec<_>>()),

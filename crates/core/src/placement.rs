@@ -120,7 +120,9 @@ impl RoarRing {
     /// Does `node` store `obj` under the current placement?
     pub fn stores(&self, node: NodeId, obj: RingPos) -> bool {
         // node stores obj iff obj ∈ coverage = (start − L, end − 1]
-        let Some((s, e)) = self.map.range_of(node) else { return false };
+        let Some((s, e)) = self.map.range_of(node) else {
+            return false;
+        };
         if self.n() == 1 || self.p == 1 {
             return true;
         }
@@ -145,7 +147,11 @@ impl RoarRing {
         let subs = points
             .iter()
             .zip(windows)
-            .map(|(&point, window)| SubQuery { point, window, node: self.map.in_charge(point) })
+            .map(|(&point, window)| SubQuery {
+                point,
+                window,
+                node: self.map.in_charge(point),
+            })
             .collect();
         QueryPlan { subs, pq }
     }
@@ -162,7 +168,9 @@ impl RoarRing {
         if self.n() == 1 || self.p == 1 {
             return self.map.range_of(node).is_some();
         }
-        let Some((s, e)) = self.map.range_of(node) else { return false };
+        let Some((s, e)) = self.map.range_of(node) else {
+            return false;
+        };
         let coverage = Window::new(s.wrapping_sub(self.l()), e.wrapping_sub(1));
         window.subset_of(&coverage)
     }

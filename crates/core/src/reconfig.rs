@@ -41,7 +41,11 @@ pub enum ConfirmOutcome {
 impl Reconfig {
     pub fn new(p: usize) -> Self {
         assert!(p >= 1);
-        Reconfig { committed_p: p, target_p: None, pending: BTreeSet::new() }
+        Reconfig {
+            committed_p: p,
+            target_p: None,
+            pending: BTreeSet::new(),
+        }
     }
 
     /// The committed partitioning level.

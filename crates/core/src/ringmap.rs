@@ -49,7 +49,10 @@ impl RingMap {
         nodes.dedup();
         assert_eq!(nodes.len(), pairs.len(), "a node may own only one range");
         RingMap {
-            entries: pairs.into_iter().map(|(start, node)| RingEntry { start, node }).collect(),
+            entries: pairs
+                .into_iter()
+                .map(|(start, node)| RingEntry { start, node })
+                .collect(),
         }
     }
 
@@ -147,7 +150,9 @@ impl RingMap {
 
     /// Per-node fraction map in entry order.
     pub fn fractions(&self) -> Vec<(NodeId, f64)> {
-        (0..self.entries.len()).map(|i| (self.entries[i].node, self.fraction_at(i))).collect()
+        (0..self.entries.len())
+            .map(|i| (self.entries[i].node, self.fraction_at(i)))
+            .collect()
     }
 
     /// Entry index cyclically after `i`.
@@ -206,7 +211,10 @@ impl RingMap {
     /// start must remain strictly between the predecessor's start and this
     /// entry's range end.
     pub fn set_start(&mut self, i: usize, new_start: RingPos) {
-        assert!(self.entries.len() >= 2, "boundary moves need at least two nodes");
+        assert!(
+            self.entries.len() >= 2,
+            "boundary moves need at least two nodes"
+        );
         let prev = self.prev_idx(i);
         let (_, end) = self.range_at(i);
         let prev_start = self.entries[prev].start;
@@ -259,11 +267,12 @@ impl RingMap {
         nodes.dedup();
         assert_eq!(nodes.len(), self.entries.len(), "duplicate node");
         if self.entries.len() > 1 {
-            let total: u128 =
-                (0..self.entries.len()).map(|i| {
+            let total: u128 = (0..self.entries.len())
+                .map(|i| {
                     let (s, e) = self.range_at(i);
                     dist_cw(s, e) as u128
-                }).sum();
+                })
+                .sum();
             assert_eq!(total, FULL, "ranges must tile the ring exactly");
         }
     }

@@ -56,11 +56,16 @@ pub fn schedule_sweep(
     // base points at id = 0 (offset by the caller's seed)
     let pts0 = query_points(seed, pq);
     let mut cur: Vec<usize> = pts0.iter().map(|&p| map.idx_in_charge(p)).collect();
-    let mut finish: Vec<f64> =
-        cur.iter().map(|&c| finish_of(est, map.entries()[c].node, work)).collect();
+    let mut finish: Vec<f64> = cur
+        .iter()
+        .map(|&c| finish_of(est, map.entries()[c].node, work))
+        .collect();
     let mut delay_q = finish.iter().cloned().fold(f64::MIN, f64::max);
 
-    let mut best = SchedDecision { start_id: seed, predicted: delay_q };
+    let mut best = SchedDecision {
+        start_id: seed,
+        predicted: delay_q,
+    };
 
     if n == 1 {
         return best; // single node: one configuration
@@ -104,7 +109,10 @@ pub fn schedule_sweep(
             }
         }
         if delay_q < best.predicted {
-            best = SchedDecision { start_id: seed.wrapping_add(d), predicted: delay_q };
+            best = SchedDecision {
+                start_id: seed.wrapping_add(d),
+                predicted: delay_q,
+            };
         }
     }
     best
@@ -137,7 +145,10 @@ pub fn schedule_exhaustive(
     candidates.sort_unstable();
     candidates.dedup();
 
-    let mut best = SchedDecision { start_id: seed, predicted: f64::INFINITY };
+    let mut best = SchedDecision {
+        start_id: seed,
+        predicted: f64::INFINITY,
+    };
     for off in candidates {
         let mut worst = f64::MIN;
         for &pt in &pts0 {
@@ -145,7 +156,10 @@ pub fn schedule_exhaustive(
             worst = worst.max(finish_of(est, node, work));
         }
         if worst < best.predicted {
-            best = SchedDecision { start_id: seed.wrapping_add(off), predicted: worst };
+            best = SchedDecision {
+                start_id: seed.wrapping_add(off),
+                predicted: worst,
+            };
         }
     }
     best
@@ -162,11 +176,16 @@ pub fn schedule_random_starts(
     assert!(k >= 1);
     let map = ring.map();
     let work = 1.0 / pq as f64;
-    let mut best = SchedDecision { start_id: 0, predicted: f64::INFINITY };
+    let mut best = SchedDecision {
+        start_id: 0,
+        predicted: f64::INFINITY,
+    };
     let mut state = seed | 1;
     for _ in 0..k {
         // splitmix-style id generation (no RNG object needed)
-        state = state.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+        state = state
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(0xD1B54A32D192ED03);
         let id = state ^ (state >> 29);
         let mut worst = f64::MIN;
         for &pt in &query_points(id, pq) {
@@ -174,7 +193,10 @@ pub fn schedule_random_starts(
             worst = worst.max(finish_of(est, node, work));
         }
         if worst < best.predicted {
-            best = SchedDecision { start_id: id, predicted: worst };
+            best = SchedDecision {
+                start_id: id,
+                predicted: worst,
+            };
         }
     }
     best
@@ -215,9 +237,7 @@ impl RoarScheduler {
         let dec = match self.strategy {
             Strategy::Sweep => schedule_sweep(&self.ring, self.pq, est, seed),
             Strategy::Exhaustive => schedule_exhaustive(&self.ring, self.pq, est, seed),
-            Strategy::RandomStarts(k) => {
-                schedule_random_starts(&self.ring, self.pq, est, seed, k)
-            }
+            Strategy::RandomStarts(k) => schedule_random_starts(&self.ring, self.pq, est, seed, k),
         };
         (self.ring.plan(dec.start_id, self.pq), dec)
     }
@@ -248,9 +268,18 @@ impl QueryScheduler for RoarScheduler {
 
     fn schedule(&self, est: &dyn FinishEstimator, seed: u64) -> Assignment {
         let (plan, dec) = self.schedule_with_plan(est, seed);
-        let tasks =
-            plan.subs.iter().map(|s| Task { server: s.node, work: s.work() }).collect();
-        Assignment { tasks, predicted_finish: dec.predicted }
+        let tasks = plan
+            .subs
+            .iter()
+            .map(|s| Task {
+                server: s.node,
+                work: s.work(),
+            })
+            .collect();
+        Assignment {
+            tasks,
+            predicted_finish: dec.predicted,
+        }
     }
 }
 
@@ -259,9 +288,9 @@ mod tests {
     use super::*;
     use crate::ringmap::RingMap;
     use proptest::prelude::*;
+    use rand::Rng;
     use roar_dr::sched::StaticEstimator;
     use roar_util::det_rng;
-    use rand::Rng;
 
     fn ring(n: usize, p: usize) -> RoarRing {
         RoarRing::new(RingMap::uniform(&(0..n).collect::<Vec<_>>()), p)
@@ -298,7 +327,10 @@ mod tests {
             let pq = p + rng.gen_range(0..3);
             let a = schedule_sweep(&r, pq, &est, seed);
             let b = schedule_exhaustive(&r, pq, &est, seed);
-            assert_eq!(a.predicted, b.predicted, "trial {trial}: n={n} p={p} pq={pq}");
+            assert_eq!(
+                a.predicted, b.predicted,
+                "trial {trial}: n={n} p={p} pq={pq}"
+            );
         }
     }
 

@@ -69,8 +69,19 @@ pub fn split_slowest(
         if lf.max(rf) >= slow_finish {
             return current; // no improvement possible — stop splitting
         }
-        plan.subs[slow_idx] = SubQuery { point: right.end, window: right, node: rn };
-        plan.subs.insert(slow_idx, SubQuery { point: left.end, window: left, node: ln });
+        plan.subs[slow_idx] = SubQuery {
+            point: right.end,
+            window: right,
+            node: rn,
+        };
+        plan.subs.insert(
+            slow_idx,
+            SubQuery {
+                point: left.end,
+                window: left,
+                node: ln,
+            },
+        );
         let new = plan_makespan(plan, est);
         if new >= current {
             return current;
@@ -102,7 +113,10 @@ mod tests {
         let half_cands = candidate_executors(&r, &a);
         // §4.8.2: half-size sub-queries can be run by ~r servers, more than
         // the full-size window's executors
-        assert!(half_cands.len() > full_cands.len(), "{half_cands:?} vs {full_cands:?}");
+        assert!(
+            half_cands.len() > full_cands.len(),
+            "{half_cands:?} vs {full_cands:?}"
+        );
         assert!(half_cands.len() >= 3);
         let _ = b;
     }
@@ -138,8 +152,11 @@ mod tests {
             assert_eq!(total, crate::ring::FULL, "trial {trial}");
             for _ in 0..400 {
                 let obj: u64 = rng.gen();
-                let hits: Vec<&SubQuery> =
-                    plan.subs.iter().filter(|s| s.window.contains(obj)).collect();
+                let hits: Vec<&SubQuery> = plan
+                    .subs
+                    .iter()
+                    .filter(|s| s.window.contains(obj))
+                    .collect();
                 assert_eq!(hits.len(), 1, "trial {trial}");
                 assert!(r.stores(hits[0].node, obj), "trial {trial}");
             }

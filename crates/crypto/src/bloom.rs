@@ -51,7 +51,10 @@ pub struct BloomFilter {
 impl BloomFilter {
     pub fn new(n_bits: usize) -> Self {
         assert!(n_bits > 0, "empty filter");
-        BloomFilter { bits: vec![0u64; n_bits.div_ceil(64)], n_bits }
+        BloomFilter {
+            bits: vec![0u64; n_bits.div_ceil(64)],
+            n_bits,
+        }
     }
 
     pub fn n_bits(&self) -> usize {
@@ -113,7 +116,10 @@ mod tests {
         let p = BloomParams::for_fp_rate(50, 1e-5);
         assert_eq!(p.hashes, 17, "paper says 17 hash functions");
         let bits_per_elem = p.bits as f64 / 50.0;
-        assert!((23.0..26.0).contains(&bits_per_elem), "bits/elem = {bits_per_elem}");
+        assert!(
+            (23.0..26.0).contains(&bits_per_elem),
+            "bits/elem = {bits_per_elem}"
+        );
     }
 
     #[test]
@@ -199,7 +205,10 @@ mod tests {
         let bytes = f.to_bytes();
         let g = BloomFilter::from_bytes(&bytes, 300).unwrap();
         assert_eq!(f, g);
-        assert!(BloomFilter::from_bytes(&bytes, 301).is_none() || 301usize.div_ceil(64) == 300usize.div_ceil(64));
+        assert!(
+            BloomFilter::from_bytes(&bytes, 301).is_none()
+                || 301usize.div_ceil(64) == 300usize.div_ceil(64)
+        );
         assert!(BloomFilter::from_bytes(&bytes[1..], 300).is_none());
     }
 

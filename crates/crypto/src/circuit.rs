@@ -113,12 +113,19 @@ pub struct CircuitBuilder {
 impl CircuitBuilder {
     pub fn new(n_inputs: usize) -> Self {
         assert!(n_inputs > 0, "a predicate needs at least one input bit");
-        CircuitBuilder { n_inputs, gates: Vec::new() }
+        CircuitBuilder {
+            n_inputs,
+            gates: Vec::new(),
+        }
     }
 
     /// Input bit `i` as a node.
     pub fn input(&self, i: usize) -> Node {
-        assert!(i < self.n_inputs, "input {i} out of range {}", self.n_inputs);
+        assert!(
+            i < self.n_inputs,
+            "input {i} out of range {}",
+            self.n_inputs
+        );
         Node::Wire(i)
     }
 
@@ -130,18 +137,43 @@ impl CircuitBuilder {
     /// Generic binary gate with folding. `table` is a [`tt`] truth table.
     pub fn gate(&mut self, a: Node, b: Node, table: u8) -> Node {
         match (a, b) {
-            (Node::Const(va), Node::Const(vb)) => {
-                Node::Const(Gate { a: 0, b: 0, tt: table }.eval(va, vb))
-            }
+            (Node::Const(va), Node::Const(vb)) => Node::Const(
+                Gate {
+                    a: 0,
+                    b: 0,
+                    tt: table,
+                }
+                .eval(va, vb),
+            ),
             (Node::Const(va), Node::Wire(wb)) => {
                 // restrict to a single-input function of b
-                let out0 = Gate { a: 0, b: 0, tt: table }.eval(va, false);
-                let out1 = Gate { a: 0, b: 0, tt: table }.eval(va, true);
+                let out0 = Gate {
+                    a: 0,
+                    b: 0,
+                    tt: table,
+                }
+                .eval(va, false);
+                let out1 = Gate {
+                    a: 0,
+                    b: 0,
+                    tt: table,
+                }
+                .eval(va, true);
                 self.unary(wb, out0, out1)
             }
             (Node::Wire(wa), Node::Const(vb)) => {
-                let out0 = Gate { a: 0, b: 0, tt: table }.eval(false, vb);
-                let out1 = Gate { a: 0, b: 0, tt: table }.eval(true, vb);
+                let out0 = Gate {
+                    a: 0,
+                    b: 0,
+                    tt: table,
+                }
+                .eval(false, vb);
+                let out1 = Gate {
+                    a: 0,
+                    b: 0,
+                    tt: table,
+                }
+                .eval(true, vb);
                 self.unary(wa, out0, out1)
             }
             (Node::Wire(wa), Node::Wire(wb)) => self.push(wa, wb, table),
@@ -222,7 +254,11 @@ impl CircuitBuilder {
                 }
             }
         };
-        Circuit { n_inputs: self.n_inputs, gates: self.gates, output }
+        Circuit {
+            n_inputs: self.n_inputs,
+            gates: self.gates,
+            output,
+        }
     }
 }
 
@@ -238,7 +274,7 @@ impl CircuitBuilder {
 /// predicates in one circuit — what `roar-pps::generic` does) and a
 /// standalone constructor building a whole single-field [`Circuit`].
 pub mod predicates {
-    use super::{CircuitBuilder, Circuit, Node};
+    use super::{Circuit, CircuitBuilder, Node};
 
     /// Bits of `value` MSB-first at width `bits`.
     fn const_bits(value: u64, bits: usize) -> Vec<bool> {
@@ -313,9 +349,14 @@ pub mod predicates {
         slot_bits: usize,
         word: u64,
     ) -> Node {
-        assert!(slot_bits > 0 && xs.len() % slot_bits == 0, "ragged slots");
-        let hits: Vec<Node> =
-            xs.chunks(slot_bits).map(|slot| eq_bits(b, slot, word)).collect();
+        assert!(
+            slot_bits > 0 && xs.len().is_multiple_of(slot_bits),
+            "ragged slots"
+        );
+        let hits: Vec<Node> = xs
+            .chunks(slot_bits)
+            .map(|slot| eq_bits(b, slot, word))
+            .collect();
         b.or_all(&hits)
     }
 
@@ -375,7 +416,11 @@ pub mod predicates {
 
     /// Encode keyword slots (unused slots must hold a reserved value, e.g. 0).
     pub fn encode_slots(words: &[u64], slots: usize, slot_bits: usize) -> Vec<bool> {
-        assert!(words.len() <= slots, "{} words exceed {slots} slots", words.len());
+        assert!(
+            words.len() <= slots,
+            "{} words exceed {slots} slots",
+            words.len()
+        );
         let mut out = Vec::with_capacity(slots * slot_bits);
         for s in 0..slots {
             let v = words.get(s).copied().unwrap_or(0);
@@ -387,15 +432,23 @@ pub mod predicates {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::predicates::*;
+    use super::*;
 
     #[test]
     fn gate_truth_tables() {
-        let and = Gate { a: 0, b: 1, tt: tt::AND };
+        let and = Gate {
+            a: 0,
+            b: 1,
+            tt: tt::AND,
+        };
         assert!(!and.eval(false, false) && !and.eval(false, true));
         assert!(!and.eval(true, false) && and.eval(true, true));
-        let xor = Gate { a: 0, b: 1, tt: tt::XOR };
+        let xor = Gate {
+            a: 0,
+            b: 1,
+            tt: tt::XOR,
+        };
         assert!(xor.eval(true, false) && xor.eval(false, true));
         assert!(!xor.eval(true, true) && !xor.eval(false, false));
     }
@@ -464,7 +517,11 @@ mod tests {
         for (lo, hi) in [(0u64, 63u64), (5, 5), (10, 20), (0, 0), (63, 63), (31, 40)] {
             let c = range(6, lo, hi);
             for v in 0..64u64 {
-                assert_eq!(c.eval(&encode_uint(v, 6)), (lo..=hi).contains(&v), "v={v} in {lo}..={hi}");
+                assert_eq!(
+                    c.eval(&encode_uint(v, 6)),
+                    (lo..=hi).contains(&v),
+                    "v={v} in {lo}..={hi}"
+                );
             }
         }
     }
@@ -492,7 +549,10 @@ mod tests {
     fn gate_count_scales_linearly_with_width() {
         let g8 = eq_const(8, 77).n_gates();
         let g32 = eq_const(32, 77).n_gates();
-        assert!(g32 > 3 * g8, "wider equality needs proportionally more gates");
+        assert!(
+            g32 > 3 * g8,
+            "wider equality needs proportionally more gates"
+        );
         // the thesis's size claim: query ∝ gates
         assert!(g32 < 100, "32-bit equality stays small: {g32}");
     }

@@ -81,7 +81,10 @@ pub struct Garbler {
 impl Garbler {
     pub fn new(key: &[u8]) -> Self {
         let root = HmacPrf::new(key);
-        Garbler { input_prf: root.derive(b"garble-input"), wire_prf: root.derive(b"garble-wire") }
+        Garbler {
+            input_prf: root.derive(b"garble-input"),
+            wire_prf: root.derive(b"garble-wire"),
+        }
     }
 
     /// The label encoding input bit `i` carrying value `bit`.
@@ -91,21 +94,28 @@ impl Garbler {
     /// select bit alone does not reveal the value.
     pub fn input_label(&self, i: usize, bit: bool) -> WireLabel {
         let perm = self.input_prf.eval(&encode(&[b"perm", &i.to_be_bytes()]))[0] & 1 == 1;
-        let d = self.input_prf.eval(&encode(&[b"in", &i.to_be_bytes(), &[bit as u8]]));
+        let d = self
+            .input_prf
+            .eval(&encode(&[b"in", &i.to_be_bytes(), &[bit as u8]]));
         WireLabel::from_digest(d, perm ^ bit)
     }
 
     /// Encode a full metadata bit-string as its input labels — this *is*
     /// `EncryptMetadata` for the generic scheme.
     pub fn encode_inputs(&self, bits: &[bool]) -> Vec<WireLabel> {
-        bits.iter().enumerate().map(|(i, &b)| self.input_label(i, b)).collect()
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| self.input_label(i, b))
+            .collect()
     }
 
     fn internal_label(&self, query_id: u64, w: Wire, bit: bool) -> WireLabel {
         let qb = query_id.to_be_bytes();
         let wb = w.to_be_bytes();
         let perm = self.wire_prf.eval(&encode(&[b"perm", &qb, &wb]))[0] & 1 == 1;
-        let d = self.wire_prf.eval(&encode(&[b"lab", &qb, &wb, &[bit as u8]]));
+        let d = self
+            .wire_prf
+            .eval(&encode(&[b"lab", &qb, &wb, &[bit as u8]]));
         WireLabel::from_digest(d, perm ^ bit)
     }
 
@@ -160,7 +170,12 @@ fn row_pad(ka: &WireLabel, kb: &WireLabel, query_id: u64, gate: usize, row: usiz
     let mut key = [0u8; 32];
     key[..16].copy_from_slice(&ka.0);
     key[16..].copy_from_slice(&kb.0);
-    let msg = encode(&[b"row", &query_id.to_be_bytes(), &gate.to_be_bytes(), &[row as u8]]);
+    let msg = encode(&[
+        b"row",
+        &query_id.to_be_bytes(),
+        &gate.to_be_bytes(),
+        &[row as u8],
+    ]);
     let d = hmac_sha1(&key, &msg);
     let mut pad = [0u8; 16];
     pad.copy_from_slice(&d[..16]);
@@ -259,7 +274,11 @@ mod tests {
     #[test]
     fn single_gate_all_inputs() {
         let g = Garbler::new(b"k");
-        for table in [crate::circuit::tt::AND, crate::circuit::tt::OR, crate::circuit::tt::XOR] {
+        for table in [
+            crate::circuit::tt::AND,
+            crate::circuit::tt::OR,
+            crate::circuit::tt::XOR,
+        ] {
             let mut b = CircuitBuilder::new(2);
             let x = b.input(0);
             let y = b.input(1);
@@ -319,7 +338,9 @@ mod tests {
     fn select_bits_do_not_reveal_values() {
         // across positions, the select bit of the "1" label should be ~50/50
         let g = Garbler::new(b"another-key");
-        let ones = (0..256).filter(|&i| g.input_label(i, true).select()).count();
+        let ones = (0..256)
+            .filter(|&i| g.input_label(i, true).select())
+            .count();
         assert!((64..192).contains(&ones), "select-bit bias: {ones}/256");
     }
 
@@ -340,7 +361,11 @@ mod tests {
         let c = predicates::eq_const(8, 5);
         let gq = g.garble(&c, 9);
         let forged = forger.encode_inputs(&predicates::encode_uint(5, 8));
-        assert_eq!(gq.evaluate(&forged), Err(GarbleError), "metadata unforgeability");
+        assert_eq!(
+            gq.evaluate(&forged),
+            Err(GarbleError),
+            "metadata unforgeability"
+        );
     }
 
     #[test]
@@ -370,10 +395,8 @@ mod tests {
         let g = Garbler::new(b"k");
         let small = g.garble(&predicates::eq_const(8, 1), 1);
         let large = g.garble(&predicates::eq_const(64, 1), 1);
-        let per_gate_small =
-            (small.size_bytes() - 64) as f64 / small.n_gates() as f64;
-        let per_gate_large =
-            (large.size_bytes() - 64) as f64 / large.n_gates() as f64;
+        let per_gate_small = (small.size_bytes() - 64) as f64 / small.n_gates() as f64;
+        let per_gate_large = (large.size_bytes() - 64) as f64 / large.n_gates() as f64;
         assert_eq!(per_gate_small, per_gate_large, "constant bytes per gate");
         assert_eq!(per_gate_small, 80.0);
     }

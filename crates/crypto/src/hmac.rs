@@ -3,12 +3,33 @@
 //! The thesis writes `F_K(x)` for a pseudorandom function keyed by `K`
 //! (§5.4.1); HMAC over SHA-1 is the standard realisation and is verified
 //! here against the RFC 2202 test vectors.
+//!
+//! Two implementations of the same function:
+//!
+//! * [`hmac_sha1`] — the reference one-shot path: rebuilds the 64-byte key
+//!   block and hashes both pads from scratch on every call (4 compression
+//!   invocations for a short message, plus key-block setup).
+//! * [`HmacKey`] — the hot path. The inner (`K ⊕ ipad`) and outer
+//!   (`K ⊕ opad`) pad blocks depend only on the key, so their SHA-1
+//!   midstates are computed **once per key**; each subsequent MAC of a
+//!   short (≤ 55 byte) message then costs exactly **2** compression
+//!   invocations and zero heap allocation. This is the §5.7 lever: PPS
+//!   matching throughput is bounded by PRF work, and halving the
+//!   compressions per probe halves the per-record cost.
+//!
+//! The two paths are bit-identical by construction and by test
+//! (RFC 2202 vectors run against both; `tests/hmac_equivalence.rs` adds
+//! randomized cross-checks including block-boundary and > 64-byte keys).
 
-use crate::sha1::{sha1, Sha1};
+use crate::sha1::{compress_block, sha1, Sha1};
 
 const BLOCK: usize = 64;
 
 /// Compute HMAC-SHA1 of `msg` under `key`. Returns the 20-byte MAC.
+///
+/// Reference implementation — kept deliberately simple and allocation-free,
+/// but without midstate caching; use [`HmacKey`] when evaluating many
+/// messages under one key.
 pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; 20] {
     let mut k = [0u8; BLOCK];
     if key.len() > BLOCK {
@@ -32,6 +53,124 @@ pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; 20] {
     outer.finalize()
 }
 
+/// An HMAC-SHA1 key with precomputed inner/outer SHA-1 midstates.
+///
+/// Construction hashes the `K ⊕ ipad` and `K ⊕ opad` blocks once (2
+/// compressions); every [`mac`](Self::mac) of a ≤ 55-byte message after
+/// that costs 2 compressions — half the reference path — with no heap
+/// allocation anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmacKey {
+    inner_mid: [u32; 5],
+    outer_mid: [u32; 5],
+}
+
+impl HmacKey {
+    /// Derive the midstates for `key` (any length; longer than 64 bytes is
+    /// pre-hashed per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            k[..20].copy_from_slice(&sha1(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad);
+        let mut outer = Sha1::new();
+        outer.update(&opad);
+        HmacKey {
+            inner_mid: inner.midstate(),
+            outer_mid: outer.midstate(),
+        }
+    }
+
+    /// Inner+outer state evaluation: exactly 2 [`compress_block`] calls for
+    /// messages that fit one padded block (≤ 55 bytes — every PPS codeword
+    /// probe), with the final block assembled in place; longer messages
+    /// fall back to the streaming hasher. Returns the outer chaining value
+    /// (the digest as words).
+    #[inline]
+    fn mac_state(&self, msg: &[u8]) -> [u32; 5] {
+        let mut inner = self.inner_mid;
+        if msg.len() <= 55 {
+            // single final block: msg ‖ 0x80 ‖ zeros ‖ bitlen(64 + |msg|)
+            let mut block = [0u8; BLOCK];
+            block[..msg.len()].copy_from_slice(msg);
+            block[msg.len()] = 0x80;
+            let bit_len = ((BLOCK + msg.len()) as u64) * 8;
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+            compress_block(&mut inner, &block);
+        } else {
+            let mut h = Sha1::from_midstate(self.inner_mid, BLOCK as u64);
+            h.update(msg);
+            let digest = h.finalize();
+            for (w, chunk) in inner.iter_mut().zip(digest.chunks_exact(4)) {
+                *w = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+            }
+        }
+        // outer final block: digest(20) ‖ 0x80 ‖ zeros ‖ bitlen(64 + 20)
+        let mut block = [0u8; BLOCK];
+        for (i, w) in inner.iter().enumerate() {
+            block[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        block[20] = 0x80;
+        block[56..].copy_from_slice(&(((BLOCK + 20) as u64) * 8).to_be_bytes());
+        let mut outer = self.outer_mid;
+        compress_block(&mut outer, &block);
+        outer
+    }
+
+    /// MAC one message from the cached midstates.
+    #[inline]
+    pub fn mac(&self, msg: &[u8]) -> [u8; 20] {
+        let state = self.mac_state(msg);
+        let mut out = [0u8; 20];
+        for (i, w) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// MAC truncated to a big-endian `u64` prefix — the form the Bloom
+    /// codeword probes consume. Identical to
+    /// `u64::from_be_bytes(mac(msg)[..8])` without materialising the
+    /// 20-byte digest.
+    #[inline]
+    pub fn mac_u64(&self, msg: &[u8]) -> u64 {
+        let state = self.mac_state(msg);
+        ((state[0] as u64) << 32) | state[1] as u64
+    }
+
+    /// Batch entry point: MAC `msgs.len()` messages under this key into
+    /// `out`, allocation-free.
+    ///
+    /// # Panics
+    /// Panics when `out` is shorter than `msgs`.
+    pub fn mac_batch(&self, msgs: &[&[u8]], out: &mut [[u8; 20]]) {
+        assert!(out.len() >= msgs.len(), "output buffer too small");
+        for (msg, slot) in msgs.iter().zip(out.iter_mut()) {
+            *slot = self.mac(msg);
+        }
+    }
+}
+
+/// Free-function form of the batch API: HMAC-SHA1 of every message in
+/// `msgs` under one precomputed key, written into `out`, zero heap
+/// allocation. The matching pipeline itself consumes keys one probe at a
+/// time via [`HmacKey::mac_u64`] (it short-circuits mid-trapdoor); this
+/// entry point serves bulk callers — metadata encryption, external tools —
+/// and the equivalence test suite.
+pub fn hmac_sha1_batch(key: &HmacKey, msgs: &[&[u8]], out: &mut [[u8; 20]]) {
+    key.mac_batch(msgs, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,34 +179,55 @@ mod tests {
         d.iter().map(|b| format!("{b:02x}")).collect()
     }
 
-    // RFC 2202 test cases
+    /// Run one vector against both the reference and the midstate path.
+    fn check(key: &[u8], msg: &[u8], want_hex: &str) {
+        assert_eq!(hex(&hmac_sha1(key, msg)), want_hex, "reference path");
+        assert_eq!(hex(&HmacKey::new(key).mac(msg)), want_hex, "midstate path");
+    }
+
+    // RFC 2202 test cases — each asserted against BOTH implementations
     #[test]
     fn rfc2202_case1() {
-        let key = [0x0b; 20];
-        assert_eq!(hex(&hmac_sha1(&key, b"Hi There")), "b617318655057264e28bc0b6fb378c8ef146be00");
+        check(
+            &[0x0b; 20],
+            b"Hi There",
+            "b617318655057264e28bc0b6fb378c8ef146be00",
+        );
     }
 
     #[test]
     fn rfc2202_case2() {
-        assert_eq!(
-            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
-            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        check(
+            b"Jefe",
+            b"what do ya want for nothing?",
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
         );
     }
 
     #[test]
     fn rfc2202_case3() {
-        let key = [0xaa; 20];
-        let msg = [0xdd; 50];
-        assert_eq!(hex(&hmac_sha1(&key, &msg)), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+        check(
+            &[0xaa; 20],
+            &[0xdd; 50],
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3",
+        );
     }
 
     #[test]
     fn rfc2202_case6_long_key() {
-        let key = [0xaa; 80];
-        assert_eq!(
-            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
-            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        check(
+            &[0xaa; 80],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112",
+        );
+    }
+
+    #[test]
+    fn rfc2202_case7_long_key_long_data() {
+        check(
+            &[0xaa; 80],
+            b"Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data",
+            "e8e99d0f45237d786d6bbaa7965c7808bbff1a91",
         );
     }
 
@@ -84,5 +244,55 @@ mod tests {
         let b = hmac_sha1(b"key", b"");
         assert_eq!(a, b);
         assert!(a.iter().any(|&x| x != 0));
+        assert_eq!(HmacKey::new(b"key").mac(b""), a);
+    }
+
+    #[test]
+    fn cached_key_matches_reference_across_message_sizes() {
+        // exercise the block-boundary cases of the streamed inner hash:
+        // 55 bytes (fits with padding), 56 (padding spills), 64, 65, 200
+        let key = HmacKey::new(b"block-boundary-key");
+        for len in [0usize, 1, 8, 20, 54, 55, 56, 63, 64, 65, 127, 128, 200] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(
+                key.mac(&msg),
+                hmac_sha1(b"block-boundary-key", &msg),
+                "message length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn mac_u64_is_prefix() {
+        let key = HmacKey::new(b"prefix");
+        let d = key.mac(b"msg");
+        assert_eq!(
+            key.mac_u64(b"msg"),
+            u64::from_be_bytes(d[..8].try_into().unwrap())
+        );
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let key = HmacKey::new(b"batch-key");
+        let msgs_owned: Vec<Vec<u8>> = (0..33u8)
+            .map(|i| (0..i).map(|b| b.wrapping_mul(17)).collect())
+            .collect();
+        let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+        let mut out = vec![[0u8; 20]; msgs.len()];
+        hmac_sha1_batch(&key, &msgs, &mut out);
+        for (msg, got) in msgs.iter().zip(&out) {
+            assert_eq!(*got, key.mac(msg));
+            assert_eq!(*got, hmac_sha1(b"batch-key", msg));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer too small")]
+    fn batch_rejects_short_output() {
+        let key = HmacKey::new(b"k");
+        let msgs: Vec<&[u8]> = vec![b"a", b"b"];
+        let mut out = [[0u8; 20]; 1];
+        key.mac_batch(&msgs, &mut out);
     }
 }

@@ -6,7 +6,7 @@
 //! the paper's cost model — e.g. "on average 2.5 SHA-1 applications per
 //! metadata" when matching Bloom keyword filters (§5.7).
 
-use crate::hmac::hmac_sha1;
+use crate::hmac::{hmac_sha1, HmacKey};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A pseudorandom function from arbitrary bytes to 20-byte outputs.
@@ -23,14 +23,23 @@ pub trait Prf: Send + Sync {
 }
 
 /// HMAC-SHA1-based PRF keyed at construction.
+///
+/// The ipad/opad SHA-1 midstates are precomputed once here ([`HmacKey`]),
+/// so every [`eval`](Prf::eval) costs 2 compression-function calls instead
+/// of the reference path's 4-plus-key-setup — outputs are bit-identical
+/// (asserted in tests below and in the crypto crate's property tests).
 #[derive(Clone)]
 pub struct HmacPrf {
     key: Vec<u8>,
+    cached: HmacKey,
 }
 
 impl HmacPrf {
     pub fn new(key: &[u8]) -> Self {
-        HmacPrf { key: key.to_vec() }
+        HmacPrf {
+            key: key.to_vec(),
+            cached: HmacKey::new(key),
+        }
     }
 
     /// Derive an independent sub-PRF — used where the paper draws several
@@ -40,13 +49,19 @@ impl HmacPrf {
         let mut input = Vec::with_capacity(label.len() + 7);
         input.extend_from_slice(b"derive:");
         input.extend_from_slice(label);
-        HmacPrf { key: hmac_sha1(&self.key, &input).to_vec() }
+        Self::new(&hmac_sha1(&self.key, &input))
+    }
+
+    /// The precomputed-midstate key (for callers that want the raw
+    /// allocation-free MAC interface).
+    pub fn hmac_key(&self) -> &HmacKey {
+        &self.cached
     }
 }
 
 impl Prf for HmacPrf {
     fn eval(&self, msg: &[u8]) -> [u8; 20] {
-        hmac_sha1(&self.key, msg)
+        self.cached.mac(msg)
     }
 }
 
@@ -63,7 +78,10 @@ pub struct CountingPrf<P: Prf> {
 
 impl<P: Prf> CountingPrf<P> {
     pub fn new(inner: P) -> Self {
-        CountingPrf { inner, calls: AtomicU64::new(0) }
+        CountingPrf {
+            inner,
+            calls: AtomicU64::new(0),
+        }
     }
 
     pub fn calls(&self) -> u64 {
@@ -127,6 +145,24 @@ mod tests {
         assert_eq!(f.calls(), 2);
         f.reset();
         assert_eq!(f.calls(), 0);
+    }
+
+    #[test]
+    fn cached_midstate_eval_equals_reference_hmac() {
+        // HmacPrf now routes through the midstate cache; it must stay
+        // bit-identical to the one-shot reference implementation
+        for key_len in [0usize, 1, 20, 63, 64, 65, 100] {
+            let key: Vec<u8> = (0..key_len as u8).collect();
+            let f = HmacPrf::new(&key);
+            for msg_len in [0usize, 8, 20, 55, 56, 100] {
+                let msg: Vec<u8> = (0..msg_len as u8).map(|b| b.wrapping_mul(31)).collect();
+                assert_eq!(
+                    f.eval(&msg),
+                    hmac_sha1(&key, &msg),
+                    "key {key_len} B, msg {msg_len} B"
+                );
+            }
+        }
     }
 
     #[test]

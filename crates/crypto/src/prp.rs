@@ -34,15 +34,22 @@ impl FeistelPrp {
         assert!(n <= 1 << 62, "domain too large");
         let root = HmacPrf::new(key);
         // smallest even bit width whose 2^bits >= n (min 2 so halves exist)
-        let mut bits = 64 - (n - 1).leading_zeros().max(0);
+        let mut bits = 64 - (n - 1).leading_zeros();
         if bits < 2 {
             bits = 2;
         }
         if bits % 2 == 1 {
             bits += 1;
         }
-        let rounds = (0..ROUNDS).map(|i| root.derive(format!("feistel:{i}").as_bytes())).collect();
-        FeistelPrp { rounds, half_bits: bits / 2, domain_pow2: 1u64 << bits, n }
+        let rounds = (0..ROUNDS)
+            .map(|i| root.derive(format!("feistel:{i}").as_bytes()))
+            .collect();
+        FeistelPrp {
+            rounds,
+            half_bits: bits / 2,
+            domain_pow2: 1u64 << bits,
+            n,
+        }
     }
 
     /// Domain size `n`.
@@ -147,7 +154,10 @@ mod tests {
         let b = FeistelPrp::new(b"k2", 4096);
         let same = (0..4096).filter(|&x| a.permute(x) == b.permute(x)).count();
         // expected collisions of two random permutations ≈ 1
-        assert!(same < 32, "suspiciously similar permutations: {same} fixed agreements");
+        assert!(
+            same < 32,
+            "suspiciously similar permutations: {same} fixed agreements"
+        );
     }
 
     #[test]

@@ -32,6 +32,42 @@ impl Sha1 {
         }
     }
 
+    /// Resume hashing from a saved midstate.
+    ///
+    /// `state` must be the chaining value captured by [`Sha1::midstate`]
+    /// after an exact multiple of 64 absorbed bytes, and `len` that byte
+    /// count. This is the primitive behind HMAC midstate caching
+    /// ([`crate::hmac::HmacKey`]): the fixed 64-byte ipad/opad prefix blocks
+    /// are compressed once per key instead of once per MAC.
+    pub fn from_midstate(state: [u32; 5], len: u64) -> Self {
+        debug_assert!(
+            len.is_multiple_of(64),
+            "midstate must sit on a block boundary"
+        );
+        Sha1 {
+            state,
+            len,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// The current chaining value. Only meaningful on a block boundary
+    /// (`len() % 64 == 0` and no buffered bytes).
+    pub fn midstate(&self) -> [u32; 5] {
+        debug_assert_eq!(self.buf_len, 0, "midstate taken mid-block");
+        self.state
+    }
+
+    /// Total bytes absorbed so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// Absorb `data`.
     pub fn update(&mut self, data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
@@ -79,44 +115,52 @@ impl Sha1 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        compress_block(&mut self.state, block);
     }
+}
+
+/// The raw SHA-1 compression function: fold one 64-byte block into
+/// `state`. Exposed (crate-wide) so the HMAC hot path can drive it
+/// directly, without the incremental hasher's buffering machinery.
+#[inline]
+pub(crate) fn compress_block(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+            20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+            _ => (b ^ c ^ d, 0xCA62C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
 }
 
 /// One-shot convenience digest.
@@ -137,7 +181,10 @@ mod tests {
     // FIPS 180-1 / RFC 3174 test vectors
     #[test]
     fn vector_abc() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -148,7 +195,9 @@ mod tests {
     #[test]
     fn vector_448_bits() {
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -156,7 +205,10 @@ mod tests {
     #[test]
     fn vector_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
@@ -194,5 +246,35 @@ mod tests {
     fn distinct_inputs_distinct_digests() {
         assert_ne!(sha1(b"a"), sha1(b"b"));
         assert_ne!(sha1(b""), sha1(b"\0"));
+    }
+
+    #[test]
+    fn midstate_resume_matches_oneshot() {
+        // absorb k whole blocks, snapshot, resume in a fresh hasher
+        let data: Vec<u8> = (0..=255u8).cycle().take(64 * 3 + 37).collect();
+        for blocks in [1usize, 2, 3] {
+            let split = blocks * 64;
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            let mid = h.midstate();
+            let mut resumed = Sha1::from_midstate(mid, split as u64);
+            resumed.update(&data[split..]);
+            assert_eq!(
+                resumed.finalize(),
+                sha1(&data),
+                "resume after {blocks} blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn midstate_of_fresh_hasher_is_iv() {
+        let h = Sha1::new();
+        assert_eq!(
+            h.midstate(),
+            [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+        );
+        assert_eq!(h.len(), 0);
+        assert!(h.is_empty());
     }
 }

@@ -93,6 +93,10 @@ mod tests {
         let ks = apply_keystream(b"k", 9, &zeros);
         // keystream of zeros-XOR is the keystream itself; check byte diversity
         let distinct: std::collections::HashSet<u8> = ks.iter().cloned().collect();
-        assert!(distinct.len() > 64, "keystream looks non-random: {} distinct bytes", distinct.len());
+        assert!(
+            distinct.len() > 64,
+            "keystream looks non-random: {} distinct bytes",
+            distinct.len()
+        );
     }
 }

@@ -147,7 +147,9 @@ impl BandwidthModel {
 
     /// The bandwidth-minimising replication level, clamped into `[1, n]`.
     pub fn optimal_r(&self) -> f64 {
-        (self.n as f64 * self.b_query / self.b_data).sqrt().clamp(1.0, self.n as f64)
+        (self.n as f64 * self.b_query / self.b_data)
+            .sqrt()
+            .clamp(1.0, self.n as f64)
     }
 
     /// How many times more bandwidth configuration `r` burns than the
@@ -208,7 +210,12 @@ mod tests {
     fn noop_repartition_costs_nothing() {
         let c = cfg(60, 6);
         for algo in [Algo::Ptn, Algo::Sw, Algo::Roar, Algo::Rand(2)] {
-            assert_eq!(repartition_copies(algo, c, c, 500_000), 0.0, "{}", algo.name());
+            assert_eq!(
+                repartition_copies(algo, c, c, 500_000),
+                0.0,
+                "{}",
+                algo.name()
+            );
         }
     }
 
@@ -220,7 +227,10 @@ mod tests {
         assert!((join_copies(Algo::Ptn, c, d) - 100_000.0).abs() < 1.0);
         // ROAR join loads slightly more than a partition share (1 + 1/r)
         let roar_join = join_copies(Algo::Roar, c, d);
-        assert!(roar_join > 100_000.0 && roar_join < 130_000.0, "{roar_join}");
+        assert!(
+            roar_join > 100_000.0 && roar_join < 130_000.0,
+            "{roar_join}"
+        );
         // leave: PTN free, ROAR pays k/r
         assert_eq!(leave_copies(Algo::Ptn, c, d), 0.0);
         let roar_leave = leave_copies(Algo::Roar, c, d);
@@ -229,7 +239,12 @@ mod tests {
 
     #[test]
     fn optimal_r_formula() {
-        let m = BandwidthModel { n: 100, b_data: 1.0, b_query: 4.0, b_results: 10.0 };
+        let m = BandwidthModel {
+            n: 100,
+            b_data: 1.0,
+            b_query: 4.0,
+            b_results: 10.0,
+        };
         let r_opt = m.optimal_r();
         assert!((r_opt - 20.0).abs() < 1e-9);
         // optimum is a minimum: nearby values cost more
@@ -242,7 +257,12 @@ mod tests {
         // §2.3.2: "if we sub-optimally chose an extreme value of r … this
         // requires O(√n) more bandwidth than optimal"
         for n in [100usize, 400, 1600] {
-            let m = BandwidthModel { n, b_data: 100.0, b_query: 100.0, b_results: 0.0 };
+            let m = BandwidthModel {
+                n,
+                b_data: 100.0,
+                b_query: 100.0,
+                b_results: 0.0,
+            };
             // at r = 1 the query term is n·B_query; optimal is ~2√n·B_query
             let f = m.overhead_factor(1.0);
             let sqrt_n = (n as f64).sqrt();
@@ -258,24 +278,49 @@ mod tests {
         // query-heavy workloads want more replication (smaller p), update-
         // heavy ones less
         let n = 144;
-        let query_heavy = BandwidthModel { n, b_data: 10.0, b_query: 1000.0, b_results: 0.0 };
-        let update_heavy = BandwidthModel { n, b_data: 1000.0, b_query: 10.0, b_results: 0.0 };
+        let query_heavy = BandwidthModel {
+            n,
+            b_data: 10.0,
+            b_query: 1000.0,
+            b_results: 0.0,
+        };
+        let update_heavy = BandwidthModel {
+            n,
+            b_data: 1000.0,
+            b_query: 10.0,
+            b_results: 0.0,
+        };
         assert!(query_heavy.optimal_r() > update_heavy.optimal_r() * 10.0);
     }
 
     #[test]
     fn extreme_r_wastes_sqrt_n_bandwidth() {
         // §2.3.2: a very small or very large r costs O(sqrt(n)) more
-        let m = BandwidthModel { n: 10_000, b_data: 1.0, b_query: 1.0, b_results: 0.0 };
+        let m = BandwidthModel {
+            n: 10_000,
+            b_data: 1.0,
+            b_query: 1.0,
+            b_results: 0.0,
+        };
         let ratio = m.total(1.0) / m.total(m.optimal_r());
         assert!(ratio > 10.0, "ratio {ratio}"); // sqrt(10000)/2 = 50 vs measured
     }
 
     #[test]
     fn optimal_r_clamped() {
-        let m = BandwidthModel { n: 4, b_data: 1e-9, b_query: 1e9, b_results: 0.0 };
+        let m = BandwidthModel {
+            n: 4,
+            b_data: 1e-9,
+            b_query: 1e9,
+            b_results: 0.0,
+        };
         assert_eq!(m.optimal_r(), 4.0);
-        let m2 = BandwidthModel { n: 4, b_data: 1e9, b_query: 1e-9, b_results: 0.0 };
+        let m2 = BandwidthModel {
+            n: 4,
+            b_data: 1e9,
+            b_query: 1e-9,
+            b_results: 0.0,
+        };
         assert_eq!(m2.optimal_r(), 1.0);
     }
 }

@@ -53,7 +53,12 @@ impl Ptn {
                 of_server[s] = c;
             }
         }
-        Ptn { cfg, bounds, perm, of_server }
+        Ptn {
+            cfg,
+            bounds,
+            perm,
+            of_server,
+        }
     }
 
     pub fn new(cfg: DrConfig) -> Self {
@@ -102,7 +107,9 @@ impl Ptn {
 
     /// Servers of cluster `c`.
     pub fn cluster_servers(&self, c: usize) -> impl ExactSizeIterator<Item = ServerId> + '_ {
-        self.perm[self.bounds[c]..self.bounds[c + 1]].iter().copied()
+        self.perm[self.bounds[c]..self.bounds[c + 1]]
+            .iter()
+            .copied()
     }
 
     /// Cluster a server belongs to.
@@ -170,7 +177,7 @@ impl QueryScheduler for PtnScheduler {
                     continue;
                 }
                 let f = est.estimate(s, work);
-                if best.map_or(true, |(bf, _)| f < bf) {
+                if best.is_none_or(|(bf, _)| f < bf) {
                     best = Some((f, s));
                 }
             }
@@ -180,7 +187,10 @@ impl QueryScheduler for PtnScheduler {
             predicted = predicted.max(f);
             tasks.push(Task { server: s, work });
         }
-        Assignment { tasks, predicted_finish: predicted }
+        Assignment {
+            tasks,
+            predicted_finish: predicted,
+        }
     }
 }
 
@@ -235,8 +245,11 @@ mod tests {
         let mut rng = det_rng(11);
         for _ in 0..2000 {
             let obj: ObjectKey = rng.gen();
-            let matched =
-                a.tasks.iter().filter(|t| ptn.subquery_matches(t.server, obj)).count();
+            let matched = a
+                .tasks
+                .iter()
+                .filter(|t| ptn.subquery_matches(t.server, obj))
+                .count();
             assert_eq!(matched, 1, "object {obj:#x} matched {matched} times");
         }
     }
@@ -284,18 +297,25 @@ mod tests {
         let mut rng = det_rng(12);
         let n = 40;
         let p = 8;
-        let speeds: Vec<f64> = (0..n).map(|_| [1.0, 1.0, 2.0, 4.0][rng.gen_range(0..4)]).collect();
+        let speeds: Vec<f64> = (0..n)
+            .map(|_| [1.0, 1.0, 2.0, 4.0][rng.gen_range(0..4)])
+            .collect();
         let bal = Ptn::balanced(DrConfig::new(n, p), &speeds);
         let naive = Ptn::new(DrConfig::new(n, p));
         let cap = |ptn: &Ptn| -> Vec<f64> {
-            (0..p).map(|c| ptn.cluster_servers(c).map(|s| speeds[s]).sum()).collect()
+            (0..p)
+                .map(|c| ptn.cluster_servers(c).map(|s| speeds[s]).sum())
+                .collect()
         };
         let spread = |caps: &[f64]| {
             let max = caps.iter().cloned().fold(f64::MIN, f64::max);
             let min = caps.iter().cloned().fold(f64::MAX, f64::min);
             max / min
         };
-        assert!(spread(&cap(&bal)) < spread(&cap(&naive)), "LPT must beat contiguous");
+        assert!(
+            spread(&cap(&bal)) < spread(&cap(&naive)),
+            "LPT must beat contiguous"
+        );
         assert!(spread(&cap(&bal)) < 1.35, "balanced spread {:?}", cap(&bal));
     }
 
@@ -330,13 +350,12 @@ mod tests {
     fn object_distribution_balanced_across_clusters() {
         let ptn = Ptn::new(DrConfig::new(20, 5));
         let mut rng = det_rng(7);
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         for _ in 0..50_000 {
             counts[ptn.cluster_of(rng.gen())] += 1;
         }
-        let imb = roar_util::stats::load_imbalance(
-            &counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
-        );
+        let imb =
+            roar_util::stats::load_imbalance(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>());
         assert!(imb < 1.05, "cluster imbalance {imb}");
     }
 }

@@ -30,7 +30,10 @@ impl RackLayout {
     /// update traffic (every ring hop crosses racks).
     pub fn striped(n: usize, n_racks: usize) -> Self {
         assert!(n_racks >= 1);
-        RackLayout { rack_of: (0..n).map(|i| i % n_racks).collect(), n_racks }
+        RackLayout {
+            rack_of: (0..n).map(|i| i % n_racks).collect(),
+            n_racks,
+        }
     }
 
     pub fn rack(&self, s: ServerId) -> usize {
@@ -79,7 +82,11 @@ mod tests {
     fn striped_layout_crosses_on_every_hop() {
         let l = RackLayout::striped(12, 4);
         let chain = [2usize, 3, 4, 5, 6];
-        assert_eq!(l.cross_rack_hops(&chain), 4, "every consecutive pair differs in rack");
+        assert_eq!(
+            l.cross_rack_hops(&chain),
+            4,
+            "every consecutive pair differs in rack"
+        );
     }
 
     #[test]
@@ -91,7 +98,10 @@ mod tests {
             let chain: Vec<usize> = (start..start + 10).collect();
             let racks = layout.racks_touched(&chain);
             let hops = layout.cross_rack_hops(&chain);
-            assert!(hops <= racks, "p2p forwarding: {hops} hops vs {racks} racks");
+            assert!(
+                hops <= racks,
+                "p2p forwarding: {hops} hops vs {racks} racks"
+            );
             assert!(hops + 1 >= racks, "chain must reach every rack it touches");
         }
     }

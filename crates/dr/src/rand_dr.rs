@@ -27,7 +27,10 @@ impl RandDr {
     /// # Panics
     /// Panics unless `1 ≤ r ≤ n` and `c ≥ 1` and `c·r ≤ n`.
     pub fn new(n: usize, r: usize, c: usize) -> Self {
-        assert!(n >= 1 && r >= 1 && r <= n, "invalid RAND config n={n} r={r}");
+        assert!(
+            n >= 1 && r >= 1 && r <= n,
+            "invalid RAND config n={n} r={r}"
+        );
         assert!(c >= 1, "c must be ≥ 1");
         assert!(c * r <= n, "c·r must not exceed n (c={c}, r={r}, n={n})");
         RandDr { n, r, c }
@@ -143,7 +146,10 @@ impl QueryScheduler for RandScheduler {
             .iter()
             .map(|t| est.estimate(t.server, t.work))
             .fold(f64::MIN, f64::max);
-        Assignment { tasks, predicted_finish }
+        Assignment {
+            tasks,
+            predicted_finish,
+        }
     }
 }
 
@@ -182,7 +188,10 @@ mod tests {
         assert!(analytic > 0.97 && analytic < 0.995, "analytic {analytic}");
         let mut rng = det_rng(8);
         let measured = rd.measured_harvest(&mut rng, 4000);
-        assert!((measured - analytic).abs() < 0.02, "measured {measured} vs {analytic}");
+        assert!(
+            (measured - analytic).abs() < 0.02,
+            "measured {measured} vs {analytic}"
+        );
     }
 
     #[test]
@@ -198,7 +207,11 @@ mod tests {
         let rd = RandDr::new(100, 10, 2);
         let est = StaticEstimator::uniform(100, 1.0);
         let a = rd.scheduler().schedule(&est, 3);
-        assert!((a.total_work() - 4.0).abs() < 0.05, "work {}", a.total_work());
+        assert!(
+            (a.total_work() - 4.0).abs() < 0.05,
+            "work {}",
+            a.total_work()
+        );
     }
 
     #[test]

@@ -97,15 +97,24 @@ impl QueryScheduler for OptScheduler {
             .filter(|&s| est.alive(s))
             .map(|s| (est.estimate(s, work), s))
             .collect();
-        assert!(finish.len() >= self.p, "not enough live servers for p={}", self.p);
+        assert!(
+            finish.len() >= self.p,
+            "not enough live servers for p={}",
+            self.p
+        );
         finish.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN finish estimate"));
-        let tasks: Vec<Task> =
-            finish[..self.p].iter().map(|&(_, s)| Task { server: s, work }).collect();
+        let tasks: Vec<Task> = finish[..self.p]
+            .iter()
+            .map(|&(_, s)| Task { server: s, work })
+            .collect();
         let predicted_finish = finish[..self.p]
             .iter()
             .map(|&(f, _)| f)
             .fold(f64::MIN, f64::max);
-        Assignment { tasks, predicted_finish }
+        Assignment {
+            tasks,
+            predicted_finish,
+        }
     }
 }
 
@@ -130,12 +139,20 @@ pub struct StaticEstimator {
 
 impl StaticEstimator {
     pub fn uniform(n: usize, speed: f64) -> Self {
-        StaticEstimator { speed: vec![speed; n], busy_until: vec![0.0; n], dead: vec![false; n] }
+        StaticEstimator {
+            speed: vec![speed; n],
+            busy_until: vec![0.0; n],
+            dead: vec![false; n],
+        }
     }
 
     pub fn with_speeds(speed: Vec<f64>) -> Self {
         let n = speed.len();
-        StaticEstimator { speed, busy_until: vec![0.0; n], dead: vec![false; n] }
+        StaticEstimator {
+            speed,
+            busy_until: vec![0.0; n],
+            dead: vec![false; n],
+        }
     }
 }
 

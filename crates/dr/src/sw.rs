@@ -122,14 +122,22 @@ impl QueryScheduler for SwScheduler {
                 // hit dead nodes.
                 continue;
             }
-            let tasks: Vec<Task> =
-                nodes.iter().map(|&server| Task { server, work: work_full }).collect();
+            let tasks: Vec<Task> = nodes
+                .iter()
+                .map(|&server| Task {
+                    server,
+                    work: work_full,
+                })
+                .collect();
             let makespan = tasks
                 .iter()
                 .map(|t| est.estimate(t.server, t.work))
                 .fold(f64::MIN, f64::max);
-            if best.as_ref().map_or(true, |b| makespan < b.predicted_finish) {
-                best = Some(Assignment { tasks, predicted_finish: makespan });
+            if best.as_ref().is_none_or(|b| makespan < b.predicted_finish) {
+                best = Some(Assignment {
+                    tasks,
+                    predicted_finish: makespan,
+                });
             }
         }
         best.expect("every SW offset hits a dead node — no failure fall-back in basic SW")
@@ -176,8 +184,10 @@ mod tests {
             let visited = sw.visited(offset);
             for _ in 0..1000 {
                 let obj: ObjectKey = rng.gen();
-                let hits =
-                    visited.iter().filter(|&&v| sw.subquery_matches(offset, v, obj)).count();
+                let hits = visited
+                    .iter()
+                    .filter(|&&v| sw.subquery_matches(offset, v, obj))
+                    .count();
                 assert_eq!(hits, 1, "offset {offset} obj {obj:#x}");
             }
         }
@@ -192,8 +202,10 @@ mod tests {
             let visited = sw.visited(offset);
             for _ in 0..1000 {
                 let obj: ObjectKey = rng.gen();
-                let hits =
-                    visited.iter().filter(|&&v| sw.subquery_matches(offset, v, obj)).count();
+                let hits = visited
+                    .iter()
+                    .filter(|&&v| sw.subquery_matches(offset, v, obj))
+                    .count();
                 assert_eq!(hits, 1, "offset {offset} obj {obj:#x}");
             }
         }

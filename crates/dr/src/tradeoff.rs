@@ -86,7 +86,11 @@ mod tests {
     fn model() -> DelayModel {
         // 1M objects, 250k objects/s (the thesis's PPS disk-bound rate),
         // 2 ms fixed per sub-query
-        DelayModel { objects: 1e6, cpu: 250_000.0, fixed_s: 0.002 }
+        DelayModel {
+            objects: 1e6,
+            cpu: 250_000.0,
+            fixed_s: 0.002,
+        }
     }
 
     #[test]
@@ -149,7 +153,10 @@ mod tests {
                 None => became_infeasible = true,
             }
         }
-        assert!(became_infeasible, "heavy load must eventually be infeasible");
+        assert!(
+            became_infeasible,
+            "heavy load must eventually be infeasible"
+        );
     }
 
     #[test]
@@ -158,13 +165,23 @@ mod tests {
         // `n·fixed` per query, driving utilisation (and thus delay) up — the
         // "partitioning too much … will decrease total throughput" half of
         // the trade-off. Visible only when the system carries real load.
-        let m = DelayModel { objects: 1e5, cpu: 250_000.0, fixed_s: 0.05 };
+        let m = DelayModel {
+            objects: 1e5,
+            cpu: 250_000.0,
+            fixed_s: 0.05,
+        };
         let best = m.best_p(100, 15.0);
-        assert!((2..50).contains(&best), "fixed costs should cap p, got {best}");
+        assert!(
+            (2..50).contains(&best),
+            "fixed costs should cap p, got {best}"
+        );
         // with negligible fixed costs the same load prefers much more
         // partitioning
-        let m2 = DelayModel { objects: 1e5, cpu: 250_000.0, fixed_s: 1e-6 };
+        let m2 = DelayModel {
+            objects: 1e5,
+            cpu: 250_000.0,
+            fixed_s: 1e-6,
+        };
         assert!(m2.best_p(100, 15.0) > best);
     }
-
 }

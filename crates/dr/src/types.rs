@@ -1,7 +1,5 @@
 //! Shared vocabulary types for all distributed-rendezvous algorithms.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a server in the fleet. Fleets are dense `0..n`.
 pub type ServerId = usize;
 
@@ -14,7 +12,7 @@ pub type ObjectKey = u64;
 ///
 /// Only two of the three are free: the trade-off `r · p = n` (Eq. 2.1) ties
 /// them together under perfect load balancing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DrConfig {
     /// Number of servers.
     pub n: usize,

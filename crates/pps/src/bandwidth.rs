@@ -50,8 +50,7 @@ impl BandwidthParams {
         assert!(delta_max >= 1.0);
         assert!((0.0..=1.0).contains(&local));
         // §5.3.1 upload term: fu · (500000 + 200(δmax−1)) / δmax
-        let upload =
-            fu * (self.index_bytes + self.delta_bytes * (delta_max - 1.0)) / delta_max;
+        let upload = fu * (self.index_bytes + self.delta_bytes * (delta_max - 1.0)) / delta_max;
         // download term: fq · (500000 + 100·δmax(δmax−1)) / δmax — a query
         // downloads the index or 1…δmax−1 deltas with equal probability.
         // Only *remote* updates force downloads, and when queries outnumber
@@ -60,8 +59,7 @@ impl BandwidthParams {
         let remote_rate = (1.0 - local) * fu;
         let fq_eff = fq.min(remote_rate);
         let download = fq_eff
-            * (self.index_bytes
-                + (self.delta_bytes / 2.0) * delta_max * (delta_max - 1.0))
+            * (self.index_bytes + (self.delta_bytes / 2.0) * delta_max * (delta_max - 1.0))
             / delta_max;
         upload + download
     }
@@ -122,7 +120,10 @@ mod tests {
     fn optimal_delta_balances_index_and_deltas() {
         let p = BandwidthParams::default();
         let dm = p.optimal_delta_max(100.0, 100.0, 0.0);
-        assert!(dm > 1.0, "re-uploading the index on every change can't be optimal");
+        assert!(
+            dm > 1.0,
+            "re-uploading the index on every change can't be optimal"
+        );
         // closed form: dm* = sqrt((fu+fq)·index / (fq·delta/2)) = 100
         assert!((dm - 100.0).abs() < 5.0, "dm {dm}");
     }
@@ -134,7 +135,10 @@ mod tests {
             for &fq in &[1.0, 100.0, 1000.0] {
                 for &local in &[0.0, 0.5, 0.9] {
                     let r = p.ratio(fu, fq, local);
-                    assert!(r.is_finite() && r > 0.0, "fu={fu} fq={fq} local={local}: {r}");
+                    assert!(
+                        r.is_finite() && r > 0.0,
+                        "fu={fu} fq={fq} local={local}: {r}"
+                    );
                 }
             }
         }

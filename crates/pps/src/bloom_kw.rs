@@ -2,11 +2,22 @@
 //!
 //! The user derives `r` independent PRFs `F_{k_1} … F_{k_r}` (the paper's
 //! r = 17 for a 1-in-100,000 false-positive rate). A query (trapdoor) for
-//! word `w` is `(F_{k_1}(w), …, F_{k_r}(w))`. A document's metadata is a
-//! Bloom filter over *codewords*: each trapdoor component is re-keyed with
-//! the document's fresh nonce, `y_j = F_rnd(x_j)`, so identical words yield
-//! different filter bits in different documents — the server cannot
-//! correlate documents by their bits.
+//! word `w` is `x = (F_{k_1}(w), …, F_{k_r}(w))`. A document's metadata is
+//! a Bloom filter over *codewords*: following Goh, each codeword re-keys
+//! the trapdoor component with the document's fresh nonce as
+//! `y_j = F_{x_j}(nonce)`, so identical words yield different filter bits
+//! in different documents — the server cannot correlate documents by their
+//! bits.
+//!
+//! **Hot-path orientation.** Keying the codeword PRF by the trapdoor
+//! component (not by the nonce) is what makes the midstate-cached fast path
+//! possible: the `x_j` are per-query constants, so their HMAC inner/outer
+//! midstates ([`HmacKey`]) are computed once per query and amortised over
+//! every record scanned, leaving exactly 2 SHA-1 compressions per codeword
+//! probe and zero allocation. [`PreparedTrapdoor`] is that cached form;
+//! [`BloomKeywordScheme::matches`] is the compatible unprepared path and
+//! [`BloomKeywordScheme::matches_reference`] the no-midstate scalar
+//! baseline the benchmarks compare against. All three are bit-identical.
 //!
 //! CPU cost model (verified in tests): a non-matching probe computes ~2
 //! codeword hashes on average before a miss bit is found; a matching probe
@@ -15,11 +26,27 @@
 
 use rand::Rng;
 use roar_crypto::bloom::{BloomFilter, BloomParams};
+use roar_crypto::hmac::{hmac_sha1, HmacKey};
 use roar_crypto::prf::{HmacPrf, Prf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Global-ish PRF call counter for cost accounting (the §5.7 experiments
-/// report SHA-1 applications per metadata). Counted at codeword evaluation.
+/// Shared PRF call counter for cost accounting.
+///
+/// **Counting point (§5.7):** exactly one count per *codeword evaluation*,
+/// i.e. per Bloom-position PRF application during matching — charged before
+/// the filter bit is tested, so a probe that short-circuits after its j-th
+/// codeword adds j. Trapdoor creation, key derivation and
+/// [`PreparedTrapdoor`] construction are *not* counted: the paper's
+/// "2.5 SHA-1 applications per metadata" figure is per-record matching
+/// work, and per-query setup amortises to zero. Every matching path
+/// (reference scalar, unprepared, prepared/batched) charges identically,
+/// which the `prf_accounting` tests pin down.
+///
+/// The engine's consumer threads do not touch this shared counter per
+/// probe; they accumulate into a thread-local `u64` (see
+/// [`crate::query::MatchScratch`]) and [`add`](Self::add) the shard total
+/// once at the end, so the reported numbers are unchanged while the hot
+/// loop stays free of atomic traffic.
 #[derive(Debug, Default)]
 pub struct PrfCounter(AtomicU64);
 
@@ -45,6 +72,108 @@ impl PrfCounter {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trapdoor {
     pub parts: Vec<[u8; 20]>,
+}
+
+/// Upper bound on hash functions a [`PreparedTrapdoor`] supports. The
+/// paper's parameterisations use r ≤ 17; 32 leaves slack for experiments
+/// while keeping the prepared form a fixed-size stack value.
+pub const MAX_R: usize = 32;
+
+/// A trapdoor compiled for the matching hot path: one [`HmacKey`]
+/// (cached HMAC midstates) per component, held in a fixed-size array, plus
+/// a cheapest-miss-first probe order.
+///
+/// Probing is allocation-free and costs 2 SHA-1 compressions per codeword.
+/// The probe order is adapted from observed per-component miss counts:
+/// components that reject records most often are probed first, so
+/// non-matching records (the overwhelming majority) short-circuit as early
+/// as the corpus allows. Reordering never changes the match result — a
+/// record matches iff *all* component bits are set — only the expected
+/// probe count.
+#[derive(Debug, Clone)]
+pub struct PreparedTrapdoor {
+    keys: [HmacKey; MAX_R],
+    order: [u8; MAX_R],
+    miss: [u32; MAX_R],
+    len: u8,
+    probes_since_reorder: u32,
+}
+
+/// How many probes between probe-order refreshes.
+const REORDER_EVERY: u32 = 4096;
+
+impl PreparedTrapdoor {
+    pub fn new(td: &Trapdoor) -> Self {
+        assert!(
+            td.parts.len() <= MAX_R,
+            "trapdoor has {} parts, PreparedTrapdoor supports ≤ {MAX_R}",
+            td.parts.len()
+        );
+        let mut keys = [HmacKey::new(&[]); MAX_R];
+        let mut order = [0u8; MAX_R];
+        for (i, part) in td.parts.iter().enumerate() {
+            keys[i] = HmacKey::new(part);
+            order[i] = i as u8;
+        }
+        PreparedTrapdoor {
+            keys,
+            order,
+            miss: [0u32; MAX_R],
+            len: td.parts.len() as u8,
+            probes_since_reorder: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Probe one record: all codeword bits set? Short-circuits on the first
+    /// clear bit. Adds one to `prf_calls` per codeword evaluated (the §5.7
+    /// counting point).
+    #[inline]
+    pub fn probe(&mut self, meta: &BloomMetadata, prf_calls: &mut u64) -> bool {
+        let nonce = meta.nonce.to_be_bytes();
+        self.probes_since_reorder += 1;
+        if self.probes_since_reorder >= REORDER_EVERY {
+            self.reorder();
+        }
+        for k in 0..self.len as usize {
+            let j = self.order[k] as usize;
+            *prf_calls += 1;
+            if !meta.filter.get(self.keys[j].mac_u64(&nonce)) {
+                self.miss[j] += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Re-sort the probe order most-frequent-miss first (stable, so ties
+    /// keep index order and behaviour stays deterministic).
+    fn reorder(&mut self) {
+        self.probes_since_reorder = 0;
+        let len = self.len as usize;
+        let miss = &self.miss;
+        self.order[..len].sort_by_key(|&j| std::cmp::Reverse(miss[j as usize]));
+    }
+
+    /// Observed miss counts per component, in component order (test hook).
+    pub fn miss_counts(&self) -> &[u32] {
+        &self.miss[..self.len as usize]
+    }
+
+    /// Current probe order (test hook).
+    pub fn probe_order(&self) -> Vec<usize> {
+        self.order[..self.len as usize]
+            .iter()
+            .map(|&j| j as usize)
+            .collect()
+    }
 }
 
 /// Encrypted document keywords: nonce + Bloom filter of codewords.
@@ -76,13 +205,23 @@ impl BloomKeywordScheme {
     /// false-positive rate `fp`.
     pub fn new(key: &[u8], max_words: usize, fp: f64) -> Self {
         let params = BloomParams::for_fp_rate(max_words, fp);
+        assert!(
+            params.hashes <= MAX_R,
+            "r = {} exceeds MAX_R = {MAX_R}",
+            params.hashes
+        );
         let root = HmacPrf::new(key);
-        let keys =
-            (0..params.hashes).map(|i| root.derive(format!("goh:{i}").as_bytes())).collect();
+        let keys = (0..params.hashes)
+            .map(|i| root.derive(format!("goh:{i}").as_bytes()))
+            .collect();
         // pad to the *expected* popcount of a full document: an optimally
         // sized filter is half full at design capacity (1 − e^{−nr/m} = 1/2),
         // so padding beyond bits/2 would inflate the false-positive rate
-        BloomKeywordScheme { keys, params, pad_to: Some(params.bits / 2) }
+        BloomKeywordScheme {
+            keys,
+            params,
+            pad_to: Some(params.bits / 2),
+        }
     }
 
     /// The paper's configuration: 50 keywords, fp = 1e-5 (r = 17 hashes).
@@ -105,15 +244,16 @@ impl BloomKeywordScheme {
         }
     }
 
-    /// `EncryptMetadata`: Bloom filter of the document's codewords.
+    /// `EncryptMetadata`: Bloom filter of the document's codewords
+    /// `y_j = F_{x_j}(nonce)`.
     pub fn encrypt_metadata<R: Rng>(&self, rng: &mut R, words: &[&str]) -> BloomMetadata {
         let nonce: u64 = rng.gen();
-        let doc_prf = HmacPrf::new(&nonce.to_be_bytes());
+        let nonce_bytes = nonce.to_be_bytes();
         let mut filter = BloomFilter::new(self.params.bits);
         for word in words {
             let td = self.trapdoor(word);
             for part in &td.parts {
-                filter.set(doc_prf.eval_u64(part));
+                filter.set(HmacKey::new(part).mac_u64(&nonce_bytes));
             }
         }
         if let Some(target) = self.pad_to {
@@ -128,11 +268,32 @@ impl BloomKeywordScheme {
 
     /// `Match`: all codeword bits set? Counts PRF evaluations in `counter`
     /// (short-circuits on the first clear bit, like the paper's server).
+    ///
+    /// Unprepared path: keys each component on the fly (4 compressions per
+    /// codeword). Prefer [`PreparedTrapdoor::probe`] when matching more
+    /// than a handful of records per query.
     pub fn matches(meta: &BloomMetadata, td: &Trapdoor, counter: &PrfCounter) -> bool {
-        let doc_prf = HmacPrf::new(&meta.nonce.to_be_bytes());
+        let nonce = meta.nonce.to_be_bytes();
         for part in &td.parts {
             counter.add(1);
-            if !meta.filter.get(doc_prf.eval_u64(part)) {
+            if !meta.filter.get(HmacKey::new(part).mac_u64(&nonce)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reference scalar `Match`: the same function computed through the
+    /// one-shot [`hmac_sha1`] (no midstate caching, key block rebuilt per
+    /// probe). Kept as the benchmark baseline and as the oracle the
+    /// fast-path equivalence tests compare against.
+    pub fn matches_reference(meta: &BloomMetadata, td: &Trapdoor, counter: &PrfCounter) -> bool {
+        let nonce = meta.nonce.to_be_bytes();
+        for part in &td.parts {
+            counter.add(1);
+            let digest = hmac_sha1(part, &nonce);
+            let pos = u64::from_be_bytes(digest[..8].try_into().expect("digest ≥ 8 bytes"));
+            if !meta.filter.get(pos) {
                 return false;
             }
         }
@@ -252,8 +413,10 @@ mod tests {
         s.set_padding(Some(pad));
         let mut rng = det_rng(117);
         let sparse = s.encrypt_metadata(&mut rng, &["one"]);
-        let dense =
-            s.encrypt_metadata(&mut rng, &["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
+        let dense = s.encrypt_metadata(
+            &mut rng,
+            &["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"],
+        );
         let lo = sparse.filter.popcount() as f64;
         let hi = dense.filter.popcount() as f64;
         assert!((lo - hi).abs() / hi < 0.15, "popcounts leak: {lo} vs {hi}");
@@ -268,6 +431,83 @@ mod tests {
         let m = s.encrypt_metadata(&mut rng, &refs);
         // paper: ~130 B of filter for 50 keywords (we round up to whole u64
         // words)
-        assert!(m.size_bytes() >= 130 && m.size_bytes() <= 200, "{} bytes", m.size_bytes());
+        assert!(
+            m.size_bytes() >= 130 && m.size_bytes() <= 200,
+            "{} bytes",
+            m.size_bytes()
+        );
+    }
+
+    // ---- fast-path equivalence & accounting --------------------------------
+
+    /// The three matching paths must agree bit-for-bit and count-for-count
+    /// on every record, matching or not.
+    #[test]
+    fn prepared_and_reference_paths_agree() {
+        let s = scheme();
+        let mut rng = det_rng(119);
+        let docs: Vec<BloomMetadata> = (0..40)
+            .map(|i| {
+                let words: Vec<String> = (0..10).map(|k| format!("w{i}-{k}")).collect();
+                let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+                s.encrypt_metadata(&mut rng, &refs)
+            })
+            .collect();
+        for (i, probe_word) in [
+            ("w3-4", true),
+            ("w9-0", true),
+            ("absent", false),
+            ("w3-999", false),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let td = s.trapdoor(probe_word.0);
+            let mut prepared = PreparedTrapdoor::new(&td);
+            for m in &docs {
+                let c_ref = PrfCounter::new();
+                let c_unp = PrfCounter::new();
+                let reference = BloomKeywordScheme::matches_reference(m, &td, &c_ref);
+                let unprepared = BloomKeywordScheme::matches(m, &td, &c_unp);
+                let mut fast_calls = 0u64;
+                let fast = prepared.probe(m, &mut fast_calls);
+                assert_eq!(reference, unprepared, "case {i}");
+                assert_eq!(reference, fast, "case {i}");
+                assert_eq!(c_ref.get(), c_unp.get(), "case {i} counter parity");
+                assert_eq!(c_ref.get(), fast_calls, "case {i} fast counter parity");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_probe_order_stays_correct_after_reorder() {
+        // drive well past REORDER_EVERY probes and verify results still
+        // agree with the reference path
+        let s = scheme();
+        let mut rng = det_rng(120);
+        let m = s.encrypt_metadata(&mut rng, &["needle"]);
+        let td_hit = s.trapdoor("needle");
+        let td_miss = s.trapdoor("haystack");
+        let mut hit = PreparedTrapdoor::new(&td_hit);
+        let mut miss = PreparedTrapdoor::new(&td_miss);
+        let mut calls = 0u64;
+        for _ in 0..(2 * super::REORDER_EVERY + 7) {
+            assert!(hit.probe(&m, &mut calls));
+            assert!(!miss.probe(&m, &mut calls));
+        }
+        assert!(miss.miss_counts().iter().sum::<u32>() > 0);
+        // order remains a permutation of 0..r
+        let mut order = miss.probe_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..td_miss.parts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prepared_rejects_oversized_trapdoor() {
+        let td = Trapdoor {
+            parts: vec![[0u8; 20]; MAX_R + 1],
+        };
+        let result = std::panic::catch_unwind(|| PreparedTrapdoor::new(&td));
+        assert!(result.is_err());
     }
 }

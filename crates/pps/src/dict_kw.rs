@@ -68,7 +68,11 @@ impl DictScheme {
         let k1 = root.derive(b"dict:k1");
         let k2 = root.derive(b"dict:k2");
         let prp = FeistelPrp::new(&k1.eval(b"prp-key"), dictionary.len() as u64);
-        DictScheme { dict: dictionary, prp, k2 }
+        DictScheme {
+            dict: dictionary,
+            prp,
+            k2,
+        }
     }
 
     pub fn dictionary_len(&self) -> usize {
@@ -97,7 +101,10 @@ impl DictScheme {
     pub fn encrypt_query(&self, word: &str) -> Option<DictQuery> {
         let lambda = self.word_index(word)?;
         let index = self.prp.permute(lambda);
-        Some(DictQuery { index, secret: self.index_secret(index) })
+        Some(DictQuery {
+            index,
+            secret: self.index_secret(index),
+        })
     }
 
     /// `EncryptMetadata`: blinded membership vector over the whole
@@ -105,8 +112,10 @@ impl DictScheme {
     pub fn encrypt_metadata<R: Rng>(&self, rng: &mut R, words: &[&str]) -> DictMetadata {
         let n = self.dict.len() as u64;
         let nonce: u64 = rng.gen();
-        let mut meta =
-            DictMetadata { nonce, bits: vec![0u8; (n as usize).div_ceil(8)] };
+        let mut meta = DictMetadata {
+            nonce,
+            bits: vec![0u8; (n as usize).div_ceil(8)],
+        };
         // membership in shuffled positions
         let mut member = vec![false; n as usize];
         for w in words {
@@ -225,7 +234,10 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree > 20 && agree < 180, "wrong key should look random: {agree}/200");
+        assert!(
+            agree > 20 && agree < 180,
+            "wrong key should look random: {agree}/200"
+        );
         let _ = m;
     }
 }

@@ -30,7 +30,9 @@ pub struct EqualScheme {
 
 impl EqualScheme {
     pub fn new(key: &[u8]) -> Self {
-        EqualScheme { prf: HmacPrf::new(key) }
+        EqualScheme {
+            prf: HmacPrf::new(key),
+        }
     }
 
     /// `EncryptQuery(K, Q)`.
@@ -43,7 +45,10 @@ impl EqualScheme {
         let nonce: u64 = rng.gen();
         let hidden = self.prf.eval(value);
         let inner = HmacPrf::new(&hidden);
-        EqualMetadata { nonce, tag: inner.eval(&nonce.to_be_bytes()) }
+        EqualMetadata {
+            nonce,
+            tag: inner.eval(&nonce.to_be_bytes()),
+        }
     }
 
     /// `Match(Me, Qe)` — run by the *server*, no key required.

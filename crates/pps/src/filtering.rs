@@ -85,7 +85,9 @@ impl FilterStore {
 
     /// Withdraw a standing query. Returns whether it existed.
     pub fn unsubscribe(&mut self, query_id: u64) -> bool {
-        let Some(idx) = self.by_id.remove(&query_id) else { return false };
+        let Some(idx) = self.by_id.remove(&query_id) else {
+            return false;
+        };
         self.classes[idx].1.retain(|&(_, qid)| qid != query_id);
         // empty classes are kept (index stability) but cost nothing extra
         // beyond one probe; compact when mostly empty
@@ -116,11 +118,7 @@ impl FilterStore {
 
     /// Match one arriving metadata against every standing query; returns
     /// the notifications to push. Each distinct predicate is evaluated once.
-    pub fn on_arrival(
-        &self,
-        meta: &EncryptedMetadata,
-        counter: &PrfCounter,
-    ) -> Vec<Notification> {
+    pub fn on_arrival(&self, meta: &EncryptedMetadata, counter: &PrfCounter) -> Vec<Notification> {
         let mut out = Vec::new();
         for (td, subs) in &self.classes {
             if subs.is_empty() {
@@ -128,7 +126,11 @@ impl FilterStore {
             }
             if MetaEncryptor::matches(meta, td, counter) {
                 for &(owner, query_id) in subs {
-                    out.push(Notification { owner, query_id, meta_id: meta.id });
+                    out.push(Notification {
+                        owner,
+                        query_id,
+                        meta_id: meta.id,
+                    });
                 }
             }
         }
@@ -173,7 +175,11 @@ mod tests {
         let miss = doc(&e, 2, "newsletter");
         assert_eq!(
             store.on_arrival(&hit, &c),
-            vec![Notification { owner: 42, query_id: 1, meta_id: hit.id }]
+            vec![Notification {
+                owner: 42,
+                query_id: 1,
+                meta_id: hit.id
+            }]
         );
         assert!(store.on_arrival(&miss, &c).is_empty());
     }

@@ -48,7 +48,12 @@ pub struct GenericLayout {
 
 impl Default for GenericLayout {
     fn default() -> Self {
-        GenericLayout { size_bits: 40, mtime_bits: 32, kw_slots: 50, kw_bits: 24 }
+        GenericLayout {
+            size_bits: 40,
+            mtime_bits: 32,
+            kw_slots: 50,
+            kw_bits: 24,
+        }
     }
 }
 
@@ -133,7 +138,11 @@ impl GenericScheme {
         let mask = (1u64 << self.layout.kw_bits) - 1;
         let v = self.word_prf.eval_u64(word.as_bytes()) & mask;
         // 0 is the empty-slot sentinel
-        if v == 0 { 1 } else { v }
+        if v == 0 {
+            1
+        } else {
+            v
+        }
     }
 
     /// Plaintext bit encoding of a file record under the layout.
@@ -142,7 +151,10 @@ impl GenericScheme {
         let size_max = (1u64 << l.size_bits) - 1;
         let mtime_max = (1u64 << l.mtime_bits) - 1;
         let mut bits = predicates::encode_uint(meta.size.min(size_max), l.size_bits);
-        bits.extend(predicates::encode_uint(meta.mtime.min(mtime_max), l.mtime_bits));
+        bits.extend(predicates::encode_uint(
+            meta.mtime.min(mtime_max),
+            l.mtime_bits,
+        ));
         let words: Vec<u64> = meta
             .keywords
             .iter()
@@ -155,7 +167,9 @@ impl GenericScheme {
 
     /// `EncryptMetadata(K, M)` — the labels of the record's bits.
     pub fn encrypt_metadata(&self, meta: &FileMeta) -> GenericMetadata {
-        GenericMetadata { labels: self.garbler.encode_inputs(&self.encode(meta)) }
+        GenericMetadata {
+            labels: self.garbler.encode_inputs(&self.encode(meta)),
+        }
     }
 
     /// `EncryptQuery(K, Q)` for a predicate described by [`GenericPredicate`].
@@ -163,7 +177,9 @@ impl GenericScheme {
     /// repeat across queries).
     pub fn encrypt_query<R: Rng>(&self, rng: &mut R, pred: &GenericPredicate) -> GenericQuery {
         let circuit = self.compile(pred);
-        GenericQuery { garbled: self.garbler.garble(&circuit, rng.gen()) }
+        GenericQuery {
+            garbled: self.garbler.garble(&circuit, rng.gen()),
+        }
     }
 
     /// Compile a predicate to a plaintext circuit (exposed for tests and
@@ -264,7 +280,12 @@ mod tests {
 
     /// A small layout keeps garbling fast in tests.
     fn small() -> GenericLayout {
-        GenericLayout { size_bits: 16, mtime_bits: 16, kw_slots: 6, kw_bits: 12 }
+        GenericLayout {
+            size_bits: 16,
+            mtime_bits: 16,
+            kw_slots: 6,
+            kw_bits: 12,
+        }
     }
 
     fn file(size: u64, mtime: u64, kws: &[&str]) -> FileMeta {
@@ -292,14 +313,17 @@ mod tests {
 
     #[test]
     fn size_range_agrees_with_plaintext() {
-        let metas: Vec<FileMeta> =
-            [0u64, 99, 100, 5_000, 9_999, 10_000, 65_535].map(|s| file(s, 0, &[])).to_vec();
+        let metas: Vec<FileMeta> = [0u64, 99, 100, 5_000, 9_999, 10_000, 65_535]
+            .map(|s| file(s, 0, &[]))
+            .to_vec();
         check(GenericPredicate::SizeRange(100, 9_999), &metas);
     }
 
     #[test]
     fn mtime_bounds_agree() {
-        let metas: Vec<FileMeta> = [0u64, 999, 1_000, 1_001, 60_000].map(|t| file(1, t, &[])).to_vec();
+        let metas: Vec<FileMeta> = [0u64, 999, 1_000, 1_001, 60_000]
+            .map(|t| file(1, t, &[]))
+            .to_vec();
         check(GenericPredicate::MtimeAfter(1_000), &metas);
         check(GenericPredicate::MtimeBefore(1_000), &metas);
     }
@@ -365,7 +389,11 @@ mod tests {
         let mut rng = det_rng(502);
         let kw = s.encrypt_query(&mut rng, &GenericPredicate::Keyword("w".into()));
         // "query size is directly proportional to the number of gates"
-        assert!(kw.size_bytes() < 100 * kw.n_gates() + 1000, "{}", kw.size_bytes());
+        assert!(
+            kw.size_bytes() < 100 * kw.n_gates() + 1000,
+            "{}",
+            kw.size_bytes()
+        );
         // and far below the 2^|D| of the secure extreme
         assert!(kw.size_bytes() < 1 << 20);
     }
@@ -379,7 +407,11 @@ mod tests {
         let b = s.encrypt_metadata(&file(100, 2, &[]));
         let c = s.encrypt_metadata(&file(101, 1, &[]));
         let size_bits = small().size_bits;
-        assert_eq!(a.labels[..size_bits], b.labels[..size_bits], "same size ⇒ same size labels");
+        assert_eq!(
+            a.labels[..size_bits],
+            b.labels[..size_bits],
+            "same size ⇒ same size labels"
+        );
         assert_ne!(a.labels[..size_bits], c.labels[..size_bits]);
     }
 
@@ -402,7 +434,10 @@ mod tests {
             .map(|((v, k), &bit)| if v == k { bit } else { !bit })
             .collect();
         let truth = s.encode(&file(100, 99, &["leak"]));
-        assert_eq!(recovered, truth, "full plaintext recovery (the documented break)");
+        assert_eq!(
+            recovered, truth,
+            "full plaintext recovery (the documented break)"
+        );
     }
 
     #[test]
@@ -413,7 +448,10 @@ mod tests {
         let em1 = s1.encrypt_metadata(&m);
         let mut rng = det_rng(503);
         let q2 = s2.encrypt_query(&mut rng, &GenericPredicate::Keyword("w".into()));
-        assert!(!GenericScheme::matches(&em1, &q2), "cross-key evaluation fails closed");
+        assert!(
+            !GenericScheme::matches(&em1, &q2),
+            "cross-key evaluation fails closed"
+        );
     }
 
     #[test]

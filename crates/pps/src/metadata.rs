@@ -11,10 +11,9 @@
 use crate::bloom_kw::{BloomKeywordScheme, BloomMetadata, PrfCounter, Trapdoor};
 use crate::numeric::{coarse_reference_points, exponential_reference_points, nearest_point, Cmp};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Plaintext description of one file, as the user's indexer produces it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileMeta {
     /// File name (searchable; each path component becomes a word).
     pub path: String,
@@ -80,8 +79,8 @@ impl MetaEncryptor {
     pub fn new(key: &[u8]) -> Self {
         Self::with_points(
             key,
-            coarse_reference_points(1 << 40),        // sizes ≤ 1 TiB
-            coarse_reference_points(4_000_000_000),  // epoch seconds
+            coarse_reference_points(1 << 40),       // sizes ≤ 1 TiB
+            coarse_reference_points(4_000_000_000), // epoch seconds
         )
     }
 
@@ -98,7 +97,11 @@ impl MetaEncryptor {
     /// Custom reference grids.
     pub fn with_points(key: &[u8], size_points: Vec<u64>, date_points: Vec<u64>) -> Self {
         assert!(!size_points.is_empty() && !date_points.is_empty());
-        MetaEncryptor { kw: BloomKeywordScheme::new(key, MAX_WORDS, 1e-5), size_points, date_points }
+        MetaEncryptor {
+            kw: BloomKeywordScheme::new(key, MAX_WORDS, 1e-5),
+            size_points,
+            date_points,
+        }
     }
 
     /// All searchable words of a file (§5.6.4's stacked encoding).
@@ -125,13 +128,17 @@ impl MetaEncryptor {
     pub fn encrypt<R: Rng>(&self, rng: &mut R, meta: &FileMeta) -> EncryptedMetadata {
         let words = self.words_of(meta);
         let refs: Vec<&str> = words.iter().map(String::as_str).collect();
-        EncryptedMetadata { id: rng.gen(), body: self.kw.encrypt_metadata(rng, &refs) }
+        EncryptedMetadata {
+            id: rng.gen(),
+            body: self.kw.encrypt_metadata(rng, &refs),
+        }
     }
 
     /// Keyword / path-component trapdoor.
     pub fn query_word(&self, attr: Attr, word: &str) -> Trapdoor {
         debug_assert!(matches!(attr, Attr::Keyword | Attr::Path));
-        self.kw.trapdoor(&format!("{}={}", attr.prefix(), word.to_lowercase()))
+        self.kw
+            .trapdoor(&format!("{}={}", attr.prefix(), word.to_lowercase()))
     }
 
     /// Numeric inequality trapdoor; value approximated to the nearest
@@ -176,9 +183,21 @@ mod tests {
         let mut rng = det_rng(151);
         let m = enc.encrypt(&mut rng, &file());
         let c = PrfCounter::new();
-        assert!(MetaEncryptor::matches(&m, &enc.query_word(Attr::Keyword, "ring"), &c));
-        assert!(MetaEncryptor::matches(&m, &enc.query_word(Attr::Keyword, "RING"), &c));
-        assert!(!MetaEncryptor::matches(&m, &enc.query_word(Attr::Keyword, "database"), &c));
+        assert!(MetaEncryptor::matches(
+            &m,
+            &enc.query_word(Attr::Keyword, "ring"),
+            &c
+        ));
+        assert!(MetaEncryptor::matches(
+            &m,
+            &enc.query_word(Attr::Keyword, "RING"),
+            &c
+        ));
+        assert!(!MetaEncryptor::matches(
+            &m,
+            &enc.query_word(Attr::Keyword, "database"),
+            &c
+        ));
     }
 
     #[test]
@@ -187,9 +206,21 @@ mod tests {
         let mut rng = det_rng(152);
         let m = enc.encrypt(&mut rng, &file());
         let c = PrfCounter::new();
-        assert!(MetaEncryptor::matches(&m, &enc.query_word(Attr::Path, "papers"), &c));
-        assert!(MetaEncryptor::matches(&m, &enc.query_word(Attr::Path, "roar-sigcomm.pdf"), &c));
-        assert!(!MetaEncryptor::matches(&m, &enc.query_word(Attr::Path, "photos"), &c));
+        assert!(MetaEncryptor::matches(
+            &m,
+            &enc.query_word(Attr::Path, "papers"),
+            &c
+        ));
+        assert!(MetaEncryptor::matches(
+            &m,
+            &enc.query_word(Attr::Path, "roar-sigcomm.pdf"),
+            &c
+        ));
+        assert!(!MetaEncryptor::matches(
+            &m,
+            &enc.query_word(Attr::Path, "photos"),
+            &c
+        ));
     }
 
     #[test]
@@ -220,7 +251,9 @@ mod tests {
     fn ids_are_random_and_distinct() {
         let enc = MetaEncryptor::new(b"user-key");
         let mut rng = det_rng(155);
-        let ids: Vec<u64> = (0..100).map(|_| enc.encrypt(&mut rng, &file()).id).collect();
+        let ids: Vec<u64> = (0..100)
+            .map(|_| enc.encrypt(&mut rng, &file()).id)
+            .collect();
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -234,7 +267,11 @@ mod tests {
         let m = enc.encrypt(&mut rng, &file());
         // paper budgets ~500 B/record; our 300-word filter at 1e-5 is ~900 B
         // (documented in EXPERIMENTS.md — we index every reference point)
-        assert!(m.size_bytes() > 300 && m.size_bytes() < 1500, "{} bytes", m.size_bytes());
+        assert!(
+            m.size_bytes() > 300 && m.size_bytes() < 1500,
+            "{} bytes",
+            m.size_bytes()
+        );
     }
 
     #[test]
@@ -244,6 +281,10 @@ mod tests {
         let mut rng = det_rng(157);
         let m = enc1.encrypt(&mut rng, &file());
         let c = PrfCounter::new();
-        assert!(!MetaEncryptor::matches(&m, &enc2.query_word(Attr::Keyword, "ring"), &c));
+        assert!(!MetaEncryptor::matches(
+            &m,
+            &enc2.query_word(Attr::Keyword, "ring"),
+            &c
+        ));
     }
 }

@@ -102,7 +102,11 @@ impl InequalityScheme {
         assert!(!points.is_empty());
         // each metadata contains one word per reference point
         let kw = BloomKeywordScheme::new(key, points.len(), 1e-5);
-        InequalityScheme { kw, points, attr: attr.to_string() }
+        InequalityScheme {
+            kw,
+            points,
+            attr: attr.to_string(),
+        }
     }
 
     pub fn points(&self) -> &[u64] {
@@ -121,7 +125,13 @@ impl InequalityScheme {
     pub fn metadata_words(&self, v: u64) -> Vec<String> {
         self.points
             .iter()
-            .map(|&p| if v > p { self.word(Cmp::Greater, p) } else { self.word(Cmp::Less, p) })
+            .map(|&p| {
+                if v > p {
+                    self.word(Cmp::Greater, p)
+                } else {
+                    self.word(Cmp::Less, p)
+                }
+            })
             .collect()
     }
 
@@ -162,7 +172,10 @@ impl Partition {
 
     /// Bounds `[lo, hi)` of subset `y`.
     pub fn bounds(&self, y: u64) -> (u64, u64) {
-        (self.offset + y * self.width, self.offset + (y + 1) * self.width)
+        (
+            self.offset + y * self.width,
+            self.offset + (y + 1) * self.width,
+        )
     }
 }
 
@@ -179,7 +192,11 @@ impl RangeScheme {
         assert!(!partitions.is_empty());
         assert!(partitions.iter().all(|p| p.width > 0));
         let kw = BloomKeywordScheme::new(key, partitions.len(), 1e-5);
-        RangeScheme { kw, partitions, attr: attr.to_string() }
+        RangeScheme {
+            kw,
+            partitions,
+            attr: attr.to_string(),
+        }
     }
 
     /// Power-of-two widths from `min_width` up to `max_width`, two offsets
@@ -190,8 +207,14 @@ impl RangeScheme {
         let mut parts = Vec::new();
         let mut w = min_width;
         while w <= max_width {
-            parts.push(Partition { width: w, offset: 0 });
-            parts.push(Partition { width: w, offset: w / 2 });
+            parts.push(Partition {
+                width: w,
+                offset: 0,
+            });
+            parts.push(Partition {
+                width: w,
+                offset: w / 2,
+            });
             match w.checked_mul(2) {
                 Some(next) => w = next,
                 None => break,
@@ -231,7 +254,7 @@ impl RangeScheme {
                 let y = p.subset_of(probe);
                 let (a, b) = p.bounds(y);
                 let err = (lb.abs_diff(a) as u128) + (ub.abs_diff(b) as u128);
-                if best.map_or(true, |(e, ..)| err < e) {
+                if best.is_none_or(|(e, ..)| err < e) {
                     best = Some((err, i, y, (a, b)));
                 }
             }
@@ -301,8 +324,16 @@ mod tests {
         let mut rng = det_rng(132);
         let c = PrfCounter::new();
         let (lt100, _) = s.encrypt_query(Cmp::Less, 100);
-        assert!(InequalityScheme::matches(&s.encrypt_metadata(&mut rng, 50), &lt100, &c));
-        assert!(!InequalityScheme::matches(&s.encrypt_metadata(&mut rng, 150), &lt100, &c));
+        assert!(InequalityScheme::matches(
+            &s.encrypt_metadata(&mut rng, 50),
+            &lt100,
+            &c
+        ));
+        assert!(!InequalityScheme::matches(
+            &s.encrypt_metadata(&mut rng, 150),
+            &lt100,
+            &c
+        ));
     }
 
     #[test]
@@ -315,12 +346,18 @@ mod tests {
 
     #[test]
     fn partition_subsets() {
-        let p = Partition { width: 10, offset: 0 };
+        let p = Partition {
+            width: 10,
+            offset: 0,
+        };
         assert_eq!(p.subset_of(0), 0);
         assert_eq!(p.subset_of(9), 0);
         assert_eq!(p.subset_of(10), 1);
         assert_eq!(p.bounds(2), (20, 30));
-        let off = Partition { width: 10, offset: 5 };
+        let off = Partition {
+            width: 10,
+            offset: 5,
+        };
         assert_eq!(off.subset_of(7), 0);
         assert_eq!(off.subset_of(15), 1);
     }
@@ -331,7 +368,10 @@ mod tests {
         let mut rng = det_rng(133);
         let c = PrfCounter::new();
         let (td, (a, b)) = s.encrypt_query(20, 24);
-        assert!(a <= 20 && b >= 24, "subset [{a},{b}) must cover-ish the query");
+        assert!(
+            a <= 20 && b >= 24,
+            "subset [{a},{b}) must cover-ish the query"
+        );
         // values inside the chosen subset match
         let inside = s.encrypt_metadata(&mut rng, (a + b) / 2);
         assert!(RangeScheme::matches(&inside, &td, &c));
@@ -345,7 +385,10 @@ mod tests {
         let s = RangeScheme::dyadic(b"key", "d", 4, 1024);
         // a narrow query should pick a narrow subset, not the 1024-wide one
         let (_, y, (a, b)) = s.approximate(100, 104);
-        assert!(b - a <= 16, "subset [{a},{b}) too wide for [100,104] (y={y})");
+        assert!(
+            b - a <= 16,
+            "subset [{a},{b}) too wide for [100,104] (y={y})"
+        );
     }
 
     #[test]

@@ -71,8 +71,7 @@ impl PairScheme {
             words.len(),
             self.max_words
         );
-        let mut entries: Vec<String> =
-            words.iter().map(|w| Self::pair_word(w, None)).collect();
+        let mut entries: Vec<String> = words.iter().map(|w| Self::pair_word(w, None)).collect();
         for (i, a) in words.iter().enumerate() {
             for b in &words[i + 1..] {
                 entries.push(Self::pair_word(a, Some(b)));
@@ -134,7 +133,10 @@ mod tests {
         let td = s.trapdoor_pair("alpha", "beta");
         let c = PrfCounter::new();
         assert!(PairScheme::matches(&both, &td, &c));
-        assert!(!PairScheme::matches(&only_a, &td, &c), "A alone must not match (the leak fixed)");
+        assert!(
+            !PairScheme::matches(&only_a, &td, &c),
+            "A alone must not match (the leak fixed)"
+        );
         assert!(!PairScheme::matches(&only_b, &td, &c));
     }
 
@@ -153,7 +155,10 @@ mod tests {
         let c = PrfCounter::new();
         for (i, a) in words.iter().enumerate() {
             for b in &words[i + 1..] {
-                assert!(PairScheme::matches(&m, &s.trapdoor_pair(a, b), &c), "({a},{b})");
+                assert!(
+                    PairScheme::matches(&m, &s.trapdoor_pair(a, b), &c),
+                    "({a},{b})"
+                );
             }
         }
     }
@@ -184,7 +189,10 @@ mod tests {
         // to about 7.5KB with a 1 in 100,000 BF encoding"
         let s = PairScheme::paper_config(b"k");
         let kb = s.metadata_size_bytes() as f64 / 1024.0;
-        assert!((6.0..9.5).contains(&kb), "pair metadata ≈ 7.5KB, got {kb:.1}KB");
+        assert!(
+            (6.0..9.5).contains(&kb),
+            "pair metadata ≈ 7.5KB, got {kb:.1}KB"
+        );
     }
 
     #[test]
@@ -196,9 +204,7 @@ mod tests {
         let c = PrfCounter::new();
         let probes = 4_000;
         let fps = (0..probes)
-            .filter(|i| {
-                PairScheme::matches(&m, &s.trapdoor_pair(&format!("x{i}"), "zz"), &c)
-            })
+            .filter(|i| PairScheme::matches(&m, &s.trapdoor_pair(&format!("x{i}"), "zz"), &c))
             .count();
         assert!(fps <= 2, "false positives {fps}/{probes}");
     }

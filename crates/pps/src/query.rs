@@ -7,8 +7,19 @@
 //! them: most selective first for AND (fail fast), least selective first
 //! for OR (succeed fast). §5.7.1 shows this makes query delay independent
 //! of wildcard terms like "the" — the effect `sec5_7_1` reproduces.
+//!
+//! **Hot path.** [`Matcher`] compiles each trapdoor into a
+//! [`PreparedTrapdoor`] (cached HMAC midstates) on first use, accumulates
+//! PRF counts into a caller-owned [`MatchScratch`] instead of a shared
+//! atomic, and offers [`Matcher::match_batch`] — a survivor-list pipeline
+//! that evaluates one predicate across a whole chunk of records at a time.
+//! The batch path performs *exactly* the probes the scalar short-circuit
+//! path would (a record leaves the survivor list the moment a predicate
+//! settles its fate), so results and PRF counts are identical; only the
+//! loop structure (and therefore key locality and allocation behaviour)
+//! changes.
 
-use crate::bloom_kw::{PrfCounter, Trapdoor};
+use crate::bloom_kw::{PreparedTrapdoor, PrfCounter, Trapdoor};
 use crate::metadata::{Attr, EncryptedMetadata, MetaEncryptor};
 use crate::numeric::Cmp;
 
@@ -52,7 +63,10 @@ impl<'a> QueryCompiler<'a> {
     }
 
     pub fn compile(&self, predicates: &[Predicate], combiner: Combiner) -> CompiledQuery {
-        assert!(!predicates.is_empty(), "a query needs at least one predicate");
+        assert!(
+            !predicates.is_empty(),
+            "a query needs at least one predicate"
+        );
         let trapdoors = predicates
             .iter()
             .map(|p| match p {
@@ -63,13 +77,46 @@ impl<'a> QueryCompiler<'a> {
                 }
             })
             .collect();
-        CompiledQuery { trapdoors, combiner }
+        CompiledQuery {
+            trapdoors,
+            combiner,
+        }
     }
 }
 
-/// Server-side matcher with dynamic predicate ordering. Stateless across
-/// queries; per-query ordering state is rebuilt from the sample prefix, as
-/// the paper's server does.
+/// Per-thread scratch state for the matching hot path: the thread-local
+/// PRF-count shard and the reusable survivor buffers of the batch pipeline.
+/// One instance per matching thread; buffers are allocated once and reused
+/// across chunks, so steady-state matching allocates nothing.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// PRF (codeword) evaluations accumulated by this thread. Callers flush
+    /// it into the shared [`PrfCounter`] when convenient — typically once
+    /// per query, never per probe.
+    pub prf_calls: u64,
+    /// Records still undecided in the current batch (indices into the
+    /// chunk).
+    survivors: Vec<u32>,
+    /// Double buffer for the next predicate round.
+    next: Vec<u32>,
+}
+
+impl MatchScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flush the accumulated PRF count shard into `counter` and reset it.
+    pub fn flush_into(&mut self, counter: &PrfCounter) {
+        counter.add(self.prf_calls);
+        self.prf_calls = 0;
+    }
+}
+
+/// Server-side matcher with dynamic predicate ordering. One matcher serves
+/// one query (ordering state and prepared trapdoors are per-query and are
+/// rebuilt automatically — with their sampling state — when a different
+/// query is passed in), as the paper's server does.
 pub struct Matcher {
     /// Predicate evaluation order (indices into `trapdoors`), decided after
     /// the sampling phase; `None` while still sampling.
@@ -79,69 +126,237 @@ pub struct Matcher {
     sampled: usize,
     /// Enable dynamic ordering (§5.7.1 measures both ways).
     pub dynamic_ordering: bool,
+    /// Midstate-cached trapdoors, built on first use from the query.
+    prepared: Vec<PreparedTrapdoor>,
+    /// Fingerprint of the query the cached state belongs to, so reusing a
+    /// matcher with a *different* query rebuilds rather than silently
+    /// matching against stale keys.
+    prepared_for: Option<u64>,
+}
+
+/// Cheap per-call fingerprint of a query: the trapdoor count mixed with
+/// each trapdoor's leading component bytes. Two distinct queries collide
+/// only if every trapdoor's first 8 PRF-image bytes coincide — 2^-64 per
+/// trapdoor under a PRF.
+fn query_fingerprint(query: &CompiledQuery) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ query.trapdoors.len() as u64;
+    for td in &query.trapdoors {
+        let head = td
+            .parts
+            .first()
+            .map(|p| u64::from_be_bytes(p[..8].try_into().expect("20-byte part")))
+            .unwrap_or(0);
+        h = (h ^ head).wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 impl Matcher {
     pub fn new(n_predicates: usize, dynamic_ordering: bool) -> Self {
         Matcher {
-            order: if dynamic_ordering { None } else { Some((0..n_predicates).collect()) },
+            order: if dynamic_ordering {
+                None
+            } else {
+                Some((0..n_predicates).collect())
+            },
             sample_hits: vec![0; n_predicates],
             sampled: 0,
             dynamic_ordering,
+            prepared: Vec::new(),
+            prepared_for: None,
         }
     }
 
+    /// Compile the query's trapdoors into their midstate-cached form.
+    /// Idempotent for the same query; a different query resets the matcher
+    /// (prepared keys, ordering state, sample counts) and starts fresh.
+    fn ensure_prepared(&mut self, query: &CompiledQuery) {
+        let fp = query_fingerprint(query);
+        if self.prepared_for == Some(fp) {
+            return;
+        }
+        if self.prepared_for.is_some() {
+            // a different query: restart ordering/sampling from scratch
+            *self = Matcher::new(query.trapdoors.len(), self.dynamic_ordering);
+        }
+        self.prepared = query.trapdoors.iter().map(PreparedTrapdoor::new).collect();
+        self.prepared_for = Some(fp);
+    }
+
     /// Match one record, updating ordering state. Returns whether the
-    /// record satisfies the combined query.
+    /// record satisfies the combined query. Counts PRF work into the shared
+    /// `counter` directly — the convenience form of
+    /// [`matches_scratch`](Self::matches_scratch).
     pub fn matches(
         &mut self,
         query: &CompiledQuery,
         meta: &EncryptedMetadata,
         counter: &PrfCounter,
     ) -> bool {
-        match &self.order {
-            None => {
-                // sampling phase: evaluate every predicate to learn
-                // selectivities ("the matching algorithm initially runs all
-                // the predicates in the query regardless of the binary
-                // function")
-                let hits: Vec<bool> = query
-                    .trapdoors
-                    .iter()
-                    .map(|td| MetaEncryptor::matches(meta, td, counter))
-                    .collect();
-                for (h, c) in hits.iter().zip(self.sample_hits.iter_mut()) {
-                    if *h {
-                        *c += 1;
+        let mut calls = 0u64;
+        let hit = self.matches_with(query, meta, &mut calls);
+        counter.add(calls);
+        hit
+    }
+
+    /// Match one record, accumulating PRF counts into `scratch`.
+    pub fn matches_scratch(
+        &mut self,
+        query: &CompiledQuery,
+        meta: &EncryptedMetadata,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        let mut calls = scratch.prf_calls;
+        let hit = self.matches_with(query, meta, &mut calls);
+        scratch.prf_calls = calls;
+        hit
+    }
+
+    fn matches_with(
+        &mut self,
+        query: &CompiledQuery,
+        meta: &EncryptedMetadata,
+        prf_calls: &mut u64,
+    ) -> bool {
+        self.ensure_prepared(query);
+        if self.order.is_none() {
+            return self.sample_one(query, meta, prf_calls);
+        }
+        // index per step: `prepared` needs `&mut` for its probe statistics,
+        // so the order vector cannot stay borrowed across the probe
+        let n = query.trapdoors.len();
+        match query.combiner {
+            Combiner::And => {
+                for k in 0..n {
+                    let i = self.order.as_ref().expect("decided")[k];
+                    if !self.prepared[i].probe(&meta.body, prf_calls) {
+                        return false;
                     }
                 }
-                self.sampled += 1;
-                if self.sampled >= SELECTIVITY_SAMPLES {
-                    let mut idx: Vec<usize> = (0..query.trapdoors.len()).collect();
-                    match query.combiner {
-                        // AND: most selective (fewest hits) first
-                        Combiner::And => idx.sort_by_key(|&i| self.sample_hits[i]),
-                        // OR: least selective (most hits) first
-                        Combiner::Or => {
-                            idx.sort_by_key(|&i| usize::MAX - self.sample_hits[i])
+                true
+            }
+            Combiner::Or => {
+                for k in 0..n {
+                    let i = self.order.as_ref().expect("decided")[k];
+                    if self.prepared[i].probe(&meta.body, prf_calls) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Sampling phase: evaluate every predicate to learn selectivities
+    /// ("the matching algorithm initially runs all the predicates in the
+    /// query regardless of the binary function").
+    fn sample_one(
+        &mut self,
+        query: &CompiledQuery,
+        meta: &EncryptedMetadata,
+        prf_calls: &mut u64,
+    ) -> bool {
+        let n = query.trapdoors.len();
+        assert!(n <= 64, "sampling phase supports ≤ 64 predicates");
+        let mut hit_mask = 0u64;
+        for i in 0..n {
+            if self.prepared[i].probe(&meta.body, prf_calls) {
+                hit_mask |= 1 << i;
+                self.sample_hits[i] += 1;
+            }
+        }
+        self.sampled += 1;
+        if self.sampled >= SELECTIVITY_SAMPLES {
+            let mut idx: Vec<usize> = (0..n).collect();
+            match query.combiner {
+                // AND: most selective (fewest hits) first
+                Combiner::And => idx.sort_by_key(|&i| self.sample_hits[i]),
+                // OR: least selective (most hits) first
+                Combiner::Or => idx.sort_by_key(|&i| usize::MAX - self.sample_hits[i]),
+            }
+            self.order = Some(idx);
+        }
+        match query.combiner {
+            Combiner::And => hit_mask.count_ones() as usize == n,
+            Combiner::Or => hit_mask != 0,
+        }
+    }
+
+    /// Match a whole chunk of records, appending the ids of matches to
+    /// `out`. Equivalent to calling [`matches_scratch`](Self::matches_scratch)
+    /// per record — same results, same PRF counts — but restructured as a
+    /// survivor-list pipeline: each predicate (and each trapdoor component
+    /// within it) sweeps the still-undecided records in one tight loop, so
+    /// a single midstate-cached key stays hot while it crosses the chunk.
+    /// Steady-state, this path performs zero heap allocation beyond `out`.
+    pub fn match_batch(
+        &mut self,
+        query: &CompiledQuery,
+        records: &[EncryptedMetadata],
+        scratch: &mut MatchScratch,
+        out: &mut Vec<u64>,
+    ) {
+        self.ensure_prepared(query);
+        let mut start = 0usize;
+        // sampling prefix runs record-at-a-time (it must see every
+        // predicate per record to estimate selectivities)
+        while self.order.is_none() && start < records.len() {
+            if self.matches_scratch(query, &records[start], scratch) {
+                out.push(records[start].id);
+            }
+            start += 1;
+        }
+        let records = &records[start..];
+        if records.is_empty() {
+            return;
+        }
+
+        scratch.survivors.clear();
+        scratch.survivors.extend(0..records.len() as u32);
+        let mut calls = scratch.prf_calls;
+        let n_preds = query.trapdoors.len();
+        match query.combiner {
+            Combiner::And => {
+                // survivors = records that passed every predicate so far
+                for k in 0..n_preds {
+                    if scratch.survivors.is_empty() {
+                        break;
+                    }
+                    let p = self.order.as_ref().expect("decided")[k];
+                    let prepared = &mut self.prepared[p];
+                    scratch.next.clear();
+                    for &i in &scratch.survivors {
+                        if prepared.probe(&records[i as usize].body, &mut calls) {
+                            scratch.next.push(i);
                         }
                     }
-                    self.order = Some(idx);
+                    std::mem::swap(&mut scratch.survivors, &mut scratch.next);
                 }
-                match query.combiner {
-                    Combiner::And => hits.iter().all(|&h| h),
-                    Combiner::Or => hits.iter().any(|&h| h),
+                out.extend(scratch.survivors.iter().map(|&i| records[i as usize].id));
+            }
+            Combiner::Or => {
+                // survivors = records no predicate has matched yet; a hit
+                // resolves the record immediately (same short-circuit as
+                // the scalar path)
+                for k in 0..n_preds {
+                    if scratch.survivors.is_empty() {
+                        break;
+                    }
+                    let p = self.order.as_ref().expect("decided")[k];
+                    let prepared = &mut self.prepared[p];
+                    scratch.next.clear();
+                    for &i in &scratch.survivors {
+                        if prepared.probe(&records[i as usize].body, &mut calls) {
+                            out.push(records[i as usize].id);
+                        } else {
+                            scratch.next.push(i);
+                        }
+                    }
+                    std::mem::swap(&mut scratch.survivors, &mut scratch.next);
                 }
             }
-            Some(order) => match query.combiner {
-                Combiner::And => order
-                    .iter()
-                    .all(|&i| MetaEncryptor::matches(meta, &query.trapdoors[i], counter)),
-                Combiner::Or => order
-                    .iter()
-                    .any(|&i| MetaEncryptor::matches(meta, &query.trapdoors[i], counter)),
-            },
         }
+        scratch.prf_calls = calls;
     }
 
     /// The decided order, if sampling has completed.
@@ -176,7 +391,12 @@ mod tests {
                 let mtime = rng.gen_range(1_000_000_000..1_700_000_000);
                 enc.encrypt(
                     &mut rng,
-                    &FileMeta { path: format!("/data/file{i}.txt"), keywords: kws, size, mtime },
+                    &FileMeta {
+                        path: format!("/data/file{i}.txt"),
+                        keywords: kws,
+                        size,
+                        mtime,
+                    },
                 )
             })
             .collect()
@@ -188,7 +408,10 @@ mod tests {
         let docs = corpus(&enc, 400, 161);
         let qc = QueryCompiler::new(&enc);
         let q = qc.compile(
-            &[Predicate::Keyword("the".into()), Predicate::Keyword("rare10".into())],
+            &[
+                Predicate::Keyword("the".into()),
+                Predicate::Keyword("rare10".into()),
+            ],
             Combiner::And,
         );
         let mut m = Matcher::new(2, true);
@@ -208,7 +431,10 @@ mod tests {
         let docs = corpus(&enc, 300, 162);
         let qc = QueryCompiler::new(&enc);
         let q = qc.compile(
-            &[Predicate::Keyword("rare20".into()), Predicate::Keyword("rare30".into())],
+            &[
+                Predicate::Keyword("rare20".into()),
+                Predicate::Keyword("rare30".into()),
+            ],
             Combiner::Or,
         );
         let mut m = Matcher::new(2, true);
@@ -229,7 +455,10 @@ mod tests {
         let qc = QueryCompiler::new(&enc);
         // predicate 0 = wildcard ("the" matches all), predicate 1 = selective
         let q = qc.compile(
-            &[Predicate::Keyword("the".into()), Predicate::Keyword("nonexistent".into())],
+            &[
+                Predicate::Keyword("the".into()),
+                Predicate::Keyword("nonexistent".into()),
+            ],
             Combiner::And,
         );
         let mut m = Matcher::new(2, true);
@@ -247,8 +476,10 @@ mod tests {
         let enc = test_encryptor();
         let docs = corpus(&enc, 800, 164);
         let qc = QueryCompiler::new(&enc);
-        let preds =
-            [Predicate::Keyword("the".into()), Predicate::Keyword("xyz".into())];
+        let preds = [
+            Predicate::Keyword("the".into()),
+            Predicate::Keyword("xyz".into()),
+        ];
         let q = qc.compile(&preds, Combiner::And);
 
         let run = |dynamic: bool| -> u64 {
@@ -293,7 +524,11 @@ mod tests {
         let q = qc.compile(
             &[
                 Predicate::Keyword("report".into()),
-                Predicate::Numeric { attr: Attr::Size, cmp: Cmp::Greater, value: 1_000_000 },
+                Predicate::Numeric {
+                    attr: Attr::Size,
+                    cmp: Cmp::Greater,
+                    value: 1_000_000,
+                },
             ],
             Combiner::And,
         );
@@ -307,5 +542,99 @@ mod tests {
     fn static_order_respected() {
         let m = Matcher::new(3, false);
         assert_eq!(m.order().unwrap(), &[0, 1, 2]);
+    }
+
+    // ---- batch path equivalence --------------------------------------------
+
+    /// The batch pipeline must return exactly the scalar path's matches and
+    /// charge exactly the scalar path's PRF count, for both combiners, with
+    /// chunks that do and do not straddle the sampling boundary.
+    #[test]
+    fn batch_path_equals_scalar_path() {
+        let enc = test_encryptor();
+        let docs = corpus(&enc, 700, 166);
+        let qc = QueryCompiler::new(&enc);
+        for (preds, comb) in [
+            (
+                vec![
+                    Predicate::Keyword("the".into()),
+                    Predicate::Keyword("rare20".into()),
+                ],
+                Combiner::And,
+            ),
+            (
+                vec![
+                    Predicate::Keyword("rare10".into()),
+                    Predicate::Keyword("rare40".into()),
+                    Predicate::Keyword("absent".into()),
+                ],
+                Combiner::Or,
+            ),
+        ] {
+            let q = qc.compile(&preds, comb);
+
+            let mut scalar_matches = Vec::new();
+            let c = PrfCounter::new();
+            let mut m_scalar = Matcher::new(preds.len(), true);
+            for d in &docs {
+                if m_scalar.matches(&q, d, &c) {
+                    scalar_matches.push(d.id);
+                }
+            }
+
+            let mut m_batch = Matcher::new(preds.len(), true);
+            let mut scratch = MatchScratch::new();
+            let mut batch_matches = Vec::new();
+            for chunk in docs.chunks(100) {
+                m_batch.match_batch(&q, chunk, &mut scratch, &mut batch_matches);
+            }
+
+            scalar_matches.sort_unstable();
+            batch_matches.sort_unstable();
+            assert_eq!(batch_matches, scalar_matches, "{comb:?} matches differ");
+            assert_eq!(
+                scratch.prf_calls,
+                c.get(),
+                "{comb:?} PRF accounting differs"
+            );
+        }
+    }
+
+    #[test]
+    fn reusing_matcher_with_new_query_rebuilds_prepared_keys() {
+        // regression: the prepared-trapdoor cache must be keyed on the
+        // query, not merely its arity — a second query of the same shape
+        // must not be matched against the first query's keys
+        let enc = test_encryptor();
+        let docs = corpus(&enc, 30, 168);
+        let qc = QueryCompiler::new(&enc);
+        let q1 = qc.compile(&[Predicate::Keyword("rare10".into())], Combiner::And);
+        let q2 = qc.compile(&[Predicate::Keyword("rare20".into())], Combiner::And);
+        let c = PrfCounter::new();
+        let mut m = Matcher::new(1, false);
+        let hits1: Vec<usize> = (0..docs.len())
+            .filter(|&i| m.matches(&q1, &docs[i], &c))
+            .collect();
+        let hits2: Vec<usize> = (0..docs.len())
+            .filter(|&i| m.matches(&q2, &docs[i], &c))
+            .collect();
+        assert_eq!(hits1, vec![10]);
+        assert_eq!(hits2, vec![20], "stale prepared keys leaked across queries");
+    }
+
+    #[test]
+    fn batch_path_without_dynamic_ordering() {
+        let enc = test_encryptor();
+        let docs = corpus(&enc, 150, 167);
+        let qc = QueryCompiler::new(&enc);
+        let q = qc.compile(&[Predicate::Keyword("rare20".into())], Combiner::And);
+        let mut m = Matcher::new(1, false); // order fixed up front: pure batch
+        let mut scratch = MatchScratch::new();
+        let mut got = Vec::new();
+        m.match_batch(&q, &docs, &mut scratch, &mut got);
+        assert_eq!(got, vec![docs[20].id]);
+        assert!(scratch.prf_calls > 0);
+        scratch.flush_into(&PrfCounter::new());
+        assert_eq!(scratch.prf_calls, 0);
     }
 }

@@ -26,7 +26,9 @@ impl RankedScheme {
     /// words add at most `Σ buckets` more.
     pub fn new(key: &[u8], max_words: usize) -> Self {
         let budget = max_words + RANK_BUCKETS.iter().sum::<usize>() * 2;
-        RankedScheme { kw: BloomKeywordScheme::new(key, budget, 1e-5) }
+        RankedScheme {
+            kw: BloomKeywordScheme::new(key, budget, 1e-5),
+        }
     }
 
     fn bucket_word(bucket: usize, word: &str) -> String {
@@ -82,7 +84,10 @@ mod tests {
     fn top_rank_matches_only_leading_keywords() {
         let s = RankedScheme::new(b"key", 50);
         let mut rng = det_rng(141);
-        let m = s.encrypt_metadata(&mut rng, &["rust", "ring", "search", "paper", "disk", "other"]);
+        let m = s.encrypt_metadata(
+            &mut rng,
+            &["rust", "ring", "search", "paper", "disk", "other"],
+        );
         let c = PrfCounter::new();
         // "rust" is rank 0 → in the top-1 bucket
         assert!(RankedScheme::matches(&m, &s.query_top("rust", 1), &c));

@@ -23,18 +23,27 @@ impl DiskProfile {
     /// The thesis's Dell 1950 SATA drive as measured: 66 MB/s effective
     /// sequential transfer, ~10 ms seek (§5.7, §5.7.2).
     pub fn dell1950_disk() -> Self {
-        DiskProfile { bytes_per_sec: 66.0e6, seek_s: 0.010 }
+        DiskProfile {
+            bytes_per_sec: 66.0e6,
+            seek_s: 0.010,
+        }
     }
 
     /// No rate limit (in-memory / warm buffer cache).
     pub fn memory() -> Self {
-        DiskProfile { bytes_per_sec: f64::INFINITY, seek_s: 0.0 }
+        DiskProfile {
+            bytes_per_sec: f64::INFINITY,
+            seek_s: 0.0,
+        }
     }
 
     /// Arbitrary profile.
     pub fn with_rate(mb_per_sec: f64, seek_ms: f64) -> Self {
         assert!(mb_per_sec > 0.0);
-        DiskProfile { bytes_per_sec: mb_per_sec * 1e6, seek_s: seek_ms / 1000.0 }
+        DiskProfile {
+            bytes_per_sec: mb_per_sec * 1e6,
+            seek_s: seek_ms / 1000.0,
+        }
     }
 }
 
@@ -49,7 +58,11 @@ pub struct SimDisk {
 impl SimDisk {
     /// Begin a scan (the seek is charged immediately).
     pub fn begin(profile: DiskProfile) -> Self {
-        let d = SimDisk { profile, started: Instant::now(), bytes_read: 0 };
+        let d = SimDisk {
+            profile,
+            started: Instant::now(),
+            bytes_read: 0,
+        };
         if d.profile.seek_s > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(d.profile.seek_s));
         }
@@ -122,7 +135,10 @@ mod tests {
         // paper: 230 MB at 66 MB/s ≈ 3.5 s
         let t = SimDisk::predicted_scan_time(&p, 230_000_000);
         assert!((t - 3.494).abs() < 0.02, "{t}");
-        assert_eq!(SimDisk::predicted_scan_time(&DiskProfile::memory(), 1 << 40), 0.0);
+        assert_eq!(
+            SimDisk::predicted_scan_time(&DiskProfile::memory(), 1 << 40),
+            0.0
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl MetadataStore {
     /// Build from unsorted records.
     pub fn from_records(mut records: Vec<EncryptedMetadata>) -> Self {
         records.sort_by_key(|r| r.id);
-        let mut store = MetadataStore { records, pointers: Vec::new() };
+        let mut store = MetadataStore {
+            records,
+            pointers: Vec::new(),
+        };
         store.rebuild_pointers();
         store
     }
@@ -109,8 +112,7 @@ impl MetadataStore {
             self.slice_range(lo, hi).iter().collect()
         } else {
             // wrapped: (start, MAX] ∪ [0, end]
-            let mut out: Vec<&EncryptedMetadata> =
-                self.slice_range(lo, u64::MAX).iter().collect();
+            let mut out: Vec<&EncryptedMetadata> = self.slice_range(lo, u64::MAX).iter().collect();
             out.extend(self.slice_range(0, hi).iter());
             out
         }
@@ -141,7 +143,10 @@ mod tests {
     fn rec(id: u64) -> EncryptedMetadata {
         EncryptedMetadata {
             id,
-            body: BloomMetadata { nonce: id ^ 0xabcd, filter: BloomFilter::new(64) },
+            body: BloomMetadata {
+                nonce: id ^ 0xabcd,
+                filter: BloomFilter::new(64),
+            },
         }
     }
 
@@ -189,7 +194,9 @@ mod tests {
     #[test]
     fn windows_partition_store() {
         // records split across a plan's windows land in exactly one window
-        let ids: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let ids: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let s = store(&ids);
         let pts = roar_core::ring::query_points(777, 7);
         let windows = roar_core::ring::windows_of_points(&pts);

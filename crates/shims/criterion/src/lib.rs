@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`: same macro/builder surface, simple but
+//! honest measurement. Each `bench_function` call runs a warm-up, then
+//! `sample_size` timed samples (each batched to at least ~5 ms of work),
+//! and reports median / min / max per-iteration time plus throughput when
+//! one was declared. Results are printed to stdout in a stable one-line
+//! format so scripts can scrape them.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+pub struct Bencher {
+    /// Measured per-iteration times of the collected samples, seconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, batching iterations so each sample spans at least ~5 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up & batch-size calibration: grow until one batch ≥ 5 ms
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || batch >= 1 << 30 {
+                break;
+            }
+            batch = if dt.is_zero() {
+                batch * 16
+            } else {
+                let scale = 0.006 / dt.as_secs_f64();
+                ((batch as f64 * scale.clamp(1.5, 16.0)) as u64).max(batch + 1)
+            };
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// Summary statistics of one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    pub median_s: f64,
+    pub min_s: f64,
+    pub max_s: f64,
+}
+
+fn summarize(samples: &mut [f64]) -> Sampled {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    Sampled {
+        median_s: samples[samples.len() / 2],
+        min_s: samples[0],
+        max_s: samples[samples.len() - 1],
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        assert!(
+            !b.samples.is_empty(),
+            "benchmark body must call Bencher::iter"
+        );
+        let stats = summarize(&mut b.samples);
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.0} elem/s", n as f64 / stats.median_s)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:.1} MB/s", n as f64 / stats.median_s / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{:<32} time: [{} {} {}]{}",
+            self.name,
+            id,
+            fmt_time(stats.min_s),
+            fmt_time(stats.median_s),
+            fmt_time(stats.max_s),
+            thrpt
+        );
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            id: id.to_string(),
+            stats,
+            throughput: self.throughput,
+        });
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// One recorded measurement (accessible to harness code via
+/// [`Criterion::results`]).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub group: String,
+    pub id: String,
+    pub stats: Sampled,
+    pub throughput: Option<Throughput>,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,106 @@
+//! `#[tokio::main]` and `#[tokio::test]` without syn/quote.
+//!
+//! Both attributes rewrite `async fn f(...) -> T { body }` into
+//! `fn f(...) -> T { tokio::runtime::Runtime::new().unwrap().block_on(async move { body }) }`.
+//! Attribute arguments (`flavor = "multi_thread"`, `worker_threads = N`) are
+//! accepted and ignored — the shim runtime has a single flavor.
+//!
+//! Parsing is deliberately structural: drop the top-level `async` keyword,
+//! treat the final brace group as the function body. That covers every use
+//! in this workspace (plain async fns, optional return type, no generics).
+
+use proc_macro::{Delimiter, Group, Ident, Punct, Spacing, Span, TokenStream, TokenTree};
+
+fn rewrite(item: TokenStream, test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // locate the top-level `async` keyword and the trailing body group
+    let async_idx = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "async"))
+        .expect("#[tokio::main]/#[tokio::test] requires an `async fn`");
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("function body not found");
+    assert!(body_idx > async_idx, "malformed async fn");
+
+    let body = match &tokens[body_idx] {
+        TokenTree::Group(g) => g.stream(),
+        _ => unreachable!(),
+    };
+
+    // ::tokio::runtime::Runtime::new().expect("runtime").block_on(async move { body })
+    let mut new_body = TokenStream::new();
+    let path = ["tokio", "runtime", "Runtime"];
+    for seg in path {
+        new_body.extend([
+            TokenTree::Punct(Punct::new(':', Spacing::Joint)),
+            TokenTree::Punct(Punct::new(':', Spacing::Alone)),
+            TokenTree::Ident(Ident::new(seg, Span::call_site())),
+        ]);
+    }
+    new_body.extend([
+        TokenTree::Punct(Punct::new(':', Spacing::Joint)),
+        TokenTree::Punct(Punct::new(':', Spacing::Alone)),
+        TokenTree::Ident(Ident::new("new", Span::call_site())),
+        TokenTree::Group(Group::new(Delimiter::Parenthesis, TokenStream::new())),
+        TokenTree::Punct(Punct::new('.', Spacing::Alone)),
+        TokenTree::Ident(Ident::new("expect", Span::call_site())),
+        TokenTree::Group(Group::new(Delimiter::Parenthesis, {
+            let mut s = TokenStream::new();
+            s.extend([TokenTree::Literal(proc_macro::Literal::string(
+                "tokio runtime",
+            ))]);
+            s
+        })),
+        TokenTree::Punct(Punct::new('.', Spacing::Alone)),
+        TokenTree::Ident(Ident::new("block_on", Span::call_site())),
+        TokenTree::Group(Group::new(Delimiter::Parenthesis, {
+            let mut s = TokenStream::new();
+            s.extend([
+                TokenTree::Ident(Ident::new("async", Span::call_site())),
+                TokenTree::Ident(Ident::new("move", Span::call_site())),
+                TokenTree::Group(Group::new(Delimiter::Brace, body)),
+            ]);
+            s
+        })),
+    ]);
+
+    let mut out = TokenStream::new();
+    if test {
+        // #[test]
+        out.extend([
+            TokenTree::Punct(Punct::new('#', Spacing::Alone)),
+            TokenTree::Group(Group::new(Delimiter::Bracket, {
+                let mut s = TokenStream::new();
+                s.extend([TokenTree::Ident(Ident::new("test", Span::call_site()))]);
+                s
+            })),
+        ]);
+    }
+    for (i, tok) in tokens.into_iter().enumerate() {
+        if i == async_idx {
+            continue; // strip `async`
+        }
+        if i == body_idx {
+            out.extend([TokenTree::Group(Group::new(
+                Delimiter::Brace,
+                new_body.clone(),
+            ))]);
+            continue;
+        }
+        out.extend([tok]);
+    }
+    out
+}
+
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}

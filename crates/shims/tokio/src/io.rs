@@ -1,0 +1,267 @@
+//! Async read/write traits, the `read_exact`/`write_all` combinators the
+//! workspace uses, and an in-memory `duplex` pipe for tests.
+//!
+//! The traits take `&mut self` (not `Pin<&mut Self>`): every implementor in
+//! this shim is `Unpin`, which keeps the combinators trivially safe.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+pub trait AsyncRead: Unpin {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>>;
+}
+
+pub trait AsyncWrite: Unpin {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>>;
+
+    fn poll_flush(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+pub trait AsyncReadExt: AsyncRead {
+    /// Read exactly `buf.len()` bytes; `UnexpectedEof` if the stream ends
+    /// first.
+    fn read_exact<'a>(&'a mut self, buf: &'a mut [u8]) -> ReadExact<'a, Self>
+    where
+        Self: Sized,
+    {
+        ReadExact {
+            r: self,
+            buf,
+            filled: 0,
+        }
+    }
+
+    /// Read some bytes (possibly zero at EOF).
+    fn read<'a>(&'a mut self, buf: &'a mut [u8]) -> ReadSome<'a, Self>
+    where
+        Self: Sized,
+    {
+        ReadSome { r: self, buf }
+    }
+}
+
+impl<T: AsyncRead> AsyncReadExt for T {}
+
+pub trait AsyncWriteExt: AsyncWrite {
+    fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> WriteAll<'a, Self>
+    where
+        Self: Sized,
+    {
+        WriteAll { w: self, buf }
+    }
+
+    fn flush(&mut self) -> Flush<'_, Self>
+    where
+        Self: Sized,
+    {
+        Flush { w: self }
+    }
+}
+
+impl<T: AsyncWrite> AsyncWriteExt for T {}
+
+pub struct ReadExact<'a, R> {
+    r: &'a mut R,
+    buf: &'a mut [u8],
+    filled: usize,
+}
+
+impl<R> Unpin for ReadExact<'_, R> {}
+
+impl<R: AsyncRead> Future for ReadExact<'_, R> {
+    type Output = io::Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        while this.filled < this.buf.len() {
+            let filled = this.filled;
+            match this.r.poll_read(cx, &mut this.buf[filled..]) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "early eof",
+                    )));
+                }
+                Poll::Ready(Ok(n)) => this.filled += n,
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(this.filled))
+    }
+}
+
+pub struct ReadSome<'a, R> {
+    r: &'a mut R,
+    buf: &'a mut [u8],
+}
+
+impl<R> Unpin for ReadSome<'_, R> {}
+
+impl<R: AsyncRead> Future for ReadSome<'_, R> {
+    type Output = io::Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        this.r.poll_read(cx, this.buf)
+    }
+}
+
+pub struct WriteAll<'a, W> {
+    w: &'a mut W,
+    buf: &'a [u8],
+}
+
+impl<W> Unpin for WriteAll<'_, W> {}
+
+impl<W: AsyncWrite> Future for WriteAll<'_, W> {
+    type Output = io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        while !this.buf.is_empty() {
+            match this.w.poll_write(cx, this.buf) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write returned 0",
+                    )));
+                }
+                Poll::Ready(Ok(n)) => this.buf = &this.buf[n..],
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+pub struct Flush<'a, W> {
+    w: &'a mut W,
+}
+
+impl<W> Unpin for Flush<'_, W> {}
+
+impl<W: AsyncWrite> Future for Flush<'_, W> {
+    type Output = io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut().w.poll_flush(cx)
+    }
+}
+
+// ---- in-memory duplex pipe --------------------------------------------------
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    cap: usize,
+    /// The writing end is gone: reads drain then return EOF.
+    write_closed: bool,
+    /// The reading end is gone: writes fail.
+    read_closed: bool,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+}
+
+type Pipe = Arc<Mutex<PipeState>>;
+
+fn new_pipe(cap: usize) -> Pipe {
+    Arc::new(Mutex::new(PipeState {
+        buf: VecDeque::new(),
+        cap,
+        write_closed: false,
+        read_closed: false,
+        read_waker: None,
+        write_waker: None,
+    }))
+}
+
+/// One end of an in-memory bidirectional byte stream.
+pub struct DuplexStream {
+    incoming: Pipe,
+    outgoing: Pipe,
+}
+
+/// Create a connected in-memory stream pair with `cap` bytes of buffer per
+/// direction.
+pub fn duplex(cap: usize) -> (DuplexStream, DuplexStream) {
+    assert!(cap > 0);
+    let a_to_b = new_pipe(cap);
+    let b_to_a = new_pipe(cap);
+    (
+        DuplexStream {
+            incoming: Arc::clone(&b_to_a),
+            outgoing: Arc::clone(&a_to_b),
+        },
+        DuplexStream {
+            incoming: a_to_b,
+            outgoing: b_to_a,
+        },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        let mut p = self.incoming.lock().expect("pipe state");
+        if !p.buf.is_empty() {
+            let n = buf.len().min(p.buf.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = p.buf.pop_front().expect("non-empty");
+            }
+            if let Some(w) = p.write_waker.take() {
+                w.wake();
+            }
+            return Poll::Ready(Ok(n));
+        }
+        if p.write_closed {
+            return Poll::Ready(Ok(0));
+        }
+        p.read_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        let mut p = self.outgoing.lock().expect("pipe state");
+        if p.read_closed {
+            return Poll::Ready(Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone")));
+        }
+        let space = p.cap - p.buf.len();
+        if space == 0 {
+            p.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        p.buf.extend(&buf[..n]);
+        if let Some(w) = p.read_waker.take() {
+            w.wake();
+        }
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        {
+            let mut out = self.outgoing.lock().expect("pipe state");
+            out.write_closed = true;
+            if let Some(w) = out.read_waker.take() {
+                w.wake();
+            }
+        }
+        let mut inc = self.incoming.lock().expect("pipe state");
+        inc.read_closed = true;
+        if let Some(w) = inc.write_waker.take() {
+            w.wake();
+        }
+    }
+}

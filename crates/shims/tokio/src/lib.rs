@@ -1,0 +1,725 @@
+//! Offline stand-in for `tokio`, providing exactly the surface this
+//! workspace uses: a runtime with `block_on`/`spawn`/`spawn_blocking`,
+//! `net::{TcpListener, TcpStream, UdpSocket}`, `io` read/write traits plus
+//! `duplex`, `sync::{oneshot, watch, Mutex}`, `time::{sleep, timeout}`, and
+//! the `select!`/`pin!`/`#[tokio::main]`/`#[tokio::test]` macros.
+//!
+//! Execution model: **one OS thread per task**, each running a small
+//! parker-based executor ([`runtime::block_on`]). Wakers unpark the task's
+//! thread. I/O futures wrap the std blocking sockets with short (1 ms)
+//! platform timeouts and re-wake themselves, so combinators that race
+//! futures (`select!`, `timeout`) observe progress with millisecond
+//! granularity — plenty for the loopback clusters and millisecond RTOs this
+//! workspace runs. The design trades scheduler sophistication for zero
+//! dependencies; the cluster code exercises real sockets, real concurrency
+//! and real races either way.
+
+pub use tokio_macros::{main, test};
+
+/// Granularity of cooperative I/O blocking: how long a leaf I/O future may
+/// block its task's thread before yielding to racing combinators.
+const TICK: std::time::Duration = std::time::Duration::from_millis(1);
+
+pub mod runtime {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+
+    struct ThreadWaker {
+        thread: std::thread::Thread,
+        notified: AtomicBool,
+    }
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.notified.store(true, Ordering::SeqCst);
+            self.thread.unpark();
+        }
+    }
+
+    /// Drive a future to completion on the current thread, parking between
+    /// polls until a waker fires.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        let mut fut: Pin<Box<F>> = Box::pin(fut);
+        let waker_impl = Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(false),
+        });
+        let waker = Waker::from(Arc::clone(&waker_impl));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    // consume one notification; park only if none arrived
+                    // since the poll started (unpark tokens make this safe
+                    // against the wake-just-before-park race)
+                    if !waker_impl.notified.swap(false, Ordering::SeqCst) {
+                        std::thread::park();
+                        waker_impl.notified.store(false, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shim runtime. Single flavor: every task is its own thread, so
+    /// "multi thread" is trivially true and builder knobs are accepted and
+    /// ignored.
+    #[derive(Debug)]
+    pub struct Runtime {
+        _priv: (),
+    }
+
+    impl Runtime {
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime { _priv: () })
+        }
+
+        pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+            block_on(fut)
+        }
+    }
+
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        _priv: (),
+    }
+
+    impl Builder {
+        pub fn new_multi_thread() -> Builder {
+            Builder { _priv: () }
+        }
+
+        pub fn new_current_thread() -> Builder {
+            Builder { _priv: () }
+        }
+
+        pub fn worker_threads(self, _n: usize) -> Builder {
+            self
+        }
+
+        pub fn enable_all(self) -> Builder {
+            self
+        }
+
+        pub fn build(self) -> std::io::Result<Runtime> {
+            Runtime::new()
+        }
+    }
+}
+
+pub mod task {
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Task failed (panicked). Carries no payload beyond the fact.
+    #[derive(Debug)]
+    pub struct JoinError {
+        _priv: (),
+    }
+
+    impl fmt::Display for JoinError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "task panicked")
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    struct JoinState<T> {
+        result: Option<Result<T, JoinError>>,
+        waker: Option<Waker>,
+    }
+
+    /// Handle to a spawned task; awaiting it yields the task's output.
+    pub struct JoinHandle<T> {
+        state: Arc<Mutex<JoinState<T>>>,
+    }
+
+    impl<T> Unpin for JoinHandle<T> {}
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut st = self.state.lock().expect("join state");
+            if let Some(res) = st.result.take() {
+                Poll::Ready(res)
+            } else {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    fn finish<T>(state: &Arc<Mutex<JoinState<T>>>, res: Result<T, JoinError>) {
+        let mut st = state.lock().expect("join state");
+        st.result = Some(res);
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+    }
+
+    /// Spawn a future onto its own thread.
+    pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(Mutex::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("tokio-shim-task".into())
+            .spawn(move || {
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::runtime::block_on(fut)
+                }))
+                .map_err(|_| JoinError { _priv: () });
+                finish(&state2, res);
+            })
+            .expect("spawn task thread");
+        JoinHandle { state }
+    }
+
+    /// Run a blocking closure on its own thread.
+    pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let state = Arc::new(Mutex::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("tokio-shim-blocking".into())
+            .spawn(move || {
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                    .map_err(|_| JoinError { _priv: () });
+                finish(&state2, res);
+            })
+            .expect("spawn blocking thread");
+        JoinHandle { state }
+    }
+}
+
+pub use task::spawn;
+
+pub mod time {
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+    use std::time::{Duration, Instant};
+
+    /// Future that resolves at a deadline. Cooperates with racing
+    /// combinators by blocking in [`crate::TICK`]-sized slices.
+    #[derive(Debug)]
+    pub struct Sleep {
+        deadline: Instant,
+    }
+
+    impl Unpin for Sleep {}
+
+    impl Future for Sleep {
+        type Output = ();
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let now = Instant::now();
+            if now >= self.deadline {
+                return Poll::Ready(());
+            }
+            std::thread::sleep((self.deadline - now).min(crate::TICK));
+            if Instant::now() >= self.deadline {
+                Poll::Ready(())
+            } else {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    pub fn sleep(d: Duration) -> Sleep {
+        Sleep {
+            deadline: Instant::now() + d,
+        }
+    }
+
+    /// The timeout elapsed before the inner future completed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct Elapsed(());
+
+    impl fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+
+    pub struct Timeout<F: Future> {
+        fut: Pin<Box<F>>,
+        sleep: Sleep,
+    }
+
+    impl<F: Future> Unpin for Timeout<F> {}
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, Elapsed>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            match Pin::new(&mut self.sleep).poll(cx) {
+                Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+                Poll::Pending => Poll::Pending,
+            }
+        }
+    }
+
+    pub fn timeout<F: Future>(d: Duration, fut: F) -> Timeout<F> {
+        Timeout {
+            fut: Box::pin(fut),
+            sleep: sleep(d),
+        }
+    }
+}
+
+pub mod sync {
+    pub mod oneshot {
+        use std::fmt;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        pub mod error {
+            /// The sender was dropped without sending.
+            #[derive(Debug, PartialEq, Eq)]
+            pub struct RecvError(pub(crate) ());
+
+            impl std::fmt::Display for RecvError {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "channel closed")
+                }
+            }
+
+            impl std::error::Error for RecvError {}
+        }
+
+        struct Shared<T> {
+            value: Option<T>,
+            sender_gone: bool,
+            receiver_gone: bool,
+            waker: Option<Waker>,
+        }
+
+        impl<T> fmt::Debug for Shared<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "oneshot::Shared")
+            }
+        }
+
+        pub struct Sender<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+        }
+
+        pub struct Receiver<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+        }
+
+        impl<T> Unpin for Receiver<T> {}
+
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let shared = Arc::new(Mutex::new(Shared {
+                value: None,
+                sender_gone: false,
+                receiver_gone: false,
+                waker: None,
+            }));
+            (
+                Sender {
+                    shared: Arc::clone(&shared),
+                },
+                Receiver { shared },
+            )
+        }
+
+        impl<T> Sender<T> {
+            /// Send the value; returns it back if the receiver is gone.
+            pub fn send(self, value: T) -> Result<(), T> {
+                let mut st = self.shared.lock().expect("oneshot state");
+                if st.receiver_gone {
+                    return Err(value);
+                }
+                st.value = Some(value);
+                if let Some(w) = st.waker.take() {
+                    w.wake();
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut st = self.shared.lock().expect("oneshot state");
+                st.sender_gone = true;
+                if let Some(w) = st.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                self.shared.lock().expect("oneshot state").receiver_gone = true;
+            }
+        }
+
+        impl<T> Future for Receiver<T> {
+            type Output = Result<T, error::RecvError>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut st = self.shared.lock().expect("oneshot state");
+                if let Some(v) = st.value.take() {
+                    return Poll::Ready(Ok(v));
+                }
+                if st.sender_gone {
+                    return Poll::Ready(Err(error::RecvError(())));
+                }
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    pub mod watch {
+        use std::future::Future;
+        use std::ops::Deref;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex, MutexGuard};
+        use std::task::{Context, Poll, Waker};
+
+        pub mod error {
+            /// Every sender is gone.
+            #[derive(Debug, PartialEq, Eq)]
+            pub struct RecvError(pub(crate) ());
+
+            impl std::fmt::Display for RecvError {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "watch channel closed")
+                }
+            }
+
+            impl std::error::Error for RecvError {}
+        }
+
+        struct Shared<T> {
+            value: T,
+            version: u64,
+            senders: usize,
+            wakers: Vec<Waker>,
+        }
+
+        pub struct Sender<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+        }
+
+        pub struct Receiver<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+            seen: u64,
+        }
+
+        pub fn channel<T>(init: T) -> (Sender<T>, Receiver<T>) {
+            let shared = Arc::new(Mutex::new(Shared {
+                value: init,
+                version: 0,
+                senders: 1,
+                wakers: Vec::new(),
+            }));
+            (
+                Sender {
+                    shared: Arc::clone(&shared),
+                },
+                Receiver { shared, seen: 0 },
+            )
+        }
+
+        impl<T> Sender<T> {
+            pub fn send(&self, value: T) -> Result<(), T> {
+                let mut st = self.shared.lock().expect("watch state");
+                st.value = value;
+                st.version += 1;
+                for w in st.wakers.drain(..) {
+                    w.wake();
+                }
+                Ok(())
+            }
+
+            pub fn subscribe(&self) -> Receiver<T> {
+                let st = self.shared.lock().expect("watch state");
+                Receiver {
+                    shared: Arc::clone(&self.shared),
+                    seen: st.version,
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut st = self.shared.lock().expect("watch state");
+                st.senders -= 1;
+                if st.senders == 0 {
+                    for w in st.wakers.drain(..) {
+                        w.wake();
+                    }
+                }
+            }
+        }
+
+        /// Borrow guard over the current value.
+        pub struct Ref<'a, T> {
+            guard: MutexGuard<'a, Shared<T>>,
+        }
+
+        impl<T> Deref for Ref<'_, T> {
+            type Target = T;
+
+            fn deref(&self) -> &T {
+                &self.guard.value
+            }
+        }
+
+        impl<T> Receiver<T> {
+            pub fn borrow(&self) -> Ref<'_, T> {
+                Ref {
+                    guard: self.shared.lock().expect("watch state"),
+                }
+            }
+
+            /// Wait for a version newer than the last one seen.
+            pub fn changed(&mut self) -> Changed<'_, T> {
+                Changed { rx: self }
+            }
+        }
+
+        impl<T> Clone for Receiver<T> {
+            fn clone(&self) -> Self {
+                Receiver {
+                    shared: Arc::clone(&self.shared),
+                    seen: self.seen,
+                }
+            }
+        }
+
+        pub struct Changed<'a, T> {
+            rx: &'a mut Receiver<T>,
+        }
+
+        impl<T> Unpin for Changed<'_, T> {}
+
+        impl<T> Future for Changed<'_, T> {
+            type Output = Result<(), error::RecvError>;
+
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut st = self.rx.shared.lock().expect("watch state");
+                if st.version != self.rx.seen {
+                    let v = st.version;
+                    drop(st);
+                    self.rx.seen = v;
+                    return Poll::Ready(Ok(()));
+                }
+                if st.senders == 0 {
+                    return Poll::Ready(Err(error::RecvError(())));
+                }
+                st.wakers.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    mod async_mutex {
+        use std::cell::UnsafeCell;
+        use std::collections::VecDeque;
+        use std::future::Future;
+        use std::ops::{Deref, DerefMut};
+        use std::pin::Pin;
+        use std::sync::Mutex as StdMutex;
+        use std::task::{Context, Poll, Waker};
+
+        struct LockState {
+            locked: bool,
+            waiters: VecDeque<Waker>,
+        }
+
+        /// Async mutex: the guard may be held across `.await` points.
+        pub struct Mutex<T: ?Sized> {
+            state: StdMutex<LockState>,
+            value: UnsafeCell<T>,
+        }
+
+        unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+        unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+        impl<T> Mutex<T> {
+            pub fn new(value: T) -> Self {
+                Mutex {
+                    state: StdMutex::new(LockState {
+                        locked: false,
+                        waiters: VecDeque::new(),
+                    }),
+                    value: UnsafeCell::new(value),
+                }
+            }
+        }
+
+        impl<T: ?Sized> Mutex<T> {
+            pub fn lock(&self) -> LockFuture<'_, T> {
+                LockFuture { mutex: self }
+            }
+        }
+
+        pub struct LockFuture<'a, T: ?Sized> {
+            mutex: &'a Mutex<T>,
+        }
+
+        impl<T: ?Sized> Unpin for LockFuture<'_, T> {}
+
+        impl<'a, T: ?Sized> Future for LockFuture<'a, T> {
+            type Output = MutexGuard<'a, T>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut st = self.mutex.state.lock().expect("mutex state");
+                if !st.locked {
+                    st.locked = true;
+                    Poll::Ready(MutexGuard { mutex: self.mutex })
+                } else {
+                    st.waiters.push_back(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+
+        pub struct MutexGuard<'a, T: ?Sized> {
+            mutex: &'a Mutex<T>,
+        }
+
+        unsafe impl<T: ?Sized + Send> Send for MutexGuard<'_, T> {}
+        unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+        impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+            type Target = T;
+
+            fn deref(&self) -> &T {
+                // safe: the guard proves exclusive logical ownership
+                unsafe { &*self.mutex.value.get() }
+            }
+        }
+
+        impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                unsafe { &mut *self.mutex.value.get() }
+            }
+        }
+
+        impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+            fn drop(&mut self) {
+                let mut st = self.mutex.state.lock().expect("mutex state");
+                st.locked = false;
+                if let Some(w) = st.waiters.pop_front() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    pub use async_mutex::{Mutex, MutexGuard};
+}
+
+pub mod io;
+pub mod net;
+
+/// Support types for the `select!` macro expansion.
+pub mod macros_support {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+
+    pub enum Either<A, B> {
+        Left(A),
+        Right(B),
+    }
+
+    pub struct Race2<F1: Future, F2: Future> {
+        f1: Pin<Box<F1>>,
+        f2: Pin<Box<F2>>,
+    }
+
+    impl<F1: Future, F2: Future> Unpin for Race2<F1, F2> {}
+
+    impl<F1: Future, F2: Future> Future for Race2<F1, F2> {
+        type Output = Either<F1::Output, F2::Output>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            if let Poll::Ready(v) = self.f1.as_mut().poll(cx) {
+                return Poll::Ready(Either::Left(v));
+            }
+            if let Poll::Ready(v) = self.f2.as_mut().poll(cx) {
+                return Poll::Ready(Either::Right(v));
+            }
+            Poll::Pending
+        }
+    }
+
+    /// Race two futures; first ready wins (left-biased on simultaneous
+    /// readiness).
+    pub fn race2<F1: Future, F2: Future>(f1: F1, f2: F2) -> Race2<F1, F2> {
+        Race2 {
+            f1: Box::pin(f1),
+            f2: Box::pin(f2),
+        }
+    }
+}
+
+/// Two-branch `select!` — the only arity this workspace uses. Branches are
+/// raced left-biased; the losing future is dropped (same cancellation
+/// semantics callers rely on from upstream tokio).
+#[macro_export]
+macro_rules! select {
+    ($p1:pat = $e1:expr => $b1:block $p2:pat = $e2:expr => $b2:block) => {
+        match $crate::macros_support::race2($e1, $e2).await {
+            $crate::macros_support::Either::Left($p1) => $b1,
+            $crate::macros_support::Either::Right($p2) => $b2,
+        }
+    };
+    ($p1:pat = $e1:expr => $b1:expr, $p2:pat = $e2:expr => $b2:expr $(,)?) => {
+        match $crate::macros_support::race2($e1, $e2).await {
+            $crate::macros_support::Either::Left($p1) => $b1,
+            $crate::macros_support::Either::Right($p2) => $b2,
+        }
+    };
+}
+
+/// Shim `pin!`: every leaf future in this shim is `Unpin`, so pinning
+/// reduces to a rebinding that prevents moves by shadowing.
+#[macro_export]
+macro_rules! pin {
+    ($($x:ident),* $(,)?) => {
+        $(let mut $x = $x;)*
+    };
+}

@@ -1,0 +1,244 @@
+//! Async TCP/UDP wrappers over the std blocking sockets.
+//!
+//! Reads carry a short platform read-timeout: a blocked read wakes the
+//! moment data arrives, or returns `WouldBlock` after the timeout, at which
+//! point the future yields `Pending` with a self-wake so racing combinators
+//! (`timeout`, `select!`) regain control. Accept polls non-blocking with a
+//! short sleep — listener sockets have no platform accept-timeout.
+
+use crate::io::{AsyncRead, AsyncWrite};
+use std::future::Future;
+use std::io;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+/// How long a socket read may block before yielding to combinators. Long
+/// enough to keep idle reader tasks cheap, short enough that `timeout(...)`
+/// wrappers stay accurate to tens of milliseconds.
+const READ_TICK: Duration = Duration::from_millis(20);
+
+/// Poll cadence for `accept` (no platform timeout exists for listeners).
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+fn configure(stream: &std::net::TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(READ_TICK))?;
+    Ok(())
+}
+
+fn is_retry(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn accept(&self) -> Accept<'_> {
+        Accept { listener: self }
+    }
+}
+
+pub struct Accept<'a> {
+    listener: &'a TcpListener,
+}
+
+impl Unpin for Accept<'_> {}
+
+impl Future for Accept<'_> {
+    type Output = io::Result<(TcpStream, SocketAddr)>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        for attempt in 0..2 {
+            match self.listener.inner.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nonblocking(false)?;
+                    configure(&stream)?;
+                    return Poll::Ready(Ok((TcpStream { inner: stream }, peer)));
+                }
+                Err(e) if is_retry(e.kind()) => {
+                    if attempt == 0 {
+                        std::thread::sleep(ACCEPT_TICK);
+                    }
+                }
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        }
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    pub async fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        configure(&inner)?;
+        Ok(TcpStream { inner })
+    }
+
+    pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
+        let clone = self.inner.try_clone().expect("clone tcp stream");
+        (
+            tcp::OwnedReadHalf { inner: self.inner },
+            tcp::OwnedWriteHalf { inner: clone },
+        )
+    }
+}
+
+fn poll_read_std<R: io::Read>(
+    r: &mut R,
+    cx: &mut Context<'_>,
+    buf: &mut [u8],
+) -> Poll<io::Result<usize>> {
+    match r.read(buf) {
+        Ok(n) => Poll::Ready(Ok(n)),
+        Err(e) if is_retry(e.kind()) => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        Err(e) => Poll::Ready(Err(e)),
+    }
+}
+
+fn poll_write_std<W: io::Write>(
+    w: &mut W,
+    cx: &mut Context<'_>,
+    buf: &[u8],
+) -> Poll<io::Result<usize>> {
+    match w.write(buf) {
+        Ok(n) => Poll::Ready(Ok(n)),
+        Err(e) if is_retry(e.kind()) => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        Err(e) => Poll::Ready(Err(e)),
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        poll_read_std(&mut self.inner, cx, buf)
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        poll_write_std(&mut self.inner, cx, buf)
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(io::Write::flush(&mut self.inner))
+    }
+}
+
+pub mod tcp {
+    use super::*;
+
+    pub struct OwnedReadHalf {
+        pub(super) inner: std::net::TcpStream,
+    }
+
+    pub struct OwnedWriteHalf {
+        pub(super) inner: std::net::TcpStream,
+    }
+
+    impl AsyncRead for OwnedReadHalf {
+        fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+            poll_read_std(&mut self.inner, cx, buf)
+        }
+    }
+
+    impl AsyncWrite for OwnedWriteHalf {
+        fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+            poll_write_std(&mut self.inner, cx, buf)
+        }
+
+        fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+            Poll::Ready(io::Write::flush(&mut self.inner))
+        }
+    }
+}
+
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_read_timeout(Some(READ_TICK))?;
+        Ok(UdpSocket { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// UDP sends do not meaningfully block; complete inline.
+    pub async fn send_to<A: std::net::ToSocketAddrs>(
+        &self,
+        buf: &[u8],
+        target: A,
+    ) -> io::Result<usize> {
+        self.inner.send_to(buf, target)
+    }
+
+    pub fn recv_from<'a>(&'a self, buf: &'a mut [u8]) -> RecvFrom<'a> {
+        RecvFrom { sock: self, buf }
+    }
+}
+
+pub struct RecvFrom<'a> {
+    sock: &'a UdpSocket,
+    buf: &'a mut [u8],
+}
+
+impl Unpin for RecvFrom<'_> {}
+
+impl Future for RecvFrom<'_> {
+    type Output = io::Result<(usize, SocketAddr)>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.sock.inner.recv_from(this.buf) {
+            Ok(v) => Poll::Ready(Ok(v)),
+            Err(e) if is_retry(e.kind()) => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}

@@ -14,10 +14,10 @@
 
 use crate::engine::SimConfig;
 use crate::servers::SimServers;
+use rand::Rng;
 use roar_dr::sched::{FinishEstimator, QueryScheduler};
 use roar_util::sample::Exponential;
 use roar_util::{det_rng, Summary};
-use rand::Rng;
 
 /// Result of an admission-controlled run.
 #[derive(Debug, Clone)]
@@ -83,7 +83,11 @@ pub fn run_sim_yield(
         delays.push(finish - t);
     }
 
-    let measured = if delays.len() > cfg.warmup { &delays[cfg.warmup..] } else { &delays[..] };
+    let measured = if delays.len() > cfg.warmup {
+        &delays[cfg.warmup..]
+    } else {
+        &delays[..]
+    };
     let summary = Summary::from(measured);
     YieldResult {
         offered: cfg.n_queries,
@@ -106,13 +110,23 @@ mod tests {
     }
 
     fn cfg(rate: f64, n: usize) -> SimConfig {
-        SimConfig { arrival_rate: rate, n_queries: n, warmup: 50, ..Default::default() }
+        SimConfig {
+            arrival_rate: rate,
+            n_queries: n,
+            warmup: 50,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn light_load_admits_everything() {
         // service time 0.25s; bound 1s; light load → nothing dropped
-        let r = run_sim_yield(&cfg(0.5, 800), servers(4, 1.0), &OptScheduler::new(4), Some(1.0));
+        let r = run_sim_yield(
+            &cfg(0.5, 800),
+            servers(4, 1.0),
+            &OptScheduler::new(4),
+            Some(1.0),
+        );
         assert_eq!(r.yield_frac, 1.0);
         assert!((r.mean_delay - 0.25).abs() < 0.05, "mean {}", r.mean_delay);
     }
@@ -120,7 +134,12 @@ mod tests {
     #[test]
     fn overload_without_admission_is_unbounded() {
         // 2 work/s capacity, 5 q/s offered: queues grow without bound
-        let r = run_sim_yield(&cfg(5.0, 2500), servers(2, 1.0), &OptScheduler::new(2), None);
+        let r = run_sim_yield(
+            &cfg(5.0, 2500),
+            servers(2, 1.0),
+            &OptScheduler::new(2),
+            None,
+        );
         assert_eq!(r.yield_frac, 1.0, "no admission = everything served (late)");
         assert!(r.mean_delay > 10.0, "delays blow up: {}", r.mean_delay);
     }
@@ -134,8 +153,16 @@ mod tests {
             &OptScheduler::new(2),
             Some(bound),
         );
-        assert!(r.yield_frac < 0.9, "overload must shed load: yield {}", r.yield_frac);
-        assert!(r.yield_frac > 0.2, "but not collapse: yield {}", r.yield_frac);
+        assert!(
+            r.yield_frac < 0.9,
+            "overload must shed load: yield {}",
+            r.yield_frac
+        );
+        assert!(
+            r.yield_frac > 0.2,
+            "but not collapse: yield {}",
+            r.yield_frac
+        );
         assert!(
             r.mean_delay <= bound * 1.01,
             "served queries stay within the bound: {}",
@@ -144,7 +171,10 @@ mod tests {
         // the served rate cannot exceed capacity (2 q/s here) but should
         // approach it — admission keeps the system busy, not idle
         let served_rate = r.served as f64 / r.duration;
-        assert!(served_rate > 1.5, "throughput retained under overload: {served_rate}");
+        assert!(
+            served_rate > 1.5,
+            "throughput retained under overload: {served_rate}"
+        );
     }
 
     #[test]
@@ -161,13 +191,21 @@ mod tests {
             &OptScheduler::new(2),
             Some(1.0),
         );
-        assert!(tight.yield_frac < loose.yield_frac, "tight {tight:?} loose {loose:?}");
+        assert!(
+            tight.yield_frac < loose.yield_frac,
+            "tight {tight:?} loose {loose:?}"
+        );
         assert!(tight.mean_delay < loose.mean_delay);
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_bound_rejected() {
-        let _ = run_sim_yield(&cfg(1.0, 10), servers(2, 1.0), &OptScheduler::new(2), Some(0.0));
+        let _ = run_sim_yield(
+            &cfg(1.0, 10),
+            servers(2, 1.0),
+            &OptScheduler::new(2),
+            Some(0.0),
+        );
     }
 }

@@ -83,8 +83,10 @@ pub fn roar_lost_regions(map: &RingMap, p: usize, dead: &[bool]) -> Vec<(u64, u1
 /// Multi-ring strict availability: every ring may lose regions, but the
 /// operation only fails if some object is lost in *all* rings.
 pub fn multiring_strict_ok(rings: &[(RingMap, usize)], dead: &[bool]) -> bool {
-    let lost_per_ring: Vec<Vec<(u64, u128)>> =
-        rings.iter().map(|(map, p)| roar_lost_regions(map, *p, dead)).collect();
+    let lost_per_ring: Vec<Vec<(u64, u128)>> = rings
+        .iter()
+        .map(|(map, p)| roar_lost_regions(map, *p, dead))
+        .collect();
     // an object is lost overall iff it lies in a lost region of every ring
     // (a fully-wiped ring contributes a FULL-length region and defers to the
     // others); check by intersecting region lists — runs are rare, so the
@@ -145,8 +147,7 @@ pub fn sw_strict_ok(sw: &SlidingWindow, dead: &[bool]) -> bool {
     if n == 0 {
         return false;
     }
-    (0..n).any(|i| !dead[i])
-        && (0..n).all(|start| (0..sw.r()).any(|k| !dead[(start + k) % n]))
+    (0..n).any(|i| !dead[i]) && (0..n).all(|start| (0..sw.r()).any(|k| !dead[(start + k) % n]))
 }
 
 /// RAND object-availability (analytic): probability at least one of `d`
@@ -284,7 +285,10 @@ mod tests {
         // ring A alone has lost a region…
         assert!(!roar_strict_ok(&a, 5, &dead));
         // …but ring B still covers it, so the multi-ring system survives
-        assert!(multiring_strict_ok(&[(a.clone(), 5), (b.clone(), 5)], &dead));
+        assert!(multiring_strict_ok(
+            &[(a.clone(), 5), (b.clone(), 5)],
+            &dead
+        ));
         // also kill the matching region of ring B
         dead[6] = true;
         dead[7] = true;
@@ -325,12 +329,10 @@ mod tests {
     fn unavailability_monotone_in_failure_prob() {
         let map = uniform_map(12);
         let mut rng = det_rng(92);
-        let u1 = monte_carlo_unavailability(&mut rng, 12, 0.1, 2000, &|d| {
-            roar_strict_ok(&map, 4, d)
-        });
-        let u2 = monte_carlo_unavailability(&mut rng, 12, 0.4, 2000, &|d| {
-            roar_strict_ok(&map, 4, d)
-        });
+        let u1 =
+            monte_carlo_unavailability(&mut rng, 12, 0.1, 2000, &|d| roar_strict_ok(&map, 4, d));
+        let u2 =
+            monte_carlo_unavailability(&mut rng, 12, 0.4, 2000, &|d| roar_strict_ok(&map, 4, d));
         assert!(u2 > u1, "{u1} -> {u2}");
     }
 }

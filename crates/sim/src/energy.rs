@@ -19,7 +19,10 @@ impl PowerModel {
     /// A typical 2009-era 1U dual-socket server (Dell 1950 class): ~210 W
     /// idle, ~330 W under full CPU load.
     pub fn dell1950() -> Self {
-        PowerModel { idle_w: 210.0, busy_w: 330.0 }
+        PowerModel {
+            idle_w: 210.0,
+            busy_w: 330.0,
+        }
     }
 
     /// Average power at busy fraction `beta ∈ [0, 1]`.
@@ -41,12 +44,7 @@ pub fn fleet_energy(model: &PowerModel, busy_time: &[f64], duration: f64) -> f64
 
 /// Relative energy saving of run `a` versus run `b` over the same duration
 /// and fleet (Table 7.2's headline number): `1 − E_a/E_b`.
-pub fn energy_saving(
-    model: &PowerModel,
-    busy_a: &[f64],
-    busy_b: &[f64],
-    duration: f64,
-) -> f64 {
+pub fn energy_saving(model: &PowerModel, busy_a: &[f64], busy_b: &[f64], duration: f64) -> f64 {
     let ea = fleet_energy(model, busy_a, duration);
     let eb = fleet_energy(model, busy_b, duration);
     1.0 - ea / eb

@@ -7,11 +7,11 @@
 //! thousand) to ensure we capture long-term averages."
 
 use crate::servers::SimServers;
+use rand::Rng;
 use roar_dr::sched::{FinishEstimator, QueryScheduler};
+use roar_util::det_rng;
 use roar_util::sample::Exponential;
 use roar_util::{LinearFit, Summary};
-use rand::Rng;
-use roar_util::det_rng;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +68,10 @@ impl SimResult {
         if self.duration <= 0.0 {
             return vec![0.0; self.busy_time.len()];
         }
-        self.busy_time.iter().map(|&b| (b / self.duration).min(1.0)).collect()
+        self.busy_time
+            .iter()
+            .map(|&b| (b / self.duration).min(1.0))
+            .collect()
     }
 }
 
@@ -111,7 +114,11 @@ pub fn run_sim(cfg: &SimConfig, mut servers: SimServers, sched: &dyn QuerySchedu
     let delays: Vec<f64> = measured.iter().map(|&(_, d)| d).collect();
     let summary = Summary::from(&delays);
     SimResult {
-        mean_delay: if exploded { f64::INFINITY } else { summary.mean },
+        mean_delay: if exploded {
+            f64::INFINITY
+        } else {
+            summary.mean
+        },
         delays: if exploded { Vec::new() } else { delays },
         summary,
         exploded,
@@ -164,18 +171,32 @@ mod tests {
     fn light_load_delay_matches_service_time() {
         // 4 servers speed 1.0, p=4 → each sub-query 0.25 work → 0.25s; very
         // light load so no queueing
-        let cfg = SimConfig { arrival_rate: 0.1, n_queries: 300, warmup: 10, ..Default::default() };
+        let cfg = SimConfig {
+            arrival_rate: 0.1,
+            n_queries: 300,
+            warmup: 10,
+            ..Default::default()
+        };
         let sched = OptScheduler::new(4);
         let res = run_sim(&cfg, uniform_servers(4, 1.0, 0.0), &sched);
         assert!(!res.exploded);
-        assert!((res.mean_delay - 0.25).abs() < 0.01, "mean {}", res.mean_delay);
+        assert!(
+            (res.mean_delay - 0.25).abs() < 0.01,
+            "mean {}",
+            res.mean_delay
+        );
     }
 
     #[test]
     fn overload_detected_as_explosion() {
         // capacity: 2 servers × speed 1 = 2 work/s; each query needs 1 work
         // → max 2 q/s; offer 5 q/s
-        let cfg = SimConfig { arrival_rate: 5.0, n_queries: 1500, warmup: 50, ..Default::default() };
+        let cfg = SimConfig {
+            arrival_rate: 5.0,
+            n_queries: 1500,
+            warmup: 50,
+            ..Default::default()
+        };
         let sched = OptScheduler::new(2);
         let res = run_sim(&cfg, uniform_servers(2, 1.0, 0.0), &sched);
         assert!(res.exploded);
@@ -184,7 +205,12 @@ mod tests {
 
     #[test]
     fn below_capacity_is_stable() {
-        let cfg = SimConfig { arrival_rate: 1.0, n_queries: 1500, warmup: 50, ..Default::default() };
+        let cfg = SimConfig {
+            arrival_rate: 1.0,
+            n_queries: 1500,
+            warmup: 50,
+            ..Default::default()
+        };
         let sched = OptScheduler::new(2);
         let res = run_sim(&cfg, uniform_servers(2, 1.0, 0.0), &sched);
         assert!(!res.exploded, "1 q/s on 2 work/s capacity must be stable");
@@ -198,18 +224,31 @@ mod tests {
         // capacity is 4 work/s (4 servers × speed 1, 1 work per query);
         // stay below it and watch queueing delay grow
         for rate in [0.5, 2.0, 3.2] {
-            let cfg =
-                SimConfig { arrival_rate: rate, n_queries: 2000, warmup: 100, ..Default::default() };
+            let cfg = SimConfig {
+                arrival_rate: rate,
+                n_queries: 2000,
+                warmup: 100,
+                ..Default::default()
+            };
             let res = run_sim(&cfg, uniform_servers(4, 1.0, 0.0), &sched);
             assert!(!res.exploded, "rate {rate}");
-            assert!(res.mean_delay > last, "rate {rate}: {} vs {last}", res.mean_delay);
+            assert!(
+                res.mean_delay > last,
+                "rate {rate}: {} vs {last}",
+                res.mean_delay
+            );
             last = res.mean_delay;
         }
     }
 
     #[test]
     fn messages_counted_per_subquery() {
-        let cfg = SimConfig { arrival_rate: 1.0, n_queries: 100, warmup: 0, ..Default::default() };
+        let cfg = SimConfig {
+            arrival_rate: 1.0,
+            n_queries: 100,
+            warmup: 0,
+            ..Default::default()
+        };
         let ptn = Ptn::new(DrConfig::new(8, 4));
         let res = run_sim(&cfg, uniform_servers(8, 1.0, 0.0), &ptn.scheduler());
         assert_eq!(res.messages, 400); // 100 queries × p=4
@@ -254,12 +293,20 @@ mod tests {
             600,
             7,
         );
-        assert!((thr_p2 - thr_p6).abs() / thr_p2 < 0.1, "{thr_p2} vs {thr_p6}");
+        assert!(
+            (thr_p2 - thr_p6).abs() / thr_p2 < 0.1,
+            "{thr_p2} vs {thr_p6}"
+        );
     }
 
     #[test]
     fn utilisation_bounded() {
-        let cfg = SimConfig { arrival_rate: 1.5, n_queries: 800, warmup: 50, ..Default::default() };
+        let cfg = SimConfig {
+            arrival_rate: 1.5,
+            n_queries: 800,
+            warmup: 50,
+            ..Default::default()
+        };
         let res = run_sim(&cfg, uniform_servers(4, 1.0, 0.0), &OptScheduler::new(2));
         for u in res.utilisation() {
             assert!((0.0..=1.0).contains(&u));

@@ -47,7 +47,12 @@ mod tests {
     use super::*;
 
     fn model(r: f64) -> UpdateModel {
-        UpdateModel { n: 40, r, t_update: 0.002, base_throughput: 100.0 }
+        UpdateModel {
+            n: 40,
+            r,
+            t_update: 0.002,
+            base_throughput: 100.0,
+        }
     }
 
     #[test]

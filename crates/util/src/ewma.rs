@@ -23,7 +23,10 @@ impl Ewma {
     /// # Panics
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
         Ewma { alpha, value: None }
     }
 

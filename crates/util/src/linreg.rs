@@ -38,8 +38,16 @@ impl LinearFit {
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
         let syy: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
-        let r2 = if syy == 0.0 { 0.0 } else { (sxy * sxy) / (sxx * syy) };
-        Some(LinearFit { slope, intercept, r2 })
+        let r2 = if syy == 0.0 {
+            0.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r2,
+        })
     }
 
     /// Paper's queue-explosion rule (§6.1): the delay-vs-time slope exceeds
@@ -87,8 +95,9 @@ mod tests {
     #[test]
     fn explosion_detection_matches_paper_rule() {
         // stable system: delays hover around a constant
-        let stable: Vec<(f64, f64)> =
-            (0..100).map(|i| (i as f64, 0.5 + 0.01 * ((i % 7) as f64))).collect();
+        let stable: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64, 0.5 + 0.01 * ((i % 7) as f64)))
+            .collect();
         assert!(!LinearFit::queue_exploding(&stable, 0.1));
 
         // exploding system: delay grows by 0.5 per unit time

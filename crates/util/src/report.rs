@@ -18,7 +18,10 @@ pub struct Table {
 
 impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row. Rows shorter than the header are padded with blanks;
@@ -55,12 +58,12 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |out: &mut String, cells: &[String]| {
-            for i in 0..ncols {
+            for (i, &width) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 if i + 1 == ncols {
                     let _ = write!(out, "{cell}");
                 } else {
-                    let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+                    let _ = write!(out, "{cell:<width$}  ");
                 }
             }
             out.push('\n');
@@ -101,7 +104,10 @@ enum Section {
 
 impl Report {
     pub fn new<S: Into<String>>(title: S) -> Self {
-        Report { title: title.into(), sections: Vec::new() }
+        Report {
+            title: title.into(),
+            sections: Vec::new(),
+        }
     }
 
     /// Add a free-form note (parameters, observations, paper expectations).

@@ -22,7 +22,10 @@ impl Exponential {
     /// # Panics
     /// Panics if `lambda` is not strictly positive and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive, got {lambda}");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive, got {lambda}"
+        );
         Exponential { lambda }
     }
 
@@ -48,7 +51,10 @@ impl Poisson {
     /// # Panics
     /// Panics if `lambda` is not strictly positive and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive, got {lambda}");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive, got {lambda}"
+        );
         Poisson { lambda }
     }
 
@@ -85,7 +91,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative, got {s}");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be non-negative, got {s}"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -102,7 +111,10 @@ impl Zipf {
     /// Draw a rank in `1..=n` (rank 1 is the most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }

@@ -31,7 +31,10 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    debug_assert!(v.iter().all(|x| !x.is_nan()), "NaN sample in percentile input");
+    debug_assert!(
+        v.iter().all(|x| !x.is_nan()),
+        "NaN sample in percentile input"
+    );
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     percentile_sorted(&v, q)
 }

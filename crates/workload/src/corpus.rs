@@ -16,9 +16,9 @@
 //!   substitution in DESIGN.md.
 
 use rand::Rng;
-use roar_pps::metadata::{EncryptedMetadata, FileMeta, MetaEncryptor};
-use roar_pps::bloom_kw::BloomMetadata;
 use roar_crypto::bloom::{BloomFilter, BloomParams};
+use roar_pps::bloom_kw::BloomMetadata;
+use roar_pps::metadata::{EncryptedMetadata, FileMeta, MetaEncryptor};
 use roar_util::sample::Zipf;
 
 /// Keyword vocabulary size of the synthetic corpus.
@@ -42,7 +42,9 @@ impl CorpusGenerator {
         CorpusGenerator {
             // web-search keyword popularity is Zipfian with s ≈ 1
             zipf: Zipf::new(VOCABULARY, 1.0),
-            dirs: vec!["home", "docs", "papers", "photos", "src", "mail", "music", "backup"],
+            dirs: vec![
+                "home", "docs", "papers", "photos", "src", "mail", "music", "backup",
+            ],
             exts: vec!["txt", "pdf", "jpg", "rs", "tex", "mbox", "flac", "tar"],
         }
     }
@@ -55,8 +57,9 @@ impl CorpusGenerator {
     /// One plaintext file record.
     pub fn file<R: Rng>(&self, rng: &mut R, idx: usize) -> FileMeta {
         let n_kw = rng.gen_range(3..12);
-        let mut keywords: Vec<String> =
-            (0..n_kw).map(|_| Self::keyword(self.zipf.sample(rng))).collect();
+        let mut keywords: Vec<String> = (0..n_kw)
+            .map(|_| Self::keyword(self.zipf.sample(rng)))
+            .collect();
         keywords.dedup();
         let d1 = self.dirs[rng.gen_range(0..self.dirs.len())];
         let d2 = self.dirs[rng.gen_range(0..self.dirs.len())];
@@ -94,29 +97,45 @@ impl CorpusGenerator {
 /// probe short-circuits on the first clear bit.
 pub fn fast_random_metadata<R: Rng>(rng: &mut R, n: usize) -> Vec<EncryptedMetadata> {
     // the paper's keyword-filter sizing: 300-word budget at 1e-5
-    let params = BloomParams::for_fp_rate(300, 1e-5);
+    fast_random_metadata_with(rng, n, BloomParams::for_fp_rate(300, 1e-5))
+}
+
+/// [`fast_random_metadata`] with an explicit filter parameterisation —
+/// e.g. the paper's bare 50-keyword documents at fp = 1e-5 (r = 17), the
+/// configuration the §5.7 throughput numbers quote.
+pub fn fast_random_metadata_with<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    params: BloomParams,
+) -> Vec<EncryptedMetadata> {
     let words = params.bits.div_ceil(64);
     // mask for the partial trailing word so popcount stays meaningful
     let tail_bits = params.bits % 64;
-    let tail_mask = if tail_bits == 0 { u64::MAX } else { (1u64 << tail_bits) - 1 };
+    let tail_mask = if tail_bits == 0 {
+        u64::MAX
+    } else {
+        (1u64 << tail_bits) - 1
+    };
     (0..n)
         .map(|_| {
             // fill word-at-a-time: (a&b)|(c&d) sets each bit independently
             // with probability 7/16 ≈ 0.44, the padded-filter density
             let mut bytes = Vec::with_capacity(words * 8);
             for w in 0..words {
-                let mut word = (rng.gen::<u64>() & rng.gen::<u64>())
-                    | (rng.gen::<u64>() & rng.gen::<u64>());
+                let mut word =
+                    (rng.gen::<u64>() & rng.gen::<u64>()) | (rng.gen::<u64>() & rng.gen::<u64>());
                 if w == words - 1 {
                     word &= tail_mask;
                 }
                 bytes.extend_from_slice(&word.to_le_bytes());
             }
-            let filter = BloomFilter::from_bytes(&bytes, params.bits)
-                .expect("word-exact buffer");
+            let filter = BloomFilter::from_bytes(&bytes, params.bits).expect("word-exact buffer");
             EncryptedMetadata {
                 id: rng.gen(),
-                body: BloomMetadata { nonce: rng.gen(), filter },
+                body: BloomMetadata {
+                    nonce: rng.gen(),
+                    filter,
+                },
             }
         })
         .collect()
@@ -145,11 +164,17 @@ mod tests {
         let mut rng = det_rng(43);
         let mut count_rank1 = 0;
         for i in 0..300 {
-            if g.file(&mut rng, i).keywords.contains(&CorpusGenerator::keyword(1)) {
+            if g.file(&mut rng, i)
+                .keywords
+                .contains(&CorpusGenerator::keyword(1))
+            {
                 count_rank1 += 1;
             }
         }
-        assert!(count_rank1 > 20, "rank-1 keyword should be common: {count_rank1}");
+        assert!(
+            count_rank1 > 20,
+            "rank-1 keyword should be common: {count_rank1}"
+        );
     }
 
     #[test]
@@ -175,8 +200,14 @@ mod tests {
         let enc = MetaEncryptor::new(b"u");
         let td = enc.query_word(Attr::Keyword, "anything");
         let c = PrfCounter::new();
-        let hits = recs.iter().filter(|r| MetaEncryptor::matches(r, &td, &c)).count();
-        assert!(hits <= 1, "random filters should essentially never match: {hits}");
+        let hits = recs
+            .iter()
+            .filter(|r| MetaEncryptor::matches(r, &td, &c))
+            .count();
+        assert!(
+            hits <= 1,
+            "random filters should essentially never match: {hits}"
+        );
         // miss cost ≈ 1/(1−density) ≈ 1.8 probes
         let avg = c.get() as f64 / recs.len() as f64;
         assert!((1.2..3.0).contains(&avg), "avg probe cost {avg}");

@@ -9,10 +9,8 @@
 
 use rand::Rng;
 use roar_util::sample::normal;
-use serde::{Deserialize, Serialize};
-
 /// A server model with its scan speed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerModel {
     Dell1950,
     Dell2950,
@@ -52,7 +50,12 @@ impl ServerModel {
     }
 
     pub fn all() -> [ServerModel; 4] {
-        [ServerModel::Dell1950, ServerModel::Dell2950, ServerModel::Dell1850, ServerModel::SunX4100]
+        [
+            ServerModel::Dell1950,
+            ServerModel::Dell2950,
+            ServerModel::Dell1850,
+            ServerModel::SunX4100,
+        ]
     }
 }
 
@@ -67,7 +70,10 @@ pub struct Fleet {
 impl Fleet {
     /// Homogeneous fleet of `n` servers of one model.
     pub fn homogeneous(n: usize, model: ServerModel) -> Self {
-        Fleet { models: vec![model; n], speeds: vec![model.records_per_sec(); n] }
+        Fleet {
+            models: vec![model; n],
+            speeds: vec![model.records_per_sec(); n],
+        }
     }
 
     /// The thesis testbed mix (§7.1): mostly 1950s with the older models
@@ -110,7 +116,10 @@ impl Fleet {
                 base * spread.powf(e)
             })
             .collect();
-        Fleet { models: vec![ServerModel::Dell1950; n], speeds }
+        Fleet {
+            models: vec![ServerModel::Dell1950; n],
+            speeds,
+        }
     }
 
     pub fn n(&self) -> usize {
@@ -143,12 +152,8 @@ mod tests {
 
     #[test]
     fn model_speeds_ordered_by_generation() {
-        assert!(
-            ServerModel::Dell2950.records_per_sec() > ServerModel::Dell1950.records_per_sec()
-        );
-        assert!(
-            ServerModel::Dell1950.records_per_sec() > ServerModel::Dell1850.records_per_sec()
-        );
+        assert!(ServerModel::Dell2950.records_per_sec() > ServerModel::Dell1950.records_per_sec());
+        assert!(ServerModel::Dell1950.records_per_sec() > ServerModel::Dell1850.records_per_sec());
     }
 
     #[test]
@@ -163,7 +168,11 @@ mod tests {
         let mut rng = det_rng(51);
         let f = Fleet::hen_testbed(&mut rng, 45);
         assert_eq!(f.n(), 45);
-        assert!(f.heterogeneity() > 1.5, "heterogeneity {}", f.heterogeneity());
+        assert!(
+            f.heterogeneity() > 1.5,
+            "heterogeneity {}",
+            f.heterogeneity()
+        );
         // all four models appear in a 45-node draw
         for m in ServerModel::all() {
             assert!(f.models.contains(&m), "{} missing", m.name());

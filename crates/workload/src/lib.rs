@@ -12,7 +12,7 @@ pub mod fleet;
 pub mod load;
 pub mod queries;
 
-pub use corpus::{fast_random_metadata, CorpusGenerator};
+pub use corpus::{fast_random_metadata, fast_random_metadata_with, CorpusGenerator};
 pub use fleet::{Fleet, ServerModel};
 pub use load::DiurnalPattern;
 pub use queries::QueryGenerator;

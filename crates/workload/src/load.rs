@@ -23,7 +23,12 @@ pub struct DiurnalPattern {
 impl DiurnalPattern {
     pub fn new(mean_rate: f64, swing: f64, period_s: f64) -> Self {
         assert!(mean_rate > 0.0 && swing >= 1.0 && period_s > 0.0);
-        DiurnalPattern { mean_rate, swing, period_s, surges: Vec::new() }
+        DiurnalPattern {
+            mean_rate,
+            swing,
+            period_s,
+            surges: Vec::new(),
+        }
     }
 
     /// Add a flash crowd: rate multiplied by `mult` during `[start, end)`.

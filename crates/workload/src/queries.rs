@@ -27,7 +27,9 @@ impl Default for QueryGenerator {
 impl QueryGenerator {
     pub fn new() -> Self {
         // queries skew even more popular than documents (s = 1.2)
-        QueryGenerator { zipf: Zipf::new(VOCABULARY, 1.2) }
+        QueryGenerator {
+            zipf: Zipf::new(VOCABULARY, 1.2),
+        }
     }
 
     /// A zero-match two-keyword query (§5.7's measurement workload): the
@@ -43,20 +45,35 @@ impl QueryGenerator {
     /// A realistic mixed query: 1–2 keywords, sometimes a size or date
     /// constraint.
     pub fn realistic<R: Rng>(&self, rng: &mut R) -> (Vec<Predicate>, Combiner) {
-        let mut preds =
-            vec![Predicate::Keyword(CorpusGenerator::keyword(self.zipf.sample(rng)))];
+        let mut preds = vec![Predicate::Keyword(CorpusGenerator::keyword(
+            self.zipf.sample(rng),
+        ))];
         // mean keywords per web query ≈ 2.3 (§5.5.2); add a second often
         if rng.gen_bool(0.6) {
-            preds.push(Predicate::Keyword(CorpusGenerator::keyword(self.zipf.sample(rng))));
+            preds.push(Predicate::Keyword(CorpusGenerator::keyword(
+                self.zipf.sample(rng),
+            )));
         }
         if rng.gen_bool(0.3) {
             preds.push(Predicate::Numeric {
-                attr: if rng.gen_bool(0.5) { Attr::Size } else { Attr::Mtime },
-                cmp: if rng.gen_bool(0.5) { Cmp::Greater } else { Cmp::Less },
+                attr: if rng.gen_bool(0.5) {
+                    Attr::Size
+                } else {
+                    Attr::Mtime
+                },
+                cmp: if rng.gen_bool(0.5) {
+                    Cmp::Greater
+                } else {
+                    Cmp::Less
+                },
                 value: rng.gen_range(1_000..1_000_000_000),
             });
         }
-        let combiner = if rng.gen_bool(0.85) { Combiner::And } else { Combiner::Or };
+        let combiner = if rng.gen_bool(0.85) {
+            Combiner::And
+        } else {
+            Combiner::Or
+        };
         (preds, combiner)
     }
 
@@ -68,7 +85,9 @@ impl QueryGenerator {
         n: usize,
     ) -> Vec<CompiledQuery> {
         let qc = QueryCompiler::new(enc);
-        (0..n).map(|_| qc.compile(&self.zero_match(rng), Combiner::And)).collect()
+        (0..n)
+            .map(|_| qc.compile(&self.zero_match(rng), Combiner::And))
+            .collect()
     }
 }
 
@@ -104,7 +123,10 @@ mod tests {
             let (preds, _) = gen.realistic(&mut rng);
             assert!(!preds.is_empty() && preds.len() <= 3);
             kw_counts.push(
-                preds.iter().filter(|p| matches!(p, Predicate::Keyword(_))).count() as f64,
+                preds
+                    .iter()
+                    .filter(|p| matches!(p, Predicate::Keyword(_)))
+                    .count() as f64,
             );
         }
         let mean_kw = roar_util::mean(&kw_counts);

@@ -21,8 +21,14 @@ async fn main() -> std::io::Result<()> {
     h.cluster.store_synthetic(&ids).await.expect("store");
 
     let target_ms = 40.0;
-    println!("target delay: {target_ms} ms; starting at p = {}", h.cluster.p());
-    println!("{:>6} {:>4} {:>10} {:>8}", "phase", "p", "delay(ms)", "action");
+    println!(
+        "target delay: {target_ms} ms; starting at p = {}",
+        h.cluster.p()
+    );
+    println!(
+        "{:>6} {:>4} {:>10} {:>8}",
+        "phase", "p", "delay(ms)", "action"
+    );
 
     // three load phases: calm, spike (more concurrent queries), calm again
     for (phase, concurrency) in [("calm", 1usize), ("spike", 6), ("calm", 1)] {
@@ -33,7 +39,9 @@ async fn main() -> std::io::Result<()> {
             for _ in 0..concurrency {
                 let c = h.cluster.clone();
                 handles.push(tokio::spawn(async move {
-                    c.query(QueryBody::Synthetic, SchedOpts::default()).await.wall_s
+                    c.query(QueryBody::Synthetic, SchedOpts::default())
+                        .await
+                        .wall_s
                 }));
             }
             for t in handles {

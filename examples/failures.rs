@@ -32,7 +32,10 @@ async fn main() -> std::io::Result<()> {
         );
     };
 
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     report("healthy", &out);
     assert_eq!(out.scanned as usize, ids.len());
 
@@ -40,16 +43,26 @@ async fn main() -> std::io::Result<()> {
     h.cluster.kill_node(2).await;
     h.cluster.kill_node(7).await;
     println!("killed nodes 2 and 7");
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     report("after 2 failures", &out);
-    assert_eq!(out.scanned as usize, ids.len(), "fall-back must keep exactness");
+    assert_eq!(
+        out.scanned as usize,
+        ids.len(),
+        "fall-back must keep exactness"
+    );
     assert_eq!(out.harvest, 1.0);
 
     // kill two more — a third of the fleet is now gone
     h.cluster.kill_node(4).await;
     h.cluster.kill_node(10).await;
     println!("killed nodes 4 and 10 (4/12 down)");
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     report("after 4 failures", &out);
     assert_eq!(out.scanned as usize, ids.len(), "still exactly once");
 

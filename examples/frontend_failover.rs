@@ -22,7 +22,10 @@ async fn main() -> std::io::Result<()> {
     let ids: Vec<u64> = (0..30_000).map(|_| rng.gen()).collect();
     h.cluster.store_synthetic(&ids).await.expect("store");
     h.cluster.set_p(4).await.expect("repartition"); // nodes now hold 1/4-arcs
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     println!(
         "master:  p = {}, query scanned {} in {:.1} ms",
         h.cluster.p(),
@@ -33,7 +36,9 @@ async fn main() -> std::io::Result<()> {
     // --- the master "dies"; a backup connects knowing only the topology ---
     let backup = Cluster::connect_backup(&h.addrs, 1.0).await?;
     println!("backup:  starts at the always-safe p = {}", backup.p());
-    let out = backup.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = backup
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     println!(
         "backup:  p = n query is correct (scanned {}) but pays {} sub-queries",
         out.scanned, out.subqueries
@@ -48,7 +53,9 @@ async fn main() -> std::io::Result<()> {
     let p2 = backup2.discover_p_by_probing().await;
     println!("backup2: probing (refusal-driven bisection) discovered p = {p2}");
 
-    let out = backup.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = backup
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     println!(
         "backup:  now p = {}, scanned {} with {} sub-queries in {:.1} ms",
         backup.p(),

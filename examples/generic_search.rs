@@ -56,8 +56,10 @@ fn main() {
 
     // -- server side: evaluate the garbled circuit on every record ---------
     let t0 = std::time::Instant::now();
-    let verdicts: Vec<bool> =
-        stored.iter().map(|m| GenericScheme::matches(m, &query)).collect();
+    let verdicts: Vec<bool> = stored
+        .iter()
+        .map(|m| GenericScheme::matches(m, &query))
+        .collect();
     let dt = t0.elapsed();
     let hits = verdicts.iter().filter(|v| **v).count();
     println!(
@@ -69,12 +71,19 @@ fn main() {
 
     // -- user side: verify against plaintext truth -------------------------
     for (f, v) in files.iter().zip(&verdicts) {
-        assert_eq!(*v, pred.eval_plain(f), "server verdict must equal plaintext semantics");
+        assert_eq!(
+            *v,
+            pred.eval_plain(f),
+            "server verdict must equal plaintext semantics"
+        );
         if *v {
             println!("  -> {}", f.path);
         }
     }
-    assert!(verdicts.last().copied().unwrap_or(false), "the planted return must be found");
+    assert!(
+        verdicts.last().copied().unwrap_or(false),
+        "the planted return must be found"
+    );
 
     println!(
         "\nnote (§5.5.5): this generality costs per-bit metadata exposure — \

@@ -29,7 +29,12 @@ fn main() {
     );
 
     let speeds = fleet.work_speeds(d);
-    let cfg = SimConfig { arrival_rate: 8.0, n_queries: 3000, warmup: 200, ..Default::default() };
+    let cfg = SimConfig {
+        arrival_rate: 8.0,
+        n_queries: 3000,
+        warmup: 200,
+        ..Default::default()
+    };
     let servers = || SimServers::new(&speeds, 0.002);
 
     let nodes: Vec<usize> = (0..n).collect();
@@ -55,7 +60,10 @@ fn main() {
         ("OPT", Box::new(OptScheduler::new(p))),
     ];
 
-    println!("{:<10} {:>12} {:>12} {:>12}", "algorithm", "mean (ms)", "p99 (ms)", "choices");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "algorithm", "mean (ms)", "p99 (ms)", "choices"
+    );
     for (name, sched) in &schedulers {
         let res = run_sim(&cfg, servers(), sched.as_ref());
         println!(

@@ -10,7 +10,10 @@ use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
 use roar::util::det_rng;
 
 async fn check(h: &roar::cluster::ClusterHandle, label: &str, expect: u64) {
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     println!(
         "{label:<28} n={:<2} scanned={:<6} subqueries={:<2} harvest={:.0}% delay={:.1}ms",
         h.cluster.range_fractions().len(),
@@ -47,8 +50,10 @@ async fn main() -> std::io::Result<()> {
     h.cluster.kill_node(5).await;
     check(&h, "after node 5 crashed", n_objects).await;
 
-    println!("\nchurn complete: joins downloaded before takeover, the leaver's \
+    println!(
+        "\nchurn complete: joins downloaded before takeover, the leaver's \
               range was absorbed before shutdown, and the crash was covered \
-              by splitting its window across live neighbours.");
+              by splitting its window across live neighbours."
+    );
     Ok(())
 }

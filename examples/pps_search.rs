@@ -17,7 +17,11 @@ use roar::workload::CorpusGenerator;
 #[tokio::main]
 async fn main() -> std::io::Result<()> {
     let h = spawn_cluster(ClusterConfig::uniform(8, 1_000_000.0, 4)).await?;
-    println!("untrusted cluster up: {} nodes, p = {}", h.cluster.n(), h.cluster.p());
+    println!(
+        "untrusted cluster up: {} nodes, p = {}",
+        h.cluster.n(),
+        h.cluster.p()
+    );
 
     // -- user side: encrypt a small personal corpus -----------------------
     let enc = MetaEncryptor::new(b"alice-secret-key");
@@ -33,7 +37,11 @@ async fn main() -> std::io::Result<()> {
     });
     let records: Vec<_> = files.iter().map(|f| enc.encrypt(&mut rng, f)).collect();
     let planted_id = records.last().unwrap().id;
-    println!("encrypted {} file records ({} B each)", records.len(), records[0].size_bytes());
+    println!(
+        "encrypted {} file records ({} B each)",
+        records.len(),
+        records[0].size_bytes()
+    );
 
     // -- store on the cluster (server sees only random ids + blinded bits)
     h.cluster.store_records(&records).await.expect("store");
@@ -42,12 +50,20 @@ async fn main() -> std::io::Result<()> {
     let query = QueryCompiler::new(&enc).compile(
         &[
             Predicate::Keyword("rendezvous".into()),
-            Predicate::Numeric { attr: Attr::Size, cmp: Cmp::Greater, value: 1_000_000 },
+            Predicate::Numeric {
+                attr: Attr::Size,
+                cmp: Cmp::Greater,
+                value: 1_000_000,
+            },
         ],
         Combiner::And,
     );
     let body = QueryBody::Pps {
-        trapdoors: query.trapdoors.iter().map(WireTrapdoor::from_trapdoor).collect(),
+        trapdoors: query
+            .trapdoors
+            .iter()
+            .map(WireTrapdoor::from_trapdoor)
+            .collect(),
         conjunctive: true,
     };
     let out = h.cluster.query(body, SchedOpts::default()).await;
@@ -57,11 +73,19 @@ async fn main() -> std::io::Result<()> {
         out.matches.len(),
         out.wall_s * 1e3
     );
-    assert!(out.matches.contains(&planted_id), "the planted paper must be found");
+    assert!(
+        out.matches.contains(&planted_id),
+        "the planted paper must be found"
+    );
 
     // the user maps matched ids back to plaintext locally
     for id in &out.matches {
-        if let Some(f) = files.iter().zip(&records).find(|(_, r)| r.id == *id).map(|(f, _)| f) {
+        if let Some(f) = files
+            .iter()
+            .zip(&records)
+            .find(|(_, r)| r.id == *id)
+            .map(|(f, _)| f)
+        {
             println!("  -> {}", f.path);
         }
     }

@@ -22,7 +22,10 @@ async fn main() -> std::io::Result<()> {
     println!("stored {} objects", ids.len());
 
     // run a query: the front-end picks the fastest of the ~r ring rotations
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
     println!(
         "query: {} sub-queries, scanned {} (exactly once), delay {:.1} ms \
          (schedule {:.2} ms + execute {:.1} ms)",
@@ -37,13 +40,27 @@ async fn main() -> std::io::Result<()> {
     // latency too high? raise the partitioning level on the fly (§4.5):
     // more servers per query, smaller sub-queries — no restart
     h.cluster.set_p(8).await.expect("repartition");
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
-    println!("after p → 8: {} sub-queries, delay {:.1} ms", out.subqueries, out.wall_s * 1e3);
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
+    println!(
+        "after p → 8: {} sub-queries, delay {:.1} ms",
+        out.subqueries,
+        out.wall_s * 1e3
+    );
 
     // updates quiet and latency fine? drop back down and reclaim throughput
     h.cluster.set_p(3).await.expect("repartition");
-    let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
-    println!("after p → 3: {} sub-queries, delay {:.1} ms", out.subqueries, out.wall_s * 1e3);
+    let out = h
+        .cluster
+        .query(QueryBody::Synthetic, SchedOpts::default())
+        .await;
+    println!(
+        "after p → 3: {} sub-queries, delay {:.1} ms",
+        out.subqueries,
+        out.wall_s * 1e3
+    );
     assert_eq!(out.scanned as usize, ids.len(), "still exactly once");
     Ok(())
 }

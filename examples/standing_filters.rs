@@ -57,7 +57,10 @@ fn main() {
             println!("  '{subject}' -> no notification");
         } else {
             for n in notes {
-                println!("  '{subject}' -> push to device {} (filter {})", n.owner, n.query_id);
+                println!(
+                    "  '{subject}' -> push to device {} (filter {})",
+                    n.owner, n.query_id
+                );
             }
         }
     }

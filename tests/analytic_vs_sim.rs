@@ -23,12 +23,22 @@ fn simulate(n: usize, p: usize, qps: f64, seed: u64) -> f64 {
     let sched = RoarScheduler::new(ring, p, Strategy::Sweep);
     // the sim works in dataset fractions: speed is expressed as fractions/s
     let servers = SimServers::new(&vec![SPEED / DATASET; n], OVERHEAD);
-    let cfg = SimConfig { arrival_rate: qps, n_queries: 1500, warmup: 100, seed, ..Default::default() };
+    let cfg = SimConfig {
+        arrival_rate: qps,
+        n_queries: 1500,
+        warmup: 100,
+        seed,
+        ..Default::default()
+    };
     run_sim(&cfg, servers, &sched).mean_delay
 }
 
 fn model() -> DelayModel {
-    DelayModel { objects: DATASET, cpu: SPEED, fixed_s: OVERHEAD }
+    DelayModel {
+        objects: DATASET,
+        cpu: SPEED,
+        fixed_s: OVERHEAD,
+    }
 }
 
 #[test]
@@ -39,7 +49,10 @@ fn service_floor_agrees_at_light_load() {
         let sim = simulate(n, p, 0.5, 42);
         let ana = model().mean_delay_s(DrConfig::new(n, p), 0.5);
         let floor = model().service_s(p);
-        assert!(sim >= floor * 0.95, "sim {sim} below the physical floor {floor}");
+        assert!(
+            sim >= floor * 0.95,
+            "sim {sim} below the physical floor {floor}"
+        );
         let ratio = sim / ana;
         assert!(
             (0.8..1.3).contains(&ratio),

@@ -10,17 +10,22 @@ use roar::pps::query::{Combiner, Predicate, QueryCompiler};
 use roar::util::det_rng;
 
 fn pps_body(enc: &MetaEncryptor, word: &str) -> QueryBody {
-    let q = QueryCompiler::new(enc)
-        .compile(&[Predicate::Keyword(word.into())], Combiner::And);
+    let q = QueryCompiler::new(enc).compile(&[Predicate::Keyword(word.into())], Combiner::And);
     QueryBody::Pps {
-        trapdoors: q.trapdoors.iter().map(WireTrapdoor::from_trapdoor).collect(),
+        trapdoors: q
+            .trapdoors
+            .iter()
+            .map(WireTrapdoor::from_trapdoor)
+            .collect(),
         conjunctive: true,
     }
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn full_lifecycle_store_query_repartition_fail() {
-    let h = spawn_cluster(ClusterConfig::uniform(9, 1_000_000.0, 3)).await.unwrap();
+    let h = spawn_cluster(ClusterConfig::uniform(9, 1_000_000.0, 3))
+        .await
+        .unwrap();
     // use a fast numeric grid for test-speed encryption
     let enc = MetaEncryptor::with_points(b"alice", vec![1_000_000], vec![1_300_000_000]);
     let mut rng = det_rng(2001);
@@ -32,7 +37,11 @@ async fn full_lifecycle_store_query_repartition_fail() {
             &mut rng,
             &FileMeta {
                 path: format!("/docs/f{i}"),
-                keywords: if i == 60 { vec!["needle".into()] } else { vec![format!("w{i}")] },
+                keywords: if i == 60 {
+                    vec!["needle".into()]
+                } else {
+                    vec![format!("w{i}")]
+                },
                 size: 100 + i as u64,
                 mtime: 1_400_000_000,
             },
@@ -42,21 +51,30 @@ async fn full_lifecycle_store_query_repartition_fail() {
     h.cluster.store_records(&records).await.unwrap();
 
     // 2. encrypted query finds exactly the needle
-    let out = h.cluster.query(pps_body(&enc, "needle"), SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(pps_body(&enc, "needle"), SchedOpts::default())
+        .await;
     assert_eq!(out.matches, vec![needle]);
     assert_eq!(out.scanned, 120);
 
     // 3. repartition up and down; correctness must hold at every step
     for new_p in [6usize, 2, 4] {
         h.cluster.set_p(new_p).await.unwrap();
-        let out = h.cluster.query(pps_body(&enc, "needle"), SchedOpts::default()).await;
+        let out = h
+            .cluster
+            .query(pps_body(&enc, "needle"), SchedOpts::default())
+            .await;
         assert_eq!(out.matches, vec![needle], "p = {new_p}");
         assert_eq!(out.scanned, 120, "exactly-once at p = {new_p}");
     }
 
     // 4. kill a node (r = 9/4 ≥ 2): the fall-back keeps full harvest
     h.cluster.kill_node(1).await;
-    let out = h.cluster.query(pps_body(&enc, "needle"), SchedOpts::default()).await;
+    let out = h
+        .cluster
+        .query(pps_body(&enc, "needle"), SchedOpts::default())
+        .await;
     assert_eq!(out.matches, vec![needle], "after failure");
     assert_eq!(out.scanned, 120, "exactly-once after failure");
     assert_eq!(out.harvest, 1.0);
@@ -64,7 +82,9 @@ async fn full_lifecycle_store_query_repartition_fail() {
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn updates_visible_to_subsequent_queries() {
-    let h = spawn_cluster(ClusterConfig::uniform(6, 1_000_000.0, 2)).await.unwrap();
+    let h = spawn_cluster(ClusterConfig::uniform(6, 1_000_000.0, 2))
+        .await
+        .unwrap();
     let enc = MetaEncryptor::with_points(b"bob", vec![1_000_000], vec![1_300_000_000]);
     let mut rng = det_rng(2002);
     let first = enc.encrypt(
@@ -76,9 +96,15 @@ async fn updates_visible_to_subsequent_queries() {
             mtime: 1_400_000_000,
         },
     );
-    h.cluster.store_records(std::slice::from_ref(&first)).await.unwrap();
+    h.cluster
+        .store_records(std::slice::from_ref(&first))
+        .await
+        .unwrap();
     assert_eq!(
-        h.cluster.query(pps_body(&enc, "alpha"), SchedOpts::default()).await.matches,
+        h.cluster
+            .query(pps_body(&enc, "alpha"), SchedOpts::default())
+            .await
+            .matches,
         vec![first.id]
     );
     // late update: a second document arrives
@@ -91,15 +117,24 @@ async fn updates_visible_to_subsequent_queries() {
             mtime: 1_500_000_000,
         },
     );
-    h.cluster.store_records(std::slice::from_ref(&second)).await.unwrap();
+    h.cluster
+        .store_records(std::slice::from_ref(&second))
+        .await
+        .unwrap();
     let mut expect = vec![first.id, second.id];
     expect.sort_unstable();
     assert_eq!(
-        h.cluster.query(pps_body(&enc, "alpha"), SchedOpts::default()).await.matches,
+        h.cluster
+            .query(pps_body(&enc, "alpha"), SchedOpts::default())
+            .await
+            .matches,
         expect
     );
     assert_eq!(
-        h.cluster.query(pps_body(&enc, "beta"), SchedOpts::default()).await.matches,
+        h.cluster
+            .query(pps_body(&enc, "beta"), SchedOpts::default())
+            .await
+            .matches,
         vec![second.id]
     );
 }
@@ -107,7 +142,9 @@ async fn updates_visible_to_subsequent_queries() {
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn balance_step_keeps_queries_exact() {
     let cfg = ClusterConfig {
-        speeds: vec![800_000.0, 200_000.0, 800_000.0, 200_000.0, 800_000.0, 200_000.0],
+        speeds: vec![
+            800_000.0, 200_000.0, 800_000.0, 200_000.0, 800_000.0, 200_000.0,
+        ],
         p: 2,
         overhead_s: 0.0,
     };
@@ -117,16 +154,35 @@ async fn balance_step_keeps_queries_exact() {
     h.cluster.store_synthetic(&ids).await.unwrap();
     // learn speeds, then balance a few rounds
     for _ in 0..6 {
-        let _ = h.cluster.query(QueryBody::Synthetic, SchedOpts { pq: Some(6), ..Default::default() }).await;
+        let _ = h
+            .cluster
+            .query(
+                QueryBody::Synthetic,
+                SchedOpts {
+                    pq: Some(6),
+                    ..Default::default()
+                },
+            )
+            .await;
     }
     for _ in 0..5 {
         let _ = h.cluster.balance_step().await.unwrap();
-        let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
-        assert_eq!(out.scanned as usize, ids.len(), "exactness preserved while balancing");
+        let out = h
+            .cluster
+            .query(QueryBody::Synthetic, SchedOpts::default())
+            .await;
+        assert_eq!(
+            out.scanned as usize,
+            ids.len(),
+            "exactness preserved while balancing"
+        );
     }
     // fast nodes should now own more ring than slow ones (on average)
     let fr = h.cluster.range_fractions();
     let fast: f64 = fr.iter().filter(|(n, _)| n % 2 == 0).map(|&(_, f)| f).sum();
     let slow: f64 = fr.iter().filter(|(n, _)| n % 2 == 1).map(|&(_, f)| f).sum();
-    assert!(fast > slow, "fast nodes should hold larger ranges: fast={fast:.3} slow={slow:.3}");
+    assert!(
+        fast > slow,
+        "fast nodes should hold larger ranges: fast={fast:.3} slow={slow:.3}"
+    );
 }

@@ -14,11 +14,19 @@ fn latency_decreases_with_p() {
     let n = 24usize;
     let speeds = vec![1.0f64; n];
     let nodes: Vec<usize> = (0..n).collect();
-    let cfg = SimConfig { arrival_rate: 0.5, n_queries: 600, warmup: 50, ..Default::default() };
+    let cfg = SimConfig {
+        arrival_rate: 0.5,
+        n_queries: 600,
+        warmup: 50,
+        ..Default::default()
+    };
     let mut last = f64::INFINITY;
     for p in [2usize, 4, 8] {
-        let sched =
-            RoarScheduler::new(RoarRing::new(RingMap::uniform(&nodes), p), p, Strategy::Sweep);
+        let sched = RoarScheduler::new(
+            RoarRing::new(RingMap::uniform(&nodes), p),
+            p,
+            Strategy::Sweep,
+        );
         let res = run_sim(&cfg, SimServers::new(&speeds, 0.0), &sched);
         assert!(
             res.mean_delay < last,
@@ -46,7 +54,10 @@ fn throughput_decreases_with_p_under_overheads() {
     let t2 = thr(2);
     let t12 = thr(12);
     let t24 = thr(24);
-    assert!(t2 > t12 && t12 > t24, "throughput must fall with p: {t2} {t12} {t24}");
+    assert!(
+        t2 > t12 && t12 > t24,
+        "throughput must fall with p: {t2} {t12} {t24}"
+    );
 }
 
 /// §4.5/Table 6.2: ROAR's repartitioning moves the information-theoretic
@@ -61,8 +72,14 @@ fn roar_repartition_cost_minimal() {
         let roar = repartition_copies(Algo::Roar, from, to, d);
         let ptn = repartition_copies(Algo::Ptn, from, to, d);
         let minimum = (d as f64 * (to.r() - from.r())).max(0.0);
-        assert!((roar - minimum).abs() < 1.0, "ROAR {from_p}->{to_p}: {roar} vs min {minimum}");
-        assert!(ptn >= roar - 1.0, "PTN must not beat the minimum: {ptn} vs {roar}");
+        assert!(
+            (roar - minimum).abs() < 1.0,
+            "ROAR {from_p}->{to_p}: {roar} vs min {minimum}"
+        );
+        assert!(
+            ptn >= roar - 1.0,
+            "PTN must not beat the minimum: {ptn} vs {roar}"
+        );
     }
 }
 

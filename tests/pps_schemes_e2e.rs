@@ -90,7 +90,9 @@ fn generic_scheme_composes_what_others_cannot() {
             GenericPredicate::Keyword(CorpusGenerator::keyword(1)),
             GenericPredicate::SizeRange(10_000, 100_000_000),
         ]),
-        GenericPredicate::Not(Box::new(GenericPredicate::Keyword(CorpusGenerator::keyword(2)))),
+        GenericPredicate::Not(Box::new(GenericPredicate::Keyword(
+            CorpusGenerator::keyword(2),
+        ))),
     ]);
     let q = s.encrypt_query(&mut rng, &pred);
     for (f, m) in files.iter().zip(&stored) {
@@ -111,7 +113,12 @@ fn generic_scheme_exact_numerics_vs_reference_point_approximation() {
     let mut rng = det_rng(906);
     let q = s.encrypt_query(&mut rng, &GenericPredicate::SizeRange(700, 7_000));
     for size in [699u64, 700, 701, 6_999, 7_000, 7_001] {
-        let f = FileMeta { path: "/x".into(), keywords: vec![], size, mtime: 0 };
+        let f = FileMeta {
+            path: "/x".into(),
+            keywords: vec![],
+            size,
+            mtime: 0,
+        };
         assert_eq!(
             GenericScheme::matches(&s.encrypt_metadata(&f), &q),
             (700..=7_000).contains(&size),

@@ -21,8 +21,11 @@ fn all_deterministic_algorithms_are_exact() {
         let est = StaticEstimator::uniform(n, 1.0);
         let a = ptn.scheduler().schedule(&est, 0);
         for &obj in &objects {
-            let hits =
-                a.tasks.iter().filter(|t| ptn.subquery_matches(t.server, obj)).count();
+            let hits = a
+                .tasks
+                .iter()
+                .filter(|t| ptn.subquery_matches(t.server, obj))
+                .count();
             assert_eq!(hits, 1, "PTN n={n} p={p}");
         }
 
@@ -76,7 +79,11 @@ fn scheduling_quality_ordering_matches_chapter_6() {
     let nodes: Vec<usize> = (0..n).collect();
     let opt = OptScheduler::new(p);
     let ptn = Ptn::new(DrConfig::new(n, p));
-    let roar = RoarScheduler::new(RoarRing::new(RingMap::uniform(&nodes), p), p, Strategy::Sweep);
+    let roar = RoarScheduler::new(
+        RoarRing::new(RingMap::uniform(&nodes), p),
+        p,
+        Strategy::Sweep,
+    );
     let sw = SlidingWindow::new(n, n / p);
 
     let mut sums = [0.0f64; 4];
@@ -92,7 +99,10 @@ fn scheduling_quality_ordering_matches_chapter_6() {
     assert!(ptn_d <= roar_d + 1e-9, "PTN {ptn_d} vs ROAR {roar_d}");
     assert!(roar_d <= sw_d + 1e-9, "ROAR {roar_d} vs SW {sw_d}");
     // and the gaps are real, not ties
-    assert!(sw_d > opt_d * 1.02, "heterogeneity should separate SW from OPT");
+    assert!(
+        sw_d > opt_d * 1.02,
+        "heterogeneity should separate SW from OPT"
+    );
 }
 
 #[test]
@@ -114,5 +124,8 @@ fn multiring_sits_between_single_ring_and_ptn() {
         s1 += roar::core::sched::schedule_sweep(&single, p, &est, seed).predicted;
         s2 += double.schedule_sweep(p, &est, seed).predicted;
     }
-    assert!(s2 <= s1 + 1e-9, "two rings ({s2}) must not be slower than one ({s1})");
+    assert!(
+        s2 <= s1 + 1e-9,
+        "two rings ({s2}) must not be slower than one ({s1})"
+    );
 }
