@@ -1,22 +1,117 @@
 //! `repro` — regenerate any table or figure of the ROAR evaluation.
 //!
 //! Usage:
-//!   repro list              list experiment ids
-//!   repro `<id>` ...          run specific experiments (e.g. fig6_1 tab6_2)
-//!   repro all               run everything
-//!   repro bench_pps         scalar-vs-batched matching baseline → BENCH_pps.json
-//!   repro --quick <...>     reduced workloads (smoke/CI)
+//!   repro list                     list experiment ids
+//!   repro `<id>` ...                 run specific experiments (e.g. fig6_1)
+//!   repro all                      run everything
+//!   repro bench_pps [--append N]   scalar-vs-batched matching baseline;
+//!                                  with --append, add a PR-N entry to the
+//!                                  BENCH_pps.json trajectory
+//!   repro check_pps_trajectory     CI gate: fail on > 20% regression
+//!                                  between consecutive BENCH_pps.json entries
+//!   repro bench_incast             §4.8.4 incast comparison → BENCH_incast.json
+//!   repro --quick <...>            reduced workloads (smoke/CI)
 //!
 //! Rendered reports are printed and saved under `results/<id>.txt`.
 
-use roar_bench::{registry, Scale};
+use roar_bench::{registry, trajectory, Scale};
 use std::path::Path;
+
+const PPS_TRAJECTORY: &str = "BENCH_pps.json";
+
+fn bench_pps(scale: Scale, append_pr: Option<u32>) {
+    if append_pr.is_some() && scale == Scale::Quick {
+        // a quick-workload measurement is not comparable to the full-scale
+        // entries the regression gate diffs; appending one would either
+        // trip the gate forever or silently re-baseline it
+        eprintln!("bench_pps: --append requires a full run (drop --quick)");
+        std::process::exit(2);
+    }
+    let b = roar_bench::pps_bench::run(scale);
+    print!("{}", b.to_json());
+    eprintln!(
+        "bench_pps: scalar {:.0} rec/s, batched {:.0} rec/s, speedup {:.2}x",
+        b.scalar.records_per_s, b.batched.records_per_s, b.speedup
+    );
+    if let Some(pr) = append_pr {
+        let entry = b.to_json_entry(pr);
+        let updated = match std::fs::read_to_string(PPS_TRAJECTORY) {
+            // a malformed trajectory is a hard error: the gate's history
+            // must never be silently replaced by a one-entry file
+            Ok(text) => trajectory::append_entry(&text, &entry).unwrap_or_else(|e| {
+                eprintln!("bench_pps: cannot append to {PPS_TRAJECTORY}: {e}");
+                std::process::exit(1);
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => trajectory::new_file(&entry),
+            Err(e) => {
+                eprintln!("bench_pps: cannot read {PPS_TRAJECTORY}: {e}");
+                std::process::exit(1);
+            }
+        };
+        std::fs::write(PPS_TRAJECTORY, updated).expect("write trajectory");
+        eprintln!("bench_pps: appended PR {pr} entry to {PPS_TRAJECTORY}");
+    }
+}
+
+fn check_pps_trajectory() {
+    let text = std::fs::read_to_string(PPS_TRAJECTORY)
+        .unwrap_or_else(|e| panic!("read {PPS_TRAJECTORY}: {e}"));
+    match trajectory::check(&text) {
+        Ok(tp) => {
+            let per_pr: Vec<String> = tp.iter().map(|v| format!("{v:.0}")).collect();
+            eprintln!(
+                "check_pps_trajectory: {} entries ok (batched rec/s: {})",
+                tp.len(),
+                per_pr.join(" -> ")
+            );
+        }
+        Err(e) => {
+            eprintln!("check_pps_trajectory: FAIL — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn bench_incast(scale: Scale) {
+    let b = roar_bench::incast::run(scale);
+    let json = b.to_json();
+    print!("{json}");
+    // the committed artifact is the full-scale run; a quick smoke (CI's
+    // invocation) must not overwrite it
+    let wrote = if scale == Scale::Full {
+        std::fs::write("BENCH_incast.json", &json).expect("write BENCH_incast.json");
+        " -> BENCH_incast.json"
+    } else {
+        " (quick smoke: BENCH_incast.json left untouched)"
+    };
+    let mode = |name: &str| b.modes.iter().find(|m| m.name == name).expect("mode");
+    eprintln!(
+        "bench_incast: p99 udp {:.1} ms vs tcp-min-RTO {:.1} ms ({:.1}x){wrote}",
+        mode("udp_app_rto").p99_ms,
+        mode("tcp_min_rto_sim").p99_ms,
+        b.p99_speedup_udp_vs_tcp
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let wanted: Vec<&String> = args.iter().filter(|a| a.as_str() != "--quick").collect();
+    let append_pr: Option<u32> = args.iter().position(|a| a == "--append").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--append needs a PR number")
+    });
+    let wanted: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            a.as_str() != "--quick"
+                && a.as_str() != "--append"
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--append")
+        })
+        .map(|(_, a)| a)
+        .collect();
 
     if wanted.is_empty() || wanted[0] == "list" {
         println!("{:<10} {:<10} title", "id", "paper");
@@ -24,28 +119,29 @@ fn main() {
         for e in registry() {
             println!("{:<10} {:<10} {}", e.id, e.paper_ref, e.title);
         }
-        println!("\nrun: repro <id> | repro all [--quick]");
+        println!(
+            "\nrun: repro <id> | repro all [--quick] | repro bench_pps [--append N] \
+             | repro check_pps_trajectory | repro bench_incast"
+        );
         return;
     }
 
+    let mut ran = 0usize;
     if wanted.iter().any(|w| w.as_str() == "bench_pps") {
-        let b = roar_bench::pps_bench::run(scale);
-        let json = b.to_json();
-        print!("{json}");
-        std::fs::write("BENCH_pps.json", &json).expect("write BENCH_pps.json");
-        eprintln!(
-            "bench_pps: scalar {:.0} rec/s, batched {:.0} rec/s, speedup {:.2}x \
-             -> BENCH_pps.json",
-            b.scalar.records_per_s, b.batched.records_per_s, b.speedup
-        );
-        if wanted.len() == 1 {
-            return;
-        }
+        bench_pps(scale, append_pr);
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "check_pps_trajectory") {
+        check_pps_trajectory();
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "bench_incast") {
+        bench_incast(scale);
+        ran += 1;
     }
 
     let run_all = wanted.iter().any(|w| w.as_str() == "all");
     let results_dir = Path::new("results");
-    let mut ran = 0usize;
     for e in registry() {
         if run_all || wanted.iter().any(|w| w.as_str() == e.id) {
             eprintln!(">>> {} ({}) — {}", e.id, e.paper_ref, e.title);
@@ -62,5 +158,5 @@ fn main() {
         eprintln!("no experiment matched {wanted:?}; try `repro list`");
         std::process::exit(2);
     }
-    eprintln!("{ran} experiment(s) written to {}", results_dir.display());
+    eprintln!("{ran} experiment(s) done");
 }

@@ -11,7 +11,9 @@ pub mod ch4;
 pub mod ch5;
 pub mod ch6;
 pub mod ch7;
+pub mod incast;
 pub mod pps_bench;
+pub mod trajectory;
 
 use roar_util::Report;
 

@@ -152,6 +152,23 @@ fn json_path(out: &mut String, p: &PathResult) {
 }
 
 impl BenchPps {
+    /// Render as a single-line trajectory entry (`BENCH_pps.json` holds one
+    /// of these per PR; see [`crate::trajectory`]).
+    pub fn to_json_entry(&self, pr: u32) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{{\"pr\": {pr}, \"config\": {{"));
+        s.push_str(&format!(
+            "\"records\": {}, \"keywords_per_doc\": {}, \"fp_rate\": {:e}, \"r_hashes\": {}, \"repeats\": {}",
+            self.records, self.keywords_per_doc, self.fp_rate, self.r_hashes, self.repeats
+        ));
+        s.push_str("}, \"scalar\": ");
+        json_path(&mut s, &self.scalar);
+        s.push_str(", \"batched\": ");
+        json_path(&mut s, &self.batched);
+        s.push_str(&format!(", \"speedup\": {:.3}}}", self.speedup));
+        s
+    }
+
     /// Render as JSON (hand-rolled: the workspace has no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::new();

@@ -1,0 +1,127 @@
+//! `BENCH_pps.json` as a tracked per-PR trajectory.
+//!
+//! The file holds one JSON object with a `trajectory` array, one line per
+//! PR (PR 1's baseline is point zero). `repro bench_pps --append <pr>`
+//! appends a freshly measured entry; `repro check_pps_trajectory` is the CI
+//! gate: it fails when any entry's batched throughput regresses more than
+//! [`MAX_REGRESSION`] versus the entry before it.
+//!
+//! The workspace has no serde, and the file is produced exclusively by this
+//! module, so reading is a purpose-built scan of our own format rather than
+//! a general JSON parser.
+
+/// Largest tolerated drop in `batched.records_per_s` between consecutive
+/// trajectory entries (0.20 = 20%).
+pub const MAX_REGRESSION: f64 = 0.20;
+
+const ARRAY_OPEN: &str = "\"trajectory\": [\n";
+const ARRAY_CLOSE: &str = "\n  ]";
+
+/// Wrap a first entry line into a complete trajectory file.
+pub fn new_file(entry_line: &str) -> String {
+    format!(
+        "{{\n  \"benchmark\": \"pps_match_throughput\",\n  {}    {}{}\n}}\n",
+        ARRAY_OPEN, entry_line, ARRAY_CLOSE
+    )
+}
+
+/// Append one entry line to an existing trajectory file's text.
+pub fn append_entry(file_text: &str, entry_line: &str) -> Result<String, String> {
+    let close = file_text
+        .rfind(ARRAY_CLOSE)
+        .ok_or_else(|| "no trajectory array found — regenerate the file".to_string())?;
+    let mut out = String::with_capacity(file_text.len() + entry_line.len() + 8);
+    out.push_str(&file_text[..close]);
+    out.push_str(",\n    ");
+    out.push_str(entry_line);
+    out.push_str(&file_text[close..]);
+    Ok(out)
+}
+
+/// The `batched.records_per_s` of every entry, in file order.
+pub fn batched_throughputs(file_text: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut rest = file_text;
+    while let Some(at) = rest.find("\"batched\":") {
+        rest = &rest[at + "\"batched\":".len()..];
+        let Some(key) = rest.find("\"records_per_s\":") else {
+            break;
+        };
+        let after = &rest[key + "\"records_per_s\":".len()..];
+        let num: String = after
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push(v);
+        }
+        rest = after;
+    }
+    out
+}
+
+/// The CI gate: every consecutive pair of entries must not regress by more
+/// than [`MAX_REGRESSION`].
+pub fn check(file_text: &str) -> Result<Vec<f64>, String> {
+    let tp = batched_throughputs(file_text);
+    if tp.is_empty() {
+        return Err("trajectory has no entries".into());
+    }
+    for (i, pair) in tp.windows(2).enumerate() {
+        let (prev, next) = (pair[0], pair[1]);
+        let floor = prev * (1.0 - MAX_REGRESSION);
+        if next < floor {
+            return Err(format!(
+                "entry {} regressed: batched {:.0} records/s < {:.0} \
+                 (> {:.0}% below previous entry's {:.0})",
+                i + 1,
+                next,
+                floor,
+                MAX_REGRESSION * 100.0,
+                prev
+            ));
+        }
+    }
+    Ok(tp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pr: u32, rps: f64) -> String {
+        format!(
+            "{{\"pr\": {pr}, \"scalar\": {{\"records_per_s\": 1}}, \
+             \"batched\": {{\"records_per_s\": {rps:.0}, \"hits\": 0}}, \"speedup\": 2.0}}"
+        )
+    }
+
+    #[test]
+    fn roundtrip_new_append_extract() {
+        let f1 = new_file(&entry(1, 1_000_000.0));
+        let f2 = append_entry(&f1, &entry(2, 1_100_000.0)).unwrap();
+        let f3 = append_entry(&f2, &entry(3, 950_000.0)).unwrap();
+        assert_eq!(
+            batched_throughputs(&f3),
+            vec![1_000_000.0, 1_100_000.0, 950_000.0]
+        );
+        // one line per entry keeps diffs reviewable
+        assert_eq!(f3.matches("\"pr\":").count(), 3);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let ok = append_entry(&new_file(&entry(1, 1_000_000.0)), &entry(2, 850_000.0)).unwrap();
+        assert!(check(&ok).is_ok(), "15% down is within the 20% budget");
+        let bad = append_entry(&new_file(&entry(1, 1_000_000.0)), &entry(2, 700_000.0)).unwrap();
+        let err = check(&bad).expect_err("30% down must fail");
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_empty_or_alien_files() {
+        assert!(check("{}").is_err());
+        assert!(append_entry("{}", &entry(1, 1.0)).is_err());
+    }
+}

@@ -6,8 +6,13 @@
 //! processing-speed estimate ([`ServerStats`]). Scheduling is Algorithm 1;
 //! failure handling sets a timer per sub-query and, on expiry, marks the
 //! node dead and re-dispatches the §4.4 window split.
+//!
+//! All node communication goes through [`NodeLink`] handles built by the
+//! cluster's [`Transport`], so scatter-gather, control calls and live
+//! membership are identical over TCP framing and the §4.8.4 UDP path.
 
-use crate::proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireRecord};
+use crate::proto::{Msg, QueryBody, WireRecord};
+use crate::transport::{NodeLink, Transport, TransportSpec};
 use parking_lot::{Mutex, RwLock};
 use roar_core::failover;
 use roar_core::placement::{RoarRing, SubQuery};
@@ -18,85 +23,11 @@ use roar_core::stats::ServerStats;
 use roar_dr::sched::FinishEstimator;
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tokio::net::TcpStream;
 
-/// One node connection with response correlation.
-pub struct NodeConn {
-    pub addr: SocketAddr,
-    writer: tokio::sync::Mutex<tokio::net::tcp::OwnedWriteHalf>,
-    pending: Arc<Mutex<HashMap<u64, tokio::sync::oneshot::Sender<Msg>>>>,
-    next_id: AtomicU64,
-    connected: AtomicBool,
-}
-
-impl NodeConn {
-    pub async fn connect(addr: SocketAddr) -> std::io::Result<Arc<Self>> {
-        let stream = TcpStream::connect(addr).await?;
-        stream.set_nodelay(true)?;
-        let (mut rd, wr) = stream.into_split();
-        let pending: Arc<Mutex<HashMap<u64, tokio::sync::oneshot::Sender<Msg>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let conn = Arc::new(NodeConn {
-            addr,
-            writer: tokio::sync::Mutex::new(wr),
-            pending: Arc::clone(&pending),
-            next_id: AtomicU64::new(1),
-            connected: AtomicBool::new(true),
-        });
-        let conn2 = Arc::clone(&conn);
-        tokio::spawn(async move {
-            // reader task: route responses to their waiters
-            while let Ok(Some(frame)) = read_frame(&mut rd).await {
-                if let Some(tx) = pending.lock().remove(&frame.id) {
-                    let _ = tx.send(frame.body);
-                }
-            }
-            conn2.connected.store(false, Ordering::SeqCst);
-            // wake all waiters with closure (drop senders)
-            pending.lock().clear();
-        });
-        Ok(conn)
-    }
-
-    pub fn is_connected(&self) -> bool {
-        self.connected.load(Ordering::SeqCst)
-    }
-
-    /// One request-response exchange with a deadline.
-    pub async fn rpc(&self, body: Msg, timeout: Duration) -> Result<Msg, RpcError> {
-        if !self.is_connected() {
-            return Err(RpcError::Disconnected);
-        }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = tokio::sync::oneshot::channel();
-        self.pending.lock().insert(id, tx);
-        {
-            let mut w = self.writer.lock().await;
-            if write_frame(&mut *w, &Frame { id, body }).await.is_err() {
-                self.pending.lock().remove(&id);
-                return Err(RpcError::Disconnected);
-            }
-        }
-        match tokio::time::timeout(timeout, rx).await {
-            Ok(Ok(msg)) => Ok(msg),
-            Ok(Err(_)) => Err(RpcError::Disconnected),
-            Err(_) => {
-                self.pending.lock().remove(&id);
-                Err(RpcError::Timeout)
-            }
-        }
-    }
-}
-
-/// RPC failure modes the front-end reacts to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RpcError {
-    Timeout,
-    Disconnected,
-}
+pub use crate::transport::RpcError;
 
 /// Scheduling options (the §4.8.2 optimisations, toggleable for ablations).
 #[derive(Debug, Clone, Copy, Default)]
@@ -131,7 +62,9 @@ pub struct QueryOutput {
 
 /// The front-end + control plane for one ROAR cluster.
 pub struct Cluster {
-    conns: RwLock<Vec<Arc<NodeConn>>>,
+    /// The transport every link was (and future links will be) built from.
+    transport: Arc<dyn Transport>,
+    conns: RwLock<Vec<Arc<dyn NodeLink>>>,
     ring: RwLock<RoarRing>,
     stats: RwLock<ServerStats>,
     reconfig: Mutex<Reconfig>,
@@ -146,18 +79,30 @@ pub struct Cluster {
 
 impl Cluster {
     /// Connect to `addrs` (node i ↔ `addrs[i]`) with partitioning level `p`
-    /// and a uniform ring.
+    /// and a uniform ring, over TCP (the default transport).
     pub async fn connect(
         addrs: &[SocketAddr],
         p: usize,
         default_speed: f64,
     ) -> std::io::Result<Self> {
+        Self::connect_with(addrs, p, default_speed, TransportSpec::Tcp.build()).await
+    }
+
+    /// Connect over an explicit [`Transport`] — the nodes must be serving
+    /// the same transport.
+    pub async fn connect_with(
+        addrs: &[SocketAddr],
+        p: usize,
+        default_speed: f64,
+        transport: Arc<dyn Transport>,
+    ) -> std::io::Result<Self> {
         let mut conns = Vec::with_capacity(addrs.len());
         for &a in addrs {
-            conns.push(NodeConn::connect(a).await?);
+            conns.push(transport.connect(a).await?);
         }
         let nodes: Vec<usize> = (0..addrs.len()).collect();
         Ok(Cluster {
+            transport,
             conns: RwLock::new(conns),
             ring: RwLock::new(RoarRing::new(RingMap::uniform(&nodes), p)),
             stats: RwLock::new(ServerStats::new(addrs.len(), default_speed, 0.2)),
@@ -174,9 +119,9 @@ impl Cluster {
         self.conns.read().len()
     }
 
-    /// Connection handle for node `i` (clones the Arc out of the lock so no
+    /// Link handle for node `i` (clones the Arc out of the lock so no
     /// guard is held across awaits).
-    fn conn(&self, i: usize) -> Arc<NodeConn> {
+    fn conn(&self, i: usize) -> Arc<dyn NodeLink> {
         Arc::clone(&self.conns.read()[i])
     }
 
@@ -610,7 +555,9 @@ impl Cluster {
     /// range, so queries never see a window nobody covers. Returns the new
     /// node's id.
     pub async fn add_node(&self, addr: SocketAddr) -> Result<usize, RpcError> {
-        let conn = NodeConn::connect(addr)
+        let conn = self
+            .transport
+            .connect(addr)
             .await
             .map_err(|_| RpcError::Disconnected)?;
         let new_id = {
@@ -741,7 +688,7 @@ impl Cluster {
         let entries = ring.map().entries().to_vec();
         for i in 0..entries.len() {
             let succ = entries[(i + 1) % entries.len()].node;
-            let addr = self.conn(succ).addr.to_string();
+            let addr = self.conn(succ).addr().to_string();
             self.conn(entries[i].node)
                 .rpc(Msg::SetSuccessor { addr }, self.timeout)
                 .await?;
@@ -806,6 +753,15 @@ impl Cluster {
     /// probes) or [`Self::discover_p_by_probing`] (guess-and-retry).
     pub async fn connect_backup(addrs: &[SocketAddr], default_speed: f64) -> std::io::Result<Self> {
         Self::connect(addrs, addrs.len(), default_speed).await
+    }
+
+    /// [`Self::connect_backup`] over an explicit transport.
+    pub async fn connect_backup_with(
+        addrs: &[SocketAddr],
+        default_speed: f64,
+        transport: Arc<dyn Transport>,
+    ) -> std::io::Result<Self> {
+        Self::connect_with(addrs, addrs.len(), default_speed, transport).await
     }
 
     /// Learn the safe partitioning level from the nodes' coverage windows:
@@ -876,6 +832,13 @@ impl Cluster {
         *self.reconfig.lock() = Reconfig::new(hi);
         self.ring.write().set_p(hi);
         hi
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // stop any shared client receive loop (UDP) the transport runs
+        self.transport.shutdown();
     }
 }
 

@@ -1,11 +1,18 @@
-//! In-process cluster harness: spawn `n` data nodes on loopback TCP plus a
+//! In-process cluster harness: spawn `n` data nodes on loopback plus a
 //! connected front-end — the one-machine stand-in for the thesis's Hen
 //! testbed (DESIGN.md substitution). Heterogeneity comes from per-node
 //! synthetic speeds; everything else (framing, scheduling, failover,
 //! reconfiguration) is the real networked code path.
+//!
+//! The transport is part of the configuration
+//! ([`ClusterConfig::transport`]): the same harness runs over TCP framing
+//! or the §4.8.4 UDP datagram path, and the tests below run every scenario
+//! under both (see the `per_transport!` macro) — the point of the
+//! [`crate::transport`] trait boundary.
 
 use crate::frontend::Cluster;
 use crate::node::{DataNode, NodeConfig};
+use crate::transport::TransportSpec;
 use std::sync::Arc;
 
 /// Harness parameters.
@@ -17,6 +24,8 @@ pub struct ClusterConfig {
     pub p: usize,
     /// Fixed per-sub-query node overhead, seconds.
     pub overhead_s: f64,
+    /// Which transport the nodes serve and the front-end dispatches over.
+    pub transport: TransportSpec,
 }
 
 impl ClusterConfig {
@@ -25,7 +34,14 @@ impl ClusterConfig {
             speeds: vec![speed; n],
             p,
             overhead_s: 0.0,
+            transport: TransportSpec::Tcp,
         }
+    }
+
+    /// Select the cluster transport (builder style).
+    pub fn with_transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = transport;
+        self
     }
 }
 
@@ -35,15 +51,29 @@ pub struct ClusterHandle {
     pub cluster: Arc<Cluster>,
     pub nodes: Vec<Arc<DataNode>>,
     pub addrs: Vec<std::net::SocketAddr>,
+    /// The spec every role was built from (backups and late joiners must
+    /// speak the same transport).
+    pub transport: TransportSpec,
 }
 
-/// Spawn one extra data node (for §4.3 live-join experiments); returns its
-/// bound address and handle. It serves but is not yet on any ring — hand
-/// the address to [`Cluster::add_node`](crate::frontend::Cluster::add_node).
+/// Spawn one extra data node over TCP (for §4.3 live-join experiments);
+/// returns its bound address and handle. It serves but is not yet on any
+/// ring — hand the address to
+/// [`Cluster::add_node`](crate::frontend::Cluster::add_node).
 pub async fn spawn_extra_node(
     id: usize,
     speed: f64,
     overhead_s: f64,
+) -> std::io::Result<(std::net::SocketAddr, Arc<DataNode>)> {
+    spawn_extra_node_with(id, speed, overhead_s, &TransportSpec::Tcp).await
+}
+
+/// [`spawn_extra_node`] over an explicit transport.
+pub async fn spawn_extra_node_with(
+    id: usize,
+    speed: f64,
+    overhead_s: f64,
+    transport: &TransportSpec,
 ) -> std::io::Result<(std::net::SocketAddr, Arc<DataNode>)> {
     let node = Arc::new(DataNode::new(NodeConfig {
         id,
@@ -52,8 +82,9 @@ pub async fn spawn_extra_node(
     }));
     let (tx, rx) = tokio::sync::oneshot::channel();
     let n2 = Arc::clone(&node);
+    let t = transport.build();
     tokio::spawn(async move {
-        let _ = n2.serve(tx).await;
+        let _ = n2.serve_with(t, tx).await;
     });
     let addr = rx
         .await
@@ -68,28 +99,19 @@ pub async fn spawn_cluster(cfg: ClusterConfig) -> std::io::Result<ClusterHandle>
     let mut nodes = Vec::new();
     let mut addrs = Vec::new();
     for (id, &speed) in cfg.speeds.iter().enumerate() {
-        let node = Arc::new(DataNode::new(NodeConfig {
-            id,
-            speed,
-            overhead_s: cfg.overhead_s,
-        }));
-        let (tx, rx) = tokio::sync::oneshot::channel();
-        let n2 = Arc::clone(&node);
-        tokio::spawn(async move {
-            let _ = n2.serve(tx).await;
-        });
-        let addr = rx
-            .await
-            .map_err(|_| std::io::Error::other("node failed to bind"))?;
+        let (addr, node) = spawn_extra_node_with(id, speed, cfg.overhead_s, &cfg.transport).await?;
         nodes.push(node);
         addrs.push(addr);
     }
     let default_speed_work = 1.0; // replaced by EWMA after first completions
-    let cluster = Arc::new(Cluster::connect(&addrs, cfg.p, default_speed_work).await?);
+    let cluster = Arc::new(
+        Cluster::connect_with(&addrs, cfg.p, default_speed_work, cfg.transport.build()).await?,
+    );
     Ok(ClusterHandle {
         cluster,
         nodes,
         addrs,
+        transport: cfg.transport,
     })
 }
 
@@ -98,12 +120,52 @@ mod tests {
     use super::*;
     use crate::frontend::SchedOpts;
     use crate::proto::QueryBody;
+    use crate::transport::{LossSpec, UdpConfig};
     use rand::Rng;
     use roar_util::det_rng;
+    use std::time::Duration;
 
-    #[tokio::test]
-    async fn end_to_end_synthetic_query() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3))
+    /// The UDP configuration the parametrized suite runs under: app-level
+    /// RTO far below TCP's minimum, generous liveness budget so loaded CI
+    /// machines do not false-positive the dead-peer detector.
+    fn udp_spec() -> TransportSpec {
+        TransportSpec::Udp {
+            cfg: UdpConfig {
+                rto: Duration::from_millis(10),
+                max_attempts: 50,
+                ..UdpConfig::default()
+            },
+            client_loss: LossSpec::None,
+            server_loss: LossSpec::None,
+        }
+    }
+
+    /// Run each scenario under both transports: `<name>::tcp` and
+    /// `<name>::udp` — parametrized, not duplicated.
+    macro_rules! per_transport {
+        ($(async fn $name:ident($spec:ident: TransportSpec) $body:block)*) => {$(
+            mod $name {
+                use super::*;
+
+                async fn run($spec: TransportSpec) $body
+
+                #[tokio::test]
+                async fn tcp() {
+                    run(TransportSpec::Tcp).await
+                }
+
+                #[tokio::test]
+                async fn udp() {
+                    run(udp_spec()).await
+                }
+            }
+        )*};
+    }
+
+    per_transport! {
+
+    async fn end_to_end_synthetic_query(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3).with_transport(spec))
             .await
             .unwrap();
         let mut rng = det_rng(211);
@@ -119,12 +181,11 @@ mod tests {
         assert_eq!(out.subqueries, 3);
     }
 
-    #[tokio::test]
-    async fn pps_query_end_to_end() {
+    async fn pps_query_end_to_end(spec: TransportSpec) {
         use crate::proto::WireTrapdoor;
         use roar_pps::metadata::{FileMeta, MetaEncryptor};
         use roar_pps::query::{Combiner, Predicate, QueryCompiler};
-        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2))
+        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         let enc = MetaEncryptor::new(b"alice");
@@ -162,9 +223,8 @@ mod tests {
         assert_eq!(out.scanned, 40);
     }
 
-    #[tokio::test]
-    async fn pq_above_p_still_exact() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2))
+    async fn pq_above_p_still_exact(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         let mut rng = det_rng(213);
@@ -184,9 +244,8 @@ mod tests {
         assert_eq!(out.subqueries, 5);
     }
 
-    #[tokio::test]
-    async fn node_failure_preserves_exactness() {
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+    async fn node_failure_preserves_exactness(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         let mut rng = det_rng(214);
@@ -202,9 +261,8 @@ mod tests {
         assert_eq!(out.scanned, 400, "exactly-once under failure");
     }
 
-    #[tokio::test]
-    async fn increase_p_transition_safe() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2))
+    async fn increase_p_transition_safe(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         let mut rng = det_rng(215);
@@ -219,9 +277,8 @@ mod tests {
         assert_eq!(out.scanned, 300, "after increasing p");
     }
 
-    #[tokio::test]
-    async fn decrease_p_transition_safe() {
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3))
+    async fn decrease_p_transition_safe(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3).with_transport(spec))
             .await
             .unwrap();
         let mut rng = det_rng(216);
@@ -237,18 +294,17 @@ mod tests {
         assert_eq!(out.subqueries, 2);
     }
 
-    #[tokio::test]
-    async fn backup_frontend_discovers_p_from_coverage() {
+    async fn backup_frontend_discovers_p_from_coverage(spec: TransportSpec) {
         // §4.8.3 option 1: a backup that starts at p = n learns the real p
         // from one CoverageRequest round
-        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3))
+        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3).with_transport(spec.clone()))
             .await
             .unwrap();
         let mut rng = det_rng(218);
         let ids: Vec<u64> = (0..600).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(4).await.unwrap(); // pushes coverages
-        let backup = crate::frontend::Cluster::connect_backup(&h.addrs, 1.0)
+        let backup = Cluster::connect_backup_with(&h.addrs, 1.0, spec.build())
             .await
             .unwrap();
         assert_eq!(backup.p(), 12, "backup starts at the always-safe p = n");
@@ -265,18 +321,17 @@ mod tests {
         assert_eq!((out.scanned, out.subqueries), (600, 4));
     }
 
-    #[tokio::test]
-    async fn backup_frontend_discovers_p_by_probing() {
+    async fn backup_frontend_discovers_p_by_probing(spec: TransportSpec) {
         // §4.8.3 option 2: guess-and-retry — refused probes bound p from
         // below, successful ones from above
-        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3))
+        let h = spawn_cluster(ClusterConfig::uniform(12, 1e6, 3).with_transport(spec.clone()))
             .await
             .unwrap();
         let mut rng = det_rng(219);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(6).await.unwrap();
-        let backup = crate::frontend::Cluster::connect_backup(&h.addrs, 1.0)
+        let backup = Cluster::connect_backup_with(&h.addrs, 1.0, spec.build())
             .await
             .unwrap();
         let p = backup.discover_p_by_probing().await;
@@ -287,11 +342,10 @@ mod tests {
         assert_eq!(out.scanned, 400);
     }
 
-    #[tokio::test]
-    async fn under_covered_query_is_refused_not_wrong() {
+    async fn under_covered_query_is_refused_not_wrong(spec: TransportSpec) {
         // a front-end using too small a p gets refusals (harvest < 1), never
         // silently partial results counted as complete
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2).with_transport(spec.clone()))
             .await
             .unwrap();
         let mut rng = det_rng(220);
@@ -299,7 +353,7 @@ mod tests {
         h.cluster.store_synthetic(&ids).await.unwrap();
         h.cluster.set_p(4).await.unwrap(); // coverage now 1/4-arcs
                                            // a stale front-end still believing p = 2
-        let stale = crate::frontend::Cluster::connect(&h.addrs, 2, 1.0)
+        let stale = Cluster::connect_with(&h.addrs, 2, 1.0, spec.build())
             .await
             .unwrap();
         let out = stale
@@ -308,11 +362,10 @@ mod tests {
         assert!(out.harvest < 1.0, "nodes must refuse the too-wide windows");
     }
 
-    #[tokio::test]
-    async fn failover_windows_respect_coverage() {
+    async fn failover_windows_respect_coverage(spec: TransportSpec) {
         // §4.4 fall-back pieces must land inside the neighbours' coverage
         // even with node-side enforcement on
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         let mut rng = det_rng(221);
@@ -330,16 +383,15 @@ mod tests {
         }
     }
 
-    #[tokio::test]
-    async fn live_join_keeps_queries_exact() {
+    async fn live_join_keeps_queries_exact(spec: TransportSpec) {
         // §4.3: a node joins a serving ring; data downloads before takeover
-        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3))
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3).with_transport(spec.clone()))
             .await
             .unwrap();
         let mut rng = det_rng(225);
         let ids: Vec<u64> = (0..900).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
-        let (addr, new_node) = spawn_extra_node(6, 1e6, 0.0).await.unwrap();
+        let (addr, new_node) = spawn_extra_node_with(6, 1e6, 0.0, &spec).await.unwrap();
         let new_id = h.cluster.add_node(addr).await.unwrap();
         assert_eq!(new_id, 6);
         assert_eq!(h.cluster.n(), 7);
@@ -364,10 +416,9 @@ mod tests {
         assert!(frac > 0.0, "new node owns ring range");
     }
 
-    #[tokio::test]
-    async fn controlled_removal_keeps_queries_exact() {
+    async fn controlled_removal_keeps_queries_exact(spec: TransportSpec) {
         // §4.4: neighbours absorb the leaver's range before it shuts down
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         let mut rng = det_rng(226);
@@ -385,15 +436,14 @@ mod tests {
         }
     }
 
-    #[tokio::test]
-    async fn join_then_leave_roundtrip() {
-        let h = spawn_cluster(ClusterConfig::uniform(5, 1e6, 2))
+    async fn join_then_leave_roundtrip(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(5, 1e6, 2).with_transport(spec.clone()))
             .await
             .unwrap();
         let mut rng = det_rng(227);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
-        let (addr, _node) = spawn_extra_node(5, 1e6, 0.0).await.unwrap();
+        let (addr, _node) = spawn_extra_node_with(5, 1e6, 0.0, &spec).await.unwrap();
         let id = h.cluster.add_node(addr).await.unwrap();
         let out = h
             .cluster
@@ -408,11 +458,10 @@ mod tests {
         assert_eq!(out.scanned, 400, "back to the original membership");
     }
 
-    #[tokio::test]
-    async fn p2p_store_places_same_replicas_as_direct_push() {
+    async fn p2p_store_places_same_replicas_as_direct_push(spec: TransportSpec) {
         // §4.1 option 1: frontend touches only the first replica; the ring
         // chain must reproduce exactly the direct-push placement
-        let h = spawn_cluster(ClusterConfig::uniform(9, 1e6, 3))
+        let h = spawn_cluster(ClusterConfig::uniform(9, 1e6, 3).with_transport(spec))
             .await
             .unwrap();
         h.cluster.push_successors().await.unwrap();
@@ -432,9 +481,8 @@ mod tests {
         assert_eq!(out.scanned, 300);
     }
 
-    #[tokio::test]
-    async fn p2p_store_falls_back_when_chain_breaks() {
-        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2))
+    async fn p2p_store_falls_back_when_chain_breaks(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         h.cluster.push_successors().await.unwrap();
@@ -452,10 +500,9 @@ mod tests {
         assert_eq!(out.scanned, 200, "fall-back must not lose objects");
     }
 
-    #[tokio::test]
-    async fn forwarding_without_successor_reports_error() {
+    async fn forwarding_without_successor_reports_error(spec: TransportSpec) {
         // nodes refuse to silently drop a chain
-        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2))
+        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
         // no push_successors: chains cannot run, fallback engages
@@ -469,14 +516,14 @@ mod tests {
         assert_eq!(out.scanned, 100, "fallback path stores everything");
     }
 
-    #[tokio::test]
-    async fn speed_estimates_converge_to_heterogeneity() {
+    async fn speed_estimates_converge_to_heterogeneity(spec: TransportSpec) {
         // two fast, two slow nodes; after some queries the EWMA should rank
         // them correctly (Fig 7.13's observed speeds)
         let cfg = ClusterConfig {
             speeds: vec![2e5, 2e5, 4e4, 4e4],
             p: 2,
             overhead_s: 0.0,
+            transport: spec,
         };
         let h = spawn_cluster(cfg).await.unwrap();
         let mut rng = det_rng(217);
@@ -499,5 +546,7 @@ mod tests {
             est[0] > est[2] && est[1] > est[3],
             "estimates should rank fast over slow: {est:?}"
         );
+    }
+
     }
 }

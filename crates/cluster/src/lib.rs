@@ -11,13 +11,25 @@
 //! * the **membership server** logic (range assignment, join/leave, p
 //!   changes) drives both through [`frontend::Cluster`] control calls.
 //!
-//! Transport is length-prefixed binary frames over TCP ([`proto`]) — the
-//! tokio tutorial's framing idiom with a hand-rolled tagged codec. The paper's reliability discussion
-//! (§4.8.4, TCP min-RTO / incast) is covered twice: the TCP path keeps
-//! per-sub-query application timers (the part that matters for failover),
-//! and [`transport`] implements the thesis's named alternative — UDP with
-//! application-level acknowledgements, millisecond retransmission timers
-//! and at-most-once request execution — with loss injection for tests.
+//! Transport is **pluggable** ([`transport`]): every RPC — sub-query
+//! dispatch, store pushes, control calls, forwarding chains — crosses the
+//! [`transport::Transport`] / [`transport::NodeLink`] /
+//! [`transport::BoundServer`] trait boundary, so the front-end's
+//! scatter-gather, the node's serve loop and the harness never name a
+//! socket type. Two implementations exist, selected by
+//! [`transport::TransportSpec`] through [`harness::ClusterConfig`]:
+//!
+//! * **TCP** ([`transport::tcp`]) — length-prefixed binary frames
+//!   ([`proto`]) over persistent connections, the tokio tutorial's framing
+//!   idiom with a hand-rolled tagged codec; correlation ids multiplex
+//!   requests per connection, and per-sub-query application timers provide
+//!   the failure detection that matters for §4.4 failover.
+//! * **UDP** ([`transport::udp`]) — the thesis's §4.8.4 prescription for
+//!   TCP incast: application-level acknowledgements, millisecond
+//!   retransmission timers (instead of TCP's 200 ms+ min-RTO), at-most-once
+//!   request execution, and chunked reassembly for replies larger than one
+//!   datagram — with deterministic loss injection so the recovery paths are
+//!   exercised on loopback, where real loss never happens.
 //!
 //! Two query execution modes keep experiments honest *and* fast:
 //! * **PPS** — real encrypted matching against the node's
@@ -37,4 +49,7 @@ pub use frontend::{Cluster, QueryOutput};
 pub use harness::{spawn_cluster, ClusterConfig, ClusterHandle};
 pub use node::{DataNode, NodeConfig};
 pub use proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireTrapdoor};
-pub use transport::{LossPolicy, RequestError, UdpConfig, UdpEndpoint};
+pub use transport::{
+    LossPolicy, LossSpec, NodeConn, NodeLink, RequestError, RpcError, Transport, TransportSpec,
+    UdpConfig, UdpEndpoint,
+};

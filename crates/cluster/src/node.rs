@@ -6,14 +6,14 @@
 //! so `pq > p` over-partitioning and failure-split sub-queries work without
 //! any node-side coordination (§4.2).
 
-use crate::proto::{read_frame, write_frame, Frame, Msg, QueryBody};
+use crate::proto::{Msg, QueryBody};
+use crate::transport::{BoxFuture, Handler, Transport, TransportSpec};
 use parking_lot::Mutex;
 use roar_core::ring::Window;
 use roar_pps::query::{Combiner, CompiledQuery};
 use roar_pps::MetadataStore;
 use std::sync::Arc;
 use std::time::Instant;
-use tokio::net::{TcpListener, TcpStream};
 
 /// Static node configuration.
 #[derive(Debug, Clone)]
@@ -47,10 +47,16 @@ impl NodeState {
 pub struct DataNode {
     pub cfg: NodeConfig,
     state: Arc<Mutex<NodeState>>,
+    /// Flipped by `Msg::Shutdown`; the serve loop (any transport) watches it.
+    shutdown: tokio::sync::watch::Sender<bool>,
+    /// The transport this node serves on — also used to reach the ring
+    /// successor for §4.1 store forwarding.
+    transport: Mutex<Option<Arc<dyn Transport>>>,
 }
 
 impl DataNode {
     pub fn new(cfg: NodeConfig) -> Self {
+        let (shutdown, _) = tokio::sync::watch::channel(false);
         DataNode {
             cfg,
             state: Arc::new(Mutex::new(NodeState {
@@ -59,74 +65,45 @@ impl DataNode {
                 coverage: None,
                 successor: None,
             })),
+            shutdown,
+            transport: Mutex::new(None),
         }
     }
 
-    /// Bind a listener and serve until `Shutdown` is received or the
-    /// listener errors. Returns the bound address immediately via the
-    /// `addr_tx` channel, then serves.
+    /// Bind and serve over TCP (the default transport) until `Shutdown` is
+    /// received. Returns the bound address immediately via `addr_tx`.
     pub async fn serve(
         self: Arc<Self>,
         addr_tx: tokio::sync::oneshot::Sender<std::net::SocketAddr>,
     ) -> std::io::Result<()> {
-        let listener = TcpListener::bind("127.0.0.1:0").await?;
-        let addr = listener.local_addr()?;
-        let _ = addr_tx.send(addr);
-        let (shutdown_tx, mut shutdown_rx) = tokio::sync::watch::channel(false);
-        let shutdown_tx = Arc::new(shutdown_tx);
-        loop {
-            tokio::select! {
-                accepted = listener.accept() => {
-                    let (stream, _) = accepted?;
-                    let node = Arc::clone(&self);
-                    let shutdown = Arc::clone(&shutdown_tx);
-                    tokio::spawn(async move {
-                        let _ = node.handle_conn(stream, shutdown).await;
-                    });
-                }
-                _ = shutdown_rx.changed() => {
-                    if *shutdown_rx.borrow() {
-                        return Ok(());
-                    }
-                }
-            }
-        }
+        self.serve_with(TransportSpec::Tcp.build(), addr_tx).await
     }
 
-    async fn handle_conn(
+    /// Bind and serve over an explicit [`Transport`] until `Shutdown` is
+    /// received or the serve loop errors. Returns the bound address
+    /// immediately via the `addr_tx` channel, then serves.
+    pub async fn serve_with(
         self: Arc<Self>,
-        stream: TcpStream,
-        shutdown: Arc<tokio::sync::watch::Sender<bool>>,
+        transport: Arc<dyn Transport>,
+        addr_tx: tokio::sync::oneshot::Sender<std::net::SocketAddr>,
     ) -> std::io::Result<()> {
-        let (mut rd, wr) = stream.into_split();
-        let wr = Arc::new(tokio::sync::Mutex::new(wr));
-        while let Some(frame) = read_frame(&mut rd).await? {
-            let node = Arc::clone(&self);
-            let wr = Arc::clone(&wr);
-            let shutdown = Arc::clone(&shutdown);
-            // each request is served concurrently; responses are correlated
-            // by frame id, so ordering does not matter
-            tokio::spawn(async move {
-                let reply = node.handle_msg(frame.body, &shutdown).await;
-                let mut w = wr.lock().await;
-                let _ = write_frame(
-                    &mut *w,
-                    &Frame {
-                        id: frame.id,
-                        body: reply,
-                    },
-                )
-                .await;
-            });
-        }
+        *self.transport.lock() = Some(Arc::clone(&transport));
+        let server = transport.bind("127.0.0.1:0").await?;
+        let addr = server.local_addr()?;
+        let _ = addr_tx.send(addr);
+        let shutdown_rx = self.shutdown.subscribe();
+        let handle = server.serve(Arc::clone(&self) as Arc<dyn Handler>, shutdown_rx);
+        let _ = handle.await;
+        // release the forwarding client endpoint, if one was ever opened
+        transport.shutdown();
         Ok(())
     }
 
-    async fn handle_msg(&self, msg: Msg, shutdown: &tokio::sync::watch::Sender<bool>) -> Msg {
+    async fn handle_msg(&self, msg: Msg) -> Msg {
         match msg {
             Msg::Ping => Msg::Pong,
             Msg::Shutdown => {
-                let _ = shutdown.send(true);
+                let _ = self.shutdown.send(true);
                 Msg::Ok
             }
             Msg::CountRequest => Msg::Count {
@@ -183,7 +160,7 @@ impl DataNode {
                     synthetic_ids,
                     hops: hops - 1,
                 };
-                match Self::forward_once(succ, fwd).await {
+                match self.forward_once(succ, fwd).await {
                     Ok(Msg::Ok) => Msg::Ok,
                     Ok(other) => Msg::Error {
                         what: format!("chain broke: {other:?}"),
@@ -353,24 +330,21 @@ impl DataNode {
         Msg::Ok
     }
 
-    /// One store-forward exchange with the successor over a fresh
-    /// connection (a production node would keep its neighbour connection
-    /// persistent; one-shot keeps the demo simple and failure-visible).
-    async fn forward_once(succ: std::net::SocketAddr, msg: Msg) -> std::io::Result<Msg> {
-        let fut = async {
-            let mut stream = TcpStream::connect(succ).await?;
-            write_frame(&mut stream, &Frame { id: 1, body: msg }).await?;
-            match read_frame(&mut stream).await? {
-                Some(f) => Ok(f.body),
-                None => Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "successor closed mid-chain",
-                )),
-            }
-        };
-        tokio::time::timeout(std::time::Duration::from_secs(5), fut)
+    /// One store-forward exchange with the successor over a fresh link of
+    /// the node's own transport (a production node would keep its neighbour
+    /// link persistent; one-shot keeps the demo simple and failure-visible).
+    async fn forward_once(&self, succ: std::net::SocketAddr, msg: Msg) -> std::io::Result<Msg> {
+        let transport = self
+            .transport
+            .lock()
+            .clone()
+            .ok_or_else(|| std::io::Error::other("node is not serving"))?;
+        let link = transport.connect(succ).await?;
+        link.rpc(msg, std::time::Duration::from_secs(5))
             .await
-            .map_err(|_| std::io::Error::new(std::io::ErrorKind::TimedOut, "chain timeout"))?
+            .map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, format!("chain rpc: {e:?}"))
+            })
     }
 
     /// Direct (in-process) record count — used by the harness.
@@ -379,10 +353,17 @@ impl DataNode {
     }
 }
 
+impl Handler for DataNode {
+    fn handle(self: Arc<Self>, msg: Msg) -> BoxFuture<'static, Msg> {
+        Box::pin(async move { self.handle_msg(msg).await })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::WireRecord;
+    use crate::proto::{read_frame, write_frame, Frame, WireRecord};
+    use tokio::net::TcpStream;
 
     async fn start_node(speed: f64) -> (std::net::SocketAddr, Arc<DataNode>) {
         let node = Arc::new(DataNode::new(NodeConfig {

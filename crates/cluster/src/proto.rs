@@ -1,13 +1,20 @@
-//! Wire protocol: length-prefixed binary frames over TCP.
+//! Wire protocol: the tagged binary codec, and its TCP framing.
 //!
-//! Every message travels as `[u32 BE length][payload]`. The payload is a
-//! hand-rolled tagged binary encoding (see [`wire`]) rather than JSON: the
-//! metadata-bearing messages (`Store`, `StoreForward`) move hundreds of
-//! ~1 kB encrypted records per call, and a byte-exact codec keeps that path
-//! allocation-light and several times cheaper to encode/decode than text.
-//! The envelope carries a correlation id so requests and responses
-//! multiplex freely over one persistent connection per node (the front-end
-//! keeps a pending-response map, §4.8's outstanding-query table).
+//! [`Msg`] is a hand-rolled tagged binary encoding (see [`wire`]) rather
+//! than JSON: the metadata-bearing messages (`Store`, `StoreForward`) move
+//! hundreds of ~1 kB encrypted records per call, and a byte-exact codec
+//! keeps that path allocation-light and several times cheaper to
+//! encode/decode than text. The same encoding is the payload of **both**
+//! transports behind [`crate::transport`]:
+//!
+//! * over TCP, each message travels as `[u32 BE length][payload]`
+//!   ([`write_frame`]/[`read_frame`]); the [`Frame`] envelope carries a
+//!   correlation id so requests and responses multiplex freely over one
+//!   persistent connection per node (the front-end keeps a
+//!   pending-response map, §4.8's outstanding-query table);
+//! * over UDP, the encoded bytes are split into numbered datagram
+//!   fragments and reassembled by [`crate::transport::udp`] (correlation
+//!   and retransmission live in that module's datagram header instead).
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 

@@ -1,0 +1,186 @@
+//! The pluggable cluster transport boundary.
+//!
+//! Every RPC the cluster makes — sub-query dispatch, store pushes, control
+//! calls, store-forward chains — goes through three small traits so the
+//! front-end's scatter-gather, the node's serve loop and the harness are
+//! all transport-agnostic:
+//!
+//! * [`Transport`] — a factory: bind a server endpoint, connect a client
+//!   link. One instance per role (each data node owns one, the front-end
+//!   owns one), so per-endpoint state like loss injection stays private.
+//! * [`NodeLink`] — the front-end's handle to one node: a correlated
+//!   request/response exchange with a deadline ([`NodeLink::rpc`]).
+//! * [`BoundServer`] — a bound endpoint that can run a serve loop,
+//!   dispatching inbound messages to a [`Handler`] until shutdown.
+//!
+//! Two implementations exist:
+//!
+//! * [`tcp`] — length-prefixed frames over persistent TCP connections
+//!   (the seed path): correlation ids multiplex requests over one stream.
+//! * [`udp`] — the §4.8.4 datagram path: application-level
+//!   acknowledgements, millisecond retransmission timers, at-most-once
+//!   execution and chunked replies for payloads larger than one datagram.
+//!
+//! Selection is data, not code: [`TransportSpec`] is a cloneable
+//! description that the harness threads through `ClusterConfig`, building
+//! fresh [`Transport`] instances (with their own loss policies) per role.
+
+pub mod tcp;
+pub mod udp;
+
+pub use tcp::{NodeConn, TcpTransport};
+pub use udp::{LossPolicy, RequestError, UdpConfig, UdpEndpoint, UdpTransport};
+
+use crate::proto::Msg;
+use std::future::Future;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Boxed future, the dyn-compatible shape for async trait methods.
+pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
+
+/// RPC failure modes the front-end reacts to (mark dead, §4.4 fall-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply within the deadline (or, for UDP, the peer stopped
+    /// acknowledging for `max_attempts` consecutive retransmit windows).
+    Timeout,
+    /// The link is unusable (TCP connection closed, local I/O error).
+    Disconnected,
+}
+
+/// Serves inbound requests: one message in, one reply out. The node's
+/// request-processing logic implements this once; every transport calls it.
+pub trait Handler: Send + Sync + 'static {
+    fn handle(self: Arc<Self>, msg: Msg) -> BoxFuture<'static, Msg>;
+}
+
+/// Adapter: a plain `Fn(Msg) -> Msg` as a [`Handler`] (tests, probes).
+pub struct FnHandler<F>(pub F);
+
+impl<F> Handler for FnHandler<F>
+where
+    F: Fn(Msg) -> Msg + Send + Sync + 'static,
+{
+    fn handle(self: Arc<Self>, msg: Msg) -> BoxFuture<'static, Msg> {
+        let reply = (self.0)(msg);
+        Box::pin(async move { reply })
+    }
+}
+
+/// Client side: one node as seen from the front-end.
+pub trait NodeLink: Send + Sync + 'static {
+    /// The address this link targets.
+    fn addr(&self) -> SocketAddr;
+    /// Is the link believed usable? (UDP has no connection state and always
+    /// answers `true`; failures surface as [`RpcError::Timeout`].)
+    fn is_connected(&self) -> bool;
+    /// One request-response exchange with a deadline.
+    fn rpc<'a>(&'a self, msg: Msg, timeout: Duration) -> BoxFuture<'a, Result<Msg, RpcError>>;
+}
+
+/// Server side: a bound endpoint ready to serve.
+pub trait BoundServer: Send + Sync + 'static {
+    fn local_addr(&self) -> std::io::Result<SocketAddr>;
+    /// Consume the endpoint and run the serve loop on a spawned task; the
+    /// loop exits when `shutdown` flips to `true`.
+    fn serve(
+        self: Box<Self>,
+        handler: Arc<dyn Handler>,
+        shutdown: tokio::sync::watch::Receiver<bool>,
+    ) -> tokio::task::JoinHandle<()>;
+}
+
+/// A transport implementation: binds servers, connects links.
+pub trait Transport: Send + Sync + 'static {
+    /// Short name for reports and logs (`"tcp"` / `"udp"`).
+    fn name(&self) -> &'static str;
+    /// Bind a server endpoint on `addr` (port 0 for ephemeral).
+    fn bind<'a>(&'a self, addr: &'a str) -> BoxFuture<'a, std::io::Result<Box<dyn BoundServer>>>;
+    /// Connect a client link to a node at `addr`.
+    fn connect<'a>(&'a self, addr: SocketAddr)
+        -> BoxFuture<'a, std::io::Result<Arc<dyn NodeLink>>>;
+    /// Release shared client resources (stop receive loops). Idempotent.
+    fn shutdown(&self) {}
+}
+
+/// Declarative datagram-loss injection: a cloneable description that builds
+/// a fresh [`LossPolicy`] (with its own counters/RNG) per endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossSpec {
+    /// Deliver everything.
+    None,
+    /// Drop the first `n` outgoing datagrams of any kind.
+    DropFirst(u32),
+    /// Drop the first `n` outgoing *response* datagrams (acks and requests
+    /// pass) — deterministic reply-loss tests.
+    DropFirstResponses(u32),
+    /// Drop the **first transmission of every response**, delivering
+    /// retransmissions: the §4.8.4 incast model, where the synchronized
+    /// reply burst overflows the front-end's switch buffer and recovery is
+    /// governed purely by the sender's retransmission timer.
+    FirstReplyPerRequest,
+    /// Drop each datagram independently with probability `p`, seeded.
+    Random { p: f64, seed: u64 },
+}
+
+impl LossSpec {
+    pub fn build(&self) -> LossPolicy {
+        match *self {
+            LossSpec::None => LossPolicy::None,
+            LossSpec::DropFirst(n) => LossPolicy::drop_first(n),
+            LossSpec::DropFirstResponses(n) => LossPolicy::drop_first_responses(n),
+            LossSpec::FirstReplyPerRequest => LossPolicy::first_reply_per_request(),
+            LossSpec::Random { p, seed } => LossPolicy::random(p, seed),
+        }
+    }
+}
+
+/// Cloneable transport selection, threaded through `ClusterConfig`. Each
+/// [`build`](Self::build) call returns a fresh [`Transport`] with its own
+/// loss policies, so per-node and per-front-end state never alias.
+#[derive(Debug, Clone)]
+pub enum TransportSpec {
+    /// Length-prefixed frames over persistent TCP connections.
+    Tcp,
+    /// Datagrams with app-level acks, retransmission and chunking.
+    Udp {
+        cfg: UdpConfig,
+        /// Loss applied to datagrams the *client* endpoint sends (requests).
+        client_loss: LossSpec,
+        /// Loss applied to datagrams each *server* endpoint sends (acks,
+        /// responses).
+        server_loss: LossSpec,
+    },
+}
+
+impl TransportSpec {
+    /// UDP with default retransmission parameters and no loss injection.
+    pub fn udp() -> Self {
+        TransportSpec::Udp {
+            cfg: UdpConfig::default(),
+            client_loss: LossSpec::None,
+            server_loss: LossSpec::None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportSpec::Tcp => "tcp",
+            TransportSpec::Udp { .. } => "udp",
+        }
+    }
+
+    pub fn build(&self) -> Arc<dyn Transport> {
+        match self {
+            TransportSpec::Tcp => Arc::new(TcpTransport),
+            TransportSpec::Udp {
+                cfg,
+                client_loss,
+                server_loss,
+            } => Arc::new(UdpTransport::new(*cfg, *client_loss, *server_loss)),
+        }
+    }
+}

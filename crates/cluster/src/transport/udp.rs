@@ -1,0 +1,1394 @@
+//! Sending queries reliably (§4.8.4) — the UDP alternative to TCP.
+//!
+//! The thesis's diagnosis: application-limited TCP suffers head-of-line
+//! blocking on loss because "the queries are small, so at any time there is
+//! little data in flight … If a packet gets lost, fast-retransmit is not
+//! triggered; instead, a long retransmit timeout must expire", and with
+//! large p the synchronized replies overflow the front-end's switch buffer
+//! (TCP incast). Its prescription: "drastically reduce or even eliminate
+//! TCP's min RTO" — or "use UDP enhanced with application-level
+//! acknowledgements".
+//!
+//! This module is that second option: a symmetric request/response endpoint
+//! over UDP with
+//!
+//! * **application-level acknowledgements** — a node acknowledges a request
+//!   the moment it receives it and the response doubles as the final ack,
+//!   so the requester distinguishes "peer is dead" (silence) from "peer is
+//!   still computing" (acks without a response yet);
+//! * **a short app-level RTO** (milliseconds, not TCP's 200 ms–1 s minimum):
+//!   the whole request is retransmitted every [`UdpConfig::rto`] until
+//!   acknowledged, and re-polled at the same cadence until answered, so a
+//!   lost reply costs one RTO, not one min-RTO;
+//! * **at-most-once execution** — responders keep a bounded
+//!   `(peer, request id) → in-flight | response` table, so a retransmitted
+//!   request re-sends the cached reply (or is merely re-acknowledged while
+//!   the handler still runs) instead of re-running the handler
+//!   (re-executing a sub-query would double-count work and skew speed
+//!   estimates);
+//! * **chunked payloads** — messages larger than one datagram travel as
+//!   numbered fragments ([`UdpConfig::max_datagram`] bytes of the
+//!   [`Msg`](crate::proto::Msg) tagged codec each) and are reassembled on
+//!   receipt, so large sub-query results need no TCP side channel;
+//! * **no head-of-line blocking** — each request stands alone; a lost
+//!   datagram delays only its own query.
+//!
+//! Congestion control is deliberately out of scope, as in the thesis ("the
+//! difficulty is to avoid congestion collapse in pathological cases" — DCCP
+//! is named as the better long-term answer); sub-queries are tiny and
+//! per-request bounded retries cap the send rate.
+//!
+//! [`LossPolicy`] injects deterministic or seeded-random datagram loss so
+//! the recovery paths are actually exercised in tests — on loopback, real
+//! loss never happens.
+
+use super::{BoundServer, BoxFuture, FnHandler, Handler, NodeLink, RpcError, Transport};
+use crate::proto::Msg;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::net::UdpSocket;
+use tokio::sync::oneshot;
+
+/// Default per-datagram payload budget. Generous for loopback; tests dial
+/// it down to exercise fragmentation.
+pub const MAX_DATAGRAM: usize = 60_000;
+
+/// `kind (1) | id (8) | seq (2) | total (2)` precede every fragment.
+const HEADER: usize = 13;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// Retransmission parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UdpConfig {
+    /// Application-level retransmission timeout. The §4.8.4 point: this can
+    /// be a few milliseconds because query delays are tens of milliseconds —
+    /// far below TCP's conservative minimum RTO.
+    pub rto: Duration,
+    /// How many consecutive RTO windows may pass with *no* datagram from
+    /// the peer (no ack, no response) before the request fails — the
+    /// dead-peer detector. Acks reset the count, so long-running handlers
+    /// are never mistaken for failures.
+    pub max_attempts: u32,
+    /// Bound on the per-peer at-most-once table and reassembly buffers.
+    pub dedup_entries: usize,
+    /// Per-datagram payload budget; larger messages are chunked.
+    pub max_datagram: usize,
+}
+
+impl Default for UdpConfig {
+    fn default() -> Self {
+        UdpConfig {
+            rto: Duration::from_millis(5),
+            max_attempts: 8,
+            dedup_entries: 4096,
+            max_datagram: MAX_DATAGRAM,
+        }
+    }
+}
+
+/// Insertion-ordered bounded map: at most `cap` live entries; inserting
+/// past capacity evicts the oldest. Backs every per-peer table in this
+/// module (loss-injection memory, the at-most-once cache, reassembly
+/// buffers), so the endpoint's memory stays bounded no matter what peers
+/// send.
+///
+/// Entries are stamped so removal and replacement are O(1): a stale FIFO
+/// slot (its stamp no longer matching the live entry) never evicts a newer
+/// entry that reused the same key.
+struct BoundedMap<K, V> {
+    map: HashMap<K, (u64, V)>,
+    order: VecDeque<(K, u64)>,
+    stamp: u64,
+    cap: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
+    fn new(cap: usize) -> Self {
+        BoundedMap {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            stamp: 0,
+            cap,
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        self.map.get(k).map(|(_, v)| v)
+    }
+
+    fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        self.map.get_mut(k).map(|(_, v)| v)
+    }
+
+    fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        self.stamp += 1;
+        let s = self.stamp;
+        self.map.insert(k, (s, v));
+        self.order.push_back((k, s));
+        while self.map.len() > self.cap {
+            let Some((k0, s0)) = self.order.pop_front() else {
+                break;
+            };
+            // stale slots (replaced or removed keys) must not evict the
+            // live entry under the same key
+            if self.map.get(&k0).is_some_and(|(s, _)| *s == s0) {
+                self.map.remove(&k0);
+            }
+        }
+        // keep the FIFO itself bounded once stale slots dominate
+        if self.order.len() > 2 * self.cap {
+            let map = &self.map;
+            self.order
+                .retain(|(k0, s0)| map.get(k0).is_some_and(|(s, _)| s == s0));
+        }
+    }
+
+    fn remove(&mut self, k: &K) -> Option<V> {
+        // the stale order slot is left behind; the stamp check skips it
+        self.map.remove(k).map(|(_, v)| v)
+    }
+}
+
+/// Ids whose first response transmission was already sacrificed
+/// ([`LossPolicy::FirstReplyPerRequest`]); bounded.
+pub struct SeenIds(BoundedMap<u64, ()>);
+
+impl SeenIds {
+    fn new(cap: usize) -> Self {
+        SeenIds(BoundedMap::new(cap))
+    }
+
+    /// True exactly on the first sighting of `id`.
+    fn first_sighting(&mut self, id: u64) -> bool {
+        if self.0.contains(&id) {
+            return false;
+        }
+        self.0.insert(id, ());
+        true
+    }
+}
+
+/// Datagram-loss injection for tests. Applied to *outgoing* datagrams.
+pub enum LossPolicy {
+    /// Deliver everything.
+    None,
+    /// Drop the first `n` datagrams sent (any kind), deliver the rest —
+    /// deterministic recovery tests.
+    DropFirst(Mutex<u32>),
+    /// Drop the first `n` *response* datagrams; acks and requests pass —
+    /// deterministic reply-loss tests.
+    DropFirstResponses(Mutex<u32>),
+    /// Drop the first transmission of every response, deliver
+    /// retransmissions: the §4.8.4 incast model — the synchronized reply
+    /// burst is lost at the fan-in and recovery is governed purely by the
+    /// retransmission timer.
+    FirstReplyPerRequest(Mutex<SeenIds>),
+    /// Drop each datagram independently with probability `p` — seeded, so
+    /// failures reproduce.
+    Random { p: f64, rng: Mutex<StdRng> },
+}
+
+impl LossPolicy {
+    pub fn drop_first(n: u32) -> Self {
+        LossPolicy::DropFirst(Mutex::new(n))
+    }
+
+    pub fn drop_first_responses(n: u32) -> Self {
+        LossPolicy::DropFirstResponses(Mutex::new(n))
+    }
+
+    pub fn first_reply_per_request() -> Self {
+        LossPolicy::FirstReplyPerRequest(Mutex::new(SeenIds::new(1 << 16)))
+    }
+
+    pub fn random(p: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability {p} outside [0,1)"
+        );
+        LossPolicy::Random {
+            p,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    fn should_drop(&self, kind: u8, id: u64) -> bool {
+        match self {
+            LossPolicy::None => false,
+            LossPolicy::DropFirst(left) => {
+                let mut l = left.lock();
+                if *l > 0 {
+                    *l -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            LossPolicy::DropFirstResponses(left) => {
+                if kind != KIND_RESPONSE {
+                    return false;
+                }
+                let mut l = left.lock();
+                if *l > 0 {
+                    *l -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            LossPolicy::FirstReplyPerRequest(seen) => {
+                kind == KIND_RESPONSE && seen.lock().first_sighting(id)
+            }
+            LossPolicy::Random { p, rng } => rng.lock().gen_bool(*p),
+        }
+    }
+}
+
+/// Error from [`UdpEndpoint::request`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The overall deadline passed, or the peer went silent for
+    /// `max_attempts` RTO windows — dead or black-holed. The front-end
+    /// treats this exactly like a sub-query timer firing: mark the node
+    /// failed and fall back (§4.4).
+    TimedOut,
+    /// Local I/O error.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TimedOut => write!(f, "request timed out after all retransmissions"),
+            RequestError::Io(k) => write!(f, "i/o error: {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// One outstanding request on the client side.
+struct Waiter {
+    peer: SocketAddr,
+    tx: oneshot::Sender<Msg>,
+    /// Any datagram (ack or response fragment) from `peer` for this id
+    /// since the last retransmit window — the liveness signal.
+    heard: bool,
+}
+
+/// At-most-once table on the responder side.
+enum Served {
+    /// Handler is still running; duplicates are acknowledged, not re-run.
+    InFlight,
+    /// Encoded response payload; duplicates get it re-sent.
+    Done(Vec<u8>),
+}
+
+type ServedCache = BoundedMap<(SocketAddr, u64), Served>;
+
+/// Multi-chunk payloads being reassembled, keyed `(peer, kind, id)`.
+struct Assembly {
+    total: u16,
+    parts: Vec<Option<Vec<u8>>>,
+    got: usize,
+}
+
+struct Reassembler(BoundedMap<(SocketAddr, u8, u64), Assembly>);
+
+impl Reassembler {
+    fn new(cap: usize) -> Self {
+        Reassembler(BoundedMap::new(cap))
+    }
+
+    /// Feed one fragment; returns the full payload once every chunk is in.
+    fn offer(
+        &mut self,
+        key: (SocketAddr, u8, u64),
+        seq: u16,
+        total: u16,
+        frag: &[u8],
+    ) -> Option<Vec<u8>> {
+        if total == 0 || seq >= total {
+            return None; // malformed header
+        }
+        if total == 1 {
+            return Some(frag.to_vec()); // unfragmented fast path
+        }
+        if !self.0.contains(&key) {
+            self.0.insert(
+                key,
+                Assembly {
+                    total,
+                    parts: vec![None; total as usize],
+                    got: 0,
+                },
+            );
+        }
+        let a = self.0.get_mut(&key)?;
+        if a.total != total {
+            return None; // inconsistent duplicate; ignore
+        }
+        if a.parts[seq as usize].is_none() {
+            a.parts[seq as usize] = Some(frag.to_vec());
+            a.got += 1;
+        }
+        if a.got == total as usize {
+            let a = self.0.remove(&key).expect("assembly present");
+            let mut payload = Vec::new();
+            for part in a.parts {
+                payload.extend_from_slice(&part.expect("all parts present"));
+            }
+            return Some(payload);
+        }
+        None
+    }
+}
+
+/// A symmetric reliable-request UDP endpoint.
+///
+/// One endpoint both issues requests ([`Self::request`]) and serves them
+/// (via the [`Handler`] given to [`serve`](Self::serve)). A single receive
+/// loop demultiplexes: acks and response fragments feed the matching
+/// waiter, request fragments are reassembled and dispatched (at-most-once).
+pub struct UdpEndpoint {
+    sock: Arc<UdpSocket>,
+    cfg: UdpConfig,
+    next_id: AtomicU64,
+    pending: Mutex<HashMap<u64, Waiter>>,
+    served: Mutex<ServedCache>,
+    reasm: Mutex<Reassembler>,
+    loss: LossPolicy,
+    shutdown_tx: tokio::sync::watch::Sender<bool>,
+}
+
+impl UdpEndpoint {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub async fn bind(addr: &str) -> std::io::Result<Arc<Self>> {
+        Self::bind_with(addr, UdpConfig::default(), LossPolicy::None).await
+    }
+
+    /// Bind with explicit retransmission parameters and loss injection.
+    pub async fn bind_with(
+        addr: &str,
+        cfg: UdpConfig,
+        loss: LossPolicy,
+    ) -> std::io::Result<Arc<Self>> {
+        assert!(cfg.max_attempts >= 1, "need at least one send attempt");
+        assert!(
+            cfg.max_datagram >= 1 && cfg.max_datagram + HEADER <= 65_507,
+            "datagram budget {} outside (0, 65507 - header]",
+            cfg.max_datagram
+        );
+        let sock = UdpSocket::bind(addr).await?;
+        let (shutdown_tx, _) = tokio::sync::watch::channel(false);
+        Ok(Arc::new(UdpEndpoint {
+            sock: Arc::new(sock),
+            cfg,
+            next_id: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            served: Mutex::new(ServedCache::new(cfg.dedup_entries)),
+            reasm: Mutex::new(Reassembler::new(cfg.dedup_entries)),
+            loss,
+            shutdown_tx,
+        }))
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    /// Stop the receive loop (idempotent). In-flight `request` calls fail
+    /// at their deadlines.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown_tx.send(true);
+    }
+
+    fn encode_datagram(kind: u8, id: u64, seq: u16, total: u16, frag: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::with_capacity(HEADER + frag.len());
+        wire.push(kind);
+        wire.extend_from_slice(&id.to_be_bytes());
+        wire.extend_from_slice(&seq.to_be_bytes());
+        wire.extend_from_slice(&total.to_be_bytes());
+        wire.extend_from_slice(frag);
+        wire
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn decode_datagram(wire: &[u8]) -> Option<(u8, u64, u16, u16, &[u8])> {
+        if wire.len() < HEADER {
+            return None;
+        }
+        let kind = wire[0];
+        let id = u64::from_be_bytes(wire[1..9].try_into().expect("8 bytes"));
+        let seq = u16::from_be_bytes(wire[9..11].try_into().expect("2 bytes"));
+        let total = u16::from_be_bytes(wire[11..13].try_into().expect("2 bytes"));
+        Some((kind, id, seq, total, &wire[HEADER..]))
+    }
+
+    async fn send_datagram(
+        &self,
+        kind: u8,
+        id: u64,
+        wire: &[u8],
+        peer: SocketAddr,
+    ) -> std::io::Result<()> {
+        if self.loss.should_drop(kind, id) {
+            return Ok(()); // injected loss: silently vanish
+        }
+        self.sock.send_to(wire, peer).await.map(|_| ())
+    }
+
+    /// Send `payload` as one or more fragments of at most
+    /// [`UdpConfig::max_datagram`] bytes.
+    async fn send_chunks(
+        &self,
+        kind: u8,
+        id: u64,
+        payload: &[u8],
+        peer: SocketAddr,
+    ) -> std::io::Result<()> {
+        let budget = self.cfg.max_datagram;
+        let total = payload.len().div_ceil(budget).max(1);
+        assert!(
+            total <= u16::MAX as usize,
+            "payload of {} bytes needs {total} chunks (max {})",
+            payload.len(),
+            u16::MAX
+        );
+        if payload.is_empty() {
+            let wire = Self::encode_datagram(kind, id, 0, 1, &[]);
+            return self.send_datagram(kind, id, &wire, peer).await;
+        }
+        for (seq, frag) in payload.chunks(budget).enumerate() {
+            let wire = Self::encode_datagram(kind, id, seq as u16, total as u16, frag);
+            self.send_datagram(kind, id, &wire, peer).await?;
+        }
+        Ok(())
+    }
+
+    async fn send_ack(&self, id: u64, peer: SocketAddr) -> std::io::Result<()> {
+        let wire = Self::encode_datagram(KIND_ACK, id, 0, 1, &[]);
+        self.send_datagram(KIND_ACK, id, &wire, peer).await
+    }
+
+    /// Spawn the receive loop with `handler` serving inbound requests.
+    /// Returns the join handle; the loop exits on [`Self::shutdown`].
+    pub fn serve(self: &Arc<Self>, handler: Arc<dyn Handler>) -> tokio::task::JoinHandle<()> {
+        let ep = Arc::clone(self);
+        tokio::spawn(async move {
+            let mut shutdown_rx = ep.shutdown_tx.subscribe();
+            // sized at the UDP maximum, not our own send budget: a peer
+            // configured with a larger max_datagram must not have its
+            // fragments silently truncated (truncation would make every
+            // retransmission fail identically)
+            let mut buf = vec![0u8; 65_535];
+            loop {
+                if *shutdown_rx.borrow() {
+                    return;
+                }
+                let recvd = tokio::select! {
+                    r = ep.sock.recv_from(&mut buf) => r,
+                    _ = shutdown_rx.changed() => { continue; }
+                };
+                let (len, peer) = match recvd {
+                    Ok(x) => x,
+                    // transient (e.g. ICMP port-unreachable surfacing);
+                    // shutdown is the loop's only exit
+                    Err(_) => continue,
+                };
+                let Some((kind, id, seq, total, frag)) = Self::decode_datagram(&buf[..len]) else {
+                    continue; // malformed datagram: drop, sender will retry
+                };
+                match kind {
+                    KIND_ACK => {
+                        if let Some(w) = ep.pending.lock().get_mut(&id) {
+                            if w.peer == peer {
+                                w.heard = true;
+                            }
+                        }
+                    }
+                    KIND_RESPONSE => {
+                        {
+                            let mut p = ep.pending.lock();
+                            match p.get_mut(&id) {
+                                Some(w) if w.peer == peer => w.heard = true,
+                                // late/duplicate response or wrong peer:
+                                // nothing waits — fall through harmlessly
+                                _ => continue,
+                            }
+                        }
+                        let complete =
+                            ep.reasm
+                                .lock()
+                                .offer((peer, KIND_RESPONSE, id), seq, total, frag);
+                        if let Some(payload) = complete {
+                            if let Some(msg) = Msg::decode(&payload) {
+                                if let Some(w) = ep.pending.lock().remove(&id) {
+                                    let _ = w.tx.send(msg);
+                                }
+                            }
+                        }
+                    }
+                    KIND_REQUEST => {
+                        // any fragment of an already-seen request is a
+                        // liveness poll: answer straight from the
+                        // at-most-once table without reassembling (a peer
+                        // that was acked retransmits only one fragment)
+                        enum Dup {
+                            Resend(Vec<u8>),
+                            Ack,
+                            Fresh,
+                        }
+                        let dup = match ep.served.lock().get(&(peer, id)) {
+                            Some(Served::Done(wire)) => Dup::Resend(wire.clone()),
+                            Some(Served::InFlight) => Dup::Ack,
+                            None => Dup::Fresh,
+                        };
+                        match dup {
+                            Dup::Resend(wire) => {
+                                let _ = ep.send_chunks(KIND_RESPONSE, id, &wire, peer).await;
+                            }
+                            Dup::Ack => {
+                                let _ = ep.send_ack(id, peer).await;
+                            }
+                            Dup::Fresh => {
+                                let complete = ep.reasm.lock().offer(
+                                    (peer, KIND_REQUEST, id),
+                                    seq,
+                                    total,
+                                    frag,
+                                );
+                                if let Some(payload) = complete {
+                                    ep.dispatch_request(peer, id, payload, &handler).await;
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        })
+    }
+
+    /// Convenience: serve with a synchronous closure (tests, probes).
+    pub fn serve_fn<F>(self: &Arc<Self>, f: F) -> tokio::task::JoinHandle<()>
+    where
+        F: Fn(Msg) -> Msg + Send + Sync + 'static,
+    {
+        self.serve(Arc::new(FnHandler(f)))
+    }
+
+    /// A fully reassembled request: acknowledge, then execute at most once.
+    async fn dispatch_request(
+        self: &Arc<Self>,
+        peer: SocketAddr,
+        id: u64,
+        payload: Vec<u8>,
+        handler: &Arc<dyn Handler>,
+    ) {
+        enum Action {
+            Resend(Vec<u8>),
+            AckOnly,
+            Execute,
+        }
+        let action = {
+            let mut served = self.served.lock();
+            match served.get(&(peer, id)) {
+                Some(Served::Done(wire)) => Action::Resend(wire.clone()),
+                Some(Served::InFlight) => Action::AckOnly,
+                None => {
+                    served.insert((peer, id), Served::InFlight);
+                    Action::Execute
+                }
+            }
+        };
+        match action {
+            Action::Resend(wire) => {
+                // retransmitted request after completion: the cached reply
+                // is the answer *and* the acknowledgement
+                let _ = self.send_chunks(KIND_RESPONSE, id, &wire, peer).await;
+            }
+            Action::AckOnly => {
+                // handler still running: re-ack so the peer's dead-node
+                // detector stays quiet, but do not re-execute
+                let _ = self.send_ack(id, peer).await;
+            }
+            Action::Execute => {
+                let _ = self.send_ack(id, peer).await;
+                let Some(msg) = Msg::decode(&payload) else {
+                    // corrupt payload must not poison the id for a clean
+                    // retransmission
+                    self.served.lock().remove(&(peer, id));
+                    return;
+                };
+                let ep = Arc::clone(self);
+                let h = Arc::clone(handler);
+                tokio::spawn(async move {
+                    let reply = h.handle(msg).await;
+                    let wire = reply.encode();
+                    ep.served
+                        .lock()
+                        .insert((peer, id), Served::Done(wire.clone()));
+                    let _ = ep.send_chunks(KIND_RESPONSE, id, &wire, peer).await;
+                });
+            }
+        }
+    }
+
+    /// Issue a request and wait for its response.
+    ///
+    /// The request is retransmitted every [`UdpConfig::rto`] until the peer
+    /// is heard from (ack or response); thereafter the same cadence re-polls
+    /// for a lost reply (served from the peer's at-most-once cache). Fails
+    /// with [`RequestError::TimedOut`] when `overall` expires or the peer
+    /// stays silent for [`UdpConfig::max_attempts`] consecutive windows.
+    pub async fn request(
+        &self,
+        peer: SocketAddr,
+        msg: Msg,
+        overall: Duration,
+    ) -> Result<Msg, RequestError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, mut rx) = oneshot::channel();
+        self.pending.lock().insert(
+            id,
+            Waiter {
+                peer,
+                tx,
+                heard: false,
+            },
+        );
+        let payload = msg.encode();
+        let deadline = Instant::now() + overall;
+
+        let result = async {
+            let mut silent_windows = 0u32;
+            let mut ever_heard = false;
+            loop {
+                // until the peer acknowledges, the whole payload is
+                // retransmitted (any fragment may have been lost); once
+                // acked, the request is assembled on the peer, so a single
+                // fragment suffices as the liveness poll / reply re-ask —
+                // the responder answers it from its at-most-once table
+                let sent = if ever_heard {
+                    let total = payload.len().div_ceil(self.cfg.max_datagram).max(1);
+                    let frag = &payload[..payload.len().min(self.cfg.max_datagram)];
+                    let wire = Self::encode_datagram(KIND_REQUEST, id, 0, total as u16, frag);
+                    self.send_datagram(KIND_REQUEST, id, &wire, peer).await
+                } else {
+                    self.send_chunks(KIND_REQUEST, id, &payload, peer).await
+                };
+                if let Err(e) = sent {
+                    return Err(RequestError::Io(e.kind()));
+                }
+                let window = self
+                    .cfg
+                    .rto
+                    .min(deadline.saturating_duration_since(Instant::now()));
+                let sleep = tokio::time::sleep(window);
+                tokio::pin!(sleep);
+                tokio::select! {
+                    r = &mut rx => {
+                        return r.map_err(|_| RequestError::TimedOut);
+                    }
+                    _ = &mut sleep => {}
+                }
+                // window closed without a response; was the peer heard at
+                // all? (§4.8.4: "retransmissions will happen after a few ms")
+                let heard = match self.pending.lock().get_mut(&id) {
+                    Some(w) => std::mem::take(&mut w.heard),
+                    None => true, // response landed between window and check
+                };
+                if heard {
+                    silent_windows = 0;
+                    ever_heard = true;
+                } else {
+                    silent_windows += 1;
+                    // a silent poll window may mean the peer's at-most-once
+                    // entry was evicted: fall back to the full payload so
+                    // the request can be reassembled from scratch
+                    ever_heard = false;
+                }
+                if Instant::now() >= deadline || silent_windows >= self.cfg.max_attempts {
+                    return Err(RequestError::TimedOut);
+                }
+            }
+        }
+        .await;
+
+        // never leak the waiter slot
+        self.pending.lock().remove(&id);
+        result
+    }
+
+    /// Number of requests currently awaiting responses (observability and
+    /// leak tests).
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+/// [`BoundServer`] over a [`UdpEndpoint`]: bridges the harness's shutdown
+/// watch into the endpoint's own stop signal.
+pub struct UdpBoundServer {
+    ep: Arc<UdpEndpoint>,
+}
+
+impl BoundServer for UdpBoundServer {
+    fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.ep.local_addr()
+    }
+
+    fn serve(
+        self: Box<Self>,
+        handler: Arc<dyn Handler>,
+        mut shutdown: tokio::sync::watch::Receiver<bool>,
+    ) -> tokio::task::JoinHandle<()> {
+        let ep = Arc::clone(&self.ep);
+        let bridge_ep = Arc::clone(&self.ep);
+        tokio::spawn(async move {
+            loop {
+                if *shutdown.borrow() {
+                    bridge_ep.shutdown();
+                    return;
+                }
+                if shutdown.changed().await.is_err() {
+                    // sender gone: the owner was dropped, stop serving
+                    bridge_ep.shutdown();
+                    return;
+                }
+            }
+        });
+        ep.serve(handler)
+    }
+}
+
+/// Client link: one peer as seen through a shared [`UdpEndpoint`].
+pub struct UdpLink {
+    ep: Arc<UdpEndpoint>,
+    peer: SocketAddr,
+}
+
+impl NodeLink for UdpLink {
+    fn addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    fn is_connected(&self) -> bool {
+        true // datagrams have no connection state; timeouts signal failure
+    }
+
+    fn rpc<'a>(&'a self, msg: Msg, timeout: Duration) -> BoxFuture<'a, Result<Msg, RpcError>> {
+        Box::pin(async move {
+            self.ep
+                .request(self.peer, msg, timeout)
+                .await
+                .map_err(|e| match e {
+                    RequestError::TimedOut => RpcError::Timeout,
+                    RequestError::Io(_) => RpcError::Disconnected,
+                })
+        })
+    }
+}
+
+/// The datagram transport: binds per-node server endpoints and lazily one
+/// shared client endpoint for all outgoing links.
+pub struct UdpTransport {
+    cfg: UdpConfig,
+    client_loss: super::LossSpec,
+    server_loss: super::LossSpec,
+    client: Mutex<Option<Arc<UdpEndpoint>>>,
+}
+
+impl UdpTransport {
+    pub fn new(cfg: UdpConfig, client_loss: super::LossSpec, server_loss: super::LossSpec) -> Self {
+        UdpTransport {
+            cfg,
+            client_loss,
+            server_loss,
+            client: Mutex::new(None),
+        }
+    }
+
+    async fn client_ep(&self) -> std::io::Result<Arc<UdpEndpoint>> {
+        if let Some(ep) = self.client.lock().clone() {
+            return Ok(ep);
+        }
+        let ep = UdpEndpoint::bind_with("127.0.0.1:0", self.cfg, self.client_loss.build()).await?;
+        let mut guard = self.client.lock();
+        if let Some(existing) = guard.clone() {
+            return Ok(existing); // lost the bind race; fresh ep just drops
+        }
+        // the client endpoint still runs a receive loop (for acks and
+        // responses); inbound requests are a protocol error
+        ep.serve_fn(|m: Msg| Msg::Error {
+            what: format!("client endpoint cannot serve {m:?}"),
+        });
+        *guard = Some(Arc::clone(&ep));
+        Ok(ep)
+    }
+}
+
+impl Transport for UdpTransport {
+    fn name(&self) -> &'static str {
+        "udp"
+    }
+
+    fn bind<'a>(&'a self, addr: &'a str) -> BoxFuture<'a, std::io::Result<Box<dyn BoundServer>>> {
+        Box::pin(async move {
+            let ep = UdpEndpoint::bind_with(addr, self.cfg, self.server_loss.build()).await?;
+            Ok(Box::new(UdpBoundServer { ep }) as Box<dyn BoundServer>)
+        })
+    }
+
+    fn connect<'a>(
+        &'a self,
+        addr: SocketAddr,
+    ) -> BoxFuture<'a, std::io::Result<Arc<dyn NodeLink>>> {
+        Box::pin(async move {
+            let ep = self.client_ep().await?;
+            Ok(Arc::new(UdpLink { ep, peer: addr }) as Arc<dyn NodeLink>)
+        })
+    }
+
+    fn shutdown(&self) {
+        if let Some(ep) = self.client.lock().take() {
+            ep.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn echo(msg: Msg) -> Msg {
+        match msg {
+            Msg::Ping => Msg::Pong,
+            other => other,
+        }
+    }
+
+    async fn pair(
+        client_cfg: UdpConfig,
+        client_loss: LossPolicy,
+        server_loss: LossPolicy,
+    ) -> (Arc<UdpEndpoint>, Arc<UdpEndpoint>, SocketAddr) {
+        let server_cfg = UdpConfig {
+            max_datagram: client_cfg.max_datagram,
+            ..UdpConfig::default()
+        };
+        let server = UdpEndpoint::bind_with("127.0.0.1:0", server_cfg, server_loss)
+            .await
+            .expect("bind server");
+        let client = UdpEndpoint::bind_with("127.0.0.1:0", client_cfg, client_loss)
+            .await
+            .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        (client, server, addr)
+    }
+
+    const OVERALL: Duration = Duration::from_secs(2);
+
+    #[tokio::test]
+    async fn request_response_roundtrip() {
+        let (client, server, addr) =
+            pair(UdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        server.serve_fn(echo);
+        client.serve_fn(echo);
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("response");
+        assert_eq!(resp, Msg::Pong);
+        assert_eq!(client.outstanding(), 0, "waiter slot reclaimed");
+    }
+
+    #[tokio::test]
+    async fn retransmission_recovers_from_request_loss() {
+        // drop the first two request datagrams; the third attempt lands
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(3),
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::drop_first(2), LossPolicy::None).await;
+        server.serve_fn(echo);
+        client.serve_fn(echo);
+        let t0 = std::time::Instant::now();
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("recovered");
+        assert_eq!(resp, Msg::Pong);
+        // two RTOs of waiting, well under TCP's 200 ms minimum — the §4.8.4
+        // argument in one assertion
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(6),
+            "had to wait out 2 RTOs: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(150),
+            "recovery stays in app-RTO land: {waited:?}"
+        );
+    }
+
+    #[tokio::test]
+    async fn response_loss_triggers_dedup_not_reexecution() {
+        // server's response vanishes (its ack passes); the client's re-poll
+        // must be answered from the at-most-once cache, not re-executed
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(3),
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) =
+            pair(cfg, LossPolicy::None, LossPolicy::drop_first_responses(1)).await;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&runs);
+        server.serve_fn(move |m| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            echo(m)
+        });
+        client.serve_fn(echo);
+        let t0 = std::time::Instant::now();
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("recovered via dedup cache");
+        assert_eq!(resp, Msg::Pong);
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "duplicate request must not re-execute"
+        );
+        assert!(
+            t0.elapsed() >= Duration::from_millis(3),
+            "recovery costs one RTO"
+        );
+    }
+
+    #[tokio::test]
+    async fn acks_keep_slow_handlers_alive() {
+        // the handler takes far longer than max_attempts × rto; without the
+        // app-level acks the client would declare the peer dead
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(3),
+            max_attempts: 4,
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&runs);
+        server.serve(Arc::new(crate::transport::FnHandler(move |m| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(60));
+            echo(m)
+        })));
+        client.serve_fn(echo);
+        let t0 = std::time::Instant::now();
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("acks must keep the request alive");
+        assert_eq!(resp, Msg::Pong);
+        assert!(t0.elapsed() >= Duration::from_millis(55));
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "re-polls during execution must be suppressed as in-flight"
+        );
+    }
+
+    #[tokio::test]
+    async fn heavy_random_loss_still_delivers() {
+        // 30% loss in both directions: retransmission still pushes every
+        // request through at these sizes
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(2),
+            max_attempts: 20,
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) = pair(
+            cfg,
+            LossPolicy::random(0.3, 42),
+            LossPolicy::random(0.3, 43),
+        )
+        .await;
+        server.serve_fn(echo);
+        client.serve_fn(echo);
+        for i in 0..40 {
+            let resp = client.request(addr, Msg::Ping, OVERALL).await;
+            assert_eq!(resp, Ok(Msg::Pong), "request {i}");
+        }
+    }
+
+    #[tokio::test]
+    async fn dead_peer_times_out_quickly_and_cleans_up() {
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(2),
+            max_attempts: 3,
+            ..UdpConfig::default()
+        };
+        let client = UdpEndpoint::bind_with("127.0.0.1:0", cfg, LossPolicy::None)
+            .await
+            .unwrap();
+        client.serve_fn(echo);
+        // a bound-then-dropped socket's port: nothing listens there
+        let dead = {
+            let s = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            s.local_addr().unwrap()
+        };
+        let t0 = std::time::Instant::now();
+        let err = client
+            .request(dead, Msg::Ping, OVERALL)
+            .await
+            .expect_err("no one home");
+        assert_eq!(err, RequestError::TimedOut);
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "3 silent windows × 2 ms ≪ 200 ms"
+        );
+        assert_eq!(client.outstanding(), 0, "timeout must reclaim the waiter");
+    }
+
+    #[tokio::test]
+    async fn overall_deadline_bounds_slow_peers() {
+        // peer acks forever but never answers: the caller's deadline wins
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(2),
+            max_attempts: 1000,
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        server.serve(Arc::new(crate::transport::FnHandler(|m| {
+            std::thread::sleep(Duration::from_secs(5));
+            echo(m)
+        })));
+        client.serve_fn(echo);
+        let t0 = std::time::Instant::now();
+        let err = client
+            .request(addr, Msg::Ping, Duration::from_millis(40))
+            .await
+            .expect_err("deadline must fire");
+        assert_eq!(err, RequestError::TimedOut);
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        assert_eq!(client.outstanding(), 0, "deadline must reclaim the waiter");
+        // a late response for the abandoned id must not disturb new requests
+        tokio::time::sleep(Duration::from_millis(10)).await;
+        let resp = client
+            .request(
+                addr,
+                Msg::SubQueryResult {
+                    query_id: 1,
+                    matches: vec![],
+                    scanned: 0,
+                    proc_s: 0.0,
+                },
+                Duration::from_millis(50),
+            )
+            .await;
+        // (the slow handler also stalls this one; the point is no panic and
+        // no crosstalk with the abandoned waiter)
+        let _ = resp;
+        assert_eq!(client.outstanding(), 0);
+    }
+
+    #[tokio::test]
+    async fn concurrent_requests_multiplex() {
+        let (client, server, addr) =
+            pair(UdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        server.serve_fn(|m| m); // identity: echo the distinct payloads back
+        client.serve_fn(echo);
+        let mut handles = Vec::new();
+        for i in 0..20u64 {
+            let c = Arc::clone(&client);
+            handles.push(tokio::spawn(async move {
+                let msg = Msg::SubQuery {
+                    query_id: i,
+                    window_start: i,
+                    window_end: i + 1,
+                    body: crate::proto::QueryBody::Synthetic,
+                };
+                let resp = c.request(addr, msg.clone(), OVERALL).await.expect("resp");
+                assert_eq!(resp, msg, "response correlated to the right request");
+            }));
+        }
+        for h in handles {
+            h.await.expect("task");
+        }
+    }
+
+    #[tokio::test]
+    async fn malformed_datagrams_are_ignored() {
+        let (client, server, addr) =
+            pair(UdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        server.serve_fn(echo);
+        client.serve_fn(echo);
+        // blast garbage at the server from a raw socket
+        let raw = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        raw.send_to(b"not a frame", addr).await.unwrap();
+        raw.send_to(&[KIND_REQUEST], addr).await.unwrap();
+        // well-formed header, malformed payload
+        let bad = UdpEndpoint::encode_datagram(KIND_REQUEST, 99, 0, 1, b"{");
+        raw.send_to(&bad, addr).await.unwrap();
+        // inconsistent fragment header (seq beyond total)
+        let bad = UdpEndpoint::encode_datagram(KIND_REQUEST, 100, 5, 2, b"x");
+        raw.send_to(&bad, addr).await.unwrap();
+        // the endpoint still works
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("survives garbage");
+        assert_eq!(resp, Msg::Pong);
+    }
+
+    #[tokio::test]
+    async fn duplicate_request_answered_from_cache() {
+        // a retransmitted request id must not re-execute; the cached reply
+        // is re-sent instead
+        let (_, server, addr) =
+            pair(UdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&runs);
+        server.serve_fn(move |m| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            echo(m)
+        });
+        let raw = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let req = UdpEndpoint::encode_datagram(KIND_REQUEST, 7, 0, 1, &Msg::Ping.encode());
+        let mut buf = [0u8; 2048];
+        for round in 0..2 {
+            raw.send_to(&req, addr).await.unwrap();
+            // collect datagrams until the response arrives (an ack precedes
+            // it on the first round)
+            loop {
+                let (len, _) = raw.recv_from(&mut buf).await.unwrap();
+                let (kind, id, _, _, frag) =
+                    UdpEndpoint::decode_datagram(&buf[..len]).expect("well-formed");
+                assert_eq!(id, 7);
+                if kind == KIND_RESPONSE {
+                    assert_eq!(Msg::decode(frag), Some(Msg::Pong), "round {round}");
+                    break;
+                }
+                assert_eq!(kind, KIND_ACK);
+            }
+        }
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "executed at most once");
+    }
+
+    #[tokio::test]
+    async fn chunked_payloads_roundtrip() {
+        // tiny datagram budget: both the request and the response must be
+        // fragmented and reassembled
+        let cfg = UdpConfig {
+            max_datagram: 48,
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        server.serve_fn(|m| m);
+        client.serve_fn(echo);
+        let big = Msg::Error {
+            what: "y".repeat(5000),
+        };
+        let resp = client
+            .request(addr, big.clone(), OVERALL)
+            .await
+            .expect("chunked roundtrip");
+        assert_eq!(resp, big);
+    }
+
+    #[tokio::test]
+    async fn chunked_request_with_slow_handler_stays_alive_via_polls() {
+        // once the chunked request is assembled and acked, the client's
+        // liveness polls are single fragments answered from the in-flight
+        // table — the handler must still run exactly once and the liveness
+        // budget (far smaller than the handler runtime) must not trip
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(3),
+            max_attempts: 4,
+            max_datagram: 64,
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&runs);
+        server.serve(Arc::new(crate::transport::FnHandler(move |m| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(50));
+            m
+        })));
+        client.serve_fn(echo);
+        let big = Msg::Error {
+            what: "w".repeat(1000),
+        };
+        let resp = client
+            .request(addr, big.clone(), OVERALL)
+            .await
+            .expect("polls keep the chunked request alive");
+        assert_eq!(resp, big);
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "executed at most once");
+    }
+
+    #[tokio::test]
+    async fn chunked_payloads_survive_random_loss() {
+        let cfg = UdpConfig {
+            rto: Duration::from_millis(3),
+            max_attempts: 50,
+            max_datagram: 256,
+            ..UdpConfig::default()
+        };
+        let (client, server, addr) = pair(
+            cfg,
+            LossPolicy::random(0.15, 7),
+            LossPolicy::random(0.15, 8),
+        )
+        .await;
+        server.serve_fn(|m| m);
+        client.serve_fn(echo);
+        let big = Msg::Error {
+            what: "z".repeat(2000),
+        };
+        for i in 0..5 {
+            let resp = client
+                .request(addr, big.clone(), Duration::from_secs(5))
+                .await;
+            assert_eq!(resp, Ok(big.clone()), "request {i}");
+        }
+    }
+
+    #[tokio::test]
+    async fn loss_policy_random_is_deterministic_per_seed() {
+        // same seed ⇒ same drop schedule; different seed ⇒ different one
+        let a = LossPolicy::random(0.4, 1234);
+        let b = LossPolicy::random(0.4, 1234);
+        let c = LossPolicy::random(0.4, 4321);
+        let schedule = |p: &LossPolicy| -> Vec<bool> {
+            (0..1000).map(|i| p.should_drop(KIND_REQUEST, i)).collect()
+        };
+        let sa = schedule(&a);
+        assert_eq!(sa, schedule(&b), "same seed must reproduce exactly");
+        assert_ne!(sa, schedule(&c), "different seeds must diverge");
+        let drops = sa.iter().filter(|&&d| d).count();
+        assert!(
+            (300..500).contains(&drops),
+            "p = 0.4 over 1000 draws, got {drops}"
+        );
+    }
+
+    #[test]
+    fn first_reply_per_request_drops_exactly_once_per_id() {
+        let p = LossPolicy::first_reply_per_request();
+        assert!(p.should_drop(KIND_RESPONSE, 1), "first transmission lost");
+        assert!(!p.should_drop(KIND_RESPONSE, 1), "retransmission passes");
+        assert!(p.should_drop(KIND_RESPONSE, 2), "every id loses its first");
+        assert!(!p.should_drop(KIND_REQUEST, 3), "requests never dropped");
+        assert!(!p.should_drop(KIND_ACK, 3), "acks never dropped");
+        assert!(p.should_drop(KIND_RESPONSE, 3));
+    }
+
+    #[test]
+    fn served_cache_is_bounded() {
+        let mut cache = ServedCache::new(2);
+        let a: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        cache.insert((a, 1), Served::Done(vec![1]));
+        cache.insert((a, 2), Served::Done(vec![2]));
+        cache.insert((a, 3), Served::Done(vec![3]));
+        assert!(cache.get(&(a, 1)).is_none(), "oldest evicted");
+        assert!(cache.get(&(a, 2)).is_some());
+        assert!(cache.get(&(a, 3)).is_some());
+        assert_eq!(cache.len(), 2);
+        // replacing InFlight with Done must not double-count the entry
+        cache.insert((a, 4), Served::InFlight);
+        cache.insert((a, 4), Served::Done(vec![4]));
+        assert!(matches!(cache.get(&(a, 4)), Some(Served::Done(_))));
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn bounded_map_remove_then_reinsert_survives_stale_slot() {
+        // the corrupt-payload path removes a key and a clean retransmission
+        // re-inserts it; the stale FIFO slot from the first insert must not
+        // evict the live re-inserted entry (that would re-open the
+        // double-execution hole the Served cache exists to close)
+        let mut m: BoundedMap<u32, &str> = BoundedMap::new(2);
+        m.insert(1, "first");
+        m.insert(2, "b");
+        m.remove(&1);
+        m.insert(1, "again"); // key 1 is now *newer* than key 2
+        m.insert(3, "c"); // over capacity: key 1's stale slot is popped first
+        assert_eq!(
+            m.get(&1),
+            Some(&"again"),
+            "live entry survives its stale slot"
+        );
+        assert_eq!(
+            m.get(&2),
+            None,
+            "the genuinely oldest live entry is evicted"
+        );
+        assert_eq!(m.get(&3), Some(&"c"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn bounded_map_replacements_do_not_grow_the_fifo_unboundedly() {
+        // every request replaces InFlight with Done; the stale-slot FIFO
+        // must compact instead of growing per replacement
+        let mut m: BoundedMap<u32, u32> = BoundedMap::new(8);
+        for i in 0..10_000u32 {
+            let k = i % 8;
+            m.insert(k, i);
+            m.insert(k, i + 1);
+        }
+        assert_eq!(m.len(), 8);
+        assert!(
+            m.order.len() <= 2 * m.cap + 1,
+            "order FIFO must stay bounded: {}",
+            m.order.len()
+        );
+    }
+
+    #[test]
+    fn reassembler_is_bounded_and_exact() {
+        let a: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        let mut r = Reassembler::new(2);
+        // out-of-order fragments assemble exactly once
+        assert_eq!(r.offer((a, KIND_REQUEST, 1), 1, 2, b"yz"), None);
+        assert_eq!(r.offer((a, KIND_REQUEST, 1), 1, 2, b"yz"), None, "dup");
+        assert_eq!(
+            r.offer((a, KIND_REQUEST, 1), 0, 2, b"x"),
+            Some(b"xyz".to_vec())
+        );
+        // capacity bound evicts the oldest partial assembly
+        for id in 10..15 {
+            assert_eq!(r.offer((a, KIND_REQUEST, id), 0, 3, b"p"), None);
+        }
+        assert!(r.0.len() <= 2, "partial assemblies bounded");
+    }
+
+    #[test]
+    fn decode_rejects_short_datagrams() {
+        assert!(UdpEndpoint::decode_datagram(&[]).is_none());
+        assert!(UdpEndpoint::decode_datagram(&[KIND_REQUEST, 1, 2]).is_none());
+        assert!(UdpEndpoint::decode_datagram(&[0u8; HEADER - 1]).is_none());
+    }
+}

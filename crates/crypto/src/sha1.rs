@@ -98,12 +98,20 @@ impl Sha1 {
     /// Finish and produce the 20-byte digest.
     pub fn finalize(mut self) -> [u8; 20] {
         let bit_len = self.len.wrapping_mul(8);
-        // padding: 0x80 then zeros until 56 mod 64, then 8-byte big-endian length
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // padding: 0x80 then zeros until 56 mod 64, then 8-byte big-endian
+        // length — written straight into the block buffer instead of
+        // dribbling padding bytes through `update` one at a time
+        let n = self.buf_len; // < 64 by the update invariant
+        self.buf[n] = 0x80;
+        if n + 1 > 56 {
+            // no room for the length in this block: flush it, pad a second
+            self.buf[n + 1..].fill(0);
+            let block = self.buf;
+            self.compress(&block);
+            self.buf[..56].fill(0);
+        } else {
+            self.buf[n + 1..56].fill(0);
         }
-        // manual length append: bypass update's len bookkeeping
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
         self.compress(&block);
@@ -264,6 +272,23 @@ mod tests {
                 sha1(&data),
                 "resume after {blocks} blocks"
             );
+        }
+    }
+
+    #[test]
+    fn padding_boundary_sweep_incremental_equals_oneshot() {
+        // every length around both padding branches (one-block vs two-block
+        // finalization), with the message split mid-stream: the direct
+        // buffer-fill padding must be bit-identical to the spec for all of
+        // them (the RFC vector tests above pin the absolute values)
+        let data: Vec<u8> = (0..=255u8).cycle().take(200).collect();
+        for len in (0..=72).chain(110..=132) {
+            let msg = &data[..len];
+            let one = sha1(msg);
+            let mut h = Sha1::new();
+            h.update(&msg[..len / 2]);
+            h.update(&msg[len / 2..]);
+            assert_eq!(h.finalize(), one, "len {len}");
         }
     }
 

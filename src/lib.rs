@@ -13,7 +13,7 @@
 //! | [`core`] (`roar-core`) | the ROAR algorithm: ring, placement, Algorithm 1 scheduler, failover, balancing, reconfiguration, multi-ring |
 //! | [`dr`] (`roar-dr`) | distributed-rendezvous abstractions + PTN / SW / RAND baselines, bandwidth/delay trade-off models |
 //! | [`pps`] (`roar-pps`) | encrypted keyword/pair/numeric/ranked/generic matching and the matching engine |
-//! | [`cluster`] (`roar-cluster`) | tokio TCP deployment: data nodes, front-end (+backup p discovery), live membership, p2p store forwarding, reliable-UDP transport |
+//! | [`cluster`] (`roar-cluster`) | networked deployment: data nodes, front-end (+backup p discovery), live membership, p2p store forwarding, pluggable TCP / reliable-UDP transports |
 //! | [`sim`] (`roar-sim`) | discrete-event delay/availability simulator, energy + admission models |
 //! | [`workload`] (`roar-workload`) | corpora, query streams, server fleets, diurnal load |
 //! | [`crypto`] (`roar-crypto`) | SHA-1 / HMAC PRF / Feistel PRP / Bloom filters / boolean circuits + Yao garbling |

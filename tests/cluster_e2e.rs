@@ -4,7 +4,7 @@
 
 use rand::Rng;
 use roar::cluster::frontend::SchedOpts;
-use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody, WireTrapdoor};
+use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody, TransportSpec, WireTrapdoor};
 use roar::pps::metadata::{FileMeta, MetaEncryptor};
 use roar::pps::query::{Combiner, Predicate, QueryCompiler};
 use roar::util::det_rng;
@@ -21,9 +21,8 @@ fn pps_body(enc: &MetaEncryptor, word: &str) -> QueryBody {
     }
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn full_lifecycle_store_query_repartition_fail() {
-    let h = spawn_cluster(ClusterConfig::uniform(9, 1_000_000.0, 3))
+async fn full_lifecycle(transport: TransportSpec) {
+    let h = spawn_cluster(ClusterConfig::uniform(9, 1_000_000.0, 3).with_transport(transport))
         .await
         .unwrap();
     // use a fast numeric grid for test-speed encryption
@@ -78,6 +77,18 @@ async fn full_lifecycle_store_query_repartition_fail() {
     assert_eq!(out.matches, vec![needle], "after failure");
     assert_eq!(out.scanned, 120, "exactly-once after failure");
     assert_eq!(out.harvest, 1.0);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn full_lifecycle_store_query_repartition_fail() {
+    full_lifecycle(TransportSpec::Tcp).await
+}
+
+// the same lifecycle over the §4.8.4 datagram path: the transport trait
+// boundary means nothing above the RPC layer can tell the difference
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn full_lifecycle_over_udp_transport() {
+    full_lifecycle(TransportSpec::udp()).await
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
@@ -147,6 +158,7 @@ async fn balance_step_keeps_queries_exact() {
         ],
         p: 2,
         overhead_s: 0.0,
+        transport: TransportSpec::Tcp,
     };
     let h = spawn_cluster(cfg).await.unwrap();
     let mut rng = det_rng(2003);
