@@ -4,9 +4,13 @@
 //!   repro list                     list experiment ids
 //!   repro `<id>` ...                 run specific experiments (e.g. fig6_1)
 //!   repro all                      run everything
-//!   repro bench_pps [--append N]   scalar-vs-batched matching baseline;
+//!   repro bench_pps [--append N] [--backend scalar|sse2|avx2|auto]
+//!                                  scalar-vs-batched matching baseline;
 //!                                  with --append, add a PR-N entry to the
-//!                                  BENCH_pps.json trajectory
+//!                                  BENCH_pps.json trajectory; --backend pins
+//!                                  the batched path's SHA-1 lane engine
+//!   repro bench_pps_backends       batched throughput per available SHA-1
+//!                                  backend → results/bench_pps_backends.txt
 //!   repro check_pps_trajectory     CI gate: fail on > 20% regression
 //!                                  between consecutive BENCH_pps.json entries
 //!   repro bench_incast             §4.8.4 incast comparison → BENCH_incast.json
@@ -15,11 +19,12 @@
 //! Rendered reports are printed and saved under `results/<id>.txt`.
 
 use roar_bench::{registry, trajectory, Scale};
+use roar_crypto::sha1::Backend;
 use std::path::Path;
 
 const PPS_TRAJECTORY: &str = "BENCH_pps.json";
 
-fn bench_pps(scale: Scale, append_pr: Option<u32>) {
+fn bench_pps(scale: Scale, append_pr: Option<u32>, backend: Option<Backend>) {
     if append_pr.is_some() && scale == Scale::Quick {
         // a quick-workload measurement is not comparable to the full-scale
         // entries the regression gate diffs; appending one would either
@@ -27,11 +32,22 @@ fn bench_pps(scale: Scale, append_pr: Option<u32>) {
         eprintln!("bench_pps: --append requires a full run (drop --quick)");
         std::process::exit(2);
     }
-    let b = roar_bench::pps_bench::run(scale);
+    if append_pr.is_some() && backend.is_some() {
+        // same incomparability as --quick: a pinned-backend entry (e.g.
+        // scalar at ~1/4 the auto throughput) sitting next to auto-backend
+        // entries would trip the >20% regression gate on the next CI run
+        eprintln!("bench_pps: --append measures the auto-detected backend (drop --backend)");
+        std::process::exit(2);
+    }
+    let backend = backend.unwrap_or_else(Backend::auto);
+    let b = roar_bench::pps_bench::run_with(scale, backend);
     print!("{}", b.to_json());
     eprintln!(
-        "bench_pps: scalar {:.0} rec/s, batched {:.0} rec/s, speedup {:.2}x",
-        b.scalar.records_per_s, b.batched.records_per_s, b.speedup
+        "bench_pps: scalar {:.0} rec/s, batched[{}] {:.0} rec/s, speedup {:.2}x",
+        b.scalar.records_per_s,
+        backend.name(),
+        b.batched.records_per_s,
+        b.speedup
     );
     if let Some(pr) = append_pr {
         let entry = b.to_json_entry(pr);
@@ -50,6 +66,22 @@ fn bench_pps(scale: Scale, append_pr: Option<u32>) {
         };
         std::fs::write(PPS_TRAJECTORY, updated).expect("write trajectory");
         eprintln!("bench_pps: appended PR {pr} entry to {PPS_TRAJECTORY}");
+    }
+}
+
+fn bench_pps_backends(scale: Scale) {
+    let table = roar_bench::pps_bench::run_backends(scale);
+    let rendered = table.render();
+    print!("{rendered}");
+    // the committed artifact is the full-scale run; a quick smoke must not
+    // overwrite it
+    if scale == Scale::Full {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write("results/bench_pps_backends.txt", &rendered)
+            .expect("write results/bench_pps_backends.txt");
+        eprintln!("bench_pps_backends: wrote results/bench_pps_backends.txt");
+    } else {
+        eprintln!("bench_pps_backends: quick smoke, results/ left untouched");
     }
 }
 
@@ -102,13 +134,35 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--append needs a PR number")
     });
+    // `None` = auto-detect; a pinned backend is rejected alongside --append
+    let backend: Option<Backend> = match args.iter().position(|a| a == "--backend") {
+        None => None,
+        Some(i) => {
+            let name = args.get(i + 1).expect("--backend needs a name").as_str();
+            if name == "auto" {
+                None
+            } else {
+                let b = Backend::from_name(name).unwrap_or_else(|| {
+                    eprintln!("--backend {name:?} not recognised (scalar|sse2|avx2|auto)");
+                    std::process::exit(2);
+                });
+                if !b.available() {
+                    eprintln!("--backend {name} is not available on this CPU");
+                    std::process::exit(2);
+                }
+                Some(b)
+            }
+        }
+    };
+    let value_flags = ["--append", "--backend"];
     let wanted: Vec<&String> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             a.as_str() != "--quick"
-                && a.as_str() != "--append"
-                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--append")
+                && !value_flags.contains(&a.as_str())
+                && !matches!(args.get(i.wrapping_sub(1)),
+                             Some(prev) if value_flags.contains(&prev.as_str()))
         })
         .map(|(_, a)| a)
         .collect();
@@ -120,15 +174,20 @@ fn main() {
             println!("{:<10} {:<10} {}", e.id, e.paper_ref, e.title);
         }
         println!(
-            "\nrun: repro <id> | repro all [--quick] | repro bench_pps [--append N] \
-             | repro check_pps_trajectory | repro bench_incast"
+            "\nrun: repro <id> | repro all [--quick] \
+             | repro bench_pps [--append N] [--backend scalar|sse2|avx2|auto] \
+             | repro bench_pps_backends | repro check_pps_trajectory | repro bench_incast"
         );
         return;
     }
 
     let mut ran = 0usize;
     if wanted.iter().any(|w| w.as_str() == "bench_pps") {
-        bench_pps(scale, append_pr);
+        bench_pps(scale, append_pr, backend);
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "bench_pps_backends") {
+        bench_pps_backends(scale);
         ran += 1;
     }
     if wanted.iter().any(|w| w.as_str() == "check_pps_trajectory") {

@@ -5,7 +5,7 @@
 use crate::Scale;
 use rand::Rng;
 use roar_cluster::frontend::SchedOpts;
-use roar_cluster::{spawn_cluster, ClusterConfig, QueryBody, TransportSpec};
+use roar_cluster::{spawn_cluster, Backend, ClusterConfig, QueryBody, TransportSpec};
 use roar_core::placement::RoarRing;
 use roar_core::ringmap::RingMap;
 use roar_core::sched::{schedule_exhaustive, schedule_sweep, RoarScheduler, Strategy};
@@ -342,6 +342,7 @@ fn pq_balancing(scale: Scale) -> (Vec<f64>, Vec<f64>) {
             p: 3,
             overhead_s: 0.0,
             transport: TransportSpec::Tcp,
+            backend: Backend::auto(),
         };
         let h = spawn_cluster(cfg).await.expect("cluster");
         let mut rng = det_rng(77);
@@ -652,6 +653,7 @@ pub fn fig7_13(scale: Scale) -> Report {
             p: 2,
             overhead_s: 0.0,
             transport: TransportSpec::Tcp,
+            backend: Backend::auto(),
         };
         let h = spawn_cluster(cfg).await.expect("cluster");
         let mut rng = det_rng(713);

@@ -8,14 +8,18 @@
 //! * `scalar` — the seed path: one-shot HMAC-SHA1 per codeword probe, key
 //!   block rebuilt every time;
 //! * `batched` — the midstate-cached, allocation-free survivor-list
-//!   pipeline the engine and cluster node now run.
+//!   pipeline the engine and cluster node now run, swept lane-width through
+//!   a SHA-1 [`Backend`] (scalar x1 / SSE2 x4 / AVX2 x8).
 //!
-//! Invoked as `repro bench_pps [--quick]`; writes `BENCH_pps.json` into the
-//! working directory. The committed copy at the repository root is the
-//! point-zero baseline of the bench trajectory.
+//! Invoked as `repro bench_pps [--quick] [--backend scalar|sse2|avx2|auto]`;
+//! writes `BENCH_pps.json` into the working directory. The committed copy at
+//! the repository root is the point-zero baseline of the bench trajectory.
+//! `repro bench_pps_backends` runs the batched path once per available
+//! backend and renders the comparison table committed under `results/`.
 
 use crate::Scale;
 use roar_crypto::bloom::BloomParams;
+use roar_crypto::sha1::Backend;
 use roar_pps::bloom_kw::BloomKeywordScheme;
 use roar_pps::bloom_kw::PrfCounter;
 use roar_pps::metadata::MetaEncryptor;
@@ -27,7 +31,7 @@ use std::time::Instant;
 /// One measured path.
 #[derive(Debug, Clone)]
 pub struct PathResult {
-    pub name: &'static str,
+    pub name: String,
     pub records_per_s: f64,
     pub prf_calls_per_record: f64,
     pub hits: usize,
@@ -67,77 +71,108 @@ fn best_of<F: FnMut() -> (usize, u64)>(
     (n_records as f64 / best, prf_per_record, hits)
 }
 
-/// Run the comparison. `Quick` shrinks the corpus ~8× for CI smoke runs.
-pub fn run(scale: Scale) -> BenchPps {
-    let n = scale.pick(200_000, 25_000);
-    let repeats = scale.pick(5, 3);
-    let mut rng = det_rng(57);
+/// The shared measurement fixture: the paper's corpus and one zero-match
+/// query, built once and reused across path measurements.
+struct Fixture {
+    n: usize,
+    repeats: usize,
+    records: Vec<roar_pps::EncryptedMetadata>,
+    query: CompiledQuery,
+}
 
-    // the paper's measurement corpus: padded half-full filters at the
-    // 50-keyword / fp 1e-5 geometry (r = 17); a zero-match probe cannot
-    // distinguish them from real documents (§5.7 measures this miss path)
-    let params = BloomParams::for_fp_rate(50, 1e-5);
-    assert_eq!(params.hashes, 17, "paper parameterisation");
-    let records = fast_random_metadata_with(&mut rng, n, params);
-    let enc = MetaEncryptor::with_points(b"bench-pps", vec![1_000_000], vec![1_300_000_000]);
-    let queries: Vec<CompiledQuery> = QueryGenerator::new().compile_zero_match(&mut rng, &enc, 1);
-    let q = &queries[0];
-    let r_hashes = q.trapdoors[0].parts.len();
+impl Fixture {
+    fn new(scale: Scale) -> Self {
+        let n = scale.pick(200_000, 25_000);
+        let repeats = scale.pick(5, 3);
+        let mut rng = det_rng(57);
+        // the paper's measurement corpus: padded half-full filters at the
+        // 50-keyword / fp 1e-5 geometry (r = 17); a zero-match probe cannot
+        // distinguish them from real documents (§5.7 measures this miss
+        // path)
+        let params = BloomParams::for_fp_rate(50, 1e-5);
+        assert_eq!(params.hashes, 17, "paper parameterisation");
+        let records = fast_random_metadata_with(&mut rng, n, params);
+        let enc = MetaEncryptor::with_points(b"bench-pps", vec![1_000_000], vec![1_300_000_000]);
+        let mut queries = QueryGenerator::new().compile_zero_match(&mut rng, &enc, 1);
+        Fixture {
+            n,
+            repeats,
+            records,
+            query: queries.remove(0),
+        }
+    }
 
-    // scalar seed path: per-probe one-shot HMAC, no preparation
-    let (scalar_rps, scalar_prf, scalar_hits) = best_of(repeats, n, || {
-        let counter = PrfCounter::new();
-        let mut hits = 0usize;
-        for r in &records {
-            let all = q
-                .trapdoors
-                .iter()
-                .all(|td| BloomKeywordScheme::matches_reference(&r.body, td, &counter));
-            if all {
-                hits += 1;
+    /// The scalar seed path: per-probe one-shot HMAC, no preparation.
+    fn measure_reference(&self) -> PathResult {
+        let (rps, prf, hits) = best_of(self.repeats, self.n, || {
+            let counter = PrfCounter::new();
+            let mut hits = 0usize;
+            for r in &self.records {
+                let all = self
+                    .query
+                    .trapdoors
+                    .iter()
+                    .all(|td| BloomKeywordScheme::matches_reference(&r.body, td, &counter));
+                if all {
+                    hits += 1;
+                }
             }
+            (hits, counter.get())
+        });
+        PathResult {
+            name: "scalar_reference".into(),
+            records_per_s: rps,
+            prf_calls_per_record: prf,
+            hits,
         }
-        (hits, counter.get())
-    });
+    }
 
-    // batched midstate path: what Engine/match_corpus run. Static
-    // predicate order so both paths perform the *identical* probe set —
-    // dynamic ordering (§5.6.5) helps both paths equally and would blur
-    // the midstate-caching comparison.
-    let (batched_rps, batched_prf, batched_hits) = best_of(repeats, n, || {
-        let mut m = Matcher::new(q.trapdoors.len(), false);
-        let mut scratch = MatchScratch::new();
-        let mut matches = Vec::new();
-        for chunk in records.chunks(512) {
-            m.match_batch(q, chunk, &mut scratch, &mut matches);
+    /// The batched midstate path — what Engine/match_corpus run — on the
+    /// given lane backend. Static predicate order so reference and batched
+    /// perform the *identical* probe set — dynamic ordering (§5.6.5) helps
+    /// both paths equally and would blur the midstate-caching comparison.
+    fn measure_batched(&self, backend: Backend) -> PathResult {
+        let (rps, prf, hits) = best_of(self.repeats, self.n, || {
+            let mut m = Matcher::new(self.query.trapdoors.len(), false).with_backend(backend);
+            let mut scratch = MatchScratch::new();
+            let mut matches = Vec::new();
+            for chunk in self.records.chunks(512) {
+                m.match_batch(&self.query, chunk, &mut scratch, &mut matches);
+            }
+            (matches.len(), scratch.prf_calls)
+        });
+        PathResult {
+            name: format!("batched_midstate_{}", backend.name()),
+            records_per_s: rps,
+            prf_calls_per_record: prf,
+            hits,
         }
-        (matches.len(), scratch.prf_calls)
-    });
+    }
+}
 
+/// Run the comparison on the process-default backend. `Quick` shrinks the
+/// corpus ~8× for CI smoke runs.
+pub fn run(scale: Scale) -> BenchPps {
+    run_with(scale, Backend::auto())
+}
+
+/// Run the comparison with the batched path pinned to `backend` (the
+/// scalar reference path is backend-independent by construction).
+pub fn run_with(scale: Scale, backend: Backend) -> BenchPps {
+    let fx = Fixture::new(scale);
+    let scalar = fx.measure_reference();
+    let batched = fx.measure_batched(backend);
     assert_eq!(
-        scalar_hits, batched_hits,
+        scalar.hits, batched.hits,
         "scalar and batched paths disagree on the match set"
     );
-
-    let scalar = PathResult {
-        name: "scalar_reference",
-        records_per_s: scalar_rps,
-        prf_calls_per_record: scalar_prf,
-        hits: scalar_hits,
-    };
-    let batched = PathResult {
-        name: "batched_midstate",
-        records_per_s: batched_rps,
-        prf_calls_per_record: batched_prf,
-        hits: batched_hits,
-    };
     let speedup = batched.records_per_s / scalar.records_per_s;
     BenchPps {
-        records: n,
+        records: fx.n,
         keywords_per_doc: 50,
         fp_rate: 1e-5,
-        r_hashes,
-        repeats,
+        r_hashes: fx.query.trapdoors[0].parts.len(),
+        repeats: fx.repeats,
         scalar,
         batched,
         speedup,
@@ -186,6 +221,74 @@ impl BenchPps {
         json_path(&mut s, &self.batched);
         s.push_str(&format!(",\n  \"speedup\": {:.3}\n}}\n", self.speedup));
         s
+    }
+}
+
+/// The per-backend comparison (`repro bench_pps_backends`): the batched
+/// survivor sweep once per available SHA-1 lane engine, against one shared
+/// scalar-reference measurement.
+#[derive(Debug, Clone)]
+pub struct BackendTable {
+    pub records: usize,
+    pub repeats: usize,
+    /// The seed path (one-shot HMAC per probe), backend-independent.
+    pub reference_rps: f64,
+    /// `(backend, lanes, batched records/s)`, narrowest backend first.
+    pub rows: Vec<(Backend, usize, f64)>,
+}
+
+/// Measure the batched path under every backend this CPU supports — one
+/// shared corpus and one reference measurement (the one-shot path is
+/// backend-independent, and it is the slowest leg of the sweep).
+pub fn run_backends(scale: Scale) -> BackendTable {
+    let fx = Fixture::new(scale);
+    let reference = fx.measure_reference();
+    let rows = Backend::ALL
+        .into_iter()
+        .filter(|b| b.available())
+        .map(|b| (b, b.engine().lanes(), fx.measure_batched(b).records_per_s))
+        .collect();
+    BackendTable {
+        records: fx.n,
+        repeats: fx.repeats,
+        reference_rps: reference.records_per_s,
+        rows,
+    }
+}
+
+impl BackendTable {
+    /// Render the comparison as the text table committed under `results/`.
+    pub fn render(&self) -> String {
+        let mut t = roar_util::Table::new([
+            "backend",
+            "lanes",
+            "batched rec/s",
+            "vs scalar backend",
+            "vs one-shot reference",
+        ]);
+        let base = self
+            .rows
+            .first()
+            .map(|&(_, _, rps)| rps)
+            .unwrap_or(f64::NAN);
+        for &(backend, lanes, rps) in &self.rows {
+            t.row([
+                backend.name().to_string(),
+                lanes.to_string(),
+                format!("{rps:.0}"),
+                format!("{:.2}x", rps / base),
+                format!("{:.2}x", rps / self.reference_rps),
+            ]);
+        }
+        format!(
+            "PPS batched matching throughput by SHA-1 backend\n\
+             ({} records, 50 keywords/doc, fp 1e-5, r = 17, best of {}; \
+             one-shot reference {:.0} rec/s)\n\n{}",
+            self.records,
+            self.repeats,
+            self.reference_rps,
+            t.render()
+        )
     }
 }
 

@@ -13,6 +13,7 @@
 use crate::frontend::Cluster;
 use crate::node::{DataNode, NodeConfig};
 use crate::transport::TransportSpec;
+use roar_crypto::sha1::Backend;
 use std::sync::Arc;
 
 /// Harness parameters.
@@ -26,6 +27,9 @@ pub struct ClusterConfig {
     pub overhead_s: f64,
     /// Which transport the nodes serve and the front-end dispatches over.
     pub transport: TransportSpec,
+    /// SHA-1 lane engine every node's sub-query matcher sweeps with
+    /// (default: auto-detected, overridable via `ROAR_SHA1_BACKEND`).
+    pub backend: Backend,
 }
 
 impl ClusterConfig {
@@ -35,12 +39,19 @@ impl ClusterConfig {
             p,
             overhead_s: 0.0,
             transport: TransportSpec::Tcp,
+            backend: Backend::auto(),
         }
     }
 
     /// Select the cluster transport (builder style).
     pub fn with_transport(mut self, transport: TransportSpec) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Pin the nodes' SHA-1 lane backend (builder style).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -65,20 +76,22 @@ pub async fn spawn_extra_node(
     speed: f64,
     overhead_s: f64,
 ) -> std::io::Result<(std::net::SocketAddr, Arc<DataNode>)> {
-    spawn_extra_node_with(id, speed, overhead_s, &TransportSpec::Tcp).await
+    spawn_extra_node_with(id, speed, overhead_s, &TransportSpec::Tcp, Backend::auto()).await
 }
 
-/// [`spawn_extra_node`] over an explicit transport.
+/// [`spawn_extra_node`] over an explicit transport and SHA-1 lane backend.
 pub async fn spawn_extra_node_with(
     id: usize,
     speed: f64,
     overhead_s: f64,
     transport: &TransportSpec,
+    backend: Backend,
 ) -> std::io::Result<(std::net::SocketAddr, Arc<DataNode>)> {
     let node = Arc::new(DataNode::new(NodeConfig {
         id,
         speed,
         overhead_s,
+        backend,
     }));
     let (tx, rx) = tokio::sync::oneshot::channel();
     let n2 = Arc::clone(&node);
@@ -99,7 +112,8 @@ pub async fn spawn_cluster(cfg: ClusterConfig) -> std::io::Result<ClusterHandle>
     let mut nodes = Vec::new();
     let mut addrs = Vec::new();
     for (id, &speed) in cfg.speeds.iter().enumerate() {
-        let (addr, node) = spawn_extra_node_with(id, speed, cfg.overhead_s, &cfg.transport).await?;
+        let (addr, node) =
+            spawn_extra_node_with(id, speed, cfg.overhead_s, &cfg.transport, cfg.backend).await?;
         nodes.push(node);
         addrs.push(addr);
     }
@@ -391,7 +405,7 @@ mod tests {
         let mut rng = det_rng(225);
         let ids: Vec<u64> = (0..900).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
-        let (addr, new_node) = spawn_extra_node_with(6, 1e6, 0.0, &spec).await.unwrap();
+        let (addr, new_node) = spawn_extra_node_with(6, 1e6, 0.0, &spec, Backend::auto()).await.unwrap();
         let new_id = h.cluster.add_node(addr).await.unwrap();
         assert_eq!(new_id, 6);
         assert_eq!(h.cluster.n(), 7);
@@ -443,7 +457,7 @@ mod tests {
         let mut rng = det_rng(227);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
         h.cluster.store_synthetic(&ids).await.unwrap();
-        let (addr, _node) = spawn_extra_node_with(5, 1e6, 0.0, &spec).await.unwrap();
+        let (addr, _node) = spawn_extra_node_with(5, 1e6, 0.0, &spec, Backend::auto()).await.unwrap();
         let id = h.cluster.add_node(addr).await.unwrap();
         let out = h
             .cluster
@@ -524,6 +538,7 @@ mod tests {
             p: 2,
             overhead_s: 0.0,
             transport: spec,
+            backend: Backend::auto(),
         };
         let h = spawn_cluster(cfg).await.unwrap();
         let mut rng = det_rng(217);

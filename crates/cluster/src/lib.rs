@@ -49,6 +49,7 @@ pub use frontend::{Cluster, QueryOutput};
 pub use harness::{spawn_cluster, ClusterConfig, ClusterHandle};
 pub use node::{DataNode, NodeConfig};
 pub use proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireTrapdoor};
+pub use roar_crypto::sha1::Backend;
 pub use transport::{
     LossPolicy, LossSpec, NodeConn, NodeLink, RequestError, RpcError, Transport, TransportSpec,
     UdpConfig, UdpEndpoint,

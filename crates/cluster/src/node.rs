@@ -10,6 +10,7 @@ use crate::proto::{Msg, QueryBody};
 use crate::transport::{BoxFuture, Handler, Transport, TransportSpec};
 use parking_lot::Mutex;
 use roar_core::ring::Window;
+use roar_crypto::sha1::Backend;
 use roar_pps::query::{Combiner, CompiledQuery};
 use roar_pps::MetadataStore;
 use std::sync::Arc;
@@ -25,6 +26,10 @@ pub struct NodeConfig {
     /// Extra fixed per-sub-query overhead in seconds (thread start, parse …
     /// — the overhead that makes large p expensive, §2).
     pub overhead_s: f64,
+    /// SHA-1 lane engine the PPS sub-query matcher sweeps with — part of
+    /// the node's execution profile, so a fleet can mix pinned-scalar
+    /// canaries with auto-detected SIMD nodes.
+    pub backend: Backend,
 }
 
 /// Shared mutable node state.
@@ -292,8 +297,10 @@ impl DataNode {
                         .collect()
                 };
                 let scanned = records.len() as u64;
+                let backend = self.cfg.backend;
                 let result = tokio::task::spawn_blocking(move || {
-                    let (matches, _prf_calls) = roar_pps::engine::match_corpus(&records, &query);
+                    let (matches, _prf_calls) =
+                        roar_pps::engine::match_corpus_with(&records, &query, backend);
                     matches
                 })
                 .await;
@@ -370,6 +377,7 @@ mod tests {
             id: 0,
             speed,
             overhead_s: 0.0,
+            backend: Backend::auto(),
         }));
         let (tx, rx) = tokio::sync::oneshot::channel();
         let n2 = Arc::clone(&node);

@@ -20,8 +20,22 @@
 //! The two paths are bit-identical by construction and by test
 //! (RFC 2202 vectors run against both; `tests/hmac_equivalence.rs` adds
 //! randomized cross-checks including block-boundary and > 64-byte keys).
+//!
+//! **Multi-lane batching.** On top of the midstate cache, the batch entry
+//! points ([`HmacKey::mac_batch_with`], [`HmacKey::mac_u64_nonces_with`])
+//! resume `lanes()` copies of the cached midstates at once through a
+//! [`Sha1Lanes`] engine: the messages of one lane group are padded into a
+//! transposed block set (lane `l` = vector element `l`, the engine's SoA
+//! layout) and every group costs 2 multi-lane compressions total — the
+//! per-message cost divides by the lane width. Lane groups with messages of
+//! unequal block counts still work: each lane's chaining value is captured
+//! at that lane's own final block, and shorter lanes churn dummy zero
+//! blocks afterwards (their output is never read). Ragged batches (size not
+//! a multiple of the lane width) pad the last group with a repeat of the
+//! final message and discard the duplicate lanes. All of this is pinned
+//! bit-identical to the scalar reference by `tests/sha1_lanes_props.rs`.
 
-use crate::sha1::{compress_block, sha1, Sha1};
+use crate::sha1::{compress_block, sha1, Backend, Sha1, Sha1Lanes, MAX_LANES};
 
 const BLOCK: usize = 64;
 
@@ -149,24 +163,178 @@ impl HmacKey {
     }
 
     /// Batch entry point: MAC `msgs.len()` messages under this key into
-    /// `out`, allocation-free.
+    /// `out`, allocation-free, through the process-default
+    /// ([`Backend::auto`]) lane engine.
     ///
     /// # Panics
     /// Panics when `out` is shorter than `msgs`.
     pub fn mac_batch(&self, msgs: &[&[u8]], out: &mut [[u8; 20]]) {
+        self.mac_batch_with(Backend::auto(), msgs, out);
+    }
+
+    /// [`mac_batch`](Self::mac_batch) through an explicit backend.
+    ///
+    /// Messages are processed in lane groups of `backend.engine().lanes()`;
+    /// within a group the cached inner midstate is resumed in every lane and
+    /// the padded message blocks are fed transposed (SoA), so a full group
+    /// costs 2 multi-lane compressions regardless of width. Any message
+    /// length is accepted — multi-block lanes and ragged tails are handled
+    /// as described in the module docs.
+    ///
+    /// # Panics
+    /// Panics when `out` is shorter than `msgs`.
+    pub fn mac_batch_with(&self, backend: Backend, msgs: &[&[u8]], out: &mut [[u8; 20]]) {
         assert!(out.len() >= msgs.len(), "output buffer too small");
-        for (msg, slot) in msgs.iter().zip(out.iter_mut()) {
-            *slot = self.mac(msg);
+        let engine = backend.engine();
+        let mut states = [[0u32; 5]; MAX_LANES];
+        for (group, slots) in msgs
+            .chunks(engine.lanes())
+            .zip(out.chunks_mut(engine.lanes()))
+        {
+            self.mac_states_group(engine, group, &mut states);
+            for (state, slot) in states.iter().zip(slots.iter_mut()) {
+                for (i, w) in state.iter().enumerate() {
+                    slot[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+                }
+            }
         }
+    }
+
+    /// The PPS survivor-sweep hot path: `u64` MAC prefixes of fixed 8-byte
+    /// messages (record nonces) under this key. Every message fits one
+    /// padded block, so the inner and outer finishing blocks are assembled
+    /// from a constant template and each full lane group costs exactly 2
+    /// multi-lane compressions — the §5.7 "2 compressions per codeword"
+    /// arithmetic divided by the lane width.
+    ///
+    /// # Panics
+    /// Panics when `out` is shorter than `nonces`.
+    pub fn mac_u64_nonces_with(&self, backend: Backend, nonces: &[[u8; 8]], out: &mut [u64]) {
+        assert!(out.len() >= nonces.len(), "output buffer too small");
+        let engine = backend.engine();
+        let lanes = engine.lanes();
+        // inner finishing block template: nonce ‖ 0x80 ‖ zeros ‖ bitlen(64+8)
+        let mut inner_tmpl = [0u8; BLOCK];
+        inner_tmpl[8] = 0x80;
+        inner_tmpl[56..].copy_from_slice(&(((BLOCK + 8) as u64) * 8).to_be_bytes());
+        // outer finishing block template: digest(20) ‖ 0x80 ‖ zeros ‖ bitlen(64+20)
+        let mut outer_tmpl = [0u8; BLOCK];
+        outer_tmpl[20] = 0x80;
+        outer_tmpl[56..].copy_from_slice(&(((BLOCK + 20) as u64) * 8).to_be_bytes());
+
+        let mut blocks = [[0u8; BLOCK]; MAX_LANES];
+        let mut states = [[0u32; 5]; MAX_LANES];
+        for (group, slots) in nonces.chunks(lanes).zip(out.chunks_mut(lanes)) {
+            for lane in 0..lanes {
+                // ragged tail: unused lanes repeat the last real nonce
+                let nonce = &group[lane.min(group.len() - 1)];
+                blocks[lane] = inner_tmpl;
+                blocks[lane][..8].copy_from_slice(nonce);
+                states[lane] = self.inner_mid;
+            }
+            engine.compress(&mut states[..lanes], &blocks[..lanes]);
+            for lane in 0..lanes {
+                blocks[lane] = outer_tmpl;
+                for (i, w) in states[lane].iter().enumerate() {
+                    blocks[lane][i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+                }
+                states[lane] = self.outer_mid;
+            }
+            engine.compress(&mut states[..lanes], &blocks[..lanes]);
+            for (state, slot) in states.iter().zip(slots.iter_mut()) {
+                *slot = ((state[0] as u64) << 32) | state[1] as u64;
+            }
+        }
+    }
+
+    /// MAC one lane group (1 ≤ `msgs.len()` ≤ `engine.lanes()`) of
+    /// arbitrary-length messages, leaving the outer chaining value of
+    /// message `i` in `states[i]`.
+    ///
+    /// The inner hash resumes the cached inner midstate in every lane and
+    /// walks the lanes' padded block streams in lock step; a lane whose
+    /// message finishes early has its chaining value captured at its own
+    /// final block (later dummy blocks churn the register copy, which is
+    /// never read). The outer hash is always a single finishing block.
+    fn mac_states_group(
+        &self,
+        engine: &dyn Sha1Lanes,
+        msgs: &[&[u8]],
+        states: &mut [[u32; 5]; MAX_LANES],
+    ) {
+        let lanes = engine.lanes();
+        debug_assert!(!msgs.is_empty() && msgs.len() <= lanes && lanes <= MAX_LANES);
+        // finishing blocks of the inner hash for a message of `len` bytes
+        // (the 64-byte ipad block is already folded into the midstate)
+        let n_blocks = |len: usize| (len + 9).div_ceil(BLOCK);
+        let max_blocks = msgs.iter().map(|m| n_blocks(m.len())).max().expect("≥ 1");
+
+        let mut blocks = [[0u8; BLOCK]; MAX_LANES];
+        let mut inner = [[0u32; 5]; MAX_LANES];
+        for state in states.iter_mut().take(lanes) {
+            *state = self.inner_mid;
+        }
+        for b in 0..max_blocks {
+            for lane in 0..lanes {
+                // ragged tail: unused lanes repeat the last real message
+                let msg = msgs[lane.min(msgs.len() - 1)];
+                fill_padded_block(msg, b, &mut blocks[lane]);
+            }
+            engine.compress(&mut states[..lanes], &blocks[..lanes]);
+            for (lane, msg) in msgs.iter().enumerate() {
+                if n_blocks(msg.len()) == b + 1 {
+                    inner[lane] = states[lane];
+                }
+            }
+        }
+        // outer: digest(20) ‖ 0x80 ‖ zeros ‖ bitlen(64 + 20), one block per lane
+        for lane in 0..lanes {
+            let digest = inner[lane.min(msgs.len() - 1)];
+            let blk = &mut blocks[lane];
+            blk.fill(0);
+            for (i, w) in digest.iter().enumerate() {
+                blk[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            blk[20] = 0x80;
+            blk[56..].copy_from_slice(&(((BLOCK + 20) as u64) * 8).to_be_bytes());
+            states[lane] = self.outer_mid;
+        }
+        engine.compress(&mut states[..lanes], &blocks[..lanes]);
+    }
+}
+
+/// Write block `b` of the inner hash's padded message stream
+/// (`msg ‖ 0x80 ‖ zeros ‖ bitlen(64 + |msg|)`, a multiple of 64 bytes) into
+/// `block`. Blocks past the stream's end come out all-zero — the dummy
+/// blocks lock-step lane processing feeds to already-finished lanes.
+fn fill_padded_block(msg: &[u8], b: usize, block: &mut [u8; BLOCK]) {
+    let len = msg.len();
+    let total = (len + 9).div_ceil(BLOCK);
+    block.fill(0);
+    if b >= total {
+        return;
+    }
+    let start = b * BLOCK;
+    if start < len {
+        let n = (len - start).min(BLOCK);
+        block[..n].copy_from_slice(&msg[start..start + n]);
+    }
+    if (start..start + BLOCK).contains(&len) {
+        block[len - start] = 0x80;
+    }
+    if b + 1 == total {
+        // bit length of ipad block + message
+        block[56..].copy_from_slice(&(((BLOCK + len) as u64) * 8).to_be_bytes());
     }
 }
 
 /// Free-function form of the batch API: HMAC-SHA1 of every message in
 /// `msgs` under one precomputed key, written into `out`, zero heap
-/// allocation. The matching pipeline itself consumes keys one probe at a
-/// time via [`HmacKey::mac_u64`] (it short-circuits mid-trapdoor); this
-/// entry point serves bulk callers — metadata encryption, external tools —
-/// and the equivalence test suite.
+/// allocation, multi-lane when the CPU allows. The matching pipeline's
+/// survivor sweep consumes the specialised nonce form
+/// ([`HmacKey::mac_u64_nonces_with`]); this entry point serves bulk
+/// callers — metadata encryption, external tools — and the equivalence
+/// test suite.
 pub fn hmac_sha1_batch(key: &HmacKey, msgs: &[&[u8]], out: &mut [[u8; 20]]) {
     key.mac_batch(msgs, out);
 }
@@ -294,5 +462,53 @@ mod tests {
         let msgs: Vec<&[u8]> = vec![b"a", b"b"];
         let mut out = [[0u8; 20]; 1];
         key.mac_batch(&msgs, &mut out);
+    }
+
+    /// Every available lane engine must produce the reference MACs for a
+    /// batch mixing message lengths across block boundaries, at every
+    /// ragged batch size (the dedicated property suite widens this).
+    #[test]
+    fn lane_batches_match_reference_on_all_backends() {
+        let key = HmacKey::new(b"lane-batch-key");
+        let lens = [0usize, 1, 8, 55, 56, 63, 64, 65, 119, 120, 200];
+        let msgs_owned: Vec<Vec<u8>> = lens
+            .iter()
+            .map(|&n| (0..n).map(|i| (i as u8).wrapping_mul(29)).collect())
+            .collect();
+        for backend in Backend::ALL.into_iter().filter(|b| b.available()) {
+            for take in 1..=msgs_owned.len() {
+                let msgs: Vec<&[u8]> = msgs_owned[..take].iter().map(Vec::as_slice).collect();
+                let mut out = vec![[0u8; 20]; take];
+                key.mac_batch_with(backend, &msgs, &mut out);
+                for (msg, got) in msgs.iter().zip(&out) {
+                    let want = hmac_sha1(b"lane-batch-key", msg);
+                    assert_eq!(*got, want, "{} len {}", backend.name(), msg.len());
+                }
+            }
+        }
+    }
+
+    /// The specialised 8-byte-nonce sweep must agree with the generic path
+    /// on every backend, including ragged group tails.
+    #[test]
+    fn nonce_sweep_matches_reference_on_all_backends() {
+        let key = HmacKey::new(b"nonce-sweep-key");
+        let nonces: Vec<[u8; 8]> = (0..13u64)
+            .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)).to_be_bytes())
+            .collect();
+        for backend in Backend::ALL.into_iter().filter(|b| b.available()) {
+            for take in 1..=nonces.len() {
+                let mut out = vec![0u64; take];
+                key.mac_u64_nonces_with(backend, &nonces[..take], &mut out);
+                for (nonce, got) in nonces[..take].iter().zip(&out) {
+                    assert_eq!(
+                        *got,
+                        key.mac_u64(nonce),
+                        "{} batch of {take}",
+                        backend.name()
+                    );
+                }
+            }
+        }
     }
 }

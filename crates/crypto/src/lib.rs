@@ -6,7 +6,9 @@
 //! filter** (Goh's keyword scheme). The offline crate set contains no crypto
 //! crates, so this crate implements the primitives from scratch:
 //!
-//! * [`sha1`] — FIPS 180-1 SHA-1, verified against the standard test vectors.
+//! * [`sha1`] — FIPS 180-1 SHA-1, verified against the standard test vectors,
+//!   with a lane-generic compression layer ([`sha1::Sha1Lanes`]): scalar x1,
+//!   SSE2 x4 and AVX2 x8 engines selected at runtime via [`sha1::Backend`].
 //! * [`hmac`] — HMAC-SHA1 (RFC 2104/2202) used as the keyed PRF `F_K(·)`.
 //! * [`prf`] — the `Prf` abstraction the PPS schemes are written against.
 //! * [`prp`] — a 4-round Feistel network over HMAC-SHA1, a classic
@@ -40,5 +42,5 @@ pub use garble::{GarbledQuery, Garbler, WireLabel};
 pub use hmac::hmac_sha1;
 pub use prf::{HmacPrf, Prf};
 pub use prp::FeistelPrp;
-pub use sha1::Sha1;
+pub use sha1::{Backend, Sha1, Sha1Lanes};
 pub use stream::xor_keystream;

@@ -1,0 +1,160 @@
+//! 8-lane SHA-1 compression in AVX2 `__m256i` registers.
+//!
+//! Same structure-of-arrays layout as the SSE2 engine — lane `l` in 32-bit
+//! element `l` of every vector, rolling 16-entry schedule — at twice the
+//! width. AVX2 still lacks a vector rotate (that arrives with AVX-512), so
+//! `rotl` is the shift/shift/or emulation; eight blocks per instruction
+//! stream more than pays for it.
+//!
+//! AVX2 is *not* baseline: [`Backend::available`](super::Backend::available)
+//! runtime-detects it, and [`Sha1Lanes::compress`] asserts the detection so
+//! a mis-forced backend fails loudly instead of executing illegal
+//! instructions.
+
+use super::Sha1Lanes;
+use core::arch::x86_64::{
+    __m256i, _mm256_add_epi32, _mm256_and_si256, _mm256_or_si256, _mm256_set1_epi32,
+    _mm256_set_epi32, _mm256_slli_epi32, _mm256_srli_epi32, _mm256_storeu_si256, _mm256_xor_si256,
+};
+
+/// 8-lane AVX2 engine.
+pub struct Avx2Lanes;
+
+impl Sha1Lanes for Avx2Lanes {
+    fn lanes(&self) -> usize {
+        8
+    }
+
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn compress(&self, states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
+        assert!(
+            states.len() == 8 && blocks.len() == 8,
+            "avx2 engine is 8-lane: got {} states / {} blocks",
+            states.len(),
+            blocks.len()
+        );
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "avx2 backend selected on a CPU without AVX2"
+        );
+        // SAFETY: AVX2 presence just asserted; slices length-checked.
+        unsafe { compress8(states, blocks) }
+    }
+}
+
+/// Rotate each lane left by `L` bits (`R` must be `32 - L`; the shift
+/// intrinsics take const-generic immediates, and `32 - L` is not a legal
+/// const expression in that position).
+#[inline]
+unsafe fn rotl<const L: i32, const R: i32>(x: __m256i) -> __m256i {
+    _mm256_or_si256(_mm256_slli_epi32::<L>(x), _mm256_srli_epi32::<R>(x))
+}
+
+#[inline]
+unsafe fn add(a: __m256i, b: __m256i) -> __m256i {
+    _mm256_add_epi32(a, b)
+}
+
+/// Big-endian word `i` of each lane's block, transposed into one vector.
+#[inline]
+unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m256i {
+    let w = |l: usize| {
+        u32::from_be_bytes([
+            blocks[l][i * 4],
+            blocks[l][i * 4 + 1],
+            blocks[l][i * 4 + 2],
+            blocks[l][i * 4 + 3],
+        ]) as i32
+    };
+    _mm256_set_epi32(w(7), w(6), w(5), w(4), w(3), w(2), w(1), w(0))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn compress8(states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
+    let load_state = |w: usize| {
+        _mm256_set_epi32(
+            states[7][w] as i32,
+            states[6][w] as i32,
+            states[5][w] as i32,
+            states[4][w] as i32,
+            states[3][w] as i32,
+            states[2][w] as i32,
+            states[1][w] as i32,
+            states[0][w] as i32,
+        )
+    };
+    let mut a = load_state(0);
+    let mut b = load_state(1);
+    let mut c = load_state(2);
+    let mut d = load_state(3);
+    let mut e = load_state(4);
+    let (a0, b0, c0, d0, e0) = (a, b, c, d, e);
+
+    let mut w = [_mm256_set1_epi32(0); 16];
+    for (i, slot) in w.iter_mut().enumerate() {
+        *slot = gather_word(blocks, i);
+    }
+
+    let k1 = _mm256_set1_epi32(0x5A827999u32 as i32);
+    let k2 = _mm256_set1_epi32(0x6ED9EBA1u32 as i32);
+    let k3 = _mm256_set1_epi32(0x8F1BBCDCu32 as i32);
+    let k4 = _mm256_set1_epi32(0xCA62C1D6u32 as i32);
+
+    for t in 0..80 {
+        let wt = if t < 16 {
+            w[t]
+        } else {
+            // rolling schedule: w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16])
+            let x = _mm256_xor_si256(
+                _mm256_xor_si256(w[(t - 3) & 15], w[(t - 8) & 15]),
+                _mm256_xor_si256(w[(t - 14) & 15], w[t & 15]),
+            );
+            let x = rotl::<1, 31>(x);
+            w[t & 15] = x;
+            x
+        };
+        let (f, k) = match t {
+            // Ch(b,c,d) = (b & c) | (!b & d), branch-free as d ^ (b & (c ^ d))
+            0..=19 => (
+                _mm256_xor_si256(d, _mm256_and_si256(b, _mm256_xor_si256(c, d))),
+                k1,
+            ),
+            20..=39 => (_mm256_xor_si256(b, _mm256_xor_si256(c, d)), k2),
+            // Maj(b,c,d) = (b & c) | (b & d) | (c & d) = (b & c) | (d & (b | c))
+            40..=59 => (
+                _mm256_or_si256(
+                    _mm256_and_si256(b, c),
+                    _mm256_and_si256(d, _mm256_or_si256(b, c)),
+                ),
+                k3,
+            ),
+            _ => (_mm256_xor_si256(b, _mm256_xor_si256(c, d)), k4),
+        };
+        let tmp = add(add(add(add(rotl::<5, 27>(a), f), e), k), wt);
+        e = d;
+        d = c;
+        c = rotl::<30, 2>(b);
+        b = a;
+        a = tmp;
+    }
+
+    a = add(a, a0);
+    b = add(b, b0);
+    c = add(c, c0);
+    d = add(d, d0);
+    e = add(e, e0);
+
+    // transpose back: one word-major store per chaining word
+    let mut out = [[0u32; 8]; 5];
+    for (word, v) in [a, b, c, d, e].into_iter().enumerate() {
+        _mm256_storeu_si256(out[word].as_mut_ptr() as *mut __m256i, v);
+    }
+    for (l, state) in states.iter_mut().enumerate() {
+        for (word, row) in out.iter().enumerate() {
+            state[word] = row[l];
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The portable 1-lane SHA-1 compression reference.
+//!
+//! [`compress_block`] is the specification transcribed; every SIMD engine
+//! in this module tree is pinned bit-identical to it. [`ScalarLanes`] wraps
+//! it in the [`Sha1Lanes`](super::Sha1Lanes) trait so lane-generic callers
+//! (the multi-lane HMAC batch paths) can run unchanged on hardware — or in
+//! CI legs — without vector units.
+
+use super::Sha1Lanes;
+
+/// The raw SHA-1 compression function: fold one 64-byte block into
+/// `state`. Exposed (crate-wide) so the HMAC hot path can drive it
+/// directly, without the incremental hasher's buffering machinery.
+#[inline]
+pub(crate) fn compress_block(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+            20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+            _ => (b ^ c ^ d, 0xCA62C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+/// 1-lane engine: the reference compression behind the lane-generic trait.
+pub struct ScalarLanes;
+
+impl Sha1Lanes for ScalarLanes {
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn compress(&self, states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
+        assert!(
+            states.len() == 1 && blocks.len() == 1,
+            "scalar engine is 1-lane: got {} states / {} blocks",
+            states.len(),
+            blocks.len()
+        );
+        compress_block(&mut states[0], &blocks[0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! 4-lane SHA-1 compression in SSE2 `__m128i` registers.
+//!
+//! Lane `l` occupies 32-bit element `l` of every vector: the five chaining
+//! words and the 16-entry rolling message schedule are all transposed
+//! (structure-of-arrays), so the 80 rounds run once over four independent
+//! blocks. SSE2 has no vector rotate, so `rotl` is a shift/shift/or triple —
+//! the throughput win comes from the data parallelism, not the per-op cost.
+//!
+//! SSE2 is part of the x86-64 architectural baseline, so this engine needs
+//! no runtime detection on that target; the `unsafe` here is only the
+//! intrinsics themselves.
+
+use super::Sha1Lanes;
+use core::arch::x86_64::{
+    __m128i, _mm_add_epi32, _mm_and_si128, _mm_or_si128, _mm_set1_epi32, _mm_set_epi32,
+    _mm_slli_epi32, _mm_srli_epi32, _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// 4-lane SSE2 engine.
+pub struct Sse2Lanes;
+
+impl Sha1Lanes for Sse2Lanes {
+    fn lanes(&self) -> usize {
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "sse2"
+    }
+
+    fn compress(&self, states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
+        assert!(
+            states.len() == 4 && blocks.len() == 4,
+            "sse2 engine is 4-lane: got {} states / {} blocks",
+            states.len(),
+            blocks.len()
+        );
+        // SAFETY: SSE2 is unconditionally present on x86-64 (this module is
+        // only compiled there), and the slices were just length-checked.
+        unsafe { compress4(states, blocks) }
+    }
+}
+
+/// Rotate each lane left by `L` bits (`R` must be `32 - L`; the shift
+/// intrinsics take const-generic immediates, and `32 - L` is not a legal
+/// const expression in that position).
+#[inline]
+unsafe fn rotl<const L: i32, const R: i32>(x: __m128i) -> __m128i {
+    _mm_or_si128(_mm_slli_epi32::<L>(x), _mm_srli_epi32::<R>(x))
+}
+
+#[inline]
+unsafe fn add(a: __m128i, b: __m128i) -> __m128i {
+    _mm_add_epi32(a, b)
+}
+
+/// Big-endian word `i` of each lane's block, transposed into one vector.
+#[inline]
+unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m128i {
+    let w = |l: usize| {
+        u32::from_be_bytes([
+            blocks[l][i * 4],
+            blocks[l][i * 4 + 1],
+            blocks[l][i * 4 + 2],
+            blocks[l][i * 4 + 3],
+        ]) as i32
+    };
+    _mm_set_epi32(w(3), w(2), w(1), w(0))
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn compress4(states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
+    let load_state = |w: usize| {
+        _mm_set_epi32(
+            states[3][w] as i32,
+            states[2][w] as i32,
+            states[1][w] as i32,
+            states[0][w] as i32,
+        )
+    };
+    let mut a = load_state(0);
+    let mut b = load_state(1);
+    let mut c = load_state(2);
+    let mut d = load_state(3);
+    let mut e = load_state(4);
+    let (a0, b0, c0, d0, e0) = (a, b, c, d, e);
+
+    let mut w = [_mm_set1_epi32(0); 16];
+    for (i, slot) in w.iter_mut().enumerate() {
+        *slot = gather_word(blocks, i);
+    }
+
+    let k1 = _mm_set1_epi32(0x5A827999u32 as i32);
+    let k2 = _mm_set1_epi32(0x6ED9EBA1u32 as i32);
+    let k3 = _mm_set1_epi32(0x8F1BBCDCu32 as i32);
+    let k4 = _mm_set1_epi32(0xCA62C1D6u32 as i32);
+
+    for t in 0..80 {
+        let wt = if t < 16 {
+            w[t]
+        } else {
+            // rolling schedule: w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16])
+            let x = _mm_xor_si128(
+                _mm_xor_si128(w[(t - 3) & 15], w[(t - 8) & 15]),
+                _mm_xor_si128(w[(t - 14) & 15], w[t & 15]),
+            );
+            let x = rotl::<1, 31>(x);
+            w[t & 15] = x;
+            x
+        };
+        let (f, k) = match t {
+            // Ch(b,c,d) = (b & c) | (!b & d), branch-free as d ^ (b & (c ^ d))
+            0..=19 => (_mm_xor_si128(d, _mm_and_si128(b, _mm_xor_si128(c, d))), k1),
+            20..=39 => (_mm_xor_si128(b, _mm_xor_si128(c, d)), k2),
+            // Maj(b,c,d) = (b & c) | (b & d) | (c & d) = (b & c) | (d & (b | c))
+            40..=59 => (
+                _mm_or_si128(_mm_and_si128(b, c), _mm_and_si128(d, _mm_or_si128(b, c))),
+                k3,
+            ),
+            _ => (_mm_xor_si128(b, _mm_xor_si128(c, d)), k4),
+        };
+        let tmp = add(add(add(add(rotl::<5, 27>(a), f), e), k), wt);
+        e = d;
+        d = c;
+        c = rotl::<30, 2>(b);
+        b = a;
+        a = tmp;
+    }
+
+    a = add(a, a0);
+    b = add(b, b0);
+    c = add(c, c0);
+    d = add(d, d0);
+    e = add(e, e0);
+
+    // transpose back: one word-major store per chaining word
+    let mut out = [[0u32; 4]; 5];
+    for (word, v) in [a, b, c, d, e].into_iter().enumerate() {
+        _mm_storeu_si128(out[word].as_mut_ptr() as *mut __m128i, v);
+    }
+    for (l, state) in states.iter_mut().enumerate() {
+        for (word, row) in out.iter().enumerate() {
+            state[word] = row[l];
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the lane-generic SHA-1 execution layer: every
+//! available [`Backend`] (scalar x1, SSE2 x4, AVX2 x8) must be bit-identical
+//! to the scalar reference —
+//!
+//! * at the compression-function level, on arbitrary states and blocks;
+//! * through the multi-lane HMAC batch paths, across message lengths that
+//!   straddle the padding and block boundaries (0, 55, 56, 63, 64, 65, 119,
+//!   120 bytes and beyond) and across *mixed-length* lane groups, where
+//!   lanes finish on different blocks;
+//! * on ragged batches whose size is not a multiple of the lane width.
+
+use proptest::prelude::*;
+use roar_crypto::hmac::{hmac_sha1, HmacKey};
+use roar_crypto::sha1::Backend;
+
+fn available_backends() -> Vec<Backend> {
+    Backend::ALL.into_iter().filter(|b| b.available()).collect()
+}
+
+/// The exact boundary lengths the issue calls out: both sides of the
+/// one-block padding limit (55/56), the block edge (63/64/65) and the
+/// two-block padding limit (119/120).
+const BOUNDARY_LENS: [usize; 8] = [0, 55, 56, 63, 64, 65, 119, 120];
+
+#[test]
+fn engines_report_sane_lane_counts() {
+    for b in available_backends() {
+        let lanes = b.engine().lanes();
+        let expect = match b {
+            Backend::Scalar => 1,
+            Backend::Sse2 => 4,
+            Backend::Avx2 => 8,
+        };
+        assert_eq!(lanes, expect, "{}", b.name());
+    }
+}
+
+/// Deterministic sweep: every pairing of boundary lengths within one lane
+/// group, so lanes finish on different blocks in the same compress stream.
+#[test]
+fn mixed_boundary_lengths_within_one_group() {
+    let key = HmacKey::new(b"boundary-mix");
+    let data: Vec<u8> = (0..=255u8).cycle().take(256).collect();
+    for backend in available_backends() {
+        let lanes = backend.engine().lanes();
+        for &short in &BOUNDARY_LENS {
+            for &long in &BOUNDARY_LENS {
+                // alternate the two lengths across the lanes of one group
+                let msgs: Vec<&[u8]> = (0..lanes)
+                    .map(|l| {
+                        if l % 2 == 0 {
+                            &data[..short]
+                        } else {
+                            &data[..long]
+                        }
+                    })
+                    .collect();
+                let mut out = vec![[0u8; 20]; msgs.len()];
+                key.mac_batch_with(backend, &msgs, &mut out);
+                for (msg, got) in msgs.iter().zip(&out) {
+                    assert_eq!(
+                        *got,
+                        hmac_sha1(b"boundary-mix", msg),
+                        "{} lanes mixing {short}/{long}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Ragged batches: every size from 1 to 2×lanes+1, none required to divide
+/// the lane width, all boundary lengths cycled through the batch.
+#[test]
+fn ragged_batches_every_size() {
+    let key = HmacKey::new(b"ragged");
+    let data: Vec<u8> = (0..=255u8).cycle().take(256).collect();
+    for backend in available_backends() {
+        let lanes = backend.engine().lanes();
+        for batch in 1..=(2 * lanes + 1) {
+            let msgs: Vec<&[u8]> = (0..batch)
+                .map(|i| &data[..BOUNDARY_LENS[i % BOUNDARY_LENS.len()]])
+                .collect();
+            let mut out = vec![[0u8; 20]; batch];
+            key.mac_batch_with(backend, &msgs, &mut out);
+            for (msg, got) in msgs.iter().zip(&out) {
+                let want = hmac_sha1(b"ragged", msg);
+                assert_eq!(*got, want, "{} batch {batch}", backend.name());
+            }
+        }
+    }
+}
+
+/// The nonce sweep (the PPS survivor hot path) at every ragged size.
+#[test]
+fn nonce_sweep_ragged_sizes() {
+    let key = HmacKey::new(b"nonce-ragged");
+    for backend in available_backends() {
+        let lanes = backend.engine().lanes();
+        let nonces: Vec<[u8; 8]> = (0..2 * lanes as u64 + 3)
+            .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D).to_be_bytes())
+            .collect();
+        for take in 1..=nonces.len() {
+            let mut out = vec![0u64; take];
+            key.mac_u64_nonces_with(backend, &nonces[..take], &mut out);
+            for (nonce, got) in nonces[..take].iter().zip(&out) {
+                assert_eq!(*got, key.mac_u64(nonce), "{} take {take}", backend.name());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random states/blocks: every engine lane equals the scalar
+    /// compression of that lane.
+    #[test]
+    fn compress_lanes_equal_scalar(
+        seed_states in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 5), 8),
+        seed_blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 64), 8),
+    ) {
+        for backend in available_backends() {
+            let engine = backend.engine();
+            let l = engine.lanes();
+            let mut states: Vec<[u32; 5]> = seed_states[..l]
+                .iter()
+                .map(|v| <[u32; 5]>::try_from(v.as_slice()).unwrap())
+                .collect();
+            let blocks: Vec<[u8; 64]> = seed_blocks[..l]
+                .iter()
+                .map(|v| <[u8; 64]>::try_from(v.as_slice()).unwrap())
+                .collect();
+            // scalar oracle through the 1-lane engine
+            let scalar = Backend::Scalar.engine();
+            let mut want = states.clone();
+            for (s, blk) in want.iter_mut().zip(&blocks) {
+                scalar.compress(std::slice::from_mut(s), std::slice::from_ref(blk));
+            }
+            engine.compress(&mut states, &blocks);
+            prop_assert_eq!(&states, &want, "backend {}", backend.name());
+        }
+    }
+
+    /// Random keys and random ragged batches of random-length messages:
+    /// the lane batch equals the one-shot reference on every backend.
+    #[test]
+    fn random_ragged_batches_equal_reference(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msgs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..150), 1..19),
+    ) {
+        let hk = HmacKey::new(&key);
+        let views: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        for backend in available_backends() {
+            let mut out = vec![[0u8; 20]; views.len()];
+            hk.mac_batch_with(backend, &views, &mut out);
+            for (msg, got) in msgs.iter().zip(&out) {
+                prop_assert_eq!(*got, hmac_sha1(&key, msg), "backend {}", backend.name());
+            }
+        }
+    }
+}

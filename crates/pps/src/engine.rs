@@ -23,6 +23,7 @@ use crate::metadata::EncryptedMetadata;
 use crate::query::{CompiledQuery, MatchScratch, Matcher};
 use crate::simdisk::{DiskProfile, SimDisk};
 use crossbeam::channel::bounded;
+use roar_crypto::sha1::Backend;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -103,6 +104,8 @@ pub struct Engine {
     pub batch: usize,
     /// Trace sampling interval in records (paper instruments every 1000).
     pub trace_every: usize,
+    /// SHA-1 lane engine the consumer threads' matchers sweep with.
+    pub backend: Backend,
 }
 
 impl Default for Engine {
@@ -112,6 +115,7 @@ impl Default for Engine {
             profile: EngineProfile::lm(),
             batch: 256,
             trace_every: 1000,
+            backend: Backend::auto(),
         }
     }
 }
@@ -124,6 +128,13 @@ impl Engine {
             profile,
             ..Default::default()
         }
+    }
+
+    /// Pin the SHA-1 lane engine (builder style); [`Engine::new`] defaults
+    /// to the process-wide [`Backend::auto`] choice.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Execute `query` against `records`, streaming them through the
@@ -183,11 +194,13 @@ impl Engine {
                 let rx = rx.clone();
                 let consumed_total = Arc::clone(&consumed_total);
                 let trace_every = self.trace_every;
+                let backend = self.backend;
                 handles.push(scope.spawn(move || {
                     let mut local_matches = Vec::new();
                     let mut local_trace: Vec<(f64, usize)> = Vec::new();
                     let mut scratch = MatchScratch::new();
-                    let mut matcher = Matcher::new(query.trapdoors.len(), true);
+                    let mut matcher =
+                        Matcher::new(query.trapdoors.len(), true).with_backend(backend);
                     while let Ok(chunk) = rx.recv() {
                         matcher.match_batch(query, chunk, &mut scratch, &mut local_matches);
                         let total = consumed_total
@@ -231,10 +244,21 @@ impl Engine {
 /// Match an in-memory corpus on the calling thread through the batched hot
 /// path — the form the cluster node's sub-query execution uses (it already
 /// sits on a blocking worker thread, so it needs matching work, not the
-/// producer/consumer pipeline). Returns the matching ids (unsorted) and
-/// the PRF evaluation count.
+/// producer/consumer pipeline). Sweeps with the process-default
+/// ([`Backend::auto`]) lane engine. Returns the matching ids (unsorted)
+/// and the PRF evaluation count.
 pub fn match_corpus(records: &[EncryptedMetadata], query: &CompiledQuery) -> (Vec<u64>, u64) {
-    let mut matcher = Matcher::new(query.trapdoors.len(), true);
+    match_corpus_with(records, query, Backend::auto())
+}
+
+/// [`match_corpus`] on an explicit SHA-1 lane backend — the cluster node
+/// threads its configured execution profile through here.
+pub fn match_corpus_with(
+    records: &[EncryptedMetadata],
+    query: &CompiledQuery,
+    backend: Backend,
+) -> (Vec<u64>, u64) {
+    let mut matcher = Matcher::new(query.trapdoors.len(), true).with_backend(backend);
     let mut scratch = MatchScratch::new();
     let mut matches = Vec::new();
     // chunked so the survivor buffers stay cache-sized
@@ -387,6 +411,7 @@ mod tests {
             profile: EngineProfile::none(),
             batch: 128,
             trace_every: 500,
+            ..Default::default()
         };
         let out = engine.run_query(&recs, None, &needle_query(&enc));
         assert!(!out.produce_trace.is_empty());

@@ -52,4 +52,5 @@ pub mod store;
 pub use engine::{Engine, EngineProfile, QueryOutcome};
 pub use metadata::{EncryptedMetadata, FileMeta, MetaEncryptor};
 pub use query::{CompiledQuery, Predicate, QueryCompiler};
+pub use roar_crypto::sha1::Backend;
 pub use store::MetadataStore;

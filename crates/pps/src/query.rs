@@ -12,16 +12,19 @@
 //! [`PreparedTrapdoor`] (cached HMAC midstates) on first use, accumulates
 //! PRF counts into a caller-owned [`MatchScratch`] instead of a shared
 //! atomic, and offers [`Matcher::match_batch`] — a survivor-list pipeline
-//! that evaluates one predicate across a whole chunk of records at a time.
-//! The batch path performs *exactly* the probes the scalar short-circuit
-//! path would (a record leaves the survivor list the moment a predicate
-//! settles its fate), so results and PRF counts are identical; only the
-//! loop structure (and therefore key locality and allocation behaviour)
-//! changes.
+//! that evaluates one predicate across a whole chunk of records at a time,
+//! lane-width through a multi-lane SHA-1 engine (the matcher's
+//! [`Backend`], default [`Backend::auto`]). The batch path performs
+//! *exactly* the probes the scalar short-circuit path would (a record
+//! leaves the survivor list the moment a predicate settles its fate), so
+//! results and PRF counts are identical; only the loop structure (and
+//! therefore key locality, allocation behaviour and instruction-level
+//! parallelism) changes.
 
-use crate::bloom_kw::{PreparedTrapdoor, PrfCounter, Trapdoor};
+use crate::bloom_kw::{PreparedTrapdoor, PrfCounter, SweepScratch, Trapdoor};
 use crate::metadata::{Attr, EncryptedMetadata, MetaEncryptor};
 use crate::numeric::Cmp;
+use roar_crypto::sha1::Backend;
 
 /// The §5.6.5 sample size for selectivity estimation.
 pub const SELECTIVITY_SAMPLES: usize = 225;
@@ -99,6 +102,10 @@ pub struct MatchScratch {
     survivors: Vec<u32>,
     /// Double buffer for the next predicate round.
     next: Vec<u32>,
+    /// Pre-sweep snapshot, for OR's matched/undecided split.
+    pre: Vec<u32>,
+    /// Gather buffers (nonces, MAC prefixes) for the lane sweep.
+    sweep: SweepScratch,
 }
 
 impl MatchScratch {
@@ -132,6 +139,8 @@ pub struct Matcher {
     /// matcher with a *different* query rebuilds rather than silently
     /// matching against stale keys.
     prepared_for: Option<u64>,
+    /// SHA-1 lane engine driving [`Matcher::match_batch`]'s survivor sweep.
+    backend: Backend,
 }
 
 /// Cheap per-call fingerprint of a query: the trapdoor count mixed with
@@ -164,7 +173,21 @@ impl Matcher {
             dynamic_ordering,
             prepared: Vec::new(),
             prepared_for: None,
+            backend: Backend::auto(),
         }
+    }
+
+    /// Pin the SHA-1 lane engine the batch sweep runs on (builder style).
+    /// [`Matcher::new`] defaults to the process-wide [`Backend::auto`]
+    /// choice; the cluster node and benchmarks use this to force a path.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The lane engine this matcher sweeps with.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Compile the query's trapdoors into their midstate-cached form.
@@ -177,7 +200,9 @@ impl Matcher {
         }
         if self.prepared_for.is_some() {
             // a different query: restart ordering/sampling from scratch
-            *self = Matcher::new(query.trapdoors.len(), self.dynamic_ordering);
+            // (keeping the configured lane backend)
+            *self = Matcher::new(query.trapdoors.len(), self.dynamic_ordering)
+                .with_backend(self.backend);
         }
         self.prepared = query.trapdoors.iter().map(PreparedTrapdoor::new).collect();
         self.prepared_for = Some(fp);
@@ -284,11 +309,21 @@ impl Matcher {
 
     /// Match a whole chunk of records, appending the ids of matches to
     /// `out`. Equivalent to calling [`matches_scratch`](Self::matches_scratch)
-    /// per record — same results, same PRF counts — but restructured as a
-    /// survivor-list pipeline: each predicate (and each trapdoor component
-    /// within it) sweeps the still-undecided records in one tight loop, so
-    /// a single midstate-cached key stays hot while it crosses the chunk.
-    /// Steady-state, this path performs zero heap allocation beyond `out`.
+    /// per record — same results, and same PRF counts while probe orders
+    /// are fixed (past a `REORDER_EVERY` crossing, probe-order adaptation
+    /// lands on sweep boundaries instead of record boundaries, which can
+    /// shift individual short-circuit points by a fraction of a percent;
+    /// see [`PreparedTrapdoor::probe_filter`]) — but restructured as a
+    /// survivor-list pipeline driven lane-width through the configured
+    /// SHA-1 [`Backend`]: each predicate's [`PreparedTrapdoor`] sweeps the
+    /// still-undecided records component-major
+    /// ([`PreparedTrapdoor::probe_filter`]), evaluating `lanes()` records'
+    /// codewords per compression call while a single midstate-cached key
+    /// stays hot across the whole chunk. A record still drops out exactly
+    /// where the scalar short-circuit would drop it — at its first clear
+    /// bit of its first failing predicate — so the probe multiset is
+    /// unchanged. Steady-state, this path performs zero heap allocation
+    /// beyond `out`.
     pub fn match_batch(
         &mut self,
         query: &CompiledQuery,
@@ -317,37 +352,52 @@ impl Matcher {
         let n_preds = query.trapdoors.len();
         match query.combiner {
             Combiner::And => {
-                // survivors = records that passed every predicate so far
+                // survivors = records that passed every predicate so far;
+                // each trapdoor's lane sweep keeps exactly the passers
                 for k in 0..n_preds {
                     if scratch.survivors.is_empty() {
                         break;
                     }
                     let p = self.order.as_ref().expect("decided")[k];
-                    let prepared = &mut self.prepared[p];
-                    scratch.next.clear();
-                    for &i in &scratch.survivors {
-                        if prepared.probe(&records[i as usize].body, &mut calls) {
-                            scratch.next.push(i);
-                        }
-                    }
-                    std::mem::swap(&mut scratch.survivors, &mut scratch.next);
+                    self.prepared[p].probe_filter(
+                        self.backend,
+                        records,
+                        |r| &r.body,
+                        &mut scratch.survivors,
+                        &mut scratch.sweep,
+                        &mut calls,
+                    );
                 }
                 out.extend(scratch.survivors.iter().map(|&i| records[i as usize].id));
             }
             Combiner::Or => {
                 // survivors = records no predicate has matched yet; a hit
                 // resolves the record immediately (same short-circuit as
-                // the scalar path)
+                // the scalar path). The sweep filters to this predicate's
+                // *matches*; splitting against the pre-sweep snapshot
+                // (both index lists are ascending) recovers the undecided
+                // remainder for the next predicate.
                 for k in 0..n_preds {
                     if scratch.survivors.is_empty() {
                         break;
                     }
                     let p = self.order.as_ref().expect("decided")[k];
-                    let prepared = &mut self.prepared[p];
+                    scratch.pre.clear();
+                    scratch.pre.extend_from_slice(&scratch.survivors);
+                    self.prepared[p].probe_filter(
+                        self.backend,
+                        records,
+                        |r| &r.body,
+                        &mut scratch.survivors,
+                        &mut scratch.sweep,
+                        &mut calls,
+                    );
+                    let mut matched = scratch.survivors.iter().peekable();
                     scratch.next.clear();
-                    for &i in &scratch.survivors {
-                        if prepared.probe(&records[i as usize].body, &mut calls) {
+                    for &i in &scratch.pre {
+                        if matched.peek() == Some(&&i) {
                             out.push(records[i as usize].id);
+                            matched.next();
                         } else {
                             scratch.next.push(i);
                         }
@@ -597,6 +647,39 @@ mod tests {
                 c.get(),
                 "{comb:?} PRF accounting differs"
             );
+        }
+    }
+
+    /// Every available lane backend must produce the scalar-backend match
+    /// set and PRF count through the full batch pipeline, for both
+    /// combiners — the end-to-end form of the per-component equivalence
+    /// pinned in `bloom_kw`.
+    #[test]
+    fn batch_path_identical_across_backends() {
+        let enc = test_encryptor();
+        let docs = corpus(&enc, 300, 169);
+        let qc = QueryCompiler::new(&enc);
+        for comb in [Combiner::And, Combiner::Or] {
+            let preds = vec![
+                Predicate::Keyword("rare10".into()),
+                Predicate::Keyword("rare20".into()),
+            ];
+            let q = qc.compile(&preds, comb);
+            let run = |backend: Backend| {
+                let mut m = Matcher::new(preds.len(), true).with_backend(backend);
+                assert_eq!(m.backend(), backend);
+                let mut scratch = MatchScratch::new();
+                let mut got = Vec::new();
+                for chunk in docs.chunks(97) {
+                    m.match_batch(&q, chunk, &mut scratch, &mut got);
+                }
+                got.sort_unstable();
+                (got, scratch.prf_calls)
+            };
+            let want = run(Backend::Scalar);
+            for backend in Backend::ALL.into_iter().filter(|b| b.available()) {
+                assert_eq!(run(backend), want, "{comb:?} on {}", backend.name());
+            }
         }
     }
 

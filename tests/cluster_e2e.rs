@@ -4,7 +4,9 @@
 
 use rand::Rng;
 use roar::cluster::frontend::SchedOpts;
-use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody, TransportSpec, WireTrapdoor};
+use roar::cluster::{
+    spawn_cluster, Backend, ClusterConfig, QueryBody, TransportSpec, WireTrapdoor,
+};
 use roar::pps::metadata::{FileMeta, MetaEncryptor};
 use roar::pps::query::{Combiner, Predicate, QueryCompiler};
 use roar::util::det_rng;
@@ -159,6 +161,7 @@ async fn balance_step_keeps_queries_exact() {
         p: 2,
         overhead_s: 0.0,
         transport: TransportSpec::Tcp,
+        backend: Backend::auto(),
     };
     let h = spawn_cluster(cfg).await.unwrap();
     let mut rng = det_rng(2003);
