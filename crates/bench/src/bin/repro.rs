@@ -14,6 +14,9 @@
 //!   repro check_pps_trajectory     CI gate: fail on > 20% regression
 //!                                  between consecutive BENCH_pps.json entries
 //!   repro bench_incast             §4.8.4 incast comparison → BENCH_incast.json
+//!   repro bench_tail               hedged vs unhedged tail latency under a
+//!                                  deterministic straggler → BENCH_tail.json;
+//!                                  exits non-zero if hedged p99 > unhedged
 //!   repro --quick <...>            reduced workloads (smoke/CI)
 //!
 //! Rendered reports are printed and saved under `results/<id>.txt`.
@@ -125,6 +128,35 @@ fn bench_incast(scale: Scale) {
     );
 }
 
+fn bench_tail(scale: Scale) {
+    let b = roar_bench::tail::run(scale);
+    let json = b.to_json();
+    print!("{json}");
+    // the committed artifact is the full-scale run; a quick smoke (CI's
+    // invocation) must not overwrite it
+    let wrote = if scale == Scale::Full {
+        std::fs::write("BENCH_tail.json", &json).expect("write BENCH_tail.json");
+        " -> BENCH_tail.json"
+    } else {
+        " (quick smoke: BENCH_tail.json left untouched)"
+    };
+    let mode = |name: &str| b.modes.iter().find(|m| m.name == name).expect("mode");
+    let (unhedged, hedged) = (mode("unhedged"), mode("hedged"));
+    eprintln!(
+        "bench_tail: p99 hedged {:.1} ms vs unhedged {:.1} ms ({:.1}x), \
+         fan-out overhead {:.1}%{wrote}",
+        hedged.p99_ms,
+        unhedged.p99_ms,
+        b.p99_speedup_hedged,
+        b.fanout_overhead * 100.0
+    );
+    // the CI gate: hedging must never make the tail worse
+    if hedged.p99_ms > unhedged.p99_ms {
+        eprintln!("bench_tail: FAIL — hedged p99 exceeds unhedged p99");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -176,7 +208,8 @@ fn main() {
         println!(
             "\nrun: repro <id> | repro all [--quick] \
              | repro bench_pps [--append N] [--backend scalar|sse2|avx2|auto] \
-             | repro bench_pps_backends | repro check_pps_trajectory | repro bench_incast"
+             | repro bench_pps_backends | repro check_pps_trajectory \
+             | repro bench_incast | repro bench_tail"
         );
         return;
     }
@@ -196,6 +229,10 @@ fn main() {
     }
     if wanted.iter().any(|w| w.as_str() == "bench_incast") {
         bench_incast(scale);
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "bench_tail") {
+        bench_tail(scale);
         ran += 1;
     }
 

@@ -4,7 +4,7 @@
 
 use crate::Scale;
 use rand::Rng;
-use roar_cluster::frontend::SchedOpts;
+use roar_cluster::SchedOpts;
 use roar_cluster::{spawn_cluster, Backend, ClusterConfig, QueryBody, TransportSpec};
 use roar_core::placement::RoarRing;
 use roar_core::ringmap::RingMap;
@@ -67,12 +67,14 @@ fn effect_of_p(title: &str, overhead_s: f64, scale: Scale) -> Report {
             let h = spawn_cluster(cfg).await.expect("cluster");
             let mut rng = det_rng(71 + p as u64);
             let ids: Vec<u64> = (0..d).map(|_| rng.gen()).collect();
-            h.cluster.store_synthetic(&ids).await.expect("store");
+            h.admin.store_synthetic(&ids).await.expect("store");
             let mut delays = Vec::new();
             for _ in 0..scale.pick(8, 4) {
                 let out = h
-                    .cluster
-                    .query(QueryBody::Synthetic, SchedOpts::default())
+                    .client
+                    .query(QueryBody::Synthetic)
+                    .sched(SchedOpts::default())
+                    .run()
                     .await;
                 delays.push(out.wall_s * 1e3);
             }
@@ -236,15 +238,18 @@ pub fn fig7_5(scale: Scale) -> Report {
             .expect("cluster");
         let mut rng = det_rng(75);
         let ids: Vec<u64> = (0..scale.pick(30_000, 10_000)).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.expect("store");
+        h.admin.store_synthetic(&ids).await.expect("store");
         let mut rows = Vec::new();
         for (phase, concurrency) in [("calm", 1usize), ("spike", 6), ("spike", 6), ("calm", 1)] {
             for _ in 0..3 {
                 let mut handles = Vec::new();
                 for _ in 0..concurrency {
-                    let c = h.cluster.clone();
+                    let c = h.client.clone();
                     handles.push(tokio::spawn(async move {
-                        c.query(QueryBody::Synthetic, SchedOpts::default()).await
+                        c.query(QueryBody::Synthetic)
+                            .sched(SchedOpts::default())
+                            .run()
+                            .await
                     }));
                 }
                 let mut delays = Vec::new();
@@ -255,14 +260,14 @@ pub fn fig7_5(scale: Scale) -> Report {
                     harvest = harvest.min(out.harvest);
                 }
                 let mean = roar_util::mean(&delays);
-                let p = h.cluster.p();
+                let p = h.admin.p();
                 let action = if mean > 40.0 && p < n {
                     let np = (p * 2).min(n);
-                    h.cluster.set_p(np).await.expect("repartition");
+                    h.admin.set_p(np).await.expect("repartition");
                     format!("p->{np}")
                 } else if mean < 13.0 && p > 2 {
                     let np = (p / 2).max(2);
-                    h.cluster.set_p(np).await.expect("repartition");
+                    h.admin.set_p(np).await.expect("repartition");
                     format!("p->{np}")
                 } else {
                     "hold".into()
@@ -297,13 +302,17 @@ pub fn fig7_6(scale: Scale) -> Report {
             .expect("cluster");
         let mut rng = det_rng(76);
         let ids: Vec<u64> = (0..scale.pick(20_000, 8_000)).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.expect("store");
+        h.admin.store_synthetic(&ids).await.expect("store");
         let mut rows: Vec<(String, f64, f64, usize)> = Vec::new();
         let measure = |label: &str, h: &roar_cluster::ClusterHandle| {
             let label = label.to_string();
-            let c = h.cluster.clone();
+            let c = h.client.clone();
             async move {
-                let out = c.query(QueryBody::Synthetic, SchedOpts::default()).await;
+                let out = c
+                    .query(QueryBody::Synthetic)
+                    .sched(SchedOpts::default())
+                    .run()
+                    .await;
                 (label, out.wall_s * 1e3, out.harvest, out.subqueries)
             }
         };
@@ -313,7 +322,7 @@ pub fn fig7_6(scale: Scale) -> Report {
         // kill every other node in index order — 20 victims, never a long run
         let victims: Vec<usize> = (0..n).filter(|i| i % 2 == 0).take(20).collect();
         for &v in &victims {
-            h.cluster.kill_node(v).await;
+            h.admin.kill_node(v).await;
         }
         for _ in 0..4 {
             rows.push(measure("after-20-failures", &h).await);
@@ -347,33 +356,34 @@ fn pq_balancing(scale: Scale) -> (Vec<f64>, Vec<f64>) {
         let h = spawn_cluster(cfg).await.expect("cluster");
         let mut rng = det_rng(77);
         let ids: Vec<u64> = (0..scale.pick(24_000, 9_000)).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.expect("store");
+        h.admin.store_synthetic(&ids).await.expect("store");
         // learn speeds first
         for _ in 0..6 {
             let _ = h
-                .cluster
-                .query(QueryBody::Synthetic, SchedOpts::default())
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .run()
                 .await;
         }
         let mut base = Vec::new();
         let mut boosted = Vec::new();
         for _ in 0..scale.pick(12, 6) {
             base.push(
-                h.cluster
-                    .query(QueryBody::Synthetic, SchedOpts::default())
+                h.client
+                    .query(QueryBody::Synthetic)
+                    .sched(SchedOpts::default())
+                    .run()
                     .await
                     .wall_s
                     * 1e3,
             );
             boosted.push(
-                h.cluster
-                    .query(
-                        QueryBody::Synthetic,
-                        SchedOpts {
-                            pq: Some(6),
-                            ..Default::default()
-                        },
-                    )
+                h.client
+                    .query(QueryBody::Synthetic)
+                    .sched(SchedOpts::default())
+                    .pq(6)
+                    .run()
                     .await
                     .wall_s
                     * 1e3,
@@ -507,13 +517,15 @@ pub fn fig7_11(scale: Scale) -> Report {
             .expect("cluster");
         let mut rng = det_rng(711);
         let ids: Vec<u64> = (0..scale.pick(24_000, 8_000)).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.expect("store");
+        h.admin.store_synthetic(&ids).await.expect("store");
         let mut s = (0.0, 0.0, 0.0, 0.0);
         let k = scale.pick(10, 5);
         for _ in 0..k {
             let out = h
-                .cluster
-                .query(QueryBody::Synthetic, SchedOpts::default())
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .run()
                 .await;
             s.0 += out.sched_s * 1e3;
             s.1 += out.exec_s * 1e3;
@@ -659,20 +671,17 @@ pub fn fig7_13(scale: Scale) -> Report {
         let mut rng = det_rng(713);
         let d = scale.pick(20_000, 8_000);
         let ids: Vec<u64> = (0..d).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.expect("store");
+        h.admin.store_synthetic(&ids).await.expect("store");
         for _ in 0..scale.pick(16, 8) {
             let _ = h
-                .cluster
-                .query(
-                    QueryBody::Synthetic,
-                    SchedOpts {
-                        pq: Some(8),
-                        ..Default::default()
-                    },
-                )
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .pq(8)
+                .run()
                 .await;
         }
-        let est = h.cluster.speed_estimates();
+        let est = h.admin.speed_estimates();
         // estimates are in work-fraction/s; scale by d to records/s
         (0..n)
             .map(|i| (i, true_speeds[i], est[i] * d as f64))

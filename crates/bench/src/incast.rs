@@ -25,7 +25,7 @@
 
 use crate::Scale;
 use rand::Rng;
-use roar_cluster::frontend::SchedOpts;
+use roar_cluster::SchedOpts;
 use roar_cluster::{spawn_cluster, ClusterConfig, LossSpec, QueryBody, TransportSpec, UdpConfig};
 use roar_util::{det_rng, percentile};
 use std::time::{Duration, Instant};
@@ -97,15 +97,18 @@ async fn run_mode(
     let h = spawn_cluster(ClusterConfig::uniform(n, 1e7, n).with_transport(spec))
         .await
         .expect("cluster");
-    h.cluster.store_synthetic(ids).await.expect("store");
-    let opts = SchedOpts {
-        pq: Some(n), // full fan-out: all n nodes reply at once
-        ..Default::default()
-    };
+    h.admin.store_synthetic(ids).await.expect("store");
     let mut delays_ms = Vec::with_capacity(queries);
     for q in 0..queries {
         let t0 = Instant::now();
-        let out = h.cluster.query(QueryBody::Synthetic, opts).await;
+        // full fan-out: all n nodes reply at once
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .pq(n)
+            .run()
+            .await;
         assert_eq!(out.harvest, 1.0, "{name}: query {q} lost windows");
         assert_eq!(
             out.scanned,

@@ -13,6 +13,7 @@ pub mod ch6;
 pub mod ch7;
 pub mod incast;
 pub mod pps_bench;
+pub mod tail;
 pub mod trajectory;
 
 use roar_util::Report;

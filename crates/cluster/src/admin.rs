@@ -1,0 +1,464 @@
+//! The control-plane handle: membership, repartitioning, balancing,
+//! backfill and discovery.
+//!
+//! Everything that mutates cluster-wide state — the ring, the committed
+//! partitioning level, node membership, the backend corpus — lives here,
+//! split off from the query path so operators (and operator tooling) get a
+//! typed surface that cannot be confused with per-query knobs. The
+//! [`Admin`] handle shares its [`ClusterCore`] with the
+//! [`QueryClient`](crate::client::QueryClient) it was connected with, so
+//! control actions take effect on the very next query.
+//!
+//! ```no_run
+//! # async fn demo(addrs: &[std::net::SocketAddr]) -> std::io::Result<()> {
+//! use roar_cluster::connect;
+//!
+//! let (client, admin) = connect(addrs, 4, 1.0).await?;
+//! admin.store_synthetic(&[7, 8, 9]).await.expect("store");
+//! admin.set_p(2).await.expect("repartition");         // §4.5, no downtime
+//! let moved = admin.balance_step().await.expect("balance"); // §4.6
+//! println!("p = {}, {} boundaries moved", admin.p(), moved);
+//! # let _ = client; Ok(()) }
+//! ```
+
+use crate::frontend::{ClusterCore, SchedOpts};
+use crate::proto::{Msg, QueryBody, WireRecord};
+use crate::transport::RpcError;
+use roar_core::placement::RoarRing;
+use roar_core::reconfig::Reconfig;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The control plane of one connected cluster. Cheap to clone.
+#[derive(Clone)]
+pub struct Admin {
+    pub(crate) core: Arc<ClusterCore>,
+}
+
+impl Admin {
+    // ---- observability ------------------------------------------------
+
+    /// Number of connected nodes.
+    pub fn n(&self) -> usize {
+        self.core.n()
+    }
+
+    /// The committed partitioning level.
+    pub fn p(&self) -> usize {
+        self.core.p()
+    }
+
+    /// The pq queries must use right now (§4.5 safety rule).
+    pub fn safe_pq(&self) -> usize {
+        self.core.safe_pq()
+    }
+
+    /// Is a repartitioning transition in flight?
+    pub fn reconfig_in_flight(&self) -> bool {
+        self.core.reconfig.lock().in_flight()
+    }
+
+    /// Snapshot of the serving ring.
+    pub fn ring(&self) -> RoarRing {
+        self.core.ring_snapshot()
+    }
+
+    /// EWMA speed estimates per node (work-fraction per second).
+    pub fn speed_estimates(&self) -> Vec<f64> {
+        self.core.speed_estimates()
+    }
+
+    /// Current range fractions (for the load-balancing figures).
+    pub fn range_fractions(&self) -> Vec<(usize, f64)> {
+        self.core.ring.read().map().fractions()
+    }
+
+    /// Is the node believed alive?
+    pub fn node_alive(&self, node: usize) -> bool {
+        self.core.stats.read().is_alive(node)
+    }
+
+    // ---- ingest (backend + replica fan-out) ---------------------------
+
+    /// Store synthetic ids on their replica sets (and remember them in the
+    /// backend).
+    pub async fn store_synthetic(&self, ids: &[u64]) -> Result<(), RpcError> {
+        self.core.backend.append_synthetic(ids);
+        let ring = self.core.ring_snapshot();
+        let mut per_node: HashMap<usize, (Vec<WireRecord>, Vec<u64>)> = HashMap::new();
+        for &id in ids {
+            for node in ring.replicas(id) {
+                per_node.entry(node).or_default().1.push(id);
+            }
+        }
+        self.core.push_store_batches(per_node).await
+    }
+
+    /// Store encrypted PPS records on their replica sets.
+    pub async fn store_records(
+        &self,
+        records: &[roar_pps::EncryptedMetadata],
+    ) -> Result<(), RpcError> {
+        self.core.backend.append_records(records);
+        let ring = self.core.ring_snapshot();
+        let mut per_node: HashMap<usize, (Vec<WireRecord>, Vec<u64>)> = HashMap::new();
+        for r in records {
+            for node in ring.replicas(r.id) {
+                per_node
+                    .entry(node)
+                    .or_default()
+                    .0
+                    .push(WireRecord::from_record(r));
+            }
+        }
+        self.core.push_store_batches(per_node).await
+    }
+
+    /// Tell every node its ring successor so [`Self::store_synthetic_p2p`]
+    /// chains work. Re-push after membership or balancing changes.
+    pub async fn push_successors(&self) -> Result<(), RpcError> {
+        let ring = self.core.ring_snapshot();
+        let entries = ring.map().entries().to_vec();
+        for i in 0..entries.len() {
+            let succ = entries[(i + 1) % entries.len()].node;
+            let addr = self.core.conn(succ).addr().to_string();
+            self.core
+                .conn(entries[i].node)
+                .rpc(Msg::SetSuccessor { addr }, self.core.timeout)
+                .await?;
+        }
+        Ok(())
+    }
+
+    /// Store ids by pushing each object **only to its first replica**; the
+    /// nodes forward along the ring ("push the data item to the first
+    /// server, and then forward it from server to server around the ring",
+    /// §4.1). With rack-contiguous ring order the forwarding hops stay
+    /// intra-rack (§4.9.2). Falls back to direct per-replica pushes for any
+    /// batch whose chain breaks (e.g. a dead node mid-arc), skipping
+    /// unreachable replicas — the survivors keep the arc queryable.
+    pub async fn store_synthetic_p2p(&self, ids: &[u64]) -> Result<(), RpcError> {
+        self.core.backend.append_synthetic(ids);
+        let ring = self.core.ring_snapshot();
+        // batch by (first replica, chain length): one chain per batch
+        let mut batches: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+        for &id in ids {
+            let chain = ring.replicas(id);
+            batches.entry((chain[0], chain.len())).or_default().push(id);
+        }
+        for ((first, chain_len), batch) in batches {
+            let msg = Msg::StoreForward {
+                records: vec![],
+                synthetic_ids: batch.clone(),
+                hops: (chain_len - 1) as u32,
+            };
+            let ok = matches!(
+                self.core.conn(first).rpc(msg, self.core.timeout).await,
+                Ok(Msg::Ok)
+            );
+            if !ok {
+                // chain broke: push directly to every replica we can reach
+                for &id in &batch {
+                    for node in ring.replicas(id) {
+                        let _ = self
+                            .core
+                            .conn(node)
+                            .rpc(
+                                Msg::Store {
+                                    records: vec![],
+                                    synthetic_ids: vec![id],
+                                },
+                                self.core.timeout,
+                            )
+                            .await;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- repartitioning (§4.5) ----------------------------------------
+
+    /// Change the partitioning level following the §4.5 protocol. For
+    /// decreases (more replication) the extra records are pushed from the
+    /// backend and the committed level only changes after every node
+    /// confirms; queries remain correct throughout.
+    pub async fn set_p(&self, new_p: usize) -> Result<(), RpcError> {
+        let old_p = self.p();
+        if new_p == old_p {
+            return Ok(());
+        }
+        let nodes: Vec<usize> = (0..self.n()).collect();
+        if new_p > old_p {
+            // increase p: switch immediately, then tell nodes to shrink
+            self.core
+                .reconfig
+                .lock()
+                .begin(new_p, nodes.iter().copied());
+            self.core.ring.write().set_p(new_p);
+            self.core.push_coverages().await?;
+            return Ok(());
+        }
+        // decrease p: push extended replicas first
+        self.core
+            .reconfig
+            .lock()
+            .begin(new_p, nodes.iter().copied());
+        {
+            // build the post-transition ring to compute new coverage
+            let mut new_ring = self.core.ring_snapshot();
+            new_ring.set_p(new_p);
+            for node in nodes {
+                self.core.push_node_coverage_data(&new_ring, node).await?;
+                self.core.reconfig.lock().confirm(node);
+            }
+        }
+        self.core.ring.write().set_p(new_p);
+        // widen the recorded coverages to the new (longer) arcs — nodes use
+        // them to answer §4.8.3 coverage probes and to refuse under-covered
+        // sub-queries
+        self.core.push_coverages().await?;
+        Ok(())
+    }
+
+    /// Abort an in-flight decrease (§4.5: load spiked again before commit).
+    /// Safe because queries were still using the old, larger pq; a later
+    /// [`Self::set_p`] starts from a clean slate.
+    pub fn abort_repartition(&self) {
+        self.core.reconfig.lock().abort();
+    }
+
+    /// Re-push from the backend whatever each node's coverage now requires
+    /// (nodes dedupe by id on insert).
+    pub async fn backfill(&self) -> Result<(), RpcError> {
+        self.core.backfill().await
+    }
+
+    // ---- balancing (§4.6) ---------------------------------------------
+
+    /// One §4.6 balancing round: move boundaries toward load-proportional
+    /// ranges using current speed estimates, then push new coverages and
+    /// backfill data.
+    pub async fn balance_step(&self) -> Result<usize, RpcError> {
+        let moved = {
+            let stats = self.core.stats.read();
+            let speeds: Vec<f64> = (0..self.n()).map(|i| stats.speed_estimate(i)).collect();
+            drop(stats);
+            let mut ring = self.core.ring.write();
+            let map = ring.map_mut();
+            let snapshot = map.clone();
+            let load = move |n: usize| {
+                let i = snapshot
+                    .entries()
+                    .iter()
+                    .position(|e| e.node == n)
+                    .expect("node on ring");
+                snapshot.fraction_at(i) / speeds[n]
+            };
+            roar_core::balance::balance_step(
+                map,
+                &roar_core::balance::BalanceConfig::default(),
+                &load,
+                &|_| false,
+            )
+        };
+        if moved > 0 {
+            self.core.backfill().await?;
+            self.core.push_coverages().await?;
+        }
+        Ok(moved)
+    }
+
+    // ---- membership (§4.3 / §4.4) -------------------------------------
+
+    /// Kill a node (experiment control): ask it to shut down and mark it
+    /// dead. Queries keep succeeding through the fall-back.
+    pub async fn kill_node(&self, node: usize) {
+        let _ = self
+            .core
+            .conn(node)
+            .rpc(Msg::Shutdown, Duration::from_millis(500))
+            .await;
+        self.core.stats.write().on_timeout(node);
+    }
+
+    /// Add a running data node to the serving ring (§4.3): "a simple
+    /// strategy for inserting nodes is to pick the most heavily loaded node,
+    /// and insert the new node as its neighbour." The new node downloads its
+    /// data from the backend *before* it takes over half the hot node's
+    /// range, so queries never see a window nobody covers. Returns the new
+    /// node's id.
+    pub async fn add_node(&self, addr: SocketAddr) -> Result<usize, RpcError> {
+        let conn = self
+            .core
+            .transport
+            .connect(addr)
+            .await
+            .map_err(|_| RpcError::Disconnected)?;
+        let new_id = {
+            let mut conns = self.core.conns.write();
+            conns.push(conn);
+            conns.len() - 1
+        };
+        {
+            let mut st = self.core.stats.write();
+            let sid = st.add_node();
+            debug_assert_eq!(sid, new_id, "stats and conns must stay index-aligned");
+        }
+        // pick the hottest entry: largest range per unit of estimated speed
+        let new_ring = {
+            let ring = self.core.ring_snapshot();
+            let st = self.core.stats.read();
+            let hot = (0..ring.n())
+                .max_by(|&a, &b| {
+                    let la =
+                        ring.map().fraction_at(a) / st.speed_estimate(ring.map().entries()[a].node);
+                    let lb =
+                        ring.map().fraction_at(b) / st.speed_estimate(ring.map().entries()[b].node);
+                    la.partial_cmp(&lb).expect("loads are not NaN")
+                })
+                .expect("non-empty ring");
+            let mut new_ring = ring.clone();
+            new_ring.map_mut().insert_half(new_id, hot);
+            new_ring
+        };
+        // download phase: push the new node everything its coverage needs
+        self.core.push_node_coverage_data(&new_ring, new_id).await?;
+        // take over: swap the ring, then trim everyone's coverage
+        *self.core.ring.write() = new_ring;
+        self.core.push_coverages().await?;
+        Ok(new_id)
+    }
+
+    /// Controlled removal (§4.4): "a node can be removed from the ring in a
+    /// controlled manner by informing its neighbours that its load is now
+    /// infinite. The two neighbours will grow their ranges into the range of
+    /// the node to be removed by downloading the additional data needed."
+    /// The departing node is shut down only after its neighbours cover its
+    /// range.
+    pub async fn remove_node(&self, node: usize) -> Result<(), RpcError> {
+        let new_ring = {
+            let ring = self.core.ring_snapshot();
+            assert!(
+                ring.map().range_of(node).is_some(),
+                "node {node} not on the ring"
+            );
+            assert!(
+                ring.n() > self.p(),
+                "removing would leave fewer nodes than p"
+            );
+            let mut new_ring = ring.clone();
+            new_ring.map_mut().remove(node);
+            new_ring
+        };
+        // neighbours (and only they) gained range: backfill everyone whose
+        // coverage grew, from the backend
+        for i in 0..new_ring.n() {
+            let nid = new_ring.map().entries()[i].node;
+            self.core.push_node_coverage_data(&new_ring, nid).await?;
+        }
+        *self.core.ring.write() = new_ring;
+        self.core.push_coverages().await?;
+        // now the departing node may go
+        let _ = self
+            .core
+            .conn(node)
+            .rpc(Msg::Shutdown, Duration::from_millis(500))
+            .await;
+        self.core.stats.write().on_timeout(node);
+        Ok(())
+    }
+
+    // ---- §4.8.3: backup front-end p discovery -------------------------
+
+    /// Learn the safe partitioning level from the nodes' coverage windows:
+    /// node i's coverage starts `L` before its range, so the minimum
+    /// observed `L` bounds the largest window (smallest p) every node can
+    /// serve. One control round-trip per node; exact, no wasted queries.
+    pub async fn discover_p(&self) -> Result<usize, RpcError> {
+        let ring = self.core.ring_snapshot();
+        let mut min_l: u128 = 1 << 64; // full ring
+        for i in 0..ring.n() {
+            let entry = ring.map().entries()[i];
+            let (s, _e) = ring.map().range_at(i);
+            match self
+                .core
+                .conn(entry.node)
+                .rpc(Msg::CoverageRequest, self.core.timeout)
+                .await?
+            {
+                Msg::Coverage {
+                    start,
+                    end: _,
+                    has: true,
+                } => {
+                    // coverage = (range_start − L, range_end − 1]
+                    let l = s.wrapping_sub(start) as u128;
+                    min_l = min_l.min(l.max(1));
+                }
+                Msg::Coverage { has: false, .. } => {
+                    // never trimmed: the node holds everything pushed to it
+                }
+                other => {
+                    let _ = other;
+                    return Err(RpcError::Disconnected);
+                }
+            }
+        }
+        // smallest p whose window 1/p fits into every node's L
+        let full: u128 = 1 << 64;
+        let p = (full.div_ceil(min_l) as usize).clamp(1, self.n());
+        *self.core.reconfig.lock() = Reconfig::new(p);
+        self.core.ring.write().set_p(p);
+        Ok(p)
+    }
+
+    /// The thesis's other option: "guess a value of p and use it to split
+    /// queries. If the servers do not have enough replicas they will reply
+    /// saying they haven't matched the whole query. Then, the front-end can
+    /// decrease p and retry." Feasibility is monotone in p (bigger p =
+    /// smaller windows), so we bisect down from the always-safe `p = n`.
+    /// Probes are synthetic and fail safe: a refused probe yields
+    /// harvest < 1, never wrong results.
+    ///
+    /// Unlike coverage refusals — the probing signal — transport-level
+    /// failures make the bisection unsound (a lost window looks like a
+    /// refusal but says nothing about p), so the first RPC error aborts
+    /// with `Err` instead of being silently folded into the guess.
+    pub async fn discover_p_by_probing(&self) -> Result<usize, RpcError> {
+        let n = self.n();
+        let mut lo = 1usize;
+        let mut hi = n; // p = n "will always work"
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            {
+                *self.core.reconfig.lock() = Reconfig::new(mid);
+                self.core.ring.write().set_p(mid);
+            }
+            let out = crate::client::QueryClient {
+                core: Arc::clone(&self.core),
+            }
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
+            .await;
+            if out.lost > 0 {
+                // restore the always-safe level before surfacing the error
+                *self.core.reconfig.lock() = Reconfig::new(n);
+                self.core.ring.write().set_p(n);
+                return Err(out.rpc_error.unwrap_or(RpcError::Timeout));
+            }
+            if out.harvest >= 1.0 {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        *self.core.reconfig.lock() = Reconfig::new(hi);
+        self.core.ring.write().set_p(hi);
+        Ok(hi)
+    }
+}

@@ -1,0 +1,140 @@
+//! The backend store behind the serving ring (§4.1's NFS filer).
+//!
+//! The paper keeps a full copy of the corpus on a backend filesystem; the
+//! front-end reads from it whenever placement changes require data movement
+//! — join downloads (§4.3), neighbour growth after a removal (§4.4), arc
+//! extensions when `p` decreases (§4.5) and backfill after balancing
+//! (§4.6). [`BackendStore`] isolates exactly that read/append contract so
+//! the control plane ([`crate::admin::Admin`]) never names a storage
+//! implementation; [`MemoryBackend`] is the in-process stand-in the harness
+//! and tests run on.
+
+use parking_lot::Mutex;
+use roar_pps::EncryptedMetadata;
+
+/// The durable corpus copy the control plane repartitions from.
+///
+/// Implementations must be cheap to `append_*` (the live update stream goes
+/// through here before fan-out to replicas) and able to produce filtered
+/// snapshots for placement-driven downloads. Filters receive the object id
+/// — placement is always by id, never by payload.
+pub trait BackendStore: Send + Sync + 'static {
+    /// Record synthetic ids (Definition 8 workloads).
+    fn append_synthetic(&self, ids: &[u64]);
+
+    /// Record encrypted PPS metadata records.
+    fn append_records(&self, records: &[EncryptedMetadata]);
+
+    /// Snapshot of every synthetic id matching `keep`.
+    fn synthetic_matching(&self, keep: &mut dyn FnMut(u64) -> bool) -> Vec<u64>;
+
+    /// Snapshot of every record whose id matches `keep`.
+    fn records_matching(&self, keep: &mut dyn FnMut(u64) -> bool) -> Vec<EncryptedMetadata>;
+
+    /// Total objects stored (synthetic + records).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory [`BackendStore`]: two mutex-guarded vectors, the moral
+/// equivalent of the thesis testbed's NFS mount for a single-machine
+/// cluster.
+#[derive(Default)]
+pub struct MemoryBackend {
+    synthetic: Mutex<Vec<u64>>,
+    records: Mutex<Vec<EncryptedMetadata>>,
+}
+
+impl MemoryBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BackendStore for MemoryBackend {
+    fn append_synthetic(&self, ids: &[u64]) {
+        self.synthetic.lock().extend_from_slice(ids);
+    }
+
+    fn append_records(&self, records: &[EncryptedMetadata]) {
+        self.records.lock().extend_from_slice(records);
+    }
+
+    fn synthetic_matching(&self, keep: &mut dyn FnMut(u64) -> bool) -> Vec<u64> {
+        self.synthetic
+            .lock()
+            .iter()
+            .copied()
+            .filter(|&id| keep(id))
+            .collect()
+    }
+
+    fn records_matching(&self, keep: &mut dyn FnMut(u64) -> bool) -> Vec<EncryptedMetadata> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| keep(r.id))
+            .cloned()
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.synthetic.lock().len() + self.records.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_filter_synthetic() {
+        let b = MemoryBackend::new();
+        b.append_synthetic(&[1, 2, 3]);
+        b.append_synthetic(&[10, 20]);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        let odd = b.synthetic_matching(&mut |id| id % 2 == 1);
+        assert_eq!(odd, vec![1, 3]);
+        let all = b.synthetic_matching(&mut |_| true);
+        assert_eq!(all, vec![1, 2, 3, 10, 20]);
+    }
+
+    #[test]
+    fn records_filter_by_id() {
+        use roar_pps::metadata::{FileMeta, MetaEncryptor};
+        let enc = MetaEncryptor::with_points(b"k", vec![1], vec![1]);
+        let mut rng = roar_util::det_rng(9);
+        let b = MemoryBackend::new();
+        let recs: Vec<EncryptedMetadata> = (0..4)
+            .map(|i| {
+                enc.encrypt(
+                    &mut rng,
+                    &FileMeta {
+                        path: format!("/f{i}"),
+                        keywords: vec![format!("w{i}")],
+                        size: i,
+                        mtime: 1,
+                    },
+                )
+            })
+            .collect();
+        b.append_records(&recs);
+        let target = recs[2].id;
+        let got = b.records_matching(&mut |id| id == target);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, target);
+        assert_eq!(b.records_matching(&mut |_| true).len(), 4);
+    }
+
+    #[test]
+    fn empty_backend() {
+        let b = MemoryBackend::new();
+        assert!(b.is_empty());
+        assert!(b.synthetic_matching(&mut |_| true).is_empty());
+        assert!(b.records_matching(&mut |_| true).is_empty());
+    }
+}

@@ -1,26 +1,31 @@
-//! The front-end server (§4.8): scheduling, dispatch, failure detection,
-//! aggregation, and the cluster control plane (membership + reconfiguration).
+//! Front-end internals shared by the typed API handles (§4.8): the
+//! scheduling/dispatch machinery, live server statistics, the membership
+//! and reconfiguration state, and the backend-store handle.
 //!
-//! Per the paper the front-end keeps, for every node: its range (via the
-//! shared [`RoarRing`]), liveness, outstanding queries and an EWMA
-//! processing-speed estimate ([`ServerStats`]). Scheduling is Algorithm 1;
-//! failure handling sets a timer per sub-query and, on expiry, marks the
-//! node dead and re-dispatches the §4.4 window split.
+//! This module is the engine room; the public surface is split by plane:
 //!
-//! All node communication goes through [`NodeLink`] handles built by the
-//! cluster's [`Transport`], so scatter-gather, control calls and live
-//! membership are identical over TCP framing and the §4.8.4 UDP path.
+//! * [`crate::client::QueryClient`] — the data plane: build a query
+//!   ([`crate::client::QueryBuilder`]), stream its per-sub-query partial
+//!   results ([`crate::client::QueryStream`]), optionally hedge stragglers.
+//! * [`crate::admin::Admin`] — the control plane: membership,
+//!   repartitioning, balancing, backfill, discovery.
+//!
+//! Both handles share one [`ClusterCore`], so the control plane's ring and
+//! statistics updates are immediately visible to in-flight queries — the
+//! paper's single front-end process, with the roles separated at the type
+//! level instead of one `pub async fn` pile.
 
+use crate::backend::BackendStore;
 use crate::proto::{Msg, QueryBody, WireRecord};
-use crate::transport::{NodeLink, Transport, TransportSpec};
+use crate::transport::{NodeLink, Transport};
 use parking_lot::{Mutex, RwLock};
 use roar_core::failover;
-use roar_core::placement::{RoarRing, SubQuery};
+use roar_core::placement::{QueryPlan, RoarRing, SubQuery};
 use roar_core::reconfig::Reconfig;
 use roar_core::ringmap::RingMap;
 use roar_core::sched::schedule_sweep;
 use roar_core::stats::ServerStats;
-use roar_dr::sched::FinishEstimator;
+use roar_crypto::sha1::Backend;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,7 +34,14 @@ use std::time::{Duration, Instant};
 
 pub use crate::transport::RpcError;
 
-/// Scheduling options (the §4.8.2 optimisations, toggleable for ablations).
+/// Scheduling options — the §4.8.2 optimisations.
+///
+/// [`SchedOpts::paper`] is what a production front-end runs (and what
+/// [`crate::client::QueryBuilder`] defaults to). The zeroed
+/// [`SchedOpts::default`] disables every optimisation and exists **for
+/// ablations only** (fig6_7's "plain rendezvous" baseline): queries stay
+/// exactly-once but the scheduler neither re-balances window boundaries nor
+/// splits stragglers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchedOpts {
     /// Range-adjustment passes (0 disables).
@@ -41,7 +53,22 @@ pub struct SchedOpts {
     pub pq: Option<usize>,
 }
 
-/// Result of one client query.
+impl SchedOpts {
+    /// The paper defaults: both §4.8.2 optimisations on, with the bounded
+    /// budgets the thesis evaluates (a couple of adjustment sweeps, at most
+    /// two straggler splits per query — more buys little and costs fixed
+    /// per-sub-query overhead).
+    pub fn paper() -> Self {
+        SchedOpts {
+            adjust_sweeps: 2,
+            max_splits: 2,
+            pq: None,
+        }
+    }
+}
+
+/// Aggregated result of one client query (what
+/// [`crate::client::QueryStream::finish`] folds the partial results into).
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
     pub matches: Vec<u64>,
@@ -50,168 +77,140 @@ pub struct QueryOutput {
     pub wall_s: f64,
     /// Scheduling time (Fig 7.11's breakdown).
     pub sched_s: f64,
-    /// Dispatch-to-last-result time.
+    /// Dispatch-to-resolution time.
     pub exec_s: f64,
     /// Max node-reported processing time.
     pub proc_max_s: f64,
-    /// Number of sub-queries actually sent (grows under failures/splits).
+    /// Number of sub-queries dispatched along the primary path (grows under
+    /// failures/splits; hedge re-dispatches are counted in [`Self::hedges`]).
     pub subqueries: usize,
     /// Fraction of windows answered (1.0 = full harvest).
     pub harvest: f64,
+    /// Windows refused by their node (insufficient coverage, §4.8.3).
+    pub refused: usize,
+    /// Windows lost to transport failures after the §4.4 fall-back.
+    pub lost: usize,
+    /// The first transport error observed, when `lost > 0`.
+    pub rpc_error: Option<RpcError>,
+    /// Hedge sub-queries dispatched (the tail-tolerance fan-out overhead).
+    pub hedges: usize,
 }
 
-/// The front-end + control plane for one ROAR cluster.
-pub struct Cluster {
+/// Outcome of one planned sub-query after retries, fall-back and hedging.
+#[derive(Debug, Clone)]
+pub(crate) enum SubOutcome {
+    Done {
+        matches: Vec<u64>,
+        scanned: u64,
+        proc_s: f64,
+        /// Extra sub-queries dispatched by the §4.4 fall-back.
+        extra_subs: usize,
+        /// The node whose reply resolved this window (`None` when the
+        /// fall-back assembled it from several nodes).
+        responder: Option<usize>,
+        /// Resolved by a hedge re-dispatch rather than the primary.
+        hedged: bool,
+    },
+    /// The node answered but refused the window (insufficient coverage).
+    Refused,
+    /// Transport-level loss the fall-back could not repair.
+    Lost(RpcError),
+}
+
+/// Shared front-end state: one per connected cluster, handed out behind an
+/// `Arc` to the [`crate::client::QueryClient`]/[`crate::admin::Admin`]
+/// pair.
+pub struct ClusterCore {
     /// The transport every link was (and future links will be) built from.
-    transport: Arc<dyn Transport>,
-    conns: RwLock<Vec<Arc<dyn NodeLink>>>,
-    ring: RwLock<RoarRing>,
-    stats: RwLock<ServerStats>,
-    reconfig: Mutex<Reconfig>,
-    /// Backend "filesystem" copy of everything stored, for join/repartition
-    /// downloads (the paper's NFS store, §4.1).
-    backend_synthetic: Mutex<Vec<u64>>,
-    backend_records: Mutex<Vec<roar_pps::EncryptedMetadata>>,
-    pub timeout: Duration,
+    pub(crate) transport: Arc<dyn Transport>,
+    pub(crate) conns: RwLock<Vec<Arc<dyn NodeLink>>>,
+    pub(crate) ring: RwLock<RoarRing>,
+    pub(crate) stats: RwLock<ServerStats>,
+    pub(crate) reconfig: Mutex<Reconfig>,
+    /// Backend copy of everything stored, for join/repartition downloads
+    /// (the paper's NFS store, §4.1) — behind the [`BackendStore`] trait.
+    pub(crate) backend: Arc<dyn BackendStore>,
+    pub(crate) timeout: Duration,
     epoch: Instant,
     query_seq: AtomicU64,
 }
 
-impl Cluster {
-    /// Connect to `addrs` (node i ↔ `addrs[i]`) with partitioning level `p`
-    /// and a uniform ring, over TCP (the default transport).
-    pub async fn connect(
-        addrs: &[SocketAddr],
-        p: usize,
-        default_speed: f64,
-    ) -> std::io::Result<Self> {
-        Self::connect_with(addrs, p, default_speed, TransportSpec::Tcp.build()).await
-    }
-
-    /// Connect over an explicit [`Transport`] — the nodes must be serving
-    /// the same transport.
-    pub async fn connect_with(
+impl ClusterCore {
+    pub(crate) async fn connect_with(
         addrs: &[SocketAddr],
         p: usize,
         default_speed: f64,
         transport: Arc<dyn Transport>,
-    ) -> std::io::Result<Self> {
+        backend: Arc<dyn BackendStore>,
+    ) -> std::io::Result<Arc<Self>> {
         let mut conns = Vec::with_capacity(addrs.len());
         for &a in addrs {
             conns.push(transport.connect(a).await?);
         }
         let nodes: Vec<usize> = (0..addrs.len()).collect();
-        Ok(Cluster {
+        Ok(Arc::new(ClusterCore {
             transport,
             conns: RwLock::new(conns),
             ring: RwLock::new(RoarRing::new(RingMap::uniform(&nodes), p)),
             stats: RwLock::new(ServerStats::new(addrs.len(), default_speed, 0.2)),
             reconfig: Mutex::new(Reconfig::new(p)),
-            backend_synthetic: Mutex::new(Vec::new()),
-            backend_records: Mutex::new(Vec::new()),
+            backend,
             timeout: Duration::from_secs(5),
             epoch: Instant::now(),
             query_seq: AtomicU64::new(1),
-        })
+        }))
     }
 
-    pub fn n(&self) -> usize {
+    pub(crate) fn n(&self) -> usize {
         self.conns.read().len()
     }
 
     /// Link handle for node `i` (clones the Arc out of the lock so no
     /// guard is held across awaits).
-    fn conn(&self, i: usize) -> Arc<dyn NodeLink> {
+    pub(crate) fn conn(&self, i: usize) -> Arc<dyn NodeLink> {
         Arc::clone(&self.conns.read()[i])
     }
 
-    pub fn ring(&self) -> RoarRing {
+    pub(crate) fn ring_snapshot(&self) -> RoarRing {
         self.ring.read().clone()
     }
 
-    pub fn p(&self) -> usize {
+    pub(crate) fn p(&self) -> usize {
         self.reconfig.lock().committed_p()
     }
 
     /// The pq the front-end must use right now (§4.5 safety rule).
-    pub fn safe_pq(&self) -> usize {
+    pub(crate) fn safe_pq(&self) -> usize {
         self.reconfig.lock().safe_pq()
     }
 
-    pub fn speed_estimates(&self) -> Vec<f64> {
+    pub(crate) fn speed_estimates(&self) -> Vec<f64> {
         let st = self.stats.read();
         (0..self.n()).map(|i| st.speed_estimate(i)).collect()
     }
 
-    fn now(&self) -> f64 {
+    pub(crate) fn now(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
     }
 
-    /// Store synthetic ids on their replica sets (and remember them in the
-    /// backend).
-    pub async fn store_synthetic(&self, ids: &[u64]) -> Result<(), RpcError> {
-        self.backend_synthetic.lock().extend_from_slice(ids);
-        let ring = self.ring.read().clone();
-        let mut per_node: HashMap<usize, Vec<u64>> = HashMap::new();
-        for &id in ids {
-            for node in ring.replicas(id) {
-                per_node.entry(node).or_default().push(id);
-            }
-        }
-        for (node, batch) in per_node {
-            self.conn(node)
-                .rpc(
-                    Msg::Store {
-                        records: vec![],
-                        synthetic_ids: batch,
-                    },
-                    self.timeout,
-                )
-                .await?;
-        }
-        Ok(())
+    pub(crate) fn alive_snapshot(&self) -> Vec<bool> {
+        let st = self.stats.read();
+        (0..self.n()).map(|i| st.is_alive(i)).collect()
     }
 
-    /// Store encrypted PPS records on their replica sets.
-    pub async fn store_records(
-        &self,
-        records: &[roar_pps::EncryptedMetadata],
-    ) -> Result<(), RpcError> {
-        self.backend_records.lock().extend_from_slice(records);
-        let ring = self.ring.read().clone();
-        let mut per_node: HashMap<usize, Vec<WireRecord>> = HashMap::new();
-        for r in records {
-            for node in ring.replicas(r.id) {
-                per_node
-                    .entry(node)
-                    .or_default()
-                    .push(WireRecord::from_record(r));
-            }
-        }
-        for (node, batch) in per_node {
-            self.conn(node)
-                .rpc(
-                    Msg::Store {
-                        records: batch,
-                        synthetic_ids: vec![],
-                    },
-                    self.timeout,
-                )
-                .await?;
-        }
-        Ok(())
-    }
+    // ---- query planning and dispatch ----------------------------------
 
-    /// Run one query end to end.
-    pub async fn query(&self, body: QueryBody, opts: SchedOpts) -> QueryOutput {
-        let t0 = Instant::now();
+    /// Run Algorithm 1 plus the enabled §4.8.2 optimisations, then route
+    /// around known-dead nodes. Returns the ring snapshot the plan was made
+    /// against and the plan itself; bookkeeping for the dispatch
+    /// (`on_dispatch`) is the caller's to trigger via
+    /// [`Self::note_dispatch`] once it commits to running the plan.
+    pub(crate) fn plan_query(&self, opts: &SchedOpts) -> (RoarRing, QueryPlan) {
         let seed = self
             .query_seq
             .fetch_add(1, Ordering::Relaxed)
             .wrapping_mul(0x9E3779B97F4A7C15);
-
-        // -- schedule (Algorithm 1 over live stats) --
-        let ring = self.ring.read().clone();
+        let ring = self.ring_snapshot();
         let pq = opts
             .pq
             .unwrap_or_else(|| self.safe_pq())
@@ -231,78 +230,34 @@ impl Cluster {
         };
         // route around already-known-dead nodes before dispatch
         {
-            let alive_vec: Vec<bool> = {
-                let st = self.stats.read();
-                (0..self.n()).map(|i| st.alive(i)).collect()
-            };
+            let alive_vec = self.alive_snapshot();
             let alive = move |n: usize| alive_vec[n];
             if let Ok(subs) = failover::reroute_plan(&ring, &plan.subs, &alive) {
                 plan.subs = subs;
             }
         }
-        let sched_s = t0.elapsed().as_secs_f64();
+        (ring, plan)
+    }
 
-        // -- dispatch --
-        let exec_start = Instant::now();
-        {
-            let mut st = self.stats.write();
-            st.set_now(self.now());
-            for sub in &plan.subs {
-                st.on_dispatch(sub.node, sub.work());
-            }
-        }
-        let mut futures = Vec::new();
-        for sub in plan.subs.clone() {
-            futures.push(self.run_subquery(&ring, sub, body.clone(), 0));
-        }
-        let results = futures::join_all(futures).await;
-
-        let mut matches = Vec::new();
-        let mut scanned = 0u64;
-        let mut proc_max = 0.0f64;
-        let mut answered = 0usize;
-        let mut subqueries = plan.subs.len();
-        for r in results {
-            match r {
-                SubOutcome::Done {
-                    matches: m,
-                    scanned: s,
-                    proc_s,
-                    extra_subs,
-                } => {
-                    matches.extend(m);
-                    scanned += s;
-                    proc_max = proc_max.max(proc_s);
-                    answered += 1;
-                    subqueries += extra_subs;
-                }
-                SubOutcome::Lost => {}
-            }
-        }
-        matches.sort_unstable();
-        matches.dedup();
-        let exec_s = exec_start.elapsed().as_secs_f64();
-        QueryOutput {
-            matches,
-            scanned,
-            wall_s: t0.elapsed().as_secs_f64(),
-            sched_s,
-            exec_s,
-            proc_max_s: proc_max,
-            subqueries,
-            harvest: answered as f64 / plan.subs.len().max(1) as f64,
+    /// Record the dispatch of every sub-query of a committed plan.
+    pub(crate) fn note_dispatch(&self, plan: &QueryPlan) {
+        let mut st = self.stats.write();
+        st.set_now(self.now());
+        for sub in &plan.subs {
+            st.on_dispatch(sub.node, sub.work());
         }
     }
 
     /// Execute one sub-query, applying the §4.4 fall-back on timeout or
     /// disconnect: mark dead, split the window across the failed node's
     /// neighbours, recurse (bounded depth).
-    fn run_subquery<'a>(
+    pub(crate) fn run_subquery<'a>(
         &'a self,
         ring: &'a RoarRing,
         sub: SubQuery,
         body: QueryBody,
         depth: usize,
+        crypto: Option<Backend>,
     ) -> std::pin::Pin<Box<dyn std::future::Future<Output = SubOutcome> + Send + 'a>> {
         Box::pin(async move {
             let msg = Msg::SubQuery {
@@ -310,6 +265,7 @@ impl Cluster {
                 window_start: sub.window.start,
                 window_end: sub.window.end,
                 body: body.clone(),
+                backend: crypto,
             };
             let reply = self.conn(sub.node).rpc(msg, self.timeout).await;
             match reply {
@@ -327,27 +283,37 @@ impl Cluster {
                         scanned,
                         proc_s,
                         extra_subs: 0,
+                        responder: Some(sub.node),
+                        hedged: false,
                     }
                 }
-                Ok(other) => {
-                    // node answered but unusable — treat as loss
-                    let _ = other;
-                    SubOutcome::Lost
+                Ok(Msg::Refused { .. }) => {
+                    // the node answered but cannot serve this window —
+                    // §4.8.3's refusal. No fall-back: the data is there, the
+                    // front-end's p is wrong. The node did no work, so clear
+                    // the dispatched estimate (proc 0 leaves the EWMA alone).
+                    let mut st = self.stats.write();
+                    st.set_now(self.now());
+                    st.on_complete(sub.node, sub.work(), 0.0);
+                    SubOutcome::Refused
                 }
-                Err(_) if depth < 4 => {
+                Ok(_) => {
+                    // request-validation error (`Msg::Error`) or protocol
+                    // violation: the node is alive but this request can
+                    // never succeed — not a coverage refusal, and failover
+                    // would just replay it elsewhere
+                    SubOutcome::Lost(RpcError::Disconnected)
+                }
+                Err(err) if depth < 4 => {
                     // failure path: mark dead, split, re-dispatch (§4.4)
                     {
                         let mut st = self.stats.write();
                         st.on_timeout(sub.node);
                     }
                     // snapshot liveness so no lock guard crosses an await
-                    let alive_vec: Vec<bool> = {
-                        let st = self.stats.read();
-                        (0..self.n()).map(|i| st.alive(i)).collect()
-                    };
+                    let alive_vec = self.alive_snapshot();
                     let alive = move |n: usize| alive_vec[n];
-                    let replacement = failover::reroute(ring, &sub, &alive);
-                    match replacement {
+                    match failover::reroute(ring, &sub, &alive) {
                         Ok(subs) => {
                             let n_extra = subs.len();
                             let mut matches = Vec::new();
@@ -355,19 +321,26 @@ impl Cluster {
                             let mut proc = 0.0f64;
                             let mut extra = n_extra.saturating_sub(1);
                             for s in subs {
-                                match self.run_subquery(ring, s, body.clone(), depth + 1).await {
+                                match self
+                                    .run_subquery(ring, s, body.clone(), depth + 1, crypto)
+                                    .await
+                                {
                                     SubOutcome::Done {
                                         matches: m,
                                         scanned: sc,
                                         proc_s,
                                         extra_subs,
+                                        ..
                                     } => {
                                         matches.extend(m);
                                         scanned += sc;
                                         proc = proc.max(proc_s);
                                         extra += extra_subs;
                                     }
-                                    SubOutcome::Lost => return SubOutcome::Lost,
+                                    SubOutcome::Refused => {
+                                        return SubOutcome::Lost(err);
+                                    }
+                                    SubOutcome::Lost(e) => return SubOutcome::Lost(e),
                                 }
                             }
                             SubOutcome::Done {
@@ -375,77 +348,163 @@ impl Cluster {
                                 scanned,
                                 proc_s: proc,
                                 extra_subs: extra,
+                                responder: None,
+                                hedged: false,
                             }
                         }
-                        Err(_) => SubOutcome::Lost,
+                        Err(_) => SubOutcome::Lost(err),
                     }
                 }
-                Err(_) => SubOutcome::Lost,
+                Err(err) => SubOutcome::Lost(err),
             }
         })
     }
 
-    /// Change the partitioning level following the §4.5 protocol. For
-    /// decreases (more replication) the extra records are pushed from the
-    /// backend and the committed level only changes after every node
-    /// confirms; queries remain correct throughout.
-    pub async fn set_p(&self, new_p: usize) -> Result<(), RpcError> {
-        let old_p = self.p();
-        if new_p == old_p {
-            return Ok(());
+    /// Dispatch one hedge for a straggling sub-query (Kraus et al.'s
+    /// tail-tolerant re-dispatch). Prefers a single spare replica whose
+    /// coverage holds the whole window ([`RoarRing::hedge_candidates`]);
+    /// when over-partitioning left no slack, falls back to the §4.4 window
+    /// split around the straggler. Returns `None` when no live spare can
+    /// cover the window (the primary stays the only hope) or the hedge
+    /// itself failed. `hedges_sent` reports fan-out overhead accounting.
+    pub(crate) async fn hedge_subquery(
+        self: &Arc<Self>,
+        ring: &RoarRing,
+        sub: SubQuery,
+        body: QueryBody,
+        crypto: Option<Backend>,
+        hedges_sent: &Arc<std::sync::atomic::AtomicUsize>,
+    ) -> Option<SubOutcome> {
+        let alive_vec = self.alive_snapshot();
+        // single capable spare: whole-window re-dispatch, first reply wins
+        let best = {
+            let st = self.stats.read();
+            ring.hedge_candidates(&sub)
+                .into_iter()
+                .filter(|&c| alive_vec[c])
+                .min_by(|&a, &b| {
+                    use roar_dr::sched::FinishEstimator;
+                    st.estimate(a, sub.work())
+                        .partial_cmp(&st.estimate(b, sub.work()))
+                        .expect("finite estimates")
+                })
+        };
+        if let Some(spare) = best {
+            // whole-window spare: first reply wins
+            let (matches, scanned, proc_s) = self
+                .hedge_dispatch_once(spare, &sub, body, crypto, hedges_sent)
+                .await?;
+            return Some(SubOutcome::Done {
+                matches,
+                scanned,
+                proc_s,
+                extra_subs: 0,
+                responder: Some(spare),
+                hedged: true,
+            });
         }
-        let nodes: Vec<usize> = (0..self.n()).collect();
-        if new_p > old_p {
-            // increase p: switch immediately, then tell nodes to shrink
-            self.reconfig.lock().begin(new_p, nodes.iter().copied());
-            self.ring.write().set_p(new_p);
-            self.push_coverages().await?;
-            return Ok(());
-        }
-        // decrease p: push extended replicas first
-        self.reconfig.lock().begin(new_p, nodes.iter().copied());
-        {
-            // build the post-transition ring to compute new coverage
-            let mut new_ring = self.ring.read().clone();
-            new_ring.set_p(new_p);
-            let synthetic = self.backend_synthetic.lock().clone();
-            let records = self.backend_records.lock().clone();
-            for node in nodes {
-                let mut ids = Vec::new();
-                for &id in &synthetic {
-                    if new_ring.stores(node, id) {
-                        ids.push(id);
-                    }
+        // no whole-window spare: hedge via the §4.4 split, pretending the
+        // straggler is dead (without actually marking it — it may yet answer).
+        // The pieces go out concurrently — a hedge that serialized k RTTs
+        // could arrive after the straggler it is meant to beat.
+        let alive = move |n: usize| alive_vec[n] && n != sub.node;
+        let pieces = failover::reroute(ring, &sub, &alive).ok()?;
+        let tasks: Vec<_> = pieces
+            .into_iter()
+            .map(|piece| {
+                let this = Arc::clone(self);
+                let body = body.clone();
+                let hedges_sent = Arc::clone(hedges_sent);
+                tokio::spawn(async move {
+                    this.hedge_dispatch_once(piece.node, &piece, body, crypto, &hedges_sent)
+                        .await
+                })
+            })
+            .collect();
+        let mut matches = Vec::new();
+        let mut scanned = 0u64;
+        let mut proc = 0.0f64;
+        let mut all_ok = true;
+        for task in tasks {
+            // always drain every piece (no cancellation mid-RPC) before
+            // reporting failure
+            match task.await.ok().flatten() {
+                Some((m, sc, proc_s)) => {
+                    matches.extend(m);
+                    scanned += sc;
+                    proc = proc.max(proc_s);
                 }
-                let recs: Vec<WireRecord> = records
-                    .iter()
-                    .filter(|r| new_ring.stores(node, r.id))
-                    .map(WireRecord::from_record)
-                    .collect();
-                self.conn(node)
-                    .rpc(
-                        Msg::Store {
-                            records: recs,
-                            synthetic_ids: ids,
-                        },
-                        self.timeout,
-                    )
-                    .await?;
-                self.reconfig.lock().confirm(node);
+                None => all_ok = false,
             }
         }
-        self.ring.write().set_p(new_p);
-        // widen the recorded coverages to the new (longer) arcs — nodes use
-        // them to answer §4.8.3 coverage probes and to refuse under-covered
-        // sub-queries
-        self.push_coverages().await?;
-        Ok(())
+        if !all_ok {
+            return None;
+        }
+        Some(SubOutcome::Done {
+            matches,
+            scanned,
+            proc_s: proc,
+            extra_subs: 0,
+            responder: None,
+            hedged: true,
+        })
     }
+
+    /// One one-shot hedge dispatch of `sub`'s window to `node`: counted as
+    /// hedge fan-out at send time (never for pieces that were planned but
+    /// not sent), completion recorded in the stats on success. `None` on
+    /// failure or refusal — hedges never recurse into the fall-back.
+    async fn hedge_dispatch_once(
+        &self,
+        node: usize,
+        sub: &SubQuery,
+        body: QueryBody,
+        crypto: Option<Backend>,
+        hedges_sent: &std::sync::atomic::AtomicUsize,
+    ) -> Option<(Vec<u64>, u64, f64)> {
+        let msg = Msg::SubQuery {
+            query_id: sub.point,
+            window_start: sub.window.start,
+            window_end: sub.window.end,
+            body,
+            backend: crypto,
+        };
+        hedges_sent.fetch_add(1, Ordering::Relaxed);
+        // keep the stats books balanced: charge the dispatch so the
+        // completion's decrement cannot eat some other query's outstanding
+        // work, and clear it ourselves if no completion will ever come
+        {
+            let mut st = self.stats.write();
+            st.set_now(self.now());
+            st.on_dispatch(node, sub.work());
+        }
+        match self.conn(node).rpc(msg, self.timeout).await {
+            Ok(Msg::SubQueryResult {
+                matches,
+                scanned,
+                proc_s,
+                ..
+            }) => {
+                let mut st = self.stats.write();
+                st.set_now(self.now());
+                st.on_complete(node, sub.work(), proc_s);
+                Some((matches, scanned, proc_s))
+            }
+            _ => {
+                let mut st = self.stats.write();
+                st.set_now(self.now());
+                st.on_complete(node, sub.work(), 0.0);
+                None
+            }
+        }
+    }
+
+    // ---- control-plane helpers (used by `Admin`) ----------------------
 
     /// Push each node its current coverage window (dropping anything
     /// outside).
-    async fn push_coverages(&self) -> Result<(), RpcError> {
-        let ring = self.ring.read().clone();
+    pub(crate) async fn push_coverages(&self) -> Result<(), RpcError> {
+        let ring = self.ring_snapshot();
         for i in 0..ring.n() {
             let entry = ring.map().entries()[i];
             let (s, e) = ring.map().range_at(i);
@@ -464,147 +523,37 @@ impl Cluster {
         Ok(())
     }
 
-    /// Kill a node (experiment control): ask it to shut down and mark it
-    /// dead. Queries keep succeeding through the fall-back.
-    pub async fn kill_node(&self, node: usize) {
-        let _ = self
-            .conn(node)
-            .rpc(Msg::Shutdown, Duration::from_millis(500))
-            .await;
-        self.stats.write().on_timeout(node);
-    }
-
-    /// Is the node believed alive?
-    pub fn node_alive(&self, node: usize) -> bool {
-        self.stats.read().is_alive(node)
-    }
-
-    /// One §4.6 balancing round: move boundaries toward load-proportional
-    /// ranges using current speed estimates, then push new coverages and
-    /// backfill data.
-    pub async fn balance_step(&self) -> Result<usize, RpcError> {
-        let moved = {
-            let stats = self.stats.read();
-            let speeds: Vec<f64> = (0..self.n()).map(|i| stats.speed_estimate(i)).collect();
-            drop(stats);
-            let mut ring = self.ring.write();
-            let map = ring.map_mut();
-            let snapshot = map.clone();
-            let load = move |n: usize| {
-                let i = snapshot
-                    .entries()
-                    .iter()
-                    .position(|e| e.node == n)
-                    .expect("node on ring");
-                snapshot.fraction_at(i) / speeds[n]
-            };
-            roar_core::balance::balance_step(
-                map,
-                &roar_core::balance::BalanceConfig::default(),
-                &load,
-                &|_| false,
-            )
-        };
-        if moved > 0 {
-            self.backfill().await?;
-            self.push_coverages().await?;
-        }
-        Ok(moved)
-    }
-
     /// Re-push from the backend whatever each node's coverage now requires
     /// (nodes dedupe by id on insert — see MetadataStore semantics).
-    async fn backfill(&self) -> Result<(), RpcError> {
-        let ring = self.ring.read().clone();
-        let synthetic = self.backend_synthetic.lock().clone();
+    pub(crate) async fn backfill(&self) -> Result<(), RpcError> {
+        let ring = self.ring_snapshot();
         for i in 0..ring.n() {
             let node = ring.map().entries()[i].node;
-            let ids: Vec<u64> = synthetic
-                .iter()
-                .copied()
-                .filter(|&id| ring.stores(node, id))
-                .collect();
-            if !ids.is_empty() {
-                // SetCoverage first clears, then Store refills: emulate the
-                // "download the additional data" of §4.3
-                self.conn(node)
-                    .rpc(
-                        Msg::Store {
-                            records: vec![],
-                            synthetic_ids: ids,
-                        },
-                        self.timeout,
-                    )
-                    .await?;
-            }
+            self.push_node_coverage_data(&ring, node).await?;
         }
         Ok(())
     }
 
-    /// Current range fractions (for the load-balancing figures).
-    pub fn range_fractions(&self) -> Vec<(usize, f64)> {
-        self.ring.read().map().fractions()
-    }
-
-    // ---- §4.3 / §4.4: live membership changes -----------------------------
-
-    /// Add a running data node to the serving ring (§4.3): "a simple
-    /// strategy for inserting nodes is to pick the most heavily loaded node,
-    /// and insert the new node as its neighbour." The new node downloads its
-    /// data from the backend *before* it takes over half the hot node's
-    /// range, so queries never see a window nobody covers. Returns the new
-    /// node's id.
-    pub async fn add_node(&self, addr: SocketAddr) -> Result<usize, RpcError> {
-        let conn = self
-            .transport
-            .connect(addr)
-            .await
-            .map_err(|_| RpcError::Disconnected)?;
-        let new_id = {
-            let mut conns = self.conns.write();
-            conns.push(conn);
-            conns.len() - 1
-        };
-        {
-            let mut st = self.stats.write();
-            let sid = st.add_node();
-            debug_assert_eq!(sid, new_id, "stats and conns must stay index-aligned");
+    /// Push `node` everything a given ring says it must store (a no-op rpc
+    /// is skipped when the backend has nothing for it).
+    pub(crate) async fn push_node_coverage_data(
+        &self,
+        ring: &RoarRing,
+        node: usize,
+    ) -> Result<(), RpcError> {
+        let ids = self
+            .backend
+            .synthetic_matching(&mut |id| ring.stores(node, id));
+        let recs: Vec<WireRecord> = self
+            .backend
+            .records_matching(&mut |id| ring.stores(node, id))
+            .iter()
+            .map(WireRecord::from_record)
+            .collect();
+        if ids.is_empty() && recs.is_empty() {
+            return Ok(());
         }
-        // pick the hottest entry: largest range per unit of estimated speed
-        let new_ring = {
-            let ring = self.ring.read().clone();
-            let st = self.stats.read();
-            let hot = (0..ring.n())
-                .max_by(|&a, &b| {
-                    let la =
-                        ring.map().fraction_at(a) / st.speed_estimate(ring.map().entries()[a].node);
-                    let lb =
-                        ring.map().fraction_at(b) / st.speed_estimate(ring.map().entries()[b].node);
-                    la.partial_cmp(&lb).expect("loads are not NaN")
-                })
-                .expect("non-empty ring");
-            let mut new_ring = ring.clone();
-            new_ring.map_mut().insert_half(new_id, hot);
-            new_ring
-        };
-        // download phase: push the new node everything its coverage needs
-        let ids: Vec<u64> = {
-            let backend = self.backend_synthetic.lock();
-            backend
-                .iter()
-                .copied()
-                .filter(|&id| new_ring.stores(new_id, id))
-                .collect()
-        };
-        let recs: Vec<WireRecord> = {
-            let backend = self.backend_records.lock();
-            backend
-                .iter()
-                .filter(|r| new_ring.stores(new_id, r.id))
-                .map(WireRecord::from_record)
-                .collect()
-        };
-        self.conn(new_id)
+        self.conn(node)
             .rpc(
                 Msg::Store {
                     records: recs,
@@ -613,295 +562,32 @@ impl Cluster {
                 self.timeout,
             )
             .await?;
-        // take over: swap the ring, then trim everyone's coverage
-        *self.ring.write() = new_ring;
-        self.push_coverages().await?;
-        Ok(new_id)
-    }
-
-    /// Controlled removal (§4.4): "a node can be removed from the ring in a
-    /// controlled manner by informing its neighbours that its load is now
-    /// infinite. The two neighbours will grow their ranges into the range of
-    /// the node to be removed by downloading the additional data needed."
-    /// The departing node is shut down only after its neighbours cover its
-    /// range.
-    pub async fn remove_node(&self, node: usize) -> Result<(), RpcError> {
-        let new_ring = {
-            let ring = self.ring.read().clone();
-            assert!(
-                ring.map().range_of(node).is_some(),
-                "node {node} not on the ring"
-            );
-            assert!(
-                ring.n() > self.p(),
-                "removing would leave fewer nodes than p"
-            );
-            let mut new_ring = ring.clone();
-            new_ring.map_mut().remove(node);
-            new_ring
-        };
-        // neighbours (and only they) gained range: backfill everyone whose
-        // coverage grew, from the backend
-        let synthetic = self.backend_synthetic.lock().clone();
-        let records = self.backend_records.lock().clone();
-        for i in 0..new_ring.n() {
-            let nid = new_ring.map().entries()[i].node;
-            let ids: Vec<u64> = synthetic
-                .iter()
-                .copied()
-                .filter(|&id| new_ring.stores(nid, id))
-                .collect();
-            let recs: Vec<WireRecord> = records
-                .iter()
-                .filter(|r| new_ring.stores(nid, r.id))
-                .map(WireRecord::from_record)
-                .collect();
-            if !ids.is_empty() || !recs.is_empty() {
-                self.conn(nid)
-                    .rpc(
-                        Msg::Store {
-                            records: recs,
-                            synthetic_ids: ids,
-                        },
-                        self.timeout,
-                    )
-                    .await?;
-            }
-        }
-        *self.ring.write() = new_ring;
-        self.push_coverages().await?;
-        // now the departing node may go
-        let _ = self
-            .conn(node)
-            .rpc(Msg::Shutdown, Duration::from_millis(500))
-            .await;
-        self.stats.write().on_timeout(node);
         Ok(())
     }
 
-    // ---- §4.1 option 1: peer-to-peer store forwarding --------------------
-
-    /// Tell every node its ring successor so [`Self::store_synthetic_p2p`]
-    /// chains work. Re-push after membership or balancing changes.
-    pub async fn push_successors(&self) -> Result<(), RpcError> {
-        let ring = self.ring.read().clone();
-        let entries = ring.map().entries().to_vec();
-        for i in 0..entries.len() {
-            let succ = entries[(i + 1) % entries.len()].node;
-            let addr = self.conn(succ).addr().to_string();
-            self.conn(entries[i].node)
-                .rpc(Msg::SetSuccessor { addr }, self.timeout)
+    /// Per-node replica push used by the store operations.
+    pub(crate) async fn push_store_batches(
+        &self,
+        per_node: HashMap<usize, (Vec<WireRecord>, Vec<u64>)>,
+    ) -> Result<(), RpcError> {
+        for (node, (records, synthetic_ids)) in per_node {
+            self.conn(node)
+                .rpc(
+                    Msg::Store {
+                        records,
+                        synthetic_ids,
+                    },
+                    self.timeout,
+                )
                 .await?;
         }
         Ok(())
     }
-
-    /// Store ids by pushing each object **only to its first replica**; the
-    /// nodes forward along the ring ("push the data item to the first
-    /// server, and then forward it from server to server around the ring",
-    /// §4.1). With rack-contiguous ring order the forwarding hops stay
-    /// intra-rack (§4.9.2). Falls back to direct per-replica pushes for any
-    /// batch whose chain breaks (e.g. a dead node mid-arc), skipping
-    /// unreachable replicas — the survivors keep the arc queryable.
-    pub async fn store_synthetic_p2p(&self, ids: &[u64]) -> Result<(), RpcError> {
-        self.backend_synthetic.lock().extend_from_slice(ids);
-        let ring = self.ring.read().clone();
-        // batch by (first replica, chain length): one chain per batch
-        let mut batches: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
-        for &id in ids {
-            let chain = ring.replicas(id);
-            batches.entry((chain[0], chain.len())).or_default().push(id);
-        }
-        for ((first, chain_len), batch) in batches {
-            let msg = Msg::StoreForward {
-                records: vec![],
-                synthetic_ids: batch.clone(),
-                hops: (chain_len - 1) as u32,
-            };
-            let ok = matches!(self.conn(first).rpc(msg, self.timeout).await, Ok(Msg::Ok));
-            if !ok {
-                // chain broke: push directly to every replica we can reach
-                for &id in &batch {
-                    for node in ring.replicas(id) {
-                        let _ = self
-                            .conn(node)
-                            .rpc(
-                                Msg::Store {
-                                    records: vec![],
-                                    synthetic_ids: vec![id],
-                                },
-                                self.timeout,
-                            )
-                            .await;
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    // ---- §4.8.3: multiple front-end servers -----------------------------
-    //
-    // "It is straightforward to maintain a backup front-end server, pushing
-    // the relatively rare long-term topology changes to both master and
-    // backup servers. … The value of p should be kept updated on the backup,
-    // but this is an optimisation rather than a requirement."
-
-    /// Connect a backup front-end that knows the ring topology but **not**
-    /// the current p. It starts at `p = n`, "which will always work", and
-    /// can then learn the real value via [`Self::discover_p`] (coverage
-    /// probes) or [`Self::discover_p_by_probing`] (guess-and-retry).
-    pub async fn connect_backup(addrs: &[SocketAddr], default_speed: f64) -> std::io::Result<Self> {
-        Self::connect(addrs, addrs.len(), default_speed).await
-    }
-
-    /// [`Self::connect_backup`] over an explicit transport.
-    pub async fn connect_backup_with(
-        addrs: &[SocketAddr],
-        default_speed: f64,
-        transport: Arc<dyn Transport>,
-    ) -> std::io::Result<Self> {
-        Self::connect_with(addrs, addrs.len(), default_speed, transport).await
-    }
-
-    /// Learn the safe partitioning level from the nodes' coverage windows:
-    /// node i's coverage starts `L` before its range, so the minimum
-    /// observed `L` bounds the largest window (smallest p) every node can
-    /// serve. One control round-trip per node; exact, no wasted queries.
-    pub async fn discover_p(&self) -> Result<usize, RpcError> {
-        let ring = self.ring.read().clone();
-        let mut min_l: u128 = 1 << 64; // full ring
-        for i in 0..ring.n() {
-            let entry = ring.map().entries()[i];
-            let (s, _e) = ring.map().range_at(i);
-            match self
-                .conn(entry.node)
-                .rpc(Msg::CoverageRequest, self.timeout)
-                .await?
-            {
-                Msg::Coverage {
-                    start,
-                    end: _,
-                    has: true,
-                } => {
-                    // coverage = (range_start − L, range_end − 1]
-                    let l = s.wrapping_sub(start) as u128;
-                    min_l = min_l.min(l.max(1));
-                }
-                Msg::Coverage { has: false, .. } => {
-                    // never trimmed: the node holds everything pushed to it
-                }
-                other => {
-                    let _ = other;
-                    return Err(RpcError::Disconnected);
-                }
-            }
-        }
-        // smallest p whose window 1/p fits into every node's L
-        let full: u128 = 1 << 64;
-        let p = (full.div_ceil(min_l) as usize).clamp(1, self.n());
-        *self.reconfig.lock() = Reconfig::new(p);
-        self.ring.write().set_p(p);
-        Ok(p)
-    }
-
-    /// The thesis's other option: "guess a value of p and use it to split
-    /// queries. If the servers do not have enough replicas they will reply
-    /// saying they haven't matched the whole query. Then, the front-end can
-    /// decrease p and retry." Feasibility is monotone in p (bigger p =
-    /// smaller windows), so we bisect down from the always-safe `p = n`.
-    /// Probes are synthetic and fail safe: a refused probe yields
-    /// harvest < 1, never wrong results.
-    pub async fn discover_p_by_probing(&self) -> usize {
-        let n = self.n();
-        let mut lo = 1usize;
-        let mut hi = n; // p = n "will always work"
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            {
-                *self.reconfig.lock() = Reconfig::new(mid);
-                self.ring.write().set_p(mid);
-            }
-            let out = self.query(QueryBody::Synthetic, SchedOpts::default()).await;
-            if out.harvest >= 1.0 {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        *self.reconfig.lock() = Reconfig::new(hi);
-        self.ring.write().set_p(hi);
-        hi
-    }
 }
 
-impl Drop for Cluster {
+impl Drop for ClusterCore {
     fn drop(&mut self) {
         // stop any shared client receive loop (UDP) the transport runs
         self.transport.shutdown();
-    }
-}
-
-enum SubOutcome {
-    Done {
-        matches: Vec<u64>,
-        scanned: u64,
-        proc_s: f64,
-        extra_subs: usize,
-    },
-    Lost,
-}
-
-/// Minimal local `join_all` (avoids a futures-util dependency): polls every
-/// pending future on each wake and caches outputs. Fine for the handful of
-/// sub-queries per query.
-mod futures {
-    use std::future::Future;
-    use std::pin::Pin;
-    use std::task::{Context, Poll};
-
-    pub fn join_all<F: Future>(futs: Vec<F>) -> JoinAll<F> {
-        let n = futs.len();
-        JoinAll {
-            futs: futs.into_iter().map(|f| Some(Box::pin(f))).collect(),
-            outs: (0..n).map(|_| None).collect(),
-        }
-    }
-
-    pub struct JoinAll<F: Future> {
-        futs: Vec<Option<Pin<Box<F>>>>,
-        outs: Vec<Option<F::Output>>,
-    }
-
-    impl<F: Future> Unpin for JoinAll<F> {}
-
-    impl<F: Future> Future for JoinAll<F> {
-        type Output = Vec<F::Output>;
-
-        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-            let this = self.get_mut();
-            let mut all_done = true;
-            for i in 0..this.futs.len() {
-                if let Some(fut) = this.futs[i].as_mut() {
-                    match fut.as_mut().poll(cx) {
-                        Poll::Ready(v) => {
-                            this.outs[i] = Some(v);
-                            this.futs[i] = None;
-                        }
-                        Poll::Pending => all_done = false,
-                    }
-                }
-            }
-            if all_done {
-                Poll::Ready(
-                    this.outs
-                        .iter_mut()
-                        .map(|o| o.take().expect("output cached"))
-                        .collect(),
-                )
-            } else {
-                Poll::Pending
-            }
-        }
     }
 }

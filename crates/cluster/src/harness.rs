@@ -8,9 +8,12 @@
 //! ([`ClusterConfig::transport`]): the same harness runs over TCP framing
 //! or the §4.8.4 UDP datagram path, and the tests below run every scenario
 //! under both (see the `per_transport!` macro) — the point of the
-//! [`crate::transport`] trait boundary.
+//! [`crate::transport`] trait boundary. The front-end comes back as the
+//! typed handle pair: [`ClusterHandle::client`] for queries,
+//! [`ClusterHandle::admin`] for control.
 
-use crate::frontend::Cluster;
+use crate::admin::Admin;
+use crate::client::{connect_with, QueryClient};
 use crate::node::{DataNode, NodeConfig};
 use crate::transport::TransportSpec;
 use roar_crypto::sha1::Backend;
@@ -56,10 +59,13 @@ impl ClusterConfig {
     }
 }
 
-/// A running cluster: the front-end plus node handles (for direct
-/// inspection in tests/experiments).
+/// A running cluster: the typed front-end handles plus node handles (for
+/// direct inspection in tests/experiments).
 pub struct ClusterHandle {
-    pub cluster: Arc<Cluster>,
+    /// Data plane: build queries, stream partial results.
+    pub client: QueryClient,
+    /// Control plane: membership, repartitioning, balancing, ingest.
+    pub admin: Admin,
     pub nodes: Vec<Arc<DataNode>>,
     pub addrs: Vec<std::net::SocketAddr>,
     /// The spec every role was built from (backups and late joiners must
@@ -69,8 +75,7 @@ pub struct ClusterHandle {
 
 /// Spawn one extra data node over TCP (for §4.3 live-join experiments);
 /// returns its bound address and handle. It serves but is not yet on any
-/// ring — hand the address to
-/// [`Cluster::add_node`](crate::frontend::Cluster::add_node).
+/// ring — hand the address to [`Admin::add_node`].
 pub async fn spawn_extra_node(
     id: usize,
     speed: f64,
@@ -118,11 +123,11 @@ pub async fn spawn_cluster(cfg: ClusterConfig) -> std::io::Result<ClusterHandle>
         addrs.push(addr);
     }
     let default_speed_work = 1.0; // replaced by EWMA after first completions
-    let cluster = Arc::new(
-        Cluster::connect_with(&addrs, cfg.p, default_speed_work, cfg.transport.build()).await?,
-    );
+    let (client, admin) =
+        connect_with(&addrs, cfg.p, default_speed_work, cfg.transport.build()).await?;
     Ok(ClusterHandle {
-        cluster,
+        client,
+        admin,
         nodes,
         addrs,
         transport: cfg.transport,
@@ -132,9 +137,10 @@ pub async fn spawn_cluster(cfg: ClusterConfig) -> std::io::Result<ClusterHandle>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::{connect_backup_with, connect_with, HedgePolicy, SubStatus};
     use crate::frontend::SchedOpts;
     use crate::proto::QueryBody;
-    use crate::transport::{LossSpec, UdpConfig};
+    use crate::transport::{LossSpec, RpcError, UdpConfig};
     use rand::Rng;
     use roar_util::det_rng;
     use std::time::Duration;
@@ -184,15 +190,41 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(211);
         let ids: Vec<u64> = (0..600).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
+        h.admin.store_synthetic(&ids).await.unwrap();
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.harvest, 1.0);
         // every object scanned exactly once across the sub-queries
         assert_eq!(out.scanned, 600, "exactly-once rendezvous over the wire");
         assert_eq!(out.subqueries, 3);
+        assert_eq!((out.refused, out.lost, out.hedges), (0, 0, 0));
+    }
+
+    async fn paper_sched_defaults_stay_exact(spec: TransportSpec) {
+        // the builder's SchedOpts::paper() defaults (§4.8.2 adjust + split
+        // on) must preserve exactly-once matching even after the EWMA has
+        // learned heterogeneous speeds and splitting kicks in
+        let cfg = ClusterConfig {
+            speeds: vec![8e5, 2e5, 8e5, 2e5, 8e5, 2e5],
+            p: 2,
+            overhead_s: 0.0,
+            transport: spec,
+            backend: Backend::auto(),
+        };
+        let h = spawn_cluster(cfg).await.unwrap();
+        let mut rng = det_rng(230);
+        let ids: Vec<u64> = (0..900).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        for _ in 0..6 {
+            let out = h.client.query(QueryBody::Synthetic).run().await;
+            assert_eq!(out.scanned, 900, "exactly-once under paper sched opts");
+            assert_eq!(out.harvest, 1.0);
+            assert!(out.subqueries >= 2, "splits may only add sub-queries");
+        }
     }
 
     async fn pps_query_end_to_end(spec: TransportSpec) {
@@ -221,7 +253,7 @@ mod tests {
             ));
         }
         let target = records[13].id;
-        h.cluster.store_records(&records).await.unwrap();
+        h.admin.store_records(&records).await.unwrap();
         let q = QueryCompiler::new(&enc)
             .compile(&[Predicate::Keyword("sigcomm".into())], Combiner::And);
         let body = QueryBody::Pps {
@@ -232,9 +264,19 @@ mod tests {
                 .collect(),
             conjunctive: true,
         };
-        let out = h.cluster.query(body, SchedOpts::default()).await;
+        let out = h.client.query(body.clone()).run().await;
         assert_eq!(out.matches, vec![target]);
         assert_eq!(out.scanned, 40);
+        // per-query crypto canary: a pinned scalar sweep returns the same
+        // matches as the node's own auto-detected engine
+        let out2 = h
+            .client
+            .query(body)
+            .crypto_backend(Backend::Scalar)
+            .run()
+            .await;
+        assert_eq!(out2.matches, vec![target]);
+        assert_eq!(out2.scanned, 40);
     }
 
     async fn pq_above_p_still_exact(spec: TransportSpec) {
@@ -243,16 +285,13 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(213);
         let ids: Vec<u64> = (0..500).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
+        h.admin.store_synthetic(&ids).await.unwrap();
         let out = h
-            .cluster
-            .query(
-                QueryBody::Synthetic,
-                SchedOpts {
-                    pq: Some(5),
-                    ..Default::default()
-                },
-            )
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .pq(5)
+            .run()
             .await;
         assert_eq!(out.scanned, 500, "pq>p must not duplicate or miss");
         assert_eq!(out.subqueries, 5);
@@ -264,12 +303,14 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(214);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
+        h.admin.store_synthetic(&ids).await.unwrap();
         // kill one node; r = 4 so data survives
-        h.cluster.kill_node(3).await;
+        h.admin.kill_node(3).await;
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.harvest, 1.0, "fall-back must restore full harvest");
         assert_eq!(out.scanned, 400, "exactly-once under failure");
@@ -281,12 +322,14 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(215);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
-        h.cluster.set_p(3).await.unwrap();
-        assert_eq!(h.cluster.p(), 3);
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.set_p(3).await.unwrap();
+        assert_eq!(h.admin.p(), 3);
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 300, "after increasing p");
     }
@@ -297,15 +340,42 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(216);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
-        h.cluster.set_p(2).await.unwrap();
-        assert_eq!(h.cluster.p(), 2);
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.set_p(2).await.unwrap();
+        assert_eq!(h.admin.p(), 2);
+        assert!(!h.admin.reconfig_in_flight());
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 300, "after decreasing p");
         assert_eq!(out.subqueries, 2);
+    }
+
+    async fn abort_then_repartition_stays_exact(spec: TransportSpec) {
+        // admin-level abort coverage: aborting (even when nothing is in
+        // flight — set_p here is synchronous) must leave the state machine
+        // ready for a fresh decrease, and queries exact throughout
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(231);
+        let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.abort_repartition();
+        assert!(!h.admin.reconfig_in_flight());
+        assert_eq!(h.admin.p(), 3, "abort never moves the committed level");
+        h.admin.set_p(2).await.unwrap();
+        assert_eq!((h.admin.p(), h.admin.safe_pq()), (2, 2));
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
+            .await;
+        assert_eq!(out.scanned, 300, "exact after abort + fresh decrease");
     }
 
     async fn backup_frontend_discovers_p_from_coverage(spec: TransportSpec) {
@@ -316,21 +386,25 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(218);
         let ids: Vec<u64> = (0..600).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
-        h.cluster.set_p(4).await.unwrap(); // pushes coverages
-        let backup = Cluster::connect_backup_with(&h.addrs, 1.0, spec.build())
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.set_p(4).await.unwrap(); // pushes coverages
+        let (bclient, badmin) = connect_backup_with(&h.addrs, 1.0, spec.build())
             .await
             .unwrap();
-        assert_eq!(backup.p(), 12, "backup starts at the always-safe p = n");
+        assert_eq!(badmin.p(), 12, "backup starts at the always-safe p = n");
         // p = n queries work before discovery
-        let out = backup
-            .query(QueryBody::Synthetic, SchedOpts::default())
+        let out = bclient
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 600, "p = n is correct, just inefficient");
-        let p = backup.discover_p().await.unwrap();
+        let p = badmin.discover_p().await.unwrap();
         assert_eq!(p, 4, "discovered the committed p");
-        let out = backup
-            .query(QueryBody::Synthetic, SchedOpts::default())
+        let out = bclient
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!((out.scanned, out.subqueries), (600, 4));
     }
@@ -343,15 +417,20 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(219);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
-        h.cluster.set_p(6).await.unwrap();
-        let backup = Cluster::connect_backup_with(&h.addrs, 1.0, spec.build())
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.set_p(6).await.unwrap();
+        let (bclient, badmin) = connect_backup_with(&h.addrs, 1.0, spec.build())
             .await
             .unwrap();
-        let p = backup.discover_p_by_probing().await;
+        let p = badmin
+            .discover_p_by_probing()
+            .await
+            .expect("live cluster: refusals only, no RPC errors");
         assert_eq!(p, 6, "probing converges on the committed p");
-        let out = backup
-            .query(QueryBody::Synthetic, SchedOpts::default())
+        let out = bclient
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 400);
     }
@@ -364,16 +443,20 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(220);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
-        h.cluster.set_p(4).await.unwrap(); // coverage now 1/4-arcs
-                                           // a stale front-end still believing p = 2
-        let stale = Cluster::connect_with(&h.addrs, 2, 1.0, spec.build())
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.set_p(4).await.unwrap(); // coverage now 1/4-arcs
+                                         // a stale front-end still believing p = 2
+        let (sclient, _sadmin) = connect_with(&h.addrs, 2, 1.0, spec.build())
             .await
             .unwrap();
-        let out = stale
-            .query(QueryBody::Synthetic, SchedOpts::default())
+        let out = sclient
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert!(out.harvest < 1.0, "nodes must refuse the too-wide windows");
+        assert!(out.refused > 0, "refusals must be reported as refusals");
+        assert_eq!(out.lost, 0, "refusal is not transport loss");
     }
 
     async fn failover_windows_respect_coverage(spec: TransportSpec) {
@@ -384,13 +467,15 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(221);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
-        h.cluster.set_p(4).await.unwrap(); // coverage set on every node
-        h.cluster.kill_node(5).await;
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.set_p(4).await.unwrap(); // coverage set on every node
+        h.admin.kill_node(5).await;
         for _ in 0..4 {
             let out = h
-                .cluster
-                .query(QueryBody::Synthetic, SchedOpts::default())
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .run()
                 .await;
             assert_eq!(out.harvest, 1.0, "fall-back must not be refused");
             assert_eq!(out.scanned, 400, "exactly-once under failure + enforcement");
@@ -404,24 +489,26 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(225);
         let ids: Vec<u64> = (0..900).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
+        h.admin.store_synthetic(&ids).await.unwrap();
         let (addr, new_node) = spawn_extra_node_with(6, 1e6, 0.0, &spec, Backend::auto()).await.unwrap();
-        let new_id = h.cluster.add_node(addr).await.unwrap();
+        let new_id = h.admin.add_node(addr).await.unwrap();
         assert_eq!(new_id, 6);
-        assert_eq!(h.cluster.n(), 7);
+        assert_eq!(h.admin.n(), 7);
         assert!(new_node.record_count() > 0, "join must download its arc");
         // queries remain exactly-once over the reshaped ring
         for _ in 0..3 {
             let out = h
-                .cluster
-                .query(QueryBody::Synthetic, SchedOpts::default())
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .run()
                 .await;
             assert_eq!(out.scanned, 900, "exactly-once after join");
             assert_eq!(out.harvest, 1.0);
         }
         // the new node actually serves: its range is half the hot node's
         let frac = h
-            .cluster
+            .admin
             .range_fractions()
             .into_iter()
             .find(|(n, _)| *n == new_id)
@@ -437,13 +524,15 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(226);
         let ids: Vec<u64> = (0..700).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
-        h.cluster.remove_node(2).await.unwrap();
-        assert!(h.cluster.range_fractions().iter().all(|(n, _)| *n != 2));
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.remove_node(2).await.unwrap();
+        assert!(h.admin.range_fractions().iter().all(|(n, _)| *n != 2));
         for _ in 0..3 {
             let out = h
-                .cluster
-                .query(QueryBody::Synthetic, SchedOpts::default())
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .run()
                 .await;
             assert_eq!(out.scanned, 700, "exactly-once after removal");
             assert_eq!(out.harvest, 1.0);
@@ -456,18 +545,22 @@ mod tests {
             .unwrap();
         let mut rng = det_rng(227);
         let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
+        h.admin.store_synthetic(&ids).await.unwrap();
         let (addr, _node) = spawn_extra_node_with(5, 1e6, 0.0, &spec, Backend::auto()).await.unwrap();
-        let id = h.cluster.add_node(addr).await.unwrap();
+        let id = h.admin.add_node(addr).await.unwrap();
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 400);
-        h.cluster.remove_node(id).await.unwrap();
+        h.admin.remove_node(id).await.unwrap();
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 400, "back to the original membership");
     }
@@ -478,19 +571,21 @@ mod tests {
         let h = spawn_cluster(ClusterConfig::uniform(9, 1e6, 3).with_transport(spec))
             .await
             .unwrap();
-        h.cluster.push_successors().await.unwrap();
+        h.admin.push_successors().await.unwrap();
         let mut rng = det_rng(222);
         let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic_p2p(&ids).await.unwrap();
-        let ring = h.cluster.ring();
+        h.admin.store_synthetic_p2p(&ids).await.unwrap();
+        let ring = h.admin.ring();
         for (node, dn) in h.nodes.iter().enumerate() {
             let expected = ids.iter().filter(|&&id| ring.stores(node, id)).count() as u64;
             assert_eq!(dn.record_count(), expected, "node {node} replica count");
         }
         // and queries see every object exactly once
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 300);
     }
@@ -499,16 +594,18 @@ mod tests {
         let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2).with_transport(spec))
             .await
             .unwrap();
-        h.cluster.push_successors().await.unwrap();
+        h.admin.push_successors().await.unwrap();
         // kill a node: every chain through it breaks, the frontend must
         // fall back to direct pushes and the data must stay queryable
-        h.cluster.kill_node(3).await;
+        h.admin.kill_node(3).await;
         let mut rng = det_rng(223);
         let ids: Vec<u64> = (0..200).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic_p2p(&ids).await.unwrap();
+        h.admin.store_synthetic_p2p(&ids).await.unwrap();
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.harvest, 1.0);
         assert_eq!(out.scanned, 200, "fall-back must not lose objects");
@@ -522,10 +619,12 @@ mod tests {
         // no push_successors: chains cannot run, fallback engages
         let mut rng = det_rng(224);
         let ids: Vec<u64> = (0..100).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic_p2p(&ids).await.unwrap();
+        h.admin.store_synthetic_p2p(&ids).await.unwrap();
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(out.scanned, 100, "fallback path stores everything");
     }
@@ -543,25 +642,188 @@ mod tests {
         let h = spawn_cluster(cfg).await.unwrap();
         let mut rng = det_rng(217);
         let ids: Vec<u64> = (0..2000).map(|_| rng.gen()).collect();
-        h.cluster.store_synthetic(&ids).await.unwrap();
+        h.admin.store_synthetic(&ids).await.unwrap();
         for _ in 0..12 {
             let _ = h
-                .cluster
-                .query(
-                    QueryBody::Synthetic,
-                    SchedOpts {
-                        pq: Some(4),
-                        ..Default::default()
-                    },
-                )
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .pq(4)
+                .run()
                 .await;
         }
-        let est = h.cluster.speed_estimates();
+        let est = h.admin.speed_estimates();
         assert!(
             est[0] > est[2] && est[1] > est[3],
             "estimates should rank fast over slow: {est:?}"
         );
     }
 
+    // ---- streaming / deadline / harvest / hedging scenarios ----------
+
+    async fn stream_yields_one_partial_per_window(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(233);
+        let ids: Vec<u64> = (0..600).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        let mut stream = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .stream();
+        assert_eq!(stream.planned(), 3);
+        let mut seen = Vec::new();
+        let mut harvest_was_monotone = true;
+        let mut last_harvest = 0.0;
+        while let Some(partial) = stream.next().await {
+            assert_eq!(partial.status, SubStatus::Done);
+            assert!(!partial.hedged);
+            seen.push(partial.index);
+            harvest_was_monotone &= stream.harvest() >= last_harvest;
+            last_harvest = stream.harvest();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "one partial per planned window");
+        assert!(harvest_was_monotone);
+        let out = stream.finish();
+        assert_eq!(out.scanned, 600);
+        assert_eq!(out.harvest, 1.0);
+    }
+
+    async fn deadline_expiry_returns_partial_harvest(spec: TransportSpec) {
+        // slow fleet: every window takes ~300 ms, deadline is 40 ms — the
+        // stream must resolve at the deadline with harvest < 1 and the
+        // plan's sub-query accounting intact
+        let h = spawn_cluster(ClusterConfig::uniform(4, 1e3, 2).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(234);
+        let ids: Vec<u64> = (0..600).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        let t0 = std::time::Instant::now();
+        let mut stream = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .deadline(Duration::from_millis(40))
+            .stream();
+        while stream.next().await.is_some() {}
+        assert!(stream.deadline_expired(), "the deadline must be the resolver");
+        let out = stream.finish();
+        assert!(
+            t0.elapsed() < Duration::from_millis(280),
+            "resolved long before the ~300 ms stragglers: {:?}",
+            t0.elapsed()
+        );
+        assert!(out.harvest < 1.0, "full harvest cannot arrive in 40 ms");
+        assert_eq!(
+            out.subqueries, 2,
+            "accounting covers the planned fan-out even for unanswered windows"
+        );
+        assert_eq!(out.lost, 0, "a deadline is not a transport loss");
+        assert!(out.scanned < 600);
+    }
+
+    async fn harvest_target_resolves_early(spec: TransportSpec) {
+        // 5 fast nodes + 1 straggler, full fan-out: a client asking for 80%
+        // harvest must get its answer without waiting for the straggler
+        let cfg = ClusterConfig {
+            speeds: vec![1e6, 1e6, 1e6, 1e6, 1e6, 500.0],
+            p: 2,
+            overhead_s: 0.0,
+            transport: spec,
+            backend: Backend::auto(),
+        };
+        let h = spawn_cluster(cfg).await.unwrap();
+        let mut rng = det_rng(235);
+        let ids: Vec<u64> = (0..1200).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        // straggler window ≈ 200 ids / 500 per s = 0.4 s
+        let t0 = std::time::Instant::now();
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .pq(6)
+            .harvest_target(0.8)
+            .run()
+            .await;
+        assert!(out.harvest >= 0.8, "target met: {}", out.harvest);
+        assert!(
+            t0.elapsed() < Duration::from_millis(350),
+            "must not wait for the 0.4 s straggler: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    async fn hedged_query_beats_straggler(spec: TransportSpec) {
+        // one node 2000x slower; hedging re-dispatches its window to a
+        // spare replica and the query stays exactly-once
+        let cfg = ClusterConfig {
+            speeds: vec![500.0, 1e6, 1e6, 1e6, 1e6, 1e6],
+            p: 2,
+            overhead_s: 0.0,
+            transport: spec,
+            backend: Backend::auto(),
+        };
+        let h = spawn_cluster(cfg).await.unwrap();
+        let mut rng = det_rng(236);
+        let ids: Vec<u64> = (0..1200).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        // straggler window ≈ 200 ids / 500 per s = 0.4 s unhedged
+        let t0 = std::time::Instant::now();
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .pq(6)
+            .hedge(HedgePolicy::after(Duration::from_millis(25)))
+            .run()
+            .await;
+        let took = t0.elapsed();
+        assert_eq!(out.harvest, 1.0);
+        assert_eq!(out.scanned, 1200, "exactly-once with hedging");
+        assert!(out.hedges >= 1, "the straggler's window must be hedged");
+        assert!(
+            took < Duration::from_millis(330),
+            "hedge must beat the 0.4 s straggler: {took:?}"
+        );
+    }
+
+    }
+
+    /// The probing discovery must NOT mistake transport loss for a coverage
+    /// refusal: with a dead run longer than the replication arc some
+    /// windows are unrecoverable, and the bisection aborts with `Err`
+    /// instead of silently folding the loss into its guess of p.
+    ///
+    /// UDP-only by construction: over TCP a dead node is either visible at
+    /// connect time (refused connection) or — if the backup connected
+    /// before the kill — its already-open connection keeps being served
+    /// until it drops, so the datagram path is where a silent black hole
+    /// actually happens.
+    #[tokio::test]
+    async fn probing_surfaces_rpc_errors_over_udp() {
+        let spec = udp_spec();
+        let h = spawn_cluster(ClusterConfig::uniform(8, 1e6, 2).with_transport(spec.clone()))
+            .await
+            .unwrap();
+        let mut rng = det_rng(232);
+        let ids: Vec<u64> = (0..200).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        // kill 5 contiguous nodes: any replication arc through them is gone
+        for node in 0..5 {
+            h.admin.kill_node(node).await;
+        }
+        let (_bclient, badmin) = connect_backup_with(&h.addrs, 1.0, spec.build())
+            .await
+            .unwrap();
+        let err = badmin.discover_p_by_probing().await;
+        assert!(
+            matches!(err, Err(RpcError::Timeout) | Err(RpcError::Disconnected)),
+            "dead majority must surface as an RPC error, got {err:?}"
+        );
     }
 }

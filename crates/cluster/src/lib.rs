@@ -4,12 +4,27 @@
 //!
 //! * **data nodes** ([`node`]) own a ring range, store object replicas and
 //!   execute sub-queries against their local store;
-//! * the **front-end** ([`frontend`]) receives client queries, runs the
-//!   Algorithm 1 scheduler over live server statistics, dispatches
-//!   sub-queries with failure timers, applies the §4.4 fall-back and
-//!   aggregates results;
+//! * the **front-end** receives client queries, runs the Algorithm 1
+//!   scheduler over live server statistics, dispatches sub-queries with
+//!   failure timers, applies the §4.4 fall-back and aggregates results;
 //! * the **membership server** logic (range assignment, join/leave, p
-//!   changes) drives both through [`frontend::Cluster`] control calls.
+//!   changes) drives both through control calls.
+//!
+//! The front-end's surface is split by plane — [`connect`] returns both
+//! handles to one shared state:
+//!
+//! * [`client::QueryClient`] — the **data plane**: [`client::QueryBuilder`]
+//!   (deadline, harvest target, `pq`, scheduler options, hedging, crypto
+//!   backend) returning a [`client::QueryStream`] that yields per-sub-query
+//!   partial results as they land and resolves early once the harvest
+//!   target or deadline is hit;
+//! * [`admin::Admin`] — the **control plane**: repartitioning (`set_p`,
+//!   §4.5), membership (`add_node`/`remove_node`/`kill_node`, §4.3–4.4),
+//!   balancing (§4.6), backfill, ingest and the §4.8.3 backup-front-end
+//!   discovery calls;
+//! * [`backend::BackendStore`] — the backend filer (§4.1) the control
+//!   plane repartitions from; [`backend::MemoryBackend`] is the in-process
+//!   implementation.
 //!
 //! Transport is **pluggable** ([`transport`]): every RPC — sub-query
 //! dispatch, store pushes, control calls, forwarding chains — crosses the
@@ -39,13 +54,22 @@
 //!   heterogeneous speeds (how we stand in for the 45-node Hen testbed and
 //!   the EC2 fleet on one machine).
 
+pub mod admin;
+pub mod backend;
+pub mod client;
 pub mod frontend;
 pub mod harness;
 pub mod node;
 pub mod proto;
 pub mod transport;
 
-pub use frontend::{Cluster, QueryOutput};
+pub use admin::Admin;
+pub use backend::{BackendStore, MemoryBackend};
+pub use client::{
+    connect, connect_backup, connect_backup_with, connect_with, connect_with_backend, HedgePolicy,
+    PartialResult, QueryBuilder, QueryClient, QueryStream, SubStatus,
+};
+pub use frontend::{QueryOutput, SchedOpts};
 pub use harness::{spawn_cluster, ClusterConfig, ClusterHandle};
 pub use node::{DataNode, NodeConfig};
 pub use proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireTrapdoor};

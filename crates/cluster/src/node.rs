@@ -188,8 +188,9 @@ impl DataNode {
                 window_start,
                 window_end,
                 body,
+                backend,
             } => {
-                self.execute_subquery(query_id, window_start, window_end, body)
+                self.execute_subquery(query_id, window_start, window_end, body, backend)
                     .await
             }
             other => Msg::Error {
@@ -204,6 +205,7 @@ impl DataNode {
         window_start: u64,
         window_end: u64,
         body: QueryBody,
+        backend_override: Option<Backend>,
     ) -> Msg {
         let window = Window::new(window_start, window_end);
         // §4.8.3: "If the servers do not have enough replicas they will
@@ -214,7 +216,7 @@ impl DataNode {
             let st = self.state.lock();
             if let Some(cov) = st.coverage {
                 if !window.subset_of(&cov) {
-                    return Msg::Error {
+                    return Msg::Refused {
                         what: "insufficient coverage".into(),
                     };
                 }
@@ -297,7 +299,12 @@ impl DataNode {
                         .collect()
                 };
                 let scanned = records.len() as u64;
-                let backend = self.cfg.backend;
+                // per-query canary knob: honour the client's requested lane
+                // engine when this CPU has it, else keep the node's own
+                let backend = match backend_override {
+                    Some(b) if b.available() => b,
+                    _ => self.cfg.backend,
+                };
                 let result = tokio::task::spawn_blocking(move || {
                     let (matches, _prf_calls) =
                         roar_pps::engine::match_corpus_with(&records, &query, backend);
@@ -446,6 +453,7 @@ mod tests {
                 window_start: 10,
                 window_end: 30,
                 body: QueryBody::Synthetic,
+                backend: None,
             },
         )
         .await;
@@ -486,6 +494,7 @@ mod tests {
                 window_start: 0,
                 window_end: 0, // full ring
                 body: QueryBody::Synthetic,
+                backend: None,
             },
         )
         .await;
@@ -539,6 +548,7 @@ mod tests {
                         .collect(),
                     conjunctive: true,
                 },
+                backend: None,
             },
         )
         .await;
@@ -567,6 +577,7 @@ mod tests {
                     trapdoors: vec![huge],
                     conjunctive: true,
                 },
+                backend: None,
             },
         )
         .await;
@@ -622,6 +633,7 @@ mod tests {
                     window_start: 0,
                     window_end: 0,
                     body: QueryBody::Synthetic,
+                    backend: None,
                 },
             },
         )

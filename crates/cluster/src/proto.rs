@@ -1,6 +1,7 @@
 //! Wire protocol: the tagged binary codec, and its TCP framing.
 //!
-//! [`Msg`] is a hand-rolled tagged binary encoding (see [`wire`]) rather
+//! [`Msg`] is a hand-rolled tagged binary encoding (see the `wire`
+//! helpers) rather
 //! than JSON: the metadata-bearing messages (`Store`, `StoreForward`) move
 //! hundreds of ~1 kB encrypted records per call, and a byte-exact codec
 //! keeps that path allocation-light and several times cheaper to
@@ -135,7 +136,31 @@ mod wire {
     }
 }
 
+use roar_crypto::sha1::Backend;
 use wire::Reader;
+
+/// Wire tag for an optional SHA-1 lane backend (0 = node default).
+fn put_backend(out: &mut Vec<u8>, b: &Option<Backend>) {
+    wire::put_u8(
+        out,
+        match b {
+            None => 0,
+            Some(Backend::Scalar) => 1,
+            Some(Backend::Sse2) => 2,
+            Some(Backend::Avx2) => 3,
+        },
+    );
+}
+
+fn get_backend(r: &mut Reader<'_>) -> Option<Option<Backend>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => Some(Some(Backend::Scalar)),
+        2 => Some(Some(Backend::Sse2)),
+        3 => Some(Some(Backend::Avx2)),
+        _ => None,
+    }
+}
 
 /// One keyword trapdoor on the wire (the r PRF images).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -296,12 +321,16 @@ fn get_records(r: &mut Reader<'_>) -> Option<Vec<WireRecord>> {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
     /// Front-end → node: execute a sub-query over `(window_start,
-    /// window_end]` (equal values = full ring).
+    /// window_end]` (equal values = full ring). `backend` optionally pins
+    /// the SHA-1 lane engine for this sub-query (client canary/ablation
+    /// knob); `None` means the node's own configured engine, and a node
+    /// whose CPU lacks the requested engine falls back to its own.
     SubQuery {
         query_id: u64,
         window_start: u64,
         window_end: u64,
         body: QueryBody,
+        backend: Option<roar_crypto::sha1::Backend>,
     },
     /// Node → front-end: results. `proc_s` is node-local processing time —
     /// the speed observation the EWMA estimator feeds on.
@@ -358,8 +387,16 @@ pub enum Msg {
     Shutdown,
     /// Generic acknowledgement.
     Ok,
-    /// The node could not serve the request.
+    /// The node could not serve the request (malformed or unsupported —
+    /// retrying it anywhere is pointless).
     Error {
+        what: String,
+    },
+    /// §4.8.3 coverage refusal: the node is healthy and the request
+    /// well-formed, but the window exceeds the node's coverage — the
+    /// front-end's guess of p is too small and it should re-partition the
+    /// query, not fail it.
+    Refused {
         what: String,
     },
 }
@@ -373,12 +410,14 @@ impl Msg {
                 window_start,
                 window_end,
                 body,
+                backend,
             } => {
                 wire::put_u8(out, 0);
                 wire::put_u64(out, *query_id);
                 wire::put_u64(out, *window_start);
                 wire::put_u64(out, *window_end);
                 body.put(out);
+                put_backend(out, backend);
             }
             Msg::SubQueryResult {
                 query_id,
@@ -439,6 +478,10 @@ impl Msg {
                 wire::put_u8(out, 14);
                 wire::put_str(out, what);
             }
+            Msg::Refused { what } => {
+                wire::put_u8(out, 15);
+                wire::put_str(out, what);
+            }
         }
     }
 
@@ -450,6 +493,7 @@ impl Msg {
                 window_start: r.u64()?,
                 window_end: r.u64()?,
                 body: QueryBody::get(r)?,
+                backend: get_backend(r)?,
             },
             1 => Msg::SubQueryResult {
                 query_id: r.u64()?,
@@ -484,6 +528,7 @@ impl Msg {
             12 => Msg::Shutdown,
             13 => Msg::Ok,
             14 => Msg::Error { what: r.string()? },
+            15 => Msg::Refused { what: r.string()? },
             _ => return None,
         })
     }
@@ -581,6 +626,7 @@ mod tests {
                 window_start: 100,
                 window_end: 200,
                 body: QueryBody::Synthetic,
+                backend: None,
             },
         };
         write_frame(&mut a, &frame).await.unwrap();
@@ -673,6 +719,7 @@ mod tests {
                     }],
                     conjunctive: true,
                 },
+                backend: None,
             },
             Msg::SubQueryResult {
                 query_id: 5,
@@ -712,6 +759,9 @@ mod tests {
             Msg::Ok,
             Msg::Error {
                 what: "nope".into(),
+            },
+            Msg::Refused {
+                what: "insufficient coverage".into(),
             },
         ];
         for msg in msgs {

@@ -28,7 +28,7 @@
 //!   estimates);
 //! * **chunked payloads** — messages larger than one datagram travel as
 //!   numbered fragments ([`UdpConfig::max_datagram`] bytes of the
-//!   [`Msg`](crate::proto::Msg) tagged codec each) and are reassembled on
+//!   [`Msg`] tagged codec each) and are reassembled on
 //!   receipt, so large sub-query results need no TCP side channel;
 //! * **no head-of-line blocking** — each request stands alone; a lost
 //!   datagram delays only its own query.
@@ -679,6 +679,22 @@ impl UdpEndpoint {
         let payload = msg.encode();
         let deadline = Instant::now() + overall;
 
+        // RAII: the waiter slot is reclaimed even if this future is dropped
+        // mid-exchange (a cancelled request must not leak its entry)
+        struct WaiterGuard<'a> {
+            pending: &'a Mutex<HashMap<u64, Waiter>>,
+            id: u64,
+        }
+        impl Drop for WaiterGuard<'_> {
+            fn drop(&mut self) {
+                self.pending.lock().remove(&self.id);
+            }
+        }
+        let _guard = WaiterGuard {
+            pending: &self.pending,
+            id,
+        };
+
         let result = async {
             let mut silent_windows = 0u32;
             let mut ever_heard = false;
@@ -733,9 +749,6 @@ impl UdpEndpoint {
             }
         }
         .await;
-
-        // never leak the waiter slot
-        self.pending.lock().remove(&id);
         result
     }
 
@@ -1127,6 +1140,7 @@ mod tests {
                     window_start: i,
                     window_end: i + 1,
                     body: crate::proto::QueryBody::Synthetic,
+                    backend: None,
                 };
                 let resp = c.request(addr, msg.clone(), OVERALL).await.expect("resp");
                 assert_eq!(resp, msg, "response correlated to the right request");

@@ -54,6 +54,12 @@ impl QueryPlan {
         v.dedup();
         v
     }
+
+    /// Hedge candidates for sub-query `i` of this plan (see
+    /// [`RoarRing::hedge_candidates`]).
+    pub fn hedge_candidates(&self, ring: &RoarRing, i: usize) -> Vec<NodeId> {
+        ring.hedge_candidates(&self.subs[i])
+    }
 }
 
 /// A ROAR ring at a given partitioning level.
@@ -182,6 +188,23 @@ impl RoarRing {
         let g = self.map.fraction_at(i);
         d as f64 / self.p as f64 + d as f64 * g
     }
+
+    /// Hedge candidates for a sub-query: every node **other than** the
+    /// planned executor whose coverage contains the whole window, i.e. the
+    /// replicas a tail-tolerant front-end may re-dispatch the sub-query to
+    /// when the primary straggles. A full-size `1/p` window fits only its
+    /// planned executor's coverage, so at `pq = p` this is usually empty and
+    /// callers fall back to the §4.4 window split; over-partitioned
+    /// (`pq > p`) and split windows leave slack inside each coverage arc and
+    /// have up to `r − 1` spares.
+    pub fn hedge_candidates(&self, sub: &SubQuery) -> Vec<NodeId> {
+        // the §4.8.2 splitter already defines "nodes whose coverage holds
+        // this window"; hedging is that set minus the planned executor
+        crate::split::candidate_executors(self, &sub.window)
+            .into_iter()
+            .filter(|&node| node != sub.node)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +291,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hedge_candidates_are_capable_spares() {
+        // every candidate can execute the window and none is the primary;
+        // over-partitioned windows (1/2p) must actually have spares
+        let r = ring(12, 3); // r = 4
+        let plan = r.plan(99, 6);
+        for (i, sub) in plan.subs.iter().enumerate() {
+            let cands = plan.hedge_candidates(&r, i);
+            assert!(!cands.contains(&sub.node), "primary is not a spare");
+            for &c in &cands {
+                assert!(
+                    r.window_executable_by(&sub.window, c),
+                    "candidate {c} cannot cover {:?}",
+                    sub.window
+                );
+            }
+            assert!(
+                !cands.is_empty(),
+                "a 1/2p window leaves coverage slack: sub {i} has no spare"
+            );
+        }
+    }
+
+    #[test]
+    fn hedge_candidates_grow_with_overpartitioning() {
+        // §4.8.2: smaller windows fit more coverages — hedging gets more
+        // placement choice exactly when pq > p
+        let r = ring(12, 3);
+        let narrow = r.plan(5, 6);
+        let wide = r.plan(5, 3);
+        let min_narrow = (0..narrow.subs.len())
+            .map(|i| narrow.hedge_candidates(&r, i).len())
+            .min()
+            .unwrap();
+        let max_wide = (0..wide.subs.len())
+            .map(|i| wide.hedge_candidates(&r, i).len())
+            .max()
+            .unwrap();
+        assert!(
+            min_narrow >= max_wide,
+            "pq=2p windows should have at least as many spares: {min_narrow} vs {max_wide}"
+        );
+    }
+
+    #[test]
+    fn hedge_candidates_full_ring_window() {
+        // p = 1: every node stores everything, so every other node is a spare
+        let r = ring(5, 1);
+        let plan = r.plan(0, 1);
+        assert_eq!(plan.hedge_candidates(&r, 0).len(), 4);
     }
 
     #[test]

@@ -221,6 +221,33 @@ mod tests {
     }
 
     #[test]
+    fn abort_midflight_then_fresh_begin_commits() {
+        // the §4.5 abort path: a decrease is half-confirmed when load spikes
+        // again; the abort must discard the partial confirmations so a later,
+        // different decrease starts from a clean slate
+        let mut rc = Reconfig::new(10);
+        rc.begin(5, 0..3);
+        assert_eq!(rc.confirm(0), ConfirmOutcome::Waiting);
+        rc.abort();
+        assert!(!rc.in_flight());
+        assert_eq!(
+            rc.committed_p(),
+            10,
+            "abort never moves the committed level"
+        );
+        assert_eq!(rc.safe_pq(), 10);
+        // fresh transition to a different target over a different node set
+        assert_eq!(rc.begin(4, 0..2), 2);
+        assert_eq!(rc.safe_pq(), 10, "queries stay at the old pq until commit");
+        // node 0's earlier confirmation must not leak into this transition
+        assert_eq!(rc.confirm(0), ConfirmOutcome::Waiting);
+        assert_eq!(rc.confirm(1), ConfirmOutcome::Committed(4));
+        assert_eq!(rc.committed_p(), 4);
+        // a stale confirm from the aborted round is harmless after commit
+        assert_eq!(rc.confirm(2), ConfirmOutcome::Committed(4));
+    }
+
+    #[test]
     #[should_panic]
     fn concurrent_transitions_rejected() {
         let mut rc = Reconfig::new(10);

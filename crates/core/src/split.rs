@@ -84,6 +84,12 @@ pub fn split_slowest(
         );
         let new = plan_makespan(plan, est);
         if new >= current {
+            // the split did not move the makespan (another sub-query is the
+            // bottleneck, or the halves landed on the critical node): undo it
+            // — keeping it would pay the fixed per-sub-query overhead for
+            // nothing, which matters when splitting is on by default
+            plan.subs.remove(slow_idx);
+            plan.subs[slow_idx] = slow;
             return current;
         }
         current = new;
@@ -182,10 +188,15 @@ mod tests {
         let before_len = plan.subs.len();
         let before = plan_makespan(&plan, &est);
         let after = split_slowest(&r, &mut plan, &est, 4);
-        // splitting a uniform plan cannot beat the balanced makespan by the
-        // improvement rule... it can still split once (half on two idle
-        // nodes finishes sooner); verify monotone non-worsening only
+        // splitting a uniform plan cannot move the makespan (every sub-query
+        // is the bottleneck), so the non-improving split must be undone —
+        // the plan comes back exactly as planned
         assert!(after <= before + 1e-12);
-        assert!(plan.subs.len() >= before_len);
+        assert_eq!(
+            plan.subs.len(),
+            before_len,
+            "non-improving splits must be reverted"
+        );
+        assert!((plan.total_work() - 1.0).abs() < 1e-9);
     }
 }

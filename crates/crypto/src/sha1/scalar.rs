@@ -1,8 +1,8 @@
 //! The portable 1-lane SHA-1 compression reference.
 //!
-//! [`compress_block`] is the specification transcribed; every SIMD engine
+//! `compress_block` is the specification transcribed; every SIMD engine
 //! in this module tree is pinned bit-identical to it. [`ScalarLanes`] wraps
-//! it in the [`Sha1Lanes`](super::Sha1Lanes) trait so lane-generic callers
+//! it in the [`Sha1Lanes`] trait so lane-generic callers
 //! (the multi-lane HMAC batch paths) can run unchanged on hardware — or in
 //! CI legs — without vector units.
 

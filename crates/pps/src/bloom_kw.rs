@@ -187,7 +187,7 @@ impl PreparedTrapdoor {
     /// change. The one sanctioned divergence is reorder *timing*:
     /// probe-order adaptation happens between sweeps instead of between
     /// records (the order must stay fixed within a component-major pass),
-    /// so once a trapdoor crosses [`REORDER_EVERY`] probes the two paths
+    /// so once a trapdoor crosses `REORDER_EVERY` probes the two paths
     /// may briefly try components in different orders. Match results are
     /// unaffected — reordering never changes what matches — and the
     /// *expected* probe count is unchanged; only which individual probes

@@ -227,7 +227,7 @@ pub mod time {
     use std::time::{Duration, Instant};
 
     /// Future that resolves at a deadline. Cooperates with racing
-    /// combinators by blocking in [`crate::TICK`]-sized slices.
+    /// combinators by blocking in `TICK`-sized slices.
     #[derive(Debug)]
     pub struct Sleep {
         deadline: Instant,

@@ -8,7 +8,6 @@
 //! Run with: `cargo run --release --example elastic_search`
 
 use rand::Rng;
-use roar::cluster::frontend::SchedOpts;
 use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
 use roar::util::det_rng;
 
@@ -18,12 +17,12 @@ async fn main() -> std::io::Result<()> {
     let h = spawn_cluster(ClusterConfig::uniform(n, 300_000.0, 2)).await?;
     let mut rng = det_rng(3);
     let ids: Vec<u64> = (0..30_000).map(|_| rng.gen()).collect();
-    h.cluster.store_synthetic(&ids).await.expect("store");
+    h.admin.store_synthetic(&ids).await.expect("store");
 
     let target_ms = 40.0;
     println!(
         "target delay: {target_ms} ms; starting at p = {}",
-        h.cluster.p()
+        h.admin.p()
     );
     println!(
         "{:>6} {:>4} {:>10} {:>8}",
@@ -37,11 +36,9 @@ async fn main() -> std::io::Result<()> {
             let mut delays = Vec::new();
             let mut handles = Vec::new();
             for _ in 0..concurrency {
-                let c = h.cluster.clone();
+                let c = h.client.clone();
                 handles.push(tokio::spawn(async move {
-                    c.query(QueryBody::Synthetic, SchedOpts::default())
-                        .await
-                        .wall_s
+                    c.query(QueryBody::Synthetic).run().await.wall_s
                 }));
             }
             for t in handles {
@@ -50,14 +47,14 @@ async fn main() -> std::io::Result<()> {
             let mean = roar::util::mean(&delays);
 
             // adapt: the minP rule of §2.3.3 — smallest p meeting the target
-            let p = h.cluster.p();
+            let p = h.admin.p();
             let action = if mean > target_ms && p < n {
                 let new_p = (p * 2).min(n);
-                h.cluster.set_p(new_p).await.expect("repartition up");
+                h.admin.set_p(new_p).await.expect("repartition up");
                 format!("p -> {new_p}")
             } else if mean < target_ms / 3.0 && p > 2 {
                 let new_p = (p / 2).max(2);
-                h.cluster.set_p(new_p).await.expect("repartition down");
+                h.admin.set_p(new_p).await.expect("repartition down");
                 format!("p -> {new_p} (reclaim)")
             } else {
                 "hold".to_string()
@@ -67,7 +64,7 @@ async fn main() -> std::io::Result<()> {
     }
     println!(
         "final state: p = {} — the trade-off followed the load with no restart",
-        h.cluster.p()
+        h.admin.p()
     );
     Ok(())
 }

@@ -8,7 +8,6 @@
 //! Run with: `cargo run --release --example failures`
 
 use rand::Rng;
-use roar::cluster::frontend::SchedOpts;
 use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
 use roar::util::det_rng;
 
@@ -18,7 +17,7 @@ async fn main() -> std::io::Result<()> {
     let h = spawn_cluster(ClusterConfig::uniform(12, 1_000_000.0, 3)).await?;
     let mut rng = det_rng(9);
     let ids: Vec<u64> = (0..10_000).map(|_| rng.gen()).collect();
-    h.cluster.store_synthetic(&ids).await.expect("store");
+    h.admin.store_synthetic(&ids).await.expect("store");
     // use a short failure-detection timeout for the demo
     println!("cluster: n = 12, p = 3, r = 4; {} objects", ids.len());
 
@@ -32,21 +31,15 @@ async fn main() -> std::io::Result<()> {
         );
     };
 
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     report("healthy", &out);
     assert_eq!(out.scanned as usize, ids.len());
 
     // kill two non-adjacent nodes
-    h.cluster.kill_node(2).await;
-    h.cluster.kill_node(7).await;
+    h.admin.kill_node(2).await;
+    h.admin.kill_node(7).await;
     println!("killed nodes 2 and 7");
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     report("after 2 failures", &out);
     assert_eq!(
         out.scanned as usize,
@@ -56,13 +49,10 @@ async fn main() -> std::io::Result<()> {
     assert_eq!(out.harvest, 1.0);
 
     // kill two more — a third of the fleet is now gone
-    h.cluster.kill_node(4).await;
-    h.cluster.kill_node(10).await;
+    h.admin.kill_node(4).await;
+    h.admin.kill_node(10).await;
     println!("killed nodes 4 and 10 (4/12 down)");
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     report("after 4 failures", &out);
     assert_eq!(out.scanned as usize, ids.len(), "still exactly once");
 

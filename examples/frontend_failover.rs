@@ -10,8 +10,7 @@
 //! Run with: `cargo run --release --example frontend_failover`
 
 use rand::Rng;
-use roar::cluster::frontend::{Cluster, SchedOpts};
-use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
+use roar::cluster::{connect_backup, spawn_cluster, ClusterConfig, QueryBody};
 use roar::util::det_rng;
 
 #[tokio::main]
@@ -20,45 +19,42 @@ async fn main() -> std::io::Result<()> {
     let h = spawn_cluster(ClusterConfig::uniform(12, 1_000_000.0, 3)).await?;
     let mut rng = det_rng(21);
     let ids: Vec<u64> = (0..30_000).map(|_| rng.gen()).collect();
-    h.cluster.store_synthetic(&ids).await.expect("store");
-    h.cluster.set_p(4).await.expect("repartition"); // nodes now hold 1/4-arcs
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    h.admin.store_synthetic(&ids).await.expect("store");
+    h.admin.set_p(4).await.expect("repartition"); // nodes now hold 1/4-arcs
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     println!(
         "master:  p = {}, query scanned {} in {:.1} ms",
-        h.cluster.p(),
+        h.admin.p(),
         out.scanned,
         out.wall_s * 1e3
     );
 
     // --- the master "dies"; a backup connects knowing only the topology ---
-    let backup = Cluster::connect_backup(&h.addrs, 1.0).await?;
-    println!("backup:  starts at the always-safe p = {}", backup.p());
-    let out = backup
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    let (bclient, badmin) = connect_backup(&h.addrs, 1.0).await?;
+    println!("backup:  starts at the always-safe p = {}", badmin.p());
+    let out = bclient.query(QueryBody::Synthetic).run().await;
     println!(
         "backup:  p = n query is correct (scanned {}) but pays {} sub-queries",
         out.scanned, out.subqueries
     );
 
     // option 1: one control round over the nodes' coverage windows
-    let p = backup.discover_p().await.expect("coverage probe");
+    let p = badmin.discover_p().await.expect("coverage probe");
     println!("backup:  coverage probe discovered p = {p}");
 
-    // option 2: guess-and-retry — nodes refuse under-covered windows
-    let backup2 = Cluster::connect_backup(&h.addrs, 1.0).await?;
-    let p2 = backup2.discover_p_by_probing().await;
+    // option 2: guess-and-retry — nodes refuse under-covered windows; a
+    // transport error (as opposed to a refusal) would surface as Err
+    let (_bclient2, badmin2) = connect_backup(&h.addrs, 1.0).await?;
+    let p2 = badmin2
+        .discover_p_by_probing()
+        .await
+        .expect("probing bisection");
     println!("backup2: probing (refusal-driven bisection) discovered p = {p2}");
 
-    let out = backup
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    let out = bclient.query(QueryBody::Synthetic).run().await;
     println!(
         "backup:  now p = {}, scanned {} with {} sub-queries in {:.1} ms",
-        backup.p(),
+        badmin.p(),
         out.scanned,
         out.subqueries,
         out.wall_s * 1e3

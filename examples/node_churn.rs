@@ -4,19 +4,15 @@
 //! Run with: `cargo run --release --example node_churn`
 
 use rand::Rng;
-use roar::cluster::frontend::SchedOpts;
 use roar::cluster::harness::spawn_extra_node;
 use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
 use roar::util::det_rng;
 
 async fn check(h: &roar::cluster::ClusterHandle, label: &str, expect: u64) {
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     println!(
         "{label:<28} n={:<2} scanned={:<6} subqueries={:<2} harvest={:.0}% delay={:.1}ms",
-        h.cluster.range_fractions().len(),
+        h.admin.range_fractions().len(),
         out.scanned,
         out.subqueries,
         out.harvest * 100.0,
@@ -31,23 +27,23 @@ async fn main() -> std::io::Result<()> {
     let h = spawn_cluster(ClusterConfig::uniform(8, 1_000_000.0, 4)).await?;
     let mut rng = det_rng(31);
     let ids: Vec<u64> = (0..25_000).map(|_| rng.gen()).collect();
-    h.cluster.store_synthetic(&ids).await.expect("store");
+    h.admin.store_synthetic(&ids).await.expect("store");
     let n_objects = ids.len() as u64;
     check(&h, "baseline (8 nodes, p=4)", n_objects).await;
 
     // -- §4.3: two nodes join at the hottest spots -------------------------
     for id in [8usize, 9] {
         let (addr, _node) = spawn_extra_node(id, 1_000_000.0, 0.0).await?;
-        let got = h.cluster.add_node(addr).await.expect("join");
+        let got = h.admin.add_node(addr).await.expect("join");
         check(&h, &format!("after node {got} joined"), n_objects).await;
     }
 
     // -- §4.4 controlled removal: neighbours absorb the range first --------
-    h.cluster.remove_node(3).await.expect("leave");
+    h.admin.remove_node(3).await.expect("leave");
     check(&h, "after node 3 left (planned)", n_objects).await;
 
     // -- §4.4 crash: the fall-back splits the dead node's sub-queries ------
-    h.cluster.kill_node(5).await;
+    h.admin.kill_node(5).await;
     check(&h, "after node 5 crashed", n_objects).await;
 
     println!(

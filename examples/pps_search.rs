@@ -6,7 +6,6 @@
 //!
 //! Run with: `cargo run --release --example pps_search`
 
-use roar::cluster::frontend::SchedOpts;
 use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody, WireTrapdoor};
 use roar::pps::metadata::{Attr, FileMeta, MetaEncryptor};
 use roar::pps::numeric::Cmp;
@@ -19,8 +18,8 @@ async fn main() -> std::io::Result<()> {
     let h = spawn_cluster(ClusterConfig::uniform(8, 1_000_000.0, 4)).await?;
     println!(
         "untrusted cluster up: {} nodes, p = {}",
-        h.cluster.n(),
-        h.cluster.p()
+        h.client.n(),
+        h.admin.p()
     );
 
     // -- user side: encrypt a small personal corpus -----------------------
@@ -44,7 +43,7 @@ async fn main() -> std::io::Result<()> {
     );
 
     // -- store on the cluster (server sees only random ids + blinded bits)
-    h.cluster.store_records(&records).await.expect("store");
+    h.admin.store_records(&records).await.expect("store");
 
     // -- encrypted query: keyword AND size bound --------------------------
     let query = QueryCompiler::new(&enc).compile(
@@ -66,7 +65,7 @@ async fn main() -> std::io::Result<()> {
             .collect(),
         conjunctive: true,
     };
-    let out = h.cluster.query(body, SchedOpts::default()).await;
+    let out = h.client.query(body).run().await;
     println!(
         "encrypted query over {} records: {} match(es) in {:.1} ms",
         out.scanned,

@@ -4,28 +4,25 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use rand::Rng;
-use roar::cluster::frontend::SchedOpts;
-use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
+use roar::cluster::{spawn_cluster, ClusterConfig, HedgePolicy, QueryBody};
 use roar::util::det_rng;
+use std::time::Duration;
 
 #[tokio::main]
 async fn main() -> std::io::Result<()> {
     // 12 data nodes scanning 1M records/s each, partitioning level p = 4:
     // each query touches 4 nodes, each object is replicated on ~3 (r = n/p).
     let h = spawn_cluster(ClusterConfig::uniform(12, 1_000_000.0, 4)).await?;
-    println!("cluster up: {} nodes, p = {}", h.cluster.n(), h.cluster.p());
+    println!("cluster up: {} nodes, p = {}", h.client.n(), h.admin.p());
 
     // store 20,000 objects (ids double as ring positions)
     let mut rng = det_rng(1);
     let ids: Vec<u64> = (0..20_000).map(|_| rng.gen()).collect();
-    h.cluster.store_synthetic(&ids).await.expect("store");
+    h.admin.store_synthetic(&ids).await.expect("store");
     println!("stored {} objects", ids.len());
 
     // run a query: the front-end picks the fastest of the ~r ring rotations
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     println!(
         "query: {} sub-queries, scanned {} (exactly once), delay {:.1} ms \
          (schedule {:.2} ms + execute {:.1} ms)",
@@ -39,11 +36,8 @@ async fn main() -> std::io::Result<()> {
 
     // latency too high? raise the partitioning level on the fly (§4.5):
     // more servers per query, smaller sub-queries — no restart
-    h.cluster.set_p(8).await.expect("repartition");
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    h.admin.set_p(8).await.expect("repartition");
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     println!(
         "after p → 8: {} sub-queries, delay {:.1} ms",
         out.subqueries,
@@ -51,16 +45,38 @@ async fn main() -> std::io::Result<()> {
     );
 
     // updates quiet and latency fine? drop back down and reclaim throughput
-    h.cluster.set_p(3).await.expect("repartition");
-    let out = h
-        .cluster
-        .query(QueryBody::Synthetic, SchedOpts::default())
-        .await;
+    h.admin.set_p(3).await.expect("repartition");
+    let out = h.client.query(QueryBody::Synthetic).run().await;
     println!(
         "after p → 3: {} sub-queries, delay {:.1} ms",
         out.subqueries,
         out.wall_s * 1e3
     );
     assert_eq!(out.scanned as usize, ids.len(), "still exactly once");
+
+    // the streaming client API: per-sub-query partial results as they
+    // land, a wall-clock deadline, and hedged re-dispatch of stragglers
+    let mut stream = h
+        .client
+        .query(QueryBody::Synthetic)
+        .deadline(Duration::from_millis(15))
+        .hedge(HedgePolicy::after(Duration::from_millis(8)))
+        .stream();
+    while let Some(partial) = stream.next().await {
+        println!(
+            "  partial {}: node {:?}, {} records ({:.0}% harvest so far)",
+            partial.index,
+            partial.responder,
+            partial.scanned,
+            stream.harvest() * 100.0
+        );
+    }
+    let out = stream.finish();
+    println!(
+        "deadline-bounded query: harvest {:.0}% in {:.1} ms ({} hedges)",
+        out.harvest * 100.0,
+        out.wall_s * 1e3,
+        out.hedges
+    );
     Ok(())
 }

@@ -22,17 +22,27 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use roar::cluster::{spawn_cluster, ClusterConfig, QueryBody};
-//! use roar::cluster::frontend::SchedOpts;
+//! use roar::cluster::{spawn_cluster, ClusterConfig, HedgePolicy, QueryBody};
+//! use std::time::Duration;
 //!
 //! #[tokio::main]
 //! async fn main() -> std::io::Result<()> {
 //!     // 12 nodes, partitioning level 4 (so each object has ~3 replicas)
 //!     let h = spawn_cluster(ClusterConfig::uniform(12, 1_000_000.0, 4)).await?;
-//!     h.cluster.store_synthetic(&(0..10_000u64).map(|i| i * 1_234_567).collect::<Vec<_>>())
+//!     h.admin.store_synthetic(&(0..10_000u64).map(|i| i * 1_234_567).collect::<Vec<_>>())
 //!         .await.expect("store");
-//!     let out = h.cluster.query(QueryBody::Synthetic, SchedOpts::default()).await;
+//!     // batch: collect every window
+//!     let out = h.client.query(QueryBody::Synthetic).run().await;
 //!     println!("delay {:.1} ms over {} sub-queries", out.wall_s * 1e3, out.subqueries);
+//!     // streaming: partial results, a deadline, hedged stragglers
+//!     let mut stream = h.client.query(QueryBody::Synthetic)
+//!         .deadline(Duration::from_millis(20))
+//!         .hedge(HedgePolicy::after(Duration::from_millis(8)))
+//!         .stream();
+//!     while let Some(partial) = stream.next().await {
+//!         println!("window {} from node {:?}", partial.index, partial.responder);
+//!     }
+//!     println!("harvest {:.0}%", stream.finish().harvest * 100.0);
 //!     Ok(())
 //! }
 //! ```

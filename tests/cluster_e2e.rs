@@ -1,15 +1,17 @@
 //! End-to-end integration across the whole stack: encrypted search on a
-//! live TCP cluster, through repartitioning and failures — the lifecycle a
-//! production deployment would see.
+//! live cluster through the typed client/admin API — store, query (batch
+//! and streaming), repartition, fail, hedge — the lifecycle a production
+//! deployment would see, on both transports.
 
 use rand::Rng;
-use roar::cluster::frontend::SchedOpts;
 use roar::cluster::{
-    spawn_cluster, Backend, ClusterConfig, QueryBody, TransportSpec, WireTrapdoor,
+    spawn_cluster, Backend, ClusterConfig, HedgePolicy, QueryBody, SchedOpts, SubStatus,
+    TransportSpec, WireTrapdoor,
 };
 use roar::pps::metadata::{FileMeta, MetaEncryptor};
 use roar::pps::query::{Combiner, Predicate, QueryCompiler};
 use roar::util::det_rng;
+use std::time::Duration;
 
 fn pps_body(enc: &MetaEncryptor, word: &str) -> QueryBody {
     let q = QueryCompiler::new(enc).compile(&[Predicate::Keyword(word.into())], Combiner::And);
@@ -49,36 +51,53 @@ async fn full_lifecycle(transport: TransportSpec) {
         ));
     }
     let needle = records[60].id;
-    h.cluster.store_records(&records).await.unwrap();
+    h.admin.store_records(&records).await.unwrap();
 
-    // 2. encrypted query finds exactly the needle
-    let out = h
-        .cluster
-        .query(pps_body(&enc, "needle"), SchedOpts::default())
-        .await;
+    // 2. encrypted query finds exactly the needle (paper sched defaults)
+    let out = h.client.query(pps_body(&enc, "needle")).run().await;
     assert_eq!(out.matches, vec![needle]);
     assert_eq!(out.scanned, 120);
 
+    // 2b. the same query as a stream: one Done partial per window, the
+    // needle in exactly one of them
+    let mut stream = h.client.query(pps_body(&enc, "needle")).stream();
+    let mut needle_hits = 0;
+    let mut windows = 0;
+    while let Some(partial) = stream.next().await {
+        assert_eq!(partial.status, SubStatus::Done);
+        needle_hits += partial.matches.iter().filter(|&&m| m == needle).count();
+        windows += 1;
+    }
+    let out = stream.finish();
+    assert_eq!(needle_hits, 1, "the needle lands in exactly one window");
+    assert!(windows >= 3);
+    assert_eq!(out.harvest, 1.0);
+
     // 3. repartition up and down; correctness must hold at every step
     for new_p in [6usize, 2, 4] {
-        h.cluster.set_p(new_p).await.unwrap();
-        let out = h
-            .cluster
-            .query(pps_body(&enc, "needle"), SchedOpts::default())
-            .await;
+        h.admin.set_p(new_p).await.unwrap();
+        let out = h.client.query(pps_body(&enc, "needle")).run().await;
         assert_eq!(out.matches, vec![needle], "p = {new_p}");
         assert_eq!(out.scanned, 120, "exactly-once at p = {new_p}");
     }
 
     // 4. kill a node (r = 9/4 ≥ 2): the fall-back keeps full harvest
-    h.cluster.kill_node(1).await;
-    let out = h
-        .cluster
-        .query(pps_body(&enc, "needle"), SchedOpts::default())
-        .await;
+    h.admin.kill_node(1).await;
+    let out = h.client.query(pps_body(&enc, "needle")).run().await;
     assert_eq!(out.matches, vec![needle], "after failure");
     assert_eq!(out.scanned, 120, "exactly-once after failure");
     assert_eq!(out.harvest, 1.0);
+
+    // 5. a hedged encrypted query over the degraded cluster stays exact
+    let out = h
+        .client
+        .query(pps_body(&enc, "needle"))
+        .pq(6)
+        .hedge(HedgePolicy::after(Duration::from_millis(150)))
+        .run()
+        .await;
+    assert_eq!(out.matches, vec![needle], "hedged after failure");
+    assert_eq!(out.scanned, 120, "exactly-once hedged");
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
@@ -109,15 +128,12 @@ async fn updates_visible_to_subsequent_queries() {
             mtime: 1_400_000_000,
         },
     );
-    h.cluster
+    h.admin
         .store_records(std::slice::from_ref(&first))
         .await
         .unwrap();
     assert_eq!(
-        h.cluster
-            .query(pps_body(&enc, "alpha"), SchedOpts::default())
-            .await
-            .matches,
+        h.client.query(pps_body(&enc, "alpha")).run().await.matches,
         vec![first.id]
     );
     // late update: a second document arrives
@@ -130,24 +146,18 @@ async fn updates_visible_to_subsequent_queries() {
             mtime: 1_500_000_000,
         },
     );
-    h.cluster
+    h.admin
         .store_records(std::slice::from_ref(&second))
         .await
         .unwrap();
     let mut expect = vec![first.id, second.id];
     expect.sort_unstable();
     assert_eq!(
-        h.cluster
-            .query(pps_body(&enc, "alpha"), SchedOpts::default())
-            .await
-            .matches,
+        h.client.query(pps_body(&enc, "alpha")).run().await.matches,
         expect
     );
     assert_eq!(
-        h.cluster
-            .query(pps_body(&enc, "beta"), SchedOpts::default())
-            .await
-            .matches,
+        h.client.query(pps_body(&enc, "beta")).run().await.matches,
         vec![second.id]
     );
 }
@@ -166,25 +176,24 @@ async fn balance_step_keeps_queries_exact() {
     let h = spawn_cluster(cfg).await.unwrap();
     let mut rng = det_rng(2003);
     let ids: Vec<u64> = (0..800).map(|_| rng.gen()).collect();
-    h.cluster.store_synthetic(&ids).await.unwrap();
+    h.admin.store_synthetic(&ids).await.unwrap();
     // learn speeds, then balance a few rounds
     for _ in 0..6 {
         let _ = h
-            .cluster
-            .query(
-                QueryBody::Synthetic,
-                SchedOpts {
-                    pq: Some(6),
-                    ..Default::default()
-                },
-            )
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .pq(6)
+            .run()
             .await;
     }
     for _ in 0..5 {
-        let _ = h.cluster.balance_step().await.unwrap();
+        let _ = h.admin.balance_step().await.unwrap();
         let out = h
-            .cluster
-            .query(QueryBody::Synthetic, SchedOpts::default())
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
             .await;
         assert_eq!(
             out.scanned as usize,
@@ -193,7 +202,7 @@ async fn balance_step_keeps_queries_exact() {
         );
     }
     // fast nodes should now own more ring than slow ones (on average)
-    let fr = h.cluster.range_fractions();
+    let fr = h.admin.range_fractions();
     let fast: f64 = fr.iter().filter(|(n, _)| n % 2 == 0).map(|&(_, f)| f).sum();
     let slow: f64 = fr.iter().filter(|(n, _)| n % 2 == 1).map(|&(_, f)| f).sum();
     assert!(
