@@ -17,6 +17,12 @@
 //!   repro bench_tail               hedged vs unhedged tail latency under a
 //!                                  deterministic straggler → BENCH_tail.json;
 //!                                  exits non-zero if hedged p99 > unhedged
+//!   repro bench_congestion         fixed-RTO UDP vs ccudp under ramped
+//!                                  cross traffic → BENCH_congestion.json;
+//!                                  exits non-zero if ccudp loses on p99 or
+//!                                  goodput at the top of the ramp
+//!   repro check_bench_schema       CI gate: every committed BENCH_*.json
+//!                                  parses and carries its required fields
 //!   repro --quick <...>            reduced workloads (smoke/CI)
 //!
 //! Rendered reports are printed and saved under `results/<id>.txt`.
@@ -157,6 +163,60 @@ fn bench_tail(scale: Scale) {
     }
 }
 
+fn bench_congestion(scale: Scale) {
+    let b = roar_bench::congestion::run(scale);
+    let json = b.to_json();
+    print!("{json}");
+    // the committed artifact is the full-scale run; a quick smoke (CI's
+    // invocation) must not overwrite it
+    let wrote = if scale == Scale::Full {
+        std::fs::write("BENCH_congestion.json", &json).expect("write BENCH_congestion.json");
+        " -> BENCH_congestion.json"
+    } else {
+        " (quick smoke: BENCH_congestion.json left untouched)"
+    };
+    let fixed = b.top_point("udp_fixed_rto");
+    let cc = b.top_point("ccudp");
+    eprintln!(
+        "bench_congestion: at {:.0}% cross traffic — p99 ccudp {:.1} ms vs fixed-RTO {:.1} ms \
+         ({:.1}x), goodput {:.0} vs {:.0} rec/s ({:.1}x), harvest {:.2} vs {:.2}{wrote}",
+        fixed.cross_frac * 100.0,
+        cc.p99_ms,
+        fixed.p99_ms,
+        b.p99_speedup_ccudp_vs_fixed,
+        cc.goodput_records_per_s,
+        fixed.goodput_records_per_s,
+        b.goodput_ratio_ccudp_vs_fixed,
+        cc.mean_harvest,
+        fixed.mean_harvest,
+    );
+    // the CI gate: congestion control must win where it matters — under
+    // cross traffic, on both the tail and the goodput axis
+    if !b.ccudp_beats_fixed() {
+        eprintln!(
+            "bench_congestion: FAIL — ccudp must beat fixed-RTO p99 and sustain goodput \
+             under cross traffic"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn check_bench_schema() {
+    match roar_bench::schema::check_dir(std::path::Path::new(".")) {
+        Ok(checked) => {
+            eprintln!(
+                "check_bench_schema: {} artifact(s) ok ({})",
+                checked.len(),
+                checked.join(", ")
+            );
+        }
+        Err(e) => {
+            eprintln!("check_bench_schema: FAIL — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -209,7 +269,8 @@ fn main() {
             "\nrun: repro <id> | repro all [--quick] \
              | repro bench_pps [--append N] [--backend scalar|sse2|avx2|auto] \
              | repro bench_pps_backends | repro check_pps_trajectory \
-             | repro bench_incast | repro bench_tail"
+             | repro bench_incast | repro bench_tail | repro bench_congestion \
+             | repro check_bench_schema"
         );
         return;
     }
@@ -233,6 +294,14 @@ fn main() {
     }
     if wanted.iter().any(|w| w.as_str() == "bench_tail") {
         bench_tail(scale);
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "bench_congestion") {
+        bench_congestion(scale);
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "check_bench_schema") {
+        check_bench_schema();
         ran += 1;
     }
 

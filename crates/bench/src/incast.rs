@@ -65,13 +65,17 @@ pub struct BenchIncast {
     pub p99_speedup_udp_vs_tcp: f64,
 }
 
-fn udp_spec(rto: Duration, server_loss: LossSpec) -> TransportSpec {
+fn udp_spec(rto: Duration, jitter: f64, server_loss: LossSpec) -> TransportSpec {
     TransportSpec::Udp {
         cfg: UdpConfig {
             rto,
             // liveness budget: never mistake a min-RTO stall for a dead
             // node (acks reset the counter either way)
             max_attempts: 64,
+            // the app-RTO modes carry the UDP path's real ±20% jitter;
+            // the simulated-TCP mode pins 0 — a kernel's min-RTO timer
+            // does not jitter, and neither may its stand-in
+            jitter,
             ..UdpConfig::default()
         },
         client_loss: LossSpec::None,
@@ -88,10 +92,7 @@ async fn run_mode(
     ids: &[u64],
     queries: usize,
 ) -> ModeResult {
-    let transport = match &spec {
-        TransportSpec::Tcp => "tcp",
-        TransportSpec::Udp { .. } => "udp",
-    };
+    let transport = spec.name();
     // fast nodes: processing is negligible, the measured delay is the
     // fan-in and its recovery
     let h = spawn_cluster(ClusterConfig::uniform(n, 1e7, n).with_transport(spec))
@@ -149,7 +150,7 @@ pub fn run(scale: Scale) -> BenchIncast {
         let modes = vec![
             run_mode(
                 "udp_app_rto",
-                udp_spec(APP_RTO, LossSpec::FirstReplyPerRequest),
+                udp_spec(APP_RTO, 0.2, LossSpec::FirstReplyPerRequest),
                 APP_RTO,
                 true,
                 n,
@@ -159,7 +160,7 @@ pub fn run(scale: Scale) -> BenchIncast {
             .await,
             run_mode(
                 "tcp_min_rto_sim",
-                udp_spec(TCP_MIN_RTO, LossSpec::FirstReplyPerRequest),
+                udp_spec(TCP_MIN_RTO, 0.0, LossSpec::FirstReplyPerRequest),
                 TCP_MIN_RTO,
                 true,
                 n,
@@ -169,7 +170,7 @@ pub fn run(scale: Scale) -> BenchIncast {
             .await,
             run_mode(
                 "udp_no_loss",
-                udp_spec(APP_RTO, LossSpec::None),
+                udp_spec(APP_RTO, 0.2, LossSpec::None),
                 APP_RTO,
                 false,
                 n,

@@ -11,8 +11,10 @@ pub mod ch4;
 pub mod ch5;
 pub mod ch6;
 pub mod ch7;
+pub mod congestion;
 pub mod incast;
 pub mod pps_bench;
+pub mod schema;
 pub mod tail;
 pub mod trajectory;
 

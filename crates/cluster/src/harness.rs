@@ -5,10 +5,11 @@
 //! reconfiguration) is the real networked code path.
 //!
 //! The transport is part of the configuration
-//! ([`ClusterConfig::transport`]): the same harness runs over TCP framing
-//! or the §4.8.4 UDP datagram path, and the tests below run every scenario
-//! under both (see the `per_transport!` macro) — the point of the
-//! [`crate::transport`] trait boundary. The front-end comes back as the
+//! ([`ClusterConfig::transport`]): the same harness runs over TCP framing,
+//! the §4.8.4 UDP datagram path or the congestion-controlled `ccudp`
+//! path, and the tests below run every scenario under all three (see the
+//! `per_transport!` macro) — the point of the [`crate::transport`] trait
+//! boundary. The front-end comes back as the
 //! typed handle pair: [`ClusterHandle::client`] for queries,
 //! [`ClusterHandle::admin`] for control.
 
@@ -140,7 +141,7 @@ mod tests {
     use crate::client::{connect_backup_with, connect_with, HedgePolicy, SubStatus};
     use crate::frontend::SchedOpts;
     use crate::proto::QueryBody;
-    use crate::transport::{LossSpec, RpcError, UdpConfig};
+    use crate::transport::{CcUdpConfig, LossSpec, RpcError, UdpConfig};
     use rand::Rng;
     use roar_util::det_rng;
     use std::time::Duration;
@@ -160,8 +161,30 @@ mod tests {
         }
     }
 
-    /// Run each scenario under both transports: `<name>::tcp` and
-    /// `<name>::udp` — parametrized, not duplicated.
+    /// The congestion-controlled configuration the parametrized suite runs
+    /// under: RTO floor above loopback scheduler jitter, and a dead-peer
+    /// budget kept *tight* — scenarios that kill nodes probe the corpse
+    /// once per store/RPC, so a patient production budget (backed-off
+    /// windows to 200 ms × 12 attempts ≈ 1.9 s per probe) would stretch
+    /// the chain-break scenario to minutes of wall clock. 20 + 40 + 50×6
+    /// ≈ 0.4 s per dead probe keeps the suite fast while still exercising
+    /// the backoff path.
+    fn ccudp_spec() -> TransportSpec {
+        TransportSpec::CcUdp {
+            cfg: CcUdpConfig {
+                min_rto: Duration::from_millis(10),
+                init_rto: Duration::from_millis(20),
+                max_rto: Duration::from_millis(50),
+                max_attempts: 8,
+                ..CcUdpConfig::default()
+            },
+            client_loss: LossSpec::None,
+            server_loss: LossSpec::None,
+        }
+    }
+
+    /// Run each scenario under all three transports: `<name>::tcp`,
+    /// `<name>::udp` and `<name>::ccudp` — parametrized, not duplicated.
     macro_rules! per_transport {
         ($(async fn $name:ident($spec:ident: TransportSpec) $body:block)*) => {$(
             mod $name {
@@ -177,6 +200,11 @@ mod tests {
                 #[tokio::test]
                 async fn udp() {
                     run(udp_spec()).await
+                }
+
+                #[tokio::test]
+                async fn ccudp() {
+                    run(ccudp_spec()).await
                 }
             }
         )*};

@@ -31,7 +31,7 @@
 //! [`transport::Transport`] / [`transport::NodeLink`] /
 //! [`transport::BoundServer`] trait boundary, so the front-end's
 //! scatter-gather, the node's serve loop and the harness never name a
-//! socket type. Two implementations exist, selected by
+//! socket type. Three implementations exist, selected by
 //! [`transport::TransportSpec`] through [`harness::ClusterConfig`]:
 //!
 //! * **TCP** ([`transport::tcp`]) — length-prefixed binary frames
@@ -41,10 +41,18 @@
 //!   the failure detection that matters for §4.4 failover.
 //! * **UDP** ([`transport::udp`]) — the thesis's §4.8.4 prescription for
 //!   TCP incast: application-level acknowledgements, millisecond
-//!   retransmission timers (instead of TCP's 200 ms+ min-RTO), at-most-once
-//!   request execution, and chunked reassembly for replies larger than one
-//!   datagram — with deterministic loss injection so the recovery paths are
-//!   exercised on loopback, where real loss never happens.
+//!   retransmission timers (instead of TCP's 200 ms+ min-RTO, ±jittered so
+//!   incast retries de-synchronize), at-most-once request execution, and
+//!   chunked reassembly for replies larger than one datagram — with
+//!   deterministic loss injection so the recovery paths are exercised on
+//!   loopback, where real loss never happens.
+//! * **ccudp** ([`transport::ccudp`]) — the same datagram protocol under
+//!   congestion control, answering §4.8.4's "avoid congestion collapse in
+//!   pathological cases" caveat: per-peer RFC 6298-style SRTT/RTTVAR
+//!   driving an adaptive RTO with exponential backoff, a CCID2-flavored
+//!   AIMD in-flight window, and token-paced sends. Collapse itself is
+//!   reproducible via [`transport::CrossTrafficSpec`], a shared bottleneck
+//!   queue with competing background flows (`repro bench_congestion`).
 //!
 //! Two query execution modes keep experiments honest *and* fast:
 //! * **PPS** — real encrypted matching against the node's
@@ -75,6 +83,7 @@ pub use node::{DataNode, NodeConfig};
 pub use proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireTrapdoor};
 pub use roar_crypto::sha1::Backend;
 pub use transport::{
-    LossPolicy, LossSpec, NodeConn, NodeLink, RequestError, RpcError, Transport, TransportSpec,
-    UdpConfig, UdpEndpoint,
+    AimdWindow, CcUdpConfig, CcUdpEndpoint, CrossTrafficSpec, LossPolicy, LossSpec, NodeConn,
+    NodeLink, Pacer, RequestError, RpcError, RttEstimator, SharedBottleneck, Transport,
+    TransportSpec, UdpConfig, UdpEndpoint,
 };

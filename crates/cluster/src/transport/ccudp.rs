@@ -1,0 +1,1459 @@
+//! `ccudp` — the congestion-controlled datagram transport.
+//!
+//! [`udp`](super::udp) answers §4.8.4's incast problem with a fixed
+//! millisecond RTO and bounded retries, and inherits the thesis's caveat
+//! verbatim: "the difficulty is to avoid congestion collapse in
+//! pathological cases". A fixed-timer sender *is* the pathological case —
+//! under sustained loss it re-offers the same load every 5 ms forever,
+//! keeping the bottleneck queue full for everyone. The thesis names DCCP
+//! as the long-term answer; this module is that answer scaled to our RPC
+//! shape, three mechanisms layered on the same wire format as `udp`
+//! (acks, at-most-once execution, chunked reassembly all carry over):
+//!
+//! 1. **RTT-adaptive RTO** ([`RttEstimator`], RFC 6298-style): per-peer
+//!    SRTT/RTTVAR drive the retransmission timeout, with exponential
+//!    backoff on consecutive losses and deterministic ±jitter
+//!    ([`udp::jitter_factor`](super::udp)) so synchronized incast
+//!    retransmissions de-synchronize instead of re-colliding.
+//! 2. **AIMD in-flight window** ([`AimdWindow`], CCID2-flavored): each
+//!    peer admits at most `cwnd` outstanding requests; every delivered
+//!    response adds `1/cwnd` (one packet per window of acks), every
+//!    timeout-detected loss halves it (never below 1, never above the
+//!    cap). Excess requests queue locally instead of entering the network.
+//! 3. **Token-paced sends** ([`Pacer`]): datagrams to one peer are
+//!    released on a non-decreasing schedule — requests at `srtt / cwnd`,
+//!    reply fragments at [`CcUdpConfig::reply_gap`] — so chunked payloads
+//!    and window-opening bursts are spread instead of slamming the fan-in
+//!    queue.
+//!
+//! The congestion state is **per peer, shared across requests**: the
+//! front-end's one client endpoint serves every link, so all sub-queries
+//! to a node share its RTO backoff, window and pacer — when that node's
+//! path congests, everything headed there slows down together, which is
+//! what keeps the §4.8.4 "pathological case" from collapsing.
+//!
+//! The estimator, window and pacer are deliberately pure (no I/O, no
+//! hidden clock) so `tests/ccudp_props.rs` can property-test their
+//! invariants directly: SRTT convergence, monotone backoff, window
+//! bounds, non-decreasing release times.
+
+use super::udp::{
+    jitter_factor, send_with_fate, BoundedMap, PendingGuard, Reassembler, RequestError, Served,
+    ServedCache, HEADER, KIND_ACK, KIND_REQUEST, KIND_RESPONSE, MAX_DATAGRAM,
+};
+use super::{
+    BoundServer, BoxFuture, FnHandler, Handler, LossPolicy, NodeLink, RpcError, Transport,
+};
+use crate::proto::Msg;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::net::UdpSocket;
+use tokio::sync::oneshot;
+
+/// Tuning knobs for the congestion-controlled datagram transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcUdpConfig {
+    /// RTO used before the first RTT sample lands (RFC 6298 §2.1 suggests
+    /// a conservative initial value; ours is loopback-scaled).
+    pub init_rto: Duration,
+    /// Lower clamp on the adaptive RTO — the floor keeps loopback's
+    /// microsecond RTTs from producing an RTO the scheduler jitter of a
+    /// loaded CI machine would constantly trip.
+    pub min_rto: Duration,
+    /// Upper clamp on the adaptive RTO, backoff included: once a path is
+    /// this congested, waiting longer buys nothing the deadline won't.
+    pub max_rto: Duration,
+    /// Retransmission jitter fraction (±), exactly as
+    /// [`UdpConfig::jitter`](super::udp::UdpConfig::jitter):
+    /// de-synchronizes incast retries.
+    pub jitter: f64,
+    /// Consecutive silent (nothing heard from the peer) RTO windows before
+    /// the request fails — the dead-peer detector. Because the windows
+    /// back off exponentially, `n` attempts cover far more wall time than
+    /// the fixed-RTO transport's `n × rto`.
+    pub max_attempts: u32,
+    /// Initial per-peer congestion window, in outstanding requests.
+    pub init_window: f64,
+    /// Upper bound on the per-peer window.
+    pub max_window: f64,
+    /// Upper clamp on the pacing gap between datagrams to one peer: the
+    /// paced rate is `cwnd / srtt`, but a long-idle or badly-backed-off
+    /// peer must not stall a fresh request by seconds.
+    pub pace_cap: Duration,
+    /// Pacing gap between successive *reply* fragments (the server has no
+    /// RTT estimate of its own; replies to the fan-in are the §4.8.4 burst
+    /// that needs spreading most).
+    pub reply_gap: Duration,
+    /// Bound on the per-peer at-most-once table and reassembly buffers.
+    pub dedup_entries: usize,
+    /// Per-datagram payload budget; larger messages are chunked.
+    pub max_datagram: usize,
+}
+
+impl Default for CcUdpConfig {
+    fn default() -> Self {
+        CcUdpConfig {
+            init_rto: Duration::from_millis(20),
+            min_rto: Duration::from_millis(5),
+            max_rto: Duration::from_millis(200),
+            jitter: 0.2,
+            max_attempts: 10,
+            init_window: 4.0,
+            max_window: 64.0,
+            pace_cap: Duration::from_millis(2),
+            reply_gap: Duration::from_micros(200),
+            dedup_entries: 4096,
+            max_datagram: MAX_DATAGRAM,
+        }
+    }
+}
+
+/// RFC 6298-style smoothed RTT estimator with exponential timeout backoff.
+///
+/// Pure state machine: feed it RTT samples ([`Self::on_sample`]) and
+/// timeout events ([`Self::on_timeout`]), read the current retransmission
+/// timeout ([`Self::rto`]). Karn's rule (never sample a retransmitted
+/// exchange) is the *caller's* job — the endpoint only samples first
+/// transmissions.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt_s: Option<f64>,
+    rttvar_s: f64,
+    backoff: u32,
+    init_rto: Duration,
+    min_rto: Duration,
+    max_rto: Duration,
+}
+
+/// RFC 6298 smoothing gains.
+const ALPHA: f64 = 1.0 / 8.0;
+const BETA: f64 = 1.0 / 4.0;
+/// Clock granularity `G`: the tokio shim's timers tick at 1 ms.
+const GRANULARITY_S: f64 = 0.001;
+
+impl RttEstimator {
+    pub fn new(init_rto: Duration, min_rto: Duration, max_rto: Duration) -> Self {
+        assert!(min_rto <= max_rto, "min_rto must not exceed max_rto");
+        assert!(min_rto > Duration::ZERO, "zero RTO would busy-spin");
+        RttEstimator {
+            srtt_s: None,
+            rttvar_s: 0.0,
+            backoff: 0,
+            init_rto,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Feed one RTT measurement from a *first* transmission (Karn's rule:
+    /// the caller must never sample a retransmitted exchange). A valid
+    /// sample proves the path delivers, so the timeout backoff resets.
+    pub fn on_sample(&mut self, rtt: Duration) {
+        let r = rtt.as_secs_f64();
+        match self.srtt_s {
+            None => {
+                // first measurement: SRTT = R, RTTVAR = R/2
+                self.srtt_s = Some(r);
+                self.rttvar_s = r / 2.0;
+            }
+            Some(srtt) => {
+                // RTTVAR = (1−β)·RTTVAR + β·|SRTT − R|; SRTT = (1−α)·SRTT + α·R
+                self.rttvar_s = (1.0 - BETA) * self.rttvar_s + BETA * (srtt - r).abs();
+                self.srtt_s = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Record a timeout-detected loss: the next [`Self::rto`] doubles
+    /// (capped at `max_rto`).
+    pub fn on_timeout(&mut self) {
+        self.backoff = self.backoff.saturating_add(1);
+    }
+
+    /// The smoothed RTT, if at least one sample has landed.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt_s.map(Duration::from_secs_f64)
+    }
+
+    /// How many consecutive timeouts the current backoff reflects.
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Current retransmission timeout: `SRTT + max(G, 4·RTTVAR)` clamped
+    /// to `[min_rto, max_rto]`, then doubled per recorded timeout (still
+    /// capped at `max_rto`).
+    pub fn rto(&self) -> Duration {
+        let base_s = match self.srtt_s {
+            None => self.init_rto.as_secs_f64(),
+            Some(srtt) => srtt + (4.0 * self.rttvar_s).max(GRANULARITY_S),
+        };
+        let clamped = base_s.clamp(self.min_rto.as_secs_f64(), self.max_rto.as_secs_f64());
+        // 2^backoff, saturating at the cap (backoff can exceed f64 exponent
+        // range only theoretically; the min() keeps it finite regardless)
+        let scaled = clamped * 2f64.powi(self.backoff.min(30) as i32);
+        Duration::from_secs_f64(scaled.min(self.max_rto.as_secs_f64()))
+    }
+}
+
+/// CCID2-flavored AIMD congestion window, counted in outstanding requests.
+///
+/// Additive increase of one request per window of delivered responses
+/// (`cwnd += 1/cwnd` per ack), multiplicative decrease on timeout-detected
+/// loss (`cwnd /= 2`). Never below 1 (progress must stay possible), never
+/// above the cap.
+#[derive(Debug, Clone)]
+pub struct AimdWindow {
+    cwnd: f64,
+    cap: f64,
+}
+
+impl AimdWindow {
+    pub fn new(init: f64, cap: f64) -> Self {
+        assert!(cap >= 1.0, "window cap below 1 forbids all traffic");
+        AimdWindow {
+            cwnd: init.clamp(1.0, cap),
+            cap,
+        }
+    }
+
+    /// One response delivered: additive increase, one packet per RTT-round.
+    pub fn on_ack(&mut self) {
+        self.cwnd = (self.cwnd + 1.0 / self.cwnd).min(self.cap);
+    }
+
+    /// One timeout-detected loss: multiplicative decrease.
+    pub fn on_loss(&mut self) {
+        self.cwnd = (self.cwnd / 2.0).max(1.0);
+    }
+
+    /// Current window, in requests.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// May one more request enter with `in_flight` already outstanding?
+    pub fn admits(&self, in_flight: u32) -> bool {
+        f64::from(in_flight) + 1.0 <= self.cwnd + 1e-9
+    }
+}
+
+/// Token pacer: hands out non-decreasing release times for datagrams to
+/// one peer. Burst of one — an idle peer sends immediately, a busy one is
+/// spaced by the gap the previous datagram imposed.
+#[derive(Debug, Clone, Default)]
+pub struct Pacer {
+    next: Option<Instant>,
+}
+
+impl Pacer {
+    pub fn new() -> Self {
+        Pacer::default()
+    }
+
+    /// Earliest time the next datagram may leave, given `now` and the gap
+    /// this datagram imposes on its successor. Release times returned by
+    /// successive calls with non-decreasing `now` never go backwards.
+    pub fn schedule(&mut self, now: Instant, gap: Duration) -> Instant {
+        let release = match self.next {
+            None => now,
+            Some(next) => next.max(now),
+        };
+        self.next = Some(release + gap);
+        release
+    }
+}
+
+/// Per-peer congestion state: estimator + window + pacer + admission queue.
+struct PeerCc {
+    est: RttEstimator,
+    win: AimdWindow,
+    pacer: Pacer,
+    in_flight: u32,
+    /// Requests waiting for the window to open, woken FIFO.
+    waiters: VecDeque<oneshot::Sender<()>>,
+    /// When the last multiplicative decrease was applied: one fan-in
+    /// burst times out every outstanding request at once, and W
+    /// simultaneous loss reports must count as ONE congestion event
+    /// (CCID2's once-per-window decrease), not W halvings.
+    last_decrease: Option<Instant>,
+}
+
+impl PeerCc {
+    fn new(cfg: &CcUdpConfig) -> Self {
+        PeerCc {
+            est: RttEstimator::new(cfg.init_rto, cfg.min_rto, cfg.max_rto),
+            win: AimdWindow::new(cfg.init_window, cfg.max_window),
+            pacer: Pacer::new(),
+            in_flight: 0,
+            waiters: VecDeque::new(),
+            last_decrease: None,
+        }
+    }
+
+    /// The request-pacing gap: `srtt / cwnd` (the window spread over one
+    /// round trip), clamped so idle/backed-off peers never stall a fresh
+    /// request longer than `pace_cap`.
+    fn request_gap(&self, cfg: &CcUdpConfig) -> Duration {
+        let rtt = self.est.srtt().unwrap_or(cfg.init_rto).as_secs_f64();
+        Duration::from_secs_f64(rtt / self.win.cwnd()).min(cfg.pace_cap)
+    }
+
+    /// Wake one queued request per currently-free window slot (FIFO).
+    ///
+    /// A wake is a *signal*, not a slot transfer: the woken request
+    /// re-enters the admission loop and claims `in_flight` itself under
+    /// the lock. This makes races leak-free by construction — a waiter
+    /// whose deadline expires (or whose future is cancelled) between the
+    /// send and the wake-up simply never claims, so no slot is ever owned
+    /// by a dead request. The cost is a possible lost wakeup in that
+    /// race, bounded by the loser nudging the queue on its way out
+    /// ([`CcUdpEndpoint::acquire_window`]) and by every later release
+    /// re-waking.
+    fn wake_admissible(&mut self) {
+        let free = (self.win.cwnd().floor() as i64 - i64::from(self.in_flight)).max(0);
+        let mut to_wake = free as usize;
+        while to_wake > 0 {
+            match self.waiters.pop_front() {
+                // a dead receiver (deadline passed while queued) is
+                // skipped; the wake goes to the next live waiter
+                Some(tx) => {
+                    if tx.send(()).is_ok() {
+                        to_wake -= 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// One outstanding request on the client side.
+struct CcWaiter {
+    peer: SocketAddr,
+    tx: oneshot::Sender<Msg>,
+    /// Anything (ack or response fragment) heard from `peer` for this id
+    /// since the last retransmit window — the liveness signal.
+    heard: bool,
+    /// When the first transmission left — the RTT sample's start.
+    sent_at: Instant,
+    /// Karn's rule: once retransmitted, this exchange never yields an RTT
+    /// sample (the reply could answer either transmission).
+    retransmitted: bool,
+    /// An RTT sample was already taken for this exchange.
+    sampled: bool,
+}
+
+/// A congestion-controlled reliable-request UDP endpoint: the `udp`
+/// endpoint's wire protocol (acks, at-most-once, chunking) under the
+/// [`RttEstimator`] + [`AimdWindow`] + [`Pacer`] trio.
+pub struct CcUdpEndpoint {
+    sock: Arc<UdpSocket>,
+    cfg: CcUdpConfig,
+    next_id: AtomicU64,
+    pending: Mutex<HashMap<u64, CcWaiter>>,
+    /// Per-peer congestion state, bounded like the served/reassembly
+    /// caches: client churn (ephemeral ports, restarts) must not grow a
+    /// long-running endpoint's memory forever. Evicting an active peer
+    /// merely resets its estimator/window to initial values on next use;
+    /// outstanding guards then decrement a fresh counter, which saturates
+    /// at zero.
+    peers: Mutex<BoundedMap<SocketAddr, PeerCc>>,
+    served: Mutex<ServedCache>,
+    reasm: Mutex<Reassembler>,
+    loss: LossPolicy,
+    shutdown_tx: tokio::sync::watch::Sender<bool>,
+}
+
+impl CcUdpEndpoint {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub async fn bind(addr: &str) -> std::io::Result<Arc<Self>> {
+        Self::bind_with(addr, CcUdpConfig::default(), LossPolicy::None).await
+    }
+
+    /// Bind with explicit congestion parameters and loss injection.
+    pub async fn bind_with(
+        addr: &str,
+        cfg: CcUdpConfig,
+        loss: LossPolicy,
+    ) -> std::io::Result<Arc<Self>> {
+        assert!(cfg.max_attempts >= 1, "need at least one send attempt");
+        assert!(
+            cfg.max_datagram >= 1 && cfg.max_datagram + HEADER <= 65_507,
+            "datagram budget {} outside (0, 65507 - header]",
+            cfg.max_datagram
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.jitter),
+            "jitter fraction {} outside [0, 1)",
+            cfg.jitter
+        );
+        assert!(cfg.init_window >= 1.0 && cfg.max_window >= 1.0);
+        let sock = UdpSocket::bind(addr).await?;
+        let (shutdown_tx, _) = tokio::sync::watch::channel(false);
+        Ok(Arc::new(CcUdpEndpoint {
+            sock: Arc::new(sock),
+            cfg,
+            next_id: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            peers: Mutex::new(BoundedMap::new(cfg.dedup_entries)),
+            served: Mutex::new(ServedCache::new(cfg.dedup_entries)),
+            reasm: Mutex::new(Reassembler::new(cfg.dedup_entries)),
+            loss,
+            shutdown_tx,
+        }))
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    /// Stop the receive loop (idempotent). In-flight `request` calls fail
+    /// at their deadlines.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown_tx.send(true);
+    }
+
+    /// Observability: the peer's current adaptive RTO and window, if any
+    /// traffic has flowed to it.
+    pub fn peer_cc(&self, peer: SocketAddr) -> Option<(Duration, f64)> {
+        self.peers
+            .lock()
+            .get(&peer)
+            .map(|p| (p.est.rto(), p.win.cwnd()))
+    }
+
+    /// Number of requests currently awaiting responses.
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    async fn send_datagram(
+        &self,
+        kind: u8,
+        id: u64,
+        wire: &[u8],
+        peer: SocketAddr,
+    ) -> std::io::Result<()> {
+        send_with_fate(&self.sock, &self.loss, kind, id, wire, peer).await
+    }
+
+    /// Send `payload` as paced fragments: each fragment's release time
+    /// comes from the peer's token pacer with `gap` spacing, so a chunked
+    /// payload (or a burst of requests from an opening window) never slams
+    /// the path all at once.
+    async fn send_chunks_paced(
+        &self,
+        kind: u8,
+        id: u64,
+        payload: &[u8],
+        peer: SocketAddr,
+        gap: Duration,
+    ) -> std::io::Result<()> {
+        let budget = self.cfg.max_datagram;
+        let total = payload.len().div_ceil(budget).max(1);
+        assert!(
+            total <= u16::MAX as usize,
+            "payload of {} bytes needs {total} chunks (max {})",
+            payload.len(),
+            u16::MAX
+        );
+        if payload.is_empty() {
+            self.pace(peer, gap).await;
+            let wire = super::udp::UdpEndpoint::encode_datagram(kind, id, 0, 1, &[]);
+            return self.send_datagram(kind, id, &wire, peer).await;
+        }
+        for (seq, frag) in payload.chunks(budget).enumerate() {
+            self.pace(peer, gap).await;
+            let wire =
+                super::udp::UdpEndpoint::encode_datagram(kind, id, seq as u16, total as u16, frag);
+            self.send_datagram(kind, id, &wire, peer).await?;
+        }
+        Ok(())
+    }
+
+    /// The peer's congestion state, created on first contact (bounded:
+    /// creation past capacity evicts the longest-known peer).
+    fn peer_mut<'m>(
+        peers: &'m mut BoundedMap<SocketAddr, PeerCc>,
+        peer: SocketAddr,
+        cfg: &CcUdpConfig,
+    ) -> &'m mut PeerCc {
+        if !peers.contains(&peer) {
+            peers.insert(peer, PeerCc::new(cfg));
+        }
+        peers.get_mut(&peer).expect("just inserted")
+    }
+
+    /// Sleep until the peer's pacer releases the next datagram.
+    async fn pace(&self, peer: SocketAddr, gap: Duration) {
+        let release = {
+            let mut peers = self.peers.lock();
+            let p = Self::peer_mut(&mut peers, peer, &self.cfg);
+            p.pacer.schedule(Instant::now(), gap)
+        };
+        let wait = release.saturating_duration_since(Instant::now());
+        if !wait.is_zero() {
+            tokio::time::sleep(wait).await;
+        }
+    }
+
+    async fn send_ack(&self, id: u64, peer: SocketAddr) -> std::io::Result<()> {
+        // acks are single tiny datagrams on the reverse path; pacing them
+        // would only delay the liveness signal
+        let wire = super::udp::UdpEndpoint::encode_datagram(KIND_ACK, id, 0, 1, &[]);
+        self.send_datagram(KIND_ACK, id, &wire, peer).await
+    }
+
+    /// Record `heard` on the waiter and, per Karn's rule, return an RTT
+    /// sample if this exchange still qualifies for one.
+    fn note_heard(&self, id: u64, peer: SocketAddr) -> Option<Duration> {
+        let mut p = self.pending.lock();
+        match p.get_mut(&id) {
+            Some(w) if w.peer == peer => {
+                w.heard = true;
+                if !w.retransmitted && !w.sampled {
+                    w.sampled = true;
+                    Some(w.sent_at.elapsed())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn on_rtt_sample(&self, peer: SocketAddr, rtt: Duration) {
+        let mut peers = self.peers.lock();
+        let p = Self::peer_mut(&mut peers, peer, &self.cfg);
+        p.est.on_sample(rtt);
+    }
+
+    /// A response was delivered: additive window increase, wake queued
+    /// requests the bigger window now admits.
+    fn on_response_delivered(&self, peer: SocketAddr) {
+        let mut peers = self.peers.lock();
+        if let Some(p) = peers.get_mut(&peer) {
+            p.win.on_ack();
+            p.wake_admissible();
+        }
+    }
+
+    /// A retransmit window expired with nothing heard: exponential RTO
+    /// backoff and multiplicative window decrease — applied at most once
+    /// per RTO-sized interval, so the W requests a single fan-in burst
+    /// times out simultaneously report one congestion event, not W. The
+    /// hold is ¾ of the pre-decrease RTO: below the ±20% jitter floor, so
+    /// a lone request's consecutive windows (each ≥ 0.8 × RTO apart)
+    /// still escalate the backoff every time.
+    fn on_loss_event(&self, peer: SocketAddr) {
+        let mut peers = self.peers.lock();
+        if let Some(p) = peers.get_mut(&peer) {
+            let now = Instant::now();
+            let hold = p.est.rto().mul_f64(0.75);
+            let fresh_event = p
+                .last_decrease
+                .is_none_or(|t| now.saturating_duration_since(t) >= hold);
+            if fresh_event {
+                p.last_decrease = Some(now);
+                p.est.on_timeout();
+                p.win.on_loss();
+            }
+        }
+    }
+
+    /// Wait for the peer's AIMD window to admit one more request. The
+    /// returned guard holds the slot; dropping it releases the slot and
+    /// wakes queued requests.
+    ///
+    /// Slots are only ever claimed *here*, under the lock, by a live
+    /// future — a wake from [`PeerCc::wake_admissible`] is a signal to
+    /// retry, not a transfer of ownership — so a waiter that times out or
+    /// is cancelled at the exact moment it is woken cannot leak a slot.
+    async fn acquire_window(
+        self: &Arc<Self>,
+        peer: SocketAddr,
+        deadline: Instant,
+    ) -> Result<WindowGuard, RequestError> {
+        let mut woken = false;
+        loop {
+            let rx = {
+                let mut peers = self.peers.lock();
+                let p = Self::peer_mut(&mut peers, peer, &self.cfg);
+                // direct admission for woken waiters (they were the queue
+                // front; the wake popped their tx) and for newcomers only
+                // when nobody is queued ahead — fresh requests must not
+                // jump requests already waiting
+                if (woken || p.waiters.is_empty()) && p.win.admits(p.in_flight) {
+                    p.in_flight += 1;
+                    return Ok(WindowGuard {
+                        ep: Arc::clone(self),
+                        peer,
+                    });
+                }
+                let (tx, rx) = oneshot::channel();
+                p.waiters.push_back(tx);
+                // a slot may be free right now (stranded by a cancelled
+                // waiter, or freed while we queued): wake the queue front
+                // so it is never left idle with requests waiting
+                p.wake_admissible();
+                rx
+            };
+            woken = false; // back in the queue; any prior wake is spent
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                self.nudge_waiters(peer);
+                return Err(RequestError::TimedOut);
+            }
+            match tokio::time::timeout(wait, rx).await {
+                // woken: a slot was free a moment ago — retry the claim
+                Ok(Ok(())) => woken = true,
+                Ok(Err(_)) => {} // sender vanished; re-queue
+                Err(_) => {
+                    // deadline while queued: a wake may have been spent on
+                    // us in vain — pass it on so a free slot is not
+                    // stranded while others still wait
+                    self.nudge_waiters(peer);
+                    return Err(RequestError::TimedOut);
+                }
+            }
+        }
+    }
+
+    /// Re-wake whatever the window currently admits (used by a waiter
+    /// bowing out, so a wake spent on it is not lost).
+    fn nudge_waiters(&self, peer: SocketAddr) {
+        let mut peers = self.peers.lock();
+        if let Some(p) = peers.get_mut(&peer) {
+            p.wake_admissible();
+        }
+    }
+
+    fn release_window(&self, peer: SocketAddr) {
+        let mut peers = self.peers.lock();
+        if let Some(p) = peers.get_mut(&peer) {
+            p.in_flight = p.in_flight.saturating_sub(1);
+            p.wake_admissible();
+        }
+    }
+
+    /// Spawn the receive loop with `handler` serving inbound requests.
+    pub fn serve(self: &Arc<Self>, handler: Arc<dyn Handler>) -> tokio::task::JoinHandle<()> {
+        let ep = Arc::clone(self);
+        tokio::spawn(async move {
+            let mut shutdown_rx = ep.shutdown_tx.subscribe();
+            // sized at the UDP maximum, not our own send budget (a peer may
+            // be configured with a larger max_datagram)
+            let mut buf = vec![0u8; 65_535];
+            loop {
+                if *shutdown_rx.borrow() {
+                    return;
+                }
+                let recvd = tokio::select! {
+                    r = ep.sock.recv_from(&mut buf) => r,
+                    _ = shutdown_rx.changed() => { continue; }
+                };
+                let (len, peer) = match recvd {
+                    Ok(x) => x,
+                    Err(_) => continue, // transient; shutdown is the only exit
+                };
+                let Some((kind, id, seq, total, frag)) =
+                    super::udp::UdpEndpoint::decode_datagram(&buf[..len])
+                else {
+                    continue; // malformed: drop, sender will retry
+                };
+                match kind {
+                    KIND_ACK => {
+                        if let Some(rtt) = ep.note_heard(id, peer) {
+                            ep.on_rtt_sample(peer, rtt);
+                        }
+                    }
+                    KIND_RESPONSE => {
+                        match ep.note_heard(id, peer) {
+                            Some(rtt) => ep.on_rtt_sample(peer, rtt),
+                            // note_heard returns None for "no sample due"
+                            // but also for "no waiter" and "wrong peer";
+                            // only fragments from the peer the waiter is
+                            // actually waiting on may enter the
+                            // reassembler (an off-path or stale sender
+                            // must not evict live partial assemblies)
+                            None => {
+                                let expected =
+                                    ep.pending.lock().get(&id).is_some_and(|w| w.peer == peer);
+                                if !expected {
+                                    continue;
+                                }
+                            }
+                        }
+                        let complete =
+                            ep.reasm
+                                .lock()
+                                .offer((peer, KIND_RESPONSE, id), seq, total, frag);
+                        if let Some(payload) = complete {
+                            if let Some(msg) = Msg::decode(&payload) {
+                                let delivered = {
+                                    let mut p = ep.pending.lock();
+                                    match p.remove(&id) {
+                                        Some(w) if w.peer == peer => {
+                                            let _ = w.tx.send(msg);
+                                            true
+                                        }
+                                        Some(w) => {
+                                            // wrong peer: restore untouched
+                                            p.insert(id, w);
+                                            false
+                                        }
+                                        None => false,
+                                    }
+                                };
+                                if delivered {
+                                    ep.on_response_delivered(peer);
+                                }
+                            }
+                        }
+                    }
+                    KIND_REQUEST => {
+                        enum Dup {
+                            Resend(Vec<u8>),
+                            Ack,
+                            Fresh,
+                        }
+                        let dup = match ep.served.lock().get(&(peer, id)) {
+                            Some(Served::Done(wire)) => Dup::Resend(wire.clone()),
+                            Some(Served::InFlight) => Dup::Ack,
+                            None => Dup::Fresh,
+                        };
+                        match dup {
+                            Dup::Resend(wire) => {
+                                // paced resend must not stall the receive
+                                // loop: push it onto its own task
+                                let ep2 = Arc::clone(&ep);
+                                tokio::spawn(async move {
+                                    let gap = ep2.cfg.reply_gap;
+                                    let _ = ep2
+                                        .send_chunks_paced(KIND_RESPONSE, id, &wire, peer, gap)
+                                        .await;
+                                });
+                            }
+                            Dup::Ack => {
+                                let _ = ep.send_ack(id, peer).await;
+                            }
+                            Dup::Fresh => {
+                                let complete = ep.reasm.lock().offer(
+                                    (peer, KIND_REQUEST, id),
+                                    seq,
+                                    total,
+                                    frag,
+                                );
+                                if let Some(payload) = complete {
+                                    ep.dispatch_request(peer, id, payload, &handler).await;
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        })
+    }
+
+    /// Convenience: serve with a synchronous closure (tests, probes).
+    pub fn serve_fn<F>(self: &Arc<Self>, f: F) -> tokio::task::JoinHandle<()>
+    where
+        F: Fn(Msg) -> Msg + Send + Sync + 'static,
+    {
+        self.serve(Arc::new(FnHandler(f)))
+    }
+
+    /// A fully reassembled request: acknowledge, then execute at most once
+    /// (identical to the `udp` endpoint, but replies are paced).
+    async fn dispatch_request(
+        self: &Arc<Self>,
+        peer: SocketAddr,
+        id: u64,
+        payload: Vec<u8>,
+        handler: &Arc<dyn Handler>,
+    ) {
+        enum Action {
+            Resend(Vec<u8>),
+            AckOnly,
+            Execute,
+        }
+        let action = {
+            let mut served = self.served.lock();
+            match served.get(&(peer, id)) {
+                Some(Served::Done(wire)) => Action::Resend(wire.clone()),
+                Some(Served::InFlight) => Action::AckOnly,
+                None => {
+                    served.insert((peer, id), Served::InFlight);
+                    Action::Execute
+                }
+            }
+        };
+        match action {
+            Action::Resend(wire) => {
+                let ep = Arc::clone(self);
+                tokio::spawn(async move {
+                    let gap = ep.cfg.reply_gap;
+                    let _ = ep
+                        .send_chunks_paced(KIND_RESPONSE, id, &wire, peer, gap)
+                        .await;
+                });
+            }
+            Action::AckOnly => {
+                let _ = self.send_ack(id, peer).await;
+            }
+            Action::Execute => {
+                let _ = self.send_ack(id, peer).await;
+                let Some(msg) = Msg::decode(&payload) else {
+                    // corrupt payload must not poison the id for a clean
+                    // retransmission
+                    self.served.lock().remove(&(peer, id));
+                    return;
+                };
+                let ep = Arc::clone(self);
+                let h = Arc::clone(handler);
+                tokio::spawn(async move {
+                    let reply = h.handle(msg).await;
+                    let wire = reply.encode();
+                    ep.served
+                        .lock()
+                        .insert((peer, id), Served::Done(wire.clone()));
+                    let gap = ep.cfg.reply_gap;
+                    let _ = ep
+                        .send_chunks_paced(KIND_RESPONSE, id, &wire, peer, gap)
+                        .await;
+                });
+            }
+        }
+    }
+
+    /// Issue a request and wait for its response, under congestion
+    /// control: admission through the peer's AIMD window, paced sends,
+    /// RTT-adaptive retransmission with exponential backoff and jitter.
+    pub async fn request(
+        self: &Arc<Self>,
+        peer: SocketAddr,
+        msg: Msg,
+        overall: Duration,
+    ) -> Result<Msg, RequestError> {
+        let deadline = Instant::now() + overall;
+        // window admission first: requests beyond cwnd wait locally
+        // instead of entering the network
+        let _permit = self.acquire_window(peer, deadline).await?;
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, mut rx) = oneshot::channel();
+        self.pending.lock().insert(
+            id,
+            CcWaiter {
+                peer,
+                tx,
+                heard: false,
+                sent_at: Instant::now(), // refined after the paced send
+                retransmitted: false,
+                sampled: false,
+            },
+        );
+        let payload = msg.encode();
+
+        // RAII: reclaim the waiter slot even if this future is dropped
+        let _guard = PendingGuard {
+            pending: &self.pending,
+            id,
+        };
+
+        let mut silent_windows = 0u32;
+        let mut ever_heard = false;
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                // Karn's rule: this exchange is retransmitted, never sample
+                if let Some(w) = self.pending.lock().get_mut(&id) {
+                    w.retransmitted = true;
+                }
+            }
+            let gap = {
+                let peers = self.peers.lock();
+                peers
+                    .get(&peer)
+                    .map(|p| p.request_gap(&self.cfg))
+                    .unwrap_or(Duration::ZERO)
+            };
+            // until acked, the whole payload is retransmitted; once the
+            // peer has assembled it, one fragment suffices as the
+            // liveness poll / reply re-ask
+            let sent = if ever_heard {
+                let total = payload.len().div_ceil(self.cfg.max_datagram).max(1);
+                let frag = &payload[..payload.len().min(self.cfg.max_datagram)];
+                self.pace(peer, gap).await;
+                let wire = super::udp::UdpEndpoint::encode_datagram(
+                    KIND_REQUEST,
+                    id,
+                    0,
+                    total as u16,
+                    frag,
+                );
+                self.send_datagram(KIND_REQUEST, id, &wire, peer).await
+            } else {
+                self.send_chunks_paced(KIND_REQUEST, id, &payload, peer, gap)
+                    .await
+            };
+            if let Err(e) = sent {
+                return Err(RequestError::Io(e.kind()));
+            }
+            if attempt == 0 {
+                // the RTT clock starts when the datagrams actually left
+                // (pacing may have delayed them past waiter insertion)
+                if let Some(w) = self.pending.lock().get_mut(&id) {
+                    w.sent_at = Instant::now();
+                }
+            }
+            let rto = {
+                let peers = self.peers.lock();
+                peers
+                    .get(&peer)
+                    .map(|p| p.est.rto())
+                    .unwrap_or(self.cfg.init_rto)
+            };
+            let jittered = rto.mul_f64(jitter_factor(id, attempt, self.cfg.jitter));
+            attempt += 1;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            // a window truncated by the caller's deadline is NOT a full
+            // RTO of silence: its expiry says nothing about the path, so
+            // it must not register a congestion event against the peer
+            // (a deadline-happy caller would otherwise halve the shared
+            // window of a perfectly healthy node)
+            let truncated = remaining < jittered;
+            let window = jittered.min(remaining);
+            let sleep = tokio::time::sleep(window);
+            tokio::pin!(sleep);
+            tokio::select! {
+                r = &mut rx => {
+                    return r.map_err(|_| RequestError::TimedOut);
+                }
+                _ = &mut sleep => {}
+            }
+            let heard = match self.pending.lock().get_mut(&id) {
+                Some(w) => std::mem::take(&mut w.heard),
+                None => true, // response landed between window and check
+            };
+            if heard {
+                silent_windows = 0;
+                ever_heard = true;
+            } else {
+                silent_windows += 1;
+                // a silent poll window may mean the peer's at-most-once
+                // entry was evicted: fall back to the full payload
+                ever_heard = false;
+                if !truncated {
+                    // loss event: back off the shared per-peer RTO, halve
+                    // the shared window — every request to this peer
+                    // slows down
+                    self.on_loss_event(peer);
+                }
+            }
+            if Instant::now() >= deadline || silent_windows >= self.cfg.max_attempts {
+                return Err(RequestError::TimedOut);
+            }
+        }
+    }
+}
+
+/// RAII window slot: releasing wakes the next queued request.
+struct WindowGuard {
+    ep: Arc<CcUdpEndpoint>,
+    peer: SocketAddr,
+}
+
+impl Drop for WindowGuard {
+    fn drop(&mut self) {
+        self.ep.release_window(self.peer);
+    }
+}
+
+/// [`BoundServer`] over a [`CcUdpEndpoint`].
+pub struct CcUdpBoundServer {
+    ep: Arc<CcUdpEndpoint>,
+}
+
+impl BoundServer for CcUdpBoundServer {
+    fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.ep.local_addr()
+    }
+
+    fn serve(
+        self: Box<Self>,
+        handler: Arc<dyn Handler>,
+        mut shutdown: tokio::sync::watch::Receiver<bool>,
+    ) -> tokio::task::JoinHandle<()> {
+        let ep = Arc::clone(&self.ep);
+        let bridge_ep = Arc::clone(&self.ep);
+        tokio::spawn(async move {
+            loop {
+                if *shutdown.borrow() {
+                    bridge_ep.shutdown();
+                    return;
+                }
+                if shutdown.changed().await.is_err() {
+                    bridge_ep.shutdown();
+                    return;
+                }
+            }
+        });
+        ep.serve(handler)
+    }
+}
+
+/// Client link: one peer as seen through a shared [`CcUdpEndpoint`].
+pub struct CcUdpLink {
+    ep: Arc<CcUdpEndpoint>,
+    peer: SocketAddr,
+}
+
+impl NodeLink for CcUdpLink {
+    fn addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    fn is_connected(&self) -> bool {
+        true // datagrams have no connection state; timeouts signal failure
+    }
+
+    fn rpc<'a>(&'a self, msg: Msg, timeout: Duration) -> BoxFuture<'a, Result<Msg, RpcError>> {
+        Box::pin(async move {
+            self.ep
+                .request(self.peer, msg, timeout)
+                .await
+                .map_err(|e| match e {
+                    RequestError::TimedOut => RpcError::Timeout,
+                    RequestError::Io(_) => RpcError::Disconnected,
+                })
+        })
+    }
+}
+
+/// The congestion-controlled datagram transport: binds per-node server
+/// endpoints and lazily one shared client endpoint, so every link out of
+/// one role shares per-peer congestion state.
+pub struct CcUdpTransport {
+    cfg: CcUdpConfig,
+    client_loss: super::LossSpec,
+    server_loss: super::LossSpec,
+    client: Mutex<Option<Arc<CcUdpEndpoint>>>,
+}
+
+impl CcUdpTransport {
+    pub fn new(
+        cfg: CcUdpConfig,
+        client_loss: super::LossSpec,
+        server_loss: super::LossSpec,
+    ) -> Self {
+        CcUdpTransport {
+            cfg,
+            client_loss,
+            server_loss,
+            client: Mutex::new(None),
+        }
+    }
+
+    async fn client_ep(&self) -> std::io::Result<Arc<CcUdpEndpoint>> {
+        if let Some(ep) = self.client.lock().clone() {
+            return Ok(ep);
+        }
+        let ep =
+            CcUdpEndpoint::bind_with("127.0.0.1:0", self.cfg, self.client_loss.build()).await?;
+        let mut guard = self.client.lock();
+        if let Some(existing) = guard.clone() {
+            return Ok(existing); // lost the bind race; fresh ep just drops
+        }
+        ep.serve_fn(|m: Msg| Msg::Error {
+            what: format!("client endpoint cannot serve {m:?}"),
+        });
+        *guard = Some(Arc::clone(&ep));
+        Ok(ep)
+    }
+}
+
+impl Transport for CcUdpTransport {
+    fn name(&self) -> &'static str {
+        "ccudp"
+    }
+
+    fn bind<'a>(&'a self, addr: &'a str) -> BoxFuture<'a, std::io::Result<Box<dyn BoundServer>>> {
+        Box::pin(async move {
+            let ep = CcUdpEndpoint::bind_with(addr, self.cfg, self.server_loss.build()).await?;
+            Ok(Box::new(CcUdpBoundServer { ep }) as Box<dyn BoundServer>)
+        })
+    }
+
+    fn connect<'a>(
+        &'a self,
+        addr: SocketAddr,
+    ) -> BoxFuture<'a, std::io::Result<Arc<dyn NodeLink>>> {
+        Box::pin(async move {
+            let ep = self.client_ep().await?;
+            Ok(Arc::new(CcUdpLink { ep, peer: addr }) as Arc<dyn NodeLink>)
+        })
+    }
+
+    fn shutdown(&self) {
+        if let Some(ep) = self.client.lock().take() {
+            ep.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn echo(msg: Msg) -> Msg {
+        match msg {
+            Msg::Ping => Msg::Pong,
+            other => other,
+        }
+    }
+
+    async fn pair(
+        cfg: CcUdpConfig,
+        client_loss: LossPolicy,
+        server_loss: LossPolicy,
+    ) -> (Arc<CcUdpEndpoint>, Arc<CcUdpEndpoint>, SocketAddr) {
+        let server = CcUdpEndpoint::bind_with("127.0.0.1:0", cfg, server_loss)
+            .await
+            .expect("bind server");
+        let client = CcUdpEndpoint::bind_with("127.0.0.1:0", cfg, client_loss)
+            .await
+            .expect("bind client");
+        let addr = server.local_addr().expect("addr");
+        (client, server, addr)
+    }
+
+    const OVERALL: Duration = Duration::from_secs(3);
+
+    #[tokio::test]
+    async fn request_response_roundtrip_learns_rtt() {
+        let (client, server, addr) =
+            pair(CcUdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
+        server.serve_fn(echo);
+        client.serve_fn(echo);
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("response");
+        assert_eq!(resp, Msg::Pong);
+        assert_eq!(client.outstanding(), 0, "waiter slot reclaimed");
+        let (rto, cwnd) = client.peer_cc(addr).expect("peer state exists");
+        // loopback RTT is microseconds: the adaptive RTO must have clamped
+        // to the floor, far below the 20 ms initial value
+        assert!(
+            rto <= CcUdpConfig::default().min_rto * 2,
+            "RTO should have adapted down from init: {rto:?}"
+        );
+        assert!(cwnd > CcUdpConfig::default().init_window - 1.0);
+    }
+
+    #[tokio::test]
+    async fn retransmission_recovers_and_backs_off() {
+        // first two request transmissions vanish; the third lands. With
+        // init_rto 20 ms and doubling, waiting out two windows takes at
+        // least (20 + 40) × 0.8 = 48 ms — visibly backed off, unlike the
+        // fixed-RTO transport's 2 × rto.
+        let cfg = CcUdpConfig {
+            init_rto: Duration::from_millis(20),
+            ..CcUdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::drop_first(2), LossPolicy::None).await;
+        server.serve_fn(echo);
+        client.serve_fn(echo);
+        let t0 = Instant::now();
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("recovered");
+        assert_eq!(resp, Msg::Pong);
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(45),
+            "two backed-off windows (20 + 40 ms, jitter floor 0.8): {waited:?}"
+        );
+        // the loss halved the window from its initial 4
+        let (_, cwnd) = client.peer_cc(addr).expect("peer state");
+        assert!(
+            cwnd < CcUdpConfig::default().init_window,
+            "two loss events must have shrunk the window: {cwnd}"
+        );
+    }
+
+    #[tokio::test]
+    async fn window_serializes_excess_concurrency() {
+        // window pinned at 1: three concurrent requests to one peer must
+        // execute strictly one at a time
+        let cfg = CcUdpConfig {
+            init_window: 1.0,
+            max_window: 1.0,
+            ..CcUdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (l2, p2) = (Arc::clone(&live), Arc::clone(&peak));
+        server.serve(Arc::new(crate::transport::FnHandler(move |m| {
+            let now = l2.fetch_add(1, Ordering::SeqCst) + 1;
+            p2.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(20));
+            l2.fetch_sub(1, Ordering::SeqCst);
+            echo(m)
+        })));
+        client.serve_fn(echo);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let c = Arc::clone(&client);
+            handles.push(tokio::spawn(async move {
+                c.request(addr, Msg::Ping, OVERALL).await.expect("resp")
+            }));
+        }
+        let t0 = Instant::now();
+        for h in handles {
+            assert_eq!(h.await.expect("task"), Msg::Pong);
+        }
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "cwnd = 1 must keep the server strictly serial"
+        );
+        assert!(
+            t0.elapsed() >= Duration::from_millis(55),
+            "three serialized 20 ms handlers: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[tokio::test]
+    async fn window_timeout_fails_queued_request() {
+        // window 1 and an occupying slow request: a second request whose
+        // deadline expires while queued must fail without ever sending
+        let cfg = CcUdpConfig {
+            init_window: 1.0,
+            max_window: 1.0,
+            ..CcUdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        server.serve(Arc::new(crate::transport::FnHandler(move |m| {
+            std::thread::sleep(Duration::from_millis(120));
+            echo(m)
+        })));
+        client.serve_fn(echo);
+        let c = Arc::clone(&client);
+        let first = tokio::spawn(async move { c.request(addr, Msg::Ping, OVERALL).await });
+        tokio::time::sleep(Duration::from_millis(10)).await; // first holds the slot
+        let err = client
+            .request(addr, Msg::Ping, Duration::from_millis(30))
+            .await
+            .expect_err("queued behind a 120 ms occupant with a 30 ms budget");
+        assert_eq!(err, RequestError::TimedOut);
+        assert_eq!(first.await.expect("task"), Ok(Msg::Pong));
+    }
+
+    #[tokio::test]
+    async fn dead_peer_times_out_with_backoff() {
+        let cfg = CcUdpConfig {
+            init_rto: Duration::from_millis(5),
+            min_rto: Duration::from_millis(5),
+            max_rto: Duration::from_millis(40),
+            max_attempts: 4,
+            ..CcUdpConfig::default()
+        };
+        let client = CcUdpEndpoint::bind_with("127.0.0.1:0", cfg, LossPolicy::None)
+            .await
+            .unwrap();
+        client.serve_fn(echo);
+        let dead = {
+            let s = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            s.local_addr().unwrap()
+        };
+        let t0 = Instant::now();
+        let err = client
+            .request(dead, Msg::Ping, OVERALL)
+            .await
+            .expect_err("no one home");
+        assert_eq!(err, RequestError::TimedOut);
+        let waited = t0.elapsed();
+        // four windows with doubling from 5 ms capped at 40: at least
+        // (5 + 10 + 20 + 40) × 0.8 = 60 ms, well under a second
+        assert!(
+            waited >= Duration::from_millis(55),
+            "windows must have backed off: {waited:?}"
+        );
+        assert!(waited < Duration::from_millis(600));
+        assert_eq!(client.outstanding(), 0, "timeout must reclaim the waiter");
+        // and the RTO estimator remembers the backoff for the next request
+        let (rto, cwnd) = client.peer_cc(dead).expect("peer state");
+        assert_eq!(rto, Duration::from_millis(40), "backed off to the cap");
+        assert_eq!(cwnd, 1.0, "window floored at 1, never below");
+    }
+
+    #[tokio::test]
+    async fn chunked_payloads_roundtrip_paced() {
+        let cfg = CcUdpConfig {
+            max_datagram: 64,
+            reply_gap: Duration::from_micros(100),
+            ..CcUdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        server.serve_fn(|m| m);
+        client.serve_fn(echo);
+        let big = Msg::Error {
+            what: "y".repeat(3000),
+        };
+        let resp = client
+            .request(addr, big.clone(), OVERALL)
+            .await
+            .expect("chunked paced roundtrip");
+        assert_eq!(resp, big);
+    }
+
+    #[tokio::test]
+    async fn heavy_random_loss_still_delivers() {
+        let cfg = CcUdpConfig {
+            init_rto: Duration::from_millis(5),
+            min_rto: Duration::from_millis(2),
+            max_rto: Duration::from_millis(50),
+            max_attempts: 20,
+            ..CcUdpConfig::default()
+        };
+        let (client, server, addr) = pair(
+            cfg,
+            LossPolicy::random(0.3, 42),
+            LossPolicy::random(0.3, 43),
+        )
+        .await;
+        server.serve_fn(echo);
+        client.serve_fn(echo);
+        for i in 0..20 {
+            let resp = client
+                .request(addr, Msg::Ping, Duration::from_secs(10))
+                .await;
+            assert_eq!(resp, Ok(Msg::Pong), "request {i}");
+        }
+    }
+
+    #[tokio::test]
+    async fn acks_keep_slow_handlers_alive_without_loss_events() {
+        // a slow handler acks promptly: its windows are heard, so neither
+        // the RTO backs off nor the window shrinks — slowness is not loss
+        let cfg = CcUdpConfig {
+            init_rto: Duration::from_millis(5),
+            min_rto: Duration::from_millis(5),
+            max_attempts: 4,
+            ..CcUdpConfig::default()
+        };
+        let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
+        server.serve(Arc::new(crate::transport::FnHandler(move |m| {
+            std::thread::sleep(Duration::from_millis(80));
+            echo(m)
+        })));
+        client.serve_fn(echo);
+        let resp = client
+            .request(addr, Msg::Ping, OVERALL)
+            .await
+            .expect("acks must keep the request alive");
+        assert_eq!(resp, Msg::Pong);
+        let (_, cwnd) = client.peer_cc(addr).expect("peer state");
+        assert!(
+            cwnd >= CcUdpConfig::default().init_window,
+            "no loss event: the window must not have shrunk ({cwnd})"
+        );
+    }
+
+    // ---- pure-component unit coverage (property tests go further in
+    // tests/ccudp_props.rs) --------------------------------------------
+
+    #[test]
+    fn estimator_follows_rfc6298_shape() {
+        let mut e = RttEstimator::new(
+            Duration::from_millis(20),
+            Duration::from_millis(1),
+            Duration::from_millis(200),
+        );
+        assert_eq!(e.rto(), Duration::from_millis(20), "init before samples");
+        e.on_sample(Duration::from_millis(10));
+        // first sample: SRTT = 10 ms, RTTVAR = 5 ms → RTO = 10 + 20 = 30 ms
+        assert_eq!(e.srtt(), Some(Duration::from_millis(10)));
+        assert_eq!(e.rto(), Duration::from_millis(30));
+        // stable samples shrink RTTVAR toward 0: RTO converges toward SRTT
+        for _ in 0..200 {
+            e.on_sample(Duration::from_millis(10));
+        }
+        let rto = e.rto();
+        assert!(
+            rto < Duration::from_millis(12) && rto >= Duration::from_millis(10),
+            "converged RTO ≈ SRTT + G: {rto:?}"
+        );
+    }
+
+    #[test]
+    fn estimator_backoff_doubles_and_resets() {
+        let mut e = RttEstimator::new(
+            Duration::from_millis(10),
+            Duration::from_millis(1),
+            Duration::from_millis(500),
+        );
+        e.on_sample(Duration::from_millis(8));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 2);
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 4);
+        // cap
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), Duration::from_millis(500));
+        // a fresh sample proves the path again: backoff clears
+        e.on_sample(Duration::from_millis(8));
+        assert!(e.rto() < base * 2);
+    }
+
+    #[test]
+    fn window_aimd_shape() {
+        let mut w = AimdWindow::new(4.0, 16.0);
+        assert!(w.admits(3) && !w.admits(4));
+        // cwnd² grows by ~2 per ack: 150 acks take 4 past √(16+300) > 16
+        for _ in 0..150 {
+            w.on_ack();
+        }
+        assert_eq!(w.cwnd(), 16.0, "capped");
+        w.on_loss();
+        assert_eq!(w.cwnd(), 8.0, "halved");
+        for _ in 0..10 {
+            w.on_loss();
+        }
+        assert_eq!(w.cwnd(), 1.0, "floored at 1");
+        assert!(w.admits(0), "a window of 1 still admits one request");
+    }
+
+    #[test]
+    fn pacer_releases_are_spaced_and_monotone() {
+        let mut p = Pacer::new();
+        let t0 = Instant::now();
+        let gap = Duration::from_millis(1);
+        let r1 = p.schedule(t0, gap);
+        assert_eq!(r1, t0, "idle pacer releases immediately");
+        let r2 = p.schedule(t0, gap);
+        let r3 = p.schedule(t0, gap);
+        assert_eq!(r2, t0 + gap);
+        assert_eq!(r3, t0 + gap + gap);
+        // a long-idle pacer does not accumulate burst credit
+        let later = t0 + Duration::from_secs(1);
+        let r4 = p.schedule(later, gap);
+        assert_eq!(r4, later);
+    }
+}

@@ -13,23 +13,36 @@
 //! * [`BoundServer`] — a bound endpoint that can run a serve loop,
 //!   dispatching inbound messages to a [`Handler`] until shutdown.
 //!
-//! Two implementations exist:
+//! Three implementations exist:
 //!
 //! * [`tcp`] — length-prefixed frames over persistent TCP connections
 //!   (the seed path): correlation ids multiplex requests over one stream.
 //! * [`udp`] — the §4.8.4 datagram path: application-level
-//!   acknowledgements, millisecond retransmission timers, at-most-once
-//!   execution and chunked replies for payloads larger than one datagram.
+//!   acknowledgements, millisecond retransmission timers (±jittered),
+//!   at-most-once execution and chunked replies for payloads larger than
+//!   one datagram.
+//! * [`ccudp`] — the same datagram protocol under congestion control:
+//!   per-peer RFC 6298-style adaptive RTO with exponential backoff, a
+//!   CCID2-flavored AIMD in-flight window and token-paced sends — the
+//!   answer to §4.8.4's "avoid congestion collapse in pathological cases"
+//!   caveat.
 //!
 //! Selection is data, not code: [`TransportSpec`] is a cloneable
 //! description that the harness threads through `ClusterConfig`, building
 //! fresh [`Transport`] instances (with their own loss policies) per role.
+//! [`CrossTrafficSpec`] ([`xtraffic`]) describes a shared bottleneck queue
+//! with competing background flows, so congestion behaviour is actually
+//! reproducible on loopback.
 
+pub mod ccudp;
 pub mod tcp;
 pub mod udp;
+pub mod xtraffic;
 
+pub use ccudp::{AimdWindow, CcUdpConfig, CcUdpEndpoint, CcUdpTransport, Pacer, RttEstimator};
 pub use tcp::{NodeConn, TcpTransport};
 pub use udp::{LossPolicy, RequestError, UdpConfig, UdpEndpoint, UdpTransport};
+pub use xtraffic::{CrossTrafficSpec, SharedBottleneck};
 
 use crate::proto::Msg;
 use std::future::Future;
@@ -107,8 +120,9 @@ pub trait Transport: Send + Sync + 'static {
 }
 
 /// Declarative datagram-loss injection: a cloneable description that builds
-/// a fresh [`LossPolicy`] (with its own counters/RNG) per endpoint.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// a fresh [`LossPolicy`] (with its own counters/RNG) per endpoint — except
+/// [`LossSpec::Bottleneck`], whose clones intentionally share one queue.
+#[derive(Debug, Clone, PartialEq)]
 pub enum LossSpec {
     /// Deliver everything.
     None,
@@ -124,16 +138,22 @@ pub enum LossSpec {
     FirstReplyPerRequest,
     /// Drop each datagram independently with probability `p`, seeded.
     Random { p: f64, seed: u64 },
+    /// Route every datagram through a **shared** bottleneck queue with
+    /// competing cross traffic ([`CrossTrafficSpec::build`]); clones of
+    /// this spec all drain the same queue, so handing one to every server
+    /// endpoint models the front-end's fan-in port.
+    Bottleneck(SharedBottleneck),
 }
 
 impl LossSpec {
     pub fn build(&self) -> LossPolicy {
-        match *self {
+        match self {
             LossSpec::None => LossPolicy::None,
-            LossSpec::DropFirst(n) => LossPolicy::drop_first(n),
-            LossSpec::DropFirstResponses(n) => LossPolicy::drop_first_responses(n),
+            LossSpec::DropFirst(n) => LossPolicy::drop_first(*n),
+            LossSpec::DropFirstResponses(n) => LossPolicy::drop_first_responses(*n),
             LossSpec::FirstReplyPerRequest => LossPolicy::first_reply_per_request(),
-            LossSpec::Random { p, seed } => LossPolicy::random(p, seed),
+            LossSpec::Random { p, seed } => LossPolicy::random(*p, *seed),
+            LossSpec::Bottleneck(queue) => LossPolicy::Bottleneck(queue.clone()),
         }
     }
 }
@@ -145,9 +165,20 @@ impl LossSpec {
 pub enum TransportSpec {
     /// Length-prefixed frames over persistent TCP connections.
     Tcp,
-    /// Datagrams with app-level acks, retransmission and chunking.
+    /// Datagrams with app-level acks, fixed (jittered) retransmission
+    /// timers and chunking — no congestion control.
     Udp {
         cfg: UdpConfig,
+        /// Loss applied to datagrams the *client* endpoint sends (requests).
+        client_loss: LossSpec,
+        /// Loss applied to datagrams each *server* endpoint sends (acks,
+        /// responses).
+        server_loss: LossSpec,
+    },
+    /// Congestion-controlled datagrams: RTT-adaptive RTO with exponential
+    /// backoff, AIMD in-flight window, token-paced sends.
+    CcUdp {
+        cfg: CcUdpConfig,
         /// Loss applied to datagrams the *client* endpoint sends (requests).
         client_loss: LossSpec,
         /// Loss applied to datagrams each *server* endpoint sends (acks,
@@ -166,10 +197,32 @@ impl TransportSpec {
         }
     }
 
+    /// Congestion-controlled UDP with default parameters and no loss
+    /// injection.
+    pub fn ccudp() -> Self {
+        TransportSpec::CcUdp {
+            cfg: CcUdpConfig::default(),
+            client_loss: LossSpec::None,
+            server_loss: LossSpec::None,
+        }
+    }
+
+    /// Default spec for a transport name (`"tcp"` / `"udp"` / `"ccudp"`):
+    /// how CI's transport matrix pins a leg via `ROAR_TRANSPORT`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "tcp" => Some(TransportSpec::Tcp),
+            "udp" => Some(TransportSpec::udp()),
+            "ccudp" => Some(TransportSpec::ccudp()),
+            _ => None,
+        }
+    }
+
     pub fn name(&self) -> &'static str {
         match self {
             TransportSpec::Tcp => "tcp",
             TransportSpec::Udp { .. } => "udp",
+            TransportSpec::CcUdp { .. } => "ccudp",
         }
     }
 
@@ -180,7 +233,20 @@ impl TransportSpec {
                 cfg,
                 client_loss,
                 server_loss,
-            } => Arc::new(UdpTransport::new(*cfg, *client_loss, *server_loss)),
+            } => Arc::new(UdpTransport::new(
+                *cfg,
+                client_loss.clone(),
+                server_loss.clone(),
+            )),
+            TransportSpec::CcUdp {
+                cfg,
+                client_loss,
+                server_loss,
+            } => Arc::new(CcUdpTransport::new(
+                *cfg,
+                client_loss.clone(),
+                server_loss.clone(),
+            )),
         }
     }
 }

@@ -33,10 +33,14 @@
 //! * **no head-of-line blocking** — each request stands alone; a lost
 //!   datagram delays only its own query.
 //!
-//! Congestion control is deliberately out of scope, as in the thesis ("the
-//! difficulty is to avoid congestion collapse in pathological cases" — DCCP
-//! is named as the better long-term answer); sub-queries are tiny and
-//! per-request bounded retries cap the send rate.
+//! Congestion control is deliberately out of scope *here*, as in the
+//! thesis ("the difficulty is to avoid congestion collapse in pathological
+//! cases" — DCCP is named as the better long-term answer); sub-queries are
+//! tiny, per-request bounded retries cap the send rate, and the fixed
+//! retransmission timer carries a deterministic ±[`UdpConfig::jitter`] so
+//! synchronized incast retries at least de-synchronize. The full answer —
+//! RTT-adaptive RTO, AIMD window, pacing on this same wire protocol — is
+//! [`super::ccudp`].
 //!
 //! [`LossPolicy`] injects deterministic or seeded-random datagram loss so
 //! the recovery paths are actually exercised in tests — on loopback, real
@@ -60,11 +64,77 @@ use tokio::sync::oneshot;
 pub const MAX_DATAGRAM: usize = 60_000;
 
 /// `kind (1) | id (8) | seq (2) | total (2)` precede every fragment.
-const HEADER: usize = 13;
+/// Shared with [`super::ccudp`]: both datagram transports speak the same
+/// wire format, so loss policies and tests can reason about either.
+pub(crate) const HEADER: usize = 13;
 
-const KIND_REQUEST: u8 = 0;
-const KIND_RESPONSE: u8 = 1;
-const KIND_ACK: u8 = 2;
+pub(crate) const KIND_REQUEST: u8 = 0;
+pub(crate) const KIND_RESPONSE: u8 = 1;
+pub(crate) const KIND_ACK: u8 = 2;
+
+/// Deterministic retransmission-timer jitter: a factor in
+/// `[1 - frac, 1 + frac)` derived by hashing `(id, attempt)` (splitmix64),
+/// so every request's every retransmission lands at its own offset —
+/// de-synchronizing the lockstep incast retries — while the schedule stays
+/// exactly reproducible (no shared RNG state, no lock).
+pub(crate) fn jitter_factor(id: u64, attempt: u32, frac: f64) -> f64 {
+    if frac == 0.0 {
+        return 1.0;
+    }
+    let mut z = id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((u64::from(attempt)).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // uniform [0, 1)
+    1.0 - frac + 2.0 * frac * unit
+}
+
+/// Consult `loss` and send one datagram accordingly — shared by the `udp`
+/// and `ccudp` endpoints so the injected-loss and bottleneck-delay
+/// semantics can never drift between the two transports.
+pub(crate) async fn send_with_fate(
+    sock: &Arc<UdpSocket>,
+    loss: &LossPolicy,
+    kind: u8,
+    id: u64,
+    wire: &[u8],
+    peer: SocketAddr,
+) -> std::io::Result<()> {
+    match loss.fate(kind, id) {
+        SendFate::Drop => Ok(()), // injected loss: silently vanish
+        SendFate::Deliver => sock.send_to(wire, peer).await.map(|_| ()),
+        SendFate::DeliverAfter(delay) => {
+            // the emulated bottleneck holds the datagram in its FIFO; a
+            // detached task delivers it so the caller never blocks
+            let sock = Arc::clone(sock);
+            let wire = wire.to_vec();
+            tokio::spawn(async move {
+                tokio::time::sleep(delay).await;
+                let _ = sock.send_to(&wire, peer).await;
+            });
+            Ok(())
+        }
+    }
+}
+
+/// RAII reclaim of a pending-request slot: the waiter entry is removed
+/// even if the owning request future is dropped mid-exchange (a cancelled
+/// request must not leak its entry). Generic over the waiter type so both
+/// datagram endpoints share one definition.
+pub(crate) struct PendingGuard<'a, W> {
+    pub(crate) pending: &'a Mutex<HashMap<u64, W>>,
+    pub(crate) id: u64,
+}
+
+impl<W> Drop for PendingGuard<'_, W> {
+    fn drop(&mut self) {
+        self.pending.lock().remove(&self.id);
+    }
+}
 
 /// Retransmission parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +152,12 @@ pub struct UdpConfig {
     pub dedup_entries: usize,
     /// Per-datagram payload budget; larger messages are chunked.
     pub max_datagram: usize,
+    /// Retransmission-timer jitter as a fraction of the RTO: each window is
+    /// `rto × U[1 − jitter, 1 + jitter)`, deterministically derived from
+    /// `(request id, attempt)`. Without it, the synchronized incast retries
+    /// that lost a reply burst together *retransmit* together and lose the
+    /// retransmission burst too; ±20% spreads them across the fan-in.
+    pub jitter: f64,
 }
 
 impl Default for UdpConfig {
@@ -91,6 +167,7 @@ impl Default for UdpConfig {
             max_attempts: 8,
             dedup_entries: 4096,
             max_datagram: MAX_DATAGRAM,
+            jitter: 0.2,
         }
     }
 }
@@ -104,7 +181,7 @@ impl Default for UdpConfig {
 /// Entries are stamped so removal and replacement are O(1): a stale FIFO
 /// slot (its stamp no longer matching the live entry) never evicts a newer
 /// entry that reused the same key.
-struct BoundedMap<K, V> {
+pub(crate) struct BoundedMap<K, V> {
     map: HashMap<K, (u64, V)>,
     order: VecDeque<(K, u64)>,
     stamp: u64,
@@ -112,7 +189,7 @@ struct BoundedMap<K, V> {
 }
 
 impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         BoundedMap {
             map: HashMap::new(),
             order: VecDeque::new(),
@@ -121,15 +198,15 @@ impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
         }
     }
 
-    fn get(&self, k: &K) -> Option<&V> {
+    pub(crate) fn get(&self, k: &K) -> Option<&V> {
         self.map.get(k).map(|(_, v)| v)
     }
 
-    fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+    pub(crate) fn get_mut(&mut self, k: &K) -> Option<&mut V> {
         self.map.get_mut(k).map(|(_, v)| v)
     }
 
-    fn contains(&self, k: &K) -> bool {
+    pub(crate) fn contains(&self, k: &K) -> bool {
         self.map.contains_key(k)
     }
 
@@ -138,7 +215,7 @@ impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
         self.map.len()
     }
 
-    fn insert(&mut self, k: K, v: V) {
+    pub(crate) fn insert(&mut self, k: K, v: V) {
         self.stamp += 1;
         let s = self.stamp;
         self.map.insert(k, (s, v));
@@ -161,7 +238,7 @@ impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
         }
     }
 
-    fn remove(&mut self, k: &K) -> Option<V> {
+    pub(crate) fn remove(&mut self, k: &K) -> Option<V> {
         // the stale order slot is left behind; the stamp check skips it
         self.map.remove(k).map(|(_, v)| v)
     }
@@ -204,6 +281,21 @@ pub enum LossPolicy {
     /// Drop each datagram independently with probability `p` — seeded, so
     /// failures reproduce.
     Random { p: f64, rng: Mutex<StdRng> },
+    /// Route every datagram through a shared fluid bottleneck queue with
+    /// competing cross traffic ([`super::CrossTrafficSpec`]): drop whatever
+    /// the queue tail-drops. The congestion-collapse model.
+    Bottleneck(super::SharedBottleneck),
+}
+
+/// What the loss policy decided for one outgoing datagram.
+pub(crate) enum SendFate {
+    /// Send now.
+    Deliver,
+    /// Silently vanish (injected loss / tail-drop).
+    Drop,
+    /// Forwarded by the emulated bottleneck, but only after its FIFO
+    /// queueing delay.
+    DeliverAfter(Duration),
 }
 
 impl LossPolicy {
@@ -230,7 +322,24 @@ impl LossPolicy {
         }
     }
 
-    fn should_drop(&self, kind: u8, id: u64) -> bool {
+    /// Full verdict, including the bottleneck's queueing delay.
+    pub(crate) fn fate(&self, kind: u8, id: u64) -> SendFate {
+        match self {
+            LossPolicy::Bottleneck(queue) => match queue.admit() {
+                Some(delay) => SendFate::DeliverAfter(delay),
+                None => SendFate::Drop,
+            },
+            other => {
+                if other.should_drop(kind, id) {
+                    SendFate::Drop
+                } else {
+                    SendFate::Deliver
+                }
+            }
+        }
+    }
+
+    pub(crate) fn should_drop(&self, kind: u8, id: u64) -> bool {
         match self {
             LossPolicy::None => false,
             LossPolicy::DropFirst(left) => {
@@ -258,6 +367,11 @@ impl LossPolicy {
                 kind == KIND_RESPONSE && seen.lock().first_sighting(id)
             }
             LossPolicy::Random { p, rng } => rng.lock().gen_bool(*p),
+            // a bare drop-check would consume a shared queue slot AND
+            // discard the FIFO delivery delay — silently wrong twice over
+            LossPolicy::Bottleneck(_) => {
+                unreachable!("Bottleneck verdicts carry a delay: use fate()")
+            }
         }
     }
 }
@@ -295,14 +409,14 @@ struct Waiter {
 }
 
 /// At-most-once table on the responder side.
-enum Served {
+pub(crate) enum Served {
     /// Handler is still running; duplicates are acknowledged, not re-run.
     InFlight,
     /// Encoded response payload; duplicates get it re-sent.
     Done(Vec<u8>),
 }
 
-type ServedCache = BoundedMap<(SocketAddr, u64), Served>;
+pub(crate) type ServedCache = BoundedMap<(SocketAddr, u64), Served>;
 
 /// Multi-chunk payloads being reassembled, keyed `(peer, kind, id)`.
 struct Assembly {
@@ -311,15 +425,15 @@ struct Assembly {
     got: usize,
 }
 
-struct Reassembler(BoundedMap<(SocketAddr, u8, u64), Assembly>);
+pub(crate) struct Reassembler(BoundedMap<(SocketAddr, u8, u64), Assembly>);
 
 impl Reassembler {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         Reassembler(BoundedMap::new(cap))
     }
 
     /// Feed one fragment; returns the full payload once every chunk is in.
-    fn offer(
+    pub(crate) fn offer(
         &mut self,
         key: (SocketAddr, u8, u64),
         seq: u16,
@@ -397,6 +511,11 @@ impl UdpEndpoint {
             "datagram budget {} outside (0, 65507 - header]",
             cfg.max_datagram
         );
+        assert!(
+            (0.0..1.0).contains(&cfg.jitter),
+            "jitter fraction {} outside [0, 1)",
+            cfg.jitter
+        );
         let sock = UdpSocket::bind(addr).await?;
         let (shutdown_tx, _) = tokio::sync::watch::channel(false);
         Ok(Arc::new(UdpEndpoint {
@@ -421,7 +540,7 @@ impl UdpEndpoint {
         let _ = self.shutdown_tx.send(true);
     }
 
-    fn encode_datagram(kind: u8, id: u64, seq: u16, total: u16, frag: &[u8]) -> Vec<u8> {
+    pub(crate) fn encode_datagram(kind: u8, id: u64, seq: u16, total: u16, frag: &[u8]) -> Vec<u8> {
         let mut wire = Vec::with_capacity(HEADER + frag.len());
         wire.push(kind);
         wire.extend_from_slice(&id.to_be_bytes());
@@ -432,7 +551,7 @@ impl UdpEndpoint {
     }
 
     #[allow(clippy::type_complexity)]
-    fn decode_datagram(wire: &[u8]) -> Option<(u8, u64, u16, u16, &[u8])> {
+    pub(crate) fn decode_datagram(wire: &[u8]) -> Option<(u8, u64, u16, u16, &[u8])> {
         if wire.len() < HEADER {
             return None;
         }
@@ -450,10 +569,7 @@ impl UdpEndpoint {
         wire: &[u8],
         peer: SocketAddr,
     ) -> std::io::Result<()> {
-        if self.loss.should_drop(kind, id) {
-            return Ok(()); // injected loss: silently vanish
-        }
-        self.sock.send_to(wire, peer).await.map(|_| ())
+        send_with_fate(&self.sock, &self.loss, kind, id, wire, peer).await
     }
 
     /// Send `payload` as one or more fragments of at most
@@ -681,16 +797,7 @@ impl UdpEndpoint {
 
         // RAII: the waiter slot is reclaimed even if this future is dropped
         // mid-exchange (a cancelled request must not leak its entry)
-        struct WaiterGuard<'a> {
-            pending: &'a Mutex<HashMap<u64, Waiter>>,
-            id: u64,
-        }
-        impl Drop for WaiterGuard<'_> {
-            fn drop(&mut self) {
-                self.pending.lock().remove(&self.id);
-            }
-        }
-        let _guard = WaiterGuard {
+        let _guard = PendingGuard {
             pending: &self.pending,
             id,
         };
@@ -698,6 +805,7 @@ impl UdpEndpoint {
         let result = async {
             let mut silent_windows = 0u32;
             let mut ever_heard = false;
+            let mut attempt = 0u32;
             loop {
                 // until the peer acknowledges, the whole payload is
                 // retransmitted (any fragment may have been lost); once
@@ -715,10 +823,14 @@ impl UdpEndpoint {
                 if let Err(e) = sent {
                     return Err(RequestError::Io(e.kind()));
                 }
-                let window = self
+                // ±jitter de-synchronizes incast retries (deterministic
+                // per (id, attempt), so failures still reproduce)
+                let jittered = self
                     .cfg
                     .rto
-                    .min(deadline.saturating_duration_since(Instant::now()));
+                    .mul_f64(jitter_factor(id, attempt, self.cfg.jitter));
+                attempt += 1;
+                let window = jittered.min(deadline.saturating_duration_since(Instant::now()));
                 let sleep = tokio::time::sleep(window);
                 tokio::pin!(sleep);
                 tokio::select! {
@@ -952,12 +1064,12 @@ mod tests {
             .await
             .expect("recovered");
         assert_eq!(resp, Msg::Pong);
-        // two RTOs of waiting, well under TCP's 200 ms minimum — the §4.8.4
-        // argument in one assertion
+        // two RTOs of waiting (jitter floor 0.8 × 3 ms × 2), well under
+        // TCP's 200 ms minimum — the §4.8.4 argument in one assertion
         let waited = t0.elapsed();
         assert!(
-            waited >= Duration::from_millis(6),
-            "had to wait out 2 RTOs: {waited:?}"
+            waited >= Duration::from_micros(4800),
+            "had to wait out 2 jittered RTOs: {waited:?}"
         );
         assert!(
             waited < Duration::from_millis(150),
@@ -994,8 +1106,8 @@ mod tests {
             "duplicate request must not re-execute"
         );
         assert!(
-            t0.elapsed() >= Duration::from_millis(3),
-            "recovery costs one RTO"
+            t0.elapsed() >= Duration::from_micros(2400),
+            "recovery costs one jittered RTO (floor 0.8 × 3 ms)"
         );
     }
 
@@ -1397,6 +1509,30 @@ mod tests {
             assert_eq!(r.offer((a, KIND_REQUEST, id), 0, 3, b"p"), None);
         }
         assert!(r.0.len() <= 2, "partial assemblies bounded");
+    }
+
+    #[test]
+    fn jitter_factor_is_bounded_deterministic_and_spread() {
+        // zero fraction is the identity (the tcp_min_rto_sim mode relies
+        // on this: a simulated TCP timer must not jitter)
+        assert_eq!(jitter_factor(7, 3, 0.0), 1.0);
+        let mut seen = Vec::new();
+        for id in 0..100u64 {
+            for attempt in 0..4u32 {
+                let f = jitter_factor(id, attempt, 0.2);
+                assert!((0.8..1.2).contains(&f), "factor {f} outside ±20%");
+                assert_eq!(f, jitter_factor(id, attempt, 0.2), "deterministic");
+                seen.push(f);
+            }
+        }
+        // the factors actually spread (de-synchronization is the point):
+        // both the low and the high third of the band are populated
+        assert!(seen.iter().any(|f| *f < 0.93));
+        assert!(seen.iter().any(|f| *f > 1.07));
+        // and consecutive attempts of one id do not move in lockstep
+        let a: Vec<f64> = (0..4).map(|at| jitter_factor(1, at, 0.2)).collect();
+        let b: Vec<f64> = (0..4).map(|at| jitter_factor(2, at, 0.2)).collect();
+        assert_ne!(a, b, "different ids must land at different offsets");
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Cross-traffic emulation: a shared bottleneck queue in front of the
+//! front-end's fan-in port.
+//!
+//! The §4.8.4 caveat — "the difficulty is to avoid congestion collapse in
+//! pathological cases" — cannot be tested with independent per-endpoint
+//! loss: collapse is a *shared-resource* phenomenon. Every reply from every
+//! data node crosses the same switch queue in front of the front-end, and
+//! competing background flows (other front-ends, bulk transfers, backfill)
+//! occupy the same queue. [`CrossTrafficSpec`] describes that queue as
+//! data; [`CrossTrafficSpec::build`] produces one [`SharedBottleneck`]
+//! whose clones all drain the *same* fluid queue, so it can be handed to
+//! every server endpoint's loss policy
+//! ([`LossSpec::Bottleneck`](super::LossSpec::Bottleneck)).
+//!
+//! The model is a classic fluid FIFO tail-drop queue:
+//!
+//! * the queue drains at `drain_dgrams_per_s`;
+//! * competing cross traffic arrives as a fluid at `cross_dgrams_per_s`
+//!   (adjustable at runtime via [`SharedBottleneck::set_cross_rate`], so a
+//!   bench can bring a cluster up on a quiet network and then ramp the
+//!   offered load);
+//! * each real datagram offered to the queue ([`SharedBottleneck::admit`])
+//!   takes a slot if fewer than `queue_cap` are occupied — and is then
+//!   delivered after the **queueing delay** of everything ahead of it
+//!   (`occupancy / drain`, FIFO) — or is tail-dropped at capacity.
+//!
+//! The delay is what makes congestion *collapse* reproducible rather than
+//! mere loss: every datagram a sender re-offers while its previous copy
+//! still sits in the queue is a duplicate that burns bottleneck capacity
+//! everyone else needed (Floyd & Fall's classic collapse-from-duplicates).
+//! A fixed 5 ms timer re-offers every reply ~20 times under a 100 ms
+//! backlog, so most of the drain rate ends up serving garbage; an
+//! RTT-adaptive sender folds the queueing delay into its SRTT, spaces its
+//! retransmissions past the backlog, and keeps the queue serving useful
+//! traffic. That difference is exactly what `repro bench_congestion`
+//! measures.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Declarative description of a shared bottleneck with competing
+/// background flows. Cloneable plain data; [`build`](Self::build) turns it
+/// into the one live queue all endpoints share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossTrafficSpec {
+    /// Competing background load offered to the bottleneck, datagrams/s.
+    pub cross_dgrams_per_s: f64,
+    /// Bottleneck drain (service) rate, datagrams/s.
+    pub drain_dgrams_per_s: f64,
+    /// Queue capacity in datagrams; arrivals beyond it are tail-dropped.
+    pub queue_cap: f64,
+}
+
+impl CrossTrafficSpec {
+    /// A quiet bottleneck (no cross traffic yet) with the given drain rate
+    /// and capacity; ramp the load later with
+    /// [`SharedBottleneck::set_cross_rate`].
+    pub fn quiet(drain_dgrams_per_s: f64, queue_cap: f64) -> Self {
+        CrossTrafficSpec {
+            cross_dgrams_per_s: 0.0,
+            drain_dgrams_per_s,
+            queue_cap,
+        }
+    }
+
+    /// Materialize the one shared queue this spec describes.
+    pub fn build(&self) -> SharedBottleneck {
+        assert!(self.drain_dgrams_per_s > 0.0, "bottleneck must drain");
+        assert!(
+            self.queue_cap >= 1.0,
+            "queue must hold at least one datagram"
+        );
+        assert!(self.cross_dgrams_per_s >= 0.0);
+        SharedBottleneck(Arc::new(Mutex::new(BottleneckState {
+            cross_per_s: self.cross_dgrams_per_s,
+            drain_per_s: self.drain_dgrams_per_s,
+            cap: self.queue_cap,
+            queue: 0.0,
+            last: None,
+            admitted: 0,
+            dropped: 0,
+        })))
+    }
+}
+
+struct BottleneckState {
+    cross_per_s: f64,
+    drain_per_s: f64,
+    cap: f64,
+    /// Current queue occupancy in datagrams (fluid, fractional).
+    queue: f64,
+    last: Option<Instant>,
+    admitted: u64,
+    dropped: u64,
+}
+
+impl BottleneckState {
+    /// Advance the fluid queue to `now`: cross traffic arrives and the
+    /// queue drains *continuously*, so the occupancy integrates the net
+    /// rate, saturating at `[0, cap]` (cross traffic beyond capacity is
+    /// itself tail-dropped — the upper clamp).
+    fn advance(&mut self, now: Instant) {
+        let dt = match self.last {
+            Some(t) => now.saturating_duration_since(t).as_secs_f64(),
+            None => 0.0,
+        };
+        self.last = Some(now);
+        let net = self.cross_per_s - self.drain_per_s;
+        self.queue = (self.queue + net * dt).clamp(0.0, self.cap);
+    }
+
+    fn admit(&mut self, now: Instant) -> Option<Duration> {
+        self.advance(now);
+        if self.queue + 1.0 > self.cap {
+            self.dropped += 1;
+            None
+        } else {
+            self.queue += 1.0;
+            self.admitted += 1;
+            // FIFO: delivered once everything ahead (ourselves included)
+            // has drained
+            Some(Duration::from_secs_f64(self.queue / self.drain_per_s))
+        }
+    }
+}
+
+/// Handle to one live bottleneck queue; clones share state, so every
+/// server endpoint's loss policy drains the same queue.
+#[derive(Clone)]
+pub struct SharedBottleneck(Arc<Mutex<BottleneckState>>);
+
+impl SharedBottleneck {
+    /// Offer one datagram to the queue: `Some(delay)` = forwarded, to be
+    /// delivered after the FIFO queueing delay; `None` = tail-dropped.
+    pub fn admit(&self) -> Option<Duration> {
+        self.0.lock().admit(Instant::now())
+    }
+
+    /// Change the competing background load (the bench's ramp knob).
+    pub fn set_cross_rate(&self, cross_dgrams_per_s: f64) {
+        assert!(cross_dgrams_per_s >= 0.0);
+        let mut s = self.0.lock();
+        // settle the fluid at the old rate first, then switch
+        s.advance(Instant::now());
+        s.cross_per_s = cross_dgrams_per_s;
+    }
+
+    /// Datagrams forwarded so far.
+    pub fn admitted(&self) -> u64 {
+        self.0.lock().admitted
+    }
+
+    /// Datagrams tail-dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().dropped
+    }
+}
+
+impl std::fmt::Debug for SharedBottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.0.lock();
+        write!(
+            f,
+            "SharedBottleneck {{ drain: {}/s, cross: {}/s, cap: {}, queue: {:.1}, \
+             admitted: {}, dropped: {} }}",
+            s.drain_per_s, s.cross_per_s, s.cap, s.queue, s.admitted, s.dropped
+        )
+    }
+}
+
+/// Identity comparison: two handles are equal iff they are the same queue.
+impl PartialEq for SharedBottleneck {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the state directly with synthetic clocks (no real sleeping).
+    fn state(cross: f64, drain: f64, cap: f64) -> BottleneckState {
+        BottleneckState {
+            cross_per_s: cross,
+            drain_per_s: drain,
+            cap,
+            queue: 0.0,
+            last: None,
+            admitted: 0,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn empty_queue_admits_with_growing_fifo_delay() {
+        let mut s = state(0.0, 1000.0, 8.0);
+        let t0 = Instant::now();
+        // an instantaneous burst queues FIFO: the i-th datagram waits for
+        // the i datagrams ahead of it (1 ms each at 1000/s)
+        for i in 0..8u64 {
+            let delay = s.admit(t0).expect("admitted");
+            assert_eq!(delay, Duration::from_millis(i + 1), "datagram {i}");
+        }
+    }
+
+    #[test]
+    fn burst_beyond_capacity_is_tail_dropped_then_drains() {
+        let mut s = state(0.0, 1000.0, 4.0);
+        let t0 = Instant::now();
+        // instantaneous burst of 6 into a 4-slot queue: 4 in, 2 dropped
+        let got: Vec<bool> = (0..6).map(|_| s.admit(t0).is_some()).collect();
+        assert_eq!(got, [true, true, true, true, false, false]);
+        assert_eq!((s.admitted, s.dropped), (4, 2));
+        // 3 ms later the 1000/s drain freed 3 slots
+        let t1 = t0 + Duration::from_millis(3);
+        assert!(s.admit(t1).is_some());
+        assert!(s.admit(t1).is_some());
+        assert!(s.admit(t1).is_some());
+        assert!(
+            s.admit(t1).is_none(),
+            "fourth re-offer finds the queue full again"
+        );
+    }
+
+    #[test]
+    fn saturating_cross_traffic_starves_the_queue() {
+        // cross at 2x drain: the fluid keeps the queue pinned at capacity,
+        // so a non-adaptive sender re-offering datagrams sees ~100% loss
+        let mut s = state(2000.0, 1000.0, 8.0);
+        let t0 = Instant::now();
+        assert!(s.admit(t0).is_some(), "first datagram beats the fluid ramp");
+        let t1 = t0 + Duration::from_millis(100); // queue long since full
+        assert!(s.admit(t1).is_none());
+        assert!(s.admit(t1 + Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn residual_capacity_admits_patient_senders() {
+        // cross at 90% of drain: 100 dgram/s residual — a sender that
+        // waits long enough between offers always gets through
+        let mut s = state(900.0, 1000.0, 8.0);
+        let mut t = Instant::now();
+        s.admit(t);
+        // fill the queue with an instantaneous burst
+        while s.admit(t).is_some() {}
+        for i in 0..20 {
+            t += Duration::from_millis(50); // 50 ms × 100/s residual = 5 slots
+            assert!(
+                s.admit(t).is_some(),
+                "patient offer {i} must find a free slot"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_handles_share_the_queue() {
+        let bn = CrossTrafficSpec {
+            cross_dgrams_per_s: 0.0,
+            drain_dgrams_per_s: 1e9, // effectively no drain delay
+            queue_cap: 4.0,
+        }
+        .build();
+        let other = bn.clone();
+        assert_eq!(bn, other, "clones are the same queue");
+        assert!(bn.admit().is_some());
+        assert!(other.admit().is_some());
+        assert_eq!(bn.admitted(), 2, "both admits hit one shared counter");
+    }
+
+    #[test]
+    fn set_cross_rate_ramps_the_load() {
+        let bn = CrossTrafficSpec::quiet(1000.0, 4.0).build();
+        assert!(bn.admit().is_some(), "quiet network forwards");
+        bn.set_cross_rate(4000.0); // 4x drain: saturates almost instantly
+        std::thread::sleep(Duration::from_millis(20));
+        let mut drops = 0;
+        for _ in 0..10 {
+            if bn.admit().is_none() {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 8, "saturated queue must shed load, got {drops}/10");
+        assert!(bn.dropped() >= 8);
+    }
+}

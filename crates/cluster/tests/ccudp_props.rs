@@ -1,0 +1,213 @@
+//! Property tests for the `ccudp` congestion-control components.
+//!
+//! The RTT estimator, AIMD window and pacer are pure state machines
+//! precisely so their invariants can be hammered with arbitrary event
+//! sequences here, independent of sockets and timing:
+//!
+//! * SRTT converges onto the true RTT under stable samples, and the RTO
+//!   stays within its clamps for *any* sample/timeout sequence;
+//! * the RTO backs off monotonically (doubling to the cap) across
+//!   consecutive losses, and a fresh sample resets it;
+//! * the window never exceeds its cap and never drops below 1, whatever
+//!   interleaving of acks and losses occurs;
+//! * pacing release times are non-decreasing for any schedule of
+//!   monotone clocks and arbitrary gaps.
+
+use proptest::prelude::*;
+use roar_cluster::{AimdWindow, Pacer, RttEstimator};
+use std::time::{Duration, Instant};
+
+const MIN_RTO: Duration = Duration::from_millis(5);
+const MAX_RTO: Duration = Duration::from_millis(200);
+const INIT_RTO: Duration = Duration::from_millis(20);
+
+fn estimator() -> RttEstimator {
+    RttEstimator::new(INIT_RTO, MIN_RTO, MAX_RTO)
+}
+
+/// One congestion event: an RTT measurement or a timeout-detected loss.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Sample(u64), // microseconds
+    Timeout,
+}
+
+fn arb_events(max_len: usize) -> impl Strategy<Value = Vec<Event>> {
+    // samples span four orders of magnitude around the clamps; every
+    // third value or so is a timeout
+    proptest::collection::vec((0u8..3, 10u64..1_000_000), 1..=max_len).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, us)| {
+                if kind == 0 {
+                    Event::Timeout
+                } else {
+                    Event::Sample(us)
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Stable samples converge the SRTT onto the true RTT and the RTO
+    /// onto `SRTT + max(G, 4·RTTVAR)` — close above the sample, inside
+    /// the clamps.
+    #[test]
+    fn srtt_converges_on_stable_samples(rtt_ms in 1u64..150) {
+        let mut e = estimator();
+        let rtt = Duration::from_millis(rtt_ms);
+        for _ in 0..300 {
+            e.on_sample(rtt);
+        }
+        let srtt = e.srtt().expect("samples fed");
+        let err = srtt.abs_diff(rtt);
+        prop_assert!(
+            err <= Duration::from_micros(50),
+            "SRTT {srtt:?} must converge on {rtt:?}"
+        );
+        // RTTVAR decays toward 0, leaving RTO ≈ SRTT + granularity,
+        // clamped below by MIN_RTO
+        let rto = e.rto();
+        let floor = rtt.max(MIN_RTO);
+        prop_assert!(rto >= floor, "RTO {rto:?} below its floor {floor:?}");
+        let ceiling = (rtt + rtt / 4 + Duration::from_millis(2)).clamp(MIN_RTO, MAX_RTO);
+        prop_assert!(
+            rto <= ceiling,
+            "converged RTO {rto:?} should sit just above {rtt:?} (≤ {ceiling:?})"
+        );
+    }
+
+    /// Whatever events arrive, the RTO stays inside `[MIN_RTO, MAX_RTO]`.
+    #[test]
+    fn rto_always_within_clamps(events in arb_events(200)) {
+        let mut e = estimator();
+        for ev in events {
+            match ev {
+                Event::Sample(us) => e.on_sample(Duration::from_micros(us)),
+                Event::Timeout => e.on_timeout(),
+            }
+            let rto = e.rto();
+            prop_assert!(rto >= MIN_RTO, "RTO {rto:?} under the floor");
+            prop_assert!(rto <= MAX_RTO, "RTO {rto:?} over the cap");
+        }
+    }
+
+    /// Consecutive losses back the RTO off monotonically (doubling until
+    /// the cap); the next valid sample resets the backoff.
+    #[test]
+    fn rto_backs_off_monotonically_and_resets(
+        rtt_us in 100u64..100_000,
+        losses in 1usize..12,
+    ) {
+        let mut e = estimator();
+        e.on_sample(Duration::from_micros(rtt_us));
+        let base = e.rto();
+        let mut prev = base;
+        for i in 0..losses {
+            e.on_timeout();
+            let now = e.rto();
+            prop_assert!(
+                now >= prev,
+                "backoff must never shorten the RTO (loss {i}: {now:?} < {prev:?})"
+            );
+            if prev < MAX_RTO {
+                prop_assert!(
+                    now == (prev * 2).min(MAX_RTO),
+                    "each loss doubles to the cap: {prev:?} -> {now:?}"
+                );
+            }
+            prev = now;
+        }
+        // recovery: one fresh sample clears the backoff entirely
+        e.on_sample(Duration::from_micros(rtt_us));
+        prop_assert!(
+            e.rto() <= base.max(MIN_RTO) * 2,
+            "a valid sample must reset the backoff (got {:?}, base {base:?})",
+            e.rto()
+        );
+    }
+
+    /// The window honours `1 ≤ cwnd ≤ cap` for any ack/loss interleaving,
+    /// halves on loss and gains at most one request per ack.
+    #[test]
+    fn window_bounded_for_any_interleaving(
+        init in 1u32..64,
+        cap in 1u32..64,
+        acks_and_losses in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let cap = f64::from(cap);
+        let mut w = AimdWindow::new(f64::from(init), cap);
+        prop_assert!(w.cwnd() >= 1.0 && w.cwnd() <= cap, "init clamped");
+        for is_ack in acks_and_losses {
+            let before = w.cwnd();
+            if is_ack {
+                w.on_ack();
+                prop_assert!(
+                    w.cwnd() >= before && w.cwnd() <= (before + 1.0).min(cap),
+                    "additive increase is at most one per ack: {before} -> {}",
+                    w.cwnd()
+                );
+            } else {
+                w.on_loss();
+                prop_assert!(
+                    w.cwnd() >= (before / 2.0).max(1.0) - 1e-12
+                        && w.cwnd() <= before.max(1.0),
+                    "multiplicative decrease halves: {before} -> {}",
+                    w.cwnd()
+                );
+            }
+            prop_assert!(w.cwnd() >= 1.0, "window below 1 forbids progress");
+            prop_assert!(w.cwnd() <= cap, "window above its cap");
+            // the admission predicate agrees with the window value
+            prop_assert!(w.admits(0), "one request must always be admissible");
+            prop_assert!(
+                !w.admits(w.cwnd().floor() as u32 + 1),
+                "cwnd + 1 outstanding must never admit another"
+            );
+        }
+    }
+
+    /// Pacing release times never go backwards, for any monotone sequence
+    /// of clock readings and any gaps.
+    #[test]
+    fn pacer_releases_non_decreasing(
+        steps in proptest::collection::vec((0u64..5_000, 0u64..5_000), 1..200),
+    ) {
+        let mut p = Pacer::new();
+        let mut now = Instant::now();
+        let mut prev_release: Option<Instant> = None;
+        for (advance_us, gap_us) in steps {
+            now += Duration::from_micros(advance_us); // clocks only advance
+            let release = p.schedule(now, Duration::from_micros(gap_us));
+            prop_assert!(release >= now, "release may not predate the request");
+            if let Some(prev) = prev_release {
+                prop_assert!(
+                    release >= prev,
+                    "paced releases must be non-decreasing"
+                );
+            }
+            prev_release = Some(release);
+        }
+    }
+
+    /// Token pacing enforces the gap between consecutive releases, and an
+    /// idle pacer accumulates no burst credit.
+    #[test]
+    fn pacer_enforces_gaps(gap_us in 1u64..10_000, n in 2usize..50) {
+        let mut p = Pacer::new();
+        let t0 = Instant::now();
+        let gap = Duration::from_micros(gap_us);
+        let mut prev = p.schedule(t0, gap);
+        prop_assert_eq!(prev, t0, "idle pacer releases immediately");
+        for i in 1..n {
+            let release = p.schedule(t0, gap);
+            prop_assert_eq!(
+                release,
+                prev + gap,
+                "back-to-back sends are spaced exactly one gap apart ({})",
+                i
+            );
+            prev = release;
+        }
+    }
+}

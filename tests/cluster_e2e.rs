@@ -1,7 +1,8 @@
 //! End-to-end integration across the whole stack: encrypted search on a
 //! live cluster through the typed client/admin API — store, query (batch
 //! and streaming), repartition, fail, hedge — the lifecycle a production
-//! deployment would see, on both transports.
+//! deployment would see, on every transport (pin one via
+//! `ROAR_TRANSPORT=tcp|udp|ccudp` — CI's transport matrix does).
 
 use rand::Rng;
 use roar::cluster::{
@@ -12,6 +13,36 @@ use roar::pps::metadata::{FileMeta, MetaEncryptor};
 use roar::pps::query::{Combiner, Predicate, QueryCompiler};
 use roar::util::det_rng;
 use std::time::Duration;
+
+/// CI's transport matrix pins one transport per leg via `ROAR_TRANSPORT`
+/// (`tcp` / `udp` / `ccudp`); unset means "run every transport's test".
+/// An unrecognised value is a hard error — a typo in a workflow must not
+/// silently skip the whole suite.
+fn pinned_transport() -> Option<String> {
+    match std::env::var("ROAR_TRANSPORT") {
+        Ok(name) => {
+            assert!(
+                TransportSpec::from_name(&name).is_some(),
+                "ROAR_TRANSPORT={name} is not a known transport (tcp|udp|ccudp)"
+            );
+            Some(name)
+        }
+        Err(_) => None,
+    }
+}
+
+/// Should the test for `transport` run under the current pinning?
+fn enabled(transport: &str) -> bool {
+    pinned_transport().is_none_or(|p| p == transport)
+}
+
+/// The transport fixed-transport tests use: the pinned one, default TCP.
+fn default_spec() -> TransportSpec {
+    match pinned_transport() {
+        Some(name) => TransportSpec::from_name(&name).expect("validated above"),
+        None => TransportSpec::Tcp,
+    }
+}
 
 fn pps_body(enc: &MetaEncryptor, word: &str) -> QueryBody {
     let q = QueryCompiler::new(enc).compile(&[Predicate::Keyword(word.into())], Combiner::And);
@@ -102,6 +133,9 @@ async fn full_lifecycle(transport: TransportSpec) {
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn full_lifecycle_store_query_repartition_fail() {
+    if !enabled("tcp") {
+        return;
+    }
     full_lifecycle(TransportSpec::Tcp).await
 }
 
@@ -109,12 +143,25 @@ async fn full_lifecycle_store_query_repartition_fail() {
 // boundary means nothing above the RPC layer can tell the difference
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn full_lifecycle_over_udp_transport() {
+    if !enabled("udp") {
+        return;
+    }
     full_lifecycle(TransportSpec::udp()).await
+}
+
+// and over the congestion-controlled datagram path: adaptive RTO, AIMD
+// window and pacing must be invisible to everything above the RPC layer
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn full_lifecycle_over_ccudp_transport() {
+    if !enabled("ccudp") {
+        return;
+    }
+    full_lifecycle(TransportSpec::ccudp()).await
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn updates_visible_to_subsequent_queries() {
-    let h = spawn_cluster(ClusterConfig::uniform(6, 1_000_000.0, 2))
+    let h = spawn_cluster(ClusterConfig::uniform(6, 1_000_000.0, 2).with_transport(default_spec()))
         .await
         .unwrap();
     let enc = MetaEncryptor::with_points(b"bob", vec![1_000_000], vec![1_300_000_000]);
@@ -170,7 +217,7 @@ async fn balance_step_keeps_queries_exact() {
         ],
         p: 2,
         overhead_s: 0.0,
-        transport: TransportSpec::Tcp,
+        transport: default_spec(),
         backend: Backend::auto(),
     };
     let h = spawn_cluster(cfg).await.unwrap();
