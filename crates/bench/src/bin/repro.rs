@@ -21,6 +21,14 @@
 //!                                  cross traffic → BENCH_congestion.json;
 //!                                  exits non-zero if ccudp loses on p99 or
 //!                                  goodput at the top of the ramp
+//!   repro bench_churn [--scenario S] [--transport T]
+//!                                  reconciler convergence under churn
+//!                                  (rolling restart / flash crowd / rack
+//!                                  failure × tcp/udp/ccudp) → BENCH_churn.json;
+//!                                  exits non-zero if any cell fails to
+//!                                  converge or rolling restart drops the
+//!                                  harvest floor; the flags select one
+//!                                  cell (CI's chaos-smoke invocation)
 //!   repro check_bench_schema       CI gate: every committed BENCH_*.json
 //!                                  parses and carries its required fields
 //!   repro --quick <...>            reduced workloads (smoke/CI)
@@ -201,6 +209,49 @@ fn bench_congestion(scale: Scale) {
     }
 }
 
+fn bench_churn(scale: Scale, scenario: Option<&str>, transport: Option<&str>) {
+    let b = roar_bench::churn::run_filtered(scale, scenario, transport);
+    let json = b.to_json();
+    print!("{json}");
+    // the committed artifact is the full matrix at full scale; quick
+    // smokes and filtered cells (CI's chaos-smoke invocation) must not
+    // overwrite it with a partial document
+    let full_matrix = scenario.is_none() && transport.is_none();
+    let wrote = if scale == Scale::Full && full_matrix {
+        std::fs::write("BENCH_churn.json", &json).expect("write BENCH_churn.json");
+        " -> BENCH_churn.json"
+    } else {
+        " (partial/quick run: BENCH_churn.json left untouched)"
+    };
+    for t in &b.transports {
+        for s in &t.scenarios {
+            eprintln!(
+                "bench_churn: {}/{} — harvest floor {:.3} (target {:.2}), p99 {:.1} ms, \
+                 converged {} (n={}, p={})",
+                t.name,
+                s.scenario,
+                s.harvest_floor,
+                b.harvest_target,
+                s.p99_ms,
+                s.converged,
+                s.final_n,
+                s.final_p,
+            );
+        }
+    }
+    eprintln!("bench_churn: done{wrote}");
+    // the CI gate: every cell converges, and cycling the whole fleet
+    // under live load never drops the harvest floor
+    if !b.churn_holds_harvest() {
+        eprintln!(
+            "bench_churn: FAIL — a cell failed to converge or rolling restart \
+             dropped windowed harvest below {:.2}",
+            b.harvest_target
+        );
+        std::process::exit(1);
+    }
+}
+
 fn check_bench_schema() {
     match roar_bench::schema::check_dir(std::path::Path::new(".")) {
         Ok(checked) => {
@@ -246,7 +297,29 @@ fn main() {
             }
         }
     };
-    let value_flags = ["--append", "--backend"];
+    let churn_scenario: Option<String> = args.iter().position(|a| a == "--scenario").map(|i| {
+        let s = args.get(i + 1).expect("--scenario needs a name").clone();
+        if !roar_bench::churn::SCENARIOS.contains(&s.as_str()) {
+            eprintln!(
+                "--scenario {s:?} not recognised ({})",
+                roar_bench::churn::SCENARIOS.join("|")
+            );
+            std::process::exit(2);
+        }
+        s
+    });
+    let churn_transport: Option<String> = args.iter().position(|a| a == "--transport").map(|i| {
+        let t = args.get(i + 1).expect("--transport needs a name").clone();
+        if !roar_bench::churn::TRANSPORTS.contains(&t.as_str()) {
+            eprintln!(
+                "--transport {t:?} not recognised ({})",
+                roar_bench::churn::TRANSPORTS.join("|")
+            );
+            std::process::exit(2);
+        }
+        t
+    });
+    let value_flags = ["--append", "--backend", "--scenario", "--transport"];
     let wanted: Vec<&String> = args
         .iter()
         .enumerate()
@@ -270,6 +343,7 @@ fn main() {
              | repro bench_pps [--append N] [--backend scalar|sse2|avx2|auto] \
              | repro bench_pps_backends | repro check_pps_trajectory \
              | repro bench_incast | repro bench_tail | repro bench_congestion \
+             | repro bench_churn [--scenario S] [--transport T] \
              | repro check_bench_schema"
         );
         return;
@@ -298,6 +372,10 @@ fn main() {
     }
     if wanted.iter().any(|w| w.as_str() == "bench_congestion") {
         bench_congestion(scale);
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "bench_churn") {
+        bench_churn(scale, churn_scenario.as_deref(), churn_transport.as_deref());
         ran += 1;
     }
     if wanted.iter().any(|w| w.as_str() == "check_bench_schema") {

@@ -352,6 +352,7 @@ fn pq_balancing(scale: Scale) -> (Vec<f64>, Vec<f64>) {
             overhead_s: 0.0,
             transport: TransportSpec::Tcp,
             backend: Backend::auto(),
+            fault_gates: false,
         };
         let h = spawn_cluster(cfg).await.expect("cluster");
         let mut rng = det_rng(77);
@@ -666,6 +667,7 @@ pub fn fig7_13(scale: Scale) -> Report {
             overhead_s: 0.0,
             transport: TransportSpec::Tcp,
             backend: Backend::auto(),
+            fault_gates: false,
         };
         let h = spawn_cluster(cfg).await.expect("cluster");
         let mut rng = det_rng(713);

@@ -11,6 +11,7 @@ pub mod ch4;
 pub mod ch5;
 pub mod ch6;
 pub mod ch7;
+pub mod churn;
 pub mod congestion;
 pub mod incast;
 pub mod pps_bench;

@@ -35,6 +35,16 @@ pub fn required_keys(file_name: &str) -> &'static [&'static str] {
             "p99_speedup_hedged",
             "fanout_overhead",
         ],
+        "BENCH_churn.json" => &[
+            "benchmark",
+            "config",
+            "transports",
+            "scenarios",
+            "harvest_floor",
+            "p99_ms",
+            "converged",
+            "final_n",
+        ],
         "BENCH_congestion.json" => &[
             "benchmark",
             "config",
@@ -338,6 +348,30 @@ mod tests {
         // one mode only: the schema check cares about shape, not the pair
         check_artifact("BENCH_congestion.json", &congestion.to_json())
             .expect("writer output must satisfy its own schema");
+        let churn = crate::churn::BenchChurn {
+            nodes: 4,
+            p: 2,
+            ids: 10,
+            harvest_target: 0.9,
+            transports: vec![crate::churn::TransportRun {
+                name: "tcp",
+                scenarios: vec![crate::churn::ScenarioResult {
+                    scenario: "rolling_restart",
+                    queries: 8,
+                    windows: 1,
+                    harvest_floor: 1.0,
+                    mean_harvest: 1.0,
+                    p50_ms: 1.0,
+                    p99_ms: 2.0,
+                    max_ms: 2.0,
+                    converged: true,
+                    final_n: 4,
+                    final_p: 2,
+                }],
+            }],
+        };
+        check_artifact("BENCH_churn.json", &churn.to_json())
+            .expect("churn writer output must satisfy its own schema");
         // a trajectory file exactly as trajectory::new_file produces it
         let pps = crate::trajectory::new_file(
             "{\"pr\": 1, \"scalar\": {\"records_per_s\": 1}, \

@@ -31,6 +31,51 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// A control-plane operation failed.
+///
+/// Control RPCs run under bounded retry with jittered exponential backoff
+/// (a single lost datagram on udp/ccudp must not fail a whole
+/// reconfiguration), so the terminal error names the op and the budget
+/// that was exhausted instead of surfacing the first transient
+/// [`RpcError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminError {
+    /// Every retry of one control RPC failed; the target node has been
+    /// marked dead.
+    RetriesExhausted {
+        /// Which control operation (`"store"`, `"set_coverage"`, …).
+        op: &'static str,
+        /// The node the RPC targeted.
+        node: usize,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The last transport-level error observed.
+        last: RpcError,
+    },
+    /// A non-retryable failure (e.g. the initial connect of
+    /// [`Admin::add_node`]).
+    Rpc { op: &'static str, err: RpcError },
+}
+
+impl std::fmt::Display for AdminError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdminError::RetriesExhausted {
+                op,
+                node,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "control op {op:?} to node {node} failed after {attempts} attempts (last: {last:?})"
+            ),
+            AdminError::Rpc { op, err } => write!(f, "control op {op:?} failed: {err:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AdminError {}
+
 /// The control plane of one connected cluster. Cheap to clone.
 #[derive(Clone)]
 pub struct Admin {
@@ -80,11 +125,68 @@ impl Admin {
         self.core.stats.read().is_alive(node)
     }
 
+    /// Actively probe a node's liveness with one `Ping` and record the
+    /// verdict in the server statistics (believed-dead nodes get a second
+    /// chance; silent corpses are confirmed dead). The reconciler's
+    /// observer runs this per ring member.
+    pub async fn probe_alive(&self, node: usize) -> bool {
+        let timeout = Duration::from_millis(1500).min(self.core.timeout);
+        match self.core.conn(node).rpc(Msg::Ping, timeout).await {
+            Ok(Msg::Pong) => {
+                self.core.stats.write().on_alive(node);
+                true
+            }
+            _ => {
+                self.core.stats.write().on_timeout(node);
+                false
+            }
+        }
+    }
+
+    /// How many records the backend says a node's coverage under `ring`
+    /// requires — the expected side of the observer's completeness check.
+    pub fn expected_records(&self, ring: &RoarRing, node: usize) -> u64 {
+        let ids = self
+            .core
+            .backend
+            .synthetic_matching(&mut |id| ring.stores(node, id));
+        let recs = self
+            .core
+            .backend
+            .records_matching(&mut |id| ring.stores(node, id));
+        (ids.len() + recs.len()) as u64
+    }
+
+    /// How many records (PPS + synthetic) a node currently holds — the
+    /// observer's coverage-completeness signal.
+    pub async fn node_record_count(&self, node: usize) -> Result<u64, RpcError> {
+        match self
+            .core
+            .conn(node)
+            .rpc(Msg::CountRequest, self.core.timeout)
+            .await?
+        {
+            Msg::Count { records } => Ok(records),
+            _ => Err(RpcError::Disconnected),
+        }
+    }
+
+    /// Fault injection: scale a node's synthetic processing time by
+    /// `factor` (1.0 = nominal, 4.0 = four times slower). The slow node
+    /// stays alive and correct — only its latency degrades, the §4.8.2
+    /// straggler model.
+    pub async fn set_speed_factor(&self, node: usize, factor: f64) -> Result<(), AdminError> {
+        self.core
+            .control_rpc("set_speed_factor", node, Msg::SetSpeedFactor { factor })
+            .await?;
+        Ok(())
+    }
+
     // ---- ingest (backend + replica fan-out) ---------------------------
 
     /// Store synthetic ids on their replica sets (and remember them in the
     /// backend).
-    pub async fn store_synthetic(&self, ids: &[u64]) -> Result<(), RpcError> {
+    pub async fn store_synthetic(&self, ids: &[u64]) -> Result<(), AdminError> {
         self.core.backend.append_synthetic(ids);
         let ring = self.core.ring_snapshot();
         let mut per_node: HashMap<usize, (Vec<WireRecord>, Vec<u64>)> = HashMap::new();
@@ -100,7 +202,7 @@ impl Admin {
     pub async fn store_records(
         &self,
         records: &[roar_pps::EncryptedMetadata],
-    ) -> Result<(), RpcError> {
+    ) -> Result<(), AdminError> {
         self.core.backend.append_records(records);
         let ring = self.core.ring_snapshot();
         let mut per_node: HashMap<usize, (Vec<WireRecord>, Vec<u64>)> = HashMap::new();
@@ -118,15 +220,17 @@ impl Admin {
 
     /// Tell every node its ring successor so [`Self::store_synthetic_p2p`]
     /// chains work. Re-push after membership or balancing changes.
-    pub async fn push_successors(&self) -> Result<(), RpcError> {
+    pub async fn push_successors(&self) -> Result<(), AdminError> {
         let ring = self.core.ring_snapshot();
         let entries = ring.map().entries().to_vec();
         for i in 0..entries.len() {
+            if !self.node_alive(entries[i].node) {
+                continue;
+            }
             let succ = entries[(i + 1) % entries.len()].node;
             let addr = self.core.conn(succ).addr().to_string();
             self.core
-                .conn(entries[i].node)
-                .rpc(Msg::SetSuccessor { addr }, self.core.timeout)
+                .control_rpc("set_successor", entries[i].node, Msg::SetSuccessor { addr })
                 .await?;
         }
         Ok(())
@@ -139,7 +243,7 @@ impl Admin {
     /// intra-rack (§4.9.2). Falls back to direct per-replica pushes for any
     /// batch whose chain breaks (e.g. a dead node mid-arc), skipping
     /// unreachable replicas — the survivors keep the arc queryable.
-    pub async fn store_synthetic_p2p(&self, ids: &[u64]) -> Result<(), RpcError> {
+    pub async fn store_synthetic_p2p(&self, ids: &[u64]) -> Result<(), AdminError> {
         self.core.backend.append_synthetic(ids);
         let ring = self.core.ring_snapshot();
         // batch by (first replica, chain length): one chain per batch
@@ -186,7 +290,13 @@ impl Admin {
     /// decreases (more replication) the extra records are pushed from the
     /// backend and the committed level only changes after every node
     /// confirms; queries remain correct throughout.
-    pub async fn set_p(&self, new_p: usize) -> Result<(), RpcError> {
+    ///
+    /// A decrease that hits a dead node fails with
+    /// [`AdminError::RetriesExhausted`] and leaves the transition **in
+    /// flight** (queries stay safe on the old, larger `pq`); the caller —
+    /// typically the [`crate::reconcile::Reconciler`] — aborts it and
+    /// re-plans against the surviving membership.
+    pub async fn set_p(&self, new_p: usize) -> Result<(), AdminError> {
         let old_p = self.p();
         if new_p == old_p {
             return Ok(());
@@ -233,7 +343,7 @@ impl Admin {
 
     /// Re-push from the backend whatever each node's coverage now requires
     /// (nodes dedupe by id on insert).
-    pub async fn backfill(&self) -> Result<(), RpcError> {
+    pub async fn backfill(&self) -> Result<(), AdminError> {
         self.core.backfill().await
     }
 
@@ -242,7 +352,7 @@ impl Admin {
     /// One §4.6 balancing round: move boundaries toward load-proportional
     /// ranges using current speed estimates, then push new coverages and
     /// backfill data.
-    pub async fn balance_step(&self) -> Result<usize, RpcError> {
+    pub async fn balance_step(&self) -> Result<usize, AdminError> {
         let moved = {
             let stats = self.core.stats.read();
             let speeds: Vec<f64> = (0..self.n()).map(|i| stats.speed_estimate(i)).collect();
@@ -291,13 +401,16 @@ impl Admin {
     /// data from the backend *before* it takes over half the hot node's
     /// range, so queries never see a window nobody covers. Returns the new
     /// node's id.
-    pub async fn add_node(&self, addr: SocketAddr) -> Result<usize, RpcError> {
+    pub async fn add_node(&self, addr: SocketAddr) -> Result<usize, AdminError> {
         let conn = self
             .core
             .transport
             .connect(addr)
             .await
-            .map_err(|_| RpcError::Disconnected)?;
+            .map_err(|_| AdminError::Rpc {
+                op: "connect",
+                err: RpcError::Disconnected,
+            })?;
         let new_id = {
             let mut conns = self.core.conns.write();
             conns.push(conn);
@@ -308,19 +421,35 @@ impl Admin {
             let sid = st.add_node();
             debug_assert_eq!(sid, new_id, "stats and conns must stay index-aligned");
         }
-        // pick the hottest entry: largest range per unit of estimated speed
+        // pick the entry to split: durability first, then load. A range
+        // longer than the replication arc L under-replicates its interior —
+        // objects whose whole arc fits inside one range live on that node
+        // alone — so the widest such range is split unconditionally;
+        // otherwise the hottest entry (largest range per unit of estimated
+        // speed) is picked as usual.
         let new_ring = {
             let ring = self.core.ring_snapshot();
             let st = self.core.stats.read();
-            let hot = (0..ring.n())
-                .max_by(|&a, &b| {
-                    let la =
-                        ring.map().fraction_at(a) / st.speed_estimate(ring.map().entries()[a].node);
-                    let lb =
-                        ring.map().fraction_at(b) / st.speed_estimate(ring.map().entries()[b].node);
-                    la.partial_cmp(&lb).expect("loads are not NaN")
+            let widest = (0..ring.n())
+                .max_by_key(|&i| {
+                    let (s, e) = ring.map().range_at(i);
+                    roar_core::ring::dist_cw(s, e)
                 })
                 .expect("non-empty ring");
+            let (ws, we) = ring.map().range_at(widest);
+            let hot = if roar_core::ring::dist_cw(ws, we) > ring.l() {
+                widest
+            } else {
+                (0..ring.n())
+                    .max_by(|&a, &b| {
+                        let la = ring.map().fraction_at(a)
+                            / st.speed_estimate(ring.map().entries()[a].node);
+                        let lb = ring.map().fraction_at(b)
+                            / st.speed_estimate(ring.map().entries()[b].node);
+                        la.partial_cmp(&lb).expect("loads are not NaN")
+                    })
+                    .expect("non-empty ring")
+            };
             let mut new_ring = ring.clone();
             new_ring.map_mut().insert_half(new_id, hot);
             new_ring
@@ -338,8 +467,10 @@ impl Admin {
     /// infinite. The two neighbours will grow their ranges into the range of
     /// the node to be removed by downloading the additional data needed."
     /// The departing node is shut down only after its neighbours cover its
-    /// range.
-    pub async fn remove_node(&self, node: usize) -> Result<(), RpcError> {
+    /// range. Removing an already-dead node is the failure-heal path: the
+    /// survivors' downloads still run, only the final shutdown courtesy
+    /// call is skipped.
+    pub async fn remove_node(&self, node: usize) -> Result<(), AdminError> {
         let new_ring = {
             let ring = self.core.ring_snapshot();
             assert!(
@@ -355,19 +486,26 @@ impl Admin {
             new_ring
         };
         // neighbours (and only they) gained range: backfill everyone whose
-        // coverage grew, from the backend
+        // coverage grew, from the backend — skipping members currently
+        // believed dead, so one corpse cannot wedge the removal of another
         for i in 0..new_ring.n() {
             let nid = new_ring.map().entries()[i].node;
+            if !self.node_alive(nid) {
+                continue;
+            }
             self.core.push_node_coverage_data(&new_ring, nid).await?;
         }
         *self.core.ring.write() = new_ring;
         self.core.push_coverages().await?;
-        // now the departing node may go
-        let _ = self
-            .core
-            .conn(node)
-            .rpc(Msg::Shutdown, Duration::from_millis(500))
-            .await;
+        // now the departing node may go (skip the courtesy call if it is
+        // already dead)
+        if self.node_alive(node) {
+            let _ = self
+                .core
+                .conn(node)
+                .rpc(Msg::Shutdown, Duration::from_millis(500))
+                .await;
+        }
         self.core.stats.write().on_timeout(node);
         Ok(())
     }
@@ -392,12 +530,16 @@ impl Admin {
             {
                 Msg::Coverage {
                     start,
-                    end: _,
+                    end,
                     has: true,
                 } => {
-                    // coverage = (range_start − L, range_end − 1]
-                    let l = s.wrapping_sub(start) as u128;
-                    min_l = min_l.min(l.max(1));
+                    // coverage = (range_start − L, range_end − 1]; a
+                    // start == end reply is the clamped full-ring coverage
+                    // and bounds nothing
+                    if start != end {
+                        let l = s.wrapping_sub(start) as u128;
+                        min_l = min_l.min(l.max(1));
+                    }
                 }
                 Msg::Coverage { has: false, .. } => {
                     // never trimmed: the node holds everything pushed to it

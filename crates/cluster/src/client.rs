@@ -196,6 +196,8 @@ impl QueryClient {
             pq_override: None,
             hedge: None,
             crypto: None,
+            retries: 0,
+            retry_backoff: Duration::from_millis(3),
         }
     }
 
@@ -230,6 +232,8 @@ pub struct QueryBuilder {
     pq_override: Option<usize>,
     hedge: Option<HedgePolicy>,
     crypto: Option<Backend>,
+    retries: usize,
+    retry_backoff: Duration,
 }
 
 impl QueryBuilder {
@@ -271,6 +275,23 @@ impl QueryBuilder {
     /// the requested one is unavailable on their CPU).
     pub fn crypto_backend(mut self, backend: Backend) -> Self {
         self.crypto = Some(backend);
+        self
+    }
+
+    /// Re-plan and re-run the whole query up to `attempts` more times when
+    /// windows were refused or lost — §4.8.3's front-end retry. Each
+    /// attempt plans against a **fresh** ring snapshot, so a query that
+    /// straddled a control-plane transition (reconciler churn, `set_p`)
+    /// retries on consistent topology. Attempt `i` backs off
+    /// `backoff · (1 + i/2)` first. The reported output is the
+    /// best-harvest attempt; its `wall_s` spans all attempts, so retry
+    /// cost shows up in latency, never in silently lowered harvest.
+    ///
+    /// Off by default: probing flows ([`Admin::discover_p_by_probing`])
+    /// read refusals as signal and must not have them masked.
+    pub fn retry_on_partial(mut self, attempts: usize, backoff: Duration) -> Self {
+        self.retries = attempts;
+        self.retry_backoff = backoff;
         self
     }
 
@@ -329,7 +350,48 @@ impl QueryBuilder {
     }
 
     /// Run to resolution and aggregate (the non-streaming entry point).
+    /// Honours [`Self::retry_on_partial`]; streaming callers
+    /// ([`Self::stream`]) see single attempts and manage retries
+    /// themselves.
     pub async fn run(self) -> QueryOutput {
+        let retries = self.retries;
+        let backoff = self.retry_backoff;
+        let core = Arc::clone(&self.core);
+        let body = self.body.clone();
+        let (deadline, harvest_target) = (self.deadline, self.harvest_target);
+        let (sched, pq_override) = (self.sched, self.pq_override);
+        let (hedge, crypto) = (self.hedge, self.crypto);
+        let attempt = move || QueryBuilder {
+            core: Arc::clone(&core),
+            body: body.clone(),
+            deadline,
+            harvest_target,
+            sched,
+            pq_override,
+            hedge,
+            crypto,
+            retries: 0,
+            retry_backoff: backoff,
+        };
+        let t0 = Instant::now();
+        let mut out = attempt().run_once().await;
+        for i in 0..retries {
+            if out.harvest >= 1.0 {
+                break;
+            }
+            tokio::time::sleep(backoff + backoff.mul_f64(i as f64 * 0.5)).await;
+            let next = attempt().run_once().await;
+            if next.harvest > out.harvest {
+                out = next;
+            }
+        }
+        if retries > 0 {
+            out.wall_s = t0.elapsed().as_secs_f64();
+        }
+        out
+    }
+
+    async fn run_once(self) -> QueryOutput {
         let mut stream = self.stream();
         while stream.next().await.is_some() {}
         stream.finish()

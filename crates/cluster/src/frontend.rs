@@ -15,6 +15,7 @@
 //! paper's single front-end process, with the roles separated at the type
 //! level instead of one `pub async fn` pile.
 
+use crate::admin::AdminError;
 use crate::backend::BackendStore;
 use crate::proto::{Msg, QueryBody, WireRecord};
 use crate::transport::{NodeLink, Transport};
@@ -501,46 +502,97 @@ impl ClusterCore {
 
     // ---- control-plane helpers (used by `Admin`) ----------------------
 
+    /// One control-plane RPC under bounded retry with jittered exponential
+    /// backoff: a single lost datagram on udp/ccudp must not fail a whole
+    /// reconfiguration op. Success refreshes the node's liveness; exhausting
+    /// the budget marks it dead and surfaces
+    /// [`AdminError::RetriesExhausted`] instead of the first [`RpcError`].
+    /// The jitter is a deterministic hash of `(op, node, attempt)`, so
+    /// failure timings reproduce run to run.
+    pub(crate) async fn control_rpc(
+        &self,
+        op: &'static str,
+        node: usize,
+        msg: Msg,
+    ) -> Result<Msg, AdminError> {
+        const ATTEMPTS: u32 = 4;
+        let mut last = RpcError::Timeout;
+        for attempt in 0..ATTEMPTS {
+            if attempt > 0 {
+                tokio::time::sleep(control_backoff(op, node, attempt)).await;
+            }
+            match self.conn(node).rpc(msg.clone(), self.timeout).await {
+                Ok(reply) => {
+                    let mut st = self.stats.write();
+                    st.set_now(self.now());
+                    st.on_alive(node);
+                    return Ok(reply);
+                }
+                Err(e) => last = e,
+            }
+        }
+        self.stats.write().on_timeout(node);
+        Err(AdminError::RetriesExhausted {
+            op,
+            node,
+            attempts: ATTEMPTS,
+            last,
+        })
+    }
+
     /// Push each node its current coverage window (dropping anything
-    /// outside).
-    pub(crate) async fn push_coverages(&self) -> Result<(), RpcError> {
+    /// outside). Nodes currently believed dead are skipped — their stale,
+    /// wider coverage only retains extra data, never wrong answers — so a
+    /// partially-failed cluster can still make control-plane progress; a
+    /// later [`Self::backfill`] (or the reconciler) heals survivors.
+    pub(crate) async fn push_coverages(&self) -> Result<(), AdminError> {
         let ring = self.ring_snapshot();
         for i in 0..ring.n() {
             let entry = ring.map().entries()[i];
-            let (s, e) = ring.map().range_at(i);
-            let cov_start = s.wrapping_sub(ring.l());
-            let cov_end = e.wrapping_sub(1);
-            self.conn(entry.node)
-                .rpc(
-                    Msg::SetCoverage {
-                        start: cov_start,
-                        end: cov_end,
-                    },
-                    self.timeout,
-                )
-                .await?;
+            if !self.stats.read().is_alive(entry.node) {
+                continue;
+            }
+            // clamped: a range spanning ≥ 1 − 1/p of the ring covers it all,
+            // sent as the start == end full window
+            let cov = ring.map().coverage_at(i, ring.l());
+            self.control_rpc(
+                "set_coverage",
+                entry.node,
+                Msg::SetCoverage {
+                    start: cov.start,
+                    end: cov.end,
+                },
+            )
+            .await?;
         }
         Ok(())
     }
 
     /// Re-push from the backend whatever each node's coverage now requires
-    /// (nodes dedupe by id on insert — see MetadataStore semantics).
-    pub(crate) async fn backfill(&self) -> Result<(), RpcError> {
+    /// (nodes dedupe by id on insert — see MetadataStore semantics). Dead
+    /// ring members are skipped, same contract as
+    /// [`Self::push_coverages`].
+    pub(crate) async fn backfill(&self) -> Result<(), AdminError> {
         let ring = self.ring_snapshot();
         for i in 0..ring.n() {
             let node = ring.map().entries()[i].node;
+            if !self.stats.read().is_alive(node) {
+                continue;
+            }
             self.push_node_coverage_data(&ring, node).await?;
         }
         Ok(())
     }
 
     /// Push `node` everything a given ring says it must store (a no-op rpc
-    /// is skipped when the backend has nothing for it).
+    /// is skipped when the backend has nothing for it). Does **not** skip
+    /// dead nodes: callers that need the push to land (repartition
+    /// confirmation, join downloads) must see the failure.
     pub(crate) async fn push_node_coverage_data(
         &self,
         ring: &RoarRing,
         node: usize,
-    ) -> Result<(), RpcError> {
+    ) -> Result<(), AdminError> {
         let ids = self
             .backend
             .synthetic_matching(&mut |id| ring.stores(node, id));
@@ -553,36 +605,60 @@ impl ClusterCore {
         if ids.is_empty() && recs.is_empty() {
             return Ok(());
         }
-        self.conn(node)
-            .rpc(
-                Msg::Store {
-                    records: recs,
-                    synthetic_ids: ids,
-                },
-                self.timeout,
-            )
-            .await?;
+        self.control_rpc(
+            "store",
+            node,
+            Msg::Store {
+                records: recs,
+                synthetic_ids: ids,
+            },
+        )
+        .await?;
         Ok(())
     }
 
-    /// Per-node replica push used by the store operations.
+    /// Per-node replica push used by the store operations. Replicas
+    /// currently believed dead are skipped (the backend keeps the
+    /// authoritative copy; a later backfill re-pushes), so ingest survives
+    /// churn.
     pub(crate) async fn push_store_batches(
         &self,
         per_node: HashMap<usize, (Vec<WireRecord>, Vec<u64>)>,
-    ) -> Result<(), RpcError> {
+    ) -> Result<(), AdminError> {
         for (node, (records, synthetic_ids)) in per_node {
-            self.conn(node)
-                .rpc(
-                    Msg::Store {
-                        records,
-                        synthetic_ids,
-                    },
-                    self.timeout,
-                )
-                .await?;
+            if !self.stats.read().is_alive(node) {
+                continue;
+            }
+            self.control_rpc(
+                "store",
+                node,
+                Msg::Store {
+                    records,
+                    synthetic_ids,
+                },
+            )
+            .await?;
         }
         Ok(())
     }
+}
+
+/// Deterministic jittered exponential backoff for control-plane retries:
+/// base 5 ms doubling per attempt, plus up to +100% jitter derived from a
+/// splitmix-style hash of `(op, node, attempt)` — spreads simultaneous
+/// retries without any shared RNG state.
+fn control_backoff(op: &'static str, node: usize, attempt: u32) -> Duration {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64
+        .wrapping_mul(u64::from(attempt))
+        .wrapping_add(node as u64);
+    for &b in op.as_bytes() {
+        x = (x ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    let base_ms = 5u64 << (attempt.saturating_sub(1)).min(4);
+    Duration::from_millis(base_ms + x % (base_ms + 1))
 }
 
 impl Drop for ClusterCore {

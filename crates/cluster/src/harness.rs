@@ -16,7 +16,7 @@
 use crate::admin::Admin;
 use crate::client::{connect_with, QueryClient};
 use crate::node::{DataNode, NodeConfig};
-use crate::transport::TransportSpec;
+use crate::transport::{NetGate, TransportSpec};
 use roar_crypto::sha1::Backend;
 use std::sync::Arc;
 
@@ -34,6 +34,12 @@ pub struct ClusterConfig {
     /// SHA-1 lane engine every node's sub-query matcher sweeps with
     /// (default: auto-detected, overridable via `ROAR_SHA1_BACKEND`).
     pub backend: Backend,
+    /// Give every node a [`NetGate`] partition switch in front of its
+    /// server loss policy, so a fault injector can cut and heal individual
+    /// nodes ([`crate::faults::FaultKind::Partition`]). Datagram
+    /// transports only — TCP has no loss-injection hook, so its gate slots
+    /// stay `None`.
+    pub fault_gates: bool,
 }
 
 impl ClusterConfig {
@@ -44,6 +50,7 @@ impl ClusterConfig {
             overhead_s: 0.0,
             transport: TransportSpec::Tcp,
             backend: Backend::auto(),
+            fault_gates: false,
         }
     }
 
@@ -57,6 +64,39 @@ impl ClusterConfig {
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Enable per-node partition gates (builder style). See
+    /// [`ClusterConfig::fault_gates`].
+    pub fn with_fault_gates(mut self) -> Self {
+        self.fault_gates = true;
+        self
+    }
+}
+
+/// Wrap a node's server-side loss policy behind `gate`; `None` when the
+/// transport has no loss-injection hook (TCP).
+fn gate_transport(spec: &TransportSpec, gate: &NetGate) -> Option<TransportSpec> {
+    match spec.clone() {
+        TransportSpec::Tcp => None,
+        TransportSpec::Udp {
+            cfg,
+            client_loss,
+            server_loss,
+        } => Some(TransportSpec::Udp {
+            cfg,
+            client_loss,
+            server_loss: server_loss.gated(gate.clone()),
+        }),
+        TransportSpec::CcUdp {
+            cfg,
+            client_loss,
+            server_loss,
+        } => Some(TransportSpec::CcUdp {
+            cfg,
+            client_loss,
+            server_loss: server_loss.gated(gate.clone()),
+        }),
     }
 }
 
@@ -72,6 +112,9 @@ pub struct ClusterHandle {
     /// The spec every role was built from (backups and late joiners must
     /// speak the same transport).
     pub transport: TransportSpec,
+    /// Per-node partition switches, index-aligned with `nodes`; populated
+    /// only under [`ClusterConfig::fault_gates`] on a datagram transport.
+    pub gates: Vec<Option<NetGate>>,
 }
 
 /// Spawn one extra data node over TCP (for §4.3 live-join experiments);
@@ -117,11 +160,22 @@ pub async fn spawn_cluster(cfg: ClusterConfig) -> std::io::Result<ClusterHandle>
     assert!(cfg.p >= 1 && cfg.p <= cfg.speeds.len());
     let mut nodes = Vec::new();
     let mut addrs = Vec::new();
+    let mut gates = Vec::new();
     for (id, &speed) in cfg.speeds.iter().enumerate() {
+        let (node_spec, gate) = if cfg.fault_gates {
+            let gate = NetGate::open_gate();
+            match gate_transport(&cfg.transport, &gate) {
+                Some(spec) => (spec, Some(gate)),
+                None => (cfg.transport.clone(), None),
+            }
+        } else {
+            (cfg.transport.clone(), None)
+        };
         let (addr, node) =
-            spawn_extra_node_with(id, speed, cfg.overhead_s, &cfg.transport, cfg.backend).await?;
+            spawn_extra_node_with(id, speed, cfg.overhead_s, &node_spec, cfg.backend).await?;
         nodes.push(node);
         addrs.push(addr);
+        gates.push(gate);
     }
     let default_speed_work = 1.0; // replaced by EWMA after first completions
     let (client, admin) =
@@ -132,15 +186,19 @@ pub async fn spawn_cluster(cfg: ClusterConfig) -> std::io::Result<ClusterHandle>
         nodes,
         addrs,
         transport: cfg.transport,
+        gates,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admin::AdminError;
     use crate::client::{connect_backup_with, connect_with, HedgePolicy, SubStatus};
+    use crate::faults::{FaultInjector, FaultKind, FaultSchedule};
     use crate::frontend::SchedOpts;
     use crate::proto::QueryBody;
+    use crate::reconcile::{DesiredTopology, Reconciler};
     use crate::transport::{CcUdpConfig, LossSpec, RpcError, UdpConfig};
     use rand::Rng;
     use roar_util::det_rng;
@@ -242,6 +300,7 @@ mod tests {
             overhead_s: 0.0,
             transport: spec,
             backend: Backend::auto(),
+            fault_gates: false,
         };
         let h = spawn_cluster(cfg).await.unwrap();
         let mut rng = det_rng(230);
@@ -666,6 +725,7 @@ mod tests {
             overhead_s: 0.0,
             transport: spec,
             backend: Backend::auto(),
+            fault_gates: false,
         };
         let h = spawn_cluster(cfg).await.unwrap();
         let mut rng = det_rng(217);
@@ -763,6 +823,7 @@ mod tests {
             overhead_s: 0.0,
             transport: spec,
             backend: Backend::auto(),
+            fault_gates: false,
         };
         let h = spawn_cluster(cfg).await.unwrap();
         let mut rng = det_rng(235);
@@ -795,6 +856,7 @@ mod tests {
             overhead_s: 0.0,
             transport: spec,
             backend: Backend::auto(),
+            fault_gates: false,
         };
         let h = spawn_cluster(cfg).await.unwrap();
         let mut rng = det_rng(236);
@@ -818,6 +880,144 @@ mod tests {
             took < Duration::from_millis(330),
             "hedge must beat the 0.4 s straggler: {took:?}"
         );
+    }
+
+    // ---- reconciler / fault-injection scenarios ----------------------
+
+    async fn reconciler_is_idempotent_on_converged_cluster(spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(240);
+        let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        let mut rec = Reconciler::new(h.admin.clone(), DesiredTopology::new(4, 2));
+        let observed = rec.observe().await;
+        assert!(
+            crate::reconcile::plan(&observed, rec.desired()).is_empty(),
+            "a converged cluster must plan the empty sequence"
+        );
+        let tick = rec.tick().await;
+        assert_eq!((tick.applied, tick.plan.len()), (0, 0));
+        assert_eq!(
+            rec.run_to_convergence(4).await.unwrap(),
+            0,
+            "already converged: zero ticks of work"
+        );
+    }
+
+    async fn reconciler_replaces_crashed_nodes_under_rolling_restart(spec: TransportSpec) {
+        // a 2-node slice of the fleet cycles crash→replace while the
+        // reconciler converges after each event; queries stay exact
+        let h = spawn_cluster(ClusterConfig::uniform(4, 1e6, 2).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(241);
+        let ids: Vec<u64> = (0..400).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        let schedule = FaultSchedule::rolling_restart(2, Duration::from_millis(5), 42);
+        let mut inj = FaultInjector::for_cluster(&h);
+        let mut rec = Reconciler::new(h.admin.clone(), DesiredTopology::new(4, 2));
+        for event in &schedule.events {
+            tokio::time::sleep(event.after).await;
+            // converge once the replacement exists; after a bare crash the
+            // desired n is unreachable (no spare yet) by design
+            if let Some(spare) = inj.apply(&event.kind).await {
+                rec.add_spare(spare);
+                rec.run_to_convergence(16).await.expect("converges");
+            }
+        }
+        assert_eq!(h.admin.ring().n(), 4, "fleet size restored");
+        for victim in 0..2 {
+            assert!(
+                h.admin.ring().map().range_of(victim).is_none(),
+                "crashed node {victim} must be off the ring"
+            );
+        }
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
+            .await;
+        assert_eq!(out.harvest, 1.0);
+        assert_eq!(out.scanned, 400, "exactly-once after the fleet cycled");
+    }
+
+    async fn reconciler_aborts_stalled_repartition_and_heals(spec: TransportSpec) {
+        // satellite scenario: a node crashes mid-repartition. The decrease
+        // stalls (typed RetriesExhausted, transition left in flight);
+        // the reconciler aborts it, removes the corpse and re-plans to
+        // convergence on the surviving membership.
+        let h = spawn_cluster(ClusterConfig::uniform(5, 1e6, 3).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(242);
+        let ids: Vec<u64> = (0..500).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        let mut inj = FaultInjector::for_cluster(&h);
+        inj.apply(&FaultKind::Crash { node: 4 }).await;
+        let err = h.admin.set_p(2).await;
+        assert!(
+            matches!(
+                err,
+                Err(AdminError::RetriesExhausted {
+                    op: "store",
+                    node: 4,
+                    ..
+                })
+            ),
+            "decrease through a corpse must exhaust retries, got {err:?}"
+        );
+        assert!(
+            h.admin.reconfig_in_flight(),
+            "stalled decrease stays in flight (queries keep the old pq)"
+        );
+        let mut rec = Reconciler::new(h.admin.clone(), DesiredTopology::new(4, 2));
+        rec.run_to_convergence(16).await.expect("heals");
+        assert!(!h.admin.reconfig_in_flight());
+        assert_eq!(h.admin.p(), 2);
+        assert_eq!(h.admin.ring().n(), 4);
+        assert!(h.admin.ring().map().range_of(4).is_none());
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
+            .await;
+        assert_eq!(out.harvest, 1.0);
+        assert_eq!(out.scanned, 500, "exactly-once on the healed membership");
+    }
+
+    async fn reconciler_scales_out_on_flash_crowd(spec: TransportSpec) {
+        // n doubles mid-life: spares join one at a time, each downloading
+        // its data before taking over its range, so queries never see an
+        // uncovered window
+        let h = spawn_cluster(ClusterConfig::uniform(3, 1e6, 3).with_transport(spec.clone()))
+            .await
+            .unwrap();
+        let mut rng = det_rng(243);
+        let ids: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        let mut rec = Reconciler::new(h.admin.clone(), DesiredTopology::new(3, 3));
+        for id in 3..6 {
+            let (addr, _node) =
+                spawn_extra_node_with(id, 1e6, 0.0, &spec, Backend::auto())
+                    .await
+                    .unwrap();
+            rec.add_spare(addr);
+        }
+        rec.set_desired(DesiredTopology::new(6, 3));
+        rec.run_to_convergence(16).await.expect("scale-out converges");
+        assert_eq!(h.admin.ring().n(), 6);
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
+            .await;
+        assert_eq!(out.harvest, 1.0);
+        assert_eq!(out.scanned, 300, "exactly-once on the doubled fleet");
     }
 
     }
@@ -853,5 +1053,50 @@ mod tests {
             matches!(err, Err(RpcError::Timeout) | Err(RpcError::Disconnected)),
             "dead majority must surface as an RPC error, got {err:?}"
         );
+    }
+
+    // Partitions need a loss-injection hook, so this leg is datagram-only:
+    // closing a node's [`NetGate`] makes its replies vanish (the front-end
+    // sees a corpse), re-opening heals it in place with its data intact.
+    #[tokio::test]
+    async fn partition_gate_cuts_and_heals_in_place_over_udp() {
+        let h = spawn_cluster(
+            ClusterConfig::uniform(4, 1e6, 2)
+                .with_transport(udp_spec())
+                .with_fault_gates(),
+        )
+        .await
+        .unwrap();
+        let mut rng = det_rng(233);
+        let ids: Vec<u64> = (0..200).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        let mut inj = FaultInjector::for_cluster(&h);
+        assert!(inj.can_partition(0), "fault gates were requested");
+        inj.apply(&FaultKind::Partition { node: 0 }).await;
+        assert!(
+            !h.admin.probe_alive(0).await,
+            "a partitioned node is indistinguishable from a crashed one"
+        );
+        // replicas still cover node 0's windows: harvest stays exact
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
+            .await;
+        assert_eq!(out.harvest, 1.0);
+        assert_eq!(out.scanned, 200, "failover re-covers the cut windows");
+        inj.apply(&FaultKind::Heal { node: 0 }).await;
+        assert!(
+            h.admin.probe_alive(0).await,
+            "healed partition: same process, data intact"
+        );
+        let out = h
+            .client
+            .query(QueryBody::Synthetic)
+            .sched(SchedOpts::default())
+            .run()
+            .await;
+        assert_eq!((out.harvest, out.scanned), (1.0, 200));
     }
 }

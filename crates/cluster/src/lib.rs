@@ -65,25 +65,29 @@
 pub mod admin;
 pub mod backend;
 pub mod client;
+pub mod faults;
 pub mod frontend;
 pub mod harness;
 pub mod node;
 pub mod proto;
+pub mod reconcile;
 pub mod transport;
 
-pub use admin::Admin;
+pub use admin::{Admin, AdminError};
 pub use backend::{BackendStore, MemoryBackend};
 pub use client::{
     connect, connect_backup, connect_backup_with, connect_with, connect_with_backend, HedgePolicy,
     PartialResult, QueryBuilder, QueryClient, QueryStream, SubStatus,
 };
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule};
 pub use frontend::{QueryOutput, SchedOpts};
 pub use harness::{spawn_cluster, ClusterConfig, ClusterHandle};
 pub use node::{DataNode, NodeConfig};
 pub use proto::{read_frame, write_frame, Frame, Msg, QueryBody, WireTrapdoor};
+pub use reconcile::{DesiredTopology, ObservedTopology, Plan, Reconciler, Step};
 pub use roar_crypto::sha1::Backend;
 pub use transport::{
-    AimdWindow, CcUdpConfig, CcUdpEndpoint, CrossTrafficSpec, LossPolicy, LossSpec, NodeConn,
-    NodeLink, Pacer, RequestError, RpcError, RttEstimator, SharedBottleneck, Transport,
+    AimdWindow, CcUdpConfig, CcUdpEndpoint, CrossTrafficSpec, LossPolicy, LossSpec, NetGate,
+    NodeConn, NodeLink, Pacer, RequestError, RpcError, RttEstimator, SharedBottleneck, Transport,
     TransportSpec, UdpConfig, UdpEndpoint,
 };

@@ -40,6 +40,9 @@ struct NodeState {
     coverage: Option<Window>,
     /// Ring successor for §4.1 peer-to-peer store forwarding.
     successor: Option<std::net::SocketAddr>,
+    /// Fault-injection multiplier on synthetic processing time
+    /// (`Msg::SetSpeedFactor`); 1.0 = nominal speed.
+    slow_factor: f64,
 }
 
 impl NodeState {
@@ -69,6 +72,7 @@ impl DataNode {
                 synthetic_ids: Vec::new(),
                 coverage: None,
                 successor: None,
+                slow_factor: 1.0,
             })),
             shutdown,
             transport: Mutex::new(None),
@@ -175,6 +179,16 @@ impl DataNode {
                     },
                 }
             }
+            Msg::SetSpeedFactor { factor } => {
+                if factor.is_finite() && factor > 0.0 {
+                    self.state.lock().slow_factor = factor;
+                    Msg::Ok
+                } else {
+                    Msg::Error {
+                        what: format!("bad speed factor {factor}"),
+                    }
+                }
+            }
             Msg::SetCoverage { start, end } => {
                 let keep = Window::new(start, end);
                 let mut st = self.state.lock();
@@ -230,14 +244,16 @@ impl DataNode {
             QueryBody::Synthetic => {
                 // Definition 8: proc time = records / speed, served as a
                 // sleep so one machine can emulate a heterogeneous fleet
-                let scanned = {
+                let (scanned, slow_factor) = {
                     let st = self.state.lock();
-                    st.synthetic_ids
+                    let scanned = st
+                        .synthetic_ids
                         .iter()
                         .filter(|&&id| window.contains(id))
-                        .count() as u64
+                        .count() as u64;
+                    (scanned, st.slow_factor)
                 };
-                let proc = scanned as f64 / self.cfg.speed;
+                let proc = scanned as f64 * slow_factor / self.cfg.speed;
                 tokio::time::sleep(std::time::Duration::from_secs_f64(proc)).await;
                 Msg::SubQueryResult {
                     query_id,

@@ -399,6 +399,12 @@ pub enum Msg {
     Refused {
         what: String,
     },
+    /// Fault-injection control: scale the node's synthetic processing time
+    /// by `factor` (1.0 = nominal, 4.0 = four times slower). Models a
+    /// degraded "slow node" without restarting it.
+    SetSpeedFactor {
+        factor: f64,
+    },
 }
 
 impl Msg {
@@ -482,6 +488,10 @@ impl Msg {
                 wire::put_u8(out, 15);
                 wire::put_str(out, what);
             }
+            Msg::SetSpeedFactor { factor } => {
+                wire::put_u8(out, 16);
+                wire::put_f64(out, *factor);
+            }
         }
     }
 
@@ -529,6 +539,7 @@ impl Msg {
             13 => Msg::Ok,
             14 => Msg::Error { what: r.string()? },
             15 => Msg::Refused { what: r.string()? },
+            16 => Msg::SetSpeedFactor { factor: r.f64()? },
             _ => return None,
         })
     }
@@ -763,6 +774,7 @@ mod tests {
             Msg::Refused {
                 what: "insufficient coverage".into(),
             },
+            Msg::SetSpeedFactor { factor: 4.0 },
         ];
         for msg in msgs {
             let bytes = msg.encode();

@@ -1144,11 +1144,16 @@ mod tests {
             pair(CcUdpConfig::default(), LossPolicy::None, LossPolicy::None).await;
         server.serve_fn(echo);
         client.serve_fn(echo);
-        let resp = client
-            .request(addr, Msg::Ping, OVERALL)
-            .await
-            .expect("response");
-        assert_eq!(resp, Msg::Pong);
+        // several samples, not one: a single scheduler stall on a loaded
+        // test machine can inflate rttvar, but the EWMA decays it back as
+        // long as most samples see the real loopback RTT
+        for _ in 0..8 {
+            let resp = client
+                .request(addr, Msg::Ping, OVERALL)
+                .await
+                .expect("response");
+            assert_eq!(resp, Msg::Pong);
+        }
         assert_eq!(client.outstanding(), 0, "waiter slot reclaimed");
         let (rto, cwnd) = client.peer_cc(addr).expect("peer state exists");
         // loopback RTT is microseconds: the adaptive RTO must have clamped
@@ -1348,16 +1353,20 @@ mod tests {
     #[tokio::test]
     async fn acks_keep_slow_handlers_alive_without_loss_events() {
         // a slow handler acks promptly: its windows are heard, so neither
-        // the RTO backs off nor the window shrinks — slowness is not loss
+        // the RTO backs off nor the window shrinks — slowness is not loss.
+        // The handler's sleep must exceed the full backed-off attempt
+        // budget (40+80+160 ms) so that without acks the request would
+        // die, while the 40 ms first RTO leaves headroom for scheduler
+        // jitter when the whole suite runs in parallel.
         let cfg = CcUdpConfig {
-            init_rto: Duration::from_millis(5),
-            min_rto: Duration::from_millis(5),
+            init_rto: Duration::from_millis(40),
+            min_rto: Duration::from_millis(40),
             max_attempts: 4,
             ..CcUdpConfig::default()
         };
         let (client, server, addr) = pair(cfg, LossPolicy::None, LossPolicy::None).await;
         server.serve(Arc::new(crate::transport::FnHandler(move |m| {
-            std::thread::sleep(Duration::from_millis(80));
+            std::thread::sleep(Duration::from_millis(400));
             echo(m)
         })));
         client.serve_fn(echo);

@@ -42,7 +42,7 @@ pub mod xtraffic;
 pub use ccudp::{AimdWindow, CcUdpConfig, CcUdpEndpoint, CcUdpTransport, Pacer, RttEstimator};
 pub use tcp::{NodeConn, TcpTransport};
 pub use udp::{LossPolicy, RequestError, UdpConfig, UdpEndpoint, UdpTransport};
-pub use xtraffic::{CrossTrafficSpec, SharedBottleneck};
+pub use xtraffic::{CrossTrafficSpec, NetGate, SharedBottleneck};
 
 use crate::proto::Msg;
 use std::future::Future;
@@ -143,6 +143,11 @@ pub enum LossSpec {
     /// this spec all drain the same queue, so handing one to every server
     /// endpoint models the front-end's fan-in port.
     Bottleneck(SharedBottleneck),
+    /// Fault-injection partition switch in front of another policy: while
+    /// the shared [`NetGate`] is closed every datagram vanishes; while open
+    /// the inner policy decides. Clones share the gate, so the injector
+    /// can cut and heal a live endpoint deterministically.
+    Gated { gate: NetGate, inner: Box<LossSpec> },
 }
 
 impl LossSpec {
@@ -154,6 +159,18 @@ impl LossSpec {
             LossSpec::FirstReplyPerRequest => LossPolicy::first_reply_per_request(),
             LossSpec::Random { p, seed } => LossPolicy::random(*p, *seed),
             LossSpec::Bottleneck(queue) => LossPolicy::Bottleneck(queue.clone()),
+            LossSpec::Gated { gate, inner } => LossPolicy::Gated {
+                gate: gate.clone(),
+                inner: Box::new(inner.build()),
+            },
+        }
+    }
+
+    /// Wrap this spec behind a partition switch (builder style).
+    pub fn gated(self, gate: NetGate) -> Self {
+        LossSpec::Gated {
+            gate,
+            inner: Box::new(self),
         }
     }
 }

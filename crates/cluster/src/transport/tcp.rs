@@ -116,8 +116,9 @@ impl BoundServer for TcpBoundServer {
                     accepted = self.listener.accept() => {
                         let Ok((stream, _)) = accepted else { return };
                         let h = Arc::clone(&handler);
+                        let sd = shutdown.clone();
                         tokio::spawn(async move {
-                            let _ = handle_conn(stream, h).await;
+                            let _ = handle_conn(stream, h, sd).await;
                         });
                     }
                     _ = shutdown.changed() => {
@@ -132,27 +133,44 @@ impl BoundServer for TcpBoundServer {
 }
 
 /// Per-connection loop: each frame is served concurrently; responses are
-/// correlated by frame id, so completion order does not matter.
-async fn handle_conn(stream: TcpStream, handler: Arc<dyn Handler>) -> std::io::Result<()> {
+/// correlated by frame id, so completion order does not matter. The loop
+/// also watches the server's shutdown signal: a killed node must stop
+/// answering on *established* connections too, not just stop accepting —
+/// otherwise a "crashed" node keeps serving the front-end's persistent
+/// conns forever (already-spawned replies still flush, so the `Shutdown`
+/// ack itself gets out before the stream drops).
+async fn handle_conn(
+    stream: TcpStream,
+    handler: Arc<dyn Handler>,
+    mut shutdown: tokio::sync::watch::Receiver<bool>,
+) -> std::io::Result<()> {
     let (mut rd, wr) = stream.into_split();
     let wr = Arc::new(tokio::sync::Mutex::new(wr));
-    while let Some(frame) = read_frame(&mut rd).await? {
-        let h = Arc::clone(&handler);
-        let wr = Arc::clone(&wr);
-        tokio::spawn(async move {
-            let reply = h.handle(frame.body).await;
-            let mut w = wr.lock().await;
-            let _ = write_frame(
-                &mut *w,
-                &Frame {
-                    id: frame.id,
-                    body: reply,
-                },
-            )
-            .await;
-        });
+    loop {
+        if *shutdown.borrow() {
+            return Ok(());
+        }
+        tokio::select! {
+            frame = read_frame(&mut rd) => {
+                let Some(frame) = frame? else { return Ok(()) };
+                let h = Arc::clone(&handler);
+                let wr = Arc::clone(&wr);
+                tokio::spawn(async move {
+                    let reply = h.handle(frame.body).await;
+                    let mut w = wr.lock().await;
+                    let _ = write_frame(
+                        &mut *w,
+                        &Frame {
+                            id: frame.id,
+                            body: reply,
+                        },
+                    )
+                    .await;
+                });
+            }
+            _ = shutdown.changed() => {}
+        }
     }
-    Ok(())
 }
 
 /// The TCP transport: stateless factory over [`NodeConn`] and

@@ -36,8 +36,56 @@
 //! measures.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared on/off partition switch for fault injection: while closed,
+/// every datagram routed through a
+/// [`LossSpec::Gated`](super::LossSpec::Gated) policy is silently dropped
+/// — the deterministic model of a network partition cutting one endpoint
+/// off. Clones share the switch, so the injector keeps one handle while
+/// the endpoint's loss policy holds the other.
+#[derive(Clone)]
+pub struct NetGate(Arc<AtomicBool>);
+
+impl NetGate {
+    /// A new gate, initially open (traffic flows).
+    pub fn open_gate() -> Self {
+        NetGate(Arc::new(AtomicBool::new(true)))
+    }
+
+    /// Cut the link: subsequent datagrams vanish.
+    pub fn close(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+
+    /// Heal the link: traffic flows again.
+    pub fn open(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for NetGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NetGate {{ {} }}",
+            if self.is_open() { "open" } else { "closed" }
+        )
+    }
+}
+
+/// Identity comparison: two handles are equal iff they are the same gate.
+impl PartialEq for NetGate {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
 
 /// Declarative description of a shared bottleneck with competing
 /// background flows. Cloneable plain data; [`build`](Self::build) turns it

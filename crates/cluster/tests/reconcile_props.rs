@@ -1,0 +1,199 @@
+//! Property tests for the declarative reconciler's pure core.
+//!
+//! The planner ([`plan`]) and the step model ([`apply_step`]) are pure
+//! functions precisely so the reconciler's safety story can be hammered
+//! here without sockets or timing:
+//!
+//! * **determinism** — identical snapshots yield identical plans;
+//! * **idempotence** — a converged snapshot plans the empty sequence, and
+//!   re-running the converge loop on a converged state changes nothing;
+//! * **interruptibility** — cutting a plan off after *any* number of
+//!   steps and re-planning from the intermediate state reaches exactly
+//!   the same final topology as the uninterrupted run;
+//! * **re-application safety** — every step kind except the
+//!   spare-consuming `AddNode` is idempotent step-wise.
+
+use proptest::prelude::*;
+use roar_cluster::reconcile::{
+    apply_step, converged, plan, DesiredTopology, MemberState, ObservedTopology, Step,
+};
+
+/// Raw member tuple: (alive, has_count, stored, expected).
+type RawMember = (bool, bool, u64, u64);
+
+fn build_observed(
+    p: usize,
+    in_flight: bool,
+    spare_count: usize,
+    raw: &[RawMember],
+) -> ObservedTopology {
+    let n = raw.len().max(1);
+    let members: Vec<MemberState> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(alive, has, stored, expected))| MemberState {
+            node: i,
+            alive,
+            fraction: 1.0 / n as f64,
+            // unreachable members report no count, like the live observer
+            stored: if alive && has { Some(stored) } else { None },
+            expected,
+        })
+        .collect();
+    ObservedTopology {
+        p: p.clamp(1, n),
+        reconfig_in_flight: in_flight,
+        members,
+        spare_count,
+    }
+}
+
+/// The reconciler's loop over the pure model: observe is the identity
+/// (the model state *is* the observation), plan, apply every step.
+/// Returns the final state and whether it converged within the budget.
+fn run_model(
+    mut s: ObservedTopology,
+    d: &DesiredTopology,
+    max_ticks: usize,
+) -> (ObservedTopology, bool) {
+    for _ in 0..max_ticks {
+        if converged(&s, d) {
+            return (s, true);
+        }
+        let p = plan(&s, d);
+        if p.is_empty() {
+            // blocked: nothing plannable (e.g. not enough spares)
+            return (s, false);
+        }
+        for step in &p.steps {
+            s = apply_step(&s, step);
+        }
+    }
+    (s, false)
+}
+
+fn arb_raw_members() -> impl Strategy<Value = Vec<RawMember>> {
+    collection::vec(
+        (any::<bool>(), any::<bool>(), 0u64..1200, 0u64..1200),
+        1..=6,
+    )
+}
+
+proptest! {
+    /// plan() is a pure function: two snapshots built from the same data
+    /// produce byte-identical plans.
+    #[test]
+    fn identical_snapshots_yield_identical_plans(
+        p in 1usize..6,
+        in_flight: bool,
+        spares in 0usize..5,
+        desired_n in 1usize..8,
+        desired_p in 1usize..8,
+        raw in arb_raw_members(),
+    ) {
+        let desired = DesiredTopology::new(desired_n, desired_p.min(desired_n));
+        let a = build_observed(p, in_flight, spares, &raw);
+        let b = build_observed(p, in_flight, spares, &raw);
+        prop_assert_eq!(plan(&a, &desired), plan(&b, &desired));
+        prop_assert_eq!(plan(&a, &desired), plan(&a.clone(), &desired));
+    }
+
+    /// A snapshot that already satisfies the desired topology plans the
+    /// empty sequence — the reconciler is a no-op on a healthy cluster.
+    #[test]
+    fn converged_snapshot_plans_empty(
+        desired_p in 1usize..8,
+        spares in 0usize..5,
+        expectations in collection::vec(0u64..1200, 1..=6),
+    ) {
+        let n = expectations.len();
+        let desired = DesiredTopology::new(n, desired_p.min(n));
+        let raw: Vec<RawMember> =
+            expectations.iter().map(|&e| (true, true, e, e)).collect();
+        let observed = build_observed(desired.target_p(), false, spares, &raw);
+        prop_assert!(converged(&observed, &desired));
+        prop_assert!(plan(&observed, &desired).is_empty());
+    }
+
+    /// Whenever enough capacity exists (alive members + spares ≥ desired
+    /// n), the loop converges in a handful of ticks — and once converged,
+    /// another tick plans nothing and changes nothing (idempotence).
+    #[test]
+    fn model_converges_then_reconverging_is_noop(
+        p in 1usize..6,
+        in_flight: bool,
+        spares in 0usize..6,
+        desired_n in 1usize..8,
+        desired_p in 1usize..8,
+        raw in arb_raw_members(),
+    ) {
+        let desired = DesiredTopology::new(desired_n, desired_p.min(desired_n));
+        let s = build_observed(p, in_flight, spares, &raw);
+        prop_assume!(s.alive_count() + s.spare_count >= desired.n);
+        let (fin, ok) = run_model(s, &desired, 32);
+        prop_assert!(ok, "capacity was sufficient, must converge: {fin:?}");
+        prop_assert!(plan(&fin, &desired).is_empty());
+        let (again, ok2) = run_model(fin.clone(), &desired, 32);
+        prop_assert!(ok2);
+        prop_assert_eq!(again, fin);
+    }
+
+    /// Interrupt the first plan after every possible prefix length and
+    /// resume by re-planning: every resumption reaches exactly the same
+    /// final topology as the uninterrupted run.
+    #[test]
+    fn resuming_at_any_step_index_reaches_the_same_topology(
+        p in 1usize..6,
+        in_flight: bool,
+        spares in 0usize..6,
+        desired_n in 1usize..8,
+        desired_p in 1usize..8,
+        raw in arb_raw_members(),
+    ) {
+        let desired = DesiredTopology::new(desired_n, desired_p.min(desired_n));
+        let s = build_observed(p, in_flight, spares, &raw);
+        prop_assume!(s.alive_count() + s.spare_count >= desired.n);
+        let (baseline, ok) = run_model(s.clone(), &desired, 32);
+        prop_assert!(ok);
+        let first = plan(&s, &desired);
+        for k in 0..=first.steps.len() {
+            let mut mid = s.clone();
+            for step in &first.steps[..k] {
+                mid = apply_step(&mid, step);
+            }
+            let (fin, ok) = run_model(mid, &desired, 32);
+            prop_assert!(ok, "resume at step {k} must still converge");
+            prop_assert_eq!(
+                fin,
+                baseline.clone(),
+                "resume at step {} diverged",
+                k
+            );
+        }
+    }
+
+    /// Every step the planner emits — except the spare-consuming
+    /// `AddNode`, whose whole point is to consume one spare per
+    /// application — is idempotent: applying it twice equals applying it
+    /// once.
+    #[test]
+    fn non_join_steps_are_idempotent(
+        p in 1usize..6,
+        in_flight: bool,
+        spares in 0usize..5,
+        desired_n in 1usize..8,
+        desired_p in 1usize..8,
+        raw in arb_raw_members(),
+    ) {
+        let desired = DesiredTopology::new(desired_n, desired_p.min(desired_n));
+        let s = build_observed(p, in_flight, spares, &raw);
+        for step in &plan(&s, &desired).steps {
+            if matches!(step, Step::AddNode { .. }) {
+                continue;
+            }
+            let once = apply_step(&s, step);
+            let twice = apply_step(&once, step);
+            prop_assert_eq!(&twice, &once, "step {:?} not idempotent", step);
+        }
+    }
+}

@@ -22,7 +22,7 @@
 //! fig6_7 ablation reproduces that observation.
 
 use crate::placement::{QueryPlan, RoarRing, SubQuery};
-use crate::ring::{dist_cw, RingPos, Window, FULL};
+use crate::ring::{coverage_window, dist_cw, RingPos, Window, FULL};
 use roar_dr::sched::FinishEstimator;
 
 /// Infer a node's marginal processing speed (work/second) from the
@@ -145,11 +145,11 @@ fn clamp_boundary(ring: &RoarRing, sa: &SubQuery, sb: &SubQuery, proposed: RingP
     let l = ring.l();
     let cov_a = {
         let (s, e) = map.range_of(sa.node).expect("node on ring");
-        Window::new(s.wrapping_sub(l), e.wrapping_sub(1))
+        coverage_window(s, e, l)
     };
     let cov_b = {
         let (s, e) = map.range_of(sb.node).expect("node on ring");
-        Window::new(s.wrapping_sub(l), e.wrapping_sub(1))
+        coverage_window(s, e, l)
     };
     // feasible interval measured clockwise from sa.window.start
     let origin = sa.window.start;
@@ -170,9 +170,18 @@ fn clamp_boundary(ring: &RoarRing, sa: &SubQuery, sb: &SubQuery, proposed: RingP
         }
     };
     let hi_bound = {
-        // boundary must stay ≤ cov_a.end and < sb.window.end
-        let ca = dist_cw(origin, cov_a.end);
-        let within = if ca >= total { total - 1 } else { ca };
+        // boundary must stay ≤ cov_a.end and < sb.window.end; full coverage
+        // imposes no end constraint (its `end` is just an anchor)
+        let within = if cov_a.is_full() {
+            total - 1
+        } else {
+            let ca = dist_cw(origin, cov_a.end);
+            if ca >= total {
+                total - 1
+            } else {
+                ca
+            }
+        };
         within.min(total - 1).max(1)
     };
     if lo_bound > hi_bound {

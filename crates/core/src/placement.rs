@@ -7,7 +7,7 @@
 //! match [`Window`] — the deduplication rule of Eq. 4.1/4.2 — so that no two
 //! servers match the same object even when `pq > p` (Fig 4.2/4.3).
 
-use crate::ring::{arc_len, query_points, windows_of_points, RingPos, Window};
+use crate::ring::{arc_len, coverage_window, query_points, windows_of_points, RingPos, Window};
 use crate::ringmap::{NodeId, RingMap};
 
 /// One planned sub-query.
@@ -132,8 +132,7 @@ impl RoarRing {
         if self.n() == 1 || self.p == 1 {
             return true;
         }
-        let l = self.l();
-        Window::new(s.wrapping_sub(l), e.wrapping_sub(1)).contains(obj)
+        coverage_window(s, e, self.l()).contains(obj)
     }
 
     /// Plan a query: `pq` equidistant points from `seed`, one sub-query per
@@ -177,7 +176,7 @@ impl RoarRing {
         let Some((s, e)) = self.map.range_of(node) else {
             return false;
         };
-        let coverage = Window::new(s.wrapping_sub(self.l()), e.wrapping_sub(1));
+        let coverage = coverage_window(s, e, self.l());
         window.subset_of(&coverage)
     }
 
@@ -272,6 +271,37 @@ mod tests {
         // r replicas on average, within sampling noise; the +1 over-count
         // (both endpoints' owners) raises it slightly above r = 5
         assert!((avg - 6.0).abs() < 0.25, "avg replicas {avg}");
+    }
+
+    #[test]
+    fn giant_range_node_covers_and_executes_everything() {
+        // regression: churn can merge arcs until one node's range exceeds
+        // 1 − 1/p of the ring. Its coverage is then the full ring, and it
+        // must never refuse a planner window — the unclamped subtraction
+        // used to truncate its coverage to ~40% and drive harvest to zero.
+        let map = RingMap::new(vec![
+            (0xa000_0000_0000_0000, 4),
+            (0xa800_0000_0000_0000, 7),
+            (0xb000_0000_0000_0000, 5),
+            (0xb800_0000_0000_0000, 6), // wraps to 0xa0…: ~91% of the ring
+        ]);
+        let r = RoarRing::new(map, 2);
+        let mut rng = det_rng(25);
+        for _ in 0..2000 {
+            let obj: u64 = rng.gen();
+            assert!(r.stores(6, obj), "node 6 covers the whole ring: {obj:#x}");
+        }
+        for _ in 0..50 {
+            let plan = r.plan(rng.gen(), 2);
+            for sub in &plan.subs {
+                assert!(
+                    r.window_executable_by(&sub.window, sub.node),
+                    "window {:?} refused by node {}",
+                    sub.window,
+                    sub.node
+                );
+            }
+        }
     }
 
     #[test]

@@ -78,6 +78,24 @@ pub fn arc_contains(obj: RingPos, len: u64, x: RingPos) -> bool {
     dist_cw(obj, x) < len
 }
 
+/// The coverage window of the range `[s, e)` under replication-arc length
+/// `l`: the ids whose arc intersects the range, `(s − l, e − 1]`.
+///
+/// Clamped to the full ring when `len(range) + l ≥ 2^64`. Churn can grow a
+/// single range past `1 − 1/p` of the ring (arc merges on node removal),
+/// where the naive subtraction wraps the window onto itself and silently
+/// truncates the coverage to `(range + l) mod 2^64` — the node would then
+/// refuse sub-queries inside its *own range*. A zero-length range means the
+/// single-entry full ring and is likewise full coverage.
+pub fn coverage_window(s: RingPos, e: RingPos, l: u64) -> Window {
+    let range_len = dist_cw(s, e) as u128;
+    if range_len == 0 || range_len + l as u128 >= FULL {
+        Window::full(e)
+    } else {
+        Window::new(s.wrapping_sub(l), e.wrapping_sub(1))
+    }
+}
+
 /// A half-open match window `(start, end]` on the ring.
 ///
 /// Convention: `start == end` denotes the **full ring** (used for `pq = 1`);
@@ -238,6 +256,25 @@ mod tests {
         let ws = windows_of_points(&pts);
         let total: u128 = ws.iter().map(|w| w.len()).sum();
         assert_eq!(total, FULL);
+    }
+
+    #[test]
+    fn coverage_window_clamps_to_full_ring() {
+        // normal arc: the plain subtraction formula
+        assert_eq!(coverage_window(1000, 2000, 100), Window::new(900, 1999));
+        // range + l spans the whole ring: coverage is everything, not the
+        // truncated (range + l) mod 2^64 arc
+        let l = arc_len(2);
+        let s = 0xb800_0000_0000_0000u64;
+        let e = 0xa000_0000_0000_0000u64; // ~91% of the ring
+        assert!(coverage_window(s, e, l).is_full());
+        // zero-length range: the single-entry full-ring range
+        assert!(coverage_window(7, 7, 100).is_full());
+        // just below the clamp threshold the formula still applies
+        let s2 = 0u64;
+        let e2 = u64::MAX; // range one unit short of full
+        assert!(!coverage_window(s2, e2, 0).is_full());
+        assert!(coverage_window(s2, e2, 1).is_full());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! (its range merges into its predecessor), and moving a boundary (the local
 //! load-balancing of §4.6).
 
-use crate::ring::{dist_cw, RingPos, Window, FULL};
+use crate::ring::{coverage_window, dist_cw, RingPos, Window, FULL};
 use roar_dr::ServerId;
 
 /// A node identifier — shared with `roar_dr::ServerId` so schedulers and
@@ -279,12 +279,13 @@ impl RingMap {
 
     /// The coverage window of entry `i` for replication-arc length `l`: the
     /// set of object ids this node holds a replica of, namely
-    /// `(start − l, end)` expressed as the window `(start − l, end − 1]`.
+    /// `(start − l, end)` expressed as the window `(start − l, end − 1]`,
+    /// clamped to the full ring when `range + l` spans it entirely.
     /// Any sub-query window that is a subset of this may be executed by the
     /// node (the validity rule behind §4.8.2's range adjustment).
     pub fn coverage_at(&self, i: usize, l: u64) -> Window {
         let (s, e) = self.range_at(i);
-        Window::new(s.wrapping_sub(l), e.wrapping_sub(1))
+        coverage_window(s, e, l)
     }
 }
 

@@ -111,10 +111,24 @@ impl ServerStats {
         self.nodes[node].last_seen
     }
 
-    /// Grow the fleet (new node joins).
+    /// Grow the fleet (new node joins). The newcomer's speed estimate is
+    /// seeded from the median of the fleet's current estimates rather than
+    /// the configured default: §4.9's range-to-speed load proxy only ranks
+    /// meaningfully when estimates share a scale, and the default can sit
+    /// orders of magnitude from the measured speeds — every joiner would
+    /// look arbitrarily fast (or slow) to the hottest-spot picker until its
+    /// own first completions land.
     pub fn add_node(&mut self) -> ServerId {
+        let mut speed = Ewma::new(0.2);
+        if !self.nodes.is_empty() {
+            let mut speeds: Vec<f64> = (0..self.nodes.len())
+                .map(|i| self.speed_estimate(i))
+                .collect();
+            speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are not NaN"));
+            speed.observe(speeds[speeds.len() / 2]);
+        }
         self.nodes.push(NodeStat {
-            speed: Ewma::new(0.2),
+            speed,
             outstanding_work: 0.0,
             alive: true,
             last_seen: self.now,

@@ -219,6 +219,7 @@ async fn balance_step_keeps_queries_exact() {
         overhead_s: 0.0,
         transport: default_spec(),
         backend: Backend::auto(),
+        fault_gates: false,
     };
     let h = spawn_cluster(cfg).await.unwrap();
     let mut rng = det_rng(2003);
