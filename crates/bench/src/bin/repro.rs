@@ -29,6 +29,14 @@
 //!                                  converge or rolling restart drops the
 //!                                  harvest floor; the flags select one
 //!                                  cell (CI's chaos-smoke invocation)
+//!   repro bench_node_concurrency   cross-query batched node execution vs
+//!                                  thread-per-query clone-under-lock
+//!                                  baseline at 1/8/64 resident sub-queries
+//!                                  per backend → BENCH_node_concurrency.json;
+//!                                  exits non-zero if 64-query throughput
+//!                                  falls below 1-query throughput, or (full
+//!                                  scale) if batched beats baseline by
+//!                                  < 1.5x at 64 resident
 //!   repro check_bench_schema       CI gate: every committed BENCH_*.json
 //!                                  parses and carries its required fields
 //!   repro --quick <...>            reduced workloads (smoke/CI)
@@ -252,6 +260,58 @@ fn bench_churn(scale: Scale, scenario: Option<&str>, transport: Option<&str>) {
     }
 }
 
+fn bench_node_concurrency(scale: Scale) {
+    let b = roar_bench::node_concurrency::run(scale);
+    let json = b.to_json();
+    print!("{json}");
+    // the committed artifact is the full-scale run; a quick smoke (CI's
+    // invocation) must not overwrite it
+    let wrote = if scale == Scale::Full {
+        std::fs::write("BENCH_node_concurrency.json", &json)
+            .expect("write BENCH_node_concurrency.json");
+        " -> BENCH_node_concurrency.json"
+    } else {
+        " (quick smoke: BENCH_node_concurrency.json left untouched)"
+    };
+    eprintln!(
+        "bench_node_concurrency: [{}] 64 resident — batched {:.0} rec/s vs baseline {:.0} rec/s \
+         ({:.2}x), 64q/1q batched scaling {:.2}x{wrote}",
+        b.best_backend,
+        b.backends
+            .iter()
+            .find(|r| r.backend.name() == b.best_backend)
+            .and_then(|r| r.points.last())
+            .map_or(0.0, |p| p.batched_rps),
+        b.backends
+            .iter()
+            .find(|r| r.backend.name() == b.best_backend)
+            .and_then(|r| r.points.last())
+            .map_or(0.0, |p| p.baseline_rps),
+        b.speedup_64,
+        b.batched_scaling_64_vs_1,
+    );
+    // the CI smoke gate: a loaded engine (64 resident sub-queries) must
+    // never yield less aggregate throughput than a single resident query
+    if !b.scales_with_residency() {
+        eprintln!(
+            "bench_node_concurrency: FAIL — 64-query batched throughput fell below the \
+             1-query rate ({:.2}x)",
+            b.batched_scaling_64_vs_1
+        );
+        std::process::exit(1);
+    }
+    // the full-scale acceptance floor: batching must beat the old
+    // thread-per-query clone-under-lock path by >= 1.5x at 64 resident
+    if scale == Scale::Full && !b.meets_speedup_floor() {
+        eprintln!(
+            "bench_node_concurrency: FAIL — batched/baseline speedup {:.2}x at 64 resident \
+             is below the 1.5x floor",
+            b.speedup_64
+        );
+        std::process::exit(1);
+    }
+}
+
 fn check_bench_schema() {
     match roar_bench::schema::check_dir(std::path::Path::new(".")) {
         Ok(checked) => {
@@ -344,7 +404,7 @@ fn main() {
              | repro bench_pps_backends | repro check_pps_trajectory \
              | repro bench_incast | repro bench_tail | repro bench_congestion \
              | repro bench_churn [--scenario S] [--transport T] \
-             | repro check_bench_schema"
+             | repro bench_node_concurrency | repro check_bench_schema"
         );
         return;
     }
@@ -376,6 +436,13 @@ fn main() {
     }
     if wanted.iter().any(|w| w.as_str() == "bench_churn") {
         bench_churn(scale, churn_scenario.as_deref(), churn_transport.as_deref());
+        ran += 1;
+    }
+    if wanted
+        .iter()
+        .any(|w| w.as_str() == "bench_node_concurrency")
+    {
+        bench_node_concurrency(scale);
         ran += 1;
     }
     if wanted.iter().any(|w| w.as_str() == "check_bench_schema") {

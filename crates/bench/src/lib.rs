@@ -14,6 +14,7 @@ pub mod ch7;
 pub mod churn;
 pub mod congestion;
 pub mod incast;
+pub mod node_concurrency;
 pub mod pps_bench;
 pub mod schema;
 pub mod tail;

@@ -1,0 +1,295 @@
+//! Cross-query batched node execution benchmark
+//! (`BENCH_node_concurrency.json`).
+//!
+//! Measures aggregate matching throughput (records/s across all resident
+//! sub-queries) at 1 / 8 / 64 concurrently resident sub-queries, per
+//! SHA-1 backend, through two node execution paths:
+//!
+//! * `baseline` — the pre-batching node path, reproduced literally: one
+//!   OS thread per sub-query, each deep-cloning the serving window out of
+//!   the shared store *under the state lock* and then running sequential
+//!   [`match_corpus_with`];
+//! * `batched` — the [`BatchEngine`] path the node now runs: every
+//!   sub-query becomes a resumable [`QueryTask`] over one shared zero-copy
+//!   `Arc` snapshot, a fixed worker pool drains the probe queue, and MAC
+//!   sweeps pack lanes *across* queries (ragged survivor tails from
+//!   different sub-queries fill the same SIMD lane group).
+//!
+//! Invoked as `repro bench_node_concurrency [--quick]`. The full run
+//! writes `BENCH_node_concurrency.json`; both scales enforce the smoke
+//! gate (aggregate 64-query throughput must beat 1-query throughput —
+//! residency may never cost throughput) and the full run additionally
+//! enforces the ≥ 1.5× batched-vs-baseline floor at 64 resident queries
+//! on the best available backend.
+
+use crate::Scale;
+use roar_core::ring::Window;
+use roar_crypto::bloom::BloomParams;
+use roar_crypto::sha1::Backend;
+use roar_pps::engine::match_corpus_with;
+use roar_pps::metadata::MetaEncryptor;
+use roar_pps::query::CompiledQuery;
+use roar_pps::{BatchEngine, EncryptedMetadata, MetadataStore, QueryTask, TaskCorpus};
+use roar_util::det_rng;
+use roar_workload::{fast_random_metadata_with, QueryGenerator};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Resident sub-query counts measured (the ISSUE's 1 / 8 / 64 ladder).
+pub const RESIDENT: [usize; 3] = [1, 8, 64];
+
+/// One (backend, resident-count) measurement: aggregate rec/s through
+/// both paths and their ratio.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub resident: usize,
+    pub baseline_rps: f64,
+    pub batched_rps: f64,
+    pub speedup: f64,
+}
+
+/// The resident ladder under one SHA-1 backend.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    pub backend: Backend,
+    pub lanes: usize,
+    pub points: Vec<Point>,
+}
+
+/// The whole comparison.
+#[derive(Debug, Clone)]
+pub struct BenchNodeConcurrency {
+    pub records: usize,
+    pub repeats: usize,
+    /// Matcher pool width (mirrors the node's pool sizing, capped at 4).
+    pub workers: usize,
+    pub backends: Vec<BackendRun>,
+    /// The auto-detected (widest available) backend's name.
+    pub best_backend: String,
+    /// Batched vs baseline aggregate rec/s at 64 resident sub-queries on
+    /// the best backend — the artifact's headline number.
+    pub speedup_64: f64,
+    /// Batched aggregate rec/s at 64 resident vs 1 resident on the best
+    /// backend: > 1 means residency adds throughput (lane packing,
+    /// worker-pool parallelism) instead of costing it.
+    pub batched_scaling_64_vs_1: f64,
+}
+
+/// The shared fixture: the paper's measurement corpus (50-keyword docs at
+/// fp = 1e-5, r = 17) and 64 distinct zero-match queries so every resident
+/// sub-query sweeps the full miss path with its own trapdoor keys.
+struct Fixture {
+    n: usize,
+    repeats: usize,
+    workers: usize,
+    records: Vec<EncryptedMetadata>,
+    queries: Vec<CompiledQuery>,
+}
+
+impl Fixture {
+    fn new(scale: Scale) -> Self {
+        let n = scale.pick(20_000, 3_000);
+        let repeats = scale.pick(4, 3);
+        let mut rng = det_rng(91);
+        let params = BloomParams::for_fp_rate(50, 1e-5);
+        let records = fast_random_metadata_with(&mut rng, n, params);
+        let enc = MetaEncryptor::with_points(b"bench-node", vec![1_000_000], vec![1_300_000_000]);
+        let queries =
+            QueryGenerator::new().compile_zero_match(&mut rng, &enc, *RESIDENT.last().unwrap());
+        Fixture {
+            n,
+            repeats,
+            // the node's own pool sizing: one worker per core, capped at 4
+            workers: std::thread::available_parallelism().map_or(1, |c| c.get().min(4)),
+            records,
+            queries,
+        }
+    }
+
+    /// The pre-batching node path: a thread per resident sub-query, each
+    /// copying the window out of the shared store under the state lock,
+    /// then matching its private copy sequentially.
+    fn measure_baseline(&self, backend: Backend, resident: usize) -> f64 {
+        let store = Mutex::new(MetadataStore::from_records(self.records.clone()));
+        let full = Window::full(0);
+        let queries = &self.queries[..resident];
+        let mut best = f64::INFINITY;
+        for _ in 0..self.repeats {
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for q in queries {
+                    s.spawn(|| {
+                        let copy: Vec<EncryptedMetadata> = {
+                            let st = store.lock().unwrap();
+                            st.select_window(&full).into_iter().cloned().collect()
+                        };
+                        std::hint::black_box(match_corpus_with(&copy, q, backend));
+                    });
+                }
+            });
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (resident * self.n) as f64 / best
+    }
+
+    /// The batched path: every resident sub-query is a [`QueryTask`] over
+    /// one shared zero-copy snapshot, drained by a fixed worker pool with
+    /// MAC sweeps lane-packed across queries.
+    fn measure_batched(&self, backend: Backend, resident: usize) -> f64 {
+        let store = Arc::new(MetadataStore::from_records(self.records.clone()));
+        let engine = BatchEngine::new(self.workers);
+        let full = Window::full(0);
+        let queries = &self.queries[..resident];
+        let mut best = f64::INFINITY;
+        for _ in 0..self.repeats {
+            let t0 = Instant::now();
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    engine.submit_handle(QueryTask::new(
+                        q.clone(),
+                        TaskCorpus::snapshot(Arc::clone(&store), &full),
+                        backend,
+                    ))
+                })
+                .collect();
+            for h in handles {
+                std::hint::black_box(h.wait());
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (resident * self.n) as f64 / best
+    }
+
+    fn run_backend(&self, backend: Backend) -> BackendRun {
+        let points = RESIDENT
+            .iter()
+            .map(|&resident| {
+                let baseline_rps = self.measure_baseline(backend, resident);
+                let batched_rps = self.measure_batched(backend, resident);
+                Point {
+                    resident,
+                    baseline_rps,
+                    batched_rps,
+                    speedup: batched_rps / baseline_rps,
+                }
+            })
+            .collect();
+        BackendRun {
+            backend,
+            lanes: backend.engine().lanes(),
+            points,
+        }
+    }
+}
+
+/// Run the comparison. `Full` sweeps every available backend; `Quick`
+/// (CI's smoke invocation) measures only the auto-detected backend.
+pub fn run(scale: Scale) -> BenchNodeConcurrency {
+    let fx = Fixture::new(scale);
+    let backends: Vec<Backend> = match scale {
+        Scale::Full => Backend::ALL.into_iter().filter(|b| b.available()).collect(),
+        Scale::Quick => vec![Backend::auto()],
+    };
+    let runs: Vec<BackendRun> = backends.into_iter().map(|b| fx.run_backend(b)).collect();
+    let best_name = Backend::auto().name().to_string();
+    let best = runs
+        .iter()
+        .find(|r| r.backend.name() == best_name)
+        .expect("auto backend always measured");
+    let at = |resident: usize| {
+        best.points
+            .iter()
+            .find(|p| p.resident == resident)
+            .expect("resident point")
+    };
+    let top = *RESIDENT.last().unwrap();
+    BenchNodeConcurrency {
+        records: fx.n,
+        repeats: fx.repeats,
+        workers: fx.workers,
+        speedup_64: at(top).speedup,
+        batched_scaling_64_vs_1: at(top).batched_rps / at(1).batched_rps,
+        best_backend: best_name,
+        backends: runs,
+    }
+}
+
+impl BenchNodeConcurrency {
+    /// The smoke gate: piling 64 resident sub-queries onto the engine must
+    /// not reduce aggregate throughput below the single-query rate.
+    pub fn scales_with_residency(&self) -> bool {
+        self.batched_scaling_64_vs_1 >= 1.0
+    }
+
+    /// The acceptance floor: at 64 resident sub-queries on the best
+    /// backend, the batched path must be ≥ 1.5× the thread-per-query
+    /// clone-under-lock baseline.
+    pub fn meets_speedup_floor(&self) -> bool {
+        self.speedup_64 >= 1.5
+    }
+
+    /// Render as JSON (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"benchmark\": \"node_concurrency\",\n");
+        s.push_str(&format!(
+            "  \"config\": {{\"records\": {}, \"keywords_per_doc\": 50, \"fp_rate\": 1e-5, \
+             \"repeats\": {}, \"workers\": {}, \"resident\": [{}]}},\n",
+            self.records,
+            self.repeats,
+            self.workers,
+            RESIDENT.map(|r| r.to_string()).join(", ")
+        ));
+        s.push_str("  \"backends\": [\n");
+        for (i, run) in self.backends.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"lanes\": {}, \"points\": [\n",
+                run.backend.name(),
+                run.lanes
+            ));
+            for (j, p) in run.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "      {{\"resident\": {}, \"baseline_rps\": {:.0}, \"batched_rps\": {:.0}, \
+                     \"speedup\": {:.3}}}{}\n",
+                    p.resident,
+                    p.baseline_rps,
+                    p.batched_rps,
+                    p.speedup,
+                    if j + 1 < run.points.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 < self.backends.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"best_backend\": \"{}\",\n  \"speedup_64\": {:.3},\n  \
+             \"batched_scaling_64_vs_1\": {:.3}\n}}\n",
+            self.best_backend, self.speedup_64, self.batched_scaling_64_vs_1
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_scales() {
+        let b = run(Scale::Quick);
+        assert_eq!(b.backends.len(), 1, "quick measures the auto backend only");
+        for p in &b.backends[0].points {
+            assert!(p.baseline_rps > 0.0 && p.batched_rps > 0.0);
+        }
+        let json = b.to_json();
+        assert!(json.contains("\"benchmark\": \"node_concurrency\""));
+        assert!(json.contains("\"speedup_64\""));
+        crate::schema::check_artifact("BENCH_node_concurrency.json", &json)
+            .expect("writer output must satisfy its own schema");
+    }
+}

@@ -45,6 +45,17 @@ pub fn required_keys(file_name: &str) -> &'static [&'static str] {
             "converged",
             "final_n",
         ],
+        "BENCH_node_concurrency.json" => &[
+            "benchmark",
+            "config",
+            "backends",
+            "points",
+            "resident",
+            "baseline_rps",
+            "batched_rps",
+            "speedup",
+            "speedup_64",
+        ],
         "BENCH_congestion.json" => &[
             "benchmark",
             "config",

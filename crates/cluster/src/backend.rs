@@ -11,6 +11,7 @@
 
 use parking_lot::Mutex;
 use roar_pps::EncryptedMetadata;
+use std::sync::Arc;
 
 /// The durable corpus copy the control plane repartitions from.
 ///
@@ -31,6 +32,15 @@ pub trait BackendStore: Send + Sync + 'static {
     /// Snapshot of every record whose id matches `keep`.
     fn records_matching(&self, keep: &mut dyn FnMut(u64) -> bool) -> Vec<EncryptedMetadata>;
 
+    /// Immutable epoch snapshot of *all* records, shared rather than
+    /// copied where the implementation can manage it — callers window or
+    /// filter the view themselves (e.g. as a
+    /// [`roar_pps::TaskCorpus::Records`] corpus). The default materialises
+    /// a copy; [`MemoryBackend`] hands out its live `Arc` for free.
+    fn records_snapshot(&self) -> Arc<Vec<EncryptedMetadata>> {
+        Arc::new(self.records_matching(&mut |_| true))
+    }
+
     /// Total objects stored (synthetic + records).
     fn len(&self) -> usize;
 
@@ -45,7 +55,9 @@ pub trait BackendStore: Send + Sync + 'static {
 #[derive(Default)]
 pub struct MemoryBackend {
     synthetic: Mutex<Vec<u64>>,
-    records: Mutex<Vec<EncryptedMetadata>>,
+    /// Kept behind an `Arc` so [`BackendStore::records_snapshot`] is a
+    /// refcount bump; appends copy-on-write only while a snapshot is out.
+    records: Mutex<Arc<Vec<EncryptedMetadata>>>,
 }
 
 impl MemoryBackend {
@@ -60,7 +72,7 @@ impl BackendStore for MemoryBackend {
     }
 
     fn append_records(&self, records: &[EncryptedMetadata]) {
-        self.records.lock().extend_from_slice(records);
+        Arc::make_mut(&mut *self.records.lock()).extend_from_slice(records);
     }
 
     fn synthetic_matching(&self, keep: &mut dyn FnMut(u64) -> bool) -> Vec<u64> {
@@ -79,6 +91,10 @@ impl BackendStore for MemoryBackend {
             .filter(|r| keep(r.id))
             .cloned()
             .collect()
+    }
+
+    fn records_snapshot(&self) -> Arc<Vec<EncryptedMetadata>> {
+        Arc::clone(&self.records.lock())
     }
 
     fn len(&self) -> usize {
@@ -128,6 +144,13 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].id, target);
         assert_eq!(b.records_matching(&mut |_| true).len(), 4);
+
+        // epoch snapshots are shared, not copied, and survive later appends
+        let snap = b.records_snapshot();
+        assert_eq!(snap.len(), 4);
+        b.append_records(&recs[..1]);
+        assert_eq!(snap.len(), 4, "snapshot is immutable");
+        assert_eq!(b.records_snapshot().len(), 5);
     }
 
     #[test]

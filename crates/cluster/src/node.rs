@@ -5,6 +5,12 @@
 //! request — the node only matches records with ids in `(start, end]` —
 //! so `pq > p` over-partitioning and failure-split sub-queries work without
 //! any node-side coordination (§4.2).
+//!
+//! PPS sub-queries run on the node's *matcher pool*, a fixed set of worker
+//! threads ([`roar_pps::BatchEngine`]) that batch PRF sweeps across every
+//! resident sub-query: a flash crowd of Q requests shares lane-packed
+//! sweeps and one immutable `Arc` corpus snapshot instead of spawning Q
+//! blocking threads and cloning Q windows.
 
 use crate::proto::{Msg, QueryBody};
 use crate::transport::{BoxFuture, Handler, Transport, TransportSpec};
@@ -12,9 +18,16 @@ use parking_lot::Mutex;
 use roar_core::ring::Window;
 use roar_crypto::sha1::Backend;
 use roar_pps::query::{Combiner, CompiledQuery};
-use roar_pps::MetadataStore;
-use std::sync::Arc;
+use roar_pps::{BatchEngine, MetadataStore, QueryTask, TaskCorpus};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Matcher-pool width: the node-wide bound on concurrent PPS matching
+/// threads. Small and fixed — excess sub-queries queue in the engine and
+/// join the next batched round rather than spawning threads.
+fn matcher_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
+}
 
 /// Static node configuration.
 #[derive(Debug, Clone)]
@@ -34,7 +47,11 @@ pub struct NodeConfig {
 
 /// Shared mutable node state.
 struct NodeState {
-    store: MetadataStore,
+    /// The record store, handed out to in-flight sub-queries as immutable
+    /// `Arc` epoch snapshots. Writers go through [`Arc::make_mut`]: free
+    /// while no snapshot is alive, copy-on-write when one is — readers
+    /// never copy.
+    store: Arc<MetadataStore>,
     /// Synthetic-mode records: bare ids.
     synthetic_ids: Vec<u64>,
     coverage: Option<Window>,
@@ -60,6 +77,8 @@ pub struct DataNode {
     /// The transport this node serves on — also used to reach the ring
     /// successor for §4.1 store forwarding.
     transport: Mutex<Option<Arc<dyn Transport>>>,
+    /// Lazily-started matcher pool (synthetic-only nodes never start it).
+    matchers: OnceLock<BatchEngine>,
 }
 
 impl DataNode {
@@ -68,7 +87,7 @@ impl DataNode {
         DataNode {
             cfg,
             state: Arc::new(Mutex::new(NodeState {
-                store: MetadataStore::new(),
+                store: Arc::new(MetadataStore::new()),
                 synthetic_ids: Vec::new(),
                 coverage: None,
                 successor: None,
@@ -76,7 +95,20 @@ impl DataNode {
             })),
             shutdown,
             transport: Mutex::new(None),
+            matchers: OnceLock::new(),
         }
+    }
+
+    /// The node's matcher pool, started on first use.
+    fn matchers(&self) -> &BatchEngine {
+        self.matchers
+            .get_or_init(|| BatchEngine::new(matcher_workers()))
+    }
+
+    /// Width of the matcher pool — the fixed bound on concurrent PPS
+    /// matching threads, however many sub-queries are resident.
+    pub fn matcher_pool_width(&self) -> usize {
+        self.matchers().workers()
     }
 
     /// Bind and serve over TCP (the default transport) until `Shutdown` is
@@ -193,7 +225,7 @@ impl DataNode {
                 let keep = Window::new(start, end);
                 let mut st = self.state.lock();
                 st.coverage = Some(keep);
-                st.store.retain_window(&keep);
+                Arc::make_mut(&mut st.store).retain_window(&keep);
                 st.synthetic_ids.retain(|&id| keep.contains(id));
                 Msg::Ok
             }
@@ -301,41 +333,37 @@ impl DataNode {
                         Combiner::Or
                     },
                 };
-                // clone the window's records out of the lock, then match on
-                // a blocking thread (CPU-bound work must not stall the
-                // reactor — the async-book rule); the worker runs the
-                // batched midstate-cached pipeline, same as the engine's
-                // consumer threads
-                let records: Vec<roar_pps::EncryptedMetadata> = {
-                    let st = self.state.lock();
-                    st.store
-                        .select_window(&window)
-                        .into_iter()
-                        .cloned()
-                        .collect()
+                // zero-copy corpus view: the lock is held only to clone the
+                // store Arc; window index ranges are computed outside it on
+                // the immutable snapshot. No record is copied.
+                let corpus = {
+                    let store = Arc::clone(&self.state.lock().store);
+                    TaskCorpus::snapshot(store, &window)
                 };
-                let scanned = records.len() as u64;
+                let scanned = corpus.len() as u64;
                 // per-query canary knob: honour the client's requested lane
                 // engine when this CPU has it, else keep the node's own
                 let backend = match backend_override {
                     Some(b) if b.available() => b,
                     _ => self.cfg.backend,
                 };
-                let result = tokio::task::spawn_blocking(move || {
-                    let (matches, _prf_calls) =
-                        roar_pps::engine::match_corpus_with(&records, &query, backend);
-                    matches
-                })
-                .await;
-                match result {
-                    Ok(matches) => Msg::SubQueryResult {
+                // hand the sub-query to the matcher pool: CPU-bound work
+                // stays off the reactor, and resident sub-queries share
+                // lane-packed PRF sweeps instead of a thread each
+                let (tx, rx) = tokio::sync::oneshot::channel();
+                self.matchers()
+                    .submit(QueryTask::new(query, corpus, backend), move |res| {
+                        let _ = tx.send(res);
+                    });
+                match rx.await {
+                    Ok(res) => Msg::SubQueryResult {
                         query_id,
-                        matches,
+                        matches: res.matches,
                         scanned,
                         proc_s: started.elapsed().as_secs_f64(),
                     },
-                    Err(e) => Msg::Error {
-                        what: format!("matcher panicked: {e}"),
+                    Err(_) => Msg::Error {
+                        what: "matcher pool dropped the sub-query".into(),
                     },
                 }
             }
@@ -346,7 +374,8 @@ impl DataNode {
         let mut st = self.state.lock();
         for r in records {
             match r.to_record() {
-                Some(rec) => st.store.insert(rec),
+                // copy-on-write: free unless a sub-query snapshot is alive
+                Some(rec) => Arc::make_mut(&mut st.store).insert(rec),
                 None => {
                     return Msg::Error {
                         what: "corrupt record".into(),
@@ -622,6 +651,114 @@ mod tests {
         assert_eq!(
             rpc(&mut s, 3, Msg::CountRequest).await,
             Msg::Count { records: 2 }
+        );
+    }
+
+    /// A flash crowd of PPS sub-queries must all complete correctly
+    /// through the fixed matcher pool — no thread per request. The pool
+    /// width is the concurrency bound; the batched engine queues and
+    /// lane-packs everything beyond it.
+    #[tokio::test]
+    async fn pps_flash_crowd_bounded_by_matcher_pool() {
+        use roar_pps::metadata::{FileMeta, MetaEncryptor};
+        use roar_pps::query::{Combiner, Predicate, QueryCompiler};
+        let (addr, node) = start_node(1e6).await;
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        let enc = MetaEncryptor::with_points(b"crowd", vec![1], vec![1]);
+        let mut rng = roar_util::det_rng(207);
+        let recs: Vec<_> = (0..40)
+            .map(|i| {
+                enc.encrypt(
+                    &mut rng,
+                    &FileMeta {
+                        path: format!("/c/f{i}"),
+                        keywords: vec![format!("kw{}", i % 8)],
+                        size: 1,
+                        mtime: 1,
+                    },
+                )
+            })
+            .collect();
+        rpc(
+            &mut s,
+            1,
+            Msg::Store {
+                records: recs.iter().map(WireRecord::from_record).collect(),
+                synthetic_ids: vec![],
+            },
+        )
+        .await;
+        let qc = QueryCompiler::new(&enc);
+        // 32 concurrent sub-queries multiplexed on one connection
+        for i in 0..32u64 {
+            let q = qc.compile(&[Predicate::Keyword(format!("kw{}", i % 8))], Combiner::And);
+            write_frame(
+                &mut s,
+                &Frame {
+                    id: 100 + i,
+                    body: Msg::SubQuery {
+                        query_id: i,
+                        window_start: 0,
+                        window_end: 0,
+                        body: QueryBody::Pps {
+                            trapdoors: q
+                                .trapdoors
+                                .iter()
+                                .map(crate::proto::WireTrapdoor::from_trapdoor)
+                                .collect(),
+                            conjunctive: true,
+                        },
+                        backend: None,
+                    },
+                },
+            )
+            .await
+            .unwrap();
+        }
+        let mut seen = 0;
+        while seen < 32 {
+            let f = read_frame(&mut s).await.unwrap().unwrap();
+            let Msg::SubQueryResult {
+                query_id, matches, ..
+            } = f.body
+            else {
+                panic!("unexpected reply");
+            };
+            let mut want: Vec<u64> = recs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j % 8 == (query_id % 8) as usize)
+                .map(|(_, r)| r.id)
+                .collect();
+            let mut got = matches;
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {query_id}");
+            seen += 1;
+        }
+        // the pool is the bound: a fixed handful of workers, not 32 threads
+        assert!(
+            node.matcher_pool_width() <= 4,
+            "pool width {} should be small and fixed",
+            node.matcher_pool_width()
+        );
+        // count only *this* node's matcher threads by their per-engine
+        // name prefix — other tests' nodes host their own engines in the
+        // same process
+        let prefix = format!("{}w", node.matchers().thread_prefix());
+        let matcher_threads = std::fs::read_dir("/proc/self/task")
+            .map(|tasks| {
+                tasks
+                    .filter_map(|t| std::fs::read_to_string(t.ok()?.path().join("comm")).ok())
+                    .filter(|name| name.starts_with(&prefix))
+                    .count()
+            })
+            .unwrap_or(0);
+        assert!(
+            matcher_threads >= 1 && matcher_threads <= node.matcher_pool_width(),
+            "{matcher_threads} matcher threads alive after a 32-query crowd \
+             (pool width {})",
+            node.matcher_pool_width()
         );
     }
 

@@ -148,6 +148,7 @@ fn put_backend(out: &mut Vec<u8>, b: &Option<Backend>) {
             Some(Backend::Scalar) => 1,
             Some(Backend::Sse2) => 2,
             Some(Backend::Avx2) => 3,
+            Some(Backend::Avx512) => 4,
         },
     );
 }
@@ -158,6 +159,7 @@ fn get_backend(r: &mut Reader<'_>) -> Option<Option<Backend>> {
         1 => Some(Some(Backend::Scalar)),
         2 => Some(Some(Backend::Sse2)),
         3 => Some(Some(Backend::Avx2)),
+        4 => Some(Some(Backend::Avx512)),
         _ => None,
     }
 }

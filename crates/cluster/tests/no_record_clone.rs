@@ -1,0 +1,125 @@
+//! Zero-copy sub-query execution: once records are stored, matching them
+//! must not deep-clone a single `EncryptedMetadata` — the node hands the
+//! matcher pool an immutable `Arc` epoch snapshot plus window index
+//! ranges, never a `.cloned().collect()` of the window.
+//!
+//! This lives in its own integration binary so the process-wide clone
+//! counter ([`roar_pps::metadata::record_clone_count`]) sees no traffic
+//! from unrelated tests.
+
+use roar_cluster::node::{DataNode, NodeConfig};
+use roar_cluster::proto::{
+    read_frame, write_frame, Frame, Msg, QueryBody, WireRecord, WireTrapdoor,
+};
+use roar_crypto::sha1::Backend;
+use roar_pps::metadata::{record_clone_count, FileMeta, MetaEncryptor};
+use roar_pps::query::{Combiner, Predicate, QueryCompiler};
+use std::sync::Arc;
+use tokio::net::TcpStream;
+
+async fn rpc(stream: &mut TcpStream, id: u64, body: Msg) -> Msg {
+    write_frame(stream, &Frame { id, body }).await.unwrap();
+    loop {
+        let f = read_frame(stream).await.unwrap().unwrap();
+        if f.id == id {
+            return f.body;
+        }
+    }
+}
+
+#[tokio::test]
+async fn subqueries_do_not_clone_stored_records() {
+    let node = Arc::new(DataNode::new(NodeConfig {
+        id: 0,
+        speed: 1e6,
+        overhead_s: 0.0,
+        backend: Backend::auto(),
+    }));
+    let (tx, rx) = tokio::sync::oneshot::channel();
+    let n2 = Arc::clone(&node);
+    tokio::spawn(async move {
+        let _ = n2.serve(tx).await;
+    });
+    let addr = rx.await.unwrap();
+    let mut s = TcpStream::connect(addr).await.unwrap();
+
+    let enc = MetaEncryptor::with_points(b"noclone", vec![1], vec![1]);
+    let mut rng = roar_util::det_rng(4242);
+    let recs: Vec<_> = (0..300)
+        .map(|i| {
+            enc.encrypt(
+                &mut rng,
+                &FileMeta {
+                    path: format!("/n/f{i}"),
+                    keywords: vec![format!("w{}", i % 10), "common".into()],
+                    size: 1,
+                    mtime: 1,
+                },
+            )
+        })
+        .collect();
+    assert_eq!(
+        rpc(
+            &mut s,
+            1,
+            Msg::Store {
+                records: recs.iter().map(WireRecord::from_record).collect(),
+                synthetic_ids: vec![],
+            },
+        )
+        .await,
+        Msg::Ok
+    );
+    assert_eq!(node.record_count(), 300, "all records inserted");
+
+    // every sub-query from here on must execute without copying a record:
+    // full-ring windows, partial windows and wrapped windows alike
+    let before = record_clone_count();
+    let qc = QueryCompiler::new(&enc);
+    let windows = [
+        (0u64, 0u64),                 // full ring
+        (0, u64::MAX / 2),            // half
+        (u64::MAX / 2, u64::MAX / 4), // wrapped
+    ];
+    let mut total_matches = 0usize;
+    for (i, &(ws, we)) in windows.iter().enumerate() {
+        for qi in 0..4u64 {
+            let q = qc.compile(
+                &[
+                    Predicate::Keyword("common".into()),
+                    Predicate::Keyword(format!("w{qi}")),
+                ],
+                Combiner::And,
+            );
+            let reply = rpc(
+                &mut s,
+                10 + (i as u64) * 10 + qi,
+                Msg::SubQuery {
+                    query_id: qi,
+                    window_start: ws,
+                    window_end: we,
+                    body: QueryBody::Pps {
+                        trapdoors: q
+                            .trapdoors
+                            .iter()
+                            .map(WireTrapdoor::from_trapdoor)
+                            .collect(),
+                        conjunctive: true,
+                    },
+                    backend: None,
+                },
+            )
+            .await;
+            let Msg::SubQueryResult { matches, .. } = reply else {
+                panic!("unexpected reply {reply:?}");
+            };
+            total_matches += matches.len();
+        }
+    }
+    assert!(total_matches > 0, "queries should match something");
+    let cloned = record_clone_count() - before;
+    assert_eq!(
+        cloned, 0,
+        "sub-query execution deep-cloned {cloned} records; the snapshot path must copy none"
+    );
+}

@@ -328,6 +328,77 @@ fn fill_padded_block(msg: &[u8], b: usize, block: &mut [u8; BLOCK]) {
     }
 }
 
+/// The cross-query survivor-sweep hot path: `u64` MAC prefixes of fixed
+/// 8-byte nonces where **every lane carries its own key**. `keys[i]` MACs
+/// `nonces[i]` into `out[i]`.
+///
+/// [`HmacKey::mac_u64_nonces_with`] resumes one key's midstates in every
+/// lane; since a lane's midstate is already per-lane SIMD state, nothing
+/// stops each lane resuming a *different* key's midstates — which is what
+/// lets a node pack probe work from many concurrent sub-queries (different
+/// trapdoors, different component keys) into one full-width compression
+/// stream instead of running each query's sweep ragged. Cost is identical to
+/// the single-key sweep: 2 multi-lane compressions per full lane group.
+/// Ragged tails repeat the last real (key, nonce) pair; the duplicate lane
+/// outputs are discarded.
+///
+/// Bit-identical to `keys[i].mac_u64(&nonces[i])` by construction and by the
+/// `sha1_lanes_props` suite.
+///
+/// # Panics
+/// Panics when `keys`, `nonces` and `out` lengths disagree (`out` may be
+/// longer).
+pub fn mac_u64_nonces_keyed_with(
+    backend: Backend,
+    keys: &[HmacKey],
+    nonces: &[[u8; 8]],
+    out: &mut [u64],
+) {
+    assert_eq!(
+        keys.len(),
+        nonces.len(),
+        "one key per nonce: {} keys / {} nonces",
+        keys.len(),
+        nonces.len()
+    );
+    assert!(out.len() >= nonces.len(), "output buffer too small");
+    let engine = backend.engine();
+    let lanes = engine.lanes();
+    // finishing-block templates, as in the single-key sweep
+    let mut inner_tmpl = [0u8; BLOCK];
+    inner_tmpl[8] = 0x80;
+    inner_tmpl[56..].copy_from_slice(&(((BLOCK + 8) as u64) * 8).to_be_bytes());
+    let mut outer_tmpl = [0u8; BLOCK];
+    outer_tmpl[20] = 0x80;
+    outer_tmpl[56..].copy_from_slice(&(((BLOCK + 20) as u64) * 8).to_be_bytes());
+
+    let mut blocks = [[0u8; BLOCK]; MAX_LANES];
+    let mut states = [[0u32; 5]; MAX_LANES];
+    for (start, slots) in (0..nonces.len()).step_by(lanes).zip(out.chunks_mut(lanes)) {
+        let group = &nonces[start..(start + lanes).min(nonces.len())];
+        for lane in 0..lanes {
+            // ragged tail: unused lanes repeat the last real (key, nonce)
+            let idx = start + lane.min(group.len() - 1);
+            blocks[lane] = inner_tmpl;
+            blocks[lane][..8].copy_from_slice(&nonces[idx]);
+            states[lane] = keys[idx].inner_mid;
+        }
+        engine.compress(&mut states[..lanes], &blocks[..lanes]);
+        for lane in 0..lanes {
+            let idx = start + lane.min(group.len() - 1);
+            blocks[lane] = outer_tmpl;
+            for (i, w) in states[lane].iter().enumerate() {
+                blocks[lane][i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            states[lane] = keys[idx].outer_mid;
+        }
+        engine.compress(&mut states[..lanes], &blocks[..lanes]);
+        for (state, slot) in states.iter().zip(slots.iter_mut()) {
+            *slot = ((state[0] as u64) << 32) | state[1] as u64;
+        }
+    }
+}
+
 /// Free-function form of the batch API: HMAC-SHA1 of every message in
 /// `msgs` under one precomputed key, written into `out`, zero heap
 /// allocation, multi-lane when the CPU allows. The matching pipeline's
@@ -486,6 +557,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The keyed sweep — one key per lane — must agree with per-key scalar
+    /// MACs on every backend, including ragged group tails where the last
+    /// (key, nonce) pair is repeated.
+    #[test]
+    fn keyed_nonce_sweep_matches_reference_on_all_backends() {
+        let keys: Vec<HmacKey> = (0..13u64)
+            .map(|i| HmacKey::new(format!("query-key-{i}").as_bytes()))
+            .collect();
+        let nonces: Vec<[u8; 8]> = (0..13u64)
+            .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)).to_be_bytes())
+            .collect();
+        for backend in Backend::ALL.into_iter().filter(|b| b.available()) {
+            for take in 1..=nonces.len() {
+                let mut out = vec![0u64; take];
+                mac_u64_nonces_keyed_with(backend, &keys[..take], &nonces[..take], &mut out);
+                for i in 0..take {
+                    assert_eq!(
+                        out[i],
+                        keys[i].mac_u64(&nonces[i]),
+                        "{} batch of {take}, lane {i}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one key per nonce")]
+    fn keyed_sweep_rejects_mismatched_lengths() {
+        let keys = [HmacKey::new(b"a"), HmacKey::new(b"b")];
+        let nonces = [[0u8; 8]];
+        let mut out = [0u64; 2];
+        mac_u64_nonces_keyed_with(Backend::Scalar, &keys, &nonces, &mut out);
     }
 
     /// The specialised 8-byte-nonce sweep must agree with the generic path

@@ -8,7 +8,8 @@
 //!
 //! * [`sha1`] — FIPS 180-1 SHA-1, verified against the standard test vectors,
 //!   with a lane-generic compression layer ([`sha1::Sha1Lanes`]): scalar x1,
-//!   SSE2 x4 and AVX2 x8 engines selected at runtime via [`sha1::Backend`].
+//!   SSE2 x4, AVX2 x8 and AVX-512 x16 engines selected at runtime via
+//!   [`sha1::Backend`].
 //! * [`hmac`] — HMAC-SHA1 (RFC 2104/2202) used as the keyed PRF `F_K(·)`.
 //! * [`prf`] — the `Prf` abstraction the PPS schemes are written against.
 //! * [`prp`] — a 4-round Feistel network over HMAC-SHA1, a classic

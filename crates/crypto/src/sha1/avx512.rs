@@ -1,0 +1,175 @@
+//! 16-lane SHA-1 compression in AVX-512 `__m512i` registers.
+//!
+//! Same structure-of-arrays layout as the SSE2/AVX2 engines — lane `l` in
+//! 32-bit element `l` of every vector, rolling 16-entry schedule — at twice
+//! AVX2's width. Two instruction-level wins over the narrower engines:
+//! `VPROLD` (`_mm512_rol_epi32`) is a real vector rotate, so the
+//! shift/shift/or emulation disappears from both the schedule and the round
+//! body, and `VPTERNLOGD` (`_mm512_ternarylogic_epi32`) evaluates Ch / Maj /
+//! Parity in one instruction each. Everything here needs only AVX-512F — no
+//! BW/DQ/VL — which is the feature [`Backend::available`] detects.
+//!
+//! [`Backend::available`]: super::Backend::available
+//!
+//! AVX-512 is *not* baseline: the runtime detection gates selection, and
+//! [`Sha1Lanes::compress`] re-asserts it so a mis-forced backend fails
+//! loudly instead of executing illegal instructions.
+
+use super::Sha1Lanes;
+use core::arch::x86_64::{
+    __m512i, _mm512_add_epi32, _mm512_rol_epi32, _mm512_set1_epi32, _mm512_set_epi32,
+    _mm512_storeu_si512, _mm512_ternarylogic_epi32, _mm512_xor_epi32,
+};
+
+/// 16-lane AVX-512F engine.
+pub struct Avx512Lanes;
+
+impl Sha1Lanes for Avx512Lanes {
+    fn lanes(&self) -> usize {
+        16
+    }
+
+    fn name(&self) -> &'static str {
+        "avx512"
+    }
+
+    fn compress(&self, states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
+        assert!(
+            states.len() == 16 && blocks.len() == 16,
+            "avx512 engine is 16-lane: got {} states / {} blocks",
+            states.len(),
+            blocks.len()
+        );
+        assert!(
+            std::arch::is_x86_feature_detected!("avx512f"),
+            "avx512 backend selected on a CPU without AVX-512F"
+        );
+        // SAFETY: AVX-512F presence just asserted; slices length-checked.
+        unsafe { compress16(states, blocks) }
+    }
+}
+
+#[inline]
+unsafe fn add(a: __m512i, b: __m512i) -> __m512i {
+    _mm512_add_epi32(a, b)
+}
+
+/// Big-endian word `i` of each lane's block, transposed into one vector.
+#[inline]
+unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m512i {
+    let w = |l: usize| {
+        u32::from_be_bytes([
+            blocks[l][i * 4],
+            blocks[l][i * 4 + 1],
+            blocks[l][i * 4 + 2],
+            blocks[l][i * 4 + 3],
+        ]) as i32
+    };
+    _mm512_set_epi32(
+        w(15),
+        w(14),
+        w(13),
+        w(12),
+        w(11),
+        w(10),
+        w(9),
+        w(8),
+        w(7),
+        w(6),
+        w(5),
+        w(4),
+        w(3),
+        w(2),
+        w(1),
+        w(0),
+    )
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn compress16(states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
+    let load_state = |w: usize| {
+        _mm512_set_epi32(
+            states[15][w] as i32,
+            states[14][w] as i32,
+            states[13][w] as i32,
+            states[12][w] as i32,
+            states[11][w] as i32,
+            states[10][w] as i32,
+            states[9][w] as i32,
+            states[8][w] as i32,
+            states[7][w] as i32,
+            states[6][w] as i32,
+            states[5][w] as i32,
+            states[4][w] as i32,
+            states[3][w] as i32,
+            states[2][w] as i32,
+            states[1][w] as i32,
+            states[0][w] as i32,
+        )
+    };
+    let mut a = load_state(0);
+    let mut b = load_state(1);
+    let mut c = load_state(2);
+    let mut d = load_state(3);
+    let mut e = load_state(4);
+    let (a0, b0, c0, d0, e0) = (a, b, c, d, e);
+
+    let mut w = [_mm512_set1_epi32(0); 16];
+    for (i, slot) in w.iter_mut().enumerate() {
+        *slot = gather_word(blocks, i);
+    }
+
+    let k1 = _mm512_set1_epi32(0x5A827999u32 as i32);
+    let k2 = _mm512_set1_epi32(0x6ED9EBA1u32 as i32);
+    let k3 = _mm512_set1_epi32(0x8F1BBCDCu32 as i32);
+    let k4 = _mm512_set1_epi32(0xCA62C1D6u32 as i32);
+
+    for t in 0..80 {
+        let wt = if t < 16 {
+            w[t]
+        } else {
+            // rolling schedule: w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16]);
+            // the four-way xor is one VPXORD + one VPTERNLOGD (imm 0x96 =
+            // three-way xor)
+            let x = _mm512_ternarylogic_epi32::<0x96>(
+                w[(t - 3) & 15],
+                w[(t - 8) & 15],
+                _mm512_xor_epi32(w[(t - 14) & 15], w[t & 15]),
+            );
+            let x = _mm512_rol_epi32::<1>(x);
+            w[t & 15] = x;
+            x
+        };
+        // one VPTERNLOGD per round function, truth-table immediates over
+        // (b, c, d): Ch = 0xCA, Parity = 0x96, Maj = 0xE8
+        let (f, k) = match t {
+            0..=19 => (_mm512_ternarylogic_epi32::<0xCA>(b, c, d), k1),
+            20..=39 => (_mm512_ternarylogic_epi32::<0x96>(b, c, d), k2),
+            40..=59 => (_mm512_ternarylogic_epi32::<0xE8>(b, c, d), k3),
+            _ => (_mm512_ternarylogic_epi32::<0x96>(b, c, d), k4),
+        };
+        let tmp = add(add(add(add(_mm512_rol_epi32::<5>(a), f), e), k), wt);
+        e = d;
+        d = c;
+        c = _mm512_rol_epi32::<30>(b);
+        b = a;
+        a = tmp;
+    }
+
+    a = add(a, a0);
+    b = add(b, b0);
+    c = add(c, c0);
+    d = add(d, d0);
+    e = add(e, e0);
+
+    // transpose back: one word-major store per chaining word
+    let mut out = [[0u32; 16]; 5];
+    for (word, v) in [a, b, c, d, e].into_iter().enumerate() {
+        _mm512_storeu_si512(out[word].as_mut_ptr() as *mut __m512i, v);
+    }
+    for (l, state) in states.iter_mut().enumerate() {
+        for (word, row) in out.iter().enumerate() {
+            state[word] = row[l];
+        }
+    }
+}

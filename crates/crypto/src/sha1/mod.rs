@@ -11,22 +11,25 @@
 //!
 //! The compression function is exposed behind the [`Sha1Lanes`] trait: an
 //! engine folds one 64-byte block per *lane* into one chaining value per
-//! lane, all lanes in a single instruction stream. Three engines implement
+//! lane, all lanes in a single instruction stream. Four engines implement
 //! it (mirroring the transport-trait layering in `roar-cluster`):
 //!
 //! * [`scalar`] — 1 lane, the portable reference every other engine is
 //!   pinned bit-identical to;
 //! * [`sse2`] — 4 lanes in `__m128i` registers (x86-64 baseline, always
 //!   available there);
-//! * [`avx2`] — 8 lanes in `__m256i` registers (runtime-detected).
+//! * [`avx2`] — 8 lanes in `__m256i` registers (runtime-detected);
+//! * [`avx512`] — 16 lanes in `__m512i` registers (runtime-detected,
+//!   AVX-512F only — no BW/VL needed).
 //!
 //! Callers pick an engine through [`Backend`]: [`Backend::auto`] resolves
 //! once per process to the widest CPU-supported engine, overridable with the
 //! `ROAR_SHA1_BACKEND` environment variable (`scalar`, `sse2`, `avx2`,
-//! `auto`) so CI can pin the portable path. The multi-lane HMAC paths in
-//! [`crate::hmac`] — and through them the PPS survivor sweep — are the
-//! intended consumers: one trapdoor-component key, `lanes()` records'
-//! nonces per compression call.
+//! `avx512`, `auto`) so CI can pin the portable path. The multi-lane HMAC
+//! paths in [`crate::hmac`] — and through them the PPS survivor sweep — are
+//! the intended consumers: one trapdoor-component key (or, in the
+//! cross-query batched path, one key *per lane*), `lanes()` records' nonces
+//! per compression call.
 //!
 //! Everything above the trait (padding, midstate resume, HMAC block
 //! assembly) is lane-agnostic; everything below it is pure compression.
@@ -38,13 +41,15 @@ pub mod scalar;
 #[cfg(target_arch = "x86_64")]
 pub mod avx2;
 #[cfg(target_arch = "x86_64")]
+pub mod avx512;
+#[cfg(target_arch = "x86_64")]
 pub mod sse2;
 
 pub(crate) use scalar::compress_block;
 
-/// Widest lane count any engine exposes ([`avx2`]'s 8). Stack scratch in
+/// Widest lane count any engine exposes ([`avx512`]'s 16). Stack scratch in
 /// lane-generic callers is sized by this.
-pub const MAX_LANES: usize = 8;
+pub const MAX_LANES: usize = 16;
 
 /// A multi-lane SHA-1 compression engine: folds one 64-byte block per lane
 /// into the matching chaining value, all lanes per call.
@@ -71,28 +76,37 @@ pub enum Backend {
     Sse2,
     /// 8 lanes, AVX2 (`__m256i`).
     Avx2,
+    /// 16 lanes, AVX-512F (`__m512i`).
+    Avx512,
 }
 
 impl Backend {
     /// All backends, narrowest first.
-    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Sse2, Backend::Avx2];
+    pub const ALL: [Backend; 4] = [
+        Backend::Scalar,
+        Backend::Sse2,
+        Backend::Avx2,
+        Backend::Avx512,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Backend::Scalar => "scalar",
             Backend::Sse2 => "sse2",
             Backend::Avx2 => "avx2",
+            Backend::Avx512 => "avx512",
         }
     }
 
-    /// Parse a backend name (`scalar` / `sse2` / `avx2`). `auto` and unknown
-    /// names return `None` — callers decide whether that means
+    /// Parse a backend name (`scalar` / `sse2` / `avx2` / `avx512`). `auto`
+    /// and unknown names return `None` — callers decide whether that means
     /// auto-detection or an error.
     pub fn from_name(name: &str) -> Option<Backend> {
         match name {
             "scalar" => Some(Backend::Scalar),
             "sse2" => Some(Backend::Sse2),
             "avx2" => Some(Backend::Avx2),
+            "avx512" => Some(Backend::Avx512),
             _ => None,
         }
     }
@@ -105,6 +119,8 @@ impl Backend {
             Backend::Sse2 => true, // architectural baseline on x86-64
             #[cfg(target_arch = "x86_64")]
             Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
             #[cfg(not(target_arch = "x86_64"))]
             _ => false,
         }
@@ -140,7 +156,7 @@ impl Backend {
                 None => {
                     eprintln!(
                         "ROAR_SHA1_BACKEND={name:?} not recognised \
-                         (scalar|sse2|avx2|auto); using {}",
+                         (scalar|sse2|avx2|avx512|auto); using {}",
                         Backend::detect().name()
                     );
                     Backend::detect()
@@ -165,6 +181,8 @@ impl Backend {
             Backend::Sse2 => &sse2::Sse2Lanes,
             #[cfg(target_arch = "x86_64")]
             Backend::Avx2 => &avx2::Avx2Lanes,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => &avx512::Avx512Lanes,
             #[cfg(not(target_arch = "x86_64"))]
             _ => unreachable!("non-scalar backends are x86-64 only"),
         }

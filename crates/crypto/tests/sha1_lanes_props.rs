@@ -1,6 +1,6 @@
 //! Property tests for the lane-generic SHA-1 execution layer: every
-//! available [`Backend`] (scalar x1, SSE2 x4, AVX2 x8) must be bit-identical
-//! to the scalar reference —
+//! available [`Backend`] (scalar x1, SSE2 x4, AVX2 x8, AVX-512 x16) must be
+//! bit-identical to the scalar reference —
 //!
 //! * at the compression-function level, on arbitrary states and blocks;
 //! * through the multi-lane HMAC batch paths, across message lengths that
@@ -10,7 +10,7 @@
 //! * on ragged batches whose size is not a multiple of the lane width.
 
 use proptest::prelude::*;
-use roar_crypto::hmac::{hmac_sha1, HmacKey};
+use roar_crypto::hmac::{hmac_sha1, mac_u64_nonces_keyed_with, HmacKey};
 use roar_crypto::sha1::Backend;
 
 fn available_backends() -> Vec<Backend> {
@@ -30,6 +30,7 @@ fn engines_report_sane_lane_counts() {
             Backend::Scalar => 1,
             Backend::Sse2 => 4,
             Backend::Avx2 => 8,
+            Backend::Avx512 => 16,
         };
         assert_eq!(lanes, expect, "{}", b.name());
     }
@@ -111,6 +112,34 @@ fn nonce_sweep_ragged_sizes() {
     }
 }
 
+/// The per-lane-keyed sweep (the cross-query batched path) at every ragged
+/// size, with every lane under a distinct key.
+#[test]
+fn keyed_nonce_sweep_ragged_sizes() {
+    for backend in available_backends() {
+        let lanes = backend.engine().lanes();
+        let n = 2 * lanes + 3;
+        let keys: Vec<HmacKey> = (0..n)
+            .map(|i| HmacKey::new(format!("xq-key-{i}").as_bytes()))
+            .collect();
+        let nonces: Vec<[u8; 8]> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D).to_be_bytes())
+            .collect();
+        for take in 1..=n {
+            let mut out = vec![0u64; take];
+            mac_u64_nonces_keyed_with(backend, &keys[..take], &nonces[..take], &mut out);
+            for i in 0..take {
+                assert_eq!(
+                    out[i],
+                    keys[i].mac_u64(&nonces[i]),
+                    "{} take {take} lane {i}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -118,8 +147,8 @@ proptest! {
     /// compression of that lane.
     #[test]
     fn compress_lanes_equal_scalar(
-        seed_states in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 5), 8),
-        seed_blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 64), 8),
+        seed_states in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 5), 16),
+        seed_blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 64), 16),
     ) {
         for backend in available_backends() {
             let engine = backend.engine();

@@ -206,17 +206,11 @@ impl PreparedTrapdoor {
         scratch: &mut SweepScratch,
         prf_calls: &mut u64,
     ) {
-        if self.probes_since_reorder >= REORDER_EVERY {
-            self.reorder();
-        }
-        self.probes_since_reorder = self
-            .probes_since_reorder
-            .saturating_add(survivors.len() as u32);
+        self.sweep_begin(survivors.len());
         for k in 0..self.len as usize {
             if survivors.is_empty() {
                 return;
             }
-            let j = self.order[k] as usize;
             scratch.nonces.clear();
             scratch.nonces.extend(
                 survivors
@@ -225,18 +219,72 @@ impl PreparedTrapdoor {
             );
             scratch.macs.clear();
             scratch.macs.resize(survivors.len(), 0);
-            self.keys[j].mac_u64_nonces_with(backend, &scratch.nonces, &mut scratch.macs);
-            scratch.spare.clear();
-            for (&i, &mac) in survivors.iter().zip(scratch.macs.iter()) {
-                *prf_calls += 1;
-                if body(&items[i as usize]).filter.get(mac) {
-                    scratch.spare.push(i);
-                } else {
-                    self.miss[j] += 1;
-                }
-            }
-            std::mem::swap(survivors, &mut scratch.spare);
+            self.component_key(k)
+                .mac_u64_nonces_with(backend, &scratch.nonces, &mut scratch.macs);
+            let macs = std::mem::take(&mut scratch.macs);
+            self.component_filter(
+                k,
+                survivors,
+                &macs,
+                &mut scratch.spare,
+                prf_calls,
+                |i, m| body(&items[i as usize]).filter.get(m),
+            );
+            scratch.macs = macs;
         }
+    }
+
+    /// Begin one survivor sweep over `n_survivors` records: apply any due
+    /// probe-order adaptation (adaptation must land on sweep boundaries —
+    /// the order has to stay fixed across a component-major pass) and charge
+    /// the sweep against the reorder interval. Call exactly once before the
+    /// per-component [`component_key`](Self::component_key) /
+    /// [`component_filter`](Self::component_filter) loop;
+    /// [`probe_filter`](Self::probe_filter) is the assembled form, and the
+    /// cross-query batched engine ([`crate::xbatch`]) drives the same steps
+    /// with the MAC work hoisted out to a shared keyed lane sweep.
+    pub(crate) fn sweep_begin(&mut self, n_survivors: usize) {
+        if self.probes_since_reorder >= REORDER_EVERY {
+            self.reorder();
+        }
+        self.probes_since_reorder = self.probes_since_reorder.saturating_add(n_survivors as u32);
+    }
+
+    /// The [`HmacKey`] of the `k`-th component in the current probe order.
+    pub(crate) fn component_key(&self, k: usize) -> HmacKey {
+        self.keys[self.order[k] as usize]
+    }
+
+    /// Number of codeword components this trapdoor probes per record.
+    pub(crate) fn n_components(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Filter `survivors` by the `k`-th ordered component's MAC prefixes
+    /// (`macs[i]` belongs to `survivors[i]`): keep records whose codeword
+    /// bit is set, charge one PRF call per record tested and one miss
+    /// against the component per record dropped. `bit_set(i, mac)` tests
+    /// record `i`'s filter. `spare` is the caller's double buffer.
+    pub(crate) fn component_filter(
+        &mut self,
+        k: usize,
+        survivors: &mut Vec<u32>,
+        macs: &[u64],
+        spare: &mut Vec<u32>,
+        prf_calls: &mut u64,
+        mut bit_set: impl FnMut(u32, u64) -> bool,
+    ) {
+        let j = self.order[k] as usize;
+        spare.clear();
+        for (&i, &mac) in survivors.iter().zip(macs.iter()) {
+            *prf_calls += 1;
+            if bit_set(i, mac) {
+                spare.push(i);
+            } else {
+                self.miss[j] += 1;
+            }
+        }
+        std::mem::swap(survivors, spare);
     }
 
     /// Observed miss counts per component, in component order (test hook).
@@ -263,7 +311,7 @@ pub struct SweepScratch {
     nonces: Vec<[u8; 8]>,
     macs: Vec<u64>,
     /// Double buffer for the per-component survivor filtering.
-    spare: Vec<u32>,
+    pub(crate) spare: Vec<u32>,
 }
 
 /// Encrypted document keywords: nonce + Bloom filter of codewords.

@@ -30,6 +30,9 @@
 //! * [`engine`] — the producer/consumer matching engine (I/O thread feeding
 //!   N matching threads through a bounded buffer) with the PPS_LM / PPS_LC
 //!   fixed-cost profiles of §5.7.
+//! * [`xbatch`] — cross-query batched execution: a fixed matcher-worker
+//!   pool drains resident sub-queries through shared PRF lane sweeps
+//!   packed across queries, over zero-copy `Arc` corpus snapshots.
 //! * [`simdisk`] — a rate-limited byte source standing in for the 66 MB/s
 //!   sequential disk of the paper's Dell 1950 (DESIGN.md substitution).
 //! * [`bandwidth`] — the §5.3.1 analytic bandwidth model behind Fig 5.1.
@@ -48,9 +51,11 @@ pub mod query;
 pub mod ranked;
 pub mod simdisk;
 pub mod store;
+pub mod xbatch;
 
 pub use engine::{Engine, EngineProfile, QueryOutcome};
 pub use metadata::{EncryptedMetadata, FileMeta, MetaEncryptor};
 pub use query::{CompiledQuery, Predicate, QueryCompiler};
 pub use roar_crypto::sha1::Backend;
 pub use store::MetadataStore;
+pub use xbatch::{BatchEngine, QueryTask, TaskCorpus, TaskHandle, TaskResult};

@@ -27,11 +27,31 @@ pub struct FileMeta {
 
 /// The encrypted, server-visible record: a random id (which doubles as the
 /// object's ROAR ring position) plus the blinded keyword filter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct EncryptedMetadata {
     /// "The user provides a random identifier for each metadata" (§5.6.1).
     pub id: u64,
     pub body: BloomMetadata,
+}
+
+/// Process-wide count of [`EncryptedMetadata`] deep clones — the copies
+/// zero-copy query execution is supposed to eliminate. Tests snapshot it
+/// around a sub-query to assert the hot path copied nothing.
+static RECORD_CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total record deep clones since process start.
+pub fn record_clone_count() -> u64 {
+    RECORD_CLONES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Clone for EncryptedMetadata {
+    fn clone(&self) -> Self {
+        RECORD_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        EncryptedMetadata {
+            id: self.id,
+            body: self.body.clone(),
+        }
+    }
 }
 
 impl EncryptedMetadata {

@@ -99,13 +99,13 @@ pub struct MatchScratch {
     pub prf_calls: u64,
     /// Records still undecided in the current batch (indices into the
     /// chunk).
-    survivors: Vec<u32>,
+    pub(crate) survivors: Vec<u32>,
     /// Double buffer for the next predicate round.
-    next: Vec<u32>,
+    pub(crate) next: Vec<u32>,
     /// Pre-sweep snapshot, for OR's matched/undecided split.
-    pre: Vec<u32>,
+    pub(crate) pre: Vec<u32>,
     /// Gather buffers (nonces, MAC prefixes) for the lane sweep.
-    sweep: SweepScratch,
+    pub(crate) sweep: SweepScratch,
 }
 
 impl MatchScratch {
@@ -193,7 +193,7 @@ impl Matcher {
     /// Compile the query's trapdoors into their midstate-cached form.
     /// Idempotent for the same query; a different query resets the matcher
     /// (prepared keys, ordering state, sample counts) and starts fresh.
-    fn ensure_prepared(&mut self, query: &CompiledQuery) {
+    pub(crate) fn ensure_prepared(&mut self, query: &CompiledQuery) {
         let fp = query_fingerprint(query);
         if self.prepared_for == Some(fp) {
             return;
@@ -412,6 +412,15 @@ impl Matcher {
     /// The decided order, if sampling has completed.
     pub fn order(&self) -> Option<&[usize]> {
         self.order.as_deref()
+    }
+
+    /// Mutable access to the `p`-th prepared trapdoor (query order, not
+    /// evaluation order) for the cross-query batched engine, which drives
+    /// the [`PreparedTrapdoor`] sweep steps itself so the MAC work can be
+    /// hoisted into a shared lane sweep. Call after
+    /// [`ensure_prepared`](Self::ensure_prepared).
+    pub(crate) fn prepared_mut(&mut self, p: usize) -> &mut PreparedTrapdoor {
+        &mut self.prepared[p]
     }
 }
 

@@ -118,6 +118,37 @@ impl MetadataStore {
         }
     }
 
+    /// All records, sorted by id. Index with the ranges from
+    /// [`window_ranges`](Self::window_ranges) for zero-copy window views.
+    pub fn records(&self) -> &[EncryptedMetadata] {
+        &self.records
+    }
+
+    /// The match window `(start, end]` as up to two index ranges into
+    /// [`records`](Self::records), in the same record order
+    /// [`select_window`](Self::select_window) yields (a wrapped window is
+    /// high slice first, then the low wrap-around slice). Empty ranges are
+    /// `(0, 0)`. This is the zero-copy form of window selection: an `Arc`
+    /// snapshot of the store plus these ranges is a complete corpus view,
+    /// with no per-query record clone.
+    pub fn window_ranges(&self, w: &Window) -> [(usize, usize); 2] {
+        if w.is_full() {
+            return [(0, self.records.len()), (0, 0)];
+        }
+        let lo = w.start.wrapping_add(1);
+        let hi = w.end;
+        let index_range = |lo: u64, hi: u64| {
+            let a = self.records.partition_point(|r| r.id < lo);
+            let b = self.records.partition_point(|r| r.id <= hi);
+            (a, b)
+        };
+        if lo <= hi {
+            [index_range(lo, hi), (0, 0)]
+        } else {
+            [index_range(lo, u64::MAX), index_range(0, hi)]
+        }
+    }
+
     /// Number of pointer segments (the index the server loads first).
     pub fn segments(&self) -> usize {
         self.pointers.len()
@@ -222,6 +253,36 @@ mod tests {
         assert_eq!(dropped, 2);
         let ids: Vec<u64> = s.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![20, 30]);
+    }
+
+    #[test]
+    fn window_ranges_agree_with_select_window() {
+        // the zero-copy index-range view must list exactly the records
+        // select_window yields, in the same order, for contiguous, wrapped,
+        // full and empty windows
+        let ids: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let s = store(&ids);
+        let mut windows = vec![
+            Window::full(3),
+            Window::new(15, 40),
+            Window::new(u64::MAX - 10, 50),
+            Window::new(1 << 62, (1 << 62) + 1),
+            Window::new(7, 7),
+        ];
+        windows.extend(roar_core::ring::windows_of_points(
+            &roar_core::ring::query_points(42, 9),
+        ));
+        for w in &windows {
+            let want: Vec<u64> = s.select_window(w).iter().map(|r| r.id).collect();
+            let got: Vec<u64> = s
+                .window_ranges(w)
+                .iter()
+                .flat_map(|&(a, b)| s.records()[a..b].iter().map(|r| r.id))
+                .collect();
+            assert_eq!(got, want, "window {w:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,691 @@
+//! Cross-query batched node execution: a fixed pool of matcher workers
+//! drains resident sub-queries through shared PRF lane sweeps.
+//!
+//! The per-sub-query execution model (one blocking thread running
+//! [`match_corpus_with`](crate::engine::match_corpus_with) per request)
+//! leaves SIMD lanes idle whenever a sub-query's survivor list runs
+//! ragged, and under a flash crowd of Q resident sub-queries it spawns Q
+//! threads and clones Q corpus windows. This module restructures the path:
+//!
+//! * A [`QueryTask`] is one sub-query turned into a resumable state
+//!   machine. It replays [`Matcher::match_batch`]'s control flow exactly —
+//!   512-record chunks, scalar sampling prefix, AND/OR survivor pipeline —
+//!   but *suspends* at each per-component MAC sweep instead of computing
+//!   it inline, exposing the sweep as a (key, survivor nonces) job.
+//! * A [`BatchEngine`] owns a small fixed pool of worker threads. Each
+//!   round, a worker advances every resident task to its next MAC job,
+//!   concatenates the jobs into one flat keyed sweep per SHA-1 backend
+//!   ([`mac_u64_nonces_keyed_with`]), and demuxes the MAC prefixes back to
+//!   each task. Lane groups of the underlying engine (16 on AVX-512) are
+//!   packed *across* sub-queries: one query's ragged tail shares a
+//!   compression call with the next query's head, with per-lane key
+//!   midstates carrying query provenance.
+//! * A [`TaskCorpus`] is a zero-copy corpus view: an `Arc` epoch snapshot
+//!   of a [`MetadataStore`] plus window index ranges
+//!   ([`MetadataStore::window_ranges`]), or a shared `Arc` record vector.
+//!   No per-sub-query record clone, under any lock or otherwise.
+//!
+//! **Parity.** A task's match set and PRF count depend only on its own
+//! sweep sequence — chunking, sampling, predicate/component order and
+//! reorder timing are all driven by the same `query`/`bloom_kw` code the
+//! sequential path uses, and a MAC value depends only on its own (key,
+//! nonce) lane. Packing lanes across queries therefore changes *nothing*
+//! observable per query: `tests/xbatch_parity.rs` pins bit-identical match
+//! sets and PRF counts against sequential [`match_corpus_with`] per query,
+//! per backend.
+//!
+//! [`match_corpus_with`]: crate::engine::match_corpus_with
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use roar_core::ring::Window;
+use roar_crypto::hmac::{mac_u64_nonces_keyed_with, HmacKey};
+use roar_crypto::sha1::Backend;
+
+use crate::metadata::EncryptedMetadata;
+use crate::query::{Combiner, CompiledQuery, MatchScratch, Matcher};
+use crate::store::MetadataStore;
+
+/// Records per survivor-pipeline chunk — must match the sequential
+/// [`match_corpus_with`](crate::engine::match_corpus_with) loop for the
+/// parity guarantee (chunk boundaries are observable through reorder
+/// timing).
+pub const MATCH_CHUNK: usize = 512;
+
+/// A zero-copy corpus view for one task. Both forms share the underlying
+/// records by `Arc`; cloning a `TaskCorpus` never clones a record.
+#[derive(Clone)]
+pub enum TaskCorpus {
+    /// A shared record vector (already window-selected, or a whole corpus).
+    Records(Arc<Vec<EncryptedMetadata>>),
+    /// An epoch snapshot of a store plus up to two index ranges — the
+    /// zero-copy form of [`MetadataStore::select_window`], in the same
+    /// record order (wrapped windows: high slice, then the wrap-around).
+    Snapshot {
+        store: Arc<MetadataStore>,
+        ranges: [(usize, usize); 2],
+    },
+}
+
+impl TaskCorpus {
+    /// Snapshot `store` restricted to the match window `w`.
+    pub fn snapshot(store: Arc<MetadataStore>, w: &Window) -> Self {
+        let ranges = store.window_ranges(w);
+        TaskCorpus::Snapshot { store, ranges }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            TaskCorpus::Records(r) => r.len(),
+            TaskCorpus::Snapshot { ranges, .. } => ranges.iter().map(|&(a, b)| b - a).sum(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th record of the view (window order).
+    fn get(&self, i: usize) -> &EncryptedMetadata {
+        match self {
+            TaskCorpus::Records(r) => &r[i],
+            TaskCorpus::Snapshot { store, ranges } => {
+                let first = ranges[0].1 - ranges[0].0;
+                if i < first {
+                    &store.records()[ranges[0].0 + i]
+                } else {
+                    &store.records()[ranges[1].0 + (i - first)]
+                }
+            }
+        }
+    }
+}
+
+/// What a finished [`QueryTask`] hands back.
+#[derive(Debug)]
+pub struct TaskResult {
+    /// Matching record ids, in corpus scan order (unsorted).
+    pub matches: Vec<u64>,
+    /// PRF (codeword) evaluations the task charged.
+    pub prf_calls: u64,
+}
+
+enum Phase {
+    /// Begin the next 512-record chunk: sampling prefix, survivor init.
+    ChunkStart,
+    /// Begin predicate `pred_k` of the decided order.
+    PredicateStart,
+    /// Stage (or await) the MAC sweep of component `comp_k`.
+    ComponentMac,
+    /// Predicate finished: OR merge-split, advance `pred_k`.
+    PredicateEnd,
+    /// Chunk finished: AND survivor flush, advance the chunk window.
+    ChunkEnd,
+    Done,
+}
+
+pub(crate) enum Step {
+    /// The task staged a MAC job ([`QueryTask::job`]); deliver the MAC
+    /// prefixes via [`QueryTask::complete`] before stepping again.
+    NeedMacs,
+    Finished,
+}
+
+/// One resident sub-query as a resumable state machine over its corpus
+/// view. Drive with `step()`/`complete()` (the [`BatchEngine`] does); the
+/// sequence of (key, nonce) MAC evaluations, the match set and the PRF
+/// count are bit-identical to sequential
+/// [`match_corpus_with`](crate::engine::match_corpus_with) on the same
+/// records.
+pub struct QueryTask {
+    query: CompiledQuery,
+    matcher: Matcher,
+    corpus: TaskCorpus,
+    scratch: MatchScratch,
+    matches: Vec<u64>,
+    phase: Phase,
+    /// Current chunk: corpus indices `[chunk_start, chunk_end)`.
+    chunk_start: usize,
+    chunk_end: usize,
+    /// First survivor-pipeline record of the chunk (after the sampling
+    /// prefix); survivor indices are relative to this.
+    base: usize,
+    /// Position in the decided predicate order.
+    pred_k: usize,
+    /// The current predicate (index into `query.trapdoors`).
+    cur_pred: usize,
+    /// Component position within the current predicate's probe order.
+    comp_k: usize,
+    /// Staged MAC job, valid while suspended in `ComponentMac`.
+    job_key: HmacKey,
+    job_nonces: Vec<[u8; 8]>,
+}
+
+impl QueryTask {
+    pub fn new(query: CompiledQuery, corpus: TaskCorpus, backend: Backend) -> Self {
+        assert!(
+            !query.trapdoors.is_empty(),
+            "a query needs at least one predicate"
+        );
+        let matcher = Matcher::new(query.trapdoors.len(), true).with_backend(backend);
+        QueryTask {
+            query,
+            matcher,
+            corpus,
+            scratch: MatchScratch::new(),
+            matches: Vec::new(),
+            phase: Phase::ChunkStart,
+            chunk_start: 0,
+            chunk_end: 0,
+            base: 0,
+            pred_k: 0,
+            cur_pred: 0,
+            comp_k: 0,
+            job_key: HmacKey::new(&[]),
+            job_nonces: Vec::new(),
+        }
+    }
+
+    /// The SHA-1 lane backend this task's sweeps must run on.
+    pub fn backend(&self) -> Backend {
+        self.matcher.backend()
+    }
+
+    /// Advance until the next MAC sweep is staged or the task finishes.
+    pub(crate) fn step(&mut self) -> Step {
+        loop {
+            match self.phase {
+                Phase::ChunkStart => {
+                    if self.chunk_start >= self.corpus.len() {
+                        self.phase = Phase::Done;
+                        continue;
+                    }
+                    self.chunk_end = (self.chunk_start + MATCH_CHUNK).min(self.corpus.len());
+                    self.matcher.ensure_prepared(&self.query);
+                    // sampling prefix: record-at-a-time, every predicate per
+                    // record, exactly as match_batch runs it
+                    let mut pos = self.chunk_start;
+                    while self.matcher.order().is_none() && pos < self.chunk_end {
+                        let rec = self.corpus.get(pos);
+                        if self
+                            .matcher
+                            .matches_scratch(&self.query, rec, &mut self.scratch)
+                        {
+                            self.matches.push(rec.id);
+                        }
+                        pos += 1;
+                    }
+                    self.base = pos;
+                    if pos >= self.chunk_end {
+                        // chunk consumed entirely by sampling
+                        self.chunk_start = self.chunk_end;
+                        continue;
+                    }
+                    let n = (self.chunk_end - self.base) as u32;
+                    self.scratch.survivors.clear();
+                    self.scratch.survivors.extend(0..n);
+                    self.pred_k = 0;
+                    self.phase = Phase::PredicateStart;
+                }
+                Phase::PredicateStart => {
+                    if self.pred_k >= self.query.trapdoors.len()
+                        || self.scratch.survivors.is_empty()
+                    {
+                        self.phase = Phase::ChunkEnd;
+                        continue;
+                    }
+                    self.cur_pred = self.matcher.order().expect("order decided")[self.pred_k];
+                    if self.query.combiner == Combiner::Or {
+                        self.scratch.pre.clear();
+                        let survivors = &self.scratch.survivors;
+                        self.scratch.pre.extend_from_slice(survivors);
+                    }
+                    self.matcher
+                        .prepared_mut(self.cur_pred)
+                        .sweep_begin(self.scratch.survivors.len());
+                    self.comp_k = 0;
+                    self.phase = Phase::ComponentMac;
+                }
+                Phase::ComponentMac => {
+                    let td = self.matcher.prepared_mut(self.cur_pred);
+                    if self.comp_k >= td.n_components() || self.scratch.survivors.is_empty() {
+                        self.phase = Phase::PredicateEnd;
+                        continue;
+                    }
+                    self.job_key = td.component_key(self.comp_k);
+                    self.job_nonces.clear();
+                    let (base, corpus) = (self.base, &self.corpus);
+                    self.job_nonces.extend(
+                        self.scratch
+                            .survivors
+                            .iter()
+                            .map(|&i| corpus.get(base + i as usize).body.nonce.to_be_bytes()),
+                    );
+                    return Step::NeedMacs;
+                }
+                Phase::PredicateEnd => {
+                    if self.query.combiner == Combiner::Or {
+                        // survivors now hold this predicate's matches;
+                        // split the pre-sweep snapshot into resolved
+                        // (matched → output) and still-undecided
+                        let scratch = &mut self.scratch;
+                        let mut matched = scratch.survivors.iter().peekable();
+                        scratch.next.clear();
+                        for &i in &scratch.pre {
+                            if matched.peek() == Some(&&i) {
+                                self.matches
+                                    .push(self.corpus.get(self.base + i as usize).id);
+                                matched.next();
+                            } else {
+                                scratch.next.push(i);
+                            }
+                        }
+                        drop(matched);
+                        std::mem::swap(&mut scratch.survivors, &mut scratch.next);
+                    }
+                    self.pred_k += 1;
+                    self.phase = Phase::PredicateStart;
+                }
+                Phase::ChunkEnd => {
+                    if self.query.combiner == Combiner::And {
+                        let (base, corpus) = (self.base, &self.corpus);
+                        self.matches.extend(
+                            self.scratch
+                                .survivors
+                                .iter()
+                                .map(|&i| corpus.get(base + i as usize).id),
+                        );
+                    }
+                    self.chunk_start = self.chunk_end;
+                    self.phase = Phase::ChunkStart;
+                }
+                Phase::Done => return Step::Finished,
+            }
+        }
+    }
+
+    /// The staged MAC job: one key, the current survivors' nonces.
+    pub(crate) fn job(&self) -> (HmacKey, &[[u8; 8]]) {
+        (self.job_key, &self.job_nonces)
+    }
+
+    /// Deliver the staged job's MAC prefixes (`macs[i]` belongs to
+    /// `job_nonces[i]`) and apply the component filter.
+    pub(crate) fn complete(&mut self, macs: &[u64]) {
+        debug_assert_eq!(macs.len(), self.job_nonces.len(), "demux segment mismatch");
+        let scratch = &mut self.scratch;
+        let (base, corpus) = (self.base, &self.corpus);
+        let mut calls = scratch.prf_calls;
+        self.matcher.prepared_mut(self.cur_pred).component_filter(
+            self.comp_k,
+            &mut scratch.survivors,
+            macs,
+            &mut scratch.sweep.spare,
+            &mut calls,
+            |i, mac| corpus.get(base + i as usize).body.filter.get(mac),
+        );
+        scratch.prf_calls = calls;
+        self.comp_k += 1;
+    }
+
+    fn into_result(self) -> TaskResult {
+        TaskResult {
+            matches: self.matches,
+            prf_calls: self.scratch.prf_calls,
+        }
+    }
+
+    /// Run the task to completion on the calling thread, computing each
+    /// staged sweep immediately (lane-packed within the task only). The
+    /// single-task reference form of the engine's cross-query rounds.
+    pub fn run_inline(mut self) -> TaskResult {
+        let mut keys = Vec::new();
+        let mut macs = Vec::new();
+        while let Step::NeedMacs = self.step() {
+            let backend = self.backend();
+            let (key, nonces) = self.job();
+            keys.clear();
+            keys.resize(nonces.len(), key);
+            macs.clear();
+            macs.resize(nonces.len(), 0);
+            let nonces = std::mem::take(&mut self.job_nonces);
+            mac_u64_nonces_keyed_with(backend, &keys, &nonces, &mut macs);
+            self.job_nonces = nonces;
+            self.complete(&macs);
+        }
+        self.into_result()
+    }
+}
+
+struct Pending {
+    task: QueryTask,
+    done: Box<dyn FnOnce(TaskResult) + Send>,
+}
+
+struct Admission {
+    pending: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Admission>,
+    cv: Condvar,
+    n_workers: usize,
+}
+
+/// Completion handle for [`BatchEngine::submit_handle`].
+pub struct TaskHandle {
+    rx: mpsc::Receiver<TaskResult>,
+}
+
+impl TaskHandle {
+    /// Block until the task completes.
+    pub fn wait(self) -> TaskResult {
+        self.rx.recv().expect("batch engine dropped the task")
+    }
+}
+
+/// The per-node matcher pool: a fixed number of worker threads (the
+/// concurrency bound — a flash crowd of sub-queries queues here instead of
+/// spawning a thread per request) draining a shared admission queue.
+///
+/// Each worker owns a disjoint resident set of tasks and loops rounds:
+/// advance every task to its next MAC job, pack all jobs into one flat
+/// per-lane-keyed sweep per backend, demux, repeat. Tasks admitted
+/// mid-flight join at the next round boundary. Dropping the engine drains
+/// remaining work, then joins the workers.
+pub struct BatchEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    thread_prefix: String,
+}
+
+impl BatchEngine {
+    pub fn new(n_workers: usize) -> Self {
+        let n_workers = n_workers.max(1);
+        // a per-engine thread-name prefix, so a process hosting several
+        // engines (a test binary, a multi-node harness) can attribute
+        // matcher threads to their engine; kept short because the kernel
+        // truncates thread names to 15 bytes in /proc/*/task/*/comm
+        static ENGINE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let prefix = format!(
+            "roarm-e{}",
+            ENGINE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Admission {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            n_workers,
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{prefix}w{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn matcher worker")
+            })
+            .collect();
+        BatchEngine {
+            shared,
+            workers,
+            thread_prefix: prefix,
+        }
+    }
+
+    /// The fixed worker count — the matcher concurrency bound.
+    pub fn workers(&self) -> usize {
+        self.shared.n_workers
+    }
+
+    /// This engine's worker-thread name prefix (every worker is named
+    /// `<prefix>w<i>`), unique per engine within the process.
+    pub fn thread_prefix(&self) -> &str {
+        &self.thread_prefix
+    }
+
+    /// Enqueue a task; `done` runs on a worker thread when it completes.
+    pub fn submit(&self, task: QueryTask, done: impl FnOnce(TaskResult) + Send + 'static) {
+        let mut q = self.shared.queue.lock().expect("engine queue poisoned");
+        q.pending.push_back(Pending {
+            task,
+            done: Box::new(done),
+        });
+        drop(q);
+        self.shared.cv.notify_all();
+    }
+
+    /// Enqueue a task and return a handle to wait on.
+    pub fn submit_handle(&self, task: QueryTask) -> TaskHandle {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.submit(task, move |res| {
+            let _ = tx.send(res);
+        });
+        TaskHandle { rx }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("engine queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut active: Vec<Pending> = Vec::new();
+    // flat sweep buffers, reused across rounds
+    let mut keys: Vec<HmacKey> = Vec::new();
+    let mut nonces: Vec<[u8; 8]> = Vec::new();
+    let mut macs: Vec<u64> = Vec::new();
+    let mut segs: Vec<(usize, usize, usize)> = Vec::new(); // (task, offset, len)
+    loop {
+        // admission: take a fair share of pending work (every worker is
+        // woken on submit); block only when this worker has nothing at all
+        {
+            let mut q = shared.queue.lock().expect("engine queue poisoned");
+            loop {
+                let share = q.pending.len().div_ceil(shared.n_workers).max(1);
+                for _ in 0..share {
+                    match q.pending.pop_front() {
+                        Some(p) => active.push(p),
+                        None => break,
+                    }
+                }
+                if !active.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("engine queue poisoned");
+            }
+        }
+        // advance every resident task to its next sweep; completions fire
+        // here, on the worker thread
+        let mut i = 0;
+        while i < active.len() {
+            match active[i].task.step() {
+                Step::NeedMacs => i += 1,
+                Step::Finished => {
+                    let p = active.swap_remove(i);
+                    (p.done)(p.task.into_result());
+                }
+            }
+        }
+        if active.is_empty() {
+            continue;
+        }
+        // one flat keyed sweep per backend in use: jobs concatenate, lane
+        // groups pack across task boundaries, per-lane keys carry
+        // provenance
+        let mut backends: Vec<Backend> = Vec::new();
+        for p in &active {
+            let b = p.task.backend();
+            if !backends.contains(&b) {
+                backends.push(b);
+            }
+        }
+        for backend in backends {
+            keys.clear();
+            nonces.clear();
+            segs.clear();
+            for (ti, p) in active.iter().enumerate() {
+                if p.task.backend() != backend {
+                    continue;
+                }
+                let (key, ns) = p.task.job();
+                segs.push((ti, nonces.len(), ns.len()));
+                keys.extend(std::iter::repeat_n(key, ns.len()));
+                nonces.extend_from_slice(ns);
+            }
+            macs.clear();
+            macs.resize(nonces.len(), 0);
+            mac_u64_nonces_keyed_with(backend, &keys, &nonces, &mut macs);
+            for &(ti, off, len) in &segs {
+                active[ti].task.complete(&macs[off..off + len]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::match_corpus_with;
+    use crate::metadata::{FileMeta, MetaEncryptor};
+    use crate::query::{Combiner, Predicate, QueryCompiler};
+    use rand::Rng;
+    use roar_util::det_rng;
+
+    fn test_encryptor() -> MetaEncryptor {
+        MetaEncryptor::with_points(b"user", vec![1_000_000], vec![1_300_000_000])
+    }
+
+    fn corpus(enc: &MetaEncryptor, n: usize, seed: u64) -> Vec<EncryptedMetadata> {
+        let mut rng = det_rng(seed);
+        (0..n)
+            .map(|i| {
+                let kws: Vec<String> = if i % 7 == 0 {
+                    vec!["the".into(), format!("rare{i}")]
+                } else {
+                    vec!["the".into()]
+                };
+                let size = rng.gen_range(100..1_000_000);
+                let mtime = rng.gen_range(1_000_000_000..1_700_000_000);
+                enc.encrypt(
+                    &mut rng,
+                    &FileMeta {
+                        path: format!("/d/f{i}"),
+                        keywords: kws,
+                        size,
+                        mtime,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The inline runner must be bit-identical to sequential
+    /// match_corpus_with: same matches, same PRF count.
+    #[test]
+    fn inline_task_equals_sequential() {
+        let enc = test_encryptor();
+        let docs = Arc::new(corpus(&enc, 600, 321));
+        let qc = QueryCompiler::new(&enc);
+        for comb in [Combiner::And, Combiner::Or] {
+            let q = qc.compile(
+                &[
+                    Predicate::Keyword("the".into()),
+                    Predicate::Keyword("rare14".into()),
+                ],
+                comb,
+            );
+            let (mut want, want_prf) = match_corpus_with(&docs, &q, Backend::Scalar);
+            let task = QueryTask::new(q, TaskCorpus::Records(Arc::clone(&docs)), Backend::Scalar);
+            let mut got = task.run_inline();
+            want.sort_unstable();
+            got.matches.sort_unstable();
+            assert_eq!(got.matches, want, "{comb:?} matches");
+            assert_eq!(got.prf_calls, want_prf, "{comb:?} PRF count");
+        }
+    }
+
+    /// Snapshot corpora must see exactly the window's records, including
+    /// the wrapped two-range case.
+    #[test]
+    fn snapshot_corpus_indexes_wrapped_windows() {
+        let enc = test_encryptor();
+        let docs = corpus(&enc, 200, 322);
+        let store = Arc::new(MetadataStore::from_records(docs));
+        let w = Window::new(u64::MAX / 2, u64::MAX / 4); // wrapped
+        let snap = TaskCorpus::snapshot(Arc::clone(&store), &w);
+        let want: Vec<u64> = store.select_window(&w).iter().map(|r| r.id).collect();
+        let got: Vec<u64> = (0..snap.len()).map(|i| snap.get(i).id).collect();
+        assert_eq!(got, want);
+        assert!(!snap.is_empty());
+    }
+
+    /// Many tasks through a small pool: all complete, results correct.
+    #[test]
+    fn engine_drains_flash_crowd_with_fixed_pool() {
+        let enc = test_encryptor();
+        let docs = Arc::new(corpus(&enc, 300, 323));
+        let qc = QueryCompiler::new(&enc);
+        let engine = BatchEngine::new(2);
+        assert_eq!(engine.workers(), 2);
+        let handles: Vec<(u64, TaskHandle)> = (0..24)
+            .map(|i| {
+                let rare = 7 * (i % 5);
+                let q = qc.compile(&[Predicate::Keyword(format!("rare{rare}"))], Combiner::And);
+                let (want, _) = match_corpus_with(&docs, &q, Backend::Scalar);
+                assert_eq!(want.len(), 1);
+                let task =
+                    QueryTask::new(q, TaskCorpus::Records(Arc::clone(&docs)), Backend::Scalar);
+                (want[0], engine.submit_handle(task))
+            })
+            .collect();
+        for (want, h) in handles {
+            let res = h.wait();
+            assert_eq!(res.matches, vec![want]);
+            assert!(res.prf_calls > 0);
+        }
+    }
+
+    /// Dropping the engine with queued work still completes it (graceful
+    /// drain), and an empty-corpus task completes immediately.
+    #[test]
+    fn drop_drains_and_empty_corpus_finishes() {
+        let enc = test_encryptor();
+        let docs = Arc::new(corpus(&enc, 120, 324));
+        let qc = QueryCompiler::new(&enc);
+        let q = qc.compile(&[Predicate::Keyword("rare7".into())], Combiner::Or);
+        let engine = BatchEngine::new(1);
+        let h1 = engine.submit_handle(QueryTask::new(
+            q.clone(),
+            TaskCorpus::Records(Arc::clone(&docs)),
+            Backend::Scalar,
+        ));
+        let h2 = engine.submit_handle(QueryTask::new(
+            q,
+            TaskCorpus::Records(Arc::new(Vec::new())),
+            Backend::Scalar,
+        ));
+        drop(engine);
+        assert_eq!(h1.wait().matches, vec![docs[7].id]);
+        let empty = h2.wait();
+        assert!(empty.matches.is_empty());
+        assert_eq!(empty.prf_calls, 0);
+    }
+}
