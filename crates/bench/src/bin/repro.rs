@@ -29,6 +29,15 @@
 //!                                  converge or rolling restart drops the
 //!                                  harvest floor; the flags select one
 //!                                  cell (CI's chaos-smoke invocation)
+//!   repro bench_scale [--transport T]
+//!                                  queries/s and tail latency vs cluster
+//!                                  size {16,64,128,512} per transport on
+//!                                  the reactor runtime → BENCH_scale.json;
+//!                                  exits non-zero if harvest slips or
+//!                                  512-node throughput is under 4x the
+//!                                  16-node figure on every transport; the
+//!                                  flag selects one transport column
+//!                                  (CI's scale-smoke invocation)
 //!   repro bench_node_concurrency   cross-query batched node execution vs
 //!                                  thread-per-query clone-under-lock
 //!                                  baseline at 1/8/64 resident sub-queries
@@ -312,6 +321,47 @@ fn bench_node_concurrency(scale: Scale) {
     }
 }
 
+fn bench_scale(scale: Scale, transport: Option<&str>) {
+    let b = roar_bench::scale::run_filtered(scale, transport);
+    let json = b.to_json();
+    print!("{json}");
+    // the committed artifact is the full matrix at full scale; quick
+    // smokes and single-transport columns (CI's scale-smoke invocation)
+    // must not overwrite it with a partial document
+    let wrote = if scale == Scale::Full && transport.is_none() {
+        std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+        " -> BENCH_scale.json"
+    } else {
+        " (partial/quick run: BENCH_scale.json left untouched)"
+    };
+    for t in &b.transports {
+        for pt in &t.points {
+            eprintln!(
+                "bench_scale: {} n={} (p={}) — {:.1} q/s, p50 {:.1} ms, p99 {:.1} ms, \
+                 harvest {:.3}",
+                t.name, pt.nodes, pt.p, pt.qps, pt.p50_ms, pt.p99_ms, pt.mean_harvest,
+            );
+        }
+        eprintln!("bench_scale: {} scaling {:.2}x", t.name, t.scaling);
+    }
+    eprintln!("bench_scale: done{wrote}");
+    // the gate: exact harvest at every size, and throughput must grow
+    // with the fleet — 4x at full depth {16..512}, a looser floor for the
+    // quick {16,128} smoke on a shared CI core
+    let floor = match scale {
+        Scale::Full => roar_bench::scale::SCALING_FLOOR,
+        Scale::Quick => 1.5,
+    };
+    if !b.scaling_holds(floor) {
+        eprintln!(
+            "bench_scale: FAIL — harvest dropped below 1.0 or best scaling {:.2}x \
+             is under the {floor:.1}x floor",
+            b.best_scaling
+        );
+        std::process::exit(1);
+    }
+}
+
 fn check_bench_schema() {
     match roar_bench::schema::check_dir(std::path::Path::new(".")) {
         Ok(checked) => {
@@ -404,6 +454,7 @@ fn main() {
              | repro bench_pps_backends | repro check_pps_trajectory \
              | repro bench_incast | repro bench_tail | repro bench_congestion \
              | repro bench_churn [--scenario S] [--transport T] \
+             | repro bench_scale [--transport T] \
              | repro bench_node_concurrency | repro check_bench_schema"
         );
         return;
@@ -436,6 +487,10 @@ fn main() {
     }
     if wanted.iter().any(|w| w.as_str() == "bench_churn") {
         bench_churn(scale, churn_scenario.as_deref(), churn_transport.as_deref());
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "bench_scale") {
+        bench_scale(scale, churn_transport.as_deref());
         ran += 1;
     }
     if wanted

@@ -16,6 +16,7 @@ pub mod congestion;
 pub mod incast;
 pub mod node_concurrency;
 pub mod pps_bench;
+pub mod scale;
 pub mod schema;
 pub mod tail;
 pub mod trajectory;

@@ -56,6 +56,17 @@ pub fn required_keys(file_name: &str) -> &'static [&'static str] {
             "speedup",
             "speedup_64",
         ],
+        "BENCH_scale.json" => &[
+            "benchmark",
+            "config",
+            "transports",
+            "sizes",
+            "nodes",
+            "qps",
+            "p99_ms",
+            "scaling",
+            "best_scaling",
+        ],
         "BENCH_congestion.json" => &[
             "benchmark",
             "config",

@@ -268,7 +268,40 @@ mod tests {
         )*};
     }
 
+    /// Shared body of the scale scenarios: spawn an `n`-node cluster,
+    /// store a corpus, and verify exactly-once full-harvest queries. Only
+    /// viable on the reactor runtime — the seed's thread-per-task executor
+    /// drowned past ~16 nodes (each node held accept + per-link threads).
+    async fn scale_scenario(n: usize, p: usize, spec: TransportSpec) {
+        let h = spawn_cluster(ClusterConfig::uniform(n, 1e6, p).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(977);
+        let ids: Vec<u64> = (0..2000).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        for _ in 0..3 {
+            let out = h
+                .client
+                .query(QueryBody::Synthetic)
+                .sched(SchedOpts::default())
+                .run()
+                .await;
+            assert_eq!(out.harvest, 1.0);
+            assert_eq!(out.scanned, 2000, "exactly-once at {n} nodes");
+            assert_eq!(out.subqueries, p);
+            assert_eq!((out.refused, out.lost), (0, 0));
+        }
+    }
+
     per_transport! {
+
+    async fn scale_128_nodes(spec: TransportSpec) {
+        scale_scenario(128, 8, spec).await
+    }
+
+    async fn scale_512_nodes(spec: TransportSpec) {
+        scale_scenario(512, 16, spec).await
+    }
 
     async fn end_to_end_synthetic_query(spec: TransportSpec) {
         let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3).with_transport(spec))

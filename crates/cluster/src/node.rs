@@ -742,15 +742,26 @@ mod tests {
             "pool width {} should be small and fixed",
             node.matcher_pool_width()
         );
-        // count only *this* node's matcher threads by their per-engine
-        // name prefix — other tests' nodes host their own engines in the
-        // same process
+        // count only *this* node's matcher threads by exact name shape
+        // `<engine_prefix>w<digits>` — other tests' nodes host their own
+        // engines in the same process, and the runtime's reactor workers
+        // (`roar-rt-w*`) and reactor thread must never be attributed to
+        // the engine pool
         let prefix = format!("{}w", node.matchers().thread_prefix());
+        let is_engine_worker = |name: &str| {
+            name.trim_end()
+                .strip_prefix(prefix.as_str())
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        };
+        assert!(
+            !is_engine_worker("roar-rt-w0") && !is_engine_worker("roar-reactor"),
+            "engine prefix {prefix:?} must not capture runtime threads"
+        );
         let matcher_threads = std::fs::read_dir("/proc/self/task")
             .map(|tasks| {
                 tasks
                     .filter_map(|t| std::fs::read_to_string(t.ok()?.path().join("comm")).ok())
-                    .filter(|name| name.starts_with(&prefix))
+                    .filter(|name| is_engine_worker(name))
                     .count()
             })
             .unwrap_or(0);

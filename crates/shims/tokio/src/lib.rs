@@ -4,21 +4,23 @@
 //! `duplex`, `sync::{oneshot, watch, Mutex}`, `time::{sleep, timeout}`, and
 //! the `select!`/`pin!`/`#[tokio::main]`/`#[tokio::test]` macros.
 //!
-//! Execution model: **one OS thread per task**, each running a small
-//! parker-based executor ([`runtime::block_on`]). Wakers unpark the task's
-//! thread. I/O futures wrap the std blocking sockets with short (1 ms)
-//! platform timeouts and re-wake themselves, so combinators that race
-//! futures (`select!`, `timeout`) observe progress with millisecond
-//! granularity — plenty for the loopback clusters and millisecond RTOs this
-//! workspace runs. The design trades scheduler sophistication for zero
-//! dependencies; the cluster code exercises real sockets, real concurrency
-//! and real races either way.
+//! Execution model: an **event-driven reactor** (the private `reactor`
+//! module). Spawned
+//! tasks are heap futures scheduled by `Waker`s onto a fixed worker pool
+//! draining a shared run queue; sockets are non-blocking and registered
+//! with edge-triggered interest on one process-wide epoll instance; timers
+//! live on a 1 ms hashed wheel whose earliest deadline arms a `timerfd`,
+//! so sub-millisecond hedge delays and RTOs fire at their actual deadline
+//! rather than a poll-loop tick. The thread count is a constant (one
+//! reactor plus `reactor::worker_count()` workers) regardless of how many
+//! tasks, connections or timers exist — which lets one process simulate
+//! 512-node clusters. `spawn_blocking` still dedicates a real thread per
+//! call, and `block_on` still drives its future on the calling thread with
+//! a parker (reactor and workers deliver its wakes by unparking).
 
 pub use tokio_macros::{main, test};
 
-/// Granularity of cooperative I/O blocking: how long a leaf I/O future may
-/// block its task's thread before yielding to racing combinators.
-const TICK: std::time::Duration = std::time::Duration::from_millis(1);
+mod reactor;
 
 pub mod runtime {
     use std::future::Future;
@@ -69,9 +71,17 @@ pub mod runtime {
         }
     }
 
-    /// The shim runtime. Single flavor: every task is its own thread, so
-    /// "multi thread" is trivially true and builder knobs are accepted and
-    /// ignored.
+    /// Times the reactor thread has returned from `epoll_wait` since
+    /// process start. An idle process — parked accept loops, pending
+    /// recvs, distant timers — must not advance this; tests pin the
+    /// zero-cost-when-idle property against it.
+    pub fn reactor_wakeups() -> u64 {
+        crate::reactor::handle().wakeup_count()
+    }
+
+    /// The shim runtime. Single flavor: all tasks share the reactor's
+    /// worker pool, so "multi thread" is trivially true and builder knobs
+    /// are accepted and ignored.
     #[derive(Debug)]
     pub struct Runtime {
         _priv: (),
@@ -170,7 +180,32 @@ pub mod task {
         }
     }
 
-    /// Spawn a future onto its own thread.
+    /// Catches a panic out of each poll of the wrapped future so a
+    /// panicking task surfaces as `Err(JoinError)` on its handle instead
+    /// of taking down a pool worker's current task batch.
+    struct CatchPanic<F> {
+        inner: Pin<Box<F>>,
+    }
+
+    impl<F> Unpin for CatchPanic<F> {}
+
+    impl<F: Future> Future for CatchPanic<F> {
+        type Output = Result<F::Output, JoinError>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let inner = self.inner.as_mut();
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut cx = Context::from_waker(cx.waker());
+                inner.poll(&mut cx)
+            })) {
+                Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+                Ok(Poll::Pending) => Poll::Pending,
+                Err(_) => Poll::Ready(Err(JoinError { _priv: () })),
+            }
+        }
+    }
+
+    /// Spawn a future onto the reactor's worker pool.
     pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
     where
         F: Future + Send + 'static,
@@ -181,16 +216,13 @@ pub mod task {
             waker: None,
         }));
         let state2 = Arc::clone(&state);
-        std::thread::Builder::new()
-            .name("tokio-shim-task".into())
-            .spawn(move || {
-                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    crate::runtime::block_on(fut)
-                }))
-                .map_err(|_| JoinError { _priv: () });
-                finish(&state2, res);
-            })
-            .expect("spawn task thread");
+        crate::reactor::handle().schedule(Box::pin(async move {
+            let res = CatchPanic {
+                inner: Box::pin(fut),
+            }
+            .await;
+            finish(&state2, res);
+        }));
         JoinHandle { state }
     }
 
@@ -226,11 +258,22 @@ pub mod time {
     use std::task::{Context, Poll};
     use std::time::{Duration, Instant};
 
-    /// Future that resolves at a deadline. Cooperates with racing
-    /// combinators by blocking in `TICK`-sized slices.
-    #[derive(Debug)]
+    /// Future that resolves at a deadline, driven by the reactor's timer
+    /// wheel: the first `Pending` poll registers the deadline, the wheel's
+    /// `timerfd` fires it, and the stored waker reschedules the task. A
+    /// `Sleep` dropped before its deadline (the losing arm of `select!`,
+    /// a satisfied `timeout`) cancels its wheel entry lazily.
     pub struct Sleep {
         deadline: Instant,
+        entry: Option<std::sync::Arc<crate::reactor::TimerEntry>>,
+    }
+
+    impl fmt::Debug for Sleep {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sleep")
+                .field("deadline", &self.deadline)
+                .finish()
+        }
     }
 
     impl Unpin for Sleep {}
@@ -239,16 +282,26 @@ pub mod time {
         type Output = ();
 
         fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-            let now = Instant::now();
-            if now >= self.deadline {
+            let this = self.get_mut();
+            if Instant::now() >= this.deadline {
                 return Poll::Ready(());
             }
-            std::thread::sleep((self.deadline - now).min(crate::TICK));
-            if Instant::now() >= self.deadline {
+            let deadline = this.deadline;
+            let entry = this
+                .entry
+                .get_or_insert_with(|| crate::reactor::handle().add_timer(deadline));
+            if entry.poll_fired(cx) {
                 Poll::Ready(())
             } else {
-                cx.waker().wake_by_ref();
                 Poll::Pending
+            }
+        }
+    }
+
+    impl Drop for Sleep {
+        fn drop(&mut self) {
+            if let Some(entry) = self.entry.take() {
+                entry.cancel();
             }
         }
     }
@@ -256,6 +309,7 @@ pub mod time {
     pub fn sleep(d: Duration) -> Sleep {
         Sleep {
             deadline: Instant::now() + d,
+            entry: None,
         }
     }
 

@@ -1,41 +1,28 @@
-//! Async TCP/UDP wrappers over the std blocking sockets.
+//! Async TCP/UDP wrappers over non-blocking std sockets, driven by the
+//! reactor (`crate::reactor`).
 //!
-//! Reads carry a short platform read-timeout: a blocked read wakes the
-//! moment data arrives, or returns `WouldBlock` after the timeout, at which
-//! point the future yields `Pending` with a self-wake so racing combinators
-//! (`timeout`, `select!`) regain control. Accept polls non-blocking with a
-//! short sleep — listener sockets have no platform accept-timeout.
+//! Every socket is registered once with edge-triggered read+write interest
+//! on the process-wide epoll instance. A read/write/accept/recv future
+//! attempts the syscall; on `WouldBlock` it parks its waker in the
+//! socket's registration and the reactor wakes it when the kernel reports
+//! the next readiness edge. Idle listeners and quiet connections therefore
+//! cost **zero** wakeups and zero CPU — there is no poll cadence, no
+//! accept tick, no platform read-timeout.
 
 use crate::io::{AsyncRead, AsyncWrite};
+use crate::reactor::{self, Dir, Registration};
 use std::future::Future;
 use std::io;
 use std::net::SocketAddr;
+use std::os::fd::AsRawFd;
 use std::pin::Pin;
+use std::sync::Arc;
 use std::task::{Context, Poll};
-use std::time::Duration;
-
-/// How long a socket read may block before yielding to combinators. Long
-/// enough to keep idle reader tasks cheap, short enough that `timeout(...)`
-/// wrappers stay accurate to tens of milliseconds.
-const READ_TICK: Duration = Duration::from_millis(20);
-
-/// Poll cadence for `accept` (no platform timeout exists for listeners).
-const ACCEPT_TICK: Duration = Duration::from_millis(5);
-
-fn configure(stream: &std::net::TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_write_timeout(Some(READ_TICK))?;
-    Ok(())
-}
-
-fn is_retry(kind: io::ErrorKind) -> bool {
-    matches!(
-        kind,
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
-    )
-}
 
 pub struct TcpListener {
+    // field order: the registration must leave the epoll set before the
+    // socket fd closes, or a reused fd number could evict a live entry
+    reg: Registration,
     inner: std::net::TcpListener,
 }
 
@@ -43,7 +30,8 @@ impl TcpListener {
     pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
         let inner = std::net::TcpListener::bind(addr)?;
         inner.set_nonblocking(true)?;
-        Ok(TcpListener { inner })
+        let reg = reactor::handle().register(inner.as_raw_fd())?;
+        Ok(TcpListener { reg, inner })
     }
 
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
@@ -65,101 +53,106 @@ impl Future for Accept<'_> {
     type Output = io::Result<(TcpStream, SocketAddr)>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        for attempt in 0..2 {
-            match self.listener.inner.accept() {
-                Ok((stream, peer)) => {
-                    stream.set_nonblocking(false)?;
-                    configure(&stream)?;
-                    return Poll::Ready(Ok((TcpStream { inner: stream }, peer)));
-                }
-                Err(e) if is_retry(e.kind()) => {
-                    if attempt == 0 {
-                        std::thread::sleep(ACCEPT_TICK);
-                    }
-                }
-                Err(e) => return Poll::Ready(Err(e)),
+        let listener = self.listener;
+        match listener
+            .reg
+            .source
+            .poll_io(Dir::Read, cx, || listener.inner.accept())
+        {
+            Poll::Ready(Ok((stream, peer))) => {
+                Poll::Ready(TcpStream::from_std(stream).map(|s| (s, peer)))
             }
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
         }
-        cx.waker().wake_by_ref();
-        Poll::Pending
     }
+}
+
+/// Shared state of a connected stream: one socket, one epoll registration.
+/// Split halves clone the `Arc` instead of `try_clone`-ing the fd, so a
+/// split stream still occupies a single epoll slot.
+struct StreamShared {
+    reg: Registration,
+    sock: std::net::TcpStream,
 }
 
 pub struct TcpStream {
-    inner: std::net::TcpStream,
+    io: Arc<StreamShared>,
 }
 
 impl TcpStream {
+    fn from_std(sock: std::net::TcpStream) -> io::Result<TcpStream> {
+        sock.set_nonblocking(true)?;
+        let reg = reactor::handle().register(sock.as_raw_fd())?;
+        Ok(TcpStream {
+            io: Arc::new(StreamShared { reg, sock }),
+        })
+    }
+
     pub async fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        // the blocking connect runs on whichever thread polls this future;
+        // loopback handshakes complete in microseconds, and anything
+        // slower surfaces as an error rather than a stuck worker because
+        // the listener side accepts from the reactor
         let inner = std::net::TcpStream::connect(addr)?;
-        configure(&inner)?;
-        Ok(TcpStream { inner })
+        TcpStream::from_std(inner)
     }
 
     pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
-        self.inner.set_nodelay(on)
+        self.io.sock.set_nodelay(on)
     }
 
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.local_addr()
+        self.io.sock.local_addr()
     }
 
     pub fn peer_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.peer_addr()
+        self.io.sock.peer_addr()
     }
 
     pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
-        let clone = self.inner.try_clone().expect("clone tcp stream");
         (
-            tcp::OwnedReadHalf { inner: self.inner },
-            tcp::OwnedWriteHalf { inner: clone },
+            tcp::OwnedReadHalf {
+                io: Arc::clone(&self.io),
+            },
+            tcp::OwnedWriteHalf { io: self.io },
         )
     }
 }
 
-fn poll_read_std<R: io::Read>(
-    r: &mut R,
+fn poll_stream_read(
+    io: &StreamShared,
     cx: &mut Context<'_>,
     buf: &mut [u8],
 ) -> Poll<io::Result<usize>> {
-    match r.read(buf) {
-        Ok(n) => Poll::Ready(Ok(n)),
-        Err(e) if is_retry(e.kind()) => {
-            cx.waker().wake_by_ref();
-            Poll::Pending
-        }
-        Err(e) => Poll::Ready(Err(e)),
-    }
+    io.reg
+        .source
+        .poll_io(Dir::Read, cx, || io::Read::read(&mut (&io.sock), buf))
 }
 
-fn poll_write_std<W: io::Write>(
-    w: &mut W,
+fn poll_stream_write(
+    io: &StreamShared,
     cx: &mut Context<'_>,
     buf: &[u8],
 ) -> Poll<io::Result<usize>> {
-    match w.write(buf) {
-        Ok(n) => Poll::Ready(Ok(n)),
-        Err(e) if is_retry(e.kind()) => {
-            cx.waker().wake_by_ref();
-            Poll::Pending
-        }
-        Err(e) => Poll::Ready(Err(e)),
-    }
+    io.reg
+        .source
+        .poll_io(Dir::Write, cx, || io::Write::write(&mut (&io.sock), buf))
 }
 
 impl AsyncRead for TcpStream {
     fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
-        poll_read_std(&mut self.inner, cx, buf)
+        poll_stream_read(&self.io, cx, buf)
     }
 }
 
 impl AsyncWrite for TcpStream {
     fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
-        poll_write_std(&mut self.inner, cx, buf)
+        poll_stream_write(&self.io, cx, buf)
     }
 
     fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
-        Poll::Ready(io::Write::flush(&mut self.inner))
+        Poll::Ready(io::Write::flush(&mut (&self.io.sock)))
     }
 }
 
@@ -167,52 +160,62 @@ pub mod tcp {
     use super::*;
 
     pub struct OwnedReadHalf {
-        pub(super) inner: std::net::TcpStream,
+        pub(super) io: Arc<StreamShared>,
     }
 
     pub struct OwnedWriteHalf {
-        pub(super) inner: std::net::TcpStream,
+        pub(super) io: Arc<StreamShared>,
     }
 
     impl AsyncRead for OwnedReadHalf {
         fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
-            poll_read_std(&mut self.inner, cx, buf)
+            poll_stream_read(&self.io, cx, buf)
         }
     }
 
     impl AsyncWrite for OwnedWriteHalf {
         fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
-            poll_write_std(&mut self.inner, cx, buf)
+            poll_stream_write(&self.io, cx, buf)
         }
 
         fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
-            Poll::Ready(io::Write::flush(&mut self.inner))
+            Poll::Ready(io::Write::flush(&mut (&self.io.sock)))
         }
     }
 }
 
 pub struct UdpSocket {
+    reg: Registration,
     inner: std::net::UdpSocket,
 }
 
 impl UdpSocket {
     pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
         let inner = std::net::UdpSocket::bind(addr)?;
-        inner.set_read_timeout(Some(READ_TICK))?;
-        Ok(UdpSocket { inner })
+        inner.set_nonblocking(true)?;
+        let reg = reactor::handle().register(inner.as_raw_fd())?;
+        Ok(UdpSocket { reg, inner })
     }
 
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.inner.local_addr()
     }
 
-    /// UDP sends do not meaningfully block; complete inline.
     pub async fn send_to<A: std::net::ToSocketAddrs>(
         &self,
         buf: &[u8],
         target: A,
     ) -> io::Result<usize> {
-        self.inner.send_to(buf, target)
+        let target = target
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to send to"))?;
+        std::future::poll_fn(|cx| {
+            self.reg
+                .source
+                .poll_io(Dir::Write, cx, || self.inner.send_to(buf, target))
+        })
+        .await
     }
 
     pub fn recv_from<'a>(&'a self, buf: &'a mut [u8]) -> RecvFrom<'a> {
@@ -232,13 +235,9 @@ impl Future for RecvFrom<'_> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        match this.sock.inner.recv_from(this.buf) {
-            Ok(v) => Poll::Ready(Ok(v)),
-            Err(e) if is_retry(e.kind()) => {
-                cx.waker().wake_by_ref();
-                Poll::Pending
-            }
-            Err(e) => Poll::Ready(Err(e)),
-        }
+        this.sock
+            .reg
+            .source
+            .poll_io(Dir::Read, cx, || this.sock.inner.recv_from(this.buf))
     }
 }

@@ -1,0 +1,44 @@
+//! A spawn storm must not grow the thread count: tasks are futures on the
+//! reactor's fixed worker pool, not threads. The seed shim spawned one OS
+//! thread per task, which is exactly what capped harness clusters at ~16
+//! nodes.
+
+use std::time::Duration;
+
+fn process_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn two_thousand_tasks_share_a_fixed_pool() {
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    rt.block_on(async {
+        let handles: Vec<_> = (0..2000)
+            .map(|i| {
+                tokio::spawn(async move {
+                    tokio::time::sleep(Duration::from_millis(50 + (i % 17))).await;
+                    i
+                })
+            })
+            .collect();
+
+        // sample mid-storm, while all 2000 tasks are live on the wheel
+        tokio::time::sleep(Duration::from_millis(10)).await;
+        let threads = process_threads();
+        // main + reactor + 8 workers + test-harness slack; the seed
+        // executor would be >2000 here
+        assert!(
+            threads <= 16,
+            "{threads} threads alive during a 2000-task storm"
+        );
+
+        for h in handles {
+            h.await.expect("task");
+        }
+    });
+}
