@@ -250,6 +250,9 @@ async fn run_scenario(
     let finished_tx = std::sync::Arc::clone(&finished);
     let driver = tokio::spawn(async move {
         let ok = drive_scenario(scenario, params, injector, rec, transport).await;
+        // ORDERING: SeqCst — a lone done-flag with no associated payload to
+        // publish; the measurement loop only needs to eventually observe the
+        // flip, and this store is nowhere near a hot path
         finished_tx.store(true, std::sync::atomic::Ordering::SeqCst);
         ok
     });
@@ -274,6 +277,8 @@ async fn run_scenario(
             .await;
         delays_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         harvests.push(out.harvest);
+        // ORDERING: SeqCst — pairs with the driver's done-flag store above;
+        // plain flag poll, no payload to acquire
         if done_at.is_none() && finished.load(std::sync::atomic::Ordering::SeqCst) {
             done_at = Some(harvests.len());
         }

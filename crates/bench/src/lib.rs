@@ -6,6 +6,8 @@
 //! rendered tables under `results/`. EXPERIMENTS.md records the measured
 //! numbers next to the paper's and discusses shape agreement.
 
+#![forbid(unsafe_code)]
+
 pub mod ch2;
 pub mod ch4;
 pub mod ch5;

@@ -693,6 +693,8 @@ impl QueryStream {
             refused: self.refused,
             lost: self.lost,
             rpc_error: self.first_err,
+            // ORDERING: Relaxed — stats counter snapshot; no other memory
+            // is synchronised through it
             hedges: self.hedges.load(Ordering::Relaxed),
         }
     }

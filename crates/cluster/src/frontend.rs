@@ -207,6 +207,8 @@ impl ClusterCore {
     /// (`on_dispatch`) is the caller's to trigger via
     /// [`Self::note_dispatch`] once it commits to running the plan.
     pub(crate) fn plan_query(&self, opts: &SchedOpts) -> (RoarRing, QueryPlan) {
+        // ORDERING: Relaxed — only uniqueness of the sequence number
+        // matters for the seed; nothing else is published through it
         let seed = self
             .query_seq
             .fetch_add(1, Ordering::Relaxed)
@@ -470,6 +472,8 @@ impl ClusterCore {
             body,
             backend: crypto,
         };
+        // ORDERING: Relaxed — stats counter; no other memory is
+        // synchronised through it
         hedges_sent.fetch_add(1, Ordering::Relaxed);
         // keep the stats books balanced: charge the dispatch so the
         // completion's decrement cannot eat some other query's outstanding

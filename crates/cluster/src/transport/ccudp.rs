@@ -484,10 +484,7 @@ impl CcUdpEndpoint {
         peer: SocketAddr,
         cfg: &CcUdpConfig,
     ) -> &'m mut PeerCc {
-        if !peers.contains(&peer) {
-            peers.insert(peer, PeerCc::new(cfg));
-        }
-        peers.get_mut(&peer).expect("just inserted")
+        peers.get_or_insert_with(peer, || PeerCc::new(cfg))
     }
 
     /// Sleep until the peer's pacer releases the next datagram.
@@ -847,6 +844,8 @@ impl CcUdpEndpoint {
         // instead of entering the network
         let _permit = self.acquire_window(peer, deadline).await?;
 
+        // ORDERING: Relaxed — only uniqueness of the id matters; the RMW is
+        // atomic at any ordering and nothing else is published through it
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, mut rx) = oneshot::channel();
         self.pending.lock().insert(

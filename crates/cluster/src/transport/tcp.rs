@@ -48,6 +48,9 @@ impl NodeConn {
                     let _ = tx.send(frame.body);
                 }
             }
+            // ORDERING: SeqCst — connection-liveness flag; readers only
+            // need to eventually observe the drop, and the waiter cleanup
+            // below is guarded by the `pending` mutex, not this flag
             conn2.connected.store(false, Ordering::SeqCst);
             // wake all waiters with closure (drop senders)
             pending.lock().clear();
@@ -60,6 +63,8 @@ impl NodeConn {
         if !self.is_connected() {
             return Err(RpcError::Disconnected);
         }
+        // ORDERING: Relaxed — only uniqueness of the id matters; the RMW is
+        // atomic at any ordering and nothing else is published through it
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = tokio::sync::oneshot::channel();
         self.pending.lock().insert(id, tx);
@@ -87,6 +92,8 @@ impl NodeLink for NodeConn {
     }
 
     fn is_connected(&self) -> bool {
+        // ORDERING: SeqCst — pairs with the reader task's disconnect store;
+        // plain flag poll, inherently racy against a concurrent close anyway
         self.connected.load(Ordering::SeqCst)
     }
 

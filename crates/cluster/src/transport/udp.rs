@@ -242,6 +242,45 @@ impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
         // the stale order slot is left behind; the stamp check skips it
         self.map.remove(k).map(|(_, v)| v)
     }
+
+    /// Mutable access to the entry under `k`, admitting `default()` on
+    /// first contact. Unlike insert-then-lookup, the newcomer is never a
+    /// candidate for its own admission's eviction — room is made *before*
+    /// it enters the map — so the returned borrow is total and no
+    /// `expect` is needed. A capacity of zero still admits one entry.
+    pub(crate) fn get_or_insert_with(&mut self, k: K, default: impl FnOnce() -> V) -> &mut V {
+        if !self.map.contains_key(&k) {
+            // make room first: evict oldest-known keys until the newcomer
+            // fits within the bound
+            while self.map.len() + 1 > self.cap.max(1) {
+                let Some((k0, s0)) = self.order.pop_front() else {
+                    break;
+                };
+                // stale slots (replaced or removed keys) must not evict
+                // the live entry under the same key
+                if self.map.get(&k0).is_some_and(|(s1, _)| *s1 == s0) {
+                    self.map.remove(&k0);
+                }
+            }
+            // keep the FIFO itself bounded once stale slots dominate
+            if self.order.len() > 2 * self.cap {
+                let map = &self.map;
+                self.order
+                    .retain(|(k0, s0)| map.get(k0).is_some_and(|(s1, _)| s1 == s0));
+            }
+        }
+        // disjoint field borrows: the entry holds `map` while the closure
+        // stamps the newcomer into `order`
+        let BoundedMap {
+            map, order, stamp, ..
+        } = self;
+        let (_, v) = map.entry(k).or_insert_with(|| {
+            *stamp += 1;
+            order.push_back((k, *stamp));
+            (*stamp, default())
+        });
+        v
+    }
 }
 
 /// Ids whose first response transmission was already sacrificed
@@ -483,10 +522,13 @@ impl Reassembler {
             a.got += 1;
         }
         if a.got == total as usize {
-            let a = self.0.remove(&key).expect("assembly present");
+            // every slot is filled (`got` counts first arrivals only), so
+            // flattening drops nothing; `?` on the remove keeps the path
+            // panic-free rather than asserting the entry we just mutated
+            let a = self.0.remove(&key)?;
             let mut payload = Vec::new();
-            for part in a.parts {
-                payload.extend_from_slice(&part.expect("all parts present"));
+            for part in a.parts.into_iter().flatten() {
+                payload.extend_from_slice(&part);
             }
             return Some(payload);
         }
@@ -574,9 +616,12 @@ impl UdpEndpoint {
             return None;
         }
         let kind = wire[0];
-        let id = u64::from_be_bytes(wire[1..9].try_into().expect("8 bytes"));
-        let seq = u16::from_be_bytes(wire[9..11].try_into().expect("2 bytes"));
-        let total = u16::from_be_bytes(wire[11..13].try_into().expect("2 bytes"));
+        // the slice widths match the array widths by construction (length
+        // checked against HEADER above); `ok()?` keeps malformed-input
+        // handling panic-free instead of asserting it
+        let id = u64::from_be_bytes(wire[1..9].try_into().ok()?);
+        let seq = u16::from_be_bytes(wire[9..11].try_into().ok()?);
+        let total = u16::from_be_bytes(wire[11..13].try_into().ok()?);
         Some((kind, id, seq, total, &wire[HEADER..]))
     }
 
@@ -800,6 +845,8 @@ impl UdpEndpoint {
         msg: Msg,
         overall: Duration,
     ) -> Result<Msg, RequestError> {
+        // ORDERING: Relaxed — only uniqueness of the id matters; the RMW is
+        // atomic at any ordering and nothing else is published through it
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, mut rx) = oneshot::channel();
         self.pending.lock().insert(
@@ -1515,6 +1562,27 @@ mod tests {
             "order FIFO must stay bounded: {}",
             m.order.len()
         );
+    }
+
+    #[test]
+    fn bounded_map_get_or_insert_with_admits_and_bounds() {
+        let mut m: BoundedMap<u32, &str> = BoundedMap::new(2);
+        assert_eq!(*m.get_or_insert_with(1, || "a"), "a");
+        // present key: default is not consulted, value untouched
+        assert_eq!(*m.get_or_insert_with(1, || "other"), "a");
+        assert_eq!(*m.get_or_insert_with(2, || "b"), "b");
+        // admission past capacity evicts the longest-known key, never the
+        // newcomer itself
+        assert_eq!(*m.get_or_insert_with(3, || "c"), "c");
+        assert_eq!(m.len(), 2);
+        assert!(m.get(&1).is_none(), "oldest key evicted");
+        assert_eq!(m.get(&3), Some(&"c"));
+        // the returned borrow is writable in place
+        *m.get_or_insert_with(3, || "unused") = "c2";
+        assert_eq!(m.get(&3), Some(&"c2"));
+        // degenerate zero-capacity map still admits the single newcomer
+        let mut z: BoundedMap<u32, u32> = BoundedMap::new(0);
+        assert_eq!(*z.get_or_insert_with(7, || 42), 42);
     }
 
     #[test]

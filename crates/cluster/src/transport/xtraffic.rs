@@ -57,15 +57,21 @@ impl NetGate {
 
     /// Cut the link: subsequent datagrams vanish.
     pub fn close(&self) {
+        // ORDERING: SeqCst — fault-injection gate flipped from test drivers;
+        // datagram paths only need to eventually see the cut, and the gate
+        // is nowhere near a hot path
         self.0.store(false, Ordering::SeqCst);
     }
 
     /// Heal the link: traffic flows again.
     pub fn open(&self) {
+        // ORDERING: SeqCst — same gate as `close`; eventual visibility only
         self.0.store(true, Ordering::SeqCst);
     }
 
     pub fn is_open(&self) -> bool {
+        // ORDERING: SeqCst — pairs with the gate stores above; plain flag
+        // poll on the (simulated) datagram path
         self.0.load(Ordering::SeqCst)
     }
 }

@@ -47,6 +47,8 @@
 //! assert!(replicas.contains(&matcher.node));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adjust;
 pub mod balance;
 pub mod failover;

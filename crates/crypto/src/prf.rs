@@ -85,16 +85,22 @@ impl<P: Prf> CountingPrf<P> {
     }
 
     pub fn calls(&self) -> u64 {
+        // ORDERING: Relaxed — instrumentation counter read; no other memory
+        // is synchronised through it
         self.calls.load(Ordering::Relaxed)
     }
 
     pub fn reset(&self) {
+        // ORDERING: Relaxed — instrumentation counter reset; callers
+        // serialise reset-vs-measure phases themselves
         self.calls.store(0, Ordering::Relaxed);
     }
 }
 
 impl<P: Prf> Prf for CountingPrf<P> {
     fn eval(&self, msg: &[u8]) -> [u8; 20] {
+        // ORDERING: Relaxed — instrumentation counter bump; count matters,
+        // ordering does not
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.inner.eval(msg)
     }

@@ -48,17 +48,24 @@ impl Sha1Lanes for Avx2Lanes {
 /// Rotate each lane left by `L` bits (`R` must be `32 - L`; the shift
 /// intrinsics take const-generic immediates, and `32 - L` is not a legal
 /// const expression in that position).
+// SAFETY: caller must be executing with AVX2 available (asserted
+// once in `compress`); register-only intrinsics, no memory access.
 #[inline]
 unsafe fn rotl<const L: i32, const R: i32>(x: __m256i) -> __m256i {
     _mm256_or_si256(_mm256_slli_epi32::<L>(x), _mm256_srli_epi32::<R>(x))
 }
 
+// SAFETY: caller must be executing with AVX2 available (asserted
+// once in `compress`); register-only intrinsic, no memory access.
 #[inline]
 unsafe fn add(a: __m256i, b: __m256i) -> __m256i {
     _mm256_add_epi32(a, b)
 }
 
 /// Big-endian word `i` of each lane's block, transposed into one vector.
+// SAFETY: caller must pass `blocks.len() >= 8` (indexing is
+// bounds-checked, so a shorter slice panics rather than reads wild) and be
+// executing with AVX2 available.
 #[inline]
 unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m256i {
     let w = |l: usize| {
@@ -72,6 +79,10 @@ unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m256i {
     _mm256_set_epi32(w(7), w(6), w(5), w(4), w(3), w(2), w(1), w(0))
 }
 
+// SAFETY: `#[target_feature]` makes calling this UB on a CPU
+// without AVX2 — the sole caller (`compress`) runtime-detects it first.
+// Both slices must hold exactly 8 lanes (asserted there); all loads/stores
+// below go through bounds-checked indexing or `storeu` on a local array.
 #[target_feature(enable = "avx2")]
 unsafe fn compress8(states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
     let load_state = |w: usize| {

@@ -49,12 +49,18 @@ impl Sha1Lanes for Avx512Lanes {
     }
 }
 
+// SAFETY: caller must be executing with AVX-512F available
+// (asserted once in `compress`); register-only intrinsic, no memory
+// access.
 #[inline]
 unsafe fn add(a: __m512i, b: __m512i) -> __m512i {
     _mm512_add_epi32(a, b)
 }
 
 /// Big-endian word `i` of each lane's block, transposed into one vector.
+// SAFETY: caller must pass `blocks.len() >= 16` (indexing is
+// bounds-checked, so a shorter slice panics rather than reads wild) and be
+// executing with AVX-512F available.
 #[inline]
 unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m512i {
     let w = |l: usize| {
@@ -85,6 +91,11 @@ unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m512i {
     )
 }
 
+// SAFETY: `#[target_feature]` makes calling this UB on a CPU
+// without AVX-512F — the sole caller (`compress`) runtime-detects it
+// first. Both slices must hold exactly 16 lanes (asserted there); all
+// loads/stores go through bounds-checked indexing or `storeu` on a local
+// array.
 #[target_feature(enable = "avx512f")]
 unsafe fn compress16(states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
     let load_state = |w: usize| {

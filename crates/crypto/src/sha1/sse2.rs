@@ -44,17 +44,24 @@ impl Sha1Lanes for Sse2Lanes {
 /// Rotate each lane left by `L` bits (`R` must be `32 - L`; the shift
 /// intrinsics take const-generic immediates, and `32 - L` is not a legal
 /// const expression in that position).
+// SAFETY: SSE2 is baseline on x86-64 (this module only compiles
+// there); register-only intrinsics, no memory access.
 #[inline]
 unsafe fn rotl<const L: i32, const R: i32>(x: __m128i) -> __m128i {
     _mm_or_si128(_mm_slli_epi32::<L>(x), _mm_srli_epi32::<R>(x))
 }
 
+// SAFETY: SSE2 is baseline on x86-64; register-only intrinsic,
+// no memory access.
 #[inline]
 unsafe fn add(a: __m128i, b: __m128i) -> __m128i {
     _mm_add_epi32(a, b)
 }
 
 /// Big-endian word `i` of each lane's block, transposed into one vector.
+// SAFETY: caller must pass `blocks.len() >= 4` (indexing is
+// bounds-checked, so a shorter slice panics rather than reads wild); SSE2
+// is baseline on x86-64.
 #[inline]
 unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m128i {
     let w = |l: usize| {
@@ -68,6 +75,11 @@ unsafe fn gather_word(blocks: &[[u8; 64]], i: usize) -> __m128i {
     _mm_set_epi32(w(3), w(2), w(1), w(0))
 }
 
+// SAFETY: SSE2 is unconditionally present on x86-64, so the
+// `#[target_feature]` precondition always holds. Both slices must hold
+// exactly 4 lanes (asserted by the sole caller, `compress`); all
+// loads/stores go through bounds-checked indexing or `storeu` on a local
+// array.
 #[target_feature(enable = "sse2")]
 unsafe fn compress4(states: &mut [[u32; 5]], blocks: &[[u8; 64]]) {
     let load_state = |w: usize| {

@@ -15,6 +15,8 @@
 //! implements the same traits so the simulator (`roar-sim`) can compare all
 //! four algorithms side by side.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod ptn;
 pub mod rack;

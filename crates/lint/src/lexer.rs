@@ -1,0 +1,476 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! Same discipline as the JSON parser behind `repro check_bench_schema`:
+//! no crates.io, no syn — just enough lexical structure to walk real Rust
+//! source reliably. The rules in [`crate::rules`] work on token sequences,
+//! so they can never be fooled by keywords inside strings or commented-out
+//! code, and comments are first-class tokens (the SAFETY/ORDERING rules
+//! are *about* comments).
+//!
+//! The lexer understands: line and (nested) block comments, string / raw
+//! string / byte string / C string literals with arbitrary `#` fences,
+//! char literals vs. lifetimes, numeric literals with suffixes, idents and
+//! keywords, and single-char punctuation (multi-char operators come out as
+//! adjacent single-char tokens, which is all the rules need: `::` is
+//! `:` `:`).
+
+/// What a token is. Everything the rule engine matches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules match on the text).
+    Ident,
+    /// `'a` in `&'a str` — *not* a char literal.
+    Lifetime,
+    /// Integer or float literal, any base, including suffix.
+    Number,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` or `/// …` or `//! …` up to end of line.
+    LineComment,
+    /// `/* … */`, nesting honoured, `/** … */` included.
+    BlockComment,
+    /// One punctuation character: `{`, `}`, `:`, `.`, `#`, …
+    Punct(char),
+}
+
+/// One token with its position. `line` and `col` are 1-based; `line_end`
+/// differs from `line` only for block comments and multi-line strings.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte range into the source this token was lexed from.
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+    pub line_end: u32,
+}
+
+impl Token {
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == name
+    }
+
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advance one byte (continuation bytes of a UTF-8 char never start a
+    /// token, so byte-wise stepping with a column fix-up is enough).
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if self.bytes[self.pos] & 0xc0 != 0x80 {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens, comments included. Never fails: anything the
+/// lexer does not understand comes out as single-char [`TokenKind::Punct`]
+/// tokens, which no rule matches on.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let (start, line, col) = (c.pos, c.line, c.col);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+                continue;
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump_n(2);
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump_n(2);
+                        }
+                        (Some(_), _) => c.bump(),
+                        (None, _) => break, // unterminated: tolerate
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lex_string(&mut c);
+                TokenKind::Str
+            }
+            b'r' | b'b' | b'c' if string_prefix_len(&c) > 0 => {
+                let prefix = string_prefix_len(&c);
+                c.bump_n(prefix);
+                if c.peek() == Some(b'\'') {
+                    // b'x' byte char
+                    lex_char_body(&mut c);
+                    TokenKind::Char
+                } else if c.peek() == Some(b'#') || c.peek() == Some(b'"') {
+                    lex_raw_or_plain_string(&mut c);
+                    TokenKind::Str
+                } else {
+                    // `r` / `b` / `c` was just the start of an ident after all
+                    finish_ident(&mut c);
+                    TokenKind::Ident
+                }
+            }
+            b'\'' => {
+                // char literal or lifetime
+                if is_char_literal(&c) {
+                    lex_char_body(&mut c);
+                    TokenKind::Char
+                } else {
+                    c.bump();
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            b'0'..=b'9' => {
+                lex_number(&mut c);
+                TokenKind::Number
+            }
+            b if is_ident_start(b) => {
+                finish_ident(&mut c);
+                TokenKind::Ident
+            }
+            other => {
+                c.bump();
+                TokenKind::Punct(other as char)
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: c.pos,
+            line,
+            col,
+            line_end: c.line,
+        });
+    }
+    out
+}
+
+/// Length of a string-literal prefix (`r`, `b`, `c`, `br`, `cr`, `rb`…)
+/// at the cursor, if the chars after it begin a string or byte-char
+/// literal. 0 when this is a plain identifier.
+fn string_prefix_len(c: &Cursor) -> usize {
+    let mut n = 0;
+    while n < 2 {
+        match c.peek_at(n) {
+            Some(b'r') | Some(b'b') | Some(b'c') => n += 1,
+            _ => break,
+        }
+    }
+    match c.peek_at(n) {
+        Some(b'"') | Some(b'#') => n,
+        Some(b'\'') if n > 0 && c.peek_at(n - 1) == Some(b'b') => n, // b'x'
+        _ => 0,
+    }
+}
+
+fn finish_ident(c: &mut Cursor) {
+    while c.peek().is_some_and(is_ident_continue) {
+        c.bump();
+    }
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime): a char literal closes
+/// with `'` after one escaped or plain character.
+fn is_char_literal(c: &Cursor) -> bool {
+    match c.peek_at(1) {
+        Some(b'\\') => true,  // '\n', '\''
+        Some(b'\'') => false, // '' — not valid; treat as lifetime-ish
+        Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+            // 'a' vs 'a — scan the ident run; char iff a quote follows one char
+            let mut n = 2;
+            while c.peek_at(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            c.peek_at(n) == Some(b'\'') && n == 2
+        }
+        Some(_) => true, // '(' etc: single non-ident char then quote
+        None => false,
+    }
+}
+
+/// Consume a char-literal body after the opening `'`.
+fn lex_char_body(c: &mut Cursor) {
+    debug_assert_eq!(c.peek(), Some(b'\''));
+    c.bump();
+    loop {
+        match c.peek() {
+            Some(b'\\') => c.bump_n(2),
+            Some(b'\'') => {
+                c.bump();
+                return;
+            }
+            Some(_) => c.bump(),
+            None => return,
+        }
+    }
+}
+
+/// Consume a `"…"` string starting at the opening quote.
+fn lex_string(c: &mut Cursor) {
+    debug_assert_eq!(c.peek(), Some(b'"'));
+    c.bump();
+    loop {
+        match c.peek() {
+            Some(b'\\') => c.bump_n(2),
+            Some(b'"') => {
+                c.bump();
+                return;
+            }
+            Some(_) => c.bump(),
+            None => return,
+        }
+    }
+}
+
+/// After a raw/byte/C prefix: either `#…#"…"#…#` (raw, any fence width)
+/// or a plain `"…"`.
+fn lex_raw_or_plain_string(c: &mut Cursor) {
+    let mut fence = 0usize;
+    while c.peek() == Some(b'#') {
+        fence += 1;
+        c.bump();
+    }
+    if c.peek() != Some(b'"') {
+        return; // attribute `#`, not a string: leave it for the main loop
+    }
+    c.bump();
+    if fence == 0 {
+        // raw string with no fence still has no escapes
+        while let Some(b) = c.peek() {
+            c.bump();
+            if b == b'"' {
+                return;
+            }
+        }
+        return;
+    }
+    // scan for `"` followed by `fence` hashes
+    while let Some(b) = c.peek() {
+        c.bump();
+        if b == b'"' {
+            let mut n = 0;
+            while n < fence && c.peek() == Some(b'#') {
+                c.bump();
+                n += 1;
+            }
+            if n == fence {
+                return;
+            }
+        }
+    }
+}
+
+fn lex_number(c: &mut Cursor) {
+    // integer part (any base prefix just rides along as ident-ish chars)
+    while c
+        .peek()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+    {
+        let cur = c.peek();
+        // exponent sign: 1e-3, 2.5E+7
+        c.bump();
+        if matches!(cur, Some(b'e') | Some(b'E'))
+            && matches!(c.peek(), Some(b'+') | Some(b'-'))
+            && c.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            c.bump();
+        }
+    }
+    // fraction — but not `1..x` ranges or method calls `1.max(2)`
+    if c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        c.bump();
+        while c
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            let cur = c.peek();
+            c.bump();
+            if matches!(cur, Some(b'e') | Some(b'E'))
+                && matches!(c.peek(), Some(b'+') | Some(b'-'))
+                && c.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+            {
+                c.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_keywords_punct() {
+        let toks = lex("unsafe fn f() { x.y(); }");
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[0].text("unsafe fn f() { x.y(); }"), "unsafe");
+        assert!(toks.iter().any(|t| t.is_punct('{')));
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let src = "// SAFETY: fine\nunsafe {}\n/* block */ x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].text(src), "// SAFETY: fine");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::BlockComment));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "/* a /* b */ c */ ident";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].kind, TokenKind::Ident);
+        assert_eq!(toks[1].text(src), "ident");
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let src = r#"let s = "unsafe { Ordering::Relaxed }";"#;
+        let toks = lex(src);
+        let unsafe_idents = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text(src) == "unsafe")
+            .count();
+        assert_eq!(unsafe_idents, 0);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_fences() {
+        let src = r##"let s = r#"has "quotes" and // not a comment"# ; x"##;
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(!toks.iter().any(|t| t.is_comment()));
+        assert!(toks.iter().any(|t| t.is_ident(src, "x")));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let src = r#"let a = b"bytes"; let b = b'x'; let c = 'y'; let d = '\n';"#;
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn numbers() {
+        let src = "let x = 0xff_u64 + 1.5e-3 + 0b101 + 7usize; for i in 0..10 {}";
+        let toks = lex(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0xff_u64", "1.5e-3", "0b101", "7usize", "0", "10"]
+        );
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let src = "a\n  bb\n\tccc";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (3, 2));
+    }
+
+    #[test]
+    fn double_colon_is_two_colons() {
+        let src = "Ordering::Relaxed";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct(':'),
+                TokenKind::Punct(':'),
+                TokenKind::Ident
+            ]
+        );
+    }
+}

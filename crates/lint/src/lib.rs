@@ -1,0 +1,115 @@
+//! # roar-lint — workspace static analysis for repo invariants
+//!
+//! PR 7 and PR 8 moved the hot path onto hand-rolled concurrency: an epoll
+//! reactor with an `AtomicU8` task state machine and raw libc FFI, a
+//! Mutex/Condvar batch-engine admission queue, and SIMD intrinsics across
+//! four SHA-1 backends. The disciplines that keep that sound — `SAFETY:`
+//! comments, ordering justifications, the fixed thread budget, determinism
+//! of the reconciler, no-panic request paths — were enforced by review
+//! alone. This crate makes them machine-checked: a hand-rolled token-level
+//! lexer (same no-crates.io discipline as the JSON parser behind
+//! `repro check_bench_schema`) plus a rule engine over every workspace
+//! `.rs` file.
+//!
+//! Run it with `cargo run -p roar-lint`; CI runs it as a required gate.
+//! The rule catalog lives in `crates/lint/README.md`.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, Config, Finding, SourceFile};
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Directories (workspace-relative) that are scanned for `.rs` files.
+const SCAN_ROOTS: &[&str] = &["src", "tests", "examples", "crates"];
+
+/// Path prefixes never scanned: build output and the lint fixtures (which
+/// exist to violate the rules).
+const SKIP_PREFIXES: &[&str] = &["target", "crates/lint/tests/fixtures"];
+
+/// Locate the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn collect_rs_files(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) {
+    let abs = root.join(rel);
+    let Ok(entries) = std::fs::read_dir(&abs) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let rel = rel.join(entry.file_name());
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if SKIP_PREFIXES.iter().any(|p| rel_str.starts_with(p)) {
+            continue;
+        }
+        let Ok(ft) = entry.file_type() else { continue };
+        if ft.is_dir() {
+            collect_rs_files(root, &rel, out);
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+}
+
+/// Load `crates/lint/unwrap_allowlist.txt`: `<path> <budget>` per line,
+/// `#` comments. A missing file means every budget is 0.
+pub fn load_allowlist(root: &Path) -> HashMap<String, u32> {
+    let mut budgets = HashMap::new();
+    let path = root.join("crates/lint/unwrap_allowlist.txt");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return budgets;
+    };
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(p), Some(n)) = (parts.next(), parts.next()) {
+            if let Ok(n) = n.parse::<u32>() {
+                budgets.insert(p.to_string(), n);
+            }
+        }
+    }
+    budgets
+}
+
+/// Scan the whole workspace under `root`. Returns all findings plus the
+/// number of files checked.
+pub fn check_workspace(root: &Path) -> (Vec<Finding>, usize) {
+    let cfg = Config {
+        unwrap_budgets: load_allowlist(root),
+    };
+    let mut rel_paths = Vec::new();
+    for scan in SCAN_ROOTS {
+        collect_rs_files(root, Path::new(scan), &mut rel_paths);
+    }
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for rel in &rel_paths {
+        let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        let file = SourceFile::new(rel.to_string_lossy().replace('\\', "/"), src);
+        findings.extend(check_file(&file, &cfg));
+        checked += 1;
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    (findings, checked)
+}

@@ -1,0 +1,26 @@
+//! `ordering-needs-comment` fixture: one violation; justified sites,
+//! `cmp::Ordering`, and `#[cfg(test)]` code are exempt.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    // ORDERING: Relaxed — standalone counter, nothing is published
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::Acquire)
+}
+
+pub fn not_an_atomic(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked() {
+        let c = AtomicUsize::new(0);
+        c.store(1, Ordering::SeqCst);
+        assert_eq!(bump(&c), 2);
+    }
+}

@@ -1,0 +1,18 @@
+//! `no-thread-spawn` fixture: one violation; `thread::Builder` (named
+//! fixed pools) and `#[cfg(test)]` code are exempt.
+
+pub fn burst() {
+    std::thread::spawn(|| {});
+}
+
+pub fn named_pool() -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new().name("roar-x".into()).spawn(|| {})
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

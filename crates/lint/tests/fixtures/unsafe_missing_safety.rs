@@ -1,0 +1,15 @@
+//! `unsafe-needs-safety` fixture: two violations, one justified site.
+
+pub fn justified(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads
+    unsafe { *p }
+}
+
+pub fn bare_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// A doc comment does not count as a SAFETY justification.
+pub unsafe fn bare_fn(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,24 @@
+//! `no-unwrap-in-request-path` fixture: two sites; `unwrap_or` and
+//! `#[cfg(test)]` code are exempt. The harness checks all three budget
+//! cases: over, exact, and a stale (too-large) ratchet.
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn demand(v: Option<u32>) -> u32 {
+    v.expect("transport invariant")
+}
+
+pub fn graceful(v: Option<u32>) -> u32 {
+    v.unwrap_or(7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        Some(1u32).unwrap();
+        assert_eq!(super::take(Some(1)), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! `no-wall-clock-in-reconcile` fixture: three violations (the import
+//! alone is a smell in planning code); passing an `Instant` through is
+//! exempt.
+
+use std::time::{Instant, SystemTime};
+
+pub fn plan_badly() -> u64 {
+    let started = Instant::now();
+    let _ = started;
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn pass_through(deadline: Instant) -> Instant {
+    deadline
+}

@@ -1,0 +1,160 @@
+//! Fixture tests for the roar-lint rule engine.
+//!
+//! Each fixture under `tests/fixtures/` violates exactly one rule; the
+//! harness lexes it under an in-scope *virtual* path (the rules scope
+//! themselves by path) and asserts the engine reports the exact findings —
+//! rule, line, and column, no more and no fewer. The fixtures directory is
+//! excluded from workspace scans (`SKIP_PREFIXES` in the lint crate): the
+//! files exist to be caught here, not by `cargo run -p roar-lint`.
+
+use roar_lint::{check_file, Config, Finding, SourceFile};
+use std::collections::HashMap;
+use std::path::Path;
+
+fn fixture(name: &str, virtual_path: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    SourceFile::new(virtual_path, src)
+}
+
+fn spans(findings: &[Finding]) -> Vec<(&'static str, u32, u32)> {
+    findings.iter().map(|f| (f.rule, f.line, f.col)).collect()
+}
+
+#[test]
+fn unsafe_without_safety_comment_is_reported() {
+    let file = fixture("unsafe_missing_safety.rs", "crates/core/src/fixture.rs");
+    let findings = check_file(&file, &Config::default());
+    assert_eq!(
+        spans(&findings),
+        vec![
+            ("unsafe-needs-safety", 9, 5),  // bare unsafe block
+            ("unsafe-needs-safety", 13, 5), // unsafe fn with only a doc comment
+        ]
+    );
+}
+
+#[test]
+fn ordering_without_comment_is_reported() {
+    let file = fixture("ordering_missing.rs", "crates/cluster/src/fixture.rs");
+    let findings = check_file(&file, &Config::default());
+    // the justified fetch_add, the cmp::Ordering return type, and the
+    // #[cfg(test)] store are all exempt; only the bare load remains
+    assert_eq!(spans(&findings), vec![("ordering-needs-comment", 9, 12)]);
+    assert!(findings[0].message.contains("Ordering::Acquire"));
+}
+
+#[test]
+fn thread_spawn_outside_shims_is_reported() {
+    let file = fixture("thread_spawn.rs", "crates/cluster/src/fixture.rs");
+    let findings = check_file(&file, &Config::default());
+    // thread::Builder and the #[cfg(test)] spawn are exempt
+    assert_eq!(spans(&findings), vec![("no-thread-spawn", 5, 10)]);
+}
+
+#[test]
+fn wall_clock_in_reconcile_is_reported() {
+    let file = fixture("wall_clock_reconcile.rs", "crates/cluster/src/reconcile.rs");
+    let findings = check_file(&file, &Config::default());
+    assert_eq!(
+        spans(&findings),
+        vec![
+            ("no-wall-clock-in-reconcile", 5, 26),  // SystemTime in the use
+            ("no-wall-clock-in-reconcile", 8, 19),  // Instant::now()
+            ("no-wall-clock-in-reconcile", 10, 11), // SystemTime::now()
+        ]
+    );
+}
+
+#[test]
+fn wall_clock_rule_is_scoped_to_reconcile() {
+    // the same source under any other path is outside the rule's scope
+    let file = fixture("wall_clock_reconcile.rs", "crates/cluster/src/frontend.rs");
+    assert!(check_file(&file, &Config::default()).is_empty());
+}
+
+#[test]
+fn unwrap_over_budget_reports_every_site() {
+    let file = fixture(
+        "unwrap_request_path.rs",
+        "crates/cluster/src/transport/fixture.rs",
+    );
+    let findings = check_file(&file, &Config::default());
+    // budget 0: both sites reported; unwrap_or and the test unwrap are not
+    assert_eq!(
+        spans(&findings),
+        vec![
+            ("no-unwrap-in-request-path", 6, 7),
+            ("no-unwrap-in-request-path", 10, 7),
+        ]
+    );
+}
+
+#[test]
+fn unwrap_at_budget_is_clean_and_stale_budget_trips_the_ratchet() {
+    let path = "crates/cluster/src/transport/fixture.rs";
+    let file = fixture("unwrap_request_path.rs", path);
+    let budget = |n: u32| Config {
+        unwrap_budgets: HashMap::from([(path.to_string(), n)]),
+    };
+    assert!(check_file(&file, &budget(2)).is_empty());
+    // budget 3 > 2 actual sites: the ratchet demands the budget shrink
+    let findings = check_file(&file, &budget(3));
+    assert_eq!(spans(&findings), vec![("no-unwrap-in-request-path", 1, 1)]);
+    assert!(findings[0].message.contains("ratchet"));
+}
+
+#[test]
+fn unwrap_rule_is_scoped_to_request_paths() {
+    let file = fixture("unwrap_request_path.rs", "crates/cluster/src/frontend.rs");
+    assert!(check_file(&file, &Config::default()).is_empty());
+}
+
+#[test]
+fn shims_are_exempt_from_ordering_and_spawn_rules() {
+    let src = "pub fn park(s: &AtomicU8) {\n    s.store(1, Ordering::SeqCst);\n    \
+               std::thread::spawn(|| {});\n}\n";
+    let file = SourceFile::new("crates/shims/tokio/src/reactor.rs", src);
+    assert!(check_file(&file, &Config::default()).is_empty());
+}
+
+#[test]
+fn loom_model_threads_are_exempt_from_the_spawn_rule() {
+    let src = "pub fn model_body() {\n    let h = loom::thread::spawn(|| {});\n    h.join();\n}\n";
+    let file = SourceFile::new("crates/cluster/tests/loom_fixture.rs", src);
+    assert!(check_file(&file, &Config::default()).is_empty());
+}
+
+#[test]
+fn trailing_comment_on_the_same_line_justifies() {
+    let src = "pub fn publish(s: &AtomicU8) {\n    \
+               s.store(1, Ordering::Release); // ORDERING: Release — publishes init\n}\n";
+    let file = SourceFile::new("crates/cluster/src/fixture.rs", src);
+    assert!(check_file(&file, &Config::default()).is_empty());
+}
+
+#[test]
+fn strings_and_comments_cannot_fool_the_rules() {
+    let src = "// unsafe { } in a comment is not code\n\
+               pub fn log() {\n    \
+               let _ = \"unsafe { Ordering::SeqCst }; std::thread::spawn; x.unwrap()\";\n}\n";
+    let file = SourceFile::new("crates/cluster/src/transport/fixture.rs", src);
+    assert!(check_file(&file, &Config::default()).is_empty());
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = roar_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the lint crate");
+    let (findings, checked) = roar_lint::check_workspace(&root);
+    let report: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay lint-clean:\n{}",
+        report.join("\n")
+    );
+    assert!(checked >= 100, "suspiciously few files scanned: {checked}");
+}

@@ -65,14 +65,20 @@ impl PrfCounter {
     }
 
     pub fn add(&self, k: u64) {
+        // ORDERING: Relaxed — instrumentation counter bump; count matters,
+        // ordering does not
         self.0.fetch_add(k, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — instrumentation counter read; no other memory
+        // is synchronised through it
         self.0.load(Ordering::Relaxed)
     }
 
     pub fn reset(&self) {
+        // ORDERING: Relaxed — instrumentation counter reset; callers
+        // serialise reset-vs-measure phases themselves
         self.0.store(0, Ordering::Relaxed);
     }
 }

@@ -203,6 +203,8 @@ impl Engine {
                         Matcher::new(query.trapdoors.len(), true).with_backend(backend);
                     while let Ok(chunk) = rx.recv() {
                         matcher.match_batch(query, chunk, &mut scratch, &mut local_matches);
+                        // ORDERING: Relaxed — shared progress counter for
+                        // trace sampling; only the running total matters
                         let total = consumed_total
                             .fetch_add(chunk.len(), std::sync::atomic::Ordering::Relaxed)
                             + chunk.len();

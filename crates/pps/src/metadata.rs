@@ -41,11 +41,15 @@ static RECORD_CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU6
 
 /// Total record deep clones since process start.
 pub fn record_clone_count() -> u64 {
+    // ORDERING: Relaxed — instrumentation counter read; tests snapshot it
+    // around single-threaded sections, nothing is synchronised through it
     RECORD_CLONES.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 impl Clone for EncryptedMetadata {
     fn clone(&self) -> Self {
+        // ORDERING: Relaxed — instrumentation counter bump; count matters,
+        // ordering does not
         RECORD_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         EncryptedMetadata {
             id: self.id,

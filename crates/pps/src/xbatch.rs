@@ -410,6 +410,8 @@ impl BatchEngine {
         // matcher threads to their engine; kept short because the kernel
         // truncates thread names to 15 bytes in /proc/*/task/*/comm
         static ENGINE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        // ORDERING: Relaxed — only uniqueness of the sequence number
+        // matters; nothing else is published through it
         let prefix = format!(
             "roarm-e{}",
             ENGINE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)

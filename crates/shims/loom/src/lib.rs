@@ -1,0 +1,421 @@
+//! Loom-style concurrency model checker for the ROAR runtime.
+//!
+//! Port a concurrency protocol onto this crate's shimmed primitives
+//! ([`sync::Mutex`], [`sync::Condvar`], [`sync::atomic`], [`thread::spawn`])
+//! and wrap it in [`model`]: the checker runs the closure under a
+//! cooperative scheduler that explores **every** thread interleaving by
+//! depth-first search, re-executing the closure once per schedule. An
+//! assertion failure, panic, or deadlock in *any* schedule fails the model
+//! with the schedule's failure message; [`check_expect_failure`] inverts
+//! that, proving a deliberately-broken protocol variant is one the checker
+//! actually catches.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let stats = loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(stats.schedules >= 2); // both op orders were actually run
+//! ```
+//!
+//! # Mechanics
+//!
+//! Every shimmed operation starts with a *scheduling point*: the calling
+//! thread offers the token back, the scheduler picks the next runnable
+//! thread (a decision recorded on a choice stack), and only the chosen
+//! thread proceeds. One model thread runs at a time, so an execution is
+//! fully determined by its choice stack; backtracking increments the
+//! deepest choice with an untried alternative and replays the prefix.
+//! [`nondet`] exposes the same choice stack directly, for modelling
+//! environment nondeterminism (timeouts, cancellations) that is not a
+//! thread interleaving.
+//!
+//! # Scope and limitations
+//!
+//! - **Sequential consistency only.** Atomics take an `Ordering` for
+//!   source compatibility but execute SeqCst: the checker explores
+//!   interleavings, not weak-memory reorderings. A protocol can therefore
+//!   pass here and still be wrong under `Relaxed` — pair the model with
+//!   the TSan CI leg, which tests the real orderings.
+//! - No spurious condvar wakeups; `notify_one` is FIFO.
+//! - State is explored exhaustively, not sampled: keep models small (2–3
+//!   threads, a handful of operations each) or the schedule count
+//!   explodes. [`Builder::max_schedules`] is a hard stop that fails the
+//!   run rather than silently truncating coverage.
+
+pub mod sync;
+pub mod thread;
+
+mod sched;
+
+use sched::{with_quiet_panics, Choice, Inner, LoomAbort, Status};
+use std::sync::Arc;
+
+/// Exploration summary, for asserting a model was meaningfully explored.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Complete schedules executed.
+    pub schedules: u64,
+    /// Deepest choice stack seen (decision points in the longest run).
+    pub max_depth: usize,
+}
+
+/// Exploration configuration. The default caps schedules at a number far
+/// above any intentionally-small model; hitting the cap is treated as a
+/// model bug (too big to verify), not a soft truncation.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    pub max_schedules: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_schedules: 1_000_000,
+        }
+    }
+}
+
+impl Builder {
+    /// Explore every schedule of `f`; panic on the first failing one.
+    pub fn check<F>(&self, f: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        // the panics live outside the quiet region so their messages reach
+        // the test output
+        match with_quiet_panics(|| explore(Arc::new(f), self.max_schedules)) {
+            Explored::Exhausted(stats) => stats,
+            Explored::Failed(msg, stats) => panic!(
+                "loom model failed on schedule {} (choice depth <= {}): {}",
+                stats.schedules, stats.max_depth, msg
+            ),
+            Explored::BudgetExceeded(stats) => panic!("{}", budget_message(stats)),
+        }
+    }
+
+    /// Explore until a schedule fails, returning its failure message;
+    /// panic if the full schedule space passes. This is how tests prove a
+    /// deliberately-broken protocol variant is within the checker's power
+    /// to catch — guarding against vacuous green models.
+    pub fn check_expect_failure<F>(&self, f: F) -> String
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match with_quiet_panics(|| explore(Arc::new(f), self.max_schedules)) {
+            Explored::Exhausted(stats) => panic!(
+                "expected the model to fail, but all {} schedule(s) passed",
+                stats.schedules
+            ),
+            Explored::Failed(msg, _) => msg,
+            Explored::BudgetExceeded(stats) => panic!("{}", budget_message(stats)),
+        }
+    }
+}
+
+/// [`Builder::check`] with default limits.
+pub fn model<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// [`Builder::check_expect_failure`] with default limits.
+pub fn check_expect_failure<F>(f: F) -> String
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check_expect_failure(f)
+}
+
+/// An environment choice with `n` alternatives: the checker explores all
+/// of them. Use for nondeterminism that is not a thread interleaving — a
+/// timeout firing or not, a cancellation racing a wakeup.
+pub fn nondet(n: usize) -> usize {
+    assert!(n > 0, "nondet needs at least one alternative");
+    let (inner, _me) = sched::ctx();
+    let mut st = inner.lock_state();
+    if st.abort {
+        return 0;
+    }
+    st.choose(n)
+}
+
+/// Boolean [`nondet`].
+pub fn nondet_bool() -> bool {
+    nondet(2) == 1
+}
+
+enum Explored {
+    /// Every schedule ran and passed.
+    Exhausted(Stats),
+    /// A schedule failed (assertion, panic, or deadlock).
+    Failed(String, Stats),
+    /// The schedule budget ran out before the DFS did.
+    BudgetExceeded(Stats),
+}
+
+fn budget_message(stats: Stats) -> String {
+    format!(
+        "model exceeded its schedule budget after {} schedule(s): shrink the \
+         model (fewer threads/ops) or raise Builder::max_schedules",
+        stats.schedules - 1
+    )
+}
+
+/// Run one execution per schedule until the DFS is exhausted or a schedule
+/// fails.
+fn explore<F>(f: Arc<F>, max_schedules: u64) -> Explored
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut choices: Vec<Choice> = Vec::new();
+    let mut stats = Stats {
+        schedules: 0,
+        max_depth: 0,
+    };
+    loop {
+        stats.schedules += 1;
+        if stats.schedules > max_schedules {
+            return Explored::BudgetExceeded(stats);
+        }
+        let inner = Arc::new(Inner::new(std::mem::take(&mut choices)));
+
+        // thread 0 runs the closure itself; it is registered by the fresh
+        // scheduler state and active from the start
+        let f0 = Arc::clone(&f);
+        let inner0 = Arc::clone(&inner);
+        let root = std::thread::Builder::new()
+            .name("loom-0".into())
+            .spawn(move || {
+                sched::set_ctx(Arc::clone(&inner0), 0);
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f0()));
+                let user_panic = match out {
+                    Ok(()) => None,
+                    Err(p) if p.is::<LoomAbort>() => None,
+                    Err(p) => Some(sched::panic_message(p.as_ref())),
+                };
+                sched::on_thread_exit(&inner0, 0, user_panic);
+            })
+            .expect("spawn model root thread");
+
+        // wait for the execution to finish or fail
+        {
+            let mut st = inner.lock_state();
+            while !st.done && st.failure.is_none() {
+                st = match inner.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+        // join every OS thread this execution spawned (teardown free-runs,
+        // so they all terminate); spawn can append while we drain
+        let _ = root.join();
+        loop {
+            let drained: Vec<std::thread::JoinHandle<()>> = {
+                let mut st = inner.lock_state();
+                st.handles.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+
+        let (failure, run_choices, depth) = {
+            let mut st = inner.lock_state();
+            let all_done = st.threads.iter().all(|s| matches!(s, Status::Finished));
+            assert!(all_done, "model threads leaked past teardown");
+            (st.failure.take(), std::mem::take(&mut st.choices), st.depth)
+        };
+        stats.max_depth = stats.max_depth.max(depth);
+        if let Some(msg) = failure {
+            return Explored::Failed(msg, stats);
+        }
+        debug_assert_eq!(depth, run_choices.len());
+        choices = run_choices;
+
+        // DFS backtrack: drop the exhausted suffix, advance the deepest
+        // choice with an untried alternative
+        while let Some(last) = choices.last() {
+            if last.taken + 1 < last.total {
+                break;
+            }
+            choices.pop();
+        }
+        match choices.last_mut() {
+            Some(last) => last.taken += 1,
+            None => return Explored::Exhausted(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+
+    #[test]
+    fn atomic_increment_is_exhaustive_and_correct() {
+        let stats = model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+        assert!(
+            stats.schedules >= 2,
+            "two racing increments must produce at least two schedules, got {}",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn torn_read_modify_write_is_caught() {
+        // load-then-store instead of fetch_add: the classic lost update
+        // exists in some interleaving, and the checker must find it
+        let msg = check_expect_failure(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+        assert!(msg.contains("assertion"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlocks_are_caught() {
+        let msg = check_expect_failure(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let gb = b.lock();
+            let ga = a.lock();
+            drop((ga, gb));
+            t.join();
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                let mut g = m2.lock();
+                *g += 1;
+            });
+            {
+                let mut g = m.lock();
+                *g += 1;
+            }
+            t.join();
+            assert_eq!(*m.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn condvar_notify_before_wait_is_lost() {
+        // waiting without re-checking a predicate drops the wakeup when
+        // the notify lands first: the checker reports the stuck schedule
+        // as a deadlock
+        let msg = check_expect_failure(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut g = m.lock();
+                *g = true;
+                drop(g);
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
+            let g = m.lock();
+            // BUG (deliberate): no predicate loop
+            let _g = cv.wait(g);
+            t.join();
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn condvar_predicate_loop_is_sound() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut g = m.lock();
+                *g = true;
+                drop(g);
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+            drop(g);
+            t.join();
+        });
+    }
+
+    #[test]
+    fn nondet_explores_every_alternative() {
+        // count which branches execute across the exploration (a plain std
+        // atomic: it outlives individual schedules on purpose)
+        let seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let stats = model(move || {
+            let branch = nondet(3);
+            seen2.fetch_or(1 << branch, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(stats.schedules, 3);
+        assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 0b111);
+    }
+
+    #[test]
+    fn schedule_budget_is_a_hard_stop() {
+        let out = std::panic::catch_unwind(|| {
+            Builder { max_schedules: 1 }.check(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let t = thread::spawn(move || {
+                    n2.fetch_add(1, Ordering::SeqCst);
+                });
+                n.fetch_add(1, Ordering::SeqCst);
+                t.join();
+            })
+        });
+        assert!(out.is_err(), "a 2-schedule model must blow a budget of 1");
+    }
+}

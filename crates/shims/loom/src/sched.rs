@@ -1,0 +1,302 @@
+//! The DFS scheduler behind the model checker.
+//!
+//! One OS thread per model thread, but only one is ever *active*: every
+//! shimmed operation ([`pre_op`]) hands control back to the scheduler,
+//! which picks the next runnable thread according to the current branch of
+//! the depth-first search over schedules. The choice stack ([`Choice`])
+//! records, for every decision point, which alternative this execution
+//! took and how many existed; backtracking replays the longest prefix that
+//! still has an untried alternative.
+//!
+//! The checker explores *interleavings only*: all shimmed atomics are
+//! sequentially consistent regardless of the `Ordering` argument, so
+//! weak-memory reorderings are out of scope (see the crate docs).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+
+/// One decision point in the schedule: this execution took alternative
+/// `taken` out of `total`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub(crate) taken: usize,
+    pub(crate) total: usize,
+}
+
+/// What a non-runnable model thread is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockedOn {
+    Mutex(usize),
+    Condvar(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(BlockedOn),
+    Finished,
+}
+
+/// Everything the scheduler knows, behind one OS mutex. Model threads only
+/// ever mutate shared *model* state (shim mutex flags, condvar queues)
+/// while holding this lock and being the active thread, which is what
+/// makes the exploration deterministic.
+pub(crate) struct SchedState {
+    pub(crate) threads: Vec<Status>,
+    pub(crate) active: usize,
+    /// DFS choice stack: a replay prefix carried over from the explorer,
+    /// extended by fresh decision points as this execution runs past it.
+    pub(crate) choices: Vec<Choice>,
+    /// How many choices this execution has consumed so far.
+    pub(crate) depth: usize,
+    /// Held-flag per shim mutex.
+    pub(crate) mutexes: Vec<bool>,
+    /// FIFO wait queue per shim condvar (`notify_one` wakes the head).
+    pub(crate) cv_queues: Vec<VecDeque<usize>>,
+    /// Set on the first failure (assertion or deadlock); flips the run
+    /// into free-run teardown mode.
+    pub(crate) abort: bool,
+    pub(crate) failure: Option<String>,
+    /// All model threads finished without failure.
+    pub(crate) done: bool,
+    /// OS handles of every spawned model thread, joined by the explorer.
+    pub(crate) handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) st: OsMutex<SchedState>,
+    pub(crate) cv: OsCondvar,
+}
+
+/// Panic payload used to unwind model threads during teardown. Not a model
+/// failure by itself — the failure (if any) is already recorded in
+/// [`SchedState::failure`].
+pub(crate) struct LoomAbort;
+
+thread_local! {
+    static TLS: std::cell::RefCell<Option<(Arc<Inner>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(inner: Arc<Inner>, tid: usize) {
+    TLS.with(|t| *t.borrow_mut() = Some((inner, tid)));
+}
+
+pub(crate) fn ctx() -> (Arc<Inner>, usize) {
+    TLS.with(|t| t.borrow().clone())
+        .expect("loom primitive used outside of loom::model")
+}
+
+fn raise_abort() -> ! {
+    std::panic::panic_any(LoomAbort)
+}
+
+impl SchedState {
+    fn new(choices: Vec<Choice>) -> Self {
+        SchedState {
+            threads: vec![Status::Runnable],
+            active: 0,
+            choices,
+            depth: 0,
+            mutexes: Vec::new(),
+            cv_queues: Vec::new(),
+            abort: false,
+            failure: None,
+            done: false,
+            handles: Vec::new(),
+        }
+    }
+
+    /// Consume one decision point with `total` alternatives: replay the
+    /// recorded branch if the prefix still covers this depth, otherwise
+    /// open a fresh one starting at alternative 0.
+    pub(crate) fn choose(&mut self, total: usize) -> usize {
+        debug_assert!(total > 0);
+        let taken = if self.depth < self.choices.len() {
+            let c = self.choices[self.depth];
+            assert_eq!(
+                c.total, total,
+                "model is nondeterministic: decision point {} had {} alternatives \
+                 on the previous run but {} now",
+                self.depth, c.total, total
+            );
+            c.taken
+        } else {
+            self.choices.push(Choice { taken: 0, total });
+            0
+        };
+        self.depth += 1;
+        taken
+    }
+}
+
+impl Inner {
+    pub(crate) fn new(choices: Vec<Choice>) -> Self {
+        Inner {
+            st: OsMutex::new(SchedState::new(choices)),
+            cv: OsCondvar::new(),
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> OsGuard<'_, SchedState> {
+        match self.st.lock() {
+            Ok(g) => g,
+            // a model thread that user-panicked poisons the lock while the
+            // failure is being recorded; teardown still needs the state
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Pick the next thread to run among the runnable ones (a DFS decision
+    /// point), or detect completion / deadlock if none are runnable.
+    pub(crate) fn schedule_next(&self, st: &mut SchedState) {
+        if st.abort {
+            // free-run teardown: every thread proceeds unscheduled
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|s| matches!(s, Status::Finished)) {
+                st.done = true;
+            } else {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Status::Blocked(b) => Some(format!("thread {i} on {b:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                st.failure
+                    .get_or_insert_with(|| format!("deadlock: {}", stuck.join(", ")));
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let idx = if runnable.len() == 1 {
+            // a forced move is not a decision point; skipping it keeps the
+            // choice stack (and the schedule count) minimal
+            0
+        } else {
+            st.choose(runnable.len())
+        };
+        st.active = runnable[idx];
+        self.cv.notify_all();
+    }
+
+    /// Block the calling model thread until the scheduler hands it the
+    /// token again (or the run aborts).
+    pub(crate) fn wait_active<'g>(
+        &'g self,
+        mut st: OsGuard<'g, SchedState>,
+        me: usize,
+    ) -> OsGuard<'g, SchedState> {
+        loop {
+            if st.abort {
+                if std::thread::panicking() {
+                    // already unwinding (a Drop impl reached a shim op):
+                    // fall through in pass-through mode rather than
+                    // double-panicking
+                    return st;
+                }
+                drop(st);
+                raise_abort();
+            }
+            if st.active == me && st.threads[me] == Status::Runnable {
+                return st;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+/// The interleaving point at the start of every shimmed operation: offer
+/// the scheduler a chance to run any other runnable thread first, then
+/// return with the state lock held and the calling thread active.
+///
+/// In abort mode this raises [`LoomAbort`] (or passes through when already
+/// unwinding) so teardown terminates every thread.
+pub(crate) fn pre_op(inner: &Inner, me: usize) -> OsGuard<'_, SchedState> {
+    let mut st = inner.lock_state();
+    if st.abort {
+        if std::thread::panicking() {
+            return st;
+        }
+        drop(st);
+        raise_abort();
+    }
+    inner.schedule_next(&mut st);
+    inner.wait_active(st, me)
+}
+
+/// Mark `me` finished, wake its joiners, and hand the token onwards.
+pub(crate) fn on_thread_exit(inner: &Inner, me: usize, user_panic: Option<String>) {
+    let mut st = inner.lock_state();
+    st.threads[me] = Status::Finished;
+    for s in st.threads.iter_mut() {
+        if *s == Status::Blocked(BlockedOn::Join(me)) {
+            *s = Status::Runnable;
+        }
+    }
+    if let Some(msg) = user_panic {
+        st.failure.get_or_insert(msg);
+        st.abort = true;
+    }
+    inner.schedule_next(&mut st);
+}
+
+/// Format a caught panic payload for the failure report.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+/// Silence the default panic hook while a closure runs model executions:
+/// expected failures (the whole point of [`check_expect_failure`]) would
+/// otherwise spray backtraces over the test output. The wrapper hook is
+/// installed exactly once and left in place — `set_hook`/`take_hook`
+/// panic on a panicking thread, so a Drop-based uninstall would abort the
+/// process when the closure itself unwinds. Suppression is instead an
+/// exploration counter the wrapper consults on every panic.
+///
+/// [`check_expect_failure`]: crate::check_expect_failure
+pub(crate) fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if ACTIVE.load(Ordering::SeqCst) == 0 {
+                prev(info);
+            }
+        }));
+    });
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            ACTIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _reset = Reset;
+    f()
+}

@@ -1,0 +1,288 @@
+//! Shimmed synchronization primitives: `Mutex`, `Condvar`, and the
+//! `atomic` module.
+//!
+//! Every operation starts with a `pre_op` interleaving point, so the DFS
+//! explores all orders in which model threads can reach their shared-state
+//! operations. Atomics accept a real [`Ordering`] argument for source
+//! compatibility but execute sequentially consistent — the checker explores
+//! interleavings, not weak-memory reorderings.
+
+use crate::sched::{ctx, pre_op, BlockedOn, Status};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+
+pub use std::sync::atomic::Ordering;
+
+/// A model mutex. Must be created inside `loom::model` (construction
+/// registers it with the current scheduler).
+pub struct Mutex<T> {
+    id: usize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler serializes all lock/unlock transitions, and the
+// held-flag protocol grants at most one live guard at a time, so sharing
+// the `Mutex` across model threads never aliases the inner value; `T:
+// Send` is required because the value migrates between threads.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only hands out the value through the
+// exclusive guard, matching `std::sync::Mutex`'s bounds.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new(value: T) -> Self {
+        let (inner, _me) = ctx();
+        let mut st = inner.lock_state();
+        let id = st.mutexes.len();
+        st.mutexes.push(false);
+        Mutex {
+            id,
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (inner, me) = ctx();
+        let mut st = pre_op(&inner, me);
+        if st.abort {
+            // pass-through teardown: spin until the holder's unwinding
+            // drops its guard, keeping the exclusivity invariant intact
+            loop {
+                if !st.mutexes[self.id] {
+                    st.mutexes[self.id] = true;
+                    return MutexGuard { m: self };
+                }
+                drop(st);
+                std::thread::yield_now();
+                st = inner.lock_state();
+            }
+        }
+        while st.mutexes[self.id] {
+            st.threads[me] = Status::Blocked(BlockedOn::Mutex(self.id));
+            inner.schedule_next(&mut st);
+            st = inner.wait_active(st, me);
+            if st.abort && std::thread::panicking() {
+                // fell out of wait_active in pass-through mode; retry the
+                // spin path above via recursion depth 1
+                drop(st);
+                return self.lock();
+            }
+        }
+        st.mutexes[self.id] = true;
+        MutexGuard { m: self }
+    }
+}
+
+impl<T> MutexGuard<'_, T> {
+    fn release(m: &Mutex<T>) {
+        let (inner, _me) = ctx();
+        let mut st = inner.lock_state();
+        st.mutexes[m.id] = false;
+        // wake every lock-waiter; they re-contend, and the scheduler's
+        // next decision point picks who wins
+        for s in st.threads.iter_mut() {
+            if *s == Status::Blocked(BlockedOn::Mutex(m.id)) {
+                *s = Status::Runnable;
+            }
+        }
+        // no interleaving point here: the very next shimmed op (or thread
+        // exit) yields, which already covers "waiter runs immediately"
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        Self::release(self.m);
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only between a successful held-flag
+        // acquisition and its release in Drop, and the protocol grants at
+        // most one guard at a time, so no &mut aliases this reference.
+        unsafe { &*self.m.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, plus `&mut self` makes this the only path
+        // to the value even through this one guard.
+        unsafe { &mut *self.m.value.get() }
+    }
+}
+
+/// A model condvar with FIFO `notify_one` and no spurious wakeups. The
+/// lack of spurious wakeups is deliberate: it keeps the schedule space
+/// minimal, and predicate loops are still fully exercised because
+/// `notify_all` wakes waiters that must re-check.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let (inner, _me) = ctx();
+        let mut st = inner.lock_state();
+        let id = st.cv_queues.len();
+        st.cv_queues.push(VecDeque::new());
+        Condvar { id }
+    }
+
+    /// Atomically release the guard's mutex and join this condvar's wait
+    /// queue; on wakeup, re-acquire the mutex before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let m = guard.m;
+        // release manually below, atomically with enqueueing
+        std::mem::forget(guard);
+        let (inner, me) = ctx();
+        let mut st = pre_op(&inner, me);
+        if !st.abort {
+            st.mutexes[m.id] = false;
+            for s in st.threads.iter_mut() {
+                if *s == Status::Blocked(BlockedOn::Mutex(m.id)) {
+                    *s = Status::Runnable;
+                }
+            }
+            st.cv_queues[self.id].push_back(me);
+            st.threads[me] = Status::Blocked(BlockedOn::Condvar(self.id));
+            inner.schedule_next(&mut st);
+            st = inner.wait_active(st, me);
+        }
+        drop(st);
+        // notified (or tearing down): re-acquire through the normal path
+        m.lock()
+    }
+
+    /// Wake the longest-waiting thread, if any. A notify with no waiter is
+    /// lost — exactly the semantics lost-wakeup bugs depend on.
+    pub fn notify_one(&self) {
+        let (inner, me) = ctx();
+        let mut st = pre_op(&inner, me);
+        if let Some(t) = st.cv_queues[self.id].pop_front() {
+            st.threads[t] = Status::Runnable;
+        }
+    }
+
+    pub fn notify_all(&self) {
+        let (inner, me) = ctx();
+        let mut st = pre_op(&inner, me);
+        while let Some(t) = st.cv_queues[self.id].pop_front() {
+            st.threads[t] = Status::Runnable;
+        }
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $ty:ty) => {
+        /// A model atomic: plain storage, every access serialized by the
+        /// scheduler with an interleaving point first. `Ordering` is
+        /// accepted for source compatibility and executed as SeqCst.
+        pub struct $name(UnsafeCell<$ty>);
+
+        // SAFETY: every access goes through `pre_op`, which serializes
+        // model threads (one active at a time) and holds the scheduler
+        // lock across the read/modify/write; teardown pass-through also
+        // runs under that lock.
+        unsafe impl Send for $name {}
+        // SAFETY: as above — shared references only reach the cell under
+        // the scheduler lock.
+        unsafe impl Sync for $name {}
+
+        impl $name {
+            #[allow(clippy::new_without_default)]
+            pub fn new(v: $ty) -> Self {
+                $name(UnsafeCell::new(v))
+            }
+
+            fn with<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                let (inner, me) = ctx();
+                let st = pre_op(&inner, me);
+                // SAFETY: the scheduler lock is held (`st` guard) and this
+                // thread is the active one, so no other model thread can
+                // touch the cell concurrently.
+                let r = f(unsafe { &mut *self.0.get() });
+                drop(st);
+                r
+            }
+
+            pub fn load(&self, _o: Ordering) -> $ty {
+                self.with(|v| *v)
+            }
+
+            pub fn store(&self, val: $ty, _o: Ordering) {
+                self.with(|v| *v = val);
+            }
+
+            pub fn swap(&self, val: $ty, _o: Ordering) -> $ty {
+                self.with(|v| std::mem::replace(v, val))
+            }
+
+            pub fn fetch_add(&self, d: $ty, _o: Ordering) -> $ty {
+                self.with(|v| {
+                    let old = *v;
+                    *v = v.wrapping_add(d);
+                    old
+                })
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.with(|v| {
+                    if *v == current {
+                        *v = new;
+                        Ok(current)
+                    } else {
+                        Err(*v)
+                    }
+                })
+            }
+        }
+    };
+}
+
+/// Shimmed `std::sync::atomic` equivalents.
+pub mod atomic {
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    model_atomic!(AtomicU8, u8);
+    model_atomic!(AtomicUsize, usize);
+    model_atomic!(AtomicU64, u64);
+
+    /// Bool variant: same serialization story as the integer atomics.
+    pub struct AtomicBool(AtomicU8);
+
+    impl AtomicBool {
+        #[allow(clippy::new_without_default)]
+        pub fn new(v: bool) -> Self {
+            AtomicBool(AtomicU8::new(v as u8))
+        }
+
+        pub fn load(&self, o: Ordering) -> bool {
+            self.0.load(o) != 0
+        }
+
+        pub fn store(&self, v: bool, o: Ordering) {
+            self.0.store(v as u8, o)
+        }
+
+        pub fn swap(&self, v: bool, o: Ordering) -> bool {
+            self.0.swap(v as u8, o) != 0
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Model threads: real OS threads whose execution order is dictated by the
+//! DFS scheduler.
+
+use crate::sched::{
+    ctx, on_thread_exit, panic_message, pre_op, set_ctx, BlockedOn, LoomAbort, Status,
+};
+use std::sync::{Arc, Mutex as OsMutex};
+
+/// Handle to a model thread; `join` is a blocking (and thus schedulable)
+/// operation.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<OsMutex<Option<T>>>,
+}
+
+/// Spawn a model thread. It becomes runnable immediately, and the spawn
+/// itself is an interleaving point, so child-runs-first schedules are
+/// explored.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (inner, me) = ctx();
+    let result: Arc<OsMutex<Option<T>>> = Arc::new(OsMutex::new(None));
+    let tid = {
+        let mut st = inner.lock_state();
+        let tid = st.threads.len();
+        st.threads.push(Status::Runnable);
+        let inner2 = Arc::clone(&inner);
+        let result2 = Arc::clone(&result);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                set_ctx(Arc::clone(&inner2), tid);
+                // hold until the scheduler activates this thread for the
+                // first time
+                {
+                    let st = inner2.lock_state();
+                    let st = inner2.wait_active(st, tid);
+                    drop(st);
+                }
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let user_panic = match out {
+                    Ok(v) => {
+                        *result2.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                        None
+                    }
+                    Err(p) if p.is::<LoomAbort>() => None,
+                    Err(p) => Some(panic_message(p.as_ref())),
+                };
+                on_thread_exit(&inner2, tid, user_panic);
+            })
+            .expect("spawn model thread");
+        st.handles.push(os);
+        tid
+    };
+    // interleaving point: the child may be scheduled before the parent
+    // continues
+    let st = pre_op(&inner, me);
+    drop(st);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its return value.
+    pub fn join(self) -> T {
+        let (inner, me) = ctx();
+        let mut st = pre_op(&inner, me);
+        while !st.abort && !matches!(st.threads[self.tid], Status::Finished) {
+            st.threads[me] = Status::Blocked(BlockedOn::Join(self.tid));
+            inner.schedule_next(&mut st);
+            st = inner.wait_active(st, me);
+        }
+        drop(st);
+        let taken = self.result.lock().unwrap_or_else(|p| p.into_inner()).take();
+        match taken {
+            Some(v) => v,
+            // the joined thread user-panicked or was torn down: the
+            // failure is already recorded, unwind this thread too
+            None => std::panic::panic_any(LoomAbort),
+        }
+    }
+}

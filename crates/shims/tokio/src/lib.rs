@@ -627,7 +627,13 @@ pub mod sync {
             value: UnsafeCell<T>,
         }
 
+        // SAFETY: same bounds as std::sync::Mutex — the UnsafeCell is only
+        // reached through a guard handed out under the `locked` flag, so
+        // sharing the Mutex across threads only ever gives one thread
+        // access to the T at a time; T: Send is all that access needs.
         unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+        // SAFETY: see above — &Mutex<T> only exposes T via mutual
+        // exclusion, so Sync requires only T: Send, not T: Sync.
         unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
         impl<T> Mutex<T> {
@@ -673,20 +679,32 @@ pub mod sync {
             mutex: &'a Mutex<T>,
         }
 
+        // SAFETY: the guard is an exclusive handle to the T (it moves the
+        // logical &mut T between threads when sent), so T: Send suffices —
+        // this is what lets the guard be held across .await on a
+        // work-stealing runtime.
         unsafe impl<T: ?Sized + Send> Send for MutexGuard<'_, T> {}
+        // SAFETY: &MutexGuard only exposes &T, so sharing it across
+        // threads needs exactly T: Sync.
         unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
 
         impl<T: ?Sized> Deref for MutexGuard<'_, T> {
             type Target = T;
 
             fn deref(&self) -> &T {
-                // safe: the guard proves exclusive logical ownership
+                // SAFETY: a guard only exists while `locked` is true, and
+                // LockFuture::poll hands out at most one guard per
+                // acquisition — exclusive logical ownership for the
+                // guard's whole lifetime.
                 unsafe { &*self.mutex.value.get() }
             }
         }
 
         impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
             fn deref_mut(&mut self) -> &mut T {
+                // SAFETY: as in Deref — the guard is the unique live
+                // handle, and &mut self forbids aliasing through this
+                // same guard.
                 unsafe { &mut *self.mutex.value.get() }
             }
         }

@@ -478,14 +478,18 @@ pub(crate) fn handle() -> &'static Reactor {
 
 impl Reactor {
     fn new() -> io::Result<Reactor> {
+        // SAFETY: plain syscall with no pointer arguments; the returned fd
+        // is checked before use.
         let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(last_os_error());
         }
+        // SAFETY: plain syscall with no pointer arguments; fd checked.
         let wake_fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
         if wake_fd < 0 {
             return Err(last_os_error());
         }
+        // SAFETY: plain syscall with no pointer arguments; fd checked.
         let timer_fd = unsafe {
             sys::timerfd_create(sys::CLOCK_MONOTONIC, sys::TFD_CLOEXEC | sys::TFD_NONBLOCK)
         };
@@ -518,6 +522,8 @@ impl Reactor {
             events: events | sys::EPOLLET,
             data: token,
         };
+        // SAFETY: `ev` is a live, initialised stack value for the whole
+        // call; the kernel copies it before returning.
         if unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, &mut ev) } < 0 {
             return Err(last_os_error());
         }
@@ -551,6 +557,8 @@ impl Reactor {
         // the fd may already be closed by the owner's drop order; EPOLL_CTL_DEL
         // failure is then expected and harmless
         let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        // SAFETY: `ev` is a live stack value; a stale/closed fd makes the
+        // call fail with EBADF, which is benign here (see above).
         unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, source.fd, &mut ev) };
         self.sources.lock().expect("sources").remove(&source.token);
     }
@@ -582,6 +590,8 @@ impl Reactor {
 
     fn notify(&self) {
         let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live stack u64 to an
+        // eventfd owned by self (never closed while the reactor lives).
         unsafe {
             sys::write(self.wake_fd, (&one as *const u64).cast(), 8);
         }
@@ -602,6 +612,8 @@ impl Reactor {
     fn drain_fd(&self, fd: RawFd) {
         let mut buf = [0u8; 8];
         loop {
+            // SAFETY: reads at most 8 bytes into an 8-byte stack buffer;
+            // both fds drained here are non-blocking and owned by self.
             let n = unsafe { sys::read(fd, buf.as_mut_ptr().cast(), 8) };
             if n <= 0 {
                 return;
@@ -643,6 +655,8 @@ impl Reactor {
                 },
             },
         };
+        // SAFETY: `it` is a live, fully-initialised stack struct; old_value
+        // is documented to accept NULL; the timerfd is owned by self.
         unsafe {
             sys::timerfd_settime(self.timer_fd, 0, &it, std::ptr::null_mut());
         }
@@ -652,6 +666,8 @@ impl Reactor {
         let mut events = [sys::EpollEvent { events: 0, data: 0 }; 256];
         loop {
             self.arm_timer();
+            // SAFETY: `events` is a 256-entry stack array and maxevents is
+            // its exact length, so the kernel writes only within bounds.
             let n =
                 unsafe { sys::epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, -1) };
             if n < 0 {

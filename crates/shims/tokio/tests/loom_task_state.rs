@@ -1,0 +1,173 @@
+//! Model-checked port of the reactor's task state machine
+//! (`src/reactor.rs`): the `IDLE / QUEUED / RUNNING / NOTIFIED / DONE`
+//! `AtomicU8` protocol between `Task::run`'s poll-pending epilogue and
+//! `Wake::wake_by_ref`.
+//!
+//! The property under check is **no lost wakeup**: a wake that lands while
+//! the task is `RUNNING` must set `NOTIFIED`, and the epilogue must honour
+//! it by re-queueing — in every interleaving, a task woken during its poll
+//! ends `QUEUED` with exactly one queue push. The deliberately-broken
+//! variant drops the `RUNNING -> NOTIFIED` arm and the checker finds the
+//! schedule where the wake vanishes.
+//!
+//! The model mirrors the real transitions CAS-for-CAS; only the queue push
+//! is abstracted to a counter (the pool's injector is out of scope here —
+//! the protocol's job is deciding *whether* to push, not how).
+
+use loom::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+struct Task {
+    state: AtomicU8,
+    pushes: AtomicUsize,
+}
+
+impl Task {
+    fn push(&self) {
+        self.pushes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// `Task::run`'s poll-pending epilogue: park, unless a wake raced the
+    /// poll and set NOTIFIED — then honour it with a re-queue.
+    fn run_pending_epilogue(&self) {
+        if self
+            .state
+            .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            self.state.store(QUEUED, Ordering::Release);
+            self.push();
+        }
+    }
+
+    /// `Wake::wake_by_ref`, transition for transition.
+    fn wake_by_ref(&self) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.push();
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // QUEUED / NOTIFIED: a wake is already pending; DONE: no-op
+                _ => return,
+            }
+        }
+    }
+
+    /// Broken `wake_by_ref`: the RUNNING arm forgets to set NOTIFIED, so a
+    /// wake landing mid-poll is silently dropped.
+    fn wake_by_ref_lost(&self) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.push();
+                        return;
+                    }
+                }
+                RUNNING => return, // BUG (deliberate): wake dropped
+                _ => return,
+            }
+        }
+    }
+}
+
+fn mid_poll_task() -> Arc<Task> {
+    Arc::new(Task {
+        // the task is mid-poll: the pool stored RUNNING before calling in
+        state: AtomicU8::new(RUNNING),
+        pushes: AtomicUsize::new(0),
+    })
+}
+
+#[test]
+fn wake_during_poll_is_never_lost() {
+    let stats = loom::model(|| {
+        let task = mid_poll_task();
+        let t2 = Arc::clone(&task);
+        let waker = loom::thread::spawn(move || t2.wake_by_ref());
+        task.run_pending_epilogue();
+        waker.join();
+        // whichever side lost the CAS race, the wake survives: the task is
+        // queued again and exactly one push happened
+        assert_eq!(task.state.load(Ordering::SeqCst), QUEUED);
+        assert_eq!(task.pushes.load(Ordering::SeqCst), 1);
+    });
+    assert!(
+        stats.schedules >= 2,
+        "the wake/park race needs at least two schedules, got {}",
+        stats.schedules
+    );
+}
+
+#[test]
+fn concurrent_wakes_coalesce_into_one_push() {
+    loom::model(|| {
+        let task = mid_poll_task();
+        let (t2, t3) = (Arc::clone(&task), Arc::clone(&task));
+        let w1 = loom::thread::spawn(move || t2.wake_by_ref());
+        let w2 = loom::thread::spawn(move || t3.wake_by_ref());
+        task.run_pending_epilogue();
+        w1.join();
+        w2.join();
+        // two wakes racing the park still re-queue exactly once; the task
+        // must not be double-queued (the pool would poll it concurrently)
+        assert_eq!(task.state.load(Ordering::SeqCst), QUEUED);
+        assert_eq!(task.pushes.load(Ordering::SeqCst), 1);
+    });
+}
+
+#[test]
+fn wake_after_done_is_a_no_op() {
+    loom::model(|| {
+        let task = mid_poll_task();
+        // poll returned Ready: the task stores DONE
+        task.state.store(DONE, Ordering::Release);
+        let t2 = Arc::clone(&task);
+        let waker = loom::thread::spawn(move || t2.wake_by_ref());
+        waker.join();
+        assert_eq!(task.state.load(Ordering::SeqCst), DONE);
+        assert_eq!(task.pushes.load(Ordering::SeqCst), 0);
+    });
+}
+
+#[test]
+fn dropping_the_notified_arm_loses_the_wakeup() {
+    let msg = loom::check_expect_failure(|| {
+        let task = mid_poll_task();
+        let t2 = Arc::clone(&task);
+        let waker = loom::thread::spawn(move || t2.wake_by_ref_lost());
+        task.run_pending_epilogue();
+        waker.join();
+        assert_eq!(task.state.load(Ordering::SeqCst), QUEUED);
+        assert_eq!(task.pushes.load(Ordering::SeqCst), 1);
+    });
+    // the checker exhibits the schedule where the wake lands mid-poll and
+    // the task parks IDLE with zero pushes: a stuck task
+    assert!(msg.contains("assertion"), "unexpected failure: {msg}");
+}

@@ -22,6 +22,8 @@
 //! * [`updates`] — object-update load and its effect on query capacity
 //!   (Fig 7.4).
 
+#![forbid(unsafe_code)]
+
 pub mod admission;
 pub mod availability;
 pub mod energy;

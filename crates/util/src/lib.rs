@@ -9,6 +9,8 @@
 //! This crate implements all of them with no external dependencies beyond
 //! `rand`.
 
+#![forbid(unsafe_code)]
+
 pub mod ewma;
 pub mod linreg;
 pub mod report;

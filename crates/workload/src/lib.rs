@@ -7,6 +7,8 @@
 //! generates the closest synthetic equivalents; every generator is seeded
 //! and deterministic so EXPERIMENTS.md numbers are reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod fleet;
 pub mod load;
