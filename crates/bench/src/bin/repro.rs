@@ -46,6 +46,18 @@
 //!                                  falls below 1-query throughput, or (full
 //!                                  scale) if batched beats baseline by
 //!                                  < 1.5x at 64 resident
+//!   repro bench_capacity [--transport T]
+//!                                  open-loop capacity sweep (Poisson
+//!                                  arrivals past saturation, per
+//!                                  transport) plus SLO admission control
+//!                                  at 2x the knee → BENCH_capacity.json;
+//!                                  exits non-zero if the admission door
+//!                                  loses to the bare cluster on overload
+//!                                  p99, trades harvest, or (full scale)
+//!                                  misses the SLO while the baseline
+//!                                  blows past 3x; the flag selects one
+//!                                  transport column (CI's smoke
+//!                                  invocation)
 //!   repro check_bench_schema       CI gate: every committed BENCH_*.json
 //!                                  parses and carries its required fields
 //!   repro --quick <...>            reduced workloads (smoke/CI)
@@ -362,6 +374,64 @@ fn bench_scale(scale: Scale, transport: Option<&str>) {
     }
 }
 
+fn bench_capacity(scale: Scale, transport: Option<&str>) {
+    let b = roar_bench::capacity::run_filtered(scale, transport);
+    let json = b.to_json();
+    print!("{json}");
+    // the committed artifact is the full matrix at full scale; quick
+    // smokes and single-transport columns must not overwrite it with a
+    // partial document
+    let wrote = if scale == Scale::Full && transport.is_none() {
+        std::fs::write("BENCH_capacity.json", &json).expect("write BENCH_capacity.json");
+        " -> BENCH_capacity.json"
+    } else {
+        " (partial/quick run: BENCH_capacity.json left untouched)"
+    };
+    for t in &b.transports {
+        for pt in &t.points {
+            eprintln!(
+                "bench_capacity: {} offered {:.0} q/s — goodput {:.0} q/s, p50 {:.1} ms, \
+                 p99 {:.1} ms, full-harvest {:.2}",
+                t.name, pt.offered_qps, pt.goodput_qps, pt.p50_ms, pt.p99_ms, pt.full_harvest_frac,
+            );
+        }
+        let a = &t.admission;
+        eprintln!(
+            "bench_capacity: {} knee {:.0} q/s; at {:.0} q/s — admitted p99 {:.1} ms \
+             (SLO {:.0} ms, yield {:.2}, min harvest {:.2}) vs bare p99 {:.1} ms",
+            t.name,
+            t.knee_qps,
+            a.offered_qps,
+            a.admitted_p99_ms,
+            b.slo_ms,
+            a.yield_frac,
+            a.admitted_min_harvest,
+            a.baseline_p99_ms,
+        );
+    }
+    eprintln!("bench_capacity: done{wrote}");
+    // the CI smoke gate: shedding at the door must beat the bare cluster
+    // on overload p99 and never cost an admitted query harvest
+    if !b.admission_beats_baseline() {
+        eprintln!(
+            "bench_capacity: FAIL — admission must shed, keep full harvest on admitted \
+             queries and beat the bare overload p99"
+        );
+        std::process::exit(1);
+    }
+    // the full-scale acceptance floor: admitted p99 within the SLO while
+    // the bare run blows past 3x, with graceful yield
+    if scale == Scale::Full && !b.slo_holds() {
+        eprintln!(
+            "bench_capacity: FAIL — admitted p99 must hold within the {:.0} ms SLO while \
+             the bare baseline exceeds {:.0}x it",
+            b.slo_ms,
+            roar_bench::capacity::BASELINE_BLOWUP
+        );
+        std::process::exit(1);
+    }
+}
+
 fn check_bench_schema() {
     match roar_bench::schema::check_dir(std::path::Path::new(".")) {
         Ok(checked) => {
@@ -455,6 +525,7 @@ fn main() {
              | repro bench_incast | repro bench_tail | repro bench_congestion \
              | repro bench_churn [--scenario S] [--transport T] \
              | repro bench_scale [--transport T] \
+             | repro bench_capacity [--transport T] \
              | repro bench_node_concurrency | repro check_bench_schema"
         );
         return;
@@ -487,6 +558,10 @@ fn main() {
     }
     if wanted.iter().any(|w| w.as_str() == "bench_churn") {
         bench_churn(scale, churn_scenario.as_deref(), churn_transport.as_deref());
+        ran += 1;
+    }
+    if wanted.iter().any(|w| w.as_str() == "bench_capacity") {
+        bench_capacity(scale, churn_transport.as_deref());
         ran += 1;
     }
     if wanted.iter().any(|w| w.as_str() == "bench_scale") {

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod capacity;
 pub mod ch2;
 pub mod ch4;
 pub mod ch5;

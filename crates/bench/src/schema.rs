@@ -67,6 +67,21 @@ pub fn required_keys(file_name: &str) -> &'static [&'static str] {
             "scaling",
             "best_scaling",
         ],
+        "BENCH_capacity.json" => &[
+            "benchmark",
+            "config",
+            "slo_ms",
+            "transports",
+            "points",
+            "offered_qps",
+            "goodput_qps",
+            "p99_ms",
+            "knee_qps",
+            "admission",
+            "yield_frac",
+            "admitted_p99_ms",
+            "baseline_p99_ms",
+        ],
         "BENCH_congestion.json" => &[
             "benchmark",
             "config",

@@ -182,6 +182,22 @@ impl Admin {
         Ok(())
     }
 
+    /// Switch every node's synthetic service model (Definition 8). `serial
+    /// = true` makes each node a single serial scanner — concurrent
+    /// synthetic sub-queries queue, so offered load past capacity builds a
+    /// real backlog. This is what the open-loop capacity bench
+    /// (`repro bench_capacity`) and the admission-control scenarios run
+    /// under; the default (`false`) keeps the co-sleeping behaviour the
+    /// closed-loop suites were calibrated against.
+    pub async fn set_serial_service(&self, serial: bool) -> Result<(), AdminError> {
+        for node in 0..self.core.n() {
+            self.core
+                .control_rpc("set_service_model", node, Msg::SetServiceModel { serial })
+                .await?;
+        }
+        Ok(())
+    }
+
     // ---- ingest (backend + replica fan-out) ---------------------------
 
     /// Store synthetic ids on their replica sets (and remember them in the

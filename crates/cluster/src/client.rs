@@ -17,6 +17,7 @@
 //! p50/p99 effect under a deterministic straggler.
 
 use crate::admin::Admin;
+use crate::admission::AdmissionController;
 use crate::backend::{BackendStore, MemoryBackend};
 use crate::frontend::{ClusterCore, QueryOutput, SchedOpts, SubOutcome};
 use crate::proto::QueryBody;
@@ -198,6 +199,7 @@ impl QueryClient {
             crypto: None,
             retries: 0,
             retry_backoff: Duration::from_millis(3),
+            admission: None,
         }
     }
 
@@ -234,6 +236,7 @@ pub struct QueryBuilder {
     crypto: Option<Backend>,
     retries: usize,
     retry_backoff: Duration,
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl QueryBuilder {
@@ -295,6 +298,21 @@ impl QueryBuilder {
         self
     }
 
+    /// Gate this query behind an SLO admission door (§2.1). The query is
+    /// planned as usual, then the controller compares its predicted
+    /// completion (the scheduler's own finish estimates, via
+    /// [`roar_dr::sched::predicted_completion`]) against the current delay
+    /// bound: a shed query returns an already-resolved stream whose
+    /// [`QueryOutput::admitted`] is `false` — **no node does any work for
+    /// it**, so admitted queries keep full harvest while yield absorbs the
+    /// overload. Admitted queries feed their measured latency back into
+    /// the controller, and knobs the caller left unset (`pq`, hedge delay)
+    /// are auto-tuned from its observed quantiles.
+    pub fn admission(mut self, ctrl: Arc<AdmissionController>) -> Self {
+        self.admission = Some(ctrl);
+        self
+    }
+
     /// Schedule and dispatch, returning the stream of partial results.
     pub fn stream(self) -> QueryStream {
         let t0 = Instant::now();
@@ -302,7 +320,25 @@ impl QueryBuilder {
         if let Some(pq) = self.pq_override {
             sched.pq = Some(pq);
         }
+        let mut hedge = self.hedge;
+        if let Some(ctrl) = &self.admission {
+            // §4.8.2 auto-tuning: only knobs the caller left unset
+            if sched.pq.is_none() {
+                sched.pq = ctrl.recommended_pq(self.core.safe_pq(), self.core.n());
+            }
+            if hedge.is_none() {
+                hedge = ctrl.recommended_hedge_delay().map(HedgePolicy::after);
+            }
+        }
         let (ring, plan) = self.core.plan_query(&sched);
+        if let Some(ctrl) = &self.admission {
+            let predicted = self.core.predict_delay(&plan);
+            if !ctrl.decide(predicted) {
+                // shed at the door: the plan is discarded before
+                // note_dispatch, so nothing lands on any node's books
+                return QueryStream::shed(t0);
+            }
+        }
         let sched_s = t0.elapsed().as_secs_f64();
         self.core.note_dispatch(&plan);
         let hedges = Arc::new(AtomicUsize::new(0));
@@ -311,7 +347,7 @@ impl QueryBuilder {
             core: Arc::clone(&self.core),
             ring,
             body: self.body,
-            hedge: self.hedge,
+            hedge,
             crypto: self.crypto,
             hedges: Arc::clone(&hedges),
         });
@@ -346,6 +382,8 @@ impl QueryBuilder {
             wall_s: 0.0,
             deadline_hit: false,
             done: false,
+            admitted: true,
+            admission: self.admission,
         }
     }
 
@@ -361,6 +399,7 @@ impl QueryBuilder {
         let (deadline, harvest_target) = (self.deadline, self.harvest_target);
         let (sched, pq_override) = (self.sched, self.pq_override);
         let (hedge, crypto) = (self.hedge, self.crypto);
+        let admission = self.admission;
         let attempt = move || QueryBuilder {
             core: Arc::clone(&core),
             body: body.clone(),
@@ -372,11 +411,14 @@ impl QueryBuilder {
             crypto,
             retries: 0,
             retry_backoff: backoff,
+            admission: admission.clone(),
         };
         let t0 = Instant::now();
         let mut out = attempt().run_once().await;
         for i in 0..retries {
-            if out.harvest >= 1.0 {
+            // a shed query is a deliberate drop, not a partial failure —
+            // re-offering it immediately would defeat the door
+            if out.harvest >= 1.0 || !out.admitted {
                 break;
             }
             tokio::time::sleep(backoff + backoff.mul_f64(i as f64 * 0.5)).await;
@@ -525,12 +567,52 @@ pub struct QueryStream {
     wall_s: f64,
     deadline_hit: bool,
     done: bool,
+    admitted: bool,
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl QueryStream {
+    /// An already-resolved stream for a query the admission door shed:
+    /// nothing planned, nothing dispatched, `admitted() == false`.
+    fn shed(t0: Instant) -> QueryStream {
+        QueryStream {
+            planned: Vec::new(),
+            pending: Vec::new(),
+            ready: VecDeque::new(),
+            deadline: None,
+            target: 1.0,
+            answered: 0,
+            refused: 0,
+            lost: 0,
+            first_err: None,
+            matches: Vec::new(),
+            scanned: 0,
+            proc_max: 0.0,
+            extra_subs: 0,
+            hedged_windows: 0,
+            hedges: Arc::new(AtomicUsize::new(0)),
+            t0,
+            sched_s: t0.elapsed().as_secs_f64(),
+            exec_start: Instant::now(),
+            exec_s: 0.0,
+            wall_s: t0.elapsed().as_secs_f64(),
+            deadline_hit: false,
+            done: true,
+            admitted: false,
+            // deliberately no controller: shed queries must not feed the
+            // latency window the auto-tuner learns from
+            admission: None,
+        }
+    }
+
     /// Number of sub-queries in the plan.
     pub fn planned(&self) -> usize {
         self.planned.len()
+    }
+
+    /// `false` when the admission door shed this query before dispatch.
+    pub fn admitted(&self) -> bool {
+        self.admitted
     }
 
     /// Fraction of windows answered so far.
@@ -669,6 +751,11 @@ impl QueryStream {
         // freeze the end-to-end clock here, not at finish(): a streaming
         // caller's own work between draining and finish() is not query time
         self.wall_s = self.t0.elapsed().as_secs_f64();
+        if let Some(ctrl) = &self.admission {
+            // feed the door's quantile window with what this admitted
+            // query's caller actually experienced
+            ctrl.observe(self.wall_s);
+        }
         for slot in self.pending.iter_mut() {
             slot.take();
         }
@@ -696,6 +783,7 @@ impl QueryStream {
             // ORDERING: Relaxed — stats counter snapshot; no other memory
             // is synchronised through it
             hedges: self.hedges.load(Ordering::Relaxed),
+            admitted: self.admitted,
         }
     }
 }

@@ -95,6 +95,10 @@ pub struct QueryOutput {
     pub rpc_error: Option<RpcError>,
     /// Hedge sub-queries dispatched (the tail-tolerance fan-out overhead).
     pub hedges: usize,
+    /// `false` when an [`crate::admission::AdmissionController`] shed this
+    /// query at the door: nothing was dispatched, `harvest` is 0 and no
+    /// node did any work for it (§2.1 — yield traded, never harvest).
+    pub admitted: bool,
 }
 
 /// Outcome of one planned sub-query after retries, fall-back and hedging.
@@ -240,6 +244,26 @@ impl ClusterCore {
             }
         }
         (ring, plan)
+    }
+
+    /// Predicted delay (seconds from now) until this plan's slowest
+    /// sub-query finishes, per the scheduler's own live estimates — the
+    /// input to the §2.1 admission rule. Runs the **same**
+    /// [`roar_dr::sched::predicted_completion`] the simulator's yield loop
+    /// uses, fed by the front-end's [`ServerStats`] estimator.
+    pub(crate) fn predict_delay(&self, plan: &QueryPlan) -> f64 {
+        let tasks: Vec<roar_dr::sched::Task> = plan
+            .subs
+            .iter()
+            .map(|s| roar_dr::sched::Task {
+                server: s.node,
+                work: s.work(),
+            })
+            .collect();
+        let mut st = self.stats.write();
+        let now = self.now();
+        st.set_now(now);
+        roar_dr::sched::predicted_completion(&*st, &tasks, now) - now
     }
 
     /// Record the dispatch of every sub-query of a committed plan.

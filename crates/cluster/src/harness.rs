@@ -303,6 +303,74 @@ mod tests {
         scale_scenario(512, 16, spec).await
     }
 
+    async fn flash_crowd_admission_holds_slo(spec: TransportSpec) {
+        // Definition 8 serial scanners: 4 nodes × 10k rec/s over a
+        // 200-object corpus at p = 2 → 100 records (10 ms) per sub-query,
+        // ~200 q/s capacity. A flash crowd at 3× capacity must be
+        // absorbed at the admission door (§2.1): every admitted query
+        // keeps full harvest and a bounded tail, the excess is shed as
+        // yield — never queued into a latency collapse.
+        let h = spawn_cluster(ClusterConfig::uniform(4, 10e3, 2).with_transport(spec))
+            .await
+            .unwrap();
+        let mut rng = det_rng(5115);
+        let ids: Vec<u64> = (0..200).map(|_| rng.gen()).collect();
+        h.admin.store_synthetic(&ids).await.unwrap();
+        h.admin.set_serial_service(true).await.unwrap();
+        // converge the front-end's speed EWMAs before opening the flood
+        for _ in 0..15 {
+            let out = h.client.query(QueryBody::Synthetic).run().await;
+            assert_eq!(out.harvest, 1.0, "warmup must be full-harvest");
+        }
+        let slo = Duration::from_millis(250);
+        let ctrl = std::sync::Arc::new(crate::admission::AdmissionController::new(
+            crate::admission::SloConfig::new(slo).yield_floor(0.05),
+        ));
+        let arrivals = roar_workload::OpenLoopGen::constant(600.0, 31).schedule(0.8);
+        let t0 = std::time::Instant::now();
+        let mut tasks = Vec::new();
+        for a in &arrivals {
+            let client = h.client.clone();
+            let door = std::sync::Arc::clone(&ctrl);
+            let at = Duration::from_secs_f64(a.at_s);
+            tasks.push(tokio::spawn(async move {
+                tokio::time::sleep(at.saturating_sub(t0.elapsed())).await;
+                let q0 = std::time::Instant::now();
+                let out = client.query(QueryBody::Synthetic).admission(door).run().await;
+                (q0.elapsed().as_secs_f64(), out)
+            }));
+        }
+        let mut admitted_walls_ms = Vec::new();
+        let mut shed = 0usize;
+        for t in tasks {
+            let (wall_s, out) = t.await.unwrap();
+            if out.admitted {
+                assert_eq!(
+                    out.harvest, 1.0,
+                    "admission trades yield, never harvest (§2.1)"
+                );
+                assert_eq!((out.refused, out.lost), (0, 0));
+                admitted_walls_ms.push(wall_s * 1e3);
+            } else {
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "3x capacity must shed at the door");
+        assert!(
+            admitted_walls_ms.len() > 50,
+            "but the door must not collapse: {} admitted",
+            admitted_walls_ms.len()
+        );
+        admitted_walls_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99_ms = roar_util::percentile(&admitted_walls_ms, 99.0);
+        assert!(
+            p99_ms <= slo.as_secs_f64() * 1e3,
+            "admitted p99 {p99_ms:.1} ms must hold the {slo:?} SLO \
+             (shed {shed}, admitted {})",
+            admitted_walls_ms.len()
+        );
+    }
+
     async fn end_to_end_synthetic_query(spec: TransportSpec) {
         let h = spawn_cluster(ClusterConfig::uniform(6, 1e6, 3).with_transport(spec))
             .await

@@ -63,6 +63,7 @@
 //!   the EC2 fleet on one machine).
 
 pub mod admin;
+pub mod admission;
 pub mod backend;
 pub mod client;
 pub mod faults;
@@ -74,6 +75,7 @@ pub mod reconcile;
 pub mod transport;
 
 pub use admin::{Admin, AdminError};
+pub use admission::{AdmissionController, AdmissionStats, SloConfig};
 pub use backend::{BackendStore, MemoryBackend};
 pub use client::{
     connect, connect_backup, connect_backup_with, connect_with, connect_with_backend, HedgePolicy,

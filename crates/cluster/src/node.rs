@@ -60,6 +60,14 @@ struct NodeState {
     /// Fault-injection multiplier on synthetic processing time
     /// (`Msg::SetSpeedFactor`); 1.0 = nominal speed.
     slow_factor: f64,
+    /// Synthetic service model (`Msg::SetServiceModel`): when `true` the
+    /// node is one serial scanner (Definition 8) and concurrent synthetic
+    /// sub-queries queue behind [`NodeState::busy_until`]; when `false`
+    /// (default) their simulated sleeps overlap.
+    serial_service: bool,
+    /// Virtual departure time of the last enqueued synthetic sub-query
+    /// under the serial service model.
+    busy_until: Option<Instant>,
 }
 
 impl NodeState {
@@ -92,6 +100,8 @@ impl DataNode {
                 coverage: None,
                 successor: None,
                 slow_factor: 1.0,
+                serial_service: false,
+                busy_until: None,
             })),
             shutdown,
             transport: Mutex::new(None),
@@ -221,6 +231,14 @@ impl DataNode {
                     }
                 }
             }
+            Msg::SetServiceModel { serial } => {
+                let mut st = self.state.lock();
+                st.serial_service = serial;
+                if !serial {
+                    st.busy_until = None;
+                }
+                Msg::Ok
+            }
             Msg::SetCoverage { start, end } => {
                 let keep = Window::new(start, end);
                 let mut st = self.state.lock();
@@ -275,18 +293,33 @@ impl DataNode {
         match body {
             QueryBody::Synthetic => {
                 // Definition 8: proc time = records / speed, served as a
-                // sleep so one machine can emulate a heterogeneous fleet
-                let (scanned, slow_factor) = {
-                    let st = self.state.lock();
+                // sleep so one machine can emulate a heterogeneous fleet.
+                // Under the serial service model the node is one scanner:
+                // the sleep runs until this sub-query's virtual departure
+                // time, behind everything already enqueued, so an open-loop
+                // overload builds a real backlog (M/G/1, not infinite
+                // co-sleeping servers).
+                let (scanned, wait) = {
+                    let mut st = self.state.lock();
                     let scanned = st
                         .synthetic_ids
                         .iter()
                         .filter(|&&id| window.contains(id))
                         .count() as u64;
-                    (scanned, st.slow_factor)
+                    let proc = std::time::Duration::from_secs_f64(
+                        scanned as f64 * st.slow_factor / self.cfg.speed,
+                    );
+                    if st.serial_service {
+                        let now = Instant::now();
+                        let start = st.busy_until.filter(|&b| b > now).unwrap_or(now);
+                        let depart = start + proc;
+                        st.busy_until = Some(depart);
+                        (scanned, depart.saturating_duration_since(now))
+                    } else {
+                        (scanned, proc)
+                    }
                 };
-                let proc = scanned as f64 * slow_factor / self.cfg.speed;
-                tokio::time::sleep(std::time::Duration::from_secs_f64(proc)).await;
+                tokio::time::sleep(wait).await;
                 Msg::SubQueryResult {
                     query_id,
                     matches: Vec::new(),

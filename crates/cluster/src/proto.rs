@@ -407,6 +407,15 @@ pub enum Msg {
     SetSpeedFactor {
         factor: f64,
     },
+    /// Service-model control for synthetic sub-queries: `serial = true`
+    /// makes the node a single serial scanner (Definition 8's model —
+    /// concurrent sub-queries queue and their sleeps serialize), so
+    /// open-loop overload builds a real backlog instead of co-sleeping.
+    /// `false` (the default) keeps the historical co-sleeping behaviour
+    /// closed-loop suites rely on.
+    SetServiceModel {
+        serial: bool,
+    },
 }
 
 impl Msg {
@@ -494,6 +503,10 @@ impl Msg {
                 wire::put_u8(out, 16);
                 wire::put_f64(out, *factor);
             }
+            Msg::SetServiceModel { serial } => {
+                wire::put_u8(out, 17);
+                wire::put_bool(out, *serial);
+            }
         }
     }
 
@@ -542,6 +555,7 @@ impl Msg {
             14 => Msg::Error { what: r.string()? },
             15 => Msg::Refused { what: r.string()? },
             16 => Msg::SetSpeedFactor { factor: r.f64()? },
+            17 => Msg::SetServiceModel { serial: r.bool()? },
             _ => return None,
         })
     }
@@ -777,6 +791,7 @@ mod tests {
                 what: "insufficient coverage".into(),
             },
             Msg::SetSpeedFactor { factor: 4.0 },
+            Msg::SetServiceModel { serial: true },
         ];
         for msg in msgs {
             let bytes = msg.encode();

@@ -1,0 +1,118 @@
+//! Property tests for the §2.1 admission door.
+//!
+//! The [`AdmissionController`] is deliberately a pure state machine
+//! (predictions in, decisions out; observations in, bound out) so its
+//! invariants can be hammered with arbitrary sequences here, independent
+//! of clusters and timing:
+//!
+//! * with auto-tuning off, the decision is exactly `predicted ≤ bound` —
+//!   the door never sheds an under-bound query and never admits an
+//!   over-bound one (yield floor 0 case);
+//! * a yield floor of 1.0 admits everything, whatever the predictions;
+//! * the books always balance: `offered = admitted + shed`, and the
+//!   reported yield is their ratio;
+//! * the auto-tuned bound stays inside `[floor · target, target]` for
+//!   **any** observation sequence — overload can tighten the door but
+//!   never slam it, headroom can relax it but never past the SLO.
+//!
+//! The harvest half of §2.1 ("admitted queries always achieve full
+//! harvest") is a whole-system property: the door sheds *before*
+//! dispatch, so an admitted query runs exactly like one without a door.
+//! The harness's `flash_crowd_admission_holds_slo` scenario asserts it
+//! end-to-end on all three transports; here we pin the door-side half —
+//! shedding happens at the door or not at all (no partial admission).
+
+use proptest::prelude::*;
+use roar_cluster::{AdmissionController, SloConfig};
+use std::time::Duration;
+
+const TARGET: Duration = Duration::from_millis(100);
+/// Mirrors the controller's internal tightening floor (5% of target).
+const BOUND_FLOOR_FRAC: f64 = 0.05;
+
+fn arb_predictions(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    // predictions from well under to far over the 0.1 s bound
+    proptest::collection::vec(0.0f64..1.0, 1..=max_len)
+}
+
+fn arb_observations(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    // observed wall times spanning calm to catastrophic, with a few
+    // garbage values the controller must ignore mixed in
+    proptest::collection::vec((0u8..11, 0.0f64..1.0), 1..=max_len).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, u)| match kind {
+                0..=4 => 0.0005 + u * 0.07, // within SLO
+                5..=8 => 0.1 + u * 9.9,     // overload tails
+                9 => f64::NAN,              // ignored
+                _ => -1.0,                  // ignored
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Manual mode (no auto-tune, no floor): decide() is exactly the
+    /// predicted-completion rule — nothing else moves the door.
+    #[test]
+    fn manual_decision_is_exactly_the_bound_rule(preds in arb_predictions(200)) {
+        let c = AdmissionController::new(SloConfig::new(TARGET).manual());
+        let bound = TARGET.as_secs_f64();
+        for &p in &preds {
+            prop_assert_eq!(c.decide(p), p <= bound, "predicted {} vs bound {}", p, bound);
+        }
+        let s = c.snapshot();
+        prop_assert_eq!(s.offered, preds.len() as u64);
+    }
+
+    /// A yield floor of 1.0 forces the door open regardless of
+    /// predictions — the operator's "serve late rather than never".
+    #[test]
+    fn floor_one_admits_everything(preds in arb_predictions(200)) {
+        let c = AdmissionController::new(SloConfig::new(TARGET).yield_floor(1.0));
+        for &p in &preds {
+            prop_assert!(c.decide(p));
+        }
+        let s = c.snapshot();
+        prop_assert_eq!(s.shed, 0);
+        prop_assert!((s.yield_frac - 1.0).abs() < 1e-12);
+    }
+
+    /// The books balance for any interleaving of decisions and
+    /// observations: offered = admitted + shed, yield = admitted/offered.
+    #[test]
+    fn books_always_balance(
+        preds in arb_predictions(120),
+        obs in arb_observations(120),
+        floor in 0.0f64..1.0,
+    ) {
+        let c = AdmissionController::new(SloConfig::new(TARGET).yield_floor(floor));
+        let mut o = obs.iter();
+        for &p in &preds {
+            let _ = c.decide(p);
+            if let Some(&w) = o.next() {
+                c.observe(w);
+            }
+        }
+        let s = c.snapshot();
+        prop_assert_eq!(s.offered, s.admitted + s.shed);
+        prop_assert_eq!(s.offered, preds.len() as u64);
+        prop_assert!((s.yield_frac - s.admitted as f64 / s.offered as f64).abs() < 1e-12);
+    }
+
+    /// Whatever the auto-tuner sees, the bound stays in
+    /// `[0.05 · target, target]`: overload tightens but never slams the
+    /// door, headroom relaxes but never past the SLO.
+    #[test]
+    fn auto_tuned_bound_stays_clamped(obs in arb_observations(400)) {
+        let c = AdmissionController::new(SloConfig::new(TARGET));
+        let target = TARGET.as_secs_f64();
+        for &w in &obs {
+            c.observe(w);
+            let b = c.bound().as_secs_f64();
+            prop_assert!(
+                (target * BOUND_FLOOR_FRAC - 1e-12..=target + 1e-12).contains(&b),
+                "bound {} escaped its clamps", b
+            );
+        }
+    }
+}

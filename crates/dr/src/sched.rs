@@ -128,6 +128,23 @@ pub fn makespan(est: &dyn FinishEstimator, tasks: &[Task]) -> f64 {
         .fold(f64::MIN, f64::max)
 }
 
+/// Predicted absolute completion time of one query: the max finish estimate
+/// over its *alive* tasks, floored at `now` (a query with no live tasks
+/// completes — empty — immediately).
+///
+/// This is the input to the §2.1 predicted-completion admission rule, and
+/// it is deliberately the **only** implementation: the simulator
+/// (`roar-sim`) and the live cluster front-end (`roar-cluster`) both feed
+/// their own [`FinishEstimator`] through this same function, so a delay
+/// bound validated in simulation means the same thing at the real door.
+pub fn predicted_completion(est: &dyn FinishEstimator, tasks: &[Task], now: f64) -> f64 {
+    tasks
+        .iter()
+        .filter(|t| est.alive(t.server))
+        .map(|t| est.estimate(t.server, t.work))
+        .fold(now, f64::max)
+}
+
 /// A trivial estimator for tests and micro-benchmarks: each server has a
 /// fixed speed (work units per second) and a current queue-drain time.
 #[derive(Debug, Clone)]

@@ -15,7 +15,7 @@
 use crate::engine::SimConfig;
 use crate::servers::SimServers;
 use rand::Rng;
-use roar_dr::sched::{FinishEstimator, QueryScheduler};
+use roar_dr::sched::{predicted_completion, FinishEstimator, QueryScheduler};
 use roar_util::sample::Exponential;
 use roar_util::{det_rng, Summary};
 
@@ -60,13 +60,9 @@ pub fn run_sim_yield(
         t += arrivals.sample(&mut rng);
         servers.set_now(t);
         let assignment = sched.schedule(&servers, rng.gen());
-        // predicted completion using the same estimates the scheduler saw
-        let predicted = assignment
-            .tasks
-            .iter()
-            .filter(|task| servers.alive(task.server))
-            .map(|task| servers.estimate(task.server, task.work))
-            .fold(t, f64::max);
+        // predicted completion using the same estimates the scheduler saw —
+        // the shared rule the live front-end's admission door also runs
+        let predicted = predicted_completion(&servers, &assignment.tasks, t);
         if let Some(bound) = admission {
             if predicted - t > bound {
                 continue; // drop at the front-end: no server works on it

@@ -8,6 +8,22 @@
 
 /// A sinusoidal day/night load pattern plus optional step events (flash
 /// crowds).
+///
+/// The sinusoid interpolates in log-space between `mean/√swing` and
+/// `mean·√swing`, so the peak-to-trough ratio is exactly `swing`; each
+/// surge multiplies the rate inside its `[start, end)` window.
+///
+/// # Examples
+///
+/// ```
+/// use roar_workload::DiurnalPattern;
+///
+/// let day = DiurnalPattern::new(100.0, 4.0, 86_400.0) // mean, swing, period
+///     .with_surge(3_600.0, 7_200.0, 3.0);             // 3x crowd in hour two
+/// assert!((day.peak() - 200.0).abs() < 1e-9);   // 100·√4
+/// assert!((day.trough() - 50.0).abs() < 1e-9);  // 100/√4
+/// assert!(day.rate_at(5_000.0) > day.rate_at(0.0)); // surge in effect
+/// ```
 #[derive(Debug, Clone)]
 pub struct DiurnalPattern {
     /// Mean arrival rate, queries/second.

@@ -1,0 +1,226 @@
+//! Open-loop load generation for capacity measurement.
+//!
+//! A closed-loop driver (N workers, each issuing the next query when the
+//! previous one returns) can never push a system past saturation: as
+//! latency grows, the offered rate falls in lock-step, and the
+//! latency–throughput knee stays invisible. Real users are **open-loop** —
+//! arrivals keep coming at the offered rate regardless of how the cluster
+//! is doing — so that is what `repro bench_capacity` drives and what the
+//! admission door (§2.1) is sized against.
+//!
+//! [`OpenLoopGen`] draws a Poisson arrival process whose instantaneous
+//! rate follows a [`DiurnalPattern`] envelope (§4.9.1's 2–4× swings plus
+//! flash-crowd surges), via Lewis–Shedler thinning: candidate arrivals at
+//! the envelope's peak rate, each kept with probability
+//! `rate_at(t) / peak`. Every arrival carries a Zipf-ranked popularity
+//! (which keyword the query asks for), matching the skew of real query
+//! streams. Everything is seeded and deterministic, so a capacity sweep is
+//! reproducible arrival-for-arrival.
+//!
+//! # Examples
+//!
+//! A constant 200 q/s stream for a 10-second measurement point:
+//!
+//! ```
+//! use roar_workload::OpenLoopGen;
+//!
+//! let arrivals = OpenLoopGen::constant(200.0, 42).schedule(10.0);
+//! assert!((arrivals.len() as f64 - 2000.0).abs() < 200.0);
+//! assert!(arrivals.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+//! ```
+//!
+//! A diurnal day with a 3× flash crowd, popularity over 500 keywords:
+//!
+//! ```
+//! use roar_workload::{DiurnalPattern, OpenLoopGen};
+//!
+//! let day = DiurnalPattern::new(100.0, 3.0, 60.0).with_surge(20.0, 30.0, 3.0);
+//! let gen = OpenLoopGen::new(day, 7).popularity(500, 0.99);
+//! let arrivals = gen.schedule(60.0);
+//! let in_surge = arrivals.iter().filter(|a| a.at_s >= 20.0 && a.at_s < 30.0).count();
+//! let before = arrivals.iter().filter(|a| a.at_s < 10.0).count();
+//! assert!(in_surge > 2 * before);
+//! ```
+
+use crate::load::DiurnalPattern;
+use roar_util::det_rng;
+use roar_util::sample::{Exponential, Zipf};
+
+/// One open-loop arrival: launch a query at `at_s` asking for the
+/// `rank`-th most popular keyword, whether or not earlier queries have
+/// come back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Offset from the start of the schedule, seconds.
+    pub at_s: f64,
+    /// Zipf popularity rank, 1-based (rank 1 = hottest keyword).
+    pub rank: usize,
+}
+
+/// Seeded open-loop arrival generator: Poisson arrivals thinned to a
+/// [`DiurnalPattern`] rate envelope, Zipf-ranked query popularity.
+///
+/// ```
+/// use roar_workload::OpenLoopGen;
+///
+/// // same seed, same schedule — sweeps are reproducible
+/// let a = OpenLoopGen::constant(50.0, 1).schedule(5.0);
+/// let b = OpenLoopGen::constant(50.0, 1).schedule(5.0);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenLoopGen {
+    pattern: DiurnalPattern,
+    seed: u64,
+    zipf_n: usize,
+    zipf_s: f64,
+}
+
+impl OpenLoopGen {
+    /// Arrivals following `pattern`, popularity defaulting to a mildly
+    /// skewed Zipf over 1000 keyword ranks (`s = 0.99`, the classic web
+    /// query exponent).
+    pub fn new(pattern: DiurnalPattern, seed: u64) -> Self {
+        OpenLoopGen {
+            pattern,
+            seed,
+            zipf_n: 1000,
+            zipf_s: 0.99,
+        }
+    }
+
+    /// A flat envelope at `rate` queries/second — the workhorse for
+    /// capacity-sweep points, where each point holds one offered load.
+    pub fn constant(rate: f64, seed: u64) -> Self {
+        // swing 1.0 makes the sinusoid a constant; the period is irrelevant
+        Self::new(DiurnalPattern::new(rate, 1.0, 3600.0), seed)
+    }
+
+    /// Set the popularity distribution: Zipf exponent `s` over `n` ranks.
+    pub fn popularity(mut self, n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        self.zipf_n = n;
+        self.zipf_s = s;
+        self
+    }
+
+    /// The rate envelope driving the thinning.
+    pub fn pattern(&self) -> &DiurnalPattern {
+        &self.pattern
+    }
+
+    /// Expected number of arrivals in `[0, duration_s)` (envelope
+    /// integral, trapezoid at 10 ms steps) — handy for sizing buffers and
+    /// sanity-checking measured yields.
+    pub fn expected_arrivals(&self, duration_s: f64) -> f64 {
+        let dt = 0.01;
+        let steps = (duration_s / dt).ceil() as usize;
+        (0..steps)
+            .map(|i| self.pattern.rate_at(i as f64 * dt) * dt.min(duration_s - i as f64 * dt))
+            .sum()
+    }
+
+    /// Generate every arrival in `[0, duration_s)`, sorted by time.
+    ///
+    /// Lewis–Shedler thinning: draw a homogeneous Poisson process at the
+    /// envelope's ceiling rate (peak × surge multipliers, so the proposal
+    /// always dominates), keep each candidate with probability
+    /// `rate_at(t) / ceiling`. The result is an exact non-homogeneous
+    /// Poisson process with intensity `pattern.rate_at`.
+    pub fn schedule(&self, duration_s: f64) -> Vec<Arrival> {
+        assert!(duration_s > 0.0, "duration must be positive");
+        let ceiling: f64 = self.pattern.peak()
+            * self
+                .pattern
+                .surges
+                .iter()
+                .map(|&(_, _, m)| m.max(1.0))
+                .product::<f64>();
+        let mut rng = det_rng(self.seed);
+        let gaps = Exponential::new(ceiling);
+        let zipf = Zipf::new(self.zipf_n, self.zipf_s);
+        let mut arrivals = Vec::with_capacity((ceiling * duration_s) as usize + 16);
+        let mut t = 0.0f64;
+        loop {
+            t += gaps.sample(&mut rng);
+            if t >= duration_s {
+                break;
+            }
+            let keep: f64 = rand::Rng::gen(&mut rng);
+            if keep < self.pattern.rate_at(t) / ceiling {
+                arrivals.push(Arrival {
+                    at_s: t,
+                    rank: zipf.sample(&mut rng),
+                });
+            }
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_hits_target_count() {
+        let arrivals = OpenLoopGen::constant(500.0, 3).schedule(20.0);
+        let expected = 500.0 * 20.0;
+        let got = arrivals.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.05,
+            "poisson count {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let a = OpenLoopGen::constant(100.0, 9).schedule(5.0);
+        let b = OpenLoopGen::constant(100.0, 9).schedule(5.0);
+        let c = OpenLoopGen::constant(100.0, 10).schedule(5.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_range() {
+        let arrivals = OpenLoopGen::constant(300.0, 4).schedule(3.0);
+        assert!(arrivals.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        assert!(arrivals.iter().all(|a| a.at_s >= 0.0 && a.at_s < 3.0));
+    }
+
+    #[test]
+    fn thinning_tracks_the_envelope() {
+        // 10 q/s baseline with a 5× surge in [10, 20): the surge decade
+        // must hold ~5× the arrivals of a quiet decade
+        let day = DiurnalPattern::new(10.0, 1.0, 1000.0).with_surge(10.0, 20.0, 5.0);
+        let arrivals = OpenLoopGen::new(day, 5).schedule(30.0);
+        let quiet = arrivals.iter().filter(|a| a.at_s < 10.0).count() as f64;
+        let surge = arrivals
+            .iter()
+            .filter(|a| a.at_s >= 10.0 && a.at_s < 20.0)
+            .count() as f64;
+        let ratio = surge / quiet.max(1.0);
+        assert!((3.5..6.5).contains(&ratio), "surge ratio {ratio}");
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let arrivals = OpenLoopGen::constant(2000.0, 6)
+            .popularity(100, 1.0)
+            .schedule(10.0);
+        let rank1 = arrivals.iter().filter(|a| a.rank == 1).count();
+        let rank50 = arrivals.iter().filter(|a| a.rank == 50).count();
+        assert!(
+            rank1 > 10 * rank50.max(1),
+            "rank1 {rank1} should dwarf rank50 {rank50}"
+        );
+        assert!(arrivals.iter().all(|a| (1..=100).contains(&a.rank)));
+    }
+
+    #[test]
+    fn expected_arrivals_matches_envelope_integral() {
+        let gen = OpenLoopGen::constant(100.0, 1);
+        assert!((gen.expected_arrivals(10.0) - 1000.0).abs() < 1.0);
+    }
+}
